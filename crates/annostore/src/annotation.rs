@@ -1,0 +1,73 @@
+//! Annotations: free-text metadata objects attached to database objects.
+
+use std::fmt;
+
+/// Stable identifier of an annotation within an
+/// [`AnnotationStore`](crate::AnnotationStore).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AnnotationId(pub u64);
+
+impl fmt::Display for AnnotationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// A free-text annotation: a comment, an attached article abstract, a flag,
+/// or any other piece of metadata end-users link to data.
+///
+/// Annotations are schema-less by design — their text can reference
+/// database objects in arbitrary ways, which is exactly what the proactive
+/// layer mines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// The annotation body (free text; may be a whole article).
+    pub text: String,
+    /// Optional author (end-user, curator, tool).
+    pub author: Option<String>,
+    /// Optional short kind tag, e.g. `"comment"`, `"publication"`,
+    /// `"flag"` — used by applications, opaque to the engine.
+    pub kind: Option<String>,
+}
+
+impl Annotation {
+    /// A plain text annotation with no author or kind.
+    pub fn new(text: impl Into<String>) -> Self {
+        Annotation { text: text.into(), author: None, kind: None }
+    }
+
+    /// Attach an author.
+    pub fn by(mut self, author: impl Into<String>) -> Self {
+        self.author = Some(author.into());
+        self
+    }
+
+    /// Tag with a kind.
+    pub fn of_kind(mut self, kind: impl Into<String>) -> Self {
+        self.kind = Some(kind.into());
+        self
+    }
+
+    /// Size of the annotation body in bytes (the paper's `L^m` knob).
+    pub fn size_bytes(&self) -> usize {
+        self.text.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_construction() {
+        let a = Annotation::new("correlates with JW0014").by("Alice").of_kind("comment");
+        assert_eq!(a.author.as_deref(), Some("Alice"));
+        assert_eq!(a.kind.as_deref(), Some("comment"));
+        assert_eq!(a.size_bytes(), "correlates with JW0014".len());
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(AnnotationId(7).to_string(), "A7");
+    }
+}

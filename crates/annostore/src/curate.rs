@@ -1,0 +1,163 @@
+//! Curator predicates: structured auto-attachment rules ([18, 25]).
+//!
+//! A curator may define an annotation *with a predicate over the database*:
+//! any newly inserted tuple satisfying the predicate gets the annotation
+//! attached automatically. This is the structured (schema-level) form of
+//! automation that pre-dates Nebula — it cannot look *inside* annotation
+//! text, which is exactly the gap the proactive layer fills.
+
+use crate::annotation::AnnotationId;
+use crate::store::{AnnotationStore, AttachmentTarget, StoreError};
+use relstore::{ConjunctiveQuery, Database, TupleId};
+
+/// An auto-attachment rule: when a new tuple satisfies `query`'s
+/// predicates, `annotation` is attached to it.
+#[derive(Debug, Clone)]
+pub struct CuratorPredicate {
+    /// The annotation to attach.
+    pub annotation: AnnotationId,
+    /// The qualifying condition (a conjunctive query whose base table and
+    /// predicates define the rule; joins are honored too).
+    pub query: ConjunctiveQuery,
+}
+
+impl CuratorPredicate {
+    /// Does this rule's condition hold for `tuple` in `db`?
+    ///
+    /// Implemented by executing the rule restricted to the tuple: cheap
+    /// because predicates evaluate per-tuple and join steps probe indexes.
+    pub fn matches(&self, db: &Database, tuple: TupleId) -> bool {
+        if tuple.table != self.query.base {
+            return false;
+        }
+        let Some(t) = db.get(tuple) else { return false };
+        if !self.query.predicates.iter().all(|p| p.matches(&t)) {
+            return false;
+        }
+        if self.query.joins.is_empty() {
+            return true;
+        }
+        // Re-run the full query and check membership (joins need the db).
+        self.query
+            .execute(db)
+            .map(|r| r.tuples.contains(&tuple))
+            .unwrap_or(false)
+    }
+}
+
+/// Registry of curator predicates, applied on insert.
+#[derive(Debug, Default)]
+pub struct CuratorRegistry {
+    rules: Vec<CuratorPredicate>,
+}
+
+impl CuratorRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        CuratorRegistry::default()
+    }
+
+    /// Register a rule.
+    pub fn add_rule(&mut self, rule: CuratorPredicate) {
+        self.rules.push(rule);
+    }
+
+    /// Number of registered rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are registered.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Apply all rules to a newly inserted tuple, attaching matching
+    /// annotations. Returns the annotations that were attached.
+    pub fn on_insert(
+        &self,
+        db: &Database,
+        store: &mut AnnotationStore,
+        tuple: TupleId,
+    ) -> Result<Vec<AnnotationId>, StoreError> {
+        let mut attached = Vec::new();
+        for rule in &self.rules {
+            if rule.matches(db, tuple) {
+                store.attach(rule.annotation, AttachmentTarget::tuple(tuple))?;
+                attached.push(rule.annotation);
+            }
+        }
+        Ok(attached)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::Annotation;
+    use relstore::{DataType, Predicate, TableSchema, Value};
+
+    fn setup() -> (Database, AnnotationStore, CuratorRegistry, AnnotationId) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("gene")
+                .column("gid", DataType::Text)
+                .column("family", DataType::Text)
+                .primary_key("gid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut store = AnnotationStore::new();
+        let flag = store.add_annotation(Annotation::new("Rounded Flag").of_kind("flag"));
+        let gene = db.catalog().resolve("gene").unwrap();
+        let fam = db.table(gene).unwrap().schema().column_id("family").unwrap();
+        let mut reg = CuratorRegistry::new();
+        reg.add_rule(CuratorPredicate {
+            annotation: flag,
+            query: ConjunctiveQuery::scan(gene)
+                .with_predicate(Predicate::Eq(fam, Value::text("F1"))),
+        });
+        (db, store, reg, flag)
+    }
+
+    #[test]
+    fn matching_insert_gets_annotation() {
+        let (mut db, mut store, reg, flag) = setup();
+        let t = db.insert("gene", vec![Value::text("JW0013"), Value::text("F1")]).unwrap();
+        let attached = reg.on_insert(&db, &mut store, t).unwrap();
+        assert_eq!(attached, vec![flag]);
+        assert_eq!(store.annotations_of(t), vec![flag]);
+    }
+
+    #[test]
+    fn non_matching_insert_untouched() {
+        let (mut db, mut store, reg, _) = setup();
+        let t = db.insert("gene", vec![Value::text("JW0014"), Value::text("F6")]).unwrap();
+        assert!(reg.on_insert(&db, &mut store, t).unwrap().is_empty());
+        assert!(store.annotations_of(t).is_empty());
+    }
+
+    #[test]
+    fn rule_on_wrong_table_never_matches() {
+        let (mut db, mut store, reg, _) = setup();
+        db.create_table(
+            TableSchema::builder("protein")
+                .column("pid", DataType::Text)
+                .column("family", DataType::Text)
+                .primary_key("pid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let t = db.insert("protein", vec![Value::text("P1"), Value::text("F1")]).unwrap();
+        assert!(reg.on_insert(&db, &mut store, t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn registry_len() {
+        let (_, _, reg, _) = setup();
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+}

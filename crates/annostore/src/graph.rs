@@ -1,0 +1,229 @@
+//! The annotated-database bipartite graph `D = {A, T, E}` (paper §3).
+//!
+//! Edges connect annotations to tuples. *True attachments* (weight 1.0)
+//! come from external sources and are assumed correct; *predicted
+//! attachments* (weight < 1.0) are produced by the proactive layer and
+//! carry an estimated confidence. [`GraphQuality`] computes the paper's
+//! divergence metrics `D.F_N` / `D.F_P` (Equations 1 & 2) against an ideal
+//! edge set.
+
+use crate::annotation::AnnotationId;
+use relstore::TupleId;
+use std::collections::HashSet;
+
+/// Whether an edge is an externally asserted truth or a system prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Manually established by end-users / curators; weight is 1.0.
+    True,
+    /// Proactively predicted by Nebula; weight < 1.0 until verified.
+    Predicted,
+}
+
+/// One edge of the bipartite graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// The annotation endpoint.
+    pub annotation: AnnotationId,
+    /// The tuple endpoint.
+    pub tuple: TupleId,
+    /// `True` or `Predicted`.
+    pub kind: EdgeKind,
+    /// Confidence in `[0, 1]`; exactly 1.0 for true attachments.
+    pub weight: f64,
+}
+
+impl Edge {
+    /// A true attachment (weight 1.0).
+    pub fn truth(annotation: AnnotationId, tuple: TupleId) -> Self {
+        Edge { annotation, tuple, kind: EdgeKind::True, weight: 1.0 }
+    }
+
+    /// A predicted attachment with the given confidence.
+    pub fn predicted(annotation: AnnotationId, tuple: TupleId, weight: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&weight));
+        Edge { annotation, tuple, kind: EdgeKind::Predicted, weight }
+    }
+
+    /// The `(annotation, tuple)` endpoint pair.
+    pub fn endpoints(&self) -> (AnnotationId, TupleId) {
+        (self.annotation, self.tuple)
+    }
+}
+
+/// A set of `(annotation, tuple)` pairs — the shape of both `E` and
+/// `E_ideal` when computing quality metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeSet {
+    pairs: HashSet<(AnnotationId, TupleId)>,
+}
+
+impl EdgeSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        EdgeSet::default()
+    }
+
+    /// Insert a pair; returns false if it was already present.
+    pub fn insert(&mut self, annotation: AnnotationId, tuple: TupleId) -> bool {
+        self.pairs.insert((annotation, tuple))
+    }
+
+    /// Remove a pair; returns true if it was present.
+    pub fn remove(&mut self, annotation: AnnotationId, tuple: TupleId) -> bool {
+        self.pairs.remove(&(annotation, tuple))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, annotation: AnnotationId, tuple: TupleId) -> bool {
+        self.pairs.contains(&(annotation, tuple))
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterate pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (AnnotationId, TupleId)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// Pairs of this set missing from `other` (set difference).
+    pub fn difference(&self, other: &EdgeSet) -> usize {
+        self.pairs.iter().filter(|p| !other.pairs.contains(p)).count()
+    }
+
+    /// All tuples attached to `annotation` in this set.
+    pub fn tuples_of(&self, annotation: AnnotationId) -> Vec<TupleId> {
+        let mut v: Vec<TupleId> = self
+            .pairs
+            .iter()
+            .filter(|(a, _)| *a == annotation)
+            .map(|(_, t)| *t)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+impl FromIterator<(AnnotationId, TupleId)> for EdgeSet {
+    fn from_iter<I: IntoIterator<Item = (AnnotationId, TupleId)>>(iter: I) -> Self {
+        EdgeSet { pairs: iter.into_iter().collect() }
+    }
+}
+
+/// Quality of an annotated database relative to the ideal one
+/// (paper Equations 1 & 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphQuality {
+    /// `|E_ideal − E| / |E_ideal|` — fraction of ideal edges missing.
+    pub false_negative_ratio: f64,
+    /// `|E − E_ideal| / |E|` — fraction of present edges that are wrong.
+    pub false_positive_ratio: f64,
+}
+
+impl GraphQuality {
+    /// Compare the actual edge set against the ideal one.
+    ///
+    /// Both ratios are defined as 0 when their denominator is 0 (an empty
+    /// ideal set has nothing to miss; an empty actual set asserts nothing
+    /// wrong).
+    pub fn evaluate(actual: &EdgeSet, ideal: &EdgeSet) -> GraphQuality {
+        let fn_ratio = if ideal.is_empty() {
+            0.0
+        } else {
+            ideal.difference(actual) as f64 / ideal.len() as f64
+        };
+        let fp_ratio = if actual.is_empty() {
+            0.0
+        } else {
+            actual.difference(ideal) as f64 / actual.len() as f64
+        };
+        GraphQuality { false_negative_ratio: fn_ratio, false_positive_ratio: fp_ratio }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::schema::TableId;
+
+    fn t(row: u64) -> TupleId {
+        TupleId::new(TableId(0), row)
+    }
+
+    #[test]
+    fn edge_constructors() {
+        let e = Edge::truth(AnnotationId(1), t(2));
+        assert_eq!(e.kind, EdgeKind::True);
+        assert_eq!(e.weight, 1.0);
+        let p = Edge::predicted(AnnotationId(1), t(3), 0.7);
+        assert_eq!(p.kind, EdgeKind::Predicted);
+        assert_eq!(p.endpoints(), (AnnotationId(1), t(3)));
+    }
+
+    #[test]
+    fn edge_set_basics() {
+        let mut s = EdgeSet::new();
+        assert!(s.insert(AnnotationId(0), t(0)));
+        assert!(!s.insert(AnnotationId(0), t(0)), "duplicate insert is a no-op");
+        assert!(s.contains(AnnotationId(0), t(0)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(AnnotationId(0), t(0)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn tuples_of_filters_and_sorts() {
+        let s: EdgeSet = vec![
+            (AnnotationId(0), t(5)),
+            (AnnotationId(0), t(1)),
+            (AnnotationId(1), t(9)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.tuples_of(AnnotationId(0)), vec![t(1), t(5)]);
+        assert_eq!(s.tuples_of(AnnotationId(2)), Vec::<TupleId>::new());
+    }
+
+    #[test]
+    fn quality_matches_paper_equations() {
+        // E_ideal = {(a,1),(a,2),(a,3)}, E = {(a,2),(a,3),(a,4)}
+        let ideal: EdgeSet =
+            [(AnnotationId(0), t(1)), (AnnotationId(0), t(2)), (AnnotationId(0), t(3))]
+                .into_iter()
+                .collect();
+        let actual: EdgeSet =
+            [(AnnotationId(0), t(2)), (AnnotationId(0), t(3)), (AnnotationId(0), t(4))]
+                .into_iter()
+                .collect();
+        let q = GraphQuality::evaluate(&actual, &ideal);
+        assert!((q.false_negative_ratio - 1.0 / 3.0).abs() < 1e-12);
+        assert!((q.false_positive_ratio - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn database_without_predictions_has_zero_fp() {
+        // Per §3: a database whose E ⊆ E_ideal has F_P = 0 but possibly
+        // large F_N.
+        let ideal: EdgeSet =
+            [(AnnotationId(0), t(1)), (AnnotationId(0), t(2))].into_iter().collect();
+        let actual: EdgeSet = [(AnnotationId(0), t(1))].into_iter().collect();
+        let q = GraphQuality::evaluate(&actual, &ideal);
+        assert_eq!(q.false_positive_ratio, 0.0);
+        assert_eq!(q.false_negative_ratio, 0.5);
+    }
+
+    #[test]
+    fn empty_sets_define_zero_ratios() {
+        let q = GraphQuality::evaluate(&EdgeSet::new(), &EdgeSet::new());
+        assert_eq!(q.false_negative_ratio, 0.0);
+        assert_eq!(q.false_positive_ratio, 0.0);
+    }
+}

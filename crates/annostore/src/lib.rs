@@ -1,0 +1,41 @@
+//! # annostore — a passive annotation-management engine
+//!
+//! This crate models the annotation-management engine Nebula is *built on
+//! top of* (Eltabakh et al., EDBT'09): it stores free-text
+//! [`Annotation`]s, attaches them to database tuples / cells / columns,
+//! maintains the **annotated database** bipartite graph
+//! `D = {A, T, E}` of the paper's §3 (true and predicted weighted edges),
+//! propagates annotations along query answers, and supports curator
+//! *predicates* that auto-attach annotations to qualifying new tuples.
+//!
+//! It is deliberately **passive**: it manages only the attachments it is
+//! given. The proactive layer (discovering the missing ones) lives in
+//! `nebula-core`.
+//!
+//! ```
+//! use annostore::{Annotation, AnnotationStore, AttachmentTarget};
+//! use relstore::{Database, TableSchema, DataType, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_table(TableSchema::builder("gene")
+//!     .column("gid", DataType::Text).primary_key("gid").build().unwrap()).unwrap();
+//! let t = db.insert("gene", vec![Value::text("JW0013")]).unwrap();
+//!
+//! let mut store = AnnotationStore::new();
+//! let a = store.add_annotation(Annotation::new("interesting heat-shock gene"));
+//! store.attach(a, AttachmentTarget::tuple(t)).unwrap();
+//! assert_eq!(store.annotations_of(t), vec![a]);
+//! ```
+
+pub mod annotation;
+pub mod curate;
+pub mod graph;
+pub mod propagation;
+pub mod snapshot;
+pub mod store;
+
+pub use annotation::{Annotation, AnnotationId};
+pub use curate::{CuratorPredicate, CuratorRegistry};
+pub use graph::{Edge, EdgeKind, EdgeSet, GraphQuality};
+pub use propagation::{propagate, PropagatedAnswer};
+pub use store::{AnnotationStore, AttachmentTarget, StoreError};

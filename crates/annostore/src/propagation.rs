@@ -1,0 +1,109 @@
+//! Query-time annotation propagation.
+//!
+//! The defining feature of the passive engines ([9, 16, 20] and the `[18]`
+//! engine this crate models) is that annotations *ride along* with query
+//! answers: selecting a set of tuples transparently returns the
+//! annotations attached to them, and projecting away a column drops the
+//! cell-level annotations that lived on it.
+
+use crate::annotation::AnnotationId;
+use crate::store::AnnotationStore;
+use relstore::schema::ColumnId;
+use relstore::TupleId;
+
+/// One answer row with its propagated annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropagatedAnswer {
+    /// The answer tuple.
+    pub tuple: TupleId,
+    /// True annotations that propagate to this answer row under the given
+    /// projection, in attachment order.
+    pub annotations: Vec<AnnotationId>,
+}
+
+/// Propagate annotations onto a query answer set.
+///
+/// `projection` is the set of columns the query kept; `None` means
+/// `SELECT *`. Row-level annotations always propagate. Cell-level
+/// annotations propagate only if their column survives the projection —
+/// the summary-aware semantics of the passive engine.
+pub fn propagate(
+    store: &AnnotationStore,
+    answer: &[TupleId],
+    projection: Option<&[ColumnId]>,
+) -> Vec<PropagatedAnswer> {
+    answer
+        .iter()
+        .map(|&tuple| {
+            let annotations = store
+                .annotations_of(tuple)
+                .into_iter()
+                .filter(|&aid| match (store.cell_column(aid, tuple), projection) {
+                    // Row-level annotation, or no projection: always keep.
+                    (None, _) | (_, None) => true,
+                    // Cell-level: keep only if the column survives.
+                    (Some(col), Some(cols)) => cols.contains(&col),
+                })
+                .collect();
+            PropagatedAnswer { tuple, annotations }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::Annotation;
+    use crate::store::AttachmentTarget;
+    use relstore::schema::TableId;
+
+    fn t(row: u64) -> TupleId {
+        TupleId::new(TableId(0), row)
+    }
+
+    fn setup() -> (AnnotationStore, AnnotationId, AnnotationId) {
+        let mut s = AnnotationStore::new();
+        let row_note = s.add_annotation(Annotation::new("row-level note"));
+        let cell_note = s.add_annotation(Annotation::new("cell-level note"));
+        s.attach(row_note, AttachmentTarget::tuple(t(1))).unwrap();
+        s.attach(cell_note, AttachmentTarget::cell(t(1), ColumnId(2))).unwrap();
+        (s, row_note, cell_note)
+    }
+
+    #[test]
+    fn select_star_propagates_everything() {
+        let (s, row_note, cell_note) = setup();
+        let out = propagate(&s, &[t(1)], None);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].annotations, vec![row_note, cell_note]);
+    }
+
+    #[test]
+    fn projection_drops_cell_annotations_of_removed_columns() {
+        let (s, row_note, _) = setup();
+        let out = propagate(&s, &[t(1)], Some(&[ColumnId(0), ColumnId(1)]));
+        assert_eq!(out[0].annotations, vec![row_note]);
+    }
+
+    #[test]
+    fn projection_keeps_cell_annotations_of_surviving_columns() {
+        let (s, row_note, cell_note) = setup();
+        let out = propagate(&s, &[t(1)], Some(&[ColumnId(2)]));
+        assert_eq!(out[0].annotations, vec![row_note, cell_note]);
+    }
+
+    #[test]
+    fn unannotated_tuples_produce_empty_lists() {
+        let (s, ..) = setup();
+        let out = propagate(&s, &[t(1), t(99)], None);
+        assert_eq!(out[1].annotations, Vec::<AnnotationId>::new());
+    }
+
+    #[test]
+    fn answer_order_preserved() {
+        let (s, ..) = setup();
+        let out = propagate(&s, &[t(5), t(1)], None);
+        assert_eq!(out[0].tuple, t(5));
+        assert_eq!(out[1].tuple, t(1));
+    }
+}

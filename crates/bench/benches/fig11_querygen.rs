@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 11: keyword-query generation throughput
+//! across ε thresholds and annotation sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nebula_bench::{Scale, Setup};
+use nebula_core::{generate_queries, QueryGenConfig};
+
+fn bench_querygen(c: &mut Criterion) {
+    let setup = Setup::large(Scale::Fast);
+    let mut group = c.benchmark_group("fig11_querygen");
+    for epsilon in [0.4, 0.6, 0.8] {
+        for max_bytes in [50usize, 1000] {
+            let set = setup.set(max_bytes);
+            let text = &set.annotations[0].annotation.text;
+            let config = QueryGenConfig { epsilon, ..Default::default() };
+            group.bench_with_input(
+                BenchmarkId::new(format!("eps{epsilon:.1}"), format!("L{max_bytes}")),
+                text,
+                |b, text| {
+                    b.iter(|| {
+                        generate_queries(&setup.bundle.db, &setup.bundle.meta, text, &config)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_querygen);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Figure 12: query execution — the Naive
+//! whole-annotation baseline vs Nebula's generated queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nebula_bench::{Scale, Setup};
+use nebula_core::{generate_queries, identify_related_tuples, ExecutionConfig, QueryGenConfig};
+use textsearch::{naive_search, ExecutionMode, KeywordSearch, SearchOptions};
+
+fn bench_execution(c: &mut Criterion) {
+    let setup = Setup::small(Scale::Fast);
+    let engine = KeywordSearch::new(SearchOptions {
+        vocab: setup.bundle.meta.to_vocabulary(&setup.bundle.db),
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("fig12_execution");
+    for max_bytes in [50usize, 100] {
+        let wa = &setup.set(max_bytes).annotations[0];
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("L{max_bytes}")),
+            &wa.annotation.text,
+            |b, text| b.iter(|| naive_search(&setup.bundle.db, text)),
+        );
+        let config = QueryGenConfig { epsilon: 0.6, ..Default::default() };
+        let queries =
+            generate_queries(&setup.bundle.db, &setup.bundle.meta, &wa.annotation.text, &config);
+        let focal = &wa.ideal[..1];
+        group.bench_with_input(
+            BenchmarkId::new("nebula-0.6", format!("L{max_bytes}")),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    identify_related_tuples(
+                        &setup.bundle.db,
+                        &engine,
+                        queries,
+                        focal,
+                        Some(&setup.acg),
+                        &ExecutionConfig {
+                            mode: ExecutionMode::Isolated,
+                            acg_adjustment: true,
+                            ..Default::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

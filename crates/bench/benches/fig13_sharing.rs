@@ -1,0 +1,43 @@
+//! Criterion bench for Figure 13: isolated vs shared multi-query
+//! execution of one annotation's whole query group.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nebula_bench::{Scale, Setup};
+use nebula_core::{generate_queries, identify_related_tuples, ExecutionConfig, QueryGenConfig};
+use textsearch::{ExecutionMode, KeywordSearch, SearchOptions};
+
+fn bench_sharing(c: &mut Criterion) {
+    let setup = Setup::large(Scale::Fast);
+    let engine = KeywordSearch::new(SearchOptions {
+        vocab: setup.bundle.meta.to_vocabulary(&setup.bundle.db),
+        ..Default::default()
+    });
+    let config = QueryGenConfig { epsilon: 0.6, ..Default::default() };
+    let wa = &setup.set(1000).annotations[0];
+    let queries =
+        generate_queries(&setup.bundle.db, &setup.bundle.meta, &wa.annotation.text, &config);
+    let focal = &wa.ideal[..1];
+
+    let mut group = c.benchmark_group("fig13_sharing");
+    for (label, mode) in [
+        ("isolated", ExecutionMode::Isolated),
+        ("shared", ExecutionMode::Shared),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, "L1000"), &queries, |b, queries| {
+            b.iter(|| {
+                identify_related_tuples(
+                    &setup.bundle.db,
+                    &engine,
+                    queries,
+                    focal,
+                    Some(&setup.acg),
+                    &ExecutionConfig { mode, acg_adjustment: true, ..Default::default() },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharing);
+criterion_main!(benches);

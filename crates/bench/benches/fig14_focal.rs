@@ -1,0 +1,62 @@
+//! Criterion bench for Figure 14: full-database search vs the K-hop
+//! focal-spreading miniDB search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nebula_bench::{Scale, Setup};
+use nebula_core::{
+    build_minidb, distort, generate_queries, identify_related_tuples, translate_candidates,
+    ExecutionConfig, QueryGenConfig,
+};
+use textsearch::{ExecutionMode, KeywordSearch, SearchOptions};
+
+fn bench_focal(c: &mut Criterion) {
+    let setup = Setup::large(Scale::Fast);
+    let config = QueryGenConfig { epsilon: 0.6, ..Default::default() };
+    let wa = &setup.set(100).annotations[0];
+    let (focal, _) = distort(&wa.ideal, 2);
+    let queries =
+        generate_queries(&setup.bundle.db, &setup.bundle.meta, &wa.annotation.text, &config);
+    let exec = ExecutionConfig { mode: ExecutionMode::Isolated, acg_adjustment: true, ..Default::default() };
+    let engine = KeywordSearch::new(SearchOptions {
+        vocab: setup.bundle.meta.to_vocabulary(&setup.bundle.db),
+        ..Default::default()
+    });
+
+    let mut group = c.benchmark_group("fig14_focal");
+    group.bench_function(BenchmarkId::new("basic-full", "L100"), |b| {
+        b.iter(|| {
+            identify_related_tuples(
+                &setup.bundle.db,
+                &engine,
+                &queries,
+                &focal,
+                Some(&setup.acg),
+                &exec,
+            )
+        })
+    });
+    for k in [2usize, 3, 4] {
+        group.bench_function(BenchmarkId::new("focal-spread", format!("K{k}")), |b| {
+            b.iter(|| {
+                let (mini, back) = build_minidb(&setup.bundle.db, &setup.acg, &focal, k);
+                let mini_engine = KeywordSearch::new(SearchOptions {
+                    vocab: setup.bundle.meta.to_vocabulary(&mini),
+                    ..Default::default()
+                });
+                let (cands, _) = identify_related_tuples(
+                    &mini,
+                    &mini_engine,
+                    &queries,
+                    &[],
+                    None,
+                    &ExecutionConfig { acg_adjustment: false, ..exec },
+                );
+                translate_candidates(cands, &back)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_focal);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the from-scratch substrates: the pattern matcher,
+//! the inverted index, and the snapshot format.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nebula_core::Pattern;
+use nebula_workload::{generate_dataset, DatasetSpec};
+use relstore::snapshot;
+
+fn bench_patterns(c: &mut Criterion) {
+    let gid = Pattern::compile("JW[0-9]{4}").unwrap();
+    let name = Pattern::compile("[a-z]{3}[A-Z]").unwrap();
+    let backtrack = Pattern::compile(".*c[a-z]{2,4}x?").unwrap();
+    let mut group = c.benchmark_group("patterns");
+    group.bench_function("gid_hit", |b| b.iter(|| gid.matches(std::hint::black_box("JW0042"))));
+    group.bench_function("gid_miss", |b| b.iter(|| gid.matches(std::hint::black_box("JW00422"))));
+    group.bench_function("name_hit", |b| b.iter(|| name.matches(std::hint::black_box("grpC"))));
+    group.bench_function("backtracking", |b| {
+        b.iter(|| backtrack.matches(std::hint::black_box("aaacabcdabcdabcd")))
+    });
+    group.finish();
+}
+
+fn bench_inverted_index(c: &mut Criterion) {
+    let bundle = generate_dataset(&DatasetSpec::small(), 1);
+    let mut group = c.benchmark_group("inverted_index");
+    group.bench_function("lookup_rare", |b| {
+        b.iter(|| bundle.db.inverted_index().lookup(std::hint::black_box("jw0042")))
+    });
+    group.bench_function("lookup_common", |b| {
+        b.iter(|| bundle.db.inverted_index().lookup(std::hint::black_box("expression")))
+    });
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let bundle = generate_dataset(&DatasetSpec::tiny(), 1);
+    let bytes = snapshot::save(&bundle.db);
+    let mut group = c.benchmark_group("snapshot");
+    group.bench_function("save_tiny", |b| b.iter(|| snapshot::save(&bundle.db)));
+    group.bench_function("load_tiny", |b| {
+        b.iter_batched(
+            || bytes.clone(),
+            |bytes| snapshot::load(&bytes).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_patterns, bench_inverted_index, bench_snapshot);
+criterion_main!(benches);

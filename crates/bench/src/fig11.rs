@@ -1,0 +1,219 @@
+//! Figure 11 — generation of keyword queries.
+//!
+//! (a) per-phase execution time of `QueryGeneration()` (map generation /
+//!     overlay + context adjustment / query generation) across cutoff
+//!     thresholds ε and annotation size groups `L^m`;
+//! (b) number of generated keyword queries;
+//! (c) false-positive / false-negative percentages of the generated
+//!     queries against the known embedded references.
+//!
+//! Uses the `D_large` workload (the experiment is independent of database
+//! size — §8.2).
+
+use crate::setup::Setup;
+use crate::table::{fmt_duration, fmt_pct, Table};
+use nebula_core::{AdjustParams, GeneratedQuery, QueryGenConfig};
+use nebula_workload::WorkloadAnnotation;
+use std::time::Instant;
+
+/// One measured cell of Figure 11.
+#[derive(Debug, Clone)]
+pub struct QueryGenCell {
+    /// Cutoff threshold ε.
+    pub epsilon: f64,
+    /// Size group (`L^m` bytes).
+    pub max_bytes: usize,
+    /// Average seconds in phase 1 (signature-map generation).
+    pub t_maps: f64,
+    /// Average seconds in phase 2 (overlay + context adjustment).
+    pub t_adjust: f64,
+    /// Average seconds in phase 3 (query generation).
+    pub t_queries: f64,
+    /// Average number of generated queries.
+    pub queries: f64,
+    /// Fraction of generated queries that are false positives.
+    pub fp: f64,
+    /// Fraction of embedded references missed by every query.
+    pub fn_: f64,
+}
+
+/// The ε values the paper sweeps.
+pub const EPSILONS: [f64; 3] = [0.4, 0.6, 0.8];
+
+/// Run the full Figure 11 sweep.
+pub fn run(setup: &Setup) -> Vec<QueryGenCell> {
+    let mut cells = Vec::new();
+    for &epsilon in &EPSILONS {
+        for set in &setup.workload {
+            let config = QueryGenConfig {
+                epsilon,
+                adjust: AdjustParams::default(),
+                context_adjustment: true,
+                backward_search: true,
+            };
+            let mut cell = QueryGenCell {
+                epsilon,
+                max_bytes: set.max_bytes,
+                t_maps: 0.0,
+                t_adjust: 0.0,
+                t_queries: 0.0,
+                queries: 0.0,
+                fp: 0.0,
+                fn_: 0.0,
+            };
+            let n = set.annotations.len() as f64;
+            for wa in &set.annotations {
+                let (times, queries) = timed_generation(setup, &wa.annotation.text, &config);
+                cell.t_maps += times.0 / n;
+                cell.t_adjust += times.1 / n;
+                cell.t_queries += times.2 / n;
+                cell.queries += queries.len() as f64 / n;
+                let (fp, fn_) = query_quality(setup, wa, &queries);
+                cell.fp += fp / n;
+                cell.fn_ += fn_ / n;
+            }
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+/// Time the three phases of `QueryGeneration()` separately.
+fn timed_generation(
+    setup: &Setup,
+    text: &str,
+    config: &QueryGenConfig,
+) -> ((f64, f64, f64), Vec<GeneratedQuery>) {
+    use nebula_core::sigmap::{generate_concept_map, generate_value_map, overlay, split_annotation};
+
+    let t0 = Instant::now();
+    let words = split_annotation(text);
+    let cmap = generate_concept_map(&setup.bundle.db, &setup.bundle.meta, &words, config.epsilon);
+    let vmap = generate_value_map(&setup.bundle.db, &setup.bundle.meta, &words, config.epsilon);
+    let t1 = Instant::now();
+    let mut map = overlay(&words, cmap, vmap);
+    nebula_core::context_based_adjustment(&mut map, &config.adjust);
+    let t2 = Instant::now();
+    let queries = nebula_core::querygen::concept_map_to_queries(&setup.bundle.db, &setup.bundle.meta, &map, config);
+    let t3 = Instant::now();
+    (
+        (
+            (t1 - t0).as_secs_f64(),
+            (t2 - t1).as_secs_f64(),
+            (t3 - t2).as_secs_f64(),
+        ),
+        queries,
+    )
+}
+
+/// Judge generated queries against the annotation's known embedded
+/// references: a query is a true positive iff one of its keywords is the
+/// id or name of an ideal tuple; a reference is missed (false negative)
+/// when no query keyword names it.
+pub fn query_quality(
+    setup: &Setup,
+    wa: &WorkloadAnnotation,
+    queries: &[GeneratedQuery],
+) -> (f64, f64) {
+    // Reference strings of the ideal tuples that actually appear in the
+    // annotation's text.
+    let mut ref_strings: Vec<Vec<String>> = Vec::new();
+    for t in &wa.ideal {
+        let Some(tuple) = setup.bundle.db.get(*t) else { continue };
+        let mut forms = Vec::new();
+        if let Some(k) = tuple.key() {
+            let k = k.render();
+            if wa.annotation.text.contains(&k) {
+                forms.push(k.to_lowercase());
+            }
+        }
+        for col in ["name", "pname"] {
+            if let Some(name) = tuple.get_by_name(col) {
+                let n = name.render();
+                if !n.is_empty() && wa.annotation.text.contains(&n) {
+                    forms.push(n.to_lowercase());
+                }
+            }
+        }
+        if !forms.is_empty() {
+            ref_strings.push(forms);
+        }
+    }
+
+    let mut fp = 0usize;
+    let mut covered = vec![false; ref_strings.len()];
+    for q in queries {
+        let mut is_tp = false;
+        for kw in &q.keywords {
+            let kw = kw.to_lowercase();
+            for (i, forms) in ref_strings.iter().enumerate() {
+                if forms.contains(&kw) {
+                    covered[i] = true;
+                    is_tp = true;
+                }
+            }
+        }
+        if !is_tp {
+            fp += 1;
+        }
+    }
+    let fp_ratio = if queries.is_empty() { 0.0 } else { fp as f64 / queries.len() as f64 };
+    let fn_ratio = if ref_strings.is_empty() {
+        0.0
+    } else {
+        covered.iter().filter(|c| !**c).count() as f64 / ref_strings.len() as f64
+    };
+    (fp_ratio, fn_ratio)
+}
+
+/// Render Figure 11(a): per-phase times.
+pub fn table_a(cells: &[QueryGenCell]) -> Table {
+    let mut t = Table::new(
+        "Figure 11(a): query-generation time per phase",
+        &["ε", "L^m", "maps", "overlay+adjust", "querygen", "total"],
+    );
+    for c in cells {
+        t.row(vec![
+            format!("{:.1}", c.epsilon),
+            format!("L^{}", c.max_bytes),
+            fmt_duration(c.t_maps),
+            fmt_duration(c.t_adjust),
+            fmt_duration(c.t_queries),
+            fmt_duration(c.t_maps + c.t_adjust + c.t_queries),
+        ]);
+    }
+    t
+}
+
+/// Render Figure 11(b): number of generated queries.
+pub fn table_b(cells: &[QueryGenCell]) -> Table {
+    let mut t = Table::new(
+        "Figure 11(b): number of generated keyword queries",
+        &["ε", "L^m", "queries (avg)"],
+    );
+    for c in cells {
+        t.row(vec![
+            format!("{:.1}", c.epsilon),
+            format!("L^{}", c.max_bytes),
+            format!("{:.1}", c.queries),
+        ]);
+    }
+    t
+}
+
+/// Render Figure 11(c): FP/FN percentages of the generated queries.
+pub fn table_c(cells: &[QueryGenCell]) -> Table {
+    let mut t = Table::new(
+        "Figure 11(c): false positives / false negatives of generated queries",
+        &["ε", "L^m", "FP%", "FN%"],
+    );
+    for c in cells {
+        t.row(vec![
+            format!("{:.1}", c.epsilon),
+            format!("L^{}", c.max_bytes),
+            fmt_pct(c.fp),
+            fmt_pct(c.fn_),
+        ]);
+    }
+    t
+}

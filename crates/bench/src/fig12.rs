@@ -1,0 +1,213 @@
+//! Figure 12 — execution of the keyword queries.
+//!
+//! (a) total execution time: the Naive whole-annotation baseline vs
+//!     Nebula-0.6 vs Nebula-0.8, across `D_small` / `D_mid` / `D_large`
+//!     and every `L^m` group (no multi-query sharing — each query runs in
+//!     isolation, as the paper's default);
+//! (b) the number of produced candidate tuples for the same
+//!     configurations.
+
+use crate::setup::Setup;
+use crate::table::{fmt_duration, Table};
+use nebula_core::{generate_queries, identify_related_tuples, ExecutionConfig, QueryGenConfig};
+use std::time::Instant;
+use textsearch::{naive_search, ExecutionMode, KeywordSearch, SearchOptions};
+
+/// The approaches Figure 12 compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Approach {
+    /// Whole annotation as one keyword query (§4).
+    Naive,
+    /// Nebula with cutoff ε (no sharing).
+    Nebula {
+        /// ε × 10 (6 or 8), to keep the type `Eq`/hashable.
+        epsilon_tenths: u8,
+    },
+}
+
+impl Approach {
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            Approach::Naive => "Naive".to_string(),
+            Approach::Nebula { epsilon_tenths } => {
+                format!("Nebula-0.{epsilon_tenths}")
+            }
+        }
+    }
+
+    /// The ε value for Nebula variants.
+    pub fn epsilon(&self) -> Option<f64> {
+        match self {
+            Approach::Naive => None,
+            Approach::Nebula { epsilon_tenths } => Some(*epsilon_tenths as f64 / 10.0),
+        }
+    }
+}
+
+/// One measured cell of Figure 12.
+#[derive(Debug, Clone)]
+pub struct ExecutionCell {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Approach.
+    pub approach: Approach,
+    /// Size group.
+    pub max_bytes: usize,
+    /// Average execution seconds per annotation.
+    pub seconds: f64,
+    /// Average number of produced tuples per annotation.
+    pub tuples: f64,
+}
+
+/// Run Figure 12 over one dataset for all approaches and `L^m` groups.
+pub fn run_dataset(setup: &Setup) -> Vec<ExecutionCell> {
+    let approaches = [
+        Approach::Naive,
+        Approach::Nebula { epsilon_tenths: 6 },
+        Approach::Nebula { epsilon_tenths: 8 },
+    ];
+    let engine = KeywordSearch::new(SearchOptions {
+        vocab: setup.bundle.meta.to_vocabulary(&setup.bundle.db),
+        ..Default::default()
+    });
+    let mut cells = Vec::new();
+    for approach in approaches {
+        for set in &setup.workload {
+            let mut seconds = 0.0;
+            let mut tuples = 0.0;
+            let n = set.annotations.len() as f64;
+            for wa in &set.annotations {
+                match approach {
+                    Approach::Naive => {
+                        let t0 = Instant::now();
+                        let (hits, _) = naive_search(&setup.bundle.db, &wa.annotation.text);
+                        seconds += t0.elapsed().as_secs_f64() / n;
+                        tuples += hits.len() as f64 / n;
+                    }
+                    Approach::Nebula { .. } => {
+                        let config = QueryGenConfig {
+                            epsilon: approach.epsilon().expect("nebula approach"),
+                            ..Default::default()
+                        };
+                        // Query generation is measured in Figure 11; here
+                        // we time execution only, per the paper.
+                        let queries =
+                            generate_queries(&setup.bundle.db, &setup.bundle.meta, &wa.annotation.text, &config);
+                        let focal: Vec<relstore::TupleId> =
+                            wa.ideal.iter().take(1).copied().collect();
+                        let t0 = Instant::now();
+                        let (cands, _) = identify_related_tuples(
+                            &setup.bundle.db,
+                            &engine,
+                            &queries,
+                            &focal,
+                            Some(&setup.acg),
+                            &ExecutionConfig {
+                                mode: ExecutionMode::Isolated,
+                                acg_adjustment: true,
+                                ..Default::default()
+                            },
+                        );
+                        seconds += t0.elapsed().as_secs_f64() / n;
+                        tuples += cands.len() as f64 / n;
+                    }
+                }
+            }
+            cells.push(ExecutionCell {
+                dataset: setup.name,
+                approach,
+                max_bytes: set.max_bytes,
+                seconds,
+                tuples,
+            });
+        }
+    }
+    cells
+}
+
+/// Which measurement a table renders.
+#[derive(Clone, Copy)]
+enum Metric {
+    Seconds,
+    Tuples,
+}
+
+impl Metric {
+    fn value(self, c: &ExecutionCell) -> f64 {
+        match self {
+            Metric::Seconds => c.seconds,
+            Metric::Tuples => c.tuples,
+        }
+    }
+
+    fn format(self, c: &ExecutionCell) -> String {
+        match self {
+            Metric::Seconds => fmt_duration(c.seconds),
+            Metric::Tuples => format!("{:.0}", c.tuples),
+        }
+    }
+}
+
+/// Render Figure 12(a): execution time.
+pub fn table_a(cells: &[ExecutionCell]) -> Table {
+    let mut t = Table::new(
+        "Figure 12(a): keyword-query execution time (no sharing)",
+        &["dataset", "L^m", "Naive", "Nebula-0.6", "Nebula-0.8", "naive/0.6 ratio"],
+    );
+    fill(&mut t, cells, Metric::Seconds);
+    t
+}
+
+/// Render Figure 12(b): produced tuples.
+pub fn table_b(cells: &[ExecutionCell]) -> Table {
+    let mut t = Table::new(
+        "Figure 12(b): number of produced candidate tuples",
+        &["dataset", "L^m", "Naive", "Nebula-0.6", "Nebula-0.8", "naive/0.6 ratio"],
+    );
+    fill(&mut t, cells, Metric::Tuples);
+    t
+}
+
+fn fill(t: &mut Table, cells: &[ExecutionCell], metric: Metric) {
+    let mut keys: Vec<(&'static str, usize)> =
+        cells.iter().map(|c| (c.dataset, c.max_bytes)).collect();
+    keys.sort_by_key(|(d, m)| (dataset_order(d), *m));
+    keys.dedup();
+    for (dataset, m) in keys {
+        let find = |a: Approach| {
+            cells
+                .iter()
+                .find(|c| c.dataset == dataset && c.max_bytes == m && c.approach == a)
+        };
+        let naive = find(Approach::Naive);
+        let n06 = find(Approach::Nebula { epsilon_tenths: 6 });
+        let n08 = find(Approach::Nebula { epsilon_tenths: 8 });
+        let cell = |c: Option<&ExecutionCell>| {
+            c.map(|c| metric.format(c)).unwrap_or_else(|| "-".into())
+        };
+        let ratio = match (naive, n06) {
+            (Some(nv), Some(n6)) if metric.value(n6) > 0.0 => {
+                format!("{:.0}x", metric.value(nv) / metric.value(n6))
+            }
+            _ => "-".into(),
+        };
+        t.row(vec![
+            dataset.to_string(),
+            format!("L^{m}"),
+            cell(naive),
+            cell(n06),
+            cell(n08),
+            ratio,
+        ]);
+    }
+}
+
+fn dataset_order(name: &str) -> u8 {
+    match name {
+        "D_small" => 0,
+        "D_mid" => 1,
+        "D_large" => 2,
+        _ => 3,
+    }
+}

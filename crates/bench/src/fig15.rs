@@ -1,0 +1,244 @@
+//! Figure 15 — verification and assessment criteria.
+//!
+//! (a) the four criteria (F_N, F_P, M_F, M_H) for eight configurations —
+//!     Nebula-0.6 and Nebula-0.8 (basic full search) plus six
+//!     focal-spreading settings over (Δ, K) — with the β bounds
+//!     auto-adjusted by `BoundsSetting()` over a training workload;
+//! (b) the extreme no-expert case β_lower = β_upper = 0.5;
+//! plus the §8.2 naive-baseline assessment at `L^50`.
+
+use crate::setup::{Setup, SEED};
+use crate::table::{fmt_pct, Table};
+use nebula_core::{
+    assess_predictions, build_minidb, distort, generate_queries, identify_related_tuples,
+    translate_candidates, AssessmentReport, BoundsSetting, Candidate, ExecutionConfig,
+    QueryGenConfig, TrainingExample, VerificationBounds,
+};
+use nebula_workload::{build_workload, WorkloadAnnotation, WorkloadSpec};
+use textsearch::{naive_search, ExecutionMode, KeywordSearch, SearchOptions};
+
+/// One of the eight x-axis configurations of Figure 15(a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AssessConfig {
+    /// Basic full-database search with cutoff ε.
+    Basic {
+        /// Cutoff threshold.
+        epsilon: f64,
+    },
+    /// Focal-based spreading with distortion Δ and radius K (ε = 0.6).
+    Focal {
+        /// Links kept.
+        delta: usize,
+        /// Hop radius.
+        k: usize,
+    },
+}
+
+impl AssessConfig {
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            AssessConfig::Basic { epsilon } => format!("Nebula-{epsilon:.1}"),
+            AssessConfig::Focal { delta, k } => format!("Focal Δ={delta} K={k}"),
+        }
+    }
+
+    /// The paper's eight configurations.
+    pub fn paper_set() -> Vec<AssessConfig> {
+        vec![
+            AssessConfig::Basic { epsilon: 0.6 },
+            AssessConfig::Basic { epsilon: 0.8 },
+            AssessConfig::Focal { delta: 1, k: 3 },
+            AssessConfig::Focal { delta: 2, k: 2 },
+            AssessConfig::Focal { delta: 2, k: 3 },
+            AssessConfig::Focal { delta: 2, k: 4 },
+            AssessConfig::Focal { delta: 3, k: 3 },
+            AssessConfig::Focal { delta: 3, k: 4 },
+        ]
+    }
+}
+
+/// Produce candidates for one workload annotation under a configuration.
+/// Returns `(candidates, focal)`.
+pub fn candidates_for(
+    setup: &Setup,
+    wa: &WorkloadAnnotation,
+    config: AssessConfig,
+) -> (Vec<Candidate>, Vec<relstore::TupleId>) {
+    let (epsilon, delta, k) = match config {
+        AssessConfig::Basic { epsilon } => (epsilon, 1, None),
+        AssessConfig::Focal { delta, k } => (0.6, delta, Some(k)),
+    };
+    let (focal, _) = distort(&wa.ideal, delta);
+    let qconfig = QueryGenConfig { epsilon, ..Default::default() };
+    let queries =
+        generate_queries(&setup.bundle.db, &setup.bundle.meta, &wa.annotation.text, &qconfig);
+    let exec = ExecutionConfig { mode: ExecutionMode::Shared, acg_adjustment: true, ..Default::default() };
+    let cands = match k {
+        None => {
+            let engine = KeywordSearch::new(SearchOptions {
+                vocab: setup.bundle.meta.to_vocabulary(&setup.bundle.db),
+                ..Default::default()
+            });
+            identify_related_tuples(
+                &setup.bundle.db,
+                &engine,
+                &queries,
+                &focal,
+                Some(&setup.acg),
+                &exec,
+            )
+            .0
+        }
+        Some(k) => {
+            let (mini, back) = build_minidb(&setup.bundle.db, &setup.acg, &focal, k);
+            let engine = KeywordSearch::new(SearchOptions {
+                vocab: setup.bundle.meta.to_vocabulary(&mini),
+                ..Default::default()
+            });
+            let (cands, _) = identify_related_tuples(
+                &mini,
+                &engine,
+                &queries,
+                &[],
+                None,
+                &ExecutionConfig { acg_adjustment: false, ..exec },
+            );
+            let mut cands = translate_candidates(cands, &back);
+            cands.retain(|c| !focal.contains(&c.tuple));
+            cands
+        }
+    };
+    (cands, focal)
+}
+
+/// Build the training set and run `BoundsSetting()` (the paper uses 500
+/// manually verified annotations; `training_size` scales that down).
+///
+/// Implements the §7 enhancement (1): each training annotation is
+/// distorted at several degrees Δ ∈ {1, 2, 3}, producing less- and
+/// more-distorted versions of the dataset.
+pub fn tune_bounds(setup: &Setup, training_size: usize) -> (VerificationBounds, AssessmentReport) {
+    let spec = WorkloadSpec { sizes: vec![100], per_subset: (training_size / 3).max(1) };
+    let training = build_workload(&setup.bundle, &spec, SEED ^ 0x7ea1_7ea1);
+    let mut examples: Vec<TrainingExample> = Vec::new();
+    for wa in &training[0].annotations {
+        for delta in 1..=3usize {
+            if delta > 1 && wa.ideal.len() <= delta {
+                continue; // nothing left to discover at this distortion
+            }
+            let (candidates, focal) = if delta == 1 {
+                candidates_for(setup, wa, AssessConfig::Basic { epsilon: 0.6 })
+            } else {
+                let (focal, _) = distort(&wa.ideal, delta);
+                let qconfig = QueryGenConfig::default();
+                let queries = generate_queries(
+                    &setup.bundle.db,
+                    &setup.bundle.meta,
+                    &wa.annotation.text,
+                    &qconfig,
+                );
+                let engine = KeywordSearch::new(SearchOptions {
+                    vocab: setup.bundle.meta.to_vocabulary(&setup.bundle.db),
+                    ..Default::default()
+                });
+                let (cands, _) = identify_related_tuples(
+                    &setup.bundle.db,
+                    &engine,
+                    &queries,
+                    &focal,
+                    Some(&setup.acg),
+                    &ExecutionConfig::default(),
+                );
+                (cands, focal)
+            };
+            examples.push(TrainingExample { candidates, ideal: wa.ideal.clone(), focal });
+        }
+    }
+    let eval = BoundsSetting::default().select(&examples);
+    (eval.bounds, eval.report)
+}
+
+/// One assessed configuration.
+#[derive(Debug, Clone)]
+pub struct AssessCell {
+    /// The configuration.
+    pub config: AssessConfig,
+    /// Averaged criteria over the `L^100` annotations.
+    pub report: AssessmentReport,
+}
+
+/// Run Figure 15 for the given bounds over the `L^100` set.
+pub fn run_with_bounds(setup: &Setup, bounds: &VerificationBounds) -> Vec<AssessCell> {
+    let set = setup.set(100);
+    AssessConfig::paper_set()
+        .into_iter()
+        .map(|config| {
+            let reports: Vec<AssessmentReport> = set
+                .annotations
+                .iter()
+                .map(|wa| {
+                    let (cands, focal) = candidates_for(setup, wa, config);
+                    assess_predictions(&cands, bounds, &wa.ideal, &focal).1
+                })
+                .collect();
+            AssessCell { config, report: AssessmentReport::average(&reports) }
+        })
+        .collect()
+}
+
+/// The §8.2 naive-baseline assessment at `L^50`: the whole-annotation
+/// search's hits become the "predictions".
+pub fn naive_assessment(setup: &Setup, bounds: &VerificationBounds) -> (AssessmentReport, f64) {
+    let set = setup.set(50);
+    let mut reports = Vec::new();
+    let mut avg_tuples = 0.0;
+    let n = set.annotations.len() as f64;
+    for wa in &set.annotations {
+        let (hits, _) = naive_search(&setup.bundle.db, &wa.annotation.text);
+        avg_tuples += hits.len() as f64 / n;
+        let (focal, _) = distort(&wa.ideal, 1);
+        let cands: Vec<Candidate> = hits
+            .iter()
+            .filter(|h| !focal.contains(&h.tuple))
+            .map(|h| Candidate { tuple: h.tuple, confidence: h.confidence, evidence: vec![] })
+            .collect();
+        reports.push(assess_predictions(&cands, bounds, &wa.ideal, &focal).1);
+    }
+    (AssessmentReport::average(&reports), avg_tuples)
+}
+
+/// Render a Figure 15 table.
+pub fn table(title: &str, bounds: &VerificationBounds, cells: &[AssessCell]) -> Table {
+    let mut t = Table::new(
+        format!("{title} (β_lower={:.2}, β_upper={:.2})", bounds.lower, bounds.upper),
+        &["config", "F_N", "F_P", "M_F", "M_H"],
+    );
+    for c in cells {
+        t.row(vec![
+            c.config.label(),
+            fmt_pct(c.report.f_n),
+            fmt_pct(c.report.f_p),
+            format!("{:.1}", c.report.m_f),
+            format!("{:.2}", c.report.m_h),
+        ]);
+    }
+    t
+}
+
+/// Render the naive assessment row.
+pub fn naive_table(report: &AssessmentReport, avg_tuples: f64) -> Table {
+    let mut t = Table::new(
+        "§8.2 naive-baseline assessment (L^50)",
+        &["approach", "returned tuples", "F_N", "F_P", "M_F", "M_H"],
+    );
+    t.row(vec![
+        "Naive".into(),
+        format!("{avg_tuples:.0}"),
+        fmt_pct(report.f_n),
+        fmt_pct(report.f_p),
+        format!("{:.1}", report.m_f),
+        format!("{:.2e}", report.m_h),
+    ]);
+    t
+}

@@ -1,0 +1,66 @@
+//! The hop-profile histogram of Figure 7 — the metadata profile that
+//! guides the selection of K for focal-spreading search.
+//!
+//! The profile is built the way the paper describes: for every discovered
+//! attachment, record the shortest ACG distance from the discovered tuple
+//! to the annotation's focal *before* the new edges are added.
+
+use crate::setup::{Setup, SEED};
+use crate::table::{fmt_pct, Table};
+use nebula_core::{distort, HopProfile};
+use nebula_workload::{build_workload, WorkloadSpec};
+
+/// Build a hop profile the way §6.3 describes: for *new* annotations
+/// (not part of the ACG), measure the shortest ACG distance from each
+/// discovered attachment to the annotation's focal before the new edges
+/// are added. Unreachable attachments do not contribute (they could not
+/// have been found by any spreading radius).
+pub fn build_profile(setup: &Setup, sample: usize) -> HopProfile {
+    let spec = WorkloadSpec { sizes: vec![500], per_subset: (sample / 3).max(1) };
+    let fresh = build_workload(&setup.bundle, &spec, SEED ^ 0x0f11e);
+    let mut profile = HopProfile::new();
+    for wa in &fresh[0].annotations {
+        if wa.ideal.len() < 2 {
+            continue;
+        }
+        let (focal, discovered) = distort(&wa.ideal, 1);
+        for t in discovered {
+            if let Some(hops) = setup.acg.shortest_hops(t, &focal, 16) {
+                if hops > 0 {
+                    profile.record(hops);
+                }
+            }
+        }
+    }
+    profile
+}
+
+/// Render the Figure 7-style profile with cumulative coverage per K.
+pub fn table(profile: &HopProfile) -> Table {
+    let mut t = Table::new(
+        "Figure 7: hop-profile histogram for K selection",
+        &["hops", "count", "coverage(K=hops)"],
+    );
+    for (hops, count) in profile.iter() {
+        t.row(vec![hops.to_string(), count.to_string(), fmt_pct(profile.coverage(hops))]);
+    }
+    t
+}
+
+/// Render the automatic K choices for a few coverage targets.
+pub fn k_selection_table(profile: &HopProfile) -> Table {
+    let mut t = Table::new(
+        "Automatic K selection from the profile",
+        &["target coverage", "selected K"],
+    );
+    for target in [0.5, 0.7, 0.9, 0.95, 0.99] {
+        t.row(vec![
+            fmt_pct(target),
+            profile
+                .select_k(target)
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t
+}

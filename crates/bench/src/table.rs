@@ -1,0 +1,108 @@
+//! Minimal fixed-width text-table rendering for the `reproduce` binary.
+
+/// A printable table: a title, column headers, and string rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table caption (figure id + description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (each row must match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.1}µs", secs * 1e6)
+    }
+}
+
+/// Format a ratio as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Fig X", &["config", "time"]);
+        t.row(vec!["Nebula-0.6".into(), "1.2ms".into()]);
+        t.row(vec!["Naive".into(), "99s".into()]);
+        let s = t.render();
+        assert!(s.contains("== Fig X =="));
+        assert!(s.contains("Nebula-0.6"));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(fmt_duration(2.5), "2.50s");
+        assert_eq!(fmt_duration(0.0025), "2.50ms");
+        assert_eq!(fmt_duration(0.0000025), "2.5µs");
+    }
+
+    #[test]
+    fn pct() {
+        assert_eq!(fmt_pct(0.715), "71.5%");
+    }
+}

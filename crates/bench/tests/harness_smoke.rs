@@ -1,0 +1,134 @@
+//! Smoke tests: every experiment harness runs end to end on a tiny
+//! dataset and produces structurally sane results.
+
+use nebula_bench::{ablation, fig11, fig12, fig13, fig14, fig15, profile, Setup};
+use nebula_workload::DatasetSpec;
+
+fn tiny_setup() -> Setup {
+    Setup::new("D_tiny", &DatasetSpec::tiny())
+}
+
+#[test]
+fn fig11_cells_are_sane() {
+    let setup = tiny_setup();
+    let cells = fig11::run(&setup);
+    // 3 ε values × 4 L^m groups.
+    assert_eq!(cells.len(), 12);
+    for c in &cells {
+        assert!(c.queries >= 0.0);
+        assert!((0.0..=1.0).contains(&c.fp));
+        assert!((0.0..=1.0).contains(&c.fn_));
+        assert!(c.t_maps >= 0.0 && c.t_adjust >= 0.0 && c.t_queries >= 0.0);
+    }
+    // Monotonicity: ε=0.4 generates at least as many queries as ε=0.8
+    // for the same L^m.
+    for m in [50usize, 100, 500, 1000] {
+        let q = |eps: f64| {
+            cells
+                .iter()
+                .find(|c| c.epsilon == eps && c.max_bytes == m)
+                .unwrap()
+                .queries
+        };
+        assert!(q(0.4) >= q(0.8), "ε=0.4 ⊇ ε=0.8 at L^{m}");
+    }
+    // Tables render.
+    assert!(fig11::table_a(&cells).render().contains("Figure 11(a)"));
+    assert!(fig11::table_b(&cells).render().contains("Figure 11(b)"));
+    assert!(fig11::table_c(&cells).render().contains("Figure 11(c)"));
+}
+
+#[test]
+fn fig12_naive_returns_more_tuples() {
+    let setup = tiny_setup();
+    let cells = fig12::run_dataset(&setup);
+    assert_eq!(cells.len(), 12); // 3 approaches × 4 sets
+    for m in [50usize, 100, 500, 1000] {
+        let naive = cells
+            .iter()
+            .find(|c| c.max_bytes == m && c.approach == fig12::Approach::Naive)
+            .unwrap();
+        let nebula = cells
+            .iter()
+            .find(|c| {
+                c.max_bytes == m
+                    && c.approach == fig12::Approach::Nebula { epsilon_tenths: 6 }
+            })
+            .unwrap();
+        assert!(
+            naive.tuples > nebula.tuples,
+            "naive must flood at L^{m}: {} vs {}",
+            naive.tuples,
+            nebula.tuples
+        );
+    }
+    assert!(fig12::table_a(&cells).render().contains("Naive"));
+    assert!(fig12::table_b(&cells).render().contains("ratio"));
+}
+
+#[test]
+fn fig13_sharing_preserves_output() {
+    let setup = tiny_setup();
+    let cells = fig13::run_dataset(&setup);
+    assert_eq!(cells.len(), 8); // 2 ε × 4 sets
+    for c in &cells {
+        assert!(c.outputs_match, "sharing must not change results");
+        assert!(c.isolated >= 0.0 && c.shared >= 0.0);
+    }
+    assert!(fig13::table(&cells).render().contains("speedup"));
+}
+
+#[test]
+fn fig14_minidb_grows_with_k() {
+    let setup = tiny_setup();
+    let cells = fig14::run_dataset(&setup, 100);
+    assert_eq!(cells.len(), 12); // 3 Δ × (basic + 3 K)
+    for delta in [1usize, 2, 3] {
+        let sizes: Vec<f64> = [2usize, 3, 4]
+            .iter()
+            .map(|k| {
+                cells
+                    .iter()
+                    .find(|c| c.delta == delta && c.k == Some(*k))
+                    .unwrap()
+                    .minidb_tuples
+            })
+            .collect();
+        assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2], "miniDB monotone in K");
+    }
+    assert!(fig14::table_a(&cells).render().contains("miniDB"));
+    assert!(fig14::table_b(&cells).render().contains("reduction"));
+}
+
+#[test]
+fn fig15_bounds_and_assessment() {
+    let setup = tiny_setup();
+    let (bounds, training_report) = fig15::tune_bounds(&setup, 9);
+    assert!(bounds.lower <= bounds.upper);
+    assert!((0.0..=1.0).contains(&training_report.f_n));
+    let cells = fig15::run_with_bounds(&setup, &bounds);
+    assert_eq!(cells.len(), 8);
+    for c in &cells {
+        assert!((0.0..=1.0).contains(&c.report.f_n));
+        assert!((0.0..=1.0).contains(&c.report.f_p));
+    }
+    let (naive_report, tuples) = fig15::naive_assessment(&setup, &bounds);
+    assert!(tuples > 0.0);
+    assert!((0.0..=1.0).contains(&naive_report.f_p));
+    assert!(fig15::table("t", &bounds, &cells).render().contains("F_N"));
+}
+
+#[test]
+fn profile_and_ablations_run() {
+    let setup = tiny_setup();
+    let p = profile::build_profile(&setup, 9);
+    assert!(p.total() > 0, "profile collects observations");
+    assert!(profile::table(&p).render().contains("coverage"));
+    assert!(profile::k_selection_table(&p).render().contains("selected K"));
+
+    let bounds = nebula_core::VerificationBounds::new(0.4, 0.8);
+    assert!(ablation::acg_ablation(&setup, &bounds).render().contains("direct edges"));
+    assert!(ablation::querygen_ablation(&setup).render().contains("backward"));
+    assert!(ablation::stability_ablation(&setup).render().contains("μ"));
+    assert!(ablation::learn_ablation(&setup, &bounds).render().contains("learned"));
+}

@@ -1,0 +1,280 @@
+//! Context-based weight adjustment (paper §5.2.2, Appendix Figure 17).
+//!
+//! The `ContextBasedAdjustment()` function walks every word `w` of the
+//! Context-Map, forms an *influence range* of α words on each side, and
+//! rewards each of `w`'s mappings according to the strongest *matching
+//! type* it can form with its neighbors' mappings:
+//!
+//! - **Type-1** (strongest): table + column + value, mutually consistent
+//!   — e.g. `{"gene", "Id", "JW0018"}` — reward β₁% per match;
+//! - **Type-2**: table + value (no column) — `{"gene", "yaaB"}` — β₂%;
+//! - **Type-3** (weakest): column + value (no table) — β₃%;
+//!
+//! with β₃ < β₂ < β₁. Only the strongest achievable type rewards a given
+//! mapping (the pseudocode's if/else-if chain), once per distinct match.
+
+use crate::meta::ConceptTarget;
+use crate::sigmap::ContextMap;
+use relstore::schema::{ColumnId, TableId};
+
+/// Parameters of the adjustment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdjustParams {
+    /// Influence-range radius in words (α).
+    pub alpha: usize,
+    /// Reward for a Type-1 match, as a fraction (β₁).
+    pub beta1: f64,
+    /// Reward for a Type-2 match (β₂).
+    pub beta2: f64,
+    /// Reward for a Type-3 match (β₃).
+    pub beta3: f64,
+}
+
+impl Default for AdjustParams {
+    fn default() -> Self {
+        // β₃ < β₂ < β₁ per Figure 4(c).
+        AdjustParams { alpha: 4, beta1: 0.3, beta2: 0.2, beta3: 0.1 }
+    }
+}
+
+/// What the neighborhood of one word offers, per table / column.
+#[derive(Debug, Default, Clone)]
+struct Neighborhood {
+    tables: Vec<TableId>,
+    columns: Vec<(TableId, ColumnId)>,
+    values: Vec<(TableId, ColumnId)>,
+}
+
+impl Neighborhood {
+    fn has_table(&self, t: TableId) -> bool {
+        self.tables.contains(&t)
+    }
+    fn has_column(&self, t: TableId, c: ColumnId) -> bool {
+        self.columns.contains(&(t, c))
+    }
+    fn has_value(&self, t: TableId, c: ColumnId) -> bool {
+        self.values.contains(&(t, c))
+    }
+    fn has_value_in_table(&self, t: TableId) -> bool {
+        self.values.iter().any(|(vt, _)| *vt == t)
+    }
+    fn count_value_columns(&self, t: TableId) -> usize {
+        self.values.iter().filter(|(vt, _)| *vt == t).count()
+    }
+}
+
+/// Collect the mappings visible from `center` within radius α, excluding
+/// the center word itself.
+fn neighborhood(map: &ContextMap, center: usize, alpha: usize) -> Neighborhood {
+    let lo = center.saturating_sub(alpha);
+    let hi = (center + alpha).min(map.entries.len().saturating_sub(1));
+    let mut n = Neighborhood::default();
+    for (i, entry) in map.entries.iter().enumerate().take(hi + 1).skip(lo) {
+        if i == center {
+            continue;
+        }
+        for cm in &entry.concepts {
+            match cm.target {
+                ConceptTarget::Table(t) => n.tables.push(t),
+                ConceptTarget::Column(t, c) => n.columns.push((t, c)),
+            }
+        }
+        for vm in &entry.values {
+            n.values.push((vm.table, vm.column));
+        }
+    }
+    n
+}
+
+/// Apply the context-based adjustment in place. Weights are multiplied by
+/// `(1 + β)` once per match of the strongest achievable type, capped at
+/// 1.0.
+pub fn context_based_adjustment(map: &mut ContextMap, params: &AdjustParams) {
+    let snapshots: Vec<Neighborhood> = (0..map.entries.len())
+        .map(|i| neighborhood(map, i, params.alpha))
+        .collect();
+
+    for (i, entry) in map.entries.iter_mut().enumerate() {
+        let n = &snapshots[i];
+        for cm in &mut entry.concepts {
+            let (matches, beta) = match cm.target {
+                ConceptTarget::Table(t) => {
+                    // Type-1: some column of t and a value in that column
+                    // are both in range.
+                    let type1 = n
+                        .columns
+                        .iter()
+                        .filter(|(ct, cc)| *ct == t && n.has_value(*ct, *cc))
+                        .count();
+                    if type1 > 0 {
+                        (type1, params.beta1)
+                    } else {
+                        // Type-2: a value of t (any column) in range.
+                        let type2 = n.count_value_columns(t);
+                        (type2, params.beta2)
+                    }
+                }
+                ConceptTarget::Column(t, c) => {
+                    let value_here = n.has_value(t, c);
+                    if value_here && n.has_table(t) {
+                        // Type-1: the table word and a consistent value.
+                        (1, params.beta1)
+                    } else if value_here {
+                        // Type-3: column + value without the table word.
+                        (1, params.beta3)
+                    } else {
+                        (0, 0.0)
+                    }
+                }
+            };
+            reward(&mut cm.weight, beta, matches);
+        }
+        for vm in &mut entry.values {
+            let (t, c) = (vm.table, vm.column);
+            let (matches, beta) = if n.has_table(t) && n.has_column(t, c) {
+                (1, params.beta1)
+            } else if n.has_table(t) {
+                (1, params.beta2)
+            } else if n.has_column(t, c) {
+                (1, params.beta3)
+            } else if n.has_value_in_table(t) {
+                // A weak sibling effect: other values of the same table in
+                // range corroborate, at the weakest reward level.
+                (1, params.beta3)
+            } else {
+                (0, 0.0)
+            };
+            reward(&mut vm.weight, beta, matches);
+        }
+    }
+}
+
+fn reward(weight: &mut f64, beta: f64, matches: usize) {
+    for _ in 0..matches {
+        *weight = (*weight * (1.0 + beta)).min(1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{ConceptRef, NebulaMeta};
+    use crate::patterns::Pattern;
+    use crate::sigmap::{generate_concept_map, generate_value_map, overlay, split_annotation};
+    use relstore::{DataType, Database, TableSchema, Value};
+
+    fn setup() -> (Database, NebulaMeta) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("gene")
+                .column("gid", DataType::Text)
+                .column("name", DataType::Text)
+                .primary_key("gid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("gene", vec![Value::text("JW0013"), Value::text("grpC")]).unwrap();
+        let mut meta = NebulaMeta::new();
+        meta.add_concept(ConceptRef {
+            concept: "Gene".into(),
+            table: "gene".into(),
+            referenced_by: vec![vec!["gid".into()], vec!["name".into()]],
+        });
+        meta.add_column_equivalent("id", "gene", "gid");
+        meta.set_pattern("gene", "gid", Pattern::compile("JW[0-9]{4}").unwrap());
+        meta.set_pattern("gene", "name", Pattern::compile("[a-z]{3}[A-Z]").unwrap());
+        (db, meta)
+    }
+
+    fn build_map(db: &Database, meta: &NebulaMeta, text: &str, eps: f64) -> ContextMap {
+        let words = split_annotation(text);
+        let cmap = generate_concept_map(db, meta, &words, eps);
+        let vmap = generate_value_map(db, meta, &words, eps);
+        overlay(&words, cmap, vmap)
+    }
+
+    #[test]
+    fn type1_rewards_full_triple() {
+        let (db, meta) = setup();
+        let mut map = build_map(&db, &meta, "gene id JW0018", 0.6);
+        let before: f64 = map.entries[2].values[0].weight;
+        context_based_adjustment(&mut map, &AdjustParams::default());
+        let after = map.entries[2].values[0].weight;
+        assert!(after > before, "value word rewarded by Type-1 context");
+        // Table word also rewarded.
+        assert!(map.entries[0].concepts[0].weight >= 0.95);
+    }
+
+    #[test]
+    fn type2_weaker_than_type1() {
+        let (db, meta) = setup();
+        let p = AdjustParams::default();
+
+        let mut t1 = build_map(&db, &meta, "gene id JW0018", 0.6);
+        context_based_adjustment(&mut t1, &p);
+        let w1 = t1.entries[2].values[0].weight;
+
+        let mut t2 = build_map(&db, &meta, "gene JW0018", 0.6);
+        context_based_adjustment(&mut t2, &p);
+        let w2 = t2.entries[1].values[0].weight;
+
+        // Both capped at 1.0 would mask the difference; use the raw check
+        // only if uncapped.
+        assert!(w1 >= w2);
+    }
+
+    #[test]
+    fn no_context_no_change() {
+        let (db, meta) = setup();
+        let mut map = build_map(&db, &meta, "JW0018", 0.6);
+        let before = map.entries[0].values[0].weight;
+        context_based_adjustment(&mut map, &AdjustParams::default());
+        assert_eq!(map.entries[0].values[0].weight, before);
+    }
+
+    #[test]
+    fn out_of_range_context_ignored() {
+        let (db, meta) = setup();
+        // 6 filler words between "gene" and the id — beyond α = 4.
+        let mut map = build_map(
+            &db,
+            &meta,
+            "gene mmmm nnnn oooo pppp qqqq rrrr JW0018",
+            0.6,
+        );
+        let idx = map.entries.len() - 1;
+        let before = map.entries[idx].values[0].weight;
+        context_based_adjustment(&mut map, &AdjustParams { alpha: 4, ..Default::default() });
+        assert_eq!(map.entries[idx].values[0].weight, before);
+    }
+
+    #[test]
+    fn weights_capped_at_one() {
+        let (db, meta) = setup();
+        let mut map = build_map(&db, &meta, "gene id JW0018 gene id", 0.6);
+        context_based_adjustment(
+            &mut map,
+            &AdjustParams { alpha: 4, beta1: 5.0, beta2: 3.0, beta3: 1.0 },
+        );
+        for e in &map.entries {
+            for c in &e.concepts {
+                assert!(c.weight <= 1.0);
+            }
+            for v in &e.values {
+                assert!(v.weight <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_values_get_weak_reward() {
+        let (db, meta) = setup();
+        // Two gene names adjacent, no concept words: each gets the weak
+        // sibling (β₃) reward.
+        let mut map = build_map(&db, &meta, "grpC yaaB", 0.6);
+        let before = map.entries[0].values[0].weight;
+        context_based_adjustment(&mut map, &AdjustParams::default());
+        assert!(map.entries[0].values[0].weight > before);
+    }
+}

@@ -1,0 +1,260 @@
+//! Assessment criteria (paper Definition 7.2, Figure 8).
+//!
+//! Given an annotation's predictions, the ideal attachment set, and the β
+//! bounds, the predictions fall into five categories
+//! (reject / verify-T / verify-F / accept-T / accept-F); the four criteria
+//! are computed from their counts:
+//!
+//! - `F_N` — false-negative ratio (missed ideal attachments),
+//! - `F_P` — false-positive ratio (wrong auto-accepted attachments),
+//! - `M_F` — manual effort (number of expert verifications),
+//! - `M_H` — manual hit (conversion) ratio.
+
+use crate::execution::Candidate;
+use crate::verify::{Decision, VerificationBounds};
+use relstore::TupleId;
+use std::collections::HashSet;
+
+/// The categorized prediction counts of Figure 8.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssessmentCounts {
+    /// `N_ideal`: attachments of the annotation in the ideal database.
+    pub n_ideal: usize,
+    /// `N_focal`: ideal attachments already present (the focal — not
+    /// predictions).
+    pub n_focal: usize,
+    /// `N_reject`: auto-rejected predictions.
+    pub n_reject: usize,
+    /// `N_verify-T`: expert-verified predictions that are correct.
+    pub n_verify_t: usize,
+    /// `N_verify-F`: expert-verified predictions that are wrong.
+    pub n_verify_f: usize,
+    /// `N_accept-T`: auto-accepted predictions that are correct.
+    pub n_accept_t: usize,
+    /// `N_accept-F`: auto-accepted predictions that are wrong.
+    pub n_accept_f: usize,
+}
+
+impl AssessmentCounts {
+    /// `N_verify = N_verify-T + N_verify-F`.
+    pub fn n_verify(&self) -> usize {
+        self.n_verify_t + self.n_verify_f
+    }
+
+    /// `N_accept = N_accept-T + N_accept-F`.
+    pub fn n_accept(&self) -> usize {
+        self.n_accept_t + self.n_accept_f
+    }
+}
+
+/// The four assessment criteria (Definition 7.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AssessmentReport {
+    /// False-negative ratio.
+    pub f_n: f64,
+    /// False-positive ratio.
+    pub f_p: f64,
+    /// Manual effort: number of tasks routed to experts.
+    pub m_f: f64,
+    /// Manual hit ratio: fraction of expert verifications that accept.
+    pub m_h: f64,
+}
+
+impl AssessmentReport {
+    /// Compute the criteria from categorized counts, exactly per
+    /// Definition 7.2. Ratios whose denominator is zero are defined as 0
+    /// (nothing to miss / nothing asserted), except `M_H`, which is 0 when
+    /// no manual work happened.
+    pub fn from_counts(c: &AssessmentCounts) -> AssessmentReport {
+        let found = c.n_verify_t + c.n_accept_t + c.n_focal;
+        let f_n = if c.n_ideal > 0 {
+            (c.n_ideal.saturating_sub(found)) as f64 / c.n_ideal as f64
+        } else {
+            0.0
+        };
+        let fp_denom = c.n_verify_t + c.n_accept() + c.n_focal;
+        let f_p = if fp_denom > 0 { c.n_accept_f as f64 / fp_denom as f64 } else { 0.0 };
+        let m_f = c.n_verify() as f64;
+        let m_h = if c.n_verify() > 0 {
+            c.n_verify_t as f64 / c.n_verify() as f64
+        } else {
+            0.0
+        };
+        AssessmentReport { f_n, f_p, m_f, m_h }
+    }
+
+    /// Average several reports (the paper averages over the annotations of
+    /// a workload set).
+    pub fn average(reports: &[AssessmentReport]) -> AssessmentReport {
+        if reports.is_empty() {
+            return AssessmentReport::default();
+        }
+        let n = reports.len() as f64;
+        AssessmentReport {
+            f_n: reports.iter().map(|r| r.f_n).sum::<f64>() / n,
+            f_p: reports.iter().map(|r| r.f_p).sum::<f64>() / n,
+            m_f: reports.iter().map(|r| r.m_f).sum::<f64>() / n,
+            m_h: reports.iter().map(|r| r.m_h).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Categorize one annotation's candidate predictions against the ideal
+/// attachment set (experts assumed error-free, as in §8.2), and compute
+/// the report.
+///
+/// - `candidates`: the ranked predictions (focal already excluded);
+/// - `ideal`: every tuple the annotation is attached to in `D_ideal`;
+/// - `focal`: the tuples the annotation is currently attached to.
+pub fn assess_predictions(
+    candidates: &[Candidate],
+    bounds: &VerificationBounds,
+    ideal: &[TupleId],
+    focal: &[TupleId],
+) -> (AssessmentCounts, AssessmentReport) {
+    let ideal_set: HashSet<TupleId> = ideal.iter().copied().collect();
+    let focal_in_ideal = focal.iter().filter(|f| ideal_set.contains(f)).count();
+    let mut counts = AssessmentCounts {
+        n_ideal: ideal_set.len(),
+        n_focal: focal_in_ideal,
+        ..Default::default()
+    };
+    for cand in candidates {
+        let correct = ideal_set.contains(&cand.tuple);
+        match bounds.decide(cand.confidence) {
+            Decision::AutoReject => counts.n_reject += 1,
+            Decision::Pending => {
+                if correct {
+                    counts.n_verify_t += 1;
+                } else {
+                    counts.n_verify_f += 1;
+                }
+            }
+            Decision::AutoAccept => {
+                if correct {
+                    counts.n_accept_t += 1;
+                } else {
+                    counts.n_accept_f += 1;
+                }
+            }
+        }
+    }
+    let report = AssessmentReport::from_counts(&counts);
+    (counts, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::schema::TableId;
+
+    fn t(row: u64) -> TupleId {
+        TupleId::new(TableId(0), row)
+    }
+
+    fn cand(row: u64, conf: f64) -> Candidate {
+        Candidate { tuple: t(row), confidence: conf, evidence: vec![] }
+    }
+
+    #[test]
+    fn perfect_predictions_zero_error() {
+        // Ideal: focal {0} plus {1, 2}; both predicted with high conf.
+        let bounds = VerificationBounds::new(0.3, 0.8);
+        let (counts, report) = assess_predictions(
+            &[cand(1, 0.95), cand(2, 0.9)],
+            &bounds,
+            &[t(0), t(1), t(2)],
+            &[t(0)],
+        );
+        assert_eq!(counts.n_accept_t, 2);
+        assert_eq!(report.f_n, 0.0);
+        assert_eq!(report.f_p, 0.0);
+        assert_eq!(report.m_f, 0.0);
+    }
+
+    #[test]
+    fn missed_attachment_counts_as_false_negative() {
+        let bounds = VerificationBounds::new(0.3, 0.8);
+        // Ideal has t1 and t2; only t1 predicted (accepted); t2 never
+        // surfaced.
+        let (_, report) =
+            assess_predictions(&[cand(1, 0.9)], &bounds, &[t(0), t(1), t(2)], &[t(0)]);
+        assert!((report.f_n - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auto_rejected_correct_prediction_is_a_miss() {
+        let bounds = VerificationBounds::new(0.3, 0.8);
+        let (counts, report) =
+            assess_predictions(&[cand(1, 0.1)], &bounds, &[t(0), t(1)], &[t(0)]);
+        assert_eq!(counts.n_reject, 1);
+        assert!((report.f_n - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn only_auto_accept_produces_false_positives() {
+        let bounds = VerificationBounds::new(0.3, 0.8);
+        // Wrong prediction in the pending band → expert catches it, no FP.
+        let (c1, r1) = assess_predictions(&[cand(9, 0.5)], &bounds, &[t(0)], &[t(0)]);
+        assert_eq!(c1.n_verify_f, 1);
+        assert_eq!(r1.f_p, 0.0);
+        assert_eq!(r1.m_f, 1.0);
+        assert_eq!(r1.m_h, 0.0);
+        // Wrong prediction above β_upper → false positive.
+        let (c2, r2) = assess_predictions(&[cand(9, 0.95)], &bounds, &[t(0)], &[t(0)]);
+        assert_eq!(c2.n_accept_f, 1);
+        assert!(r2.f_p > 0.0);
+    }
+
+    #[test]
+    fn manual_hit_ratio() {
+        let bounds = VerificationBounds::new(0.3, 0.8);
+        let (_, report) = assess_predictions(
+            &[cand(1, 0.5), cand(2, 0.5), cand(9, 0.5), cand(10, 0.5)],
+            &bounds,
+            &[t(0), t(1), t(2)],
+            &[t(0)],
+        );
+        assert_eq!(report.m_f, 4.0);
+        assert!((report.m_h - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_counts_matches_formulas() {
+        let c = AssessmentCounts {
+            n_ideal: 10,
+            n_focal: 1,
+            n_reject: 3,
+            n_verify_t: 4,
+            n_verify_f: 2,
+            n_accept_t: 3,
+            n_accept_f: 1,
+        };
+        let r = AssessmentReport::from_counts(&c);
+        // F_N = (10 − (4 + 3 + 1)) / 10 = 0.2
+        assert!((r.f_n - 0.2).abs() < 1e-12);
+        // F_P = 1 / (4 + 4 + 1) = 1/9
+        assert!((r.f_p - 1.0 / 9.0).abs() < 1e-12);
+        assert_eq!(r.m_f, 6.0);
+        assert!((r.m_h - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_of_reports() {
+        let a = AssessmentReport { f_n: 0.2, f_p: 0.0, m_f: 4.0, m_h: 1.0 };
+        let b = AssessmentReport { f_n: 0.4, f_p: 0.2, m_f: 0.0, m_h: 0.0 };
+        let avg = AssessmentReport::average(&[a, b]);
+        assert!((avg.f_n - 0.3).abs() < 1e-12);
+        assert!((avg.f_p - 0.1).abs() < 1e-12);
+        assert!((avg.m_f - 2.0).abs() < 1e-12);
+        assert_eq!(AssessmentReport::average(&[]), AssessmentReport::default());
+    }
+
+    #[test]
+    fn empty_everything_is_clean() {
+        let bounds = VerificationBounds::default();
+        let (counts, report) = assess_predictions(&[], &bounds, &[], &[]);
+        assert_eq!(counts, AssessmentCounts::default());
+        assert_eq!(report, AssessmentReport::default());
+    }
+}

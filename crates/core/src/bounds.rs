@@ -1,0 +1,241 @@
+//! Adaptive adjustment of the β_lower / β_upper bounds —
+//! `BoundsSetting()` (paper §7, Figure 9).
+//!
+//! The algorithm takes a training dataset whose annotations have *known
+//! complete* attachment sets, distorts each annotation down to Δ links,
+//! re-runs the discovery pipeline, and then grid-searches the
+//! `(β_lower, β_upper)` plane for the setting that minimizes expert effort
+//! `M_F` while keeping the averaged `F_N` and `F_P` within acceptable
+//! ranges. An `M_H`-guided refinement then nudges β_upper down when almost
+//! every manual verification accepts.
+
+use crate::assess::{assess_predictions, AssessmentReport};
+use crate::execution::Candidate;
+use crate::verify::VerificationBounds;
+use relstore::TupleId;
+
+/// One training example: the discovery pipeline's output for a distorted
+/// training annotation, plus the ground truth.
+#[derive(Debug, Clone)]
+pub struct TrainingExample {
+    /// Candidates the pipeline predicted for the distorted annotation.
+    pub candidates: Vec<Candidate>,
+    /// Every tuple the annotation is attached to in the training (ideal)
+    /// dataset.
+    pub ideal: Vec<TupleId>,
+    /// The links kept by the distortion (the annotation's focal during
+    /// discovery) — Δ = `focal.len()`.
+    pub focal: Vec<TupleId>,
+}
+
+/// Grid-search configuration for `BoundsSetting()`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundsSetting {
+    /// Grid step for both bounds.
+    pub grid_step: f64,
+    /// Acceptable average false-negative ratio.
+    pub max_fn: f64,
+    /// Acceptable average false-positive ratio.
+    pub max_fp: f64,
+    /// `M_H`-guided refinement: when the winning setting's average `M_H`
+    /// exceeds this, β_upper is lowered one step (most manual checks were
+    /// accepts anyway). `1.0` disables the refinement.
+    pub mh_refine_threshold: f64,
+}
+
+impl Default for BoundsSetting {
+    fn default() -> Self {
+        BoundsSetting { grid_step: 0.02, max_fn: 0.15, max_fp: 0.05, mh_refine_threshold: 0.9 }
+    }
+}
+
+/// Evaluation of one grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundsEvaluation {
+    /// The evaluated bounds.
+    pub bounds: VerificationBounds,
+    /// Averaged criteria over the training examples.
+    pub report: AssessmentReport,
+}
+
+impl BoundsSetting {
+    /// Average the assessment criteria of `examples` under `bounds`.
+    pub fn evaluate(
+        &self,
+        examples: &[TrainingExample],
+        bounds: VerificationBounds,
+    ) -> AssessmentReport {
+        let reports: Vec<AssessmentReport> = examples
+            .iter()
+            .map(|ex| assess_predictions(&ex.candidates, &bounds, &ex.ideal, &ex.focal).1)
+            .collect();
+        AssessmentReport::average(&reports)
+    }
+
+    /// Run the grid search and return the selected bounds with their
+    /// evaluation. Among feasible settings (average `F_N ≤ max_fn` and
+    /// `F_P ≤ max_fp`) the one with minimal `M_F` wins (ties: smaller
+    /// `F_N`, then smaller `F_P`). If no setting is feasible, the one
+    /// minimizing `F_N + F_P` wins (quality first, effort second).
+    pub fn select(&self, examples: &[TrainingExample]) -> BoundsEvaluation {
+        let steps = (1.0 / self.grid_step).round() as usize;
+        let mut best_feasible: Option<BoundsEvaluation> = None;
+        let mut best_fallback: Option<BoundsEvaluation> = None;
+
+        for li in 0..=steps {
+            let lower = li as f64 * self.grid_step;
+            for ui in li..=steps {
+                let upper = ui as f64 * self.grid_step;
+                let bounds = VerificationBounds::new(lower, upper);
+                let report = self.evaluate(examples, bounds);
+                let eval = BoundsEvaluation { bounds, report };
+                if report.f_n <= self.max_fn && report.f_p <= self.max_fp {
+                    let better = match &best_feasible {
+                        None => true,
+                        Some(b) => {
+                            (report.m_f, report.f_n, report.f_p)
+                                < (b.report.m_f, b.report.f_n, b.report.f_p)
+                        }
+                    };
+                    if better {
+                        best_feasible = Some(eval);
+                    }
+                }
+                let fallback_better = match &best_fallback {
+                    None => true,
+                    Some(b) => {
+                        (report.f_n + report.f_p, report.m_f)
+                            < (b.report.f_n + b.report.f_p, b.report.m_f)
+                    }
+                };
+                if fallback_better {
+                    best_fallback = Some(eval);
+                }
+            }
+        }
+
+        let mut chosen = best_feasible
+            .or(best_fallback)
+            .expect("grid always evaluates at least one point");
+
+        // M_H-guided refinement: if almost all manual verifications accept,
+        // lower β_upper one step to auto-accept more (§7 enhancement 2).
+        if chosen.report.m_h > self.mh_refine_threshold && chosen.report.m_f > 0.0 {
+            let lowered = VerificationBounds::new(
+                chosen.bounds.lower,
+                (chosen.bounds.upper - self.grid_step).max(chosen.bounds.lower),
+            );
+            let report = self.evaluate(examples, lowered);
+            if report.f_n <= self.max_fn && report.f_p <= self.max_fp {
+                chosen = BoundsEvaluation { bounds: lowered, report };
+            }
+        }
+        chosen
+    }
+}
+
+/// Distort an ideal attachment list down to Δ links (Step 1 of Figure 9):
+/// keeps the first Δ tuples as the focal, deterministic so experiments are
+/// reproducible. Returns `(kept focal, dropped links)`.
+pub fn distort(ideal: &[TupleId], delta: usize) -> (Vec<TupleId>, Vec<TupleId>) {
+    let keep = delta.max(1).min(ideal.len());
+    (ideal[..keep].to_vec(), ideal[keep..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::schema::TableId;
+
+    fn t(row: u64) -> TupleId {
+        TupleId::new(TableId(0), row)
+    }
+
+    fn cand(row: u64, conf: f64) -> Candidate {
+        Candidate { tuple: t(row), confidence: conf, evidence: vec![] }
+    }
+
+    /// Correct predictions score high, wrong ones score low, with some
+    /// overlap in the middle.
+    fn examples() -> Vec<TrainingExample> {
+        vec![
+            TrainingExample {
+                candidates: vec![cand(1, 0.9), cand(2, 0.7), cand(8, 0.4), cand(9, 0.2)],
+                ideal: vec![t(0), t(1), t(2)],
+                focal: vec![t(0)],
+            },
+            TrainingExample {
+                candidates: vec![cand(11, 0.85), cand(12, 0.65), cand(18, 0.35)],
+                ideal: vec![t(10), t(11), t(12)],
+                focal: vec![t(10)],
+            },
+        ]
+    }
+
+    #[test]
+    fn select_finds_separating_bounds() {
+        let setting = BoundsSetting { max_fn: 0.01, max_fp: 0.01, ..Default::default() };
+        let eval = setting.select(&examples());
+        // A clean separation exists: accept > 0.6ish, reject < 0.45.
+        assert_eq!(eval.report.f_n, 0.0);
+        assert_eq!(eval.report.f_p, 0.0);
+        assert_eq!(eval.report.m_f, 0.0, "no expert effort needed");
+        assert!(eval.bounds.lower > 0.4);
+        assert!(eval.bounds.upper < 0.65);
+    }
+
+    #[test]
+    fn overlapping_confidences_need_experts() {
+        // Wrong candidate scores *above* a right one: no automated setting
+        // is clean, so the winner must route the overlap to experts.
+        let exs = vec![TrainingExample {
+            candidates: vec![cand(1, 0.9), cand(9, 0.8), cand(2, 0.7)],
+            ideal: vec![t(0), t(1), t(2)],
+            focal: vec![t(0)],
+        }];
+        let setting = BoundsSetting { max_fn: 0.0, max_fp: 0.0, ..Default::default() };
+        let eval = setting.select(&exs);
+        assert_eq!(eval.report.f_n, 0.0);
+        assert_eq!(eval.report.f_p, 0.0);
+        assert!(eval.report.m_f >= 1.0, "the overlap goes to experts");
+    }
+
+    #[test]
+    fn infeasible_targets_fall_back_to_quality() {
+        // max_fn = 0 with a candidate set that simply misses an ideal
+        // tuple — infeasible; fallback should minimize F_N + F_P.
+        let exs = vec![TrainingExample {
+            candidates: vec![cand(1, 0.9)],
+            ideal: vec![t(0), t(1), t(2)],
+            focal: vec![t(0)],
+        }];
+        let setting = BoundsSetting { max_fn: 0.0, max_fp: 0.0, ..Default::default() };
+        let eval = setting.select(&exs);
+        // Best possible: find t1, miss t2 → F_N = 1/3.
+        assert!((eval.report.f_n - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_is_deterministic() {
+        let setting = BoundsSetting::default();
+        let b = VerificationBounds::new(0.3, 0.8);
+        let r1 = setting.evaluate(&examples(), b);
+        let r2 = setting.evaluate(&examples(), b);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn distort_keeps_delta_links() {
+        let ideal = vec![t(1), t(2), t(3), t(4)];
+        let (focal, dropped) = distort(&ideal, 2);
+        assert_eq!(focal, vec![t(1), t(2)]);
+        assert_eq!(dropped, vec![t(3), t(4)]);
+        // Δ larger than the list keeps everything.
+        let (focal, dropped) = distort(&ideal, 10);
+        assert_eq!(focal.len(), 4);
+        assert!(dropped.is_empty());
+        // Δ = 0 still keeps one link (an annotation always has a focal).
+        let (focal, _) = distort(&ideal, 0);
+        assert_eq!(focal.len(), 1);
+    }
+}

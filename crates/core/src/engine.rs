@@ -1,0 +1,640 @@
+//! The Nebula engine facade: the full Stage 0 → 3 pipeline of Figure 16.
+//!
+//! [`Nebula::process_annotation`] drives one newly inserted annotation
+//! through:
+//!
+//! 1. **Stage 0** — registering the annotation and its focal attachments
+//!    in the passive store;
+//! 2. **Stage 1** — signature maps → context adjustment → keyword queries;
+//! 3. **Stage 2** — query execution, either over the full database or
+//!    (when the ACG is stable) over the K-hop focal miniDB, with ACG
+//!    confidence adjustment;
+//! 4. **Stage 3** — routing every candidate through the β bounds:
+//!    auto-accepts become true attachments (updating the ACG and the hop
+//!    profile), the middle band lands in the pending-verification queue,
+//!    and the rest is discarded.
+//!
+//! Experts later resolve pending tasks via [`Nebula::resolve_task`] or the
+//! extended SQL command handled by [`Nebula::execute_command`].
+
+use crate::acg::{Acg, StabilityConfig};
+use crate::execution::{identify_related_tuples, translate_candidates, Candidate, ExecutionConfig};
+use crate::focal::{build_minidb, HopProfile};
+use crate::meta::NebulaMeta;
+use crate::querygen::{generate_queries, GeneratedQuery, QueryGenConfig};
+use crate::verify::{Command, Decision, VerificationBounds, VerificationQueue, VerificationTask};
+use annostore::{Annotation, AnnotationId, AnnotationStore, AttachmentTarget, StoreError};
+use relstore::{Database, TupleId};
+use textsearch::{KeywordSearch, SearchOptions, SearchStats};
+
+/// Where Stage 2 searches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SearchMode {
+    /// Search the entire database.
+    Full,
+    /// Focal-based spreading with a fixed K (the paper's *Fixed-Scope*
+    /// variant).
+    FocalSpread {
+        /// Hop radius around the focal.
+        k: usize,
+    },
+    /// Focal-based spreading with K selected from the hop profile to reach
+    /// the desired expected coverage.
+    FocalSpreadAuto {
+        /// Target fraction of candidates the radius should cover.
+        coverage: f64,
+    },
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NebulaConfig {
+    /// Stage-1 query generation (ε, α, β rewards, ablation switches).
+    pub querygen: QueryGenConfig,
+    /// Stage-2 execution (shared/isolated, ACG adjustment).
+    pub execution: ExecutionConfig,
+    /// Stage-2 search space.
+    pub search_mode: SearchMode,
+    /// Focal spreading engages only once the ACG is stable (§6.3). Set to
+    /// `false` to force it regardless (used by the experiments).
+    pub require_stable: bool,
+    /// Fallback K when `FocalSpreadAuto` has an empty profile.
+    pub default_k: usize,
+    /// Stage-3 verification bounds.
+    pub bounds: VerificationBounds,
+    /// ACG stability configuration (batch size B, threshold μ).
+    pub stability: StabilityConfig,
+}
+
+impl Default for NebulaConfig {
+    fn default() -> Self {
+        NebulaConfig {
+            querygen: QueryGenConfig::default(),
+            execution: ExecutionConfig::default(),
+            search_mode: SearchMode::Full,
+            require_stable: true,
+            default_k: 3,
+            bounds: VerificationBounds::default(),
+            stability: StabilityConfig::default(),
+        }
+    }
+}
+
+/// What happened to one processed annotation.
+#[derive(Debug, Clone)]
+pub struct ProcessOutcome {
+    /// The annotation's id in the store.
+    pub annotation: AnnotationId,
+    /// Stage-1 keyword queries.
+    pub queries: Vec<GeneratedQuery>,
+    /// Stage-2 ranked candidates (original-database tuple ids).
+    pub candidates: Vec<Candidate>,
+    /// Auto-accepted attachments `(tuple, confidence)` — already applied.
+    pub accepted: Vec<(TupleId, f64)>,
+    /// Pending verification task ids.
+    pub pending: Vec<u64>,
+    /// Auto-rejected predictions `(tuple, confidence)`.
+    pub rejected: Vec<(TupleId, f64)>,
+    /// Whether Stage 2 used the focal-spreading miniDB.
+    pub used_focal_spread: bool,
+    /// Search work counters.
+    pub stats: SearchStats,
+}
+
+/// The proactive annotation-management engine.
+#[derive(Debug)]
+pub struct Nebula {
+    config: NebulaConfig,
+    meta: NebulaMeta,
+    acg: Acg,
+    profile: HopProfile,
+    queue: VerificationQueue,
+}
+
+impl Nebula {
+    /// New engine with the given configuration and metadata repository.
+    pub fn new(config: NebulaConfig, meta: NebulaMeta) -> Self {
+        let acg = Acg::new(config.stability);
+        Nebula { config, meta, acg, profile: HopProfile::new(), queue: VerificationQueue::new() }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &NebulaConfig {
+        &self.config
+    }
+
+    /// Mutable configuration access (experiments flip switches between
+    /// runs).
+    pub fn config_mut(&mut self) -> &mut NebulaConfig {
+        &mut self.config
+    }
+
+    /// The metadata repository.
+    pub fn meta(&self) -> &NebulaMeta {
+        &self.meta
+    }
+
+    /// The Annotations Connectivity Graph.
+    pub fn acg(&self) -> &Acg {
+        &self.acg
+    }
+
+    /// Mutable ACG access (experiments pre-mature the graph).
+    pub fn acg_mut(&mut self) -> &mut Acg {
+        &mut self.acg
+    }
+
+    /// The hop profile guiding K selection.
+    pub fn profile(&self) -> &HopProfile {
+        &self.profile
+    }
+
+    /// The pending-verification queue.
+    pub fn queue(&self) -> &VerificationQueue {
+        &self.queue
+    }
+
+    /// Build the ACG at once from the store's current true attachments
+    /// (the §8.1 experimental setup).
+    pub fn bootstrap_acg(&mut self, store: &AnnotationStore) {
+        let mut acg = Acg::build_from_store(store);
+        acg.set_stable(self.acg.is_stable());
+        self.acg = acg;
+    }
+
+    /// The keyword-search engine configured with this repository's
+    /// vocabulary.
+    pub fn search_engine(&self, db: &Database) -> KeywordSearch {
+        KeywordSearch::new(SearchOptions {
+            vocab: self.meta.to_vocabulary(db),
+            ..Default::default()
+        })
+    }
+
+    /// Should Stage 2 spread from the focal instead of searching the full
+    /// database?
+    fn spreading_k(&self, focal: &[TupleId]) -> Option<usize> {
+        if focal.is_empty() {
+            return None;
+        }
+        let engaged = match self.config.search_mode {
+            SearchMode::Full => return None,
+            SearchMode::FocalSpread { .. } | SearchMode::FocalSpreadAuto { .. } => {
+                !self.config.require_stable || self.acg.is_stable()
+            }
+        };
+        if !engaged {
+            return None;
+        }
+        match self.config.search_mode {
+            SearchMode::Full => None,
+            SearchMode::FocalSpread { k } => Some(k),
+            SearchMode::FocalSpreadAuto { coverage } => {
+                Some(self.profile.select_k(coverage).unwrap_or(self.config.default_k))
+            }
+        }
+    }
+
+    /// Process one newly inserted annotation end to end.
+    ///
+    /// `focal` — the tuples the annotation was manually attached to
+    /// (Definition 3.5). Returns the outcome; auto-accepted attachments
+    /// are already applied to `store`, the ACG, and the hop profile.
+    pub fn process_annotation(
+        &mut self,
+        db: &Database,
+        store: &mut AnnotationStore,
+        annotation: &Annotation,
+        focal: &[TupleId],
+    ) -> Result<ProcessOutcome, StoreError> {
+        // Stage 0: register the annotation and its focal attachments.
+        let aid = store.add_annotation(annotation.clone());
+        for &f in focal {
+            store.attach(aid, AttachmentTarget::tuple(f))?;
+            self.acg.add_attachment(store, aid, f);
+        }
+
+        // Stage 1: annotation text → keyword queries.
+        let queries = generate_queries(db, &self.meta, &annotation.text, &self.config.querygen);
+
+        // Stage 2: execute, full or focal-spreading.
+        let engine = self.search_engine(db);
+        let (candidates, stats, used_focal_spread) = match self.spreading_k(focal) {
+            Some(k) => {
+                let (mini, back) = build_minidb(db, &self.acg, focal, k);
+                let mini_engine = self.search_engine(&mini);
+                // Focal ids in miniDB space for exclusion/ACG are the
+                // *translated* ones; simplest is to translate results back
+                // first and exclude/adjust in original space.
+                let (cands, stats) = identify_related_tuples(
+                    &mini,
+                    &mini_engine,
+                    &queries,
+                    &[],
+                    None,
+                    &ExecutionConfig { acg_adjustment: false, ..self.config.execution },
+                );
+                let mut cands = translate_candidates(cands, &back);
+                cands.retain(|c| !focal.contains(&c.tuple));
+                if self.config.execution.acg_adjustment {
+                    apply_acg_adjustment(&mut cands, &self.acg, focal);
+                }
+                (cands, stats, true)
+            }
+            None => {
+                let (cands, stats) = identify_related_tuples(
+                    db,
+                    &engine,
+                    &queries,
+                    focal,
+                    Some(&self.acg),
+                    &self.config.execution,
+                );
+                (cands, stats, false)
+            }
+        };
+
+        // Stage 3: route candidates through the bounds.
+        let mut accepted = Vec::new();
+        let mut pending = Vec::new();
+        let mut rejected = Vec::new();
+        for cand in &candidates {
+            match self.config.bounds.decide(cand.confidence) {
+                Decision::AutoAccept => {
+                    self.apply_accept(store, aid, cand.tuple, focal)?;
+                    accepted.push((cand.tuple, cand.confidence));
+                }
+                Decision::Pending => {
+                    store.attach_predicted(aid, cand.tuple, cand.confidence)?;
+                    let vid = self.queue.next_vid();
+                    self.queue.enqueue(VerificationTask {
+                        vid,
+                        annotation: aid,
+                        tuple: cand.tuple,
+                        confidence: cand.confidence,
+                        evidence: cand.evidence.clone(),
+                    });
+                    pending.push(vid);
+                }
+                Decision::AutoReject => {
+                    rejected.push((cand.tuple, cand.confidence));
+                }
+            }
+        }
+
+        // One more annotation processed — advance the stability batch.
+        self.acg.record_annotation();
+
+        Ok(ProcessOutcome {
+            annotation: aid,
+            queries,
+            candidates,
+            accepted,
+            pending,
+            rejected,
+            used_focal_spread,
+            stats,
+        })
+    }
+
+    /// Accept one predicted attachment: promote the edge, update the ACG,
+    /// and record the hop distance in the profile **before** the new edges
+    /// are added (§6.3's profile-update rule).
+    fn apply_accept(
+        &mut self,
+        store: &mut AnnotationStore,
+        aid: AnnotationId,
+        tuple: TupleId,
+        focal: &[TupleId],
+    ) -> Result<(), StoreError> {
+        if !focal.is_empty() {
+            if let Some(hops) = self.acg.shortest_hops(tuple, focal, 16) {
+                self.profile.record(hops);
+            }
+        }
+        store.attach(aid, AttachmentTarget::tuple(tuple))?;
+        self.acg.add_attachment(store, aid, tuple);
+        Ok(())
+    }
+
+    /// Expert resolution of a pending task. `accept == true` verifies the
+    /// attachment (it becomes true, with ACG and profile updates exactly
+    /// like an auto-accept); `false` rejects and discards it.
+    pub fn resolve_task(
+        &mut self,
+        store: &mut AnnotationStore,
+        vid: u64,
+        accept: bool,
+    ) -> Result<VerificationTask, StoreError> {
+        let Some(task) = self.queue.take(vid) else {
+            return Err(StoreError::InvalidWeight(format!("no pending task {vid}")));
+        };
+        if accept {
+            let focal = store.focal(task.annotation);
+            self.apply_accept(store, task.annotation, task.tuple, &focal)?;
+        } else {
+            store.discard_prediction(task.annotation, task.tuple)?;
+        }
+        Ok(task)
+    }
+
+    /// Tuple-deletion hook: call after `db.delete(tid)` to keep the
+    /// annotation layer consistent — removes every attachment to the
+    /// tuple, drops it from the ACG, and discards pending verification
+    /// tasks that target it. Returns the annotations that lost a true
+    /// attachment.
+    pub fn on_tuple_deleted(
+        &mut self,
+        store: &mut AnnotationStore,
+        tid: TupleId,
+    ) -> Vec<AnnotationId> {
+        let stale: Vec<u64> = self
+            .queue
+            .iter()
+            .filter(|task| task.tuple == tid)
+            .map(|task| task.vid)
+            .collect();
+        for vid in stale {
+            self.queue.take(vid);
+        }
+        self.acg.remove_tuple(tid);
+        store.on_tuple_deleted(tid)
+    }
+
+    /// Execute the extended SQL command
+    /// `[Verify | Reject] Attachment <vid>;`.
+    pub fn execute_command(
+        &mut self,
+        store: &mut AnnotationStore,
+        input: &str,
+    ) -> Result<VerificationTask, StoreError> {
+        let command = crate::verify::parse_command(input)
+            .map_err(|e| StoreError::InvalidWeight(e.to_string()))?;
+        match command {
+            Command::Verify(vid) => self.resolve_task(store, vid, true),
+            Command::Reject(vid) => self.resolve_task(store, vid, false),
+        }
+    }
+}
+
+/// §6.2 reward applied in original-id space (used by the focal-spreading
+/// path after translation).
+fn apply_acg_adjustment(candidates: &mut [Candidate], acg: &Acg, focal: &[TupleId]) {
+    let mut keyed: Vec<(f64, Candidate)> = candidates
+        .iter()
+        .cloned()
+        .map(|mut c| {
+            for f in focal {
+                if let Some(w) = acg.edge_weight(c.tuple, *f) {
+                    c.confidence += w * c.confidence;
+                }
+            }
+            let raw = c.confidence;
+            // Capped, not max-normalized — see `identify_related_tuples`.
+            c.confidence = c.confidence.min(1.0);
+            (raw, c)
+        })
+        .collect();
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.tuple.cmp(&b.1.tuple)));
+    for (slot, (_, c)) in candidates.iter_mut().zip(keyed) {
+        *slot = c;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::ConceptRef;
+    use crate::patterns::Pattern;
+    use relstore::{DataType, TableSchema, Value};
+
+    fn setup() -> (Database, NebulaMeta, Vec<TupleId>) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("gene")
+                .column("gid", DataType::Text)
+                .column("name", DataType::Text)
+                .primary_key("gid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut ids = Vec::new();
+        for (gid, name) in
+            [("JW0013", "grpC"), ("JW0014", "groP"), ("JW0019", "yaaB"), ("JW0012", "yaaI")]
+        {
+            ids.push(db.insert("gene", vec![Value::text(gid), Value::text(name)]).unwrap());
+        }
+        let mut meta = NebulaMeta::new();
+        meta.add_concept(ConceptRef {
+            concept: "Gene".into(),
+            table: "gene".into(),
+            referenced_by: vec![vec!["gid".into()], vec!["name".into()]],
+        });
+        meta.set_pattern("gene", "gid", Pattern::compile("JW[0-9]{4}").unwrap());
+        meta.set_pattern("gene", "name", Pattern::compile("[a-z]{3}[A-Z]").unwrap());
+        (db, meta, ids)
+    }
+
+    fn config_accept_all() -> NebulaConfig {
+        NebulaConfig {
+            bounds: VerificationBounds::new(0.0, 0.0),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_discovers_and_accepts() {
+        let (db, meta, ids) = setup();
+        let mut store = AnnotationStore::new();
+        let mut nebula = Nebula::new(config_accept_all(), meta);
+        let ann = Annotation::new("this gene correlates with JW0014 and grpC").by("Alice");
+        let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[2]]).unwrap();
+
+        assert!(!out.queries.is_empty());
+        let accepted: Vec<TupleId> = out.accepted.iter().map(|(t, _)| *t).collect();
+        assert!(accepted.contains(&ids[0]));
+        assert!(accepted.contains(&ids[1]));
+        // Attachments applied to the store.
+        assert!(store.focal(out.annotation).contains(&ids[0]));
+        assert!(store.focal(out.annotation).contains(&ids[2]), "focal kept");
+        // ACG gained edges between focal and accepted tuples.
+        assert!(nebula.acg().edge_weight(ids[2], ids[1]).is_some());
+        assert!(!out.used_focal_spread);
+    }
+
+    #[test]
+    fn pending_band_queues_tasks_with_evidence() {
+        let (db, meta, ids) = setup();
+        let mut store = AnnotationStore::new();
+        let config = NebulaConfig {
+            bounds: VerificationBounds::new(0.0, 1.0), // everything pending
+            ..Default::default()
+        };
+        let mut nebula = Nebula::new(config, meta);
+        let ann = Annotation::new("gene JW0014 is notable");
+        let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[0]]).unwrap();
+        assert_eq!(out.accepted.len(), 0);
+        assert_eq!(out.pending.len(), 1);
+        let task = nebula.queue().get(out.pending[0]).unwrap();
+        assert_eq!(task.tuple, ids[1]);
+        assert!(!task.evidence.is_empty());
+        // The predicted edge exists but is not true yet.
+        let edge = store.edge(out.annotation, ids[1]).unwrap();
+        assert_eq!(edge.kind, annostore::EdgeKind::Predicted);
+    }
+
+    #[test]
+    fn resolve_task_accept_and_reject() {
+        let (db, meta, ids) = setup();
+        let mut store = AnnotationStore::new();
+        let config = NebulaConfig {
+            bounds: VerificationBounds::new(0.0, 1.0),
+            ..Default::default()
+        };
+        let mut nebula = Nebula::new(config, meta);
+        let ann = Annotation::new("gene JW0014 and gene yaaI are notable");
+        let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[0]]).unwrap();
+        assert_eq!(out.pending.len(), 2);
+
+        let t1 = nebula.resolve_task(&mut store, out.pending[0], true).unwrap();
+        assert!(store.focal(out.annotation).contains(&t1.tuple));
+        let t2 = nebula.resolve_task(&mut store, out.pending[1], false).unwrap();
+        assert!(store.edge(out.annotation, t2.tuple).is_none());
+        // Resolving again fails.
+        assert!(nebula.resolve_task(&mut store, out.pending[0], true).is_err());
+    }
+
+    #[test]
+    fn execute_command_verifies() {
+        let (db, meta, ids) = setup();
+        let mut store = AnnotationStore::new();
+        let config = NebulaConfig {
+            bounds: VerificationBounds::new(0.0, 1.0),
+            ..Default::default()
+        };
+        let mut nebula = Nebula::new(config, meta);
+        let ann = Annotation::new("gene JW0014");
+        let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[0]]).unwrap();
+        let vid = out.pending[0];
+        let task = nebula
+            .execute_command(&mut store, &format!("Verify Attachment {vid};"))
+            .unwrap();
+        assert!(store.focal(out.annotation).contains(&task.tuple));
+        assert!(nebula.execute_command(&mut store, "garbage").is_err());
+    }
+
+    #[test]
+    fn focal_spread_requires_stability() {
+        let (db, meta, ids) = setup();
+        let mut store = AnnotationStore::new();
+        let config = NebulaConfig {
+            search_mode: SearchMode::FocalSpread { k: 2 },
+            require_stable: true,
+            bounds: VerificationBounds::new(0.0, 0.0),
+            ..Default::default()
+        };
+        let mut nebula = Nebula::new(config, meta);
+        let ann = Annotation::new("gene JW0014");
+        let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[0]]).unwrap();
+        assert!(!out.used_focal_spread, "ACG not stable yet → full search");
+
+        nebula.acg_mut().set_stable(true);
+        let ann2 = Annotation::new("gene grpC");
+        let out2 = nebula.process_annotation(&db, &mut store, &ann2, &[ids[1]]).unwrap();
+        assert!(out2.used_focal_spread);
+    }
+
+    #[test]
+    fn focal_spread_finds_neighbors_only() {
+        let (db, meta, ids) = setup();
+        let mut store = AnnotationStore::new();
+        // Pre-annotate: link ids[0] and ids[1] so the ACG has an edge.
+        let seed = store.add_annotation(Annotation::new("seed"));
+        store.attach(seed, AttachmentTarget::tuple(ids[0])).unwrap();
+        store.attach(seed, AttachmentTarget::tuple(ids[1])).unwrap();
+
+        let config = NebulaConfig {
+            search_mode: SearchMode::FocalSpread { k: 1 },
+            require_stable: false,
+            bounds: VerificationBounds::new(0.0, 0.0),
+            ..Default::default()
+        };
+        let mut nebula = Nebula::new(config, meta);
+        nebula.bootstrap_acg(&store);
+
+        // References JW0014 (a neighbor — found) and yaaI (3 hops away —
+        // outside the miniDB, missed).
+        let ann = Annotation::new("gene JW0014 and gene yaaI");
+        let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[0]]).unwrap();
+        assert!(out.used_focal_spread);
+        let found: Vec<TupleId> = out.candidates.iter().map(|c| c.tuple).collect();
+        assert!(found.contains(&ids[1]));
+        assert!(!found.contains(&ids[3]), "outside the 1-hop miniDB");
+    }
+
+    #[test]
+    fn auto_k_uses_profile() {
+        let (db, meta, ids) = setup();
+        let mut store = AnnotationStore::new();
+        let config = NebulaConfig {
+            search_mode: SearchMode::FocalSpreadAuto { coverage: 0.9 },
+            require_stable: false,
+            bounds: VerificationBounds::new(0.0, 0.0),
+            ..Default::default()
+        };
+        let mut nebula = Nebula::new(config, meta);
+        nebula.acg_mut().set_stable(true);
+        // Empty profile → default_k is used; the call still works.
+        let ann = Annotation::new("gene JW0014");
+        let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[0]]).unwrap();
+        assert!(out.used_focal_spread);
+    }
+
+    #[test]
+    fn tuple_deletion_cleans_all_layers() {
+        let (db, meta, ids) = setup();
+        let mut store = AnnotationStore::new();
+        let config = NebulaConfig {
+            bounds: VerificationBounds::new(0.0, 1.0), // everything pending
+            ..Default::default()
+        };
+        let mut nebula = Nebula::new(config, meta);
+        let ann = Annotation::new("gene JW0014 and gene yaaI");
+        let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[0]]).unwrap();
+        assert!(!out.pending.is_empty());
+        let victim = nebula.queue().get(out.pending[0]).unwrap().tuple;
+
+        let affected = nebula.on_tuple_deleted(&mut store, victim);
+        // Pending tasks targeting the tuple are gone.
+        assert!(nebula.queue().iter().all(|t| t.tuple != victim));
+        // Predicted edge gone from the store.
+        assert!(store.edge(out.annotation, victim).is_none());
+        // ACG no longer knows the tuple.
+        assert_eq!(nebula.acg().neighbors(victim).count(), 0);
+        // The victim carried only a predicted edge, so no annotation lost
+        // a *true* attachment.
+        assert!(affected.is_empty());
+
+        // Deleting a focal tuple reports the affected annotation.
+        let affected = nebula.on_tuple_deleted(&mut store, ids[0]);
+        assert_eq!(affected, vec![out.annotation]);
+    }
+
+    #[test]
+    fn accepted_attachments_update_profile() {
+        let (db, meta, ids) = setup();
+        let mut store = AnnotationStore::new();
+        // Seed ACG edge: ids[0] — ids[1].
+        let seed = store.add_annotation(Annotation::new("seed"));
+        store.attach(seed, AttachmentTarget::tuple(ids[0])).unwrap();
+        store.attach(seed, AttachmentTarget::tuple(ids[1])).unwrap();
+        let mut nebula = Nebula::new(config_accept_all(), meta);
+        nebula.bootstrap_acg(&store);
+
+        let ann = Annotation::new("gene JW0014"); // 1 hop from focal
+        let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[0]]).unwrap();
+        assert!(out.accepted.iter().any(|(t, _)| *t == ids[1]));
+        assert_eq!(nebula.profile().bucket(1), 1, "1-hop discovery recorded");
+    }
+}

@@ -1,0 +1,254 @@
+//! Learning ConceptRefs from the available annotations (the extension the
+//! paper's §5.1 footnote 2 sketches and leaves out of scope).
+//!
+//! The paper assumes domain experts populate the `ConceptRefs` table. This
+//! module derives it automatically: for every annotation already attached
+//! to tuples, it checks which of the attached tuples' column values appear
+//! verbatim in the annotation's text. A column that is frequently used to
+//! reference its table's tuples inside annotation text is, by definition,
+//! a *referencing column* of that concept.
+
+use crate::meta::{ConceptRef, NebulaMeta};
+use annostore::AnnotationStore;
+use relstore::{Database, Value};
+use std::collections::HashMap;
+
+/// One learned referencing column with its evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnedColumn {
+    /// Table name.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Number of (annotation, attached tuple) pairs where the tuple's
+    /// value in this column appeared in the annotation text.
+    pub support: usize,
+    /// Fraction of examined pairs (for this table) the column covered.
+    pub coverage: f64,
+}
+
+/// Configuration of the learner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnConfig {
+    /// Minimum absolute support for a column to be reported.
+    pub min_support: usize,
+    /// Minimum coverage (support / pairs involving the table).
+    pub min_coverage: f64,
+    /// Maximum annotations to examine (0 = all).
+    pub sample: usize,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        LearnConfig { min_support: 3, min_coverage: 0.05, sample: 0 }
+    }
+}
+
+/// Scan the store's true attachments and learn which columns reference
+/// each table's tuples inside annotation text.
+pub fn learn_referencing_columns(
+    db: &Database,
+    store: &AnnotationStore,
+    config: &LearnConfig,
+) -> Vec<LearnedColumn> {
+    // (table, column) -> support; table -> pairs examined.
+    let mut support: HashMap<(String, String), usize> = HashMap::new();
+    let mut pairs_per_table: HashMap<String, usize> = HashMap::new();
+
+    let annotations: Box<dyn Iterator<Item = _>> = if config.sample > 0 {
+        Box::new(store.iter_annotations().take(config.sample))
+    } else {
+        Box::new(store.iter_annotations())
+    };
+    for (aid, annotation) in annotations {
+        let text = &annotation.text;
+        for tid in store.focal(aid) {
+            let Some(tuple) = db.get(tid) else { continue };
+            let table_name = tuple.schema.name.clone();
+            *pairs_per_table.entry(table_name.clone()).or_insert(0) += 1;
+            for ((_, def), value) in tuple.schema.iter_columns().zip(&tuple.values) {
+                let Value::Text(v) = value else { continue };
+                // Only identifier-sized values count as references: long
+                // free-text cells trivially overlap the annotation.
+                if v.len() < 2 || v.len() > 32 {
+                    continue;
+                }
+                if text.contains(v.as_str()) {
+                    *support
+                        .entry((table_name.clone(), def.name.clone()))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<LearnedColumn> = support
+        .into_iter()
+        .filter_map(|((table, column), s)| {
+            let pairs = pairs_per_table.get(&table).copied().unwrap_or(0);
+            if pairs == 0 {
+                return None;
+            }
+            let coverage = s as f64 / pairs as f64;
+            (s >= config.min_support && coverage >= config.min_coverage).then_some(
+                LearnedColumn { table, column, support: s, coverage },
+            )
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.table
+            .cmp(&b.table)
+            .then(b.support.cmp(&a.support))
+            .then(a.column.cmp(&b.column))
+    });
+    out
+}
+
+/// Turn learned columns into `ConceptRefs` rows (one concept per table,
+/// each qualifying column an alternative single-column reference) and add
+/// them to a fresh NebulaMeta. Returns the meta plus the learned evidence.
+pub fn learn_concept_refs(
+    db: &Database,
+    store: &AnnotationStore,
+    config: &LearnConfig,
+) -> (NebulaMeta, Vec<LearnedColumn>) {
+    let learned = learn_referencing_columns(db, store, config);
+    let mut meta = NebulaMeta::new();
+    let mut by_table: HashMap<&str, Vec<&LearnedColumn>> = HashMap::new();
+    for lc in &learned {
+        by_table.entry(lc.table.as_str()).or_default().push(lc);
+    }
+    let mut tables: Vec<&str> = by_table.keys().copied().collect();
+    tables.sort();
+    for table in tables {
+        let cols = &by_table[table];
+        meta.add_concept(ConceptRef {
+            concept: capitalize(table),
+            table: table.to_string(),
+            referenced_by: cols.iter().map(|lc| vec![lc.column.clone()]).collect(),
+        });
+    }
+    (meta, learned)
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annostore::{Annotation, AttachmentTarget};
+    use relstore::{DataType, TableSchema};
+
+    fn setup() -> (Database, AnnotationStore) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("gene")
+                .column("gid", DataType::Text)
+                .column("name", DataType::Text)
+                .column("family", DataType::Text)
+                .primary_key("gid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            ids.push(
+                db.insert(
+                    "gene",
+                    vec![
+                        Value::text(format!("JW{i:04}")),
+                        Value::text(format!("gn{i}X")),
+                        Value::text("F1"),
+                    ],
+                )
+                .unwrap(),
+            );
+        }
+        let mut store = AnnotationStore::new();
+        // Annotations reference their genes by id (always) and by name
+        // (half the time); the family value never appears.
+        for (i, id) in ids.iter().enumerate() {
+            let text = if i % 2 == 0 {
+                format!("study of gene JW{i:04} aka gn{i}X")
+            } else {
+                format!("study of gene JW{i:04}")
+            };
+            let a = store.add_annotation(Annotation::new(text));
+            store.attach(a, AttachmentTarget::tuple(*id)).unwrap();
+        }
+        (db, store)
+    }
+
+    #[test]
+    fn learns_id_and_name_not_family() {
+        let (db, store) = setup();
+        let learned =
+            learn_referencing_columns(&db, &store, &LearnConfig { min_support: 2, ..Default::default() });
+        let cols: Vec<(&str, &str)> = learned
+            .iter()
+            .map(|lc| (lc.table.as_str(), lc.column.as_str()))
+            .collect();
+        assert!(cols.contains(&("gene", "gid")));
+        assert!(cols.contains(&("gene", "name")));
+        assert!(!cols.contains(&("gene", "family")), "short `F1` is below min length");
+        // gid support (8) exceeds name support (4); ordering reflects it.
+        let gid = learned.iter().find(|l| l.column == "gid").unwrap();
+        let name = learned.iter().find(|l| l.column == "name").unwrap();
+        assert_eq!(gid.support, 8);
+        assert_eq!(name.support, 4);
+        assert!((gid.coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_threshold_filters() {
+        let (db, store) = setup();
+        let learned = learn_referencing_columns(
+            &db,
+            &store,
+            &LearnConfig { min_support: 5, ..Default::default() },
+        );
+        assert!(learned.iter().all(|l| l.support >= 5));
+        assert!(learned.iter().any(|l| l.column == "gid"));
+        assert!(!learned.iter().any(|l| l.column == "name"));
+    }
+
+    #[test]
+    fn learned_meta_drives_discovery() {
+        let (db, store) = setup();
+        let (meta, learned) =
+            learn_concept_refs(&db, &store, &LearnConfig { min_support: 2, ..Default::default() });
+        assert!(!learned.is_empty());
+        assert_eq!(meta.concepts().len(), 1);
+        assert_eq!(meta.concepts()[0].concept, "Gene");
+        // The learned meta resolves target columns against the db.
+        assert!(!meta.target_columns(&db).is_empty());
+    }
+
+    #[test]
+    fn empty_store_learns_nothing() {
+        let (db, _) = setup();
+        let empty = AnnotationStore::new();
+        let (meta, learned) = learn_concept_refs(&db, &empty, &LearnConfig::default());
+        assert!(learned.is_empty());
+        assert!(meta.concepts().is_empty());
+    }
+
+    #[test]
+    fn sampling_limits_work() {
+        let (db, store) = setup();
+        let learned = learn_referencing_columns(
+            &db,
+            &store,
+            &LearnConfig { min_support: 1, min_coverage: 0.0, sample: 2 },
+        );
+        let gid = learned.iter().find(|l| l.column == "gid").unwrap();
+        assert!(gid.support <= 2);
+    }
+}

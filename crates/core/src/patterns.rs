@@ -1,0 +1,408 @@
+//! A small syntactic-pattern engine.
+//!
+//! NebulaMeta stores *syntactic descriptions* of column values — e.g. the
+//! paper's `Gene.ID` values conform to `JW[0-9]{4}` and `Gene.Name` values
+//! to `[a-z]{3}[A-Z]` (§5.1, item 4). This module implements exactly the
+//! pattern language those descriptions need, from scratch:
+//!
+//! - literal characters (case-sensitive),
+//! - character classes `[a-z0-9_]` with ranges, sets, and negation `[^…]`,
+//! - the wildcard `.`,
+//! - counted repetition `{n}` / `{n,m}` / `{n,}`,
+//! - the quantifiers `?`, `*`, `+`.
+//!
+//! Patterns are anchored: [`Pattern::matches`] tests the *whole* string.
+//! Matching is backtracking over a compiled element list; pattern sizes in
+//! NebulaMeta are tiny, so worst-case behaviour is irrelevant in practice,
+//! but repetition counts are capped defensively anyway.
+
+use std::fmt;
+
+/// Maximum allowed repetition bound — defensive cap against pathological
+/// patterns.
+const MAX_REPEAT: u32 = 1024;
+
+/// Errors from pattern compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// Unbalanced or empty `[...]` class.
+    BadClass(String),
+    /// Malformed `{...}` repetition.
+    BadRepeat(String),
+    /// A quantifier with nothing to repeat.
+    DanglingQuantifier(usize),
+    /// Repetition bounds exceed the defensive cap or are inverted.
+    BadBounds(u32, u32),
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::BadClass(s) => write!(f, "malformed character class `{s}`"),
+            PatternError::BadRepeat(s) => write!(f, "malformed repetition `{s}`"),
+            PatternError::DanglingQuantifier(i) => {
+                write!(f, "quantifier at byte {i} has nothing to repeat")
+            }
+            PatternError::BadBounds(lo, hi) => write!(f, "bad repetition bounds {{{lo},{hi}}}"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A single-character matcher.
+#[derive(Debug, Clone, PartialEq)]
+enum CharClass {
+    /// One literal character.
+    Literal(char),
+    /// Any character.
+    Any,
+    /// A set of ranges/characters, possibly negated.
+    Set { negated: bool, singles: Vec<char>, ranges: Vec<(char, char)> },
+}
+
+impl CharClass {
+    fn matches(&self, c: char) -> bool {
+        match self {
+            CharClass::Literal(l) => *l == c,
+            CharClass::Any => true,
+            CharClass::Set { negated, singles, ranges } => {
+                let inside = singles.contains(&c)
+                    || ranges.iter().any(|(lo, hi)| *lo <= c && c <= *hi);
+                inside != *negated
+            }
+        }
+    }
+}
+
+/// One compiled element: a character class with repetition bounds.
+#[derive(Debug, Clone, PartialEq)]
+struct Element {
+    class: CharClass,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled, anchored pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    source: String,
+    elements: Vec<Element>,
+}
+
+impl Pattern {
+    /// Compile a pattern string.
+    pub fn compile(source: &str) -> Result<Pattern, PatternError> {
+        let chars: Vec<char> = source.chars().collect();
+        let mut elements: Vec<Element> = Vec::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            match c {
+                '[' => {
+                    let (class, next) = parse_class(&chars, i)?;
+                    elements.push(Element { class, min: 1, max: 1 });
+                    i = next;
+                }
+                '.' => {
+                    elements.push(Element { class: CharClass::Any, min: 1, max: 1 });
+                    i += 1;
+                }
+                '{' => {
+                    let (min, max, next) = parse_repeat(&chars, i)?;
+                    let last = elements.last_mut().ok_or(PatternError::DanglingQuantifier(i))?;
+                    if last.min != 1 || last.max != 1 {
+                        return Err(PatternError::DanglingQuantifier(i));
+                    }
+                    last.min = min;
+                    last.max = max;
+                    i = next;
+                }
+                '?' | '*' | '+' => {
+                    let last = elements.last_mut().ok_or(PatternError::DanglingQuantifier(i))?;
+                    if last.min != 1 || last.max != 1 {
+                        return Err(PatternError::DanglingQuantifier(i));
+                    }
+                    match c {
+                        '?' => (last.min, last.max) = (0, 1),
+                        '*' => (last.min, last.max) = (0, MAX_REPEAT),
+                        '+' => (last.min, last.max) = (1, MAX_REPEAT),
+                        _ => unreachable!(),
+                    }
+                    i += 1;
+                }
+                '\\' => {
+                    let escaped =
+                        *chars.get(i + 1).ok_or(PatternError::BadClass("\\".into()))?;
+                    elements.push(Element {
+                        class: CharClass::Literal(escaped),
+                        min: 1,
+                        max: 1,
+                    });
+                    i += 2;
+                }
+                other => {
+                    elements.push(Element { class: CharClass::Literal(other), min: 1, max: 1 });
+                    i += 1;
+                }
+            }
+        }
+        Ok(Pattern { source: source.to_string(), elements })
+    }
+
+    /// The original pattern string.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Does the whole string match?
+    pub fn matches(&self, input: &str) -> bool {
+        let chars: Vec<char> = input.chars().collect();
+        match_here(&self.elements, &chars, 0)
+    }
+}
+
+/// Backtracking matcher: does `elements` consume exactly `chars[pos..]`?
+fn match_here(elements: &[Element], chars: &[char], pos: usize) -> bool {
+    let Some((elem, rest)) = elements.split_first() else {
+        return pos == chars.len();
+    };
+    // Consume the mandatory minimum greedily.
+    let mut p = pos;
+    for _ in 0..elem.min {
+        match chars.get(p) {
+            Some(&c) if elem.class.matches(c) => p += 1,
+            _ => return false,
+        }
+    }
+    // Try the optional extra repetitions, longest first (greedy with
+    // backtracking).
+    let mut extras = Vec::new();
+    let mut q = p;
+    while (extras.len() as u32) < elem.max - elem.min {
+        match chars.get(q) {
+            Some(&c) if elem.class.matches(c) => {
+                q += 1;
+                extras.push(q);
+            }
+            _ => break,
+        }
+    }
+    for &end in extras.iter().rev() {
+        if match_here(rest, chars, end) {
+            return true;
+        }
+    }
+    match_here(rest, chars, p)
+}
+
+/// Parse `[...]` starting at `chars[start] == '['`; returns the class and
+/// the index just past `]`.
+fn parse_class(chars: &[char], start: usize) -> Result<(CharClass, usize), PatternError> {
+    let mut i = start + 1;
+    let mut negated = false;
+    if chars.get(i) == Some(&'^') {
+        negated = true;
+        i += 1;
+    }
+    let mut singles = Vec::new();
+    let mut ranges = Vec::new();
+    let mut any = false;
+    while let Some(&c) = chars.get(i) {
+        if c == ']' {
+            if !any {
+                return Err(PatternError::BadClass(collect(chars, start, i + 1)));
+            }
+            return Ok((CharClass::Set { negated, singles, ranges }, i + 1));
+        }
+        let lo = if c == '\\' {
+            i += 1;
+            *chars.get(i).ok_or_else(|| PatternError::BadClass(collect(chars, start, i)))?
+        } else {
+            c
+        };
+        // Range `a-z`?
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let hi = chars[i + 2];
+            if hi < lo {
+                return Err(PatternError::BadClass(collect(chars, start, i + 3)));
+            }
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            singles.push(lo);
+            i += 1;
+        }
+        any = true;
+    }
+    Err(PatternError::BadClass(collect(chars, start, chars.len())))
+}
+
+/// Parse `{n}` / `{n,}` / `{n,m}` starting at `chars[start] == '{'`.
+fn parse_repeat(chars: &[char], start: usize) -> Result<(u32, u32, usize), PatternError> {
+    let close = chars[start..]
+        .iter()
+        .position(|&c| c == '}')
+        .map(|off| start + off)
+        .ok_or_else(|| PatternError::BadRepeat(collect(chars, start, chars.len())))?;
+    let body: String = chars[start + 1..close].iter().collect();
+    let bad = || PatternError::BadRepeat(collect(chars, start, close + 1));
+    let (min, max) = match body.split_once(',') {
+        None => {
+            let n: u32 = body.trim().parse().map_err(|_| bad())?;
+            (n, n)
+        }
+        Some((lo, hi)) => {
+            let min: u32 = lo.trim().parse().map_err(|_| bad())?;
+            let max: u32 = if hi.trim().is_empty() {
+                MAX_REPEAT
+            } else {
+                hi.trim().parse().map_err(|_| bad())?
+            };
+            (min, max)
+        }
+    };
+    if max < min || max > MAX_REPEAT {
+        return Err(PatternError::BadBounds(min, max));
+    }
+    Ok((min, max, close + 1))
+}
+
+fn collect(chars: &[char], from: usize, to: usize) -> String {
+    chars[from..to.min(chars.len())].iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gene_id_pattern_from_paper() {
+        // Values in Gene.ID conform to `JW[0-9]{4}` (paper §5.1).
+        let p = Pattern::compile("JW[0-9]{4}").unwrap();
+        assert!(p.matches("JW0013"));
+        assert!(p.matches("JW9999"));
+        assert!(!p.matches("JW001"));
+        assert!(!p.matches("JW00133"));
+        assert!(!p.matches("jw0013"), "literals are case-sensitive");
+        assert!(!p.matches("XW0013"));
+    }
+
+    #[test]
+    fn gene_name_pattern_from_paper() {
+        // Gene.Name values follow `[a-z]{3}[A-Z]` (paper §5.1).
+        let p = Pattern::compile("[a-z]{3}[A-Z]").unwrap();
+        assert!(p.matches("grpC"));
+        assert!(p.matches("yaaB"));
+        assert!(!p.matches("Gene"));
+        assert!(!p.matches("grp"));
+        assert!(!p.matches("grpCC"));
+    }
+
+    #[test]
+    fn literals_and_escape() {
+        let p = Pattern::compile(r"a\.b").unwrap();
+        assert!(p.matches("a.b"));
+        assert!(!p.matches("axb"));
+        let q = Pattern::compile("a.b").unwrap();
+        assert!(q.matches("axb"), "unescaped dot is wildcard");
+    }
+
+    #[test]
+    fn quantifiers() {
+        let star = Pattern::compile("ab*c").unwrap();
+        assert!(star.matches("ac"));
+        assert!(star.matches("abbbbc"));
+        let plus = Pattern::compile("ab+c").unwrap();
+        assert!(!plus.matches("ac"));
+        assert!(plus.matches("abc"));
+        let opt = Pattern::compile("ab?c").unwrap();
+        assert!(opt.matches("ac"));
+        assert!(opt.matches("abc"));
+        assert!(!opt.matches("abbc"));
+    }
+
+    #[test]
+    fn counted_ranges() {
+        let p = Pattern::compile("[0-9]{2,3}").unwrap();
+        assert!(!p.matches("1"));
+        assert!(p.matches("12"));
+        assert!(p.matches("123"));
+        assert!(!p.matches("1234"));
+        let open = Pattern::compile("[0-9]{2,}").unwrap();
+        assert!(open.matches("123456"));
+        assert!(!open.matches("1"));
+    }
+
+    #[test]
+    fn negated_class_and_sets() {
+        let p = Pattern::compile("[^0-9]+").unwrap();
+        assert!(p.matches("abc"));
+        assert!(!p.matches("a1c"));
+        let set = Pattern::compile("[abx-z]{2}").unwrap();
+        assert!(set.matches("ab"));
+        assert!(set.matches("xz"));
+        assert!(!set.matches("cd"));
+    }
+
+    #[test]
+    fn class_with_literal_dash_at_end() {
+        let p = Pattern::compile("[a-]").unwrap();
+        assert!(p.matches("a"));
+        assert!(p.matches("-"));
+        assert!(!p.matches("b"));
+    }
+
+    #[test]
+    fn anchored_matching() {
+        let p = Pattern::compile("[0-9]+").unwrap();
+        assert!(!p.matches("a123"), "must match the whole string");
+        assert!(!p.matches("123a"));
+        assert!(!p.matches(""));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_only() {
+        let p = Pattern::compile("").unwrap();
+        assert!(p.matches(""));
+        assert!(!p.matches("a"));
+    }
+
+    #[test]
+    fn backtracking_needed_cases() {
+        // `.*c` must backtrack off trailing characters.
+        let p = Pattern::compile(".*c").unwrap();
+        assert!(p.matches("abcabc"));
+        assert!(!p.matches("abcab"));
+        // Adjacent overlapping classes.
+        let q = Pattern::compile("[a-z]*z[a-z]*").unwrap();
+        assert!(q.matches("abzcd"));
+        assert!(q.matches("z"));
+        assert!(!q.matches("abcd"));
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(matches!(Pattern::compile("[abc"), Err(PatternError::BadClass(_))));
+        assert!(matches!(Pattern::compile("[]"), Err(PatternError::BadClass(_))));
+        assert!(matches!(Pattern::compile("a{2"), Err(PatternError::BadRepeat(_))));
+        assert!(matches!(Pattern::compile("a{x}"), Err(PatternError::BadRepeat(_))));
+        assert!(matches!(Pattern::compile("{3}"), Err(PatternError::DanglingQuantifier(_))));
+        assert!(matches!(Pattern::compile("*a"), Err(PatternError::DanglingQuantifier(_))));
+        assert!(matches!(Pattern::compile("a{5,2}"), Err(PatternError::BadBounds(5, 2))));
+        assert!(matches!(Pattern::compile("a+*"), Err(PatternError::DanglingQuantifier(_))));
+    }
+
+    #[test]
+    fn unicode_input() {
+        let p = Pattern::compile("é+").unwrap();
+        assert!(p.matches("ééé"));
+        assert!(!p.matches("e"));
+    }
+
+    #[test]
+    fn source_is_preserved() {
+        let p = Pattern::compile("JW[0-9]{4}").unwrap();
+        assert_eq!(p.source(), "JW[0-9]{4}");
+    }
+}

@@ -1,0 +1,573 @@
+//! Keyword-query generation (paper §5.2.3, Figure 4(d)).
+//!
+//! The last step of `QueryGeneration()`: walk the Context-Map, and for
+//! each emphasized word take its highest-weight mapping and form the best
+//! matching within its influence range — Type-1 (table + column + value),
+//! else Type-2 (table + value), else Type-3 (column + value). Each match
+//! becomes one keyword query whose weight is the sum of its members'
+//! mapping weights.
+//!
+//! The **backward-concept special case** handles human writing where the
+//! concept word appears once and is not repeated before every value
+//! ("…gene is correlated to JW0014 or grpC"): a value word with an empty
+//! influence range searches *backward* for the closest concept word and
+//! pairs with it when consistent.
+//!
+//! Finally, duplicate queries are collapsed (keeping the highest weight)
+//! and weights are normalized to `(0, 1]`.
+
+use crate::adjust::{context_based_adjustment, AdjustParams};
+use crate::meta::{ConceptTarget, NebulaMeta};
+use crate::sigmap::{
+    generate_concept_map, generate_value_map, overlay, split_annotation, ContextMap,
+};
+use relstore::schema::{ColumnId, TableId};
+use relstore::Database;
+use std::collections::HashMap;
+
+/// Configuration of the query-generation stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryGenConfig {
+    /// Cutoff threshold ε for the signature maps.
+    pub epsilon: f64,
+    /// Context-adjustment parameters (α, β₁, β₂, β₃).
+    pub adjust: AdjustParams,
+    /// Apply the context-based weight adjustment (ablation switch).
+    pub context_adjustment: bool,
+    /// Apply the backward-concept special case (ablation switch).
+    pub backward_search: bool,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        QueryGenConfig {
+            epsilon: 0.6,
+            adjust: AdjustParams::default(),
+            context_adjustment: true,
+            backward_search: true,
+        }
+    }
+}
+
+/// One generated keyword query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedQuery {
+    /// The query keywords in annotation order (raw word forms).
+    pub keywords: Vec<String>,
+    /// Normalized weight in `(0, 1]`.
+    pub weight: f64,
+    /// The table the match anchors to.
+    pub anchor_table: TableId,
+    /// The value column of the match's hexagon member.
+    pub value_column: Option<ColumnId>,
+    /// Positions (word indexes) the keywords came from.
+    pub positions: Vec<usize>,
+    /// Matching type that formed the query: 1, 2, or 3.
+    pub match_type: u8,
+}
+
+/// The best concept members visible from `center` within radius α:
+/// `(table word position, weight)` for the anchor table and
+/// `(column word position, weight)` for a consistent column.
+#[derive(Debug, Default, Clone, Copy)]
+struct RangeConcepts {
+    table: Option<(usize, f64)>,
+    column: Option<(usize, f64)>,
+}
+
+/// Scan `map` within `[center−α, center+α]` (excluding `center`) for
+/// concept words consistent with value mapping `(t, c)`.
+fn range_concepts(
+    map: &ContextMap,
+    center: usize,
+    alpha: usize,
+    t: TableId,
+    c: ColumnId,
+) -> RangeConcepts {
+    let lo = center.saturating_sub(alpha);
+    let hi = (center + alpha).min(map.entries.len().saturating_sub(1));
+    let mut out = RangeConcepts::default();
+    for (i, entry) in map.entries.iter().enumerate().take(hi + 1).skip(lo) {
+        if i == center {
+            continue;
+        }
+        for cm in &entry.concepts {
+            match cm.target {
+                ConceptTarget::Table(ct) if ct == t
+                    && out.table.is_none_or(|(_, w)| cm.weight > w) => {
+                        out.table = Some((i, cm.weight));
+                    }
+                ConceptTarget::Column(ct, cc) if ct == t && cc == c
+                    && out.column.is_none_or(|(_, w)| cm.weight > w) => {
+                        out.column = Some((i, cm.weight));
+                    }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Backward search (Lines 8–12 of Figure 4(d)): from `center−1` toward the
+/// beginning, find the closest concept word consistent with `(t, c)`.
+/// Returns `(position, weight, is_table)` of the found concept.
+fn backward_concept(
+    map: &ContextMap,
+    center: usize,
+    t: TableId,
+    c: ColumnId,
+) -> Option<(usize, f64, bool)> {
+    for i in (0..center).rev() {
+        let entry = &map.entries[i];
+        // The *closest* concept word wins — check both shapes at this
+        // position, preferring the table shape (Type-2 over Type-3).
+        let mut best: Option<(f64, bool)> = None;
+        for cm in &entry.concepts {
+            match cm.target {
+                ConceptTarget::Table(ct) if ct == t
+                    && best.is_none_or(|(w, is_t)| !is_t || cm.weight > w) => {
+                        best = Some((cm.weight, true));
+                    }
+                ConceptTarget::Column(ct, cc) if ct == t && cc == c
+                    && best.is_none() => {
+                        best = Some((cm.weight, false));
+                    }
+                _ => {}
+            }
+        }
+        if let Some((w, is_table)) = best {
+            return Some((i, w, is_table));
+        }
+        // Any other concept word (inconsistent) also terminates the
+        // backward scan — it re-sets the discourse context.
+        if !entry.concepts.is_empty() {
+            return None;
+        }
+    }
+    None
+}
+
+/// Resolve the multi-column referencing combinations declared in
+/// ConceptRefs (e.g. a protein referenced by `PName & PType`) to ids.
+fn combo_columns(db: &Database, meta: &NebulaMeta) -> Vec<(TableId, Vec<ColumnId>)> {
+    let mut out = Vec::new();
+    for cr in meta.concepts() {
+        let Some(tid) = db.catalog().resolve(&cr.table) else { continue };
+        let Some(table) = db.table(tid) else { continue };
+        for combo in &cr.referenced_by {
+            if combo.len() < 2 {
+                continue;
+            }
+            let cols: Vec<ColumnId> = combo
+                .iter()
+                .filter_map(|c| table.schema().column_id(c))
+                .collect();
+            if cols.len() == combo.len() {
+                out.push((tid, cols));
+            }
+        }
+    }
+    out
+}
+
+/// Complete a query anchored on value mapping `(t, c)` with the other
+/// members of a multi-column referencing combination, when consistent
+/// value words are in range — e.g. `…protein G-Actin structural…` forms
+/// one `{protein, G-Actin, structural}` query instead of two ambiguous
+/// ones.
+fn complete_combo(
+    map: &ContextMap,
+    center: usize,
+    alpha: usize,
+    t: TableId,
+    c: ColumnId,
+    combos: &[(TableId, Vec<ColumnId>)],
+    q: &mut GeneratedQuery,
+) {
+    for (ct, cols) in combos {
+        if *ct != t || !cols.contains(&c) {
+            continue;
+        }
+        let lo = center.saturating_sub(alpha);
+        let hi = (center + alpha).min(map.entries.len().saturating_sub(1));
+        for &other_col in cols.iter().filter(|cc| **cc != c) {
+            // Best in-range value word mapping to (t, other_col).
+            let mut best: Option<(usize, f64)> = None;
+            for (j, entry) in map.entries.iter().enumerate().take(hi + 1).skip(lo) {
+                if j == center || q.positions.contains(&j) {
+                    continue;
+                }
+                for vm in &entry.values {
+                    if vm.table == t && vm.column == other_col
+                        && best.is_none_or(|(_, w)| vm.weight > w) {
+                            best = Some((j, vm.weight));
+                        }
+                }
+            }
+            if let Some((j, w)) = best {
+                q.positions.push(j);
+                q.positions.sort_unstable();
+                q.keywords = q
+                    .positions
+                    .iter()
+                    .map(|&p| map.entries[p].word.raw_for_matching())
+                    .collect();
+                q.weight += w;
+            }
+        }
+    }
+}
+
+/// `ConceptMap-To-Queries()`: form keyword queries from an adjusted
+/// Context-Map.
+pub fn concept_map_to_queries(
+    db: &Database,
+    meta: &NebulaMeta,
+    map: &ContextMap,
+    config: &QueryGenConfig,
+) -> Vec<GeneratedQuery> {
+    let combos = combo_columns(db, meta);
+    let mut queries: Vec<GeneratedQuery> = Vec::new();
+
+    for (i, entry) in map.entries.iter().enumerate() {
+        // Only the word's highest-weight mapping is considered (Line 2).
+        // Queries anchor on value (hexagon) words: a query without a value
+        // keyword cannot identify a tuple. Concept-led matches are formed
+        // from the perspective of their hexagon member, so iterating
+        // hexagons covers every match the paper's loop would form, and the
+        // final dedup collapses the rest.
+        let Some(best_value) = entry
+            .values
+            .iter()
+            .max_by(|a, b| a.weight.total_cmp(&b.weight))
+        else {
+            continue;
+        };
+        // Is the value mapping actually the word's best mapping? If a
+        // concept mapping dominates, the word acts as a concept, not a
+        // value.
+        if let Some(best_concept) = entry
+            .concepts
+            .iter()
+            .map(|c| c.weight)
+            .max_by(f64::total_cmp)
+        {
+            if best_concept > best_value.weight {
+                continue;
+            }
+        }
+        let (t, c) = (best_value.table, best_value.column);
+        let rc = range_concepts(map, i, config.adjust.alpha, t, c);
+
+        let q = match (rc.table, rc.column) {
+            (Some((tp, tw)), Some((cp, cw))) => {
+                // Type-1: {table word, column word, value word}.
+                let mut positions = vec![tp, cp, i];
+                positions.sort();
+                Some(GeneratedQuery {
+                    keywords: positions
+                        .iter()
+                        .map(|&p| map.entries[p].word.raw_for_matching())
+                        .collect(),
+                    weight: tw + cw + best_value.weight,
+                    anchor_table: t,
+                    value_column: Some(c),
+                    positions,
+                    match_type: 1,
+                })
+            }
+            (Some((tp, tw)), None) => {
+                let mut positions = vec![tp, i];
+                positions.sort();
+                Some(GeneratedQuery {
+                    keywords: positions
+                        .iter()
+                        .map(|&p| map.entries[p].word.raw_for_matching())
+                        .collect(),
+                    weight: tw + best_value.weight,
+                    anchor_table: t,
+                    value_column: Some(c),
+                    positions,
+                    match_type: 2,
+                })
+            }
+            (None, Some((cp, cw))) => {
+                let mut positions = vec![cp, i];
+                positions.sort();
+                Some(GeneratedQuery {
+                    keywords: positions
+                        .iter()
+                        .map(|&p| map.entries[p].word.raw_for_matching())
+                        .collect(),
+                    weight: cw + best_value.weight,
+                    anchor_table: t,
+                    value_column: Some(c),
+                    positions,
+                    match_type: 3,
+                })
+            }
+            (None, None) if config.backward_search => {
+                // Special case: empty influence range — search backward
+                // for the closest consistent concept (Lines 8–12).
+                backward_concept(map, i, t, c).map(|(pos, w, is_table)| GeneratedQuery {
+                    keywords: vec![
+                        map.entries[pos].word.raw_for_matching(),
+                        map.entries[i].word.raw_for_matching(),
+                    ],
+                    weight: w + best_value.weight,
+                    anchor_table: t,
+                    value_column: Some(c),
+                    positions: vec![pos, i],
+                    match_type: if is_table { 2 } else { 3 },
+                })
+            }
+            _ => None,
+        };
+        if let Some(mut q) = q {
+            complete_combo(map, i, config.adjust.alpha, t, c, &combos, &mut q);
+            queries.push(q);
+        }
+    }
+
+    dedup_and_normalize(queries)
+}
+
+/// Eliminate duplicates (same keyword multiset) keeping the highest
+/// weight, then normalize weights to `(0, 1]` (Lines 15–16).
+fn dedup_and_normalize(queries: Vec<GeneratedQuery>) -> Vec<GeneratedQuery> {
+    let mut best: HashMap<Vec<String>, GeneratedQuery> = HashMap::new();
+    for q in queries {
+        let mut key: Vec<String> = q.keywords.iter().map(|k| k.to_lowercase()).collect();
+        key.sort();
+        match best.get(&key) {
+            Some(prev) if prev.weight >= q.weight => {}
+            _ => {
+                best.insert(key, q);
+            }
+        }
+    }
+    let mut out: Vec<GeneratedQuery> = best.into_values().collect();
+    let max = out.iter().map(|q| q.weight).fold(0.0_f64, f64::max);
+    if max > 0.0 {
+        for q in &mut out {
+            q.weight /= max;
+        }
+    }
+    out.sort_by(|a, b| {
+        b.weight
+            .total_cmp(&a.weight)
+            .then_with(|| a.positions.cmp(&b.positions))
+    });
+    out
+}
+
+/// The full `QueryGeneration()` pipeline of Figure 4(a): signature maps →
+/// overlay → context adjustment → queries.
+pub fn generate_queries(
+    db: &Database,
+    meta: &NebulaMeta,
+    annotation_text: &str,
+    config: &QueryGenConfig,
+) -> Vec<GeneratedQuery> {
+    let map = build_context_map(db, meta, annotation_text, config);
+    concept_map_to_queries(db, meta, &map, config)
+}
+
+/// Phases 1–2 of the pipeline (exposed separately so the benchmarks can
+/// time map generation, overlay/adjustment, and query generation
+/// individually — Figure 11(a)).
+pub fn build_context_map(
+    db: &Database,
+    meta: &NebulaMeta,
+    annotation_text: &str,
+    config: &QueryGenConfig,
+) -> ContextMap {
+    let words = split_annotation(annotation_text);
+    let cmap = generate_concept_map(db, meta, &words, config.epsilon);
+    let vmap = generate_value_map(db, meta, &words, config.epsilon);
+    let mut map = overlay(&words, cmap, vmap);
+    if config.context_adjustment {
+        context_based_adjustment(&mut map, &config.adjust);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::ConceptRef;
+    use crate::patterns::Pattern;
+    use relstore::{DataType, TableSchema, Value};
+
+    fn setup() -> (Database, NebulaMeta) {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("gene")
+                .column("gid", DataType::Text)
+                .column("name", DataType::Text)
+                .primary_key("gid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert("gene", vec![Value::text("JW0013"), Value::text("grpC")]).unwrap();
+        let mut meta = NebulaMeta::new();
+        meta.add_concept(ConceptRef {
+            concept: "Gene".into(),
+            table: "gene".into(),
+            referenced_by: vec![vec!["gid".into()], vec!["name".into()]],
+        });
+        meta.add_column_equivalent("id", "gene", "gid");
+        meta.set_pattern("gene", "gid", Pattern::compile("JW[0-9]{4}").unwrap());
+        meta.set_pattern("gene", "name", Pattern::compile("[a-z]{3}[A-Z]").unwrap());
+        (db, meta)
+    }
+
+    #[test]
+    fn type1_query_formed() {
+        let (db, meta) = setup();
+        let qs = generate_queries(&db, &meta, "gene id JW0018", &QueryGenConfig::default());
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].match_type, 1);
+        assert_eq!(qs[0].keywords, vec!["gene", "id", "JW0018"]);
+        assert_eq!(qs[0].weight, 1.0, "single query normalizes to 1");
+    }
+
+    #[test]
+    fn type2_query_formed() {
+        let (db, meta) = setup();
+        let qs = generate_queries(&db, &meta, "the gene yaaB was upregulated", &QueryGenConfig::default());
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs[0].match_type, 2);
+        assert_eq!(qs[0].keywords, vec!["gene", "yaaB"]);
+    }
+
+    #[test]
+    fn plural_concept_word_matches() {
+        // "genes JW0013 and JW0014" — the plural concept word must still
+        // anchor both references (the WordNet-normalization role).
+        let (db, meta) = setup();
+        let qs = generate_queries(
+            &db,
+            &meta,
+            "the genes JW0013 and JW0014 were both upregulated",
+            &QueryGenConfig::default(),
+        );
+        assert_eq!(qs.len(), 2, "{qs:?}");
+        let kws: Vec<&String> = qs.iter().flat_map(|q| &q.keywords).collect();
+        assert!(kws.contains(&&"JW0013".to_string()));
+        assert!(kws.contains(&&"JW0014".to_string()));
+    }
+
+    #[test]
+    fn alice_comment_backward_search() {
+        // Alice's comment from Figure 1: "gene" appears once, then two
+        // value references follow without repeating the concept.
+        let (db, meta) = setup();
+        let text = "From the exp, it seems this gene is correlated to \
+                    the expression values and the timing of JW0014 or possibly grpC";
+        let qs = generate_queries(&db, &meta, text, &QueryGenConfig::default());
+        let keyword_sets: Vec<&Vec<String>> = qs.iter().map(|q| &q.keywords).collect();
+        assert!(keyword_sets.iter().any(|k| k.contains(&"JW0014".to_string())));
+        assert!(keyword_sets.iter().any(|k| k.contains(&"grpC".to_string())));
+        // Both were found by the backward search (concept out of α range).
+        for q in &qs {
+            assert_eq!(q.keywords[0], "gene");
+        }
+    }
+
+    #[test]
+    fn backward_search_can_be_disabled() {
+        let (db, meta) = setup();
+        let text = "From the exp, it seems this gene is correlated to \
+                    the expression values and the timing of JW0014 or possibly grpC";
+        let config = QueryGenConfig { backward_search: false, ..Default::default() };
+        let qs = generate_queries(&db, &meta, text, &config);
+        assert!(
+            qs.iter().all(|q| !q.keywords.contains(&"grpC".to_string())),
+            "distant value words are dropped without backward search"
+        );
+    }
+
+    #[test]
+    fn duplicates_collapsed() {
+        let (db, meta) = setup();
+        // "gene JW0018 ... gene JW0018" produces the same query twice.
+        let qs = generate_queries(
+            &db,
+            &meta,
+            "gene JW0018 compared against gene JW0018",
+            &QueryGenConfig::default(),
+        );
+        assert_eq!(qs.len(), 1);
+    }
+
+    #[test]
+    fn weights_normalized_and_sorted() {
+        let (db, meta) = setup();
+        // A Type-1 (stronger) and a Type-2 match in the same annotation.
+        let qs = generate_queries(
+            &db,
+            &meta,
+            "gene id JW0018 while gene yaaB remained",
+            &QueryGenConfig::default(),
+        );
+        assert!(qs.len() >= 2);
+        assert_eq!(qs[0].weight, 1.0);
+        assert!(qs.windows(2).all(|w| w[0].weight >= w[1].weight));
+        assert!(qs.iter().all(|q| q.weight > 0.0 && q.weight <= 1.0));
+    }
+
+    #[test]
+    fn no_emphasized_words_no_queries() {
+        let (db, meta) = setup();
+        let qs = generate_queries(&db, &meta, "nothing to see here at all", &QueryGenConfig::default());
+        assert!(qs.is_empty());
+    }
+
+    #[test]
+    fn value_word_without_any_concept_ignored() {
+        let (db, meta) = setup();
+        // Value with no concept anywhere in the annotation.
+        let qs = generate_queries(&db, &meta, "JW0018 alone", &QueryGenConfig::default());
+        assert!(qs.is_empty());
+    }
+
+    #[test]
+    fn inconsistent_backward_concept_stops_scan() {
+        let (_db, mut meta) = setup();
+        // Add a protein concept; a protein word between "gene" and the
+        // value resets the discourse, so the gene value does not pair.
+        let mut db2 = Database::new();
+        db2.create_table(
+            TableSchema::builder("gene")
+                .column("gid", DataType::Text)
+                .column("name", DataType::Text)
+                .primary_key("gid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db2.create_table(
+            TableSchema::builder("protein")
+                .column("pid", DataType::Text)
+                .primary_key("pid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        meta.add_concept(ConceptRef {
+            concept: "Protein".into(),
+            table: "protein".into(),
+            referenced_by: vec![vec!["pid".into()]],
+        });
+        let text = "gene expression was affected while protein folding pathways \
+                    showed unusual variance near JW0014";
+        let qs = generate_queries(&db2, &meta, text, &QueryGenConfig::default());
+        assert!(
+            qs.iter().all(|q| !q.keywords.contains(&"JW0014".to_string())
+                || !q.keywords.contains(&"gene".to_string())),
+            "backward scan stops at the protein concept"
+        );
+    }
+}

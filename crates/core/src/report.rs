@@ -1,0 +1,240 @@
+//! Curation-session reporting: aggregate statistics over a stream of
+//! processed annotations.
+//!
+//! The paper's §7 closes with how, absent `D_ideal`, domain experts
+//! periodically compute the assessment statistics over the recent
+//! annotations ("min, max, and average, across the m annotations"). This
+//! module is that bookkeeping: feed it every [`ProcessOutcome`] and expert
+//! resolution, read back a session report.
+
+use crate::engine::ProcessOutcome;
+use std::fmt;
+
+/// Running min/mean/max over one quantity.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Stat {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    sum: f64,
+}
+
+impl Stat {
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.sum += x;
+        self.count += 1;
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl fmt::Display for Stat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "min {:.1} / mean {:.1} / max {:.1}", self.min, self.mean(), self.max)
+    }
+}
+
+/// Aggregated statistics of a curation session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionReport {
+    /// Annotations processed.
+    pub annotations: u64,
+    /// Keyword queries generated per annotation.
+    pub queries: Stat,
+    /// Candidates produced per annotation.
+    pub candidates: Stat,
+    /// Auto-accepted attachments per annotation.
+    pub accepted: Stat,
+    /// Pending (expert) tasks per annotation.
+    pub pending: Stat,
+    /// Auto-rejected predictions per annotation.
+    pub rejected: Stat,
+    /// How many annotations used the focal-spreading search.
+    pub focal_spread_used: u64,
+    /// Expert resolutions recorded, split by decision.
+    pub expert_accepts: u64,
+    /// Expert rejections recorded.
+    pub expert_rejects: u64,
+}
+
+impl SessionReport {
+    /// Fresh report.
+    pub fn new() -> Self {
+        SessionReport::default()
+    }
+
+    /// Record one processed annotation.
+    pub fn record(&mut self, outcome: &ProcessOutcome) {
+        self.annotations += 1;
+        self.queries.record(outcome.queries.len() as f64);
+        self.candidates.record(outcome.candidates.len() as f64);
+        self.accepted.record(outcome.accepted.len() as f64);
+        self.pending.record(outcome.pending.len() as f64);
+        self.rejected.record(outcome.rejected.len() as f64);
+        if outcome.used_focal_spread {
+            self.focal_spread_used += 1;
+        }
+    }
+
+    /// Record one expert resolution.
+    pub fn record_resolution(&mut self, accepted: bool) {
+        if accepted {
+            self.expert_accepts += 1;
+        } else {
+            self.expert_rejects += 1;
+        }
+    }
+
+    /// Fraction of auto decisions (accept + reject) among all routed
+    /// predictions — the automation the adaptive bounds buy.
+    pub fn automation_ratio(&self) -> f64 {
+        let auto = self.accepted.sum + self.rejected.sum;
+        let total = auto + self.pending.sum;
+        if total > 0.0 {
+            auto / total
+        } else {
+            0.0
+        }
+    }
+
+    /// The expert-accept ratio (`M_H` over the actual expert decisions).
+    pub fn expert_hit_ratio(&self) -> f64 {
+        let n = self.expert_accepts + self.expert_rejects;
+        if n > 0 {
+            self.expert_accepts as f64 / n as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "session: {} annotations processed", self.annotations)?;
+        writeln!(f, "  queries/annotation:    {}", self.queries)?;
+        writeln!(f, "  candidates/annotation: {}", self.candidates)?;
+        writeln!(f, "  auto-accepted:         {}", self.accepted)?;
+        writeln!(f, "  pending (expert):      {}", self.pending)?;
+        writeln!(f, "  auto-rejected:         {}", self.rejected)?;
+        writeln!(
+            f,
+            "  automation ratio:      {:.0}%",
+            self.automation_ratio() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  focal spreading used:  {}/{}",
+            self.focal_spread_used, self.annotations
+        )?;
+        write!(
+            f,
+            "  expert decisions:      {} accept / {} reject (hit {:.0}%)",
+            self.expert_accepts,
+            self.expert_rejects,
+            self.expert_hit_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annostore::AnnotationId;
+    use textsearch::SearchStats;
+
+    fn outcome(queries: usize, accepted: usize, pending: usize, rejected: usize) -> ProcessOutcome {
+        use relstore::schema::TableId;
+        use relstore::TupleId;
+        let t = |i: u64| TupleId::new(TableId(0), i);
+        ProcessOutcome {
+            annotation: AnnotationId(0),
+            queries: (0..queries)
+                .map(|i| crate::querygen::GeneratedQuery {
+                    keywords: vec![format!("k{i}")],
+                    weight: 1.0,
+                    anchor_table: TableId(0),
+                    value_column: None,
+                    positions: vec![i],
+                    match_type: 2,
+                })
+                .collect(),
+            candidates: (0..accepted + pending + rejected)
+                .map(|i| crate::execution::Candidate {
+                    tuple: t(i as u64),
+                    confidence: 0.5,
+                    evidence: vec![],
+                })
+                .collect(),
+            accepted: (0..accepted).map(|i| (t(i as u64), 0.9)).collect(),
+            pending: (0..pending).map(|i| i as u64).collect(),
+            rejected: (0..rejected).map(|i| (t(100 + i as u64), 0.1)).collect(),
+            used_focal_spread: accepted % 2 == 0,
+            stats: SearchStats::default(),
+        }
+    }
+
+    #[test]
+    fn stat_tracks_min_mean_max() {
+        let mut s = Stat::default();
+        assert_eq!(s.mean(), 0.0);
+        for x in [3.0, 1.0, 5.0] {
+            s.record(x);
+        }
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn report_aggregates_outcomes() {
+        let mut r = SessionReport::new();
+        r.record(&outcome(5, 2, 1, 1));
+        r.record(&outcome(3, 0, 3, 0));
+        assert_eq!(r.annotations, 2);
+        assert!((r.queries.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(r.accepted.max, 2.0);
+        assert_eq!(r.pending.max, 3.0);
+        // automation: auto = 2+1 ; pending = 4 → 3/7
+        assert!((r.automation_ratio() - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expert_hit_ratio() {
+        let mut r = SessionReport::new();
+        assert_eq!(r.expert_hit_ratio(), 0.0);
+        r.record_resolution(true);
+        r.record_resolution(true);
+        r.record_resolution(false);
+        assert!((r.expert_hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let mut r = SessionReport::new();
+        r.record(&outcome(4, 2, 1, 0));
+        r.record_resolution(true);
+        let text = r.to_string();
+        assert!(text.contains("1 annotations processed"));
+        assert!(text.contains("automation ratio"));
+        assert!(text.contains("expert decisions"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for nebula-core's data structures and invariants.
+
+use nebula_core::{
+    assess_predictions, AssessmentCounts, AssessmentReport, Candidate, Decision, HopProfile,
+    Pattern, VerificationBounds,
+};
+use proptest::prelude::*;
+use relstore::schema::TableId;
+use relstore::TupleId;
+
+fn t(row: u64) -> TupleId {
+    TupleId::new(TableId(0), row)
+}
+
+proptest! {
+    /// Strings built from the gene-id shape always match the gene-id
+    /// pattern; case-mangled ones never do.
+    #[test]
+    fn gene_id_pattern_complete(digits in proptest::collection::vec(0u8..10, 4)) {
+        let p = Pattern::compile("JW[0-9]{4}").unwrap();
+        let s: String =
+            format!("JW{}", digits.iter().map(|d| (b'0' + d) as char).collect::<String>());
+        prop_assert!(p.matches(&s));
+        prop_assert!(!p.matches(&s.to_lowercase()));
+        prop_assert!(!p.matches(&s[..5]));
+        let extended = format!("{s}0");
+        prop_assert!(!p.matches(&extended));
+    }
+
+    /// Counted repetition accepts exactly the advertised lengths.
+    #[test]
+    fn counted_repetition_exact(lo in 0u32..4, extra in 0u32..4, n in 0u32..12) {
+        let hi = lo + extra;
+        let p = Pattern::compile(&format!("a{{{lo},{hi}}}")).unwrap();
+        let s = "a".repeat(n as usize);
+        prop_assert_eq!(p.matches(&s), n >= lo && n <= hi);
+    }
+
+    /// `decide` partitions the confidence axis into three monotone bands.
+    #[test]
+    fn bounds_decide_monotone(
+        lower in 0.0f64..=1.0,
+        upper in 0.0f64..=1.0,
+        c1 in 0.0f64..=1.0,
+        c2 in 0.0f64..=1.0,
+    ) {
+        let b = VerificationBounds::new(lower, upper);
+        prop_assert!(b.lower <= b.upper);
+        let rank = |d: Decision| match d {
+            Decision::AutoReject => 0,
+            Decision::Pending => 1,
+            Decision::AutoAccept => 2,
+        };
+        let (small, big) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(rank(b.decide(small)) <= rank(b.decide(big)));
+    }
+
+    /// Hop-profile coverage is a monotone CDF reaching 1.0, and select_k
+    /// returns the smallest sufficient radius.
+    #[test]
+    fn profile_coverage_cdf(
+        hops in proptest::collection::vec(0usize..12, 1..60),
+        target in 0.01f64..=1.0,
+    ) {
+        let mut p = HopProfile::new();
+        for h in &hops {
+            p.record(*h);
+        }
+        prop_assert_eq!(p.total() as usize, hops.len());
+        let mut prev = 0.0;
+        for k in 0..20 {
+            let c = p.coverage(k);
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        prop_assert!((p.coverage(16) - 1.0).abs() < 1e-12);
+        let k = p.select_k(target).expect("reachable target");
+        prop_assert!(p.coverage(k) >= target);
+        if k > 0 {
+            prop_assert!(p.coverage(k - 1) < target);
+        }
+    }
+
+    /// Assessment identities: counts partition the candidates; the four
+    /// criteria stay in range; experts-only FP sources hold.
+    #[test]
+    fn assessment_invariants(
+        confs in proptest::collection::vec(0.0f64..=1.0, 0..30),
+        ideal_rows in proptest::collection::vec(0u64..40, 0..20),
+        lower in 0.0f64..=1.0,
+        upper in 0.0f64..=1.0,
+    ) {
+        let bounds = VerificationBounds::new(lower, upper);
+        let candidates: Vec<Candidate> = confs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| Candidate { tuple: t(i as u64), confidence: c, evidence: vec![] })
+            .collect();
+        let ideal: Vec<TupleId> = {
+            let mut v: Vec<TupleId> = ideal_rows.iter().map(|r| t(*r)).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let focal: Vec<TupleId> = ideal.first().copied().into_iter().collect();
+        let (counts, report) = assess_predictions(&candidates, &bounds, &ideal, &focal);
+
+        // Counts partition the candidates.
+        prop_assert_eq!(
+            counts.n_reject + counts.n_verify() + counts.n_accept(),
+            candidates.len()
+        );
+        // Ranges.
+        prop_assert!((0.0..=1.0).contains(&report.f_n));
+        prop_assert!((0.0..=1.0).contains(&report.f_p));
+        prop_assert!((0.0..=1.0).contains(&report.m_h) || report.m_f == 0.0);
+        prop_assert!(report.m_f >= 0.0);
+        // Only auto-accepts can produce false positives.
+        if counts.n_accept_f == 0 {
+            prop_assert_eq!(report.f_p, 0.0);
+        }
+        // With β_upper pinned to 1.0 nothing auto-accepts (conf ≤ 1).
+        if bounds.upper >= 1.0 {
+            prop_assert_eq!(counts.n_accept(), 0);
+        }
+    }
+
+    /// Averaging reports preserves ranges.
+    #[test]
+    fn average_report_in_range(
+        reports in proptest::collection::vec(
+            (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=40.0, 0.0f64..=1.0),
+            0..10
+        )
+    ) {
+        let rs: Vec<AssessmentReport> = reports
+            .iter()
+            .map(|&(f_n, f_p, m_f, m_h)| AssessmentReport { f_n, f_p, m_f, m_h })
+            .collect();
+        let avg = AssessmentReport::average(&rs);
+        prop_assert!((0.0..=1.0).contains(&avg.f_n));
+        prop_assert!((0.0..=1.0).contains(&avg.f_p));
+        prop_assert!((0.0..=40.0).contains(&avg.m_f));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `from_counts` agrees with the closed-form Definition 7.2 formulas.
+    #[test]
+    fn from_counts_formulas(
+        n_ideal in 0usize..30,
+        n_focal in 0usize..5,
+        n_reject in 0usize..10,
+        n_verify_t in 0usize..10,
+        n_verify_f in 0usize..10,
+        n_accept_t in 0usize..10,
+        n_accept_f in 0usize..10,
+    ) {
+        let c = AssessmentCounts {
+            n_ideal, n_focal, n_reject, n_verify_t, n_verify_f, n_accept_t, n_accept_f,
+        };
+        let r = AssessmentReport::from_counts(&c);
+        if n_ideal > 0 {
+            let expected =
+                n_ideal.saturating_sub(n_verify_t + n_accept_t + n_focal) as f64 / n_ideal as f64;
+            prop_assert!((r.f_n - expected).abs() < 1e-12);
+        }
+        let denom = n_verify_t + n_accept_t + n_accept_f + n_focal;
+        if denom > 0 {
+            prop_assert!((r.f_p - n_accept_f as f64 / denom as f64).abs() < 1e-12);
+        }
+        prop_assert_eq!(r.m_f, (n_verify_t + n_verify_f) as f64);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for the relational engine.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// The named table does not exist.
+    UnknownTable(String),
+    /// The named column does not exist in the given table.
+    UnknownColumn { table: String, column: String },
+    /// A row's arity does not match its table schema.
+    ArityMismatch { table: String, expected: usize, got: usize },
+    /// A value's type does not match the column's declared type.
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: crate::value::DataType,
+        got: crate::value::DataType,
+    },
+    /// Insertion would violate the table's primary-key uniqueness.
+    DuplicateKey { table: String, key: String },
+    /// A foreign-key reference points at a missing row.
+    ForeignKeyViolation { from: String, to: String, key: String },
+    /// The tuple id does not resolve to a live row.
+    UnknownTuple(crate::tuple::TupleId),
+    /// Schema construction failed (e.g. duplicate column names).
+    InvalidSchema(String),
+    /// A query referenced tables/columns inconsistently.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TableExists(name) => write!(f, "table `{name}` already exists"),
+            Error::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            Error::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            Error::ArityMismatch { table, expected, got } => write!(
+                f,
+                "arity mismatch inserting into `{table}`: expected {expected} values, got {got}"
+            ),
+            Error::TypeMismatch { table, column, expected, got } => write!(
+                f,
+                "type mismatch for `{table}.{column}`: expected {expected}, got {got}"
+            ),
+            Error::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key `{key}` in table `{table}`")
+            }
+            Error::ForeignKeyViolation { from, to, key } => {
+                write!(f, "foreign key violation: `{from}` -> `{to}` key `{key}` not found")
+            }
+            Error::UnknownTuple(tid) => write!(f, "unknown tuple id {tid}"),
+            Error::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::UnknownColumn { table: "gene".into(), column: "bogus".into() };
+        assert!(e.to_string().contains("bogus"));
+        assert!(e.to_string().contains("gene"));
+
+        let e = Error::TypeMismatch {
+            table: "gene".into(),
+            column: "length".into(),
+            expected: DataType::Int,
+            got: DataType::Text,
+        };
+        assert!(e.to_string().contains("length"));
+        assert!(e.to_string().contains("int"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::TableExists("t".into()), Error::TableExists("t".into()));
+        assert_ne!(Error::TableExists("t".into()), Error::UnknownTable("t".into()));
+    }
+}

@@ -1,0 +1,202 @@
+//! Secondary indexes: exact-match hash indexes and a tokenized inverted
+//! index used by keyword search.
+
+use crate::schema::{ColumnId, TableId};
+use crate::tuple::TupleId;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Exact-match hash index mapping a value to the tuple ids holding it.
+#[derive(Debug, Default)]
+pub struct HashIndex {
+    map: HashMap<Value, Vec<TupleId>>,
+}
+
+impl HashIndex {
+    /// Add a `(value, tuple)` entry.
+    pub fn insert(&mut self, value: Value, tid: TupleId) {
+        self.map.entry(value).or_default().push(tid);
+    }
+
+    /// Remove one `(value, tuple)` entry, if present.
+    pub fn remove(&mut self, value: &Value, tid: TupleId) {
+        if let Some(list) = self.map.get_mut(value) {
+            list.retain(|t| *t != tid);
+            if list.is_empty() {
+                self.map.remove(value);
+            }
+        }
+    }
+
+    /// Tuple ids with exactly this value (empty slice if none).
+    pub fn get(&self, value: &Value) -> &[TupleId] {
+        self.map.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct values indexed.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// One hit in the inverted index: which table/column/tuple the token
+/// occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Posting {
+    /// Owning table.
+    pub table: TableId,
+    /// Column the token occurred in.
+    pub column: ColumnId,
+    /// Row the token occurred in.
+    pub tuple: TupleId,
+}
+
+/// Tokenized inverted index over text columns of the whole database.
+///
+/// Tokens are lower-cased words; the tokenizer splits on any
+/// non-alphanumeric character and keeps digits so identifiers such as
+/// `JW0013` survive intact.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<Posting>>,
+    documents: u64,
+}
+
+/// Split text into lower-cased alphanumeric tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+impl InvertedIndex {
+    /// Index one cell's text.
+    pub fn add_cell(&mut self, table: TableId, column: ColumnId, tuple: TupleId, text: &str) {
+        self.documents += 1;
+        let posting = Posting { table, column, tuple };
+        for token in tokenize(text) {
+            let list = self.postings.entry(token).or_default();
+            // A token may repeat within one cell; store each posting once.
+            if list.last() != Some(&posting) {
+                list.push(posting);
+            }
+        }
+    }
+
+    /// Remove every posting for the given tuple (used on delete).
+    pub fn remove_tuple(&mut self, tuple: TupleId) {
+        self.postings.retain(|_, list| {
+            list.retain(|p| p.tuple != tuple);
+            !list.is_empty()
+        });
+    }
+
+    /// All postings for a token (exact match, case-insensitive).
+    pub fn lookup(&self, token: &str) -> &[Posting] {
+        self.postings
+            .get(&token.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Document frequency of a token — the number of postings, used for
+    /// IDF-style weighting by the search layer.
+    pub fn doc_frequency(&self, token: &str) -> usize {
+        self.lookup(token).len()
+    }
+
+    /// Total number of indexed cells.
+    pub fn documents(&self) -> u64 {
+        self.documents
+    }
+
+    /// Number of distinct tokens.
+    pub fn vocabulary(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(row: u64) -> TupleId {
+        TupleId::new(TableId(0), row)
+    }
+
+    #[test]
+    fn hash_index_insert_get_remove() {
+        let mut idx = HashIndex::default();
+        idx.insert(Value::text("F1"), tid(0));
+        idx.insert(Value::text("F1"), tid(1));
+        idx.insert(Value::text("F2"), tid(2));
+        assert_eq!(idx.get(&Value::text("F1")), &[tid(0), tid(1)]);
+        assert_eq!(idx.distinct(), 2);
+        idx.remove(&Value::text("F1"), tid(0));
+        assert_eq!(idx.get(&Value::text("F1")), &[tid(1)]);
+        idx.remove(&Value::text("F1"), tid(1));
+        assert!(idx.get(&Value::text("F1")).is_empty());
+        assert_eq!(idx.distinct(), 1);
+    }
+
+    #[test]
+    fn tokenizer_keeps_identifiers() {
+        assert_eq!(tokenize("gene JW0013, grpC!"), vec!["gene", "jw0013", "grpc"]);
+        assert_eq!(tokenize("G-Actin"), vec!["g", "actin"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("   ,,, "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn tokenizer_handles_unicode() {
+        assert_eq!(tokenize("Naïve café"), vec!["naïve", "café"]);
+    }
+
+    #[test]
+    fn inverted_index_lookup_case_insensitive() {
+        let mut idx = InvertedIndex::default();
+        idx.add_cell(TableId(0), ColumnId(1), tid(3), "grpC heat-shock");
+        assert_eq!(idx.lookup("GRPC").len(), 1);
+        assert_eq!(idx.lookup("heat").len(), 1);
+        assert_eq!(idx.lookup("shock")[0].tuple, tid(3));
+        assert_eq!(idx.lookup("missing").len(), 0);
+        assert_eq!(idx.documents(), 1);
+        assert!(idx.vocabulary() >= 3);
+    }
+
+    #[test]
+    fn repeated_token_in_one_cell_stored_once() {
+        let mut idx = InvertedIndex::default();
+        idx.add_cell(TableId(0), ColumnId(0), tid(0), "aaa aaa aaa");
+        assert_eq!(idx.lookup("aaa").len(), 1);
+    }
+
+    #[test]
+    fn remove_tuple_clears_postings() {
+        let mut idx = InvertedIndex::default();
+        idx.add_cell(TableId(0), ColumnId(0), tid(0), "alpha beta");
+        idx.add_cell(TableId(0), ColumnId(0), tid(1), "alpha");
+        idx.remove_tuple(tid(0));
+        assert_eq!(idx.lookup("alpha").len(), 1);
+        assert_eq!(idx.lookup("beta").len(), 0);
+    }
+
+    #[test]
+    fn doc_frequency_counts_postings() {
+        let mut idx = InvertedIndex::default();
+        for row in 0..5 {
+            idx.add_cell(TableId(0), ColumnId(0), tid(row), "f1");
+        }
+        assert_eq!(idx.doc_frequency("F1"), 5);
+    }
+}

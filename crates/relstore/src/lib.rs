@@ -1,0 +1,63 @@
+//! # relstore — an in-memory relational storage engine
+//!
+//! `relstore` is the relational substrate the Nebula annotation engine runs
+//! on. It provides:
+//!
+//! - typed [`Value`]s and [`DataType`]s ([`value`]),
+//! - table [`schema`]s with primary keys and foreign-key relationships,
+//! - row storage with stable [`TupleId`]s ([`table`]),
+//! - a [`catalog`] tracking tables and the FK–PK graph,
+//! - secondary [`index`]es: exact-match hash indexes and a tokenized
+//!   inverted index used by keyword search,
+//! - a small conjunctive-[`query`] layer (select / project / FK-join) that
+//!   plays the role of the SQL engine keyword-search techniques generate
+//!   queries against,
+//! - a [`Database`] facade tying it all together.
+//!
+//! The engine is deliberately simple (single-node, in-memory, no
+//! transactions) but complete enough that every experiment in the Nebula
+//! paper runs against it unchanged.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use relstore::{Database, TableSchema, DataType, Value};
+//!
+//! let mut db = Database::new();
+//! let schema = TableSchema::builder("gene")
+//!     .column("gid", DataType::Text)
+//!     .column("name", DataType::Text)
+//!     .column("length", DataType::Int)
+//!     .primary_key("gid")
+//!     .build()
+//!     .unwrap();
+//! db.create_table(schema).unwrap();
+//! let tid = db
+//!     .insert("gene", vec![Value::text("JW0013"), Value::text("grpC"), Value::Int(1130)])
+//!     .unwrap();
+//! let tuple = db.get(tid).unwrap();
+//! assert_eq!(tuple.get_by_name("name"), Some(&Value::text("grpC")));
+//! ```
+
+pub mod catalog;
+pub mod database;
+pub mod error;
+pub mod index;
+pub mod query;
+pub mod schema;
+pub mod select;
+pub mod snapshot;
+pub mod table;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::{Catalog, ForeignKey};
+pub use database::Database;
+pub use error::{Error, Result};
+pub use index::{HashIndex, InvertedIndex, Posting};
+pub use query::{ConjunctiveQuery, JoinStep, Predicate, QueryResult};
+pub use schema::{ColumnDef, ColumnId, TableId, TableSchema, TableSchemaBuilder};
+pub use select::{Order, SelectResult, SelectRow, SelectStatement};
+pub use table::Table;
+pub use tuple::{Tuple, TupleId};
+pub use value::{DataType, Value};

@@ -1,0 +1,270 @@
+//! Table schemas: column definitions, primary keys, and builders.
+
+use crate::error::{Error, Result};
+use crate::value::DataType;
+use std::fmt;
+
+/// Stable identifier of a table within a [`crate::Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Index of a column within its table schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId(pub u32);
+
+impl ColumnId {
+    /// The column's positional index in a row.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name, unique within the table (case-insensitive).
+    pub name: String,
+    /// Declared type.
+    pub data_type: DataType,
+    /// Whether an exact-match hash index should be maintained.
+    pub indexed: bool,
+    /// Whether text values in this column are fed to the inverted index.
+    pub searchable: bool,
+}
+
+impl ColumnDef {
+    /// A plain (unindexed, searchable-if-text) column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef { name: name.into(), data_type, indexed: false, searchable: true }
+    }
+}
+
+/// Schema of a table: named, typed columns plus an optional primary key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name, unique in the catalog (case-insensitive).
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Position of the primary-key column, if declared.
+    pub primary_key: Option<ColumnId>,
+}
+
+impl TableSchema {
+    /// Start building a schema for table `name`.
+    pub fn builder(name: impl Into<String>) -> TableSchemaBuilder {
+        TableSchemaBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            primary_key: None,
+            error: None,
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Look up a column by (case-insensitive) name.
+    pub fn column_id(&self, name: &str) -> Option<ColumnId> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .map(|i| ColumnId(i as u32))
+    }
+
+    /// The definition of column `id`, if in range.
+    pub fn column(&self, id: ColumnId) -> Option<&ColumnDef> {
+        self.columns.get(id.index())
+    }
+
+    /// Resolve a column name, returning a crate error on failure.
+    pub fn require_column(&self, name: &str) -> Result<ColumnId> {
+        self.column_id(name).ok_or_else(|| Error::UnknownColumn {
+            table: self.name.clone(),
+            column: name.to_string(),
+        })
+    }
+
+    /// Iterate `(ColumnId, &ColumnDef)` pairs in positional order.
+    pub fn iter_columns(&self) -> impl Iterator<Item = (ColumnId, &ColumnDef)> {
+        self.columns.iter().enumerate().map(|(i, c)| (ColumnId(i as u32), c))
+    }
+}
+
+/// Fluent builder for [`TableSchema`].
+#[derive(Debug)]
+pub struct TableSchemaBuilder {
+    name: String,
+    columns: Vec<ColumnDef>,
+    primary_key: Option<String>,
+    error: Option<Error>,
+}
+
+impl TableSchemaBuilder {
+    /// Append a plain column.
+    pub fn column(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.columns.push(ColumnDef::new(name, ty));
+        self
+    }
+
+    /// Append a column with an exact-match hash index.
+    pub fn indexed_column(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        let mut def = ColumnDef::new(name, ty);
+        def.indexed = true;
+        self.columns.push(def);
+        self
+    }
+
+    /// Append a column that is excluded from the inverted (keyword) index —
+    /// e.g. long raw sequences that should not pollute keyword search.
+    pub fn unsearchable_column(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        let mut def = ColumnDef::new(name, ty);
+        def.searchable = false;
+        self.columns.push(def);
+        self
+    }
+
+    /// Declare the primary-key column (must already be appended).
+    pub fn primary_key(mut self, name: impl Into<String>) -> Self {
+        self.primary_key = Some(name.into());
+        self
+    }
+
+    /// Finish, validating name uniqueness and key resolution.
+    pub fn build(self) -> Result<TableSchema> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.name.trim().is_empty() {
+            return Err(Error::InvalidSchema("table name must be non-empty".into()));
+        }
+        if self.columns.is_empty() {
+            return Err(Error::InvalidSchema(format!(
+                "table `{}` must have at least one column",
+                self.name
+            )));
+        }
+        for (i, a) in self.columns.iter().enumerate() {
+            if a.name.trim().is_empty() {
+                return Err(Error::InvalidSchema(format!(
+                    "table `{}` has an empty column name at position {i}",
+                    self.name
+                )));
+            }
+            for b in &self.columns[i + 1..] {
+                if a.name.eq_ignore_ascii_case(&b.name) {
+                    return Err(Error::InvalidSchema(format!(
+                        "duplicate column `{}` in table `{}`",
+                        a.name, self.name
+                    )));
+                }
+            }
+        }
+        let mut schema = TableSchema {
+            name: self.name,
+            columns: self.columns,
+            primary_key: None,
+        };
+        if let Some(pk) = self.primary_key {
+            let id = schema.require_column(&pk)?;
+            // The PK column gets a hash index for free: lookups by key are
+            // the hot path for FK joins.
+            schema.columns[id.index()].indexed = true;
+            schema.primary_key = Some(id);
+        }
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gene_schema() -> TableSchema {
+        TableSchema::builder("gene")
+            .column("gid", DataType::Text)
+            .column("name", DataType::Text)
+            .column("length", DataType::Int)
+            .primary_key("gid")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_builds_and_resolves_columns() {
+        let s = gene_schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column_id("name"), Some(ColumnId(1)));
+        assert_eq!(s.column_id("NAME"), Some(ColumnId(1)), "lookup is case-insensitive");
+        assert_eq!(s.column_id("nope"), None);
+        assert_eq!(s.primary_key, Some(ColumnId(0)));
+    }
+
+    #[test]
+    fn primary_key_column_is_auto_indexed() {
+        let s = gene_schema();
+        assert!(s.column(ColumnId(0)).unwrap().indexed);
+        assert!(!s.column(ColumnId(1)).unwrap().indexed);
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = TableSchema::builder("t")
+            .column("a", DataType::Int)
+            .column("A", DataType::Text)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidSchema(_)));
+    }
+
+    #[test]
+    fn unknown_primary_key_rejected() {
+        let err = TableSchema::builder("t")
+            .column("a", DataType::Int)
+            .primary_key("b")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(TableSchema::builder("t").build().is_err());
+        assert!(TableSchema::builder("").column("a", DataType::Int).build().is_err());
+    }
+
+    #[test]
+    fn unsearchable_column_flag() {
+        let s = TableSchema::builder("protein")
+            .column("pid", DataType::Text)
+            .unsearchable_column("seq", DataType::Text)
+            .build()
+            .unwrap();
+        assert!(s.column(ColumnId(0)).unwrap().searchable);
+        assert!(!s.column(ColumnId(1)).unwrap().searchable);
+    }
+
+    #[test]
+    fn require_column_error_names_table() {
+        let s = gene_schema();
+        let err = s.require_column("zzz").unwrap_err();
+        assert_eq!(
+            err,
+            Error::UnknownColumn { table: "gene".into(), column: "zzz".into() }
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! `SELECT` statements: projection, ordering, and limits on top of the
+//! conjunctive-query executor.
+//!
+//! [`ConjunctiveQuery`] decides *which* tuples qualify;
+//! [`SelectStatement`] decides what the caller sees — which columns
+//! survive (the projection that drives cell-level annotation propagation),
+//! in what order, and how many rows.
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::query::ConjunctiveQuery;
+use crate::schema::ColumnId;
+use crate::tuple::TupleId;
+use crate::value::Value;
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Ascending (NULLs first — `Value`'s total order).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A full select statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// The qualifying condition.
+    pub query: ConjunctiveQuery,
+    /// Columns to keep, in output order; `None` = all columns.
+    pub projection: Option<Vec<ColumnId>>,
+    /// Optional ordering column and direction.
+    pub order_by: Option<(ColumnId, Order)>,
+    /// Optional row cap, applied after ordering.
+    pub limit: Option<usize>,
+}
+
+/// One output row: the source tuple id plus the projected values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectRow {
+    /// The underlying tuple (annotations propagate against this id).
+    pub tuple: TupleId,
+    /// Projected values in projection order.
+    pub values: Vec<Value>,
+}
+
+/// The result of a select: header names plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectResult {
+    /// Output column names, in order.
+    pub columns: Vec<String>,
+    /// The projection as column ids (for annotation propagation).
+    pub projection: Option<Vec<ColumnId>>,
+    /// Output rows.
+    pub rows: Vec<SelectRow>,
+}
+
+impl SelectStatement {
+    /// Plain `SELECT * FROM <query>`.
+    pub fn new(query: ConjunctiveQuery) -> Self {
+        SelectStatement { query, projection: None, order_by: None, limit: None }
+    }
+
+    /// Keep only these columns.
+    pub fn project(mut self, columns: Vec<ColumnId>) -> Self {
+        self.projection = Some(columns);
+        self
+    }
+
+    /// Order by a column.
+    pub fn order_by(mut self, column: ColumnId, order: Order) -> Self {
+        self.order_by = Some((column, order));
+        self
+    }
+
+    /// Cap the number of rows.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Execute against the database.
+    pub fn execute(&self, db: &Database) -> Result<SelectResult> {
+        let table = db
+            .table(self.query.base)
+            .ok_or_else(|| Error::InvalidQuery(format!("unknown table {}", self.query.base)))?;
+        let schema = table.schema().clone();
+        // Validate projection and ordering columns up front.
+        if let Some(proj) = &self.projection {
+            for c in proj {
+                if schema.column(*c).is_none() {
+                    return Err(Error::InvalidQuery(format!(
+                        "projection column {c} out of range for `{}`",
+                        schema.name
+                    )));
+                }
+            }
+        }
+        if let Some((c, _)) = self.order_by {
+            if schema.column(c).is_none() {
+                return Err(Error::InvalidQuery(format!(
+                    "order-by column {c} out of range for `{}`",
+                    schema.name
+                )));
+            }
+        }
+
+        let qualifying = self.query.execute(db)?;
+        let mut tuples: Vec<crate::tuple::Tuple> = qualifying
+            .tuples
+            .iter()
+            .filter_map(|tid| db.get(*tid))
+            .collect();
+        if let Some((col, order)) = self.order_by {
+            tuples.sort_by(|a, b| {
+                let cmp = a.get(col).cmp(&b.get(col));
+                match order {
+                    Order::Asc => cmp,
+                    Order::Desc => cmp.reverse(),
+                }
+            });
+        }
+        if let Some(n) = self.limit {
+            tuples.truncate(n);
+        }
+
+        let columns: Vec<String> = match &self.projection {
+            Some(proj) => proj
+                .iter()
+                .map(|c| schema.column(*c).expect("validated").name.clone())
+                .collect(),
+            None => schema.iter_columns().map(|(_, d)| d.name.clone()).collect(),
+        };
+        let rows = tuples
+            .into_iter()
+            .map(|t| {
+                let values = match &self.projection {
+                    Some(proj) => proj
+                        .iter()
+                        .map(|c| t.get(*c).cloned().unwrap_or(Value::Null))
+                        .collect(),
+                    None => t.values.clone(),
+                };
+                SelectRow { tuple: t.id, values }
+            })
+            .collect();
+        Ok(SelectResult { columns, projection: self.projection.clone(), rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+    use crate::schema::TableSchema;
+    use crate::value::DataType;
+
+    fn db() -> (Database, crate::schema::TableId) {
+        let mut db = Database::new();
+        let gene = db
+            .create_table(
+                TableSchema::builder("gene")
+                    .column("gid", DataType::Text)
+                    .column("name", DataType::Text)
+                    .column("length", DataType::Int)
+                    .primary_key("gid")
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        for (gid, name, len) in [
+            ("JW0013", "grpC", 1130i64),
+            ("JW0014", "groP", 1916),
+            ("JW0019", "yaaB", 905),
+        ] {
+            db.insert("gene", vec![Value::text(gid), Value::text(name), Value::Int(len)])
+                .unwrap();
+        }
+        (db, gene)
+    }
+
+    #[test]
+    fn select_star() {
+        let (db, gene) = db();
+        let r = SelectStatement::new(ConjunctiveQuery::scan(gene)).execute(&db).unwrap();
+        assert_eq!(r.columns, vec!["gid", "name", "length"]);
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0].values.len(), 3);
+        assert!(r.projection.is_none());
+    }
+
+    #[test]
+    fn projection_reorders_and_subsets() {
+        let (db, gene) = db();
+        let r = SelectStatement::new(ConjunctiveQuery::scan(gene))
+            .project(vec![ColumnId(2), ColumnId(0)])
+            .execute(&db)
+            .unwrap();
+        assert_eq!(r.columns, vec!["length", "gid"]);
+        assert_eq!(r.rows[0].values, vec![Value::Int(1130), Value::text("JW0013")]);
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let (db, gene) = db();
+        let r = SelectStatement::new(ConjunctiveQuery::scan(gene))
+            .order_by(ColumnId(2), Order::Desc)
+            .limit(2)
+            .execute(&db)
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0].values[0], Value::text("JW0014"), "longest gene first");
+        let asc = SelectStatement::new(ConjunctiveQuery::scan(gene))
+            .order_by(ColumnId(2), Order::Asc)
+            .execute(&db)
+            .unwrap();
+        assert_eq!(asc.rows[0].values[0], Value::text("JW0019"));
+    }
+
+    #[test]
+    fn where_plus_projection() {
+        let (db, gene) = db();
+        let name = ColumnId(1);
+        let r = SelectStatement::new(
+            ConjunctiveQuery::scan(gene)
+                .with_predicate(Predicate::ContainsToken(name, "grpc".into())),
+        )
+        .project(vec![name])
+        .execute(&db)
+        .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].values, vec![Value::text("grpC")]);
+    }
+
+    #[test]
+    fn invalid_columns_rejected() {
+        let (db, gene) = db();
+        assert!(SelectStatement::new(ConjunctiveQuery::scan(gene))
+            .project(vec![ColumnId(9)])
+            .execute(&db)
+            .is_err());
+        assert!(SelectStatement::new(ConjunctiveQuery::scan(gene))
+            .order_by(ColumnId(9), Order::Asc)
+            .execute(&db)
+            .is_err());
+    }
+
+    #[test]
+    fn projection_drives_annotation_propagation() {
+        // The SelectResult carries the projection so annostore::propagate
+        // can drop cell-level annotations of removed columns.
+        let (db, gene) = db();
+        let r = SelectStatement::new(ConjunctiveQuery::scan(gene))
+            .project(vec![ColumnId(0)])
+            .execute(&db)
+            .unwrap();
+        assert_eq!(r.projection, Some(vec![ColumnId(0)]));
+        assert!(r.rows.iter().all(|row| db.get(row.tuple).is_some()));
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the relational engine's core invariants.
+
+use proptest::prelude::*;
+use relstore::{
+    ConjunctiveQuery, Database, DataType, Predicate, TableSchema, TupleId, Value,
+};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::text),
+    ]
+}
+
+proptest! {
+    /// Value ordering is a total order: antisymmetric, transitive via
+    /// sort stability, and consistent with equality.
+    #[test]
+    fn value_ordering_total(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+            Ordering::Equal => {
+                prop_assert_eq!(b.cmp(&a), Ordering::Equal);
+                prop_assert_eq!(&a, &b);
+            }
+        }
+        // Transitivity.
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Hash consistency: equal values hash equally.
+    #[test]
+    fn value_hash_consistent(a in value_strategy()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let b = a.clone();
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        prop_assert_eq!(ha.finish(), hb.finish());
+    }
+}
+
+/// Build a one-table database from generated rows.
+fn build_db(rows: &[(String, i64)]) -> (Database, Vec<TupleId>) {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("t")
+            .column("id", DataType::Int)
+            .column("text", DataType::Text)
+            .indexed_column("num", DataType::Int)
+            .primary_key("id")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let mut ids = Vec::new();
+    for (i, (text, num)) in rows.iter().enumerate() {
+        ids.push(
+            db.insert(
+                "t",
+                vec![Value::Int(i as i64), Value::text(text.clone()), Value::Int(*num)],
+            )
+            .unwrap(),
+        );
+    }
+    (db, ids)
+}
+
+proptest! {
+    /// Indexed lookup agrees with a full scan for every value that exists.
+    #[test]
+    fn index_agrees_with_scan(
+        rows in proptest::collection::vec(("[a-c ]{0,6}", -3i64..3), 0..24)
+    ) {
+        let (db, _) = build_db(&rows);
+        let t = db.table_by_name("t").unwrap();
+        let num = t.schema().column_id("num").unwrap();
+        for v in -3i64..3 {
+            let via_index: Vec<TupleId> = {
+                let mut x = t.lookup(num, &Value::Int(v));
+                x.sort();
+                x
+            };
+            let via_scan: Vec<TupleId> = t
+                .scan()
+                .filter(|tp| tp.get(num) == Some(&Value::Int(v)))
+                .map(|tp| tp.id)
+                .collect();
+            prop_assert_eq!(via_index, via_scan);
+        }
+    }
+
+    /// The inverted index finds exactly the rows whose text contains the
+    /// token.
+    #[test]
+    fn inverted_index_complete_and_sound(
+        rows in proptest::collection::vec(("[a-c]{1,3}( [a-c]{1,3}){0,2}", 0i64..5), 1..20),
+        probe in "[a-c]{1,3}",
+    ) {
+        let (db, _) = build_db(&rows);
+        let t = db.table_by_name("t").unwrap();
+        let text_col = t.schema().column_id("text").unwrap();
+        let q = ConjunctiveQuery::scan(t.id())
+            .with_predicate(Predicate::ContainsToken(text_col, probe.clone()));
+        let result = q.execute(&db).unwrap();
+        let expected: Vec<TupleId> = t
+            .scan()
+            .filter(|tp| {
+                tp.get(text_col)
+                    .and_then(Value::as_text)
+                    .map(|s| s.split_whitespace().any(|w| w == probe))
+                    .unwrap_or(false)
+            })
+            .map(|tp| tp.id)
+            .collect();
+        prop_assert_eq!(result.tuples, expected);
+    }
+
+    /// Deleting rows removes them from every access path.
+    #[test]
+    fn delete_removes_everywhere(
+        rows in proptest::collection::vec(("[a-c]{1,4}", 0i64..4), 1..16),
+        victim in 0usize..16,
+    ) {
+        let (mut db, ids) = build_db(&rows);
+        let victim = victim % ids.len();
+        let tid = ids[victim];
+        prop_assert!(db.delete(tid));
+        prop_assert!(db.get(tid).is_none());
+        let t = db.table_by_name("t").unwrap();
+        prop_assert_eq!(t.len(), ids.len() - 1);
+        prop_assert!(t.scan().all(|tp| tp.id != tid));
+        prop_assert!(db
+            .inverted_index()
+            .lookup(&rows[victim].0)
+            .iter()
+            .all(|p| p.tuple != tid));
+    }
+
+    /// `materialize_subset` is faithful: every surviving row's values are
+    /// identical and its searchable text is re-indexed.
+    #[test]
+    fn subset_is_faithful(
+        rows in proptest::collection::vec(("[a-d]{1,4}", 0i64..4), 1..16),
+        pick in proptest::collection::vec(any::<prop::sample::Index>(), 1..6),
+    ) {
+        let (db, ids) = build_db(&rows);
+        let chosen: Vec<TupleId> = pick.iter().map(|ix| ids[ix.index(ids.len())]).collect();
+        let (mini, back) = db.materialize_subset(&chosen);
+        let mut unique = chosen.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assert_eq!(mini.total_tuples(), unique.len());
+        for (mini_id, orig) in &back {
+            prop_assert_eq!(
+                mini.get(*mini_id).unwrap().values,
+                db.get(*orig).unwrap().values
+            );
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The naive baseline (paper §4): feed the *entire annotation* to keyword
+//! search as one query.
+//!
+//! Faithful to how the paper's underlying technique would behave: every
+//! non-stopword token becomes a keyword, every keyword maps to **all**
+//! `(table, column)` pairs whose cells contain it (no selectivity
+//! damping, no confidence floor — those are Nebula-side optimizations the
+//! naive baseline does not have), and each mapping compiles to a SQL
+//! query that actually executes and materializes its answer tuples. This
+//! is exactly the baseline the paper shows to be impractical: common
+//! words hit enormous posting lists, so the work done and the result size
+//! both explode with annotation length and database size.
+
+use crate::mapping::value_weight;
+use crate::search::{SearchHit, SearchStats};
+use crate::token::{is_stopword, split_words};
+use relstore::schema::{ColumnId, TableId};
+use relstore::{ConjunctiveQuery, Database, Predicate, TupleId};
+use std::collections::HashMap;
+
+/// Execute the naive whole-annotation search. Returns hits sorted by
+/// descending confidence plus work counters (`tuples_inspected` counts
+/// tuples the generated queries materialized).
+pub fn naive_search(db: &Database, text: &str) -> (Vec<SearchHit>, SearchStats) {
+    let mut stats = SearchStats { configurations: 1, ..Default::default() };
+    let mut conf: HashMap<TupleId, f64> = HashMap::new();
+
+    for word in split_words(text) {
+        if is_stopword(&word) {
+            continue;
+        }
+        // All (table, column) pairs containing the token — the naive
+        // engine considers every mapping meaningful.
+        let postings = db.inverted_index().lookup(&word);
+        if postings.is_empty() {
+            continue;
+        }
+        let mut pair_df: HashMap<(TableId, ColumnId), usize> = HashMap::new();
+        for p in postings {
+            *pair_df.entry((p.table, p.column)).or_insert(0) += 1;
+        }
+        for ((table, column), df) in pair_df {
+            let query = ConjunctiveQuery::scan(table)
+                .with_predicate(Predicate::ContainsToken(column, word.clone()));
+            let Ok(result) = query.execute(db) else { continue };
+            stats.compiled_queries += 1;
+            stats.tuples_inspected += result.inspected;
+            let w = value_weight(df);
+            for tid in result.tuples {
+                *conf.entry(tid).or_insert(0.0) += w;
+            }
+        }
+    }
+
+    let max = conf.values().copied().fold(0.0_f64, f64::max);
+    let mut hits: Vec<SearchHit> = conf
+        .into_iter()
+        .map(|(tuple, c)| SearchHit { tuple, confidence: if max > 0.0 { c / max } else { 0.0 } })
+        .collect();
+    hits.sort_by(|a, b| b.confidence.total_cmp(&a.confidence).then(a.tuple.cmp(&b.tuple)));
+    (hits, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{DataType, TableSchema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("gene")
+                .column("gid", DataType::Text)
+                .column("name", DataType::Text)
+                .column("notes", DataType::Text)
+                .primary_key("gid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for i in 0..20 {
+            db.insert(
+                "gene",
+                vec![
+                    Value::text(format!("JW{i:04}")),
+                    Value::text(format!("gn{i}A")),
+                    Value::text("common shared description words here"),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn common_words_flood_the_answer() {
+        let db = db();
+        let (hits, stats) = naive_search(&db, "the common description mentions gn3A");
+        // Every row matches through the shared description words.
+        assert_eq!(hits.len(), 20);
+        // But the row actually referenced ranks first.
+        let top = db.get(hits[0].tuple).unwrap();
+        assert_eq!(top.get_by_name("name"), Some(&Value::text("gn3A")));
+        // "common" and "description" each materialize all 20 rows,
+        // "gn3A" one.
+        assert!(stats.tuples_inspected >= 41, "queries executed in full");
+        assert!(stats.compiled_queries >= 3);
+    }
+
+    #[test]
+    fn stopwords_skipped() {
+        let db = db();
+        let (_, stats) = naive_search(&db, "the of and with");
+        assert_eq!(stats.compiled_queries, 0);
+        assert_eq!(stats.tuples_inspected, 0);
+    }
+
+    #[test]
+    fn empty_text_empty_result() {
+        let db = db();
+        let (hits, _) = naive_search(&db, "");
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn confidences_normalized() {
+        let db = db();
+        let (hits, _) = naive_search(&db, "common gn3A gn5A");
+        assert!(hits.iter().all(|h| h.confidence > 0.0 && h.confidence <= 1.0));
+        assert_eq!(hits[0].confidence, 1.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Multi-query shared execution.
+//!
+//! A single annotation generates *many* keyword queries at once, and their
+//! compiled conjunctive queries overlap heavily — the same concept tokens
+//! and value predicates recur across the group. [`SharedExecutor`]
+//! exploits this by memoizing table-wide predicate evaluations, so a
+//! predicate shared by `n` queries is evaluated once instead of `n` times
+//! (the optimization the Nebula paper evaluates in Figure 13).
+//!
+//! [`ExecutionMode::Isolated`] runs every query with a cold memo —
+//! the baseline each experiment compares against.
+
+use relstore::schema::{ColumnId, TableId};
+use relstore::{ConjunctiveQuery, Database, JoinStep, Predicate, QueryResult, TupleId, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// How a batch of queries is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Each query evaluated independently (cold caches).
+    Isolated,
+    /// Predicate evaluations shared across the whole batch.
+    Shared,
+}
+
+/// Memo key for one table-wide predicate evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum PredKey {
+    Eq(TableId, ColumnId, Value),
+    ContainsToken(TableId, ColumnId, String),
+    NotNull(TableId, ColumnId),
+}
+
+impl PredKey {
+    fn new(table: TableId, p: &Predicate) -> PredKey {
+        match p {
+            Predicate::Eq(c, v) => PredKey::Eq(table, *c, v.clone()),
+            Predicate::ContainsToken(c, t) => {
+                PredKey::ContainsToken(table, *c, t.to_lowercase())
+            }
+            Predicate::NotNull(c) => PredKey::NotNull(table, *c),
+        }
+    }
+}
+
+/// Executes batches of conjunctive queries with predicate-level sharing.
+#[derive(Debug)]
+pub struct SharedExecutor<'a> {
+    db: &'a Database,
+    memo: HashMap<PredKey, Rc<Vec<TupleId>>>,
+    /// Predicate evaluations actually performed (cache misses).
+    pub evaluations: usize,
+    /// Predicate evaluations answered from the memo.
+    pub cache_hits: usize,
+}
+
+impl<'a> SharedExecutor<'a> {
+    /// New executor over `db` with an empty memo.
+    pub fn new(db: &'a Database) -> Self {
+        SharedExecutor { db, memo: HashMap::new(), evaluations: 0, cache_hits: 0 }
+    }
+
+    /// Evaluate one predicate table-wide, memoized. Returns the sorted
+    /// tuple ids satisfying it.
+    fn eval_predicate(&mut self, table: TableId, p: &Predicate) -> Rc<Vec<TupleId>> {
+        let key = PredKey::new(table, p);
+        if let Some(hit) = self.memo.get(&key) {
+            self.cache_hits += 1;
+            return Rc::clone(hit);
+        }
+        self.evaluations += 1;
+        let ids = self.eval_uncached(table, p);
+        let rc = Rc::new(ids);
+        self.memo.insert(key, Rc::clone(&rc));
+        rc
+    }
+
+    fn eval_uncached(&self, table: TableId, p: &Predicate) -> Vec<TupleId> {
+        let Some(t) = self.db.table(table) else { return Vec::new() };
+        let mut ids: Vec<TupleId> = match p {
+            Predicate::Eq(c, v) => t.lookup(*c, v),
+            Predicate::ContainsToken(c, token) => self
+                .db
+                .inverted_index()
+                .lookup(token)
+                .iter()
+                .filter(|posting| posting.table == table && posting.column == *c)
+                .map(|posting| posting.tuple)
+                .filter(|tid| t.is_live(*tid))
+                .collect(),
+            Predicate::NotNull(c) => t
+                .scan()
+                .filter(|tuple| tuple.get(*c).map(|v| !v.is_null()).unwrap_or(false))
+                .map(|tuple| tuple.id)
+                .collect(),
+        };
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Execute one query through the memo.
+    pub fn execute(&mut self, q: &ConjunctiveQuery) -> QueryResult {
+        let mut inspected = 0usize;
+        // Intersect per-predicate result sets.
+        let mut candidates: Option<Vec<TupleId>> = None;
+        for p in &q.predicates {
+            let ids = self.eval_predicate(q.base, p);
+            inspected += ids.len();
+            candidates = Some(match candidates {
+                None => ids.as_ref().clone(),
+                Some(prev) => intersect_sorted(&prev, &ids),
+            });
+            if matches!(candidates.as_deref(), Some([])) {
+                break;
+            }
+        }
+        let base_ids: Vec<TupleId> = match candidates {
+            Some(ids) => ids,
+            None => match self.db.table(q.base) {
+                Some(t) => t.scan().map(|tuple| tuple.id).collect(),
+                None => Vec::new(),
+            },
+        };
+        // Apply join steps: a base tuple qualifies if every join step has a
+        // partner in its memoized qualifying set.
+        let mut out = Vec::new();
+        'tuples: for tid in base_ids {
+            let Some(tuple) = self.db.get(tid) else { continue };
+            inspected += 1;
+            for step in &q.joins {
+                if !self.join_matches(&tuple, step) {
+                    continue 'tuples;
+                }
+            }
+            out.push(tid);
+        }
+        out.sort();
+        out.dedup();
+        QueryResult { tuples: out, inspected }
+    }
+
+    /// Whether `tuple` has a partner in `step.table` satisfying the step's
+    /// predicates, using memoized per-predicate sets on the joined table.
+    fn join_matches(&mut self, tuple: &relstore::Tuple, step: &JoinStep) -> bool {
+        // Qualifying set of the joined table under the step's predicates.
+        let qualifying: Option<Vec<TupleId>> = {
+            let mut acc: Option<Vec<TupleId>> = None;
+            for p in &step.predicates {
+                let ids = self.eval_predicate(step.table, p);
+                acc = Some(match acc {
+                    None => ids.as_ref().clone(),
+                    Some(prev) => intersect_sorted(&prev, &ids),
+                });
+            }
+            acc
+        };
+        let holds = |pid: TupleId, qualifying: &Option<Vec<TupleId>>| match qualifying {
+            None => true,
+            Some(ids) => ids.binary_search(&pid).is_ok(),
+        };
+        // Outgoing FK partners.
+        for fk in self.db.catalog().outgoing(tuple.id.table) {
+            if fk.to_table != step.table {
+                continue;
+            }
+            if let Some(pid) = self.db.follow_fk(tuple, fk) {
+                if holds(pid, &qualifying) {
+                    return true;
+                }
+            }
+        }
+        // Incoming FK partners.
+        for fk in self.db.catalog().incoming(tuple.id.table) {
+            if fk.from_table != step.table {
+                continue;
+            }
+            let Some(key) = tuple.key() else { continue };
+            if let Some(t) = self.db.table(fk.from_table) {
+                for pid in t.lookup(fk.from_column, key) {
+                    if holds(pid, &qualifying) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Execute a batch under the given mode, returning one result per
+    /// query (in order).
+    pub fn execute_batch(
+        db: &Database,
+        queries: &[ConjunctiveQuery],
+        mode: ExecutionMode,
+    ) -> Vec<QueryResult> {
+        match mode {
+            ExecutionMode::Shared => {
+                let mut exec = SharedExecutor::new(db);
+                queries.iter().map(|q| exec.execute(q)).collect()
+            }
+            ExecutionMode::Isolated => queries
+                .iter()
+                .map(|q| SharedExecutor::new(db).execute(q))
+                .collect(),
+        }
+    }
+}
+
+/// Intersection of two ascending-sorted id lists.
+fn intersect_sorted(a: &[TupleId], b: &[TupleId]) -> Vec<TupleId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{DataType, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("gene")
+                .column("gid", DataType::Text)
+                .column("name", DataType::Text)
+                .indexed_column("family", DataType::Text)
+                .primary_key("gid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        for (gid, name, fam) in [
+            ("JW0013", "grpC", "F1"),
+            ("JW0014", "groP", "F6"),
+            ("JW0019", "yaaB", "F3"),
+            ("JW0012", "yaaI", "F1"),
+        ] {
+            db.insert("gene", vec![Value::text(gid), Value::text(name), Value::text(fam)])
+                .unwrap();
+        }
+        db
+    }
+
+    fn family_query(db: &Database, fam: &str) -> ConjunctiveQuery {
+        let gene = db.catalog().resolve("gene").unwrap();
+        let fcol = db.table(gene).unwrap().schema().column_id("family").unwrap();
+        ConjunctiveQuery::scan(gene)
+            .with_predicate(Predicate::ContainsToken(fcol, fam.to_lowercase()))
+    }
+
+    #[test]
+    fn shared_matches_isolated_results() {
+        let db = db();
+        let queries = vec![family_query(&db, "F1"), family_query(&db, "F1"), family_query(&db, "F3")];
+        let shared = SharedExecutor::execute_batch(&db, &queries, ExecutionMode::Shared);
+        let isolated = SharedExecutor::execute_batch(&db, &queries, ExecutionMode::Isolated);
+        for (s, i) in shared.iter().zip(&isolated) {
+            assert_eq!(s.tuples, i.tuples);
+        }
+    }
+
+    #[test]
+    fn shared_mode_caches_repeated_predicates() {
+        let db = db();
+        let queries = vec![family_query(&db, "F1"); 5];
+        let mut exec = SharedExecutor::new(&db);
+        for q in &queries {
+            exec.execute(q);
+        }
+        assert_eq!(exec.evaluations, 1, "one real evaluation");
+        assert_eq!(exec.cache_hits, 4, "four memo hits");
+    }
+
+    #[test]
+    fn shared_matches_relstore_executor() {
+        let db = db();
+        let q = family_query(&db, "F1");
+        let via_shared = SharedExecutor::new(&db).execute(&q);
+        let via_relstore = q.execute(&db).unwrap();
+        assert_eq!(via_shared.tuples, via_relstore.tuples);
+    }
+
+    #[test]
+    fn empty_intersection_short_circuits() {
+        let db = db();
+        let gene = db.catalog().resolve("gene").unwrap();
+        let name = db.table(gene).unwrap().schema().column_id("name").unwrap();
+        let fam = db.table(gene).unwrap().schema().column_id("family").unwrap();
+        let q = ConjunctiveQuery::scan(gene)
+            .with_predicate(Predicate::ContainsToken(name, "grpc".into()))
+            .with_predicate(Predicate::ContainsToken(fam, "f6".into()));
+        let r = SharedExecutor::new(&db).execute(&q);
+        assert!(r.tuples.is_empty());
+    }
+
+    #[test]
+    fn intersect_sorted_works() {
+        use relstore::schema::TableId;
+        let t = |r| TupleId::new(TableId(0), r);
+        assert_eq!(intersect_sorted(&[t(1), t(2), t(4)], &[t(2), t(3), t(4)]), vec![t(2), t(4)]);
+        assert_eq!(intersect_sorted(&[], &[t(1)]), vec![]);
+    }
+
+    #[test]
+    fn scan_query_returns_all() {
+        let db = db();
+        let gene = db.catalog().resolve("gene").unwrap();
+        let r = SharedExecutor::new(&db).execute(&ConjunctiveQuery::scan(gene));
+        assert_eq!(r.tuples.len(), 4);
+    }
+
+    fn db_with_fk() -> Database {
+        let mut db = db();
+        db.create_table(
+            TableSchema::builder("protein")
+                .column("pid", DataType::Text)
+                .column("pname", DataType::Text)
+                .column("gene_id", DataType::Text)
+                .primary_key("pid")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.add_foreign_key("protein", "gene_id", "gene").unwrap();
+        db.insert(
+            "protein",
+            vec![Value::text("P1"), Value::text("Actin"), Value::text("JW0013")],
+        )
+        .unwrap();
+        db.insert(
+            "protein",
+            vec![Value::text("P2"), Value::text("Kinase"), Value::text("JW0014")],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn join_through_memo_matches_relstore() {
+        let db = db_with_fk();
+        let gene = db.catalog().resolve("gene").unwrap();
+        let protein = db.catalog().resolve("protein").unwrap();
+        let pname = db.table(protein).unwrap().schema().column_id("pname").unwrap();
+        // Genes having a protein named "actin" — incoming FK join.
+        let q = ConjunctiveQuery::scan(gene).with_join(relstore::JoinStep {
+            table: protein,
+            predicates: vec![Predicate::ContainsToken(pname, "actin".into())],
+        });
+        let via_shared = SharedExecutor::new(&db).execute(&q);
+        let via_relstore = q.execute(&db).unwrap();
+        assert_eq!(via_shared.tuples, via_relstore.tuples);
+        assert_eq!(via_shared.tuples.len(), 1);
+
+        // Outgoing direction: proteins of an F1 gene.
+        let fam = db.table(gene).unwrap().schema().column_id("family").unwrap();
+        let q2 = ConjunctiveQuery::scan(protein).with_join(relstore::JoinStep {
+            table: gene,
+            predicates: vec![Predicate::Eq(fam, Value::text("F1"))],
+        });
+        let a = SharedExecutor::new(&db).execute(&q2);
+        let b = q2.execute(&db).unwrap();
+        assert_eq!(a.tuples, b.tuples);
+        assert_eq!(a.tuples.len(), 1, "only P1's gene is in F1");
+    }
+
+    #[test]
+    fn join_predicates_are_memoized_across_queries() {
+        let db = db_with_fk();
+        let gene = db.catalog().resolve("gene").unwrap();
+        let protein = db.catalog().resolve("protein").unwrap();
+        let pname = db.table(protein).unwrap().schema().column_id("pname").unwrap();
+        let gname = db.table(gene).unwrap().schema().column_id("name").unwrap();
+        let join = relstore::JoinStep {
+            table: protein,
+            predicates: vec![Predicate::ContainsToken(pname, "actin".into())],
+        };
+        let q1 = ConjunctiveQuery::scan(gene)
+            .with_predicate(Predicate::ContainsToken(gname, "grpc".into()))
+            .with_join(join.clone());
+        let q2 = ConjunctiveQuery::scan(gene)
+            .with_predicate(Predicate::ContainsToken(gname, "grop".into()))
+            .with_join(join);
+        let mut exec = SharedExecutor::new(&db);
+        exec.execute(&q1);
+        let evals_after_first = exec.evaluations;
+        exec.execute(&q2);
+        // Second query re-evaluates only its own base predicate; the join
+        // predicate comes from the memo.
+        assert_eq!(exec.evaluations, evals_after_first + 1);
+        assert!(exec.cache_hits >= 1);
+    }
+}

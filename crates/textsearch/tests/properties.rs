@@ -1,0 +1,109 @@
+//! Property-based tests for the keyword-search engine.
+
+use proptest::prelude::*;
+use relstore::{Database, DataType, TableSchema, Value};
+use textsearch::{ExecutionMode, KeywordQuery, KeywordSearch, SearchOptions};
+
+/// Random single-table database of short text rows.
+fn build_db(rows: &[String]) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("item")
+            .column("id", DataType::Int)
+            .column("body", DataType::Text)
+            .primary_key("id")
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for (i, body) in rows.iter().enumerate() {
+        db.insert("item", vec![Value::Int(i as i64), Value::text(body.clone())]).unwrap();
+    }
+    db
+}
+
+proptest! {
+    /// Soundness: every hit actually contains at least one query token
+    /// (hits come from ContainsToken predicates over the query's tokens).
+    #[test]
+    fn hits_contain_some_query_token(
+        rows in proptest::collection::vec("[a-d]{1,3}( [a-d]{1,3}){0,3}", 1..15),
+        query in "[a-d]{1,3}",
+    ) {
+        let db = build_db(&rows);
+        let engine = KeywordSearch::new(SearchOptions {
+            min_confidence: 0.0,
+            ..Default::default()
+        });
+        let hits = engine.search(&KeywordQuery::new([query.clone()]), &db);
+        for h in hits {
+            let tuple = db.get(h.tuple).unwrap();
+            let body = tuple.get_by_name("body").unwrap().render();
+            prop_assert!(
+                body.split_whitespace().any(|w| w == query),
+                "hit `{body}` lacks token `{query}`"
+            );
+            prop_assert!(h.confidence > 0.0 && h.confidence <= 1.0);
+        }
+    }
+
+    /// Completeness for unique tokens: a token occurring in exactly one
+    /// row is always found with that row first.
+    #[test]
+    fn unique_token_always_found(
+        mut rows in proptest::collection::vec("[a-c]{1,3}( [a-c]{1,3}){0,2}", 1..10),
+    ) {
+        // Inject a guaranteed-unique token into one row.
+        rows[0] = format!("{} zqx", rows[0]);
+        let db = build_db(&rows);
+        let engine = KeywordSearch::default();
+        let hits = engine.search(&KeywordQuery::new(["zqx"]), &db);
+        prop_assert_eq!(hits.len(), 1);
+        let body = db.get(hits[0].tuple).unwrap().get_by_name("body").unwrap().render();
+        prop_assert!(body.contains("zqx"));
+    }
+
+    /// Shared and isolated group execution return identical hit sets for
+    /// arbitrary query groups.
+    #[test]
+    fn sharing_preserves_semantics(
+        rows in proptest::collection::vec("[a-d]{1,3}( [a-d]{1,3}){0,3}", 1..12),
+        queries in proptest::collection::vec("[a-d]{1,3}", 1..6),
+    ) {
+        let db = build_db(&rows);
+        let engine = KeywordSearch::new(SearchOptions {
+            min_confidence: 0.0,
+            ..Default::default()
+        });
+        let group: Vec<KeywordQuery> =
+            queries.iter().map(|q| KeywordQuery::new([q.clone()])).collect();
+        let (shared, _) = engine.search_group(&group, &db, ExecutionMode::Shared);
+        let (isolated, _) = engine.search_group(&group, &db, ExecutionMode::Isolated);
+        prop_assert_eq!(shared.len(), isolated.len());
+        for (s, i) in shared.iter().zip(&isolated) {
+            let st: Vec<_> = s.iter().map(|h| h.tuple).collect();
+            let it: Vec<_> = i.iter().map(|h| h.tuple).collect();
+            prop_assert_eq!(st, it);
+        }
+    }
+
+    /// Raising the confidence floor can only shrink the answer.
+    #[test]
+    fn min_confidence_monotone(
+        rows in proptest::collection::vec("[a-d]{1,3}( [a-d]{1,3}){0,3}", 1..12),
+        query in "[a-d]{1,3}",
+        floor in 0.0f64..=1.0,
+    ) {
+        let db = build_db(&rows);
+        let loose = KeywordSearch::new(SearchOptions { min_confidence: 0.0, ..Default::default() });
+        let strict = KeywordSearch::new(SearchOptions { min_confidence: floor, ..Default::default() });
+        let q = KeywordQuery::new([query]);
+        let all = loose.search(&q, &db);
+        let some = strict.search(&q, &db);
+        prop_assert!(some.len() <= all.len());
+        let all_set: std::collections::HashSet<_> = all.iter().map(|h| h.tuple).collect();
+        for h in some {
+            prop_assert!(all_set.contains(&h.tuple));
+        }
+    }
+}

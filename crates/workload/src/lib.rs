@@ -1,0 +1,29 @@
+//! # nebula-workload — synthetic curated biological datasets
+//!
+//! The Nebula paper evaluates on a subset of the UniProt curated database
+//! (Protein / Gene / Publication tables, ≈18 GB). That data cannot be
+//! shipped, so this crate generates a **synthetic equivalent** preserving
+//! every property the evaluation manipulates:
+//!
+//! - the same schema and FK relationships (Protein →many-to-one→ Gene;
+//!   publications attached many-to-many to genes and proteins),
+//! - the syntactic regularities NebulaMeta exploits
+//!   (`Gene.ID ~ JW[0-9]{4}`, `Gene.Name ~ [a-z]{3}[A-Z]`,
+//!   protein ids sampled, protein types from a small ontology),
+//! - publications whose abstracts **embed references** to gene/protein
+//!   tuples with a controlled count — the ground truth (`D_ideal`) every
+//!   experiment assesses against,
+//! - the paper's workload structure: four size groups
+//!   `L^50, L^100, L^500, L^1000` (max annotation bytes) × three link
+//!   subsets `L_{1-3}, L_{4-6}, L_{7-10}` (embedded-reference counts),
+//!   with `L^50·L_{7-10}` substituted as footnote 3 describes.
+//!
+//! All generation is seeded and deterministic.
+
+pub mod names;
+pub mod text;
+pub mod uniprot;
+pub mod workload;
+
+pub use uniprot::{generate_dataset, DatasetBundle, DatasetSpec};
+pub use workload::{build_workload, LinkBand, WorkloadAnnotation, WorkloadSet, WorkloadSpec};

@@ -1,0 +1,133 @@
+//! Deterministic generators for biological identifiers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Gene id for index `i`: `JW0000`–`JW9999` (the paper's
+/// `Gene.ID ~ JW[0-9]{4}` pattern). Panics beyond 10 000 genes.
+pub fn gene_id(i: usize) -> String {
+    assert!(i < 10_000, "gene id space exhausted (JW[0-9]{{4}})");
+    format!("JW{i:04}")
+}
+
+/// Gene name for index `i`: three lowercase letters + one uppercase (the
+/// paper's `[a-z]{3}[A-Z]` pattern), unique per index.
+pub fn gene_name(i: usize) -> String {
+    let letters = |n: usize| (b'a' + (n % 26) as u8) as char;
+    let upper = (b'A' + ((i / (26 * 26 * 26)) % 26) as u8) as char;
+    format!(
+        "{}{}{}{}",
+        letters(i % 26),
+        letters((i / 26) % 26),
+        letters((i / (26 * 26)) % 26),
+        upper
+    )
+}
+
+/// Protein id for index `i`: `P00000`–`P99999`.
+pub fn protein_id(i: usize) -> String {
+    assert!(i < 100_000, "protein id space exhausted");
+    format!("P{i:05}")
+}
+
+/// Protein-name stems used to build readable protein names.
+const PROTEIN_STEMS: &[&str] = &[
+    "Actin", "Kinase", "Ligase", "Helicase", "Polymerase", "Chaperone", "Synthase",
+    "Reductase", "Oxidase", "Transferase", "Permease", "Isomerase", "Hydrolase", "Mutase",
+    "Cyclase", "Esterase",
+];
+
+/// Protein name for index `i`, e.g. `G-Actin`, `B-Kinase`; names repeat
+/// across proteins (realistic — names alone are ambiguous, which is why
+/// `ConceptRefs` pairs `PName` with `PType`).
+pub fn protein_name(i: usize) -> String {
+    let prefix = (b'A' + ((i / PROTEIN_STEMS.len()) % 26) as u8) as char;
+    format!("{}-{}", prefix, PROTEIN_STEMS[i % PROTEIN_STEMS.len()])
+}
+
+/// The protein-type controlled vocabulary (stored as a NebulaMeta
+/// ontology).
+pub const PROTEIN_TYPES: &[&str] =
+    &["enzyme", "receptor", "structural", "transport", "signaling", "regulatory"];
+
+/// Protein type for index `i`.
+pub fn protein_type(i: usize) -> &'static str {
+    PROTEIN_TYPES[i % PROTEIN_TYPES.len()]
+}
+
+/// Gene family label: `F1`–`F{n}`.
+pub fn family(i: usize, families: usize) -> String {
+    format!("F{}", 1 + i % families.max(1))
+}
+
+/// A plausible nucleotide sequence of the given length.
+pub fn sequence(rng: &mut StdRng, len: usize) -> String {
+    const BASES: [char; 4] = ['A', 'C', 'G', 'T'];
+    (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gene_ids_match_pattern_and_are_unique() {
+        let p = nebula_core::Pattern::compile("JW[0-9]{4}").unwrap();
+        let ids: Vec<String> = (0..100).map(gene_id).collect();
+        assert!(ids.iter().all(|id| p.matches(id)));
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn gene_id_space_bounded() {
+        gene_id(10_000);
+    }
+
+    #[test]
+    fn gene_names_match_pattern_and_are_unique_in_range() {
+        let p = nebula_core::Pattern::compile("[a-z]{3}[A-Z]").unwrap();
+        let names: Vec<String> = (0..5000).map(gene_name).collect();
+        assert!(names.iter().all(|n| p.matches(n)));
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn protein_ids_unique() {
+        assert_eq!(protein_id(0), "P00000");
+        assert_eq!(protein_id(42), "P00042");
+        assert_ne!(protein_id(1), protein_id(2));
+    }
+
+    #[test]
+    fn protein_names_cycle_stems() {
+        assert!(protein_name(0).ends_with("Actin"));
+        assert!(protein_name(0).contains('-'));
+        // Names repeat at stem-cycle boundaries with different prefixes.
+        assert_ne!(protein_name(0), protein_name(PROTEIN_STEMS.len()));
+    }
+
+    #[test]
+    fn families_bounded() {
+        for i in 0..50 {
+            let f = family(i, 6);
+            let n: usize = f[1..].parse().unwrap();
+            assert!((1..=6).contains(&n));
+        }
+    }
+
+    #[test]
+    fn sequences_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(sequence(&mut a, 32), sequence(&mut b, 32));
+        assert!(sequence(&mut a, 16).chars().all(|c| "ACGT".contains(c)));
+    }
+}

@@ -1,0 +1,96 @@
+//! English filler text for publication abstracts.
+//!
+//! The filler vocabulary deliberately mixes neutral words with words that
+//! *could* be mistaken for references (capitalized sentence starts,
+//! shape-alike tokens) so the ε-threshold experiments have realistic noise
+//! to discriminate.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Neutral scientific filler words (lowercase; none matches the gene/
+/// protein syntactic patterns).
+const FILLER: &[&str] = &[
+    "we", "observed", "that", "expression", "levels", "increased", "during", "stress",
+    "response", "conditions", "suggesting", "regulatory", "interaction", "between",
+    "pathways", "results", "indicate", "significant", "correlation", "under", "heat",
+    "shock", "treatment", "analysis", "revealed", "binding", "affinity", "changes",
+    "measured", "samples", "cultures", "growth", "phase", "experiments", "showed",
+    "consistent", "patterns", "across", "replicates", "data", "support", "hypothesis",
+    "mechanism", "remains", "unclear", "further", "study", "required", "transcription",
+    "regulation", "membrane", "localization", "activity", "decreased", "mutant",
+    "strains", "exhibited", "phenotype", "wild", "type", "comparison", "control",
+    "conditions", "induced", "repressed", "upstream", "downstream", "promoter",
+    "region", "sequence", "conserved", "domains", "structural", "functional",
+];
+
+/// Words that shape-match identifier-like tokens — the controlled
+/// false-positive source for the ε experiments (e.g. `AB12` has the same
+/// character-class shape as a sampled protein id `P00042`: letters then
+/// digits).
+const CONFUSERS: &[&str] = &["TM4", "QX99", "pH7", "CO2", "Fig3", "OD600"];
+
+/// Append `n` filler words to `out`, roughly one in `confuser_rate` being
+/// an identifier-shaped confuser (0 disables confusers).
+pub fn push_filler(rng: &mut StdRng, out: &mut String, n: usize, confuser_rate: usize) {
+    for _ in 0..n {
+        if !out.is_empty() && !out.ends_with(' ') {
+            out.push(' ');
+        }
+        if confuser_rate > 0 && rng.gen_range(0..confuser_rate) == 0 {
+            out.push_str(CONFUSERS[rng.gen_range(0..CONFUSERS.len())]);
+        } else {
+            out.push_str(FILLER[rng.gen_range(0..FILLER.len())]);
+        }
+    }
+}
+
+/// A filler sentence of about `words` words.
+pub fn filler_sentence(rng: &mut StdRng, words: usize) -> String {
+    let mut s = String::new();
+    push_filler(rng, &mut s, words, 0);
+    s.push('.');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn filler_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(filler_sentence(&mut a, 10), filler_sentence(&mut b, 10));
+    }
+
+    #[test]
+    fn filler_words_do_not_match_identifier_patterns() {
+        let gid = nebula_core::Pattern::compile("JW[0-9]{4}").unwrap();
+        let name = nebula_core::Pattern::compile("[a-z]{3}[A-Z]").unwrap();
+        for w in FILLER {
+            assert!(!gid.matches(w), "{w}");
+            assert!(!name.matches(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn confusers_appear_at_requested_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = String::new();
+        push_filler(&mut rng, &mut s, 500, 5);
+        let confused = s.split_whitespace().filter(|w| CONFUSERS.contains(w)).count();
+        assert!(confused > 50, "confusers present: {confused}");
+        let mut clean = String::new();
+        push_filler(&mut rng, &mut clean, 500, 0);
+        assert_eq!(clean.split_whitespace().filter(|w| CONFUSERS.contains(w)).count(), 0);
+    }
+
+    #[test]
+    fn word_count_approximate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = filler_sentence(&mut rng, 20);
+        assert_eq!(s.split_whitespace().count(), 20);
+    }
+}

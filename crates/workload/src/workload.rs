@@ -1,0 +1,319 @@
+//! The evaluation workload (paper §8.1, Appendix Figure 18).
+//!
+//! A workload is 60 annotations over a dataset, divided into four size
+//! groups `L^50, L^100, L^500, L^1000` (max annotation bytes), each
+//! drawing 5 annotations from each of three link subsets
+//! `L_{1-3}, L_{4-6}, L_{7-10}` (number of embedded references). As the
+//! paper's footnote 3 notes, `L^50·L_{7-10}` cannot exist (7+ references
+//! do not fit in 50 bytes), so those 5 annotations are substituted by
+//! extras in the two smaller bands.
+//!
+//! Workload annotations are **not** part of the dataset's annotation
+//! store or its ACG — they play the role of the *new* annotations whose
+//! missing attachments Nebula must discover; their embedded-reference
+//! sets are the ground truth (`D_ideal` restricted to the annotation).
+
+use crate::uniprot::{compose_abstract, DatasetBundle};
+use crate::{names, text};
+use annostore::Annotation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relstore::TupleId;
+
+/// The embedded-reference-count subsets of Figure 18.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkBand {
+    /// 1–3 embedded references.
+    L1_3,
+    /// 4–6 embedded references.
+    L4_6,
+    /// 7–10 embedded references.
+    L7_10,
+}
+
+impl LinkBand {
+    /// The inclusive reference-count range.
+    pub fn range(&self) -> (usize, usize) {
+        match self {
+            LinkBand::L1_3 => (1, 3),
+            LinkBand::L4_6 => (4, 6),
+            LinkBand::L7_10 => (7, 10),
+        }
+    }
+
+    /// Display label (`L_{1-3}` …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LinkBand::L1_3 => "L_{1-3}",
+            LinkBand::L4_6 => "L_{4-6}",
+            LinkBand::L7_10 => "L_{7-10}",
+        }
+    }
+
+    /// All three bands.
+    pub fn all() -> [LinkBand; 3] {
+        [LinkBand::L1_3, LinkBand::L4_6, LinkBand::L7_10]
+    }
+}
+
+/// One workload annotation with its ground truth.
+#[derive(Debug, Clone)]
+pub struct WorkloadAnnotation {
+    /// The annotation to insert.
+    pub annotation: Annotation,
+    /// Every tuple the annotation references — its ideal attachment set.
+    pub ideal: Vec<TupleId>,
+    /// The band the annotation was drawn for.
+    pub band: LinkBand,
+    /// The size group (max bytes) it belongs to.
+    pub max_bytes: usize,
+}
+
+/// One `L^m` size group (15 annotations).
+#[derive(Debug, Clone)]
+pub struct WorkloadSet {
+    /// Size cap `m` in bytes.
+    pub max_bytes: usize,
+    /// The annotations of the group.
+    pub annotations: Vec<WorkloadAnnotation>,
+}
+
+impl WorkloadSet {
+    /// Annotations of one band within the group.
+    pub fn band(&self, band: LinkBand) -> impl Iterator<Item = &WorkloadAnnotation> {
+        self.annotations.iter().filter(move |a| a.band == band)
+    }
+}
+
+/// Workload shape parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// The `L^m` size caps in bytes.
+    pub sizes: Vec<usize>,
+    /// Annotations per `(size, band)` cell (the paper uses 5).
+    pub per_subset: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec { sizes: vec![50, 100, 500, 1000], per_subset: 5 }
+    }
+}
+
+/// Smallest byte budget that can hold `n` compact gene references.
+fn fits(n_refs: usize, budget: usize) -> bool {
+    // "gene " + n × ("JW0000 " = 7 bytes) — conservative.
+    5 + n_refs * 7 <= budget
+}
+
+/// Exact byte length of the compact rendering `compose_abstract` uses:
+/// each concept word once per group, plus every reference text.
+fn compact_len(refs: &[crate::uniprot::RefSpec]) -> usize {
+    let mut concepts: Vec<&str> = refs.iter().map(|r| r.concept).collect();
+    concepts.sort_unstable();
+    concepts.dedup();
+    let concept_bytes: usize = concepts.iter().map(|c| c.len() + 1).sum();
+    let ref_bytes: usize = refs.iter().map(|r| r.text.len() + 1).sum();
+    concept_bytes + ref_bytes
+}
+
+/// Build one annotation with `n_refs` embedded references within
+/// `max_bytes`.
+fn build_annotation(
+    rng: &mut StdRng,
+    bundle: &DatasetBundle,
+    n_refs: usize,
+    band: LinkBand,
+    max_bytes: usize,
+) -> WorkloadAnnotation {
+    let tight = max_bytes < 100;
+    // Workload references cluster like the dataset's own publications:
+    // tight budgets use gene references only (short).
+    let mut refs = crate::uniprot::pick_local_refs(
+        rng,
+        &bundle.spec,
+        &bundle.gene_tuples,
+        &bundle.protein_tuples,
+        n_refs,
+        tight,
+    );
+    // Drop tail references that cannot fit the byte budget in the compact
+    // rendering (protein name+type references are long); the annotation's
+    // ideal set shrinks with them, keeping text and ground truth aligned.
+    while refs.len() > 1 && compact_len(&refs) + 8 > max_bytes {
+        refs.pop();
+    }
+    let filler = if tight { 6 } else { max_bytes / 12 };
+    let body = compose_abstract(
+        rng,
+        &refs,
+        filler,
+        bundle.spec.confuser_rate,
+        Some(max_bytes),
+    );
+    debug_assert!(body.len() <= max_bytes);
+    let ideal = refs.iter().map(|r| r.tuple).collect();
+    WorkloadAnnotation {
+        annotation: Annotation::new(body).of_kind("publication"),
+        ideal,
+        band,
+        max_bytes,
+    }
+}
+
+/// Build the full workload over a dataset.
+pub fn build_workload(
+    bundle: &DatasetBundle,
+    spec: &WorkloadSpec,
+    seed: u64,
+) -> Vec<WorkloadSet> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_1234);
+    let mut sets = Vec::with_capacity(spec.sizes.len());
+    for &max_bytes in &spec.sizes {
+        let mut annotations = Vec::with_capacity(spec.per_subset * 3);
+        let mut substitutions = 0usize;
+        for band in LinkBand::all() {
+            let (lo, hi) = band.range();
+            for _ in 0..spec.per_subset {
+                let n = rng.gen_range(lo..=hi);
+                if fits(n, max_bytes) {
+                    annotations.push(build_annotation(&mut rng, bundle, n, band, max_bytes));
+                } else {
+                    // Footnote 3: the cell is infeasible; substitute with
+                    // an extra annotation in a smaller band.
+                    substitutions += 1;
+                }
+            }
+        }
+        for i in 0..substitutions {
+            let band = if i % 2 == 0 { LinkBand::L1_3 } else { LinkBand::L4_6 };
+            let (lo, hi) = band.range();
+            let mut n = rng.gen_range(lo..=hi);
+            while !fits(n, max_bytes) {
+                n -= 1;
+            }
+            annotations.push(build_annotation(&mut rng, bundle, n.max(1), band, max_bytes));
+        }
+        sets.push(WorkloadSet { max_bytes, annotations });
+    }
+    sets
+}
+
+/// A quick text sample resembling Alice's comment in Figure 1 — used by
+/// examples and docs.
+pub fn alice_comment(bundle: &DatasetBundle) -> (Annotation, Vec<TupleId>) {
+    let mut rng = StdRng::seed_from_u64(0xa11ce);
+    let mut s = String::from("From the exp, it seems this gene is correlated to ");
+    s.push_str(&names::gene_id(1));
+    s.push_str(" expression of ");
+    s.push_str(&names::gene_name(0));
+    s.push(' ');
+    text::push_filler(&mut rng, &mut s, 4, 0);
+    (
+        Annotation::new(s).by("Alice").of_kind("comment"),
+        vec![bundle.gene_tuples[1], bundle.gene_tuples[0]],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniprot::{generate_dataset, DatasetSpec};
+
+    fn bundle() -> DatasetBundle {
+        generate_dataset(&DatasetSpec::tiny(), 42)
+    }
+
+    #[test]
+    fn workload_has_paper_shape() {
+        let b = bundle();
+        let sets = build_workload(&b, &WorkloadSpec::default(), 1);
+        assert_eq!(sets.len(), 4);
+        for set in &sets {
+            assert_eq!(set.annotations.len(), 15, "15 annotations per L^m");
+            for a in &set.annotations {
+                assert!(a.annotation.size_bytes() <= set.max_bytes,
+                    "{} > {}", a.annotation.size_bytes(), set.max_bytes);
+                assert!(!a.ideal.is_empty());
+                assert!(a.ideal.len() <= 10);
+            }
+        }
+    }
+
+    #[test]
+    fn l50_l710_substituted() {
+        let b = bundle();
+        let sets = build_workload(&b, &WorkloadSpec::default(), 1);
+        let l50 = sets.iter().find(|s| s.max_bytes == 50).unwrap();
+        assert_eq!(l50.band(LinkBand::L7_10).count(), 0, "7–10 refs cannot fit 50 bytes");
+        assert_eq!(l50.annotations.len(), 15, "substituted, not dropped");
+        let l1000 = sets.iter().find(|s| s.max_bytes == 1000).unwrap();
+        assert_eq!(l1000.band(LinkBand::L7_10).count(), 5);
+    }
+
+    #[test]
+    fn reference_counts_match_bands() {
+        let b = bundle();
+        let sets = build_workload(&b, &WorkloadSpec::default(), 2);
+        for set in &sets {
+            for a in &set.annotations {
+                let (lo, hi) = a.band.range();
+                // Substituted annotations may have fewer refs than the
+                // band floor, but never more than its ceiling.
+                assert!(a.ideal.len() <= hi);
+                if a.annotation.size_bytes() > 60 {
+                    assert!(a.ideal.len() >= lo.min(a.ideal.len()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn annotation_text_embeds_every_reference() {
+        let b = bundle();
+        let sets = build_workload(&b, &WorkloadSpec::default(), 3);
+        for set in &sets {
+            for a in &set.annotations {
+                for t in &a.ideal {
+                    let tuple = b.db.get(*t).unwrap();
+                    let key = tuple.key().unwrap().render();
+                    let named = ["name", "pname"].iter().any(|col| {
+                        tuple
+                            .get_by_name(col)
+                            .map(|v| {
+                                let n = v.render();
+                                !n.is_empty() && a.annotation.text.contains(&n)
+                            })
+                            .unwrap_or(false)
+                    });
+                    assert!(
+                        a.annotation.text.contains(&key) || named,
+                        "reference to {key} missing in: {}",
+                        a.annotation.text
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload_deterministic() {
+        let b = bundle();
+        let s1 = build_workload(&b, &WorkloadSpec::default(), 9);
+        let s2 = build_workload(&b, &WorkloadSpec::default(), 9);
+        for (a, b) in s1.iter().zip(&s2) {
+            for (x, y) in a.annotations.iter().zip(&b.annotations) {
+                assert_eq!(x.annotation.text, y.annotation.text);
+                assert_eq!(x.ideal, y.ideal);
+            }
+        }
+    }
+
+    #[test]
+    fn alice_comment_references_two_genes() {
+        let b = bundle();
+        let (ann, ideal) = alice_comment(&b);
+        assert_eq!(ideal.len(), 2);
+        assert!(ann.text.contains("JW0001"));
+    }
+}

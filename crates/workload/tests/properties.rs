@@ -1,0 +1,79 @@
+//! Property-based tests for the synthetic dataset and workload generators.
+
+use nebula_workload::{build_workload, generate_dataset, DatasetSpec, WorkloadSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Protein→gene layout is a partition: `proteins_of_gene` ranges are
+    /// disjoint, cover all proteins, and invert `gene_of_protein`.
+    #[test]
+    fn protein_gene_layout_partitions(genes in 1usize..50, proteins in 0usize..80) {
+        let spec = DatasetSpec { genes, proteins, ..DatasetSpec::tiny() };
+        let mut covered = vec![false; proteins];
+        for g in 0..genes {
+            for p in spec.proteins_of_gene(g) {
+                prop_assert!(!covered[p], "protein {p} assigned to two genes");
+                covered[p] = true;
+                prop_assert_eq!(spec.gene_of_protein(p), g);
+            }
+        }
+        prop_assert!(covered.iter().all(|c| *c), "every protein has a gene");
+    }
+
+    /// Workload sets always respect their byte caps and reference counts,
+    /// at any seed.
+    #[test]
+    fn workload_respects_budgets(seed in 0u64..1000) {
+        let bundle = generate_dataset(&DatasetSpec::tiny(), seed);
+        let sets = build_workload(&bundle, &WorkloadSpec::default(), seed);
+        prop_assert_eq!(sets.len(), 4);
+        for set in &sets {
+            prop_assert_eq!(set.annotations.len(), 15);
+            for wa in &set.annotations {
+                prop_assert!(wa.annotation.size_bytes() <= set.max_bytes);
+                prop_assert!(!wa.ideal.is_empty());
+                prop_assert!(wa.ideal.len() <= 10);
+                // Ideal tuples are distinct and live.
+                let mut d = wa.ideal.clone();
+                d.sort();
+                d.dedup();
+                prop_assert_eq!(d.len(), wa.ideal.len());
+                for t in &wa.ideal {
+                    prop_assert!(bundle.db.get(*t).is_some());
+                }
+            }
+        }
+    }
+
+    /// Dataset invariants hold for arbitrary (small) shapes.
+    #[test]
+    fn dataset_shape_invariants(
+        genes in 5usize..40,
+        proteins in 0usize..40,
+        publications in 1usize..40,
+    ) {
+        let spec = DatasetSpec {
+            genes,
+            proteins,
+            publications,
+            links_per_publication: (1, 3),
+            ..DatasetSpec::tiny()
+        };
+        let b = generate_dataset(&spec, 1);
+        prop_assert_eq!(b.gene_tuples.len(), genes);
+        prop_assert_eq!(b.protein_tuples.len(), proteins);
+        prop_assert_eq!(b.publication_tuples.len(), publications);
+        prop_assert_eq!(b.annotations.annotation_count(), publications);
+        // Every annotation's focal tuples are entities, not publications.
+        for (aid, _) in b.annotations.iter_annotations() {
+            for t in b.annotations.focal(aid) {
+                prop_assert!(
+                    b.gene_tuples.contains(&t) || b.protein_tuples.contains(&t),
+                    "publication links point at entities"
+                );
+            }
+        }
+    }
+}

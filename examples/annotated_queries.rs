@@ -1,0 +1,96 @@
+//! The *passive* annotation-management layer on its own: attachments at
+//! row and cell granularity, query-time propagation through projections,
+//! and curator predicates that auto-attach annotations to qualifying new
+//! tuples ([18, 25]-style structured automation — the part that existed
+//! before Nebula).
+//!
+//! ```text
+//! cargo run --example annotated_queries
+//! ```
+
+use nebula::annostore::{
+    propagate, Annotation, AnnotationStore, AttachmentTarget, CuratorPredicate, CuratorRegistry,
+};
+use nebula::relstore::{ConjunctiveQuery, Database, DataType, Predicate, TableSchema, Value};
+
+fn main() {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("gene")
+            .column("gid", DataType::Text)
+            .column("name", DataType::Text)
+            .indexed_column("family", DataType::Text)
+            .primary_key("gid")
+            .build()
+            .expect("valid schema"),
+    )
+    .expect("fresh db");
+    let gene = db.catalog().resolve("gene").expect("created");
+    let schema = db.table(gene).expect("exists").schema().clone();
+    let name_col = schema.column_id("name").expect("exists");
+    let family_col = schema.column_id("family").expect("exists");
+
+    let mut store = AnnotationStore::new();
+
+    // Row-level and cell-level attachments.
+    let g1 = db
+        .insert("gene", vec![Value::text("JW0013"), Value::text("grpC"), Value::text("F1")])
+        .expect("unique");
+    let row_note = store.add_annotation(Annotation::new("heat-shock candidate").by("Bob"));
+    store.attach(row_note, AttachmentTarget::tuple(g1)).expect("live tuple");
+    let cell_note =
+        store.add_annotation(Annotation::new("name disputed in literature").by("Alice"));
+    store.attach(cell_note, AttachmentTarget::cell(g1, name_col)).expect("live tuple");
+
+    // Curator predicate: every gene in family F1 gets the Rounded Flag
+    // automatically (the Figure 1 "Rounded Flag" correlation, expressed
+    // as a structured rule).
+    let flag = store.add_annotation(Annotation::new("Rounded Flag").of_kind("flag"));
+    let mut curators = CuratorRegistry::new();
+    curators.add_rule(CuratorPredicate {
+        annotation: flag,
+        query: ConjunctiveQuery::scan(gene)
+            .with_predicate(Predicate::Eq(family_col, Value::text("F1"))),
+    });
+    // Retroactively flag the existing row, then watch new inserts.
+    curators.on_insert(&db, &mut store, g1).expect("rule applies");
+    for (gid, name, fam) in [("JW0014", "groP", "F6"), ("JW0012", "yaaI", "F1")] {
+        let t = db
+            .insert("gene", vec![Value::text(gid), Value::text(name), Value::text(fam)])
+            .expect("unique");
+        let attached = curators.on_insert(&db, &mut store, t).expect("rules apply");
+        println!(
+            "inserted {gid} ({fam}): {} curator annotation(s) auto-attached",
+            attached.len()
+        );
+    }
+
+    // Query-time propagation: SELECT gid, family FROM gene WHERE family='F1'
+    // — annotations ride along; the cell-level note on `name` is dropped
+    // because the projection removed its column.
+    let query = ConjunctiveQuery::scan(gene)
+        .with_predicate(Predicate::Eq(family_col, Value::text("F1")));
+    let result = query.execute(&db).expect("valid query");
+    let projection = [schema.column_id("gid").expect("exists"), family_col];
+    println!("\nSELECT gid, family FROM gene WHERE family = 'F1':");
+    for answer in propagate(&store, &result.tuples, Some(&projection)) {
+        let tuple = db.get(answer.tuple).expect("live tuple");
+        let notes: Vec<String> = answer
+            .annotations
+            .iter()
+            .map(|a| store.annotation(*a).expect("stored").text.clone())
+            .collect();
+        println!(
+            "  {} | {}  <- [{}]",
+            tuple.get_by_name("gid").expect("col"),
+            tuple.get_by_name("family").expect("col"),
+            notes.join(", ")
+        );
+    }
+
+    // SELECT * keeps the cell-level note.
+    println!("\nSELECT * FROM gene WHERE family = 'F1':");
+    for answer in propagate(&store, &result.tuples, None) {
+        println!("  {} annotations on {}", answer.annotations.len(), answer.tuple);
+    }
+}

@@ -1,0 +1,103 @@
+//! A realistic curation pipeline over a synthetic UniProt-like database:
+//! a stream of new publications arrives, Nebula discovers their missing
+//! attachments, the ACG matures until focal-spreading search engages, and
+//! a (simulated) expert works the pending queue. Ends with the paper's
+//! four assessment criteria for the whole run.
+//!
+//! ```text
+//! cargo run --release --example curation_pipeline
+//! ```
+
+use nebula::nebula_core::{assess_predictions, AssessmentReport, SessionReport, StabilityConfig};
+use nebula::nebula_workload::{build_workload, WorkloadSpec};
+use nebula::prelude::*;
+
+fn main() {
+    // A mid-size dataset; its publications pre-populate the store and ACG.
+    let spec = DatasetSpec::small();
+    let mut bundle = generate_dataset(&spec, 7);
+
+    let config = NebulaConfig {
+        search_mode: SearchMode::FocalSpreadAuto { coverage: 0.95 },
+        require_stable: true,
+        bounds: VerificationBounds::new(0.6, 0.8), // near the BoundsSetting optimum
+        stability: StabilityConfig { batch_size: 10, mu: 0.3 },
+        ..Default::default()
+    };
+    let mut nebula = Nebula::new(config, bundle.meta.clone());
+    nebula.bootstrap_acg(&bundle.annotations);
+    println!(
+        "bootstrap: {} annotations, ACG {} nodes / {} edges",
+        bundle.annotations.annotation_count(),
+        nebula.acg().node_count(),
+        nebula.acg().edge_count()
+    );
+
+    // A stream of 45 brand-new publications (the workload generator keeps
+    // their ground-truth reference sets for the final assessment).
+    let stream = build_workload(&bundle, &WorkloadSpec { sizes: vec![500], per_subset: 15 }, 99);
+    let mut reports: Vec<AssessmentReport> = Vec::new();
+    let mut session = SessionReport::new();
+    let mut spread_used = 0usize;
+
+    for (i, wa) in stream[0].annotations.iter().enumerate() {
+        // The author attaches the publication to one tuple; the rest is
+        // Nebula's job.
+        let focal = vec![wa.ideal[0]];
+        let outcome = nebula
+            .process_annotation(&bundle.db, &mut bundle.annotations, &wa.annotation, &focal)
+            .expect("processing succeeds");
+        if outcome.used_focal_spread {
+            spread_used += 1;
+        }
+        session.record(&outcome);
+
+        // The expert (simulated with the ground truth) works the queue.
+        for vid in &outcome.pending {
+            let task = nebula.queue().get(*vid).expect("pending").clone();
+            let correct = wa.ideal.contains(&task.tuple);
+            nebula
+                .resolve_task(&mut bundle.annotations, *vid, correct)
+                .expect("task resolves");
+            session.record_resolution(correct);
+        }
+
+        // Record the assessment for this annotation.
+        let (_, report) = assess_predictions(
+            &outcome.candidates,
+            &nebula.config().bounds,
+            &wa.ideal,
+            &focal,
+        );
+        reports.push(report);
+
+        if (i + 1) % 15 == 0 {
+            println!(
+                "after {:>2} annotations: ACG stable = {}, focal-spreading used {} times, \
+                 hop-profile points = {}",
+                i + 1,
+                nebula.acg().is_stable(),
+                spread_used,
+                nebula.profile().total()
+            );
+        }
+    }
+
+    let avg = AssessmentReport::average(&reports);
+    println!("\nwhole-run assessment (45 annotations):");
+    println!("  F_N = {:.1}%  (missed attachments)", avg.f_n * 100.0);
+    println!("  F_P = {:.1}%  (wrong auto-accepts)", avg.f_p * 100.0);
+    println!("  M_F = {:.1}   (expert verifications per annotation)", avg.m_f);
+    println!("  M_H = {:.2}   (expert-accept ratio)", avg.m_h);
+    println!(
+        "  expert actions total: {}",
+        session.expert_accepts + session.expert_rejects
+    );
+    println!(
+        "  profile coverage: K=2 -> {:.0}%, K=3 -> {:.0}%",
+        nebula.profile().coverage(2) * 100.0,
+        nebula.profile().coverage(3) * 100.0
+    );
+    println!("
+{session}");
+}

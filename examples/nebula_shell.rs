@@ -1,0 +1,59 @@
+//! Interactive extended-SQL shell over a synthetic annotated database.
+//!
+//! ```text
+//! cargo run --release --example nebula_shell
+//! nebula> SELECT gene WHERE family = 'F1' LIMIT 3;
+//! nebula> ANNOTATE gene 'JW0005' 'correlated with JW0001 under stress';
+//! nebula> PENDING;
+//! nebula> VERIFY ATTACHMENT 0;
+//! nebula> EXIT;
+//! ```
+//!
+//! Pipe a script on stdin for non-interactive use.
+
+use nebula::prelude::*;
+use nebula::Shell;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let spec = DatasetSpec::tiny();
+    let mut shell = Shell::with_dataset(&spec, 42);
+    println!(
+        "nebula shell — {} tuples, {} annotations loaded; type HELP for commands.",
+        shell.db.total_tuples(),
+        shell.store.annotation_count()
+    );
+
+    let stdin = std::io::stdin();
+    let interactive = atty_guess();
+    loop {
+        if interactive {
+            print!("nebula> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.eq_ignore_ascii_case("exit") || trimmed.eq_ignore_ascii_case("exit;") {
+            break;
+        }
+        match shell.exec(trimmed) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Crude interactivity guess without platform crates: honor an env
+/// override, default to interactive.
+fn atty_guess() -> bool {
+    std::env::var("NEBULA_SHELL_BATCH").is_err()
+}

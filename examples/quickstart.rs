@@ -1,0 +1,90 @@
+//! Quickstart: build a small annotated biological database, insert a new
+//! annotation, and let Nebula proactively discover its missing
+//! attachments.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use nebula::prelude::*;
+
+fn main() {
+    // 1. Generate a small synthetic curated dataset (genes, proteins, and
+    //    publications already attached to the tuples they cite).
+    let spec = DatasetSpec::tiny();
+    let mut bundle = generate_dataset(&spec, 42);
+    println!(
+        "dataset: {} genes, {} proteins, {} publications",
+        bundle.gene_tuples.len(),
+        bundle.protein_tuples.len(),
+        bundle.publication_tuples.len()
+    );
+
+    // 2. Configure the engine. NebulaMeta came with the dataset (concepts,
+    //    syntactic patterns, samples); the ACG is bootstrapped from the
+    //    existing publication attachments.
+    let config = NebulaConfig::default();
+    let mut nebula = Nebula::new(config, bundle.meta.clone());
+    nebula.bootstrap_acg(&bundle.annotations);
+    println!(
+        "ACG: {} nodes, {} edges",
+        nebula.acg().node_count(),
+        nebula.acg().edge_count()
+    );
+
+    // 3. A scientist attaches a comment to one gene. The comment also
+    //    references two other database objects she did not link.
+    let focal = vec![bundle.gene_tuples[5]];
+    let annotation = Annotation::new(
+        "From the exp, it seems this gene is strongly correlated to JW0001 \
+         and possibly to yaaB under heat shock",
+    )
+    .by("Alice")
+    .of_kind("comment");
+
+    let outcome = nebula
+        .process_annotation(&bundle.db, &mut bundle.annotations, &annotation, &focal)
+        .expect("processing succeeds");
+
+    // 4. Inspect what the engine did.
+    println!("\ngenerated {} keyword queries:", outcome.queries.len());
+    for q in &outcome.queries {
+        println!(
+            "  {{{}}}  weight={:.2}  (Type-{})",
+            q.keywords.join(", "),
+            q.weight,
+            q.match_type
+        );
+    }
+    println!("\ncandidates ({}):", outcome.candidates.len());
+    for c in outcome.candidates.iter().take(5) {
+        let tuple = bundle.db.get(c.tuple).expect("live tuple");
+        println!("  conf={:.2}  {}", c.confidence, tuple.render());
+    }
+    println!(
+        "\nrouting: {} auto-accepted, {} pending expert review, {} auto-rejected",
+        outcome.accepted.len(),
+        outcome.pending.len(),
+        outcome.rejected.len()
+    );
+
+    // 5. An expert resolves any pending tasks with the extended SQL
+    //    command.
+    for vid in &outcome.pending {
+        let task = nebula.queue().get(*vid).expect("pending task");
+        println!(
+            "  task {}: attach to {} (conf {:.2}, evidence: {})",
+            vid,
+            bundle.db.get(task.tuple).expect("live tuple").render(),
+            task.confidence,
+            task.evidence.join("; ")
+        );
+        nebula
+            .execute_command(&mut bundle.annotations, &format!("Verify Attachment {vid};"))
+            .expect("valid command");
+    }
+    println!(
+        "\nannotation is now attached to {} tuples",
+        bundle.annotations.focal(outcome.annotation).len()
+    );
+}

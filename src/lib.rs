@@ -1,0 +1,66 @@
+//! # nebula — proactive annotation management for relational databases
+//!
+//! This is the facade crate of the Nebula workspace, a full reproduction of
+//! *"Proactive Annotation Management in Relational Databases"* (SIGMOD 2015).
+//! It re-exports the public API of every layer:
+//!
+//! - [`relstore`] — the in-memory relational engine (tables, indexes,
+//!   conjunctive queries),
+//! - [`annostore`] — the passive annotation-management engine (annotations,
+//!   attachments, the bipartite annotated-database graph, propagation),
+//! - [`textsearch`] — keyword search over the relational store
+//!   (configurations, confidence-weighted query generation, shared
+//!   execution),
+//! - [`nebula_core`] — the proactive engine itself (signature maps, keyword
+//!   query generation, ACG, focal-based spreading, verification), and
+//! - [`nebula_workload`] — synthetic UniProt-like datasets and annotation
+//!   workloads used by the evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nebula::prelude::*;
+//!
+//! // Build a small annotated biological database.
+//! let spec = DatasetSpec::tiny();
+//! let mut bundle = generate_dataset(&spec, 42);
+//!
+//! // Configure and run the proactive engine on a new annotation.
+//! let config = NebulaConfig::default();
+//! let mut engine = Nebula::new(config, bundle.meta.clone());
+//! let annotation = Annotation::new("From the exp, this gene correlates with JW0001.");
+//! let focal = vec![bundle.some_gene_tuple()];
+//! let outcome = engine.process_annotation(
+//!     &mut bundle.db,
+//!     &mut bundle.annotations,
+//!     &annotation,
+//!     &focal,
+//! ).unwrap();
+//! // The engine predicts candidate attachments and routes them through
+//! // auto-accept / expert-verify / auto-reject.
+//! let _ = outcome.accepted.len() + outcome.pending.len() + outcome.rejected.len();
+//! ```
+
+pub mod shell;
+
+pub use annostore;
+pub use nebula_core;
+pub use nebula_workload;
+pub use relstore;
+pub use shell::{Shell, ShellError};
+pub use textsearch;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use annostore::{Annotation, AnnotationId, AnnotationStore, AttachmentTarget, Edge};
+    pub use nebula_core::{
+        Acg, AssessmentReport, BoundsSetting, HopProfile, Nebula, NebulaConfig, NebulaMeta,
+        ProcessOutcome, QueryGenConfig, SearchMode, StabilityConfig, VerificationBounds,
+        VerificationQueue, VerificationTask,
+    };
+    pub use nebula_workload::{generate_dataset, DatasetBundle, DatasetSpec, WorkloadSpec};
+    pub use relstore::{
+        ConjunctiveQuery, Database, DataType, Predicate, TableSchema, Tuple, TupleId, Value,
+    };
+    pub use textsearch::{KeywordQuery, KeywordSearch, SearchHit};
+}

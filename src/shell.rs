@@ -1,0 +1,597 @@
+//! An extended-SQL shell over an annotated database.
+//!
+//! The `[18]` engine Nebula builds on exposes annotation management
+//! through SQL extensions; this module provides that interface for the
+//! whole stack — querying, annotating (which triggers the proactive
+//! pipeline), working the verification queue, and snapshotting state.
+//!
+//! ```text
+//! TABLES;
+//! SELECT gene WHERE family = 'F1' LIMIT 5;
+//! SELECT gene WHERE name CONTAINS 'grpc';
+//! ANNOTATE gene 'JW0013' 'related to yaaB under heat shock';
+//! ANNOTATIONS gene 'JW0013';
+//! PENDING;
+//! VERIFY ATTACHMENT 3;    REJECT ATTACHMENT 4;
+//! ACG;    PROFILE;
+//! SAVE 'dump';            LOAD 'dump';
+//! ```
+//!
+//! Commands are case-insensitive; the trailing semicolon is optional.
+//! [`Shell::exec`] returns the rendered response, so the REPL example is a
+//! thin stdin loop and tests drive the shell directly.
+
+use crate::prelude::*;
+use nebula_core::StabilityConfig;
+use relstore::{ConjunctiveQuery, Predicate};
+use std::fmt;
+
+/// Errors surfaced to the shell user.
+#[derive(Debug)]
+pub struct ShellError(pub String);
+
+impl fmt::Display for ShellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ShellError {}
+
+fn err(msg: impl Into<String>) -> ShellError {
+    ShellError(msg.into())
+}
+
+/// The shell: owns the database, the annotation store, and the engine.
+pub struct Shell {
+    /// The relational database.
+    pub db: Database,
+    /// The annotation store.
+    pub store: AnnotationStore,
+    /// The proactive engine.
+    pub nebula: Nebula,
+}
+
+impl Shell {
+    /// Shell over an existing stack.
+    pub fn new(db: Database, store: AnnotationStore, nebula: Nebula) -> Shell {
+        Shell { db, store, nebula }
+    }
+
+    /// Shell over a freshly generated synthetic dataset.
+    pub fn with_dataset(spec: &DatasetSpec, seed: u64) -> Shell {
+        let bundle = generate_dataset(spec, seed);
+        let mut nebula = Nebula::new(
+            NebulaConfig {
+                bounds: VerificationBounds::new(0.4, 0.85),
+                stability: StabilityConfig::default(),
+                ..Default::default()
+            },
+            bundle.meta.clone(),
+        );
+        nebula.bootstrap_acg(&bundle.annotations);
+        Shell { db: bundle.db, store: bundle.annotations, nebula }
+    }
+
+    /// Execute one command line, returning the rendered response.
+    pub fn exec(&mut self, line: &str) -> Result<String, ShellError> {
+        let cleaned = line.trim().trim_end_matches(';').trim();
+        if cleaned.is_empty() {
+            return Ok(String::new());
+        }
+        let tokens = lex(cleaned)?;
+        let verb = tokens
+            .first()
+            .ok_or_else(|| err("empty command"))?
+            .to_uppercase();
+        match verb.as_str() {
+            "HELP" => Ok(HELP.to_string()),
+            "TABLES" => self.tables(),
+            "SELECT" => self.select(&tokens[1..]),
+            "DELETE" => self.delete(&tokens[1..]),
+            "ANNOTATE" => self.annotate(&tokens[1..]),
+            "ANNOTATIONS" => self.annotations(&tokens[1..]),
+            "PENDING" => self.pending(),
+            "VERIFY" | "REJECT" => self.resolve(cleaned),
+            "ACG" => Ok(format!(
+                "ACG: {} nodes, {} edges, stable = {}",
+                self.nebula.acg().node_count(),
+                self.nebula.acg().edge_count(),
+                self.nebula.acg().is_stable()
+            )),
+            "PROFILE" => {
+                let p = self.nebula.profile();
+                let rows: Vec<String> = p
+                    .iter()
+                    .map(|(h, c)| format!("  {h} hops: {c} ({:.0}%)", p.coverage(h) * 100.0))
+                    .collect();
+                Ok(if rows.is_empty() {
+                    "profile: empty".into()
+                } else {
+                    format!("profile ({} points):\n{}", p.total(), rows.join("\n"))
+                })
+            }
+            "SAVE" => self.save(&tokens[1..]),
+            "LOAD" => self.load(&tokens[1..]),
+            other => Err(err(format!("unknown command `{other}` — try HELP"))),
+        }
+    }
+
+    fn tables(&self) -> Result<String, ShellError> {
+        let mut out = Vec::new();
+        for (tid, name) in self.db.catalog().iter() {
+            let table = self.db.table(tid).expect("catalog consistent");
+            let cols: Vec<&str> = table
+                .schema()
+                .iter_columns()
+                .map(|(_, d)| d.name.as_str())
+                .collect();
+            out.push(format!("{name} ({} rows): {}", table.len(), cols.join(", ")));
+        }
+        Ok(out.join("\n"))
+    }
+
+    /// `SELECT <table> [COLUMNS a,b,...] [WHERE <col> (=|CONTAINS) <val>]*
+    /// [ORDER BY <col> [ASC|DESC]] [LIMIT n]`
+    fn select(&self, args: &[String]) -> Result<String, ShellError> {
+        use relstore::{Order, SelectStatement};
+        let table_name = args.first().ok_or_else(|| err("SELECT needs a table"))?;
+        let tid = self
+            .db
+            .catalog()
+            .resolve(table_name)
+            .ok_or_else(|| err(format!("unknown table `{table_name}`")))?;
+        let schema = self.db.table(tid).expect("resolved").schema().clone();
+        let column = |name: &str| {
+            schema
+                .column_id(name)
+                .ok_or_else(|| err(format!("unknown column `{name}`")))
+        };
+
+        let mut stmt = SelectStatement::new(ConjunctiveQuery::scan(tid)).limit(20);
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].to_uppercase().as_str() {
+                "COLUMNS" => {
+                    let list = args.get(i + 1).ok_or_else(|| err("COLUMNS needs a list"))?;
+                    let cols = list
+                        .split(',')
+                        .map(|c| column(c.trim()))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    stmt = stmt.project(cols);
+                    i += 2;
+                }
+                "WHERE" | "AND" => {
+                    let col = args.get(i + 1).ok_or_else(|| err("WHERE needs a column"))?;
+                    let op = args.get(i + 2).ok_or_else(|| err("WHERE needs an operator"))?;
+                    let val = args.get(i + 3).ok_or_else(|| err("WHERE needs a value"))?;
+                    let cid = column(col)?;
+                    let ty = schema.column(cid).expect("resolved").data_type;
+                    let pred = match op.to_uppercase().as_str() {
+                        "=" => {
+                            let value = relstore::Value::parse_as(val, ty)
+                                .ok_or_else(|| err(format!("`{val}` is not a {ty}")))?;
+                            Predicate::Eq(cid, value)
+                        }
+                        "CONTAINS" => Predicate::ContainsToken(cid, val.to_lowercase()),
+                        other => return Err(err(format!("unknown operator `{other}`"))),
+                    };
+                    stmt.query = stmt.query.clone().with_predicate(pred);
+                    i += 4;
+                }
+                "ORDER" => {
+                    if args.get(i + 1).map(|s| s.to_uppercase()) != Some("BY".into()) {
+                        return Err(err("expected ORDER BY <col>"));
+                    }
+                    let col = args.get(i + 2).ok_or_else(|| err("ORDER BY needs a column"))?;
+                    let cid = column(col)?;
+                    let (order, skip) = match args.get(i + 3).map(|s| s.to_uppercase()) {
+                        Some(s) if s == "DESC" => (Order::Desc, 4),
+                        Some(s) if s == "ASC" => (Order::Asc, 4),
+                        _ => (Order::Asc, 3),
+                    };
+                    stmt = stmt.order_by(cid, order);
+                    i += skip;
+                }
+                "LIMIT" => {
+                    let n = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("LIMIT needs a number"))?;
+                    stmt = stmt.limit(n);
+                    i += 2;
+                }
+                other => return Err(err(format!("unexpected token `{other}`"))),
+            }
+        }
+        let result = stmt.execute(&self.db).map_err(|e| err(e.to_string()))?;
+        let mut out = vec![result.columns.join(" | ")];
+        for row in &result.rows {
+            // Cell-level annotations respect the projection, exactly as
+            // query-time propagation does.
+            let notes = annostore::propagate(
+                &self.store,
+                &[row.tuple],
+                result.projection.as_deref(),
+            )
+            .pop()
+            .map(|p| p.annotations.len())
+            .unwrap_or(0);
+            let cells: Vec<String> = row.values.iter().map(|v| v.to_string()).collect();
+            out.push(format!("{}  [{notes} annotations]", cells.join(" | ")));
+        }
+        out.push(format!("({} rows)", result.rows.len()));
+        Ok(out.join("\n"))
+    }
+
+    /// `DELETE <table> '<pk>'` — delete the row and clean every annotation
+    /// layer (edges, ACG, pending tasks).
+    fn delete(&mut self, args: &[String]) -> Result<String, ShellError> {
+        let [table, key] = args else {
+            return Err(err("usage: DELETE <table> '<pk>'"));
+        };
+        let tuple = self.resolve_key(table, key)?;
+        self.db.delete(tuple);
+        let affected = self.nebula.on_tuple_deleted(&mut self.store, tuple);
+        Ok(format!(
+            "deleted {table} '{key}'; {} annotation(s) lost an attachment",
+            affected.len()
+        ))
+    }
+
+    /// Resolve `<table> '<pk>'` to a live tuple id.
+    fn resolve_key(&self, table: &str, key: &str) -> Result<relstore::TupleId, ShellError> {
+        let tid = self
+            .db
+            .catalog()
+            .resolve(table)
+            .ok_or_else(|| err(format!("unknown table `{table}`")))?;
+        let t = self.db.table(tid).expect("resolved");
+        let pk_type = t
+            .schema()
+            .primary_key
+            .and_then(|pk| t.schema().column(pk))
+            .map(|d| d.data_type)
+            .ok_or_else(|| err(format!("table `{table}` has no primary key")))?;
+        let key_value = relstore::Value::parse_as(key, pk_type)
+            .ok_or_else(|| err(format!("`{key}` is not a valid key")))?;
+        t.lookup_key(&key_value)
+            .ok_or_else(|| err(format!("no `{table}` row with key `{key}`")))
+    }
+
+    /// `ANNOTATE <table> '<pk>' '<text>'` — attach a new annotation and run
+    /// the proactive pipeline.
+    fn annotate(&mut self, args: &[String]) -> Result<String, ShellError> {
+        let [table, key, text] = args else {
+            return Err(err("usage: ANNOTATE <table> '<pk>' '<text>'"));
+        };
+        let focal = self.resolve_key(table, key)?;
+
+        let outcome = self
+            .nebula
+            .process_annotation(&self.db, &mut self.store, &Annotation::new(text.clone()), &[focal])
+            .map_err(|e| err(e.to_string()))?;
+        let mut out = vec![format!(
+            "annotation {} attached to {table} '{key}'; {} queries generated",
+            outcome.annotation,
+            outcome.queries.len()
+        )];
+        for (t, conf) in &outcome.accepted {
+            out.push(format!(
+                "  auto-accepted (conf {conf:.2}): {}",
+                self.db.get(*t).expect("live").render()
+            ));
+        }
+        for vid in &outcome.pending {
+            let task = self.nebula.queue().get(*vid).expect("queued");
+            out.push(format!(
+                "  pending task {vid} (conf {:.2}): {}",
+                task.confidence,
+                self.db.get(task.tuple).expect("live").render()
+            ));
+        }
+        if !outcome.rejected.is_empty() {
+            out.push(format!("  {} low-confidence candidates auto-rejected", outcome.rejected.len()));
+        }
+        Ok(out.join("\n"))
+    }
+
+    /// `ANNOTATIONS <table> '<pk>'`
+    fn annotations(&self, args: &[String]) -> Result<String, ShellError> {
+        let [table, key] = args else {
+            return Err(err("usage: ANNOTATIONS <table> '<pk>'"));
+        };
+        let tuple = self.resolve_key(table, key)?;
+        let notes = self.store.annotations_of(tuple);
+        if notes.is_empty() {
+            return Ok("(no annotations)".into());
+        }
+        Ok(notes
+            .iter()
+            .map(|aid| {
+                let a = self.store.annotation(*aid).expect("stored");
+                let who = a.author.as_deref().unwrap_or("-");
+                format!("{aid} [{who}]: {}", a.text)
+            })
+            .collect::<Vec<_>>()
+            .join("\n"))
+    }
+
+    fn pending(&self) -> Result<String, ShellError> {
+        if self.nebula.queue().is_empty() {
+            return Ok("(no pending verification tasks)".into());
+        }
+        Ok(self
+            .nebula
+            .queue()
+            .iter()
+            .map(|task| {
+                let target = self
+                    .db
+                    .get(task.tuple)
+                    .map(|t| t.render())
+                    .unwrap_or_else(|| task.tuple.to_string());
+                format!(
+                    "task {} (conf {:.2}): attach {} to {target}\n    evidence: {}",
+                    task.vid,
+                    task.confidence,
+                    task.annotation,
+                    task.evidence.join("; ")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n"))
+    }
+
+    fn resolve(&mut self, line: &str) -> Result<String, ShellError> {
+        let task = self
+            .nebula
+            .execute_command(&mut self.store, line)
+            .map_err(|e| err(e.to_string()))?;
+        Ok(format!("task {} resolved ({} ↔ {})", task.vid, task.annotation, task.tuple))
+    }
+
+    fn save(&self, args: &[String]) -> Result<String, ShellError> {
+        let path = args.first().ok_or_else(|| err("usage: SAVE '<path>'"))?;
+        let db_bytes = relstore::snapshot::save(&self.db);
+        let ann_bytes = annostore::snapshot::save(&self.store);
+        std::fs::write(format!("{path}.reldb"), &db_bytes).map_err(|e| err(e.to_string()))?;
+        std::fs::write(format!("{path}.anndb"), &ann_bytes).map_err(|e| err(e.to_string()))?;
+        Ok(format!(
+            "saved {} + {} bytes to {path}.reldb / {path}.anndb",
+            db_bytes.len(),
+            ann_bytes.len()
+        ))
+    }
+
+    fn load(&mut self, args: &[String]) -> Result<String, ShellError> {
+        let path = args.first().ok_or_else(|| err("usage: LOAD '<path>'"))?;
+        let db_bytes = std::fs::read(format!("{path}.reldb")).map_err(|e| err(e.to_string()))?;
+        let ann_bytes = std::fs::read(format!("{path}.anndb")).map_err(|e| err(e.to_string()))?;
+        self.db = relstore::snapshot::load(&db_bytes).map_err(|e| err(e.to_string()))?;
+        self.store = annostore::snapshot::load(&ann_bytes).map_err(|e| err(e.to_string()))?;
+        self.nebula.bootstrap_acg(&self.store);
+        Ok(format!(
+            "loaded {} tuples, {} annotations; ACG rebuilt ({} edges)",
+            self.db.total_tuples(),
+            self.store.annotation_count(),
+            self.nebula.acg().edge_count()
+        ))
+    }
+}
+
+const HELP: &str = "commands:
+  TABLES;
+  SELECT <table> [WHERE <col> (=|CONTAINS) <val>]... [LIMIT n];
+  ANNOTATE <table> '<pk>' '<text>';
+  DELETE <table> '<pk>';
+  ANNOTATIONS <table> '<pk>';
+  PENDING;
+  VERIFY ATTACHMENT <vid>;   REJECT ATTACHMENT <vid>;
+  ACG;   PROFILE;
+  SAVE '<path>';   LOAD '<path>';
+  HELP;   EXIT;";
+
+/// Split a command into tokens, honoring single-quoted strings.
+fn lex(input: &str) -> Result<Vec<String>, ShellError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '\'' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('\'') => break,
+                    Some(ch) => s.push(ch),
+                    None => return Err(err("unterminated string literal")),
+                }
+            }
+            tokens.push(s);
+        } else {
+            let mut s = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() || ch == '\'' {
+                    break;
+                }
+                s.push(ch);
+                chars.next();
+            }
+            tokens.push(s);
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell() -> Shell {
+        Shell::with_dataset(&DatasetSpec::tiny(), 42)
+    }
+
+    #[test]
+    fn lex_handles_quotes() {
+        assert_eq!(
+            lex("ANNOTATE gene 'JW0001' 'two words'").unwrap(),
+            vec!["ANNOTATE", "gene", "JW0001", "two words"]
+        );
+        assert!(lex("bad 'unterminated").is_err());
+    }
+
+    #[test]
+    fn tables_lists_schema() {
+        let mut sh = shell();
+        let out = sh.exec("TABLES;").unwrap();
+        assert!(out.contains("gene"));
+        assert!(out.contains("protein"));
+        assert!(out.contains("publication"));
+        assert!(out.contains("gid"));
+    }
+
+    #[test]
+    fn select_with_predicates_and_limit() {
+        let mut sh = shell();
+        let out = sh.exec("SELECT gene WHERE family = 'F1' LIMIT 3").unwrap();
+        assert!(out.contains("F1"), "{out}");
+        assert!(out.lines().count() <= 5, "header + ≤3 rows + count");
+        let all = sh.exec("SELECT gene LIMIT 100").unwrap();
+        assert!(all.contains("(40 rows)"));
+        let contains = sh.exec("SELECT gene WHERE gid CONTAINS 'JW0001'").unwrap();
+        assert!(contains.contains("JW0001"));
+        assert!(contains.contains("(1 rows)"));
+    }
+
+    #[test]
+    fn select_projection_and_order() {
+        let mut sh = shell();
+        let out = sh
+            .exec("SELECT gene COLUMNS name,length ORDER BY length DESC LIMIT 2")
+            .unwrap();
+        let mut lines = out.lines();
+        assert_eq!(lines.next(), Some("name | length"));
+        let first: i64 = lines
+            .next()
+            .unwrap()
+            .split(" | ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let second: i64 = lines
+            .next()
+            .unwrap()
+            .split(" | ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(first >= second, "descending order: {first} vs {second}");
+        assert!(sh.exec("SELECT gene COLUMNS nope").is_err());
+        assert!(sh.exec("SELECT gene ORDER name").is_err());
+    }
+
+    #[test]
+    fn select_errors_are_friendly() {
+        let mut sh = shell();
+        assert!(sh.exec("SELECT nope").unwrap_err().0.contains("unknown table"));
+        assert!(sh
+            .exec("SELECT gene WHERE bogus = 'x'")
+            .unwrap_err()
+            .0
+            .contains("unknown column"));
+        assert!(sh.exec("SELECT gene LIMIT abc").is_err());
+    }
+
+    #[test]
+    fn annotate_runs_the_pipeline_end_to_end() {
+        let mut sh = shell();
+        let out = sh
+            .exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'")
+            .unwrap();
+        assert!(out.contains("queries generated"));
+        assert!(out.contains("JW0001"), "the reference is discovered: {out}");
+        // The annotation shows up on both the focal and (if auto-accepted)
+        // the referenced tuple.
+        let focal_notes = sh.exec("ANNOTATIONS gene 'JW0005'").unwrap();
+        assert!(focal_notes.contains("correlates"));
+    }
+
+    #[test]
+    fn pending_verify_flow() {
+        let mut sh = shell();
+        // Force everything pending.
+        sh.nebula.config_mut().bounds = VerificationBounds::new(0.0, 1.0);
+        sh.exec("ANNOTATE gene 'JW0002' 'interacting with gene JW0003'").unwrap();
+        let pending = sh.exec("PENDING").unwrap();
+        assert!(pending.contains("task"));
+        assert!(pending.contains("evidence"));
+        let vid: u64 = pending
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let resolved = sh.exec(&format!("VERIFY ATTACHMENT {vid}")).unwrap();
+        assert!(resolved.contains("resolved"));
+        assert!(sh.exec(&format!("VERIFY ATTACHMENT {vid}")).is_err(), "double resolve");
+        assert_eq!(sh.exec("PENDING").unwrap(), "(no pending verification tasks)");
+    }
+
+    #[test]
+    fn acg_and_profile_report() {
+        let mut sh = shell();
+        let acg = sh.exec("ACG").unwrap();
+        assert!(acg.contains("nodes"));
+        let profile = sh.exec("PROFILE").unwrap();
+        assert!(profile.contains("profile"));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("nebula-shell-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap").display().to_string();
+
+        let mut sh = shell();
+        sh.exec("ANNOTATE gene 'JW0004' 'note about gene JW0006'").unwrap();
+        let saved = sh.exec(&format!("SAVE '{path}'")).unwrap();
+        assert!(saved.contains("saved"));
+
+        let mut fresh = shell();
+        let loaded = fresh.exec(&format!("LOAD '{path}'")).unwrap();
+        assert!(loaded.contains("loaded"));
+        let notes = fresh.exec("ANNOTATIONS gene 'JW0004'").unwrap();
+        assert!(notes.contains("JW0006"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delete_cleans_up() {
+        let mut sh = shell();
+        sh.exec("ANNOTATE gene 'JW0003' 'note about gene JW0002'").unwrap();
+        let out = sh.exec("DELETE gene 'JW0002'").unwrap();
+        assert!(out.contains("deleted"), "{out}");
+        assert!(sh.exec("ANNOTATIONS gene 'JW0002'").is_err(), "row is gone");
+        let rows = sh.exec("SELECT gene LIMIT 100").unwrap();
+        assert!(rows.contains("(39 rows)"));
+        assert!(sh.exec("DELETE gene 'JW0002'").is_err(), "double delete fails");
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        let mut sh = shell();
+        assert!(sh.exec("HELP").unwrap().contains("ANNOTATE"));
+        assert!(sh.exec("FROBNICATE").is_err());
+        assert_eq!(sh.exec("   ").unwrap(), "");
+    }
+}

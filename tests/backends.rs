@@ -1,0 +1,66 @@
+//! The search technique is a pluggable black box (§6.1): Stage 2 runs
+//! unchanged over either the metadata-approach engine or the simpler
+//! tf-idf ranker.
+
+use nebula::nebula_core::{
+    distort, generate_queries, identify_related_tuples, ExecutionConfig, QueryGenConfig,
+};
+use nebula::nebula_workload::{build_workload, WorkloadSpec};
+use nebula::prelude::*;
+use nebula::textsearch::{SearchBackend, SearchOptions, TfIdfSearch};
+
+#[test]
+fn stage2_works_with_either_backend() {
+    let bundle = generate_dataset(&DatasetSpec::tiny(), 13);
+    let workload = build_workload(&bundle, &WorkloadSpec::default(), 13);
+    let acg = Acg::build_from_store(&bundle.annotations);
+
+    let metadata = KeywordSearch::new(SearchOptions {
+        vocab: bundle.meta.to_vocabulary(&bundle.db),
+        ..Default::default()
+    });
+    let tfidf = TfIdfSearch::default();
+    let backends: [&dyn SearchBackend; 2] = [&metadata, &tfidf];
+
+    let mut recovered = [0usize; 2];
+    let mut total = 0usize;
+    for wa in workload.iter().flat_map(|s| &s.annotations).take(20) {
+        let (focal, missing) = distort(&wa.ideal, 1);
+        total += missing.len();
+        let queries = generate_queries(
+            &bundle.db,
+            &bundle.meta,
+            &wa.annotation.text,
+            &QueryGenConfig::default(),
+        );
+        for (i, backend) in backends.iter().enumerate() {
+            let (cands, _) = identify_related_tuples(
+                &bundle.db,
+                *backend,
+                &queries,
+                &focal,
+                Some(&acg),
+                &ExecutionConfig::default(),
+            );
+            recovered[i] += missing
+                .iter()
+                .filter(|m| cands.iter().any(|c| c.tuple == **m))
+                .count();
+        }
+    }
+    assert!(total > 0);
+    // Both backends recover a solid majority of the missing references;
+    // the metadata approach (schema-aware) is at least as good as the
+    // schema-free ranker.
+    assert!(
+        recovered[0] * 2 > total,
+        "metadata backend recovers most references: {}/{total}",
+        recovered[0]
+    );
+    assert!(
+        recovered[1] * 2 > total,
+        "tfidf backend recovers most references: {}/{total}",
+        recovered[1]
+    );
+    assert!(recovered[0] >= recovered[1], "schema awareness should not hurt");
+}

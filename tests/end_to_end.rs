@@ -1,0 +1,185 @@
+//! Cross-crate integration: the full proactive pipeline over a synthetic
+//! dataset, measured with the paper's own quality metrics.
+
+use nebula::annostore::{EdgeSet, GraphQuality};
+use nebula::nebula_workload::{build_workload, WorkloadSpec};
+use nebula::prelude::*;
+
+fn pipeline_setup() -> (DatasetBundle, Vec<nebula::nebula_workload::WorkloadSet>) {
+    let bundle = generate_dataset(&DatasetSpec::tiny(), 2024);
+    let workload = build_workload(&bundle, &WorkloadSpec::default(), 2024);
+    (bundle, workload)
+}
+
+/// Processing a workload of new annotations must reduce the database's
+/// false-negative ratio (Equation 1) relative to leaving them with only
+/// their focal attachment.
+#[test]
+fn nebula_reduces_database_false_negatives() {
+    let (mut bundle, workload) = pipeline_setup();
+    let mut nebula = Nebula::new(
+        NebulaConfig {
+            bounds: VerificationBounds::new(0.3, 0.8),
+            ..Default::default()
+        },
+        bundle.meta.clone(),
+    );
+    nebula.bootstrap_acg(&bundle.annotations);
+
+    // Ideal edges of the workload (what a complete database would have).
+    let mut ideal = EdgeSet::new();
+    let mut passive = EdgeSet::new();
+
+    for wa in workload.iter().flat_map(|s| &s.annotations) {
+        let focal = vec![wa.ideal[0]];
+        let outcome = nebula
+            .process_annotation(&bundle.db, &mut bundle.annotations, &wa.annotation, &focal)
+            .expect("pipeline runs");
+        for t in &wa.ideal {
+            ideal.insert(outcome.annotation, *t);
+        }
+        // The passive engine would only have the focal edge.
+        passive.insert(outcome.annotation, focal[0]);
+        // Simulated expert: resolve pending tasks with the ground truth.
+        for vid in &outcome.pending {
+            let task = nebula.queue().get(*vid).expect("queued").clone();
+            nebula
+                .resolve_task(&mut bundle.annotations, *vid, wa.ideal.contains(&task.tuple))
+                .expect("resolvable");
+        }
+    }
+
+    // Evaluate F_N of the final edge set against the workload's ideal
+    // edges (edges of pre-existing dataset annotations are not in `ideal`
+    // and cannot affect the false-negative ratio).
+    let with_nebula = GraphQuality::evaluate(&bundle.annotations.true_edge_set(), &ideal);
+    let without = GraphQuality::evaluate(&passive, &ideal);
+    assert!(
+        with_nebula.false_negative_ratio < without.false_negative_ratio,
+        "Nebula must recover missing attachments: {} vs {}",
+        with_nebula.false_negative_ratio,
+        without.false_negative_ratio
+    );
+    assert!(with_nebula.false_negative_ratio < 0.5, "most references recovered");
+}
+
+/// Auto-accepted attachments appear as true edges; rejected predictions
+/// leave no trace; pending ones stay predicted until resolved.
+#[test]
+fn edge_lifecycle_matches_routing() {
+    let (mut bundle, workload) = pipeline_setup();
+    let mut nebula = Nebula::new(
+        NebulaConfig {
+            bounds: VerificationBounds::new(0.4, 0.75),
+            ..Default::default()
+        },
+        bundle.meta.clone(),
+    );
+    nebula.bootstrap_acg(&bundle.annotations);
+
+    let wa = &workload[3].annotations[0]; // L^1000, richest text
+    let focal = vec![wa.ideal[0]];
+    let outcome = nebula
+        .process_annotation(&bundle.db, &mut bundle.annotations, &wa.annotation, &focal)
+        .expect("pipeline runs");
+
+    use nebula::annostore::EdgeKind;
+    for (t, _) in &outcome.accepted {
+        let e = bundle.annotations.edge(outcome.annotation, *t).expect("edge exists");
+        assert_eq!(e.kind, EdgeKind::True);
+        assert_eq!(e.weight, 1.0);
+    }
+    for vid in &outcome.pending {
+        let task = nebula.queue().get(*vid).expect("queued");
+        let e = bundle
+            .annotations
+            .edge(outcome.annotation, task.tuple)
+            .expect("predicted edge exists");
+        assert_eq!(e.kind, EdgeKind::Predicted);
+        assert!((e.weight - task.confidence).abs() < 1e-9);
+    }
+    for (t, _) in &outcome.rejected {
+        assert!(
+            bundle.annotations.edge(outcome.annotation, *t).is_none(),
+            "auto-rejected predictions leave no edge"
+        );
+    }
+}
+
+/// Rejecting a pending task discards the predicted edge; accepting
+/// promotes it and updates the ACG.
+#[test]
+fn expert_resolution_updates_state() {
+    let (mut bundle, workload) = pipeline_setup();
+    let mut nebula = Nebula::new(
+        NebulaConfig {
+            bounds: VerificationBounds::new(0.0, 1.0), // everything pending
+            ..Default::default()
+        },
+        bundle.meta.clone(),
+    );
+    nebula.bootstrap_acg(&bundle.annotations);
+
+    let wa = workload
+        .iter()
+        .flat_map(|s| &s.annotations)
+        .find(|wa| wa.ideal.len() >= 3)
+        .expect("a multi-reference annotation exists");
+    let focal = vec![wa.ideal[0]];
+    let outcome = nebula
+        .process_annotation(&bundle.db, &mut bundle.annotations, &wa.annotation, &focal)
+        .expect("pipeline runs");
+    assert!(outcome.pending.len() >= 2, "bounds (0,1) queue everything");
+
+    let accept_vid = outcome.pending[0];
+    let reject_vid = outcome.pending[1];
+    let accepted = nebula
+        .resolve_task(&mut bundle.annotations, accept_vid, true)
+        .expect("accept works");
+    assert!(bundle.annotations.focal(outcome.annotation).contains(&accepted.tuple));
+    assert!(
+        nebula.acg().edge_weight(focal[0], accepted.tuple).is_some(),
+        "ACG gains the edge between focal and the verified tuple"
+    );
+
+    let rejected = nebula
+        .resolve_task(&mut bundle.annotations, reject_vid, false)
+        .expect("reject works");
+    assert!(bundle.annotations.edge(outcome.annotation, rejected.tuple).is_none());
+    assert!(nebula.queue().get(accept_vid).is_none(), "resolved tasks leave the queue");
+}
+
+/// The curator can drive resolution through the extended SQL command of
+/// §7, including error cases.
+#[test]
+fn extended_sql_command_round_trip() {
+    let (mut bundle, workload) = pipeline_setup();
+    let mut nebula = Nebula::new(
+        NebulaConfig {
+            bounds: VerificationBounds::new(0.0, 1.0),
+            ..Default::default()
+        },
+        bundle.meta.clone(),
+    );
+    let wa = &workload[2].annotations[0];
+    let outcome = nebula
+        .process_annotation(
+            &bundle.db,
+            &mut bundle.annotations,
+            &wa.annotation,
+            &[wa.ideal[0]],
+        )
+        .expect("pipeline runs");
+    if let Some(vid) = outcome.pending.first() {
+        nebula
+            .execute_command(&mut bundle.annotations, &format!("VERIFY ATTACHMENT {vid}"))
+            .expect("verify parses and applies");
+        assert!(
+            nebula
+                .execute_command(&mut bundle.annotations, &format!("REJECT ATTACHMENT {vid}"))
+                .is_err(),
+            "double-resolving fails"
+        );
+    }
+    assert!(nebula.execute_command(&mut bundle.annotations, "DROP TABLE gene").is_err());
+}

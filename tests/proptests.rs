@@ -1,0 +1,127 @@
+//! Workspace-level property tests: invariants of the full Stage-1
+//! pipeline over arbitrary annotation text on a real (tiny) dataset.
+
+use nebula::nebula_core::{generate_queries, QueryGenConfig};
+use nebula::prelude::*;
+use proptest::prelude::*;
+
+fn dataset() -> DatasetBundle {
+    generate_dataset(&DatasetSpec::tiny(), 99)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Query generation never panics on arbitrary text and always emits
+    /// normalized weights with the maximum at exactly 1.0.
+    #[test]
+    fn querygen_weights_normalized(text in ".{0,300}") {
+        let bundle = dataset();
+        let queries =
+            generate_queries(&bundle.db, &bundle.meta, &text, &QueryGenConfig::default());
+        if let Some(max) = queries.iter().map(|q| q.weight).max_by(f64::total_cmp) {
+            prop_assert!((max - 1.0).abs() < 1e-9, "max weight normalizes to 1, got {max}");
+        }
+        for q in &queries {
+            prop_assert!(q.weight > 0.0 && q.weight <= 1.0 + 1e-9);
+            prop_assert!(!q.keywords.is_empty());
+            prop_assert!(q.positions.len() == q.keywords.len());
+            prop_assert!((1..=3).contains(&q.match_type));
+        }
+    }
+
+    /// Dedup: no two generated queries share the same keyword multiset.
+    #[test]
+    fn querygen_no_duplicates(text in "(gene|protein|JW[0-9]{4}| |[a-z]{2,6}){0,40}") {
+        let bundle = dataset();
+        let queries =
+            generate_queries(&bundle.db, &bundle.meta, &text, &QueryGenConfig::default());
+        let mut keys: Vec<Vec<String>> = queries
+            .iter()
+            .map(|q| {
+                let mut k: Vec<String> = q.keywords.iter().map(|w| w.to_lowercase()).collect();
+                k.sort();
+                k
+            })
+            .collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(before, keys.len());
+    }
+
+    /// Tightening ε can only reduce the number of generated queries.
+    #[test]
+    fn epsilon_monotone(text in "(gene |JW[0-9]{4} |[a-z]{3,7} ){0,30}") {
+        let bundle = dataset();
+        let count = |eps: f64| {
+            generate_queries(
+                &bundle.db,
+                &bundle.meta,
+                &text,
+                &QueryGenConfig { epsilon: eps, ..Default::default() },
+            )
+            .len()
+        };
+        let loose = count(0.4);
+        let mid = count(0.6);
+        let tight = count(0.8);
+        prop_assert!(loose >= mid, "ε=0.4 ⊇ ε=0.6 ({loose} vs {mid})");
+        prop_assert!(mid >= tight, "ε=0.6 ⊇ ε=0.8 ({mid} vs {tight})");
+    }
+
+    /// The shell rejects or executes arbitrary input without ever
+    /// panicking, and stays usable afterwards.
+    #[test]
+    fn shell_never_panics(lines in proptest::collection::vec(".{0,80}", 1..6)) {
+        let mut sh = nebula::Shell::with_dataset(&DatasetSpec::tiny(), 7);
+        for line in &lines {
+            let _ = sh.exec(line);
+        }
+        prop_assert!(sh.exec("TABLES").is_ok(), "shell still functional");
+    }
+
+    /// Shell SELECT grammar: any combination of valid clauses parses and
+    /// executes.
+    #[test]
+    fn shell_select_grammar(
+        limit in 1usize..50,
+        with_where in any::<bool>(),
+        with_order in any::<bool>(),
+        desc in any::<bool>(),
+    ) {
+        let mut sh = nebula::Shell::with_dataset(&DatasetSpec::tiny(), 7);
+        let mut cmd = String::from("SELECT gene COLUMNS gid,length");
+        if with_where {
+            cmd.push_str(" WHERE family = 'F1'");
+        }
+        if with_order {
+            cmd.push_str(" ORDER BY length");
+            cmd.push_str(if desc { " DESC" } else { " ASC" });
+        }
+        cmd.push_str(&format!(" LIMIT {limit}"));
+        let out = sh.exec(&cmd).unwrap();
+        prop_assert!(out.starts_with("gid | length"), "{out}");
+        prop_assert!(out.lines().count() <= limit + 2);
+    }
+
+    /// The full process_annotation pipeline never panics on hostile text
+    /// and its routing partitions the candidates.
+    #[test]
+    fn process_annotation_total(text in ".{0,200}") {
+        let mut bundle = dataset();
+        let mut nebula = Nebula::new(NebulaConfig::default(), bundle.meta.clone());
+        let focal = vec![bundle.gene_tuples[0]];
+        let out = nebula
+            .process_annotation(&bundle.db, &mut bundle.annotations, &Annotation::new(text), &focal)
+            .unwrap();
+        prop_assert_eq!(
+            out.accepted.len() + out.pending.len() + out.rejected.len(),
+            out.candidates.len()
+        );
+        for c in &out.candidates {
+            prop_assert!(c.confidence > 0.0 && c.confidence <= 1.0);
+            prop_assert!(!focal.contains(&c.tuple), "focal never re-predicted");
+        }
+    }
+}
