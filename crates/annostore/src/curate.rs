@@ -38,10 +38,7 @@ impl CuratorPredicate {
             return true;
         }
         // Re-run the full query and check membership (joins need the db).
-        self.query
-            .execute(db)
-            .map(|r| r.tuples.contains(&tuple))
-            .unwrap_or(false)
+        self.query.execute(db).map(|r| r.tuples.contains(&tuple)).unwrap_or(false)
     }
 }
 

@@ -101,12 +101,8 @@ impl EdgeSet {
 
     /// All tuples attached to `annotation` in this set.
     pub fn tuples_of(&self, annotation: AnnotationId) -> Vec<TupleId> {
-        let mut v: Vec<TupleId> = self
-            .pairs
-            .iter()
-            .filter(|(a, _)| *a == annotation)
-            .map(|(_, t)| *t)
-            .collect();
+        let mut v: Vec<TupleId> =
+            self.pairs.iter().filter(|(a, _)| *a == annotation).map(|(_, t)| *t).collect();
         v.sort();
         v
     }
@@ -181,13 +177,10 @@ mod tests {
 
     #[test]
     fn tuples_of_filters_and_sorts() {
-        let s: EdgeSet = vec![
-            (AnnotationId(0), t(5)),
-            (AnnotationId(0), t(1)),
-            (AnnotationId(1), t(9)),
-        ]
-        .into_iter()
-        .collect();
+        let s: EdgeSet =
+            vec![(AnnotationId(0), t(5)), (AnnotationId(0), t(1)), (AnnotationId(1), t(9))]
+                .into_iter()
+                .collect();
         assert_eq!(s.tuples_of(AnnotationId(0)), vec![t(1), t(5)]);
         assert_eq!(s.tuples_of(AnnotationId(2)), Vec::<TupleId>::new());
     }

@@ -32,10 +32,10 @@ pub fn propagate(
     answer: &[TupleId],
     projection: Option<&[ColumnId]>,
 ) -> Vec<PropagatedAnswer> {
-    answer
+    let out: Vec<PropagatedAnswer> = answer
         .iter()
         .map(|&tuple| {
-            let annotations = store
+            let annotations: Vec<AnnotationId> = store
                 .annotations_of(tuple)
                 .into_iter()
                 .filter(|&aid| match (store.cell_column(aid, tuple), projection) {
@@ -47,7 +47,13 @@ pub fn propagate(
                 .collect();
             PropagatedAnswer { tuple, annotations }
         })
-        .collect()
+        .collect();
+    if nebula_obs::enabled() {
+        nebula_obs::counter_add("annostore.propagations", 1);
+        let fanout: usize = out.iter().map(|a| a.annotations.len()).sum();
+        nebula_obs::counter_add("annostore.propagation_fanout", fanout as u64);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -246,10 +246,7 @@ mod tests {
             v
         };
         assert_eq!(restored.focal(AnnotationId(0)), original.focal(AnnotationId(0)));
-        assert_eq!(
-            sorted(restored.annotations_of(t(1))),
-            sorted(original.annotations_of(t(1)))
-        );
+        assert_eq!(sorted(restored.annotations_of(t(1))), sorted(original.annotations_of(t(1))));
     }
 
     #[test]

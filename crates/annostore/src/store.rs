@@ -97,6 +97,7 @@ impl AnnotationStore {
     pub fn add_annotation(&mut self, annotation: Annotation) -> AnnotationId {
         let id = AnnotationId(self.annotations.len() as u64);
         self.annotations.push(annotation);
+        nebula_obs::counter_add("annostore.annotations_registered", 1);
         id
     }
 
@@ -112,10 +113,7 @@ impl AnnotationStore {
 
     /// Iterate `(id, annotation)`.
     pub fn iter_annotations(&self) -> impl Iterator<Item = (AnnotationId, &Annotation)> {
-        self.annotations
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (AnnotationId(i as u64), a))
+        self.annotations.iter().enumerate().map(|(i, a)| (AnnotationId(i as u64), a))
     }
 
     fn require(&self, id: AnnotationId) -> Result<(), StoreError> {
@@ -147,6 +145,7 @@ impl AnnotationStore {
             self.by_tuple.entry(tid).or_default().push(id);
             self.by_annotation.entry(id).or_default().push(tid);
         }
+        nebula_obs::counter_add("annostore.edges_added", 1);
         Ok(())
     }
 
@@ -167,6 +166,7 @@ impl AnnotationStore {
             Some(e) if e.kind == EdgeKind::True => Ok(()),
             _ => {
                 self.edges.insert(key, Edge::predicted(id, tid, weight));
+                nebula_obs::counter_add("annostore.edges_added", 1);
                 Ok(())
             }
         }
@@ -242,11 +242,7 @@ impl AnnotationStore {
     /// The `(annotation, tuple)` pairs of all **true** edges, as an
     /// [`EdgeSet`] for quality evaluation.
     pub fn true_edge_set(&self) -> EdgeSet {
-        self.edges
-            .values()
-            .filter(|e| e.kind == EdgeKind::True)
-            .map(Edge::endpoints)
-            .collect()
+        self.edges.values().filter(|e| e.kind == EdgeKind::True).map(Edge::endpoints).collect()
     }
 
     /// The pairs of all edges regardless of kind.
@@ -311,10 +307,7 @@ impl AnnotationStore {
 
     /// All tuples that carry at least one true annotation.
     pub fn annotated_tuples(&self) -> impl Iterator<Item = TupleId> + '_ {
-        self.by_tuple
-            .iter()
-            .filter(|(_, v)| !v.is_empty())
-            .map(|(t, _)| *t)
+        self.by_tuple.iter().filter(|(_, v)| !v.is_empty()).map(|(t, _)| *t)
     }
 }
 
@@ -329,9 +322,7 @@ mod tests {
 
     fn store_with(n: usize) -> (AnnotationStore, Vec<AnnotationId>) {
         let mut s = AnnotationStore::new();
-        let ids = (0..n)
-            .map(|i| s.add_annotation(Annotation::new(format!("note {i}"))))
-            .collect();
+        let ids = (0..n).map(|i| s.add_annotation(Annotation::new(format!("note {i}")))).collect();
         (s, ids)
     }
 

@@ -1,6 +1,8 @@
 //! Property-based tests for the annotation store and graph metrics.
 
-use annostore::{Annotation, AnnotationId, AnnotationStore, AttachmentTarget, EdgeSet, GraphQuality};
+use annostore::{
+    Annotation, AnnotationId, AnnotationStore, AttachmentTarget, EdgeSet, GraphQuality,
+};
 use proptest::prelude::*;
 use relstore::schema::TableId;
 use relstore::TupleId;

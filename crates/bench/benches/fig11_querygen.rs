@@ -17,9 +17,7 @@ fn bench_querygen(c: &mut Criterion) {
                 BenchmarkId::new(format!("eps{epsilon:.1}"), format!("L{max_bytes}")),
                 text,
                 |b, text| {
-                    b.iter(|| {
-                        generate_queries(&setup.bundle.db, &setup.bundle.meta, text, &config)
-                    })
+                    b.iter(|| generate_queries(&setup.bundle.db, &setup.bundle.meta, text, &config))
                 },
             );
         }

@@ -19,10 +19,8 @@ fn bench_sharing(c: &mut Criterion) {
     let focal = &wa.ideal[..1];
 
     let mut group = c.benchmark_group("fig13_sharing");
-    for (label, mode) in [
-        ("isolated", ExecutionMode::Isolated),
-        ("shared", ExecutionMode::Shared),
-    ] {
+    for (label, mode) in [("isolated", ExecutionMode::Isolated), ("shared", ExecutionMode::Shared)]
+    {
         group.bench_with_input(BenchmarkId::new(label, "L1000"), &queries, |b, queries| {
             b.iter(|| {
                 identify_related_tuples(

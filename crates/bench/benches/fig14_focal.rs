@@ -16,7 +16,11 @@ fn bench_focal(c: &mut Criterion) {
     let (focal, _) = distort(&wa.ideal, 2);
     let queries =
         generate_queries(&setup.bundle.db, &setup.bundle.meta, &wa.annotation.text, &config);
-    let exec = ExecutionConfig { mode: ExecutionMode::Isolated, acg_adjustment: true, ..Default::default() };
+    let exec = ExecutionConfig {
+        mode: ExecutionMode::Isolated,
+        acg_adjustment: true,
+        ..Default::default()
+    };
     let engine = KeywordSearch::new(SearchOptions {
         vocab: setup.bundle.meta.to_vocabulary(&setup.bundle.db),
         ..Default::default()

@@ -69,8 +69,7 @@ pub fn acg_ablation(setup: &Setup, bounds: &VerificationBounds) -> Table {
         ("no ACG adjustment", false, AcgRewardMode::Direct),
     ];
     for (label, adj, reward) in variants {
-        let exec =
-            ExecutionConfig { mode: ExecutionMode::Shared, acg_adjustment: adj, reward };
+        let exec = ExecutionConfig { mode: ExecutionMode::Shared, acg_adjustment: adj, reward };
         let r = assess(setup, &qconfig, &exec, bounds);
         let (mrr, p_at_k) = ranking_quality(setup, &qconfig, &exec);
         t.row(vec![
@@ -122,11 +121,7 @@ fn ranking_quality(setup: &Setup, qconfig: &QueryGenConfig, exec: &ExecutionConf
             }
         }
         let k = missing.len();
-        let hits = cands
-            .iter()
-            .take(k)
-            .filter(|c| missing.contains(&c.tuple))
-            .count();
+        let hits = cands.iter().take(k).filter(|c| missing.contains(&c.tuple)).count();
         precision_sum += hits as f64 / k as f64;
         annotations += 1;
     }
@@ -209,14 +204,7 @@ pub fn learn_ablation(setup: &Setup, bounds: &VerificationBounds) -> Table {
         .map(|l| format!("{}.{} ({})", l.table, l.column, l.support))
         .collect::<Vec<_>>()
         .join(", ");
-    t.row(vec![
-        "learned columns".into(),
-        "-".into(),
-        summary,
-        "-".into(),
-        "-".into(),
-        "-".into(),
-    ]);
+    t.row(vec!["learned columns".into(), "-".into(), summary, "-".into(), "-".into(), "-".into()]);
     t
 }
 
@@ -229,10 +217,7 @@ pub fn querygen_ablation(setup: &Setup) -> Table {
             "no context adjustment",
             QueryGenConfig { context_adjustment: false, ..Default::default() },
         ),
-        (
-            "no backward search",
-            QueryGenConfig { backward_search: false, ..Default::default() },
-        ),
+        ("no backward search", QueryGenConfig { backward_search: false, ..Default::default() }),
         (
             "neither",
             QueryGenConfig {
@@ -317,9 +302,7 @@ pub fn stability_ablation(_setup: &Setup) -> Table {
         t.row(vec![
             format!("{mu:.2}"),
             stable_at.map(|(n, _)| n.to_string()).unwrap_or_else(|| "never".into()),
-            stable_at
-                .map(|(_, e)| e.to_string())
-                .unwrap_or_else(|| acg.edge_count().to_string()),
+            stable_at.map(|(_, e)| e.to_string()).unwrap_or_else(|| acg.edge_count().to_string()),
         ]);
     }
     t

@@ -16,28 +16,52 @@
 //! ```
 //!
 //! `--fast` shrinks the datasets ~10× (shapes preserved) for quick runs.
+//!
+//! `--metrics[=DIR]` turns on the telemetry subsystem and writes one JSON
+//! snapshot per experiment (work counters, stage latency histograms,
+//! recent pipeline events) to `DIR/<experiment>.json` (default `metrics/`).
 
-use nebula_bench::{ablation, fig11, fig12, fig13, fig14, fig15, profile, Scale, Setup};
+use nebula_bench::{ablation, fig11, fig12, fig13, fig14, fig15, pipeline, profile, Scale, Setup};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let scale = if fast { Scale::Fast } else { Scale::Full };
-    let experiments: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let metrics_dir: Option<std::path::PathBuf> = args.iter().find_map(|a| {
+        a.strip_prefix("--metrics").map(|rest| match rest.strip_prefix('=') {
+            Some(dir) if !dir.is_empty() => dir.into(),
+            _ => std::path::PathBuf::from("metrics"),
+        })
+    });
+    if metrics_dir.is_some() {
+        nebula_obs::set_enabled(true);
+    }
+    let experiments: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let chosen: Vec<&str> = if experiments.is_empty() || experiments.contains(&"all") {
         vec![
-            "fig11a", "fig11b", "fig11c", "fig12a", "fig12b", "fig13", "fig14a", "fig14b",
-            "fig15a", "fig15b", "naive-assess", "profile", "ablation-acg",
-            "ablation-learn", "ablation-querygen", "ablation-stability",
+            "fig11a",
+            "fig11b",
+            "fig11c",
+            "fig12a",
+            "fig12b",
+            "fig13",
+            "fig14a",
+            "fig14b",
+            "fig15a",
+            "fig15b",
+            "naive-assess",
+            "profile",
+            "pipeline",
+            "ablation-acg",
+            "ablation-learn",
+            "ablation-querygen",
+            "ablation-stability",
         ]
     } else if experiments.contains(&"help") {
         println!(
             "experiments: fig11a fig11b fig11c fig12a fig12b fig13 fig14a fig14b \
-             fig15a fig15b naive-assess profile ablation-acg ablation-learn \
+             fig15a fig15b naive-assess profile pipeline ablation-acg ablation-learn \
              ablation-querygen ablation-stability all"
         );
         return;
@@ -63,6 +87,9 @@ fn main() {
     }
 
     for exp in chosen {
+        // Per-experiment metrics: diff against the counters accumulated so
+        // far, so each sidecar reports only its own experiment's work.
+        let baseline = metrics_dir.as_ref().map(|_| nebula_obs::snapshot());
         match exp {
             "fig11a" | "fig11b" | "fig11c" => {
                 let setup = get_large!();
@@ -149,6 +176,12 @@ fn main() {
                     }
                 }
             }
+            "pipeline" => {
+                eprintln!("[reproduce] generating D_small ...");
+                let setup = Setup::small(scale);
+                let report = pipeline::run(&setup, 100);
+                pipeline::table(setup.name, 100, &report).print();
+            }
             "profile" => {
                 let setup = get_large!();
                 let p = profile::build_profile(setup, if fast { 30 } else { 120 });
@@ -163,6 +196,19 @@ fn main() {
             }
             other => {
                 eprintln!("[reproduce] unknown experiment `{other}` — try `help`");
+            }
+        }
+        if let (Some(dir), Some(base)) = (&metrics_dir, baseline) {
+            let diff = nebula_obs::snapshot().diff(&base);
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join(format!("{exp}.json")), diff.render_json()))
+            {
+                eprintln!("[reproduce] failed to write metrics sidecar for {exp}: {e}");
+            } else {
+                eprintln!(
+                    "[reproduce] metrics sidecar → {}",
+                    dir.join(format!("{exp}.json")).display()
+                );
             }
         }
     }

@@ -84,7 +84,9 @@ fn timed_generation(
     text: &str,
     config: &QueryGenConfig,
 ) -> ((f64, f64, f64), Vec<GeneratedQuery>) {
-    use nebula_core::sigmap::{generate_concept_map, generate_value_map, overlay, split_annotation};
+    use nebula_core::sigmap::{
+        generate_concept_map, generate_value_map, overlay, split_annotation,
+    };
 
     let t0 = Instant::now();
     let words = split_annotation(text);
@@ -94,16 +96,14 @@ fn timed_generation(
     let mut map = overlay(&words, cmap, vmap);
     nebula_core::context_based_adjustment(&mut map, &config.adjust);
     let t2 = Instant::now();
-    let queries = nebula_core::querygen::concept_map_to_queries(&setup.bundle.db, &setup.bundle.meta, &map, config);
+    let queries = nebula_core::querygen::concept_map_to_queries(
+        &setup.bundle.db,
+        &setup.bundle.meta,
+        &map,
+        config,
+    );
     let t3 = Instant::now();
-    (
-        (
-            (t1 - t0).as_secs_f64(),
-            (t2 - t1).as_secs_f64(),
-            (t3 - t2).as_secs_f64(),
-        ),
-        queries,
-    )
+    (((t1 - t0).as_secs_f64(), (t2 - t1).as_secs_f64(), (t3 - t2).as_secs_f64()), queries)
 }
 
 /// Judge generated queries against the annotation's known embedded

@@ -92,8 +92,12 @@ pub fn run_dataset(setup: &Setup) -> Vec<ExecutionCell> {
                         };
                         // Query generation is measured in Figure 11; here
                         // we time execution only, per the paper.
-                        let queries =
-                            generate_queries(&setup.bundle.db, &setup.bundle.meta, &wa.annotation.text, &config);
+                        let queries = generate_queries(
+                            &setup.bundle.db,
+                            &setup.bundle.meta,
+                            &wa.annotation.text,
+                            &config,
+                        );
                         let focal: Vec<relstore::TupleId> =
                             wa.ideal.iter().take(1).copied().collect();
                         let t0 = Instant::now();
@@ -176,16 +180,13 @@ fn fill(t: &mut Table, cells: &[ExecutionCell], metric: Metric) {
     keys.dedup();
     for (dataset, m) in keys {
         let find = |a: Approach| {
-            cells
-                .iter()
-                .find(|c| c.dataset == dataset && c.max_bytes == m && c.approach == a)
+            cells.iter().find(|c| c.dataset == dataset && c.max_bytes == m && c.approach == a)
         };
         let naive = find(Approach::Naive);
         let n06 = find(Approach::Nebula { epsilon_tenths: 6 });
         let n08 = find(Approach::Nebula { epsilon_tenths: 8 });
-        let cell = |c: Option<&ExecutionCell>| {
-            c.map(|c| metric.format(c)).unwrap_or_else(|| "-".into())
-        };
+        let cell =
+            |c: Option<&ExecutionCell>| c.map(|c| metric.format(c)).unwrap_or_else(|| "-".into());
         let ratio = match (naive, n06) {
             (Some(nv), Some(n6)) if metric.value(n6) > 0.0 => {
                 format!("{:.0}x", metric.value(nv) / metric.value(n6))

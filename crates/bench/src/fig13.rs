@@ -77,9 +77,8 @@ pub fn run_dataset(setup: &Setup) -> Vec<SharingCell> {
                 let (ts, cs) = run(ExecutionMode::Shared);
                 isolated += ti / n;
                 shared += ts / n;
-                let ids = |v: &[nebula_core::Candidate]| {
-                    v.iter().map(|c| c.tuple).collect::<Vec<_>>()
-                };
+                let ids =
+                    |v: &[nebula_core::Candidate]| v.iter().map(|c| c.tuple).collect::<Vec<_>>();
                 if ids(&ci) != ids(&cs) {
                     outputs_match = false;
                 }

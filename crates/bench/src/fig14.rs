@@ -34,7 +34,11 @@ pub struct FocalCell {
 pub fn run_dataset(setup: &Setup, max_bytes: usize) -> Vec<FocalCell> {
     let set = setup.set(max_bytes);
     let config = QueryGenConfig { epsilon: 0.6, ..Default::default() };
-    let exec = ExecutionConfig { mode: ExecutionMode::Isolated, acg_adjustment: true, ..Default::default() };
+    let exec = ExecutionConfig {
+        mode: ExecutionMode::Isolated,
+        acg_adjustment: true,
+        ..Default::default()
+    };
     let engine = KeywordSearch::new(SearchOptions {
         vocab: setup.bundle.meta.to_vocabulary(&setup.bundle.db),
         ..Default::default()

@@ -73,7 +73,8 @@ pub fn candidates_for(
     let qconfig = QueryGenConfig { epsilon, ..Default::default() };
     let queries =
         generate_queries(&setup.bundle.db, &setup.bundle.meta, &wa.annotation.text, &qconfig);
-    let exec = ExecutionConfig { mode: ExecutionMode::Shared, acg_adjustment: true, ..Default::default() };
+    let exec =
+        ExecutionConfig { mode: ExecutionMode::Shared, acg_adjustment: true, ..Default::default() };
     let cands = match k {
         None => {
             let engine = KeywordSearch::new(SearchOptions {

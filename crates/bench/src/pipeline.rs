@@ -1,0 +1,73 @@
+//! End-to-end pipeline experiment: drive the full proactive engine
+//! (`Nebula::process_annotation`) over a workload group, exactly as the
+//! shell's `ANNOTATE` does, stage spans and all.
+//!
+//! The figure experiments call the stage functions directly to time them
+//! in isolation; this experiment is the complement — the whole pipeline,
+//! per annotation, with routing through the verification bounds. It is
+//! also the telemetry showcase: run `reproduce --metrics pipeline` and
+//! the sidecar JSON carries per-stage latency histograms and the recent
+//! pipeline events alongside the per-layer work counters.
+
+use crate::setup::Setup;
+use crate::table::Table;
+use nebula_core::{distort, NebulaConfig, SessionReport, StabilityConfig, VerificationBounds};
+
+/// Process every annotation of the `L^m` workload group end-to-end.
+/// Returns the aggregated session report.
+pub fn run(setup: &Setup, max_bytes: usize) -> SessionReport {
+    // The store must absorb the workload annotations; clone it through a
+    // snapshot round-trip so the shared setup stays pristine.
+    let bytes = annostore::snapshot::save(&setup.bundle.annotations);
+    let mut store = annostore::snapshot::load(&bytes).expect("snapshot round-trip");
+    let mut nebula = setup.engine(NebulaConfig {
+        bounds: VerificationBounds::new(0.4, 0.85),
+        stability: StabilityConfig::default(),
+        ..Default::default()
+    });
+    let mut report = SessionReport::new();
+    for wa in &setup.set(max_bytes).annotations {
+        let (focal, _) = distort(&wa.ideal, 1);
+        let outcome = nebula
+            .process_annotation(&setup.bundle.db, &mut store, &wa.annotation, &focal)
+            .expect("pipeline run");
+        report.record(&outcome);
+    }
+    report
+}
+
+/// Render the session report as a one-row-per-stat table.
+pub fn table(name: &str, max_bytes: usize, report: &SessionReport) -> Table {
+    let mut t = Table::new(
+        format!("End-to-end pipeline over {name} (L^{max_bytes})"),
+        &["stat", "min / mean / max"],
+    );
+    t.row(vec!["annotations".into(), report.annotations.to_string()]);
+    t.row(vec!["queries/annotation".into(), report.queries.to_string()]);
+    t.row(vec!["candidates/annotation".into(), report.candidates.to_string()]);
+    t.row(vec!["auto-accepted".into(), report.accepted.to_string()]);
+    t.row(vec!["pending (expert)".into(), report.pending.to_string()]);
+    t.row(vec!["auto-rejected".into(), report.rejected.to_string()]);
+    t.row(vec!["automation ratio".into(), format!("{:.0}%", report.automation_ratio() * 100.0)]);
+    t.row(vec![
+        "focal spreading used".into(),
+        format!("{}/{}", report.focal_spread_used, report.annotations),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_workload::DatasetSpec;
+
+    #[test]
+    fn pipeline_processes_the_whole_group() {
+        let setup = Setup::new("test", &DatasetSpec::tiny());
+        let report = run(&setup, 100);
+        assert_eq!(report.annotations as usize, setup.set(100).annotations.len());
+        assert!(report.queries.mean() > 0.0, "every annotation generates queries");
+        let rendered = table("test", 100, &report).render();
+        assert!(rendered.contains("automation ratio"));
+    }
+}

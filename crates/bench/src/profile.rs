@@ -49,17 +49,12 @@ pub fn table(profile: &HopProfile) -> Table {
 
 /// Render the automatic K choices for a few coverage targets.
 pub fn k_selection_table(profile: &HopProfile) -> Table {
-    let mut t = Table::new(
-        "Automatic K selection from the profile",
-        &["target coverage", "selected K"],
-    );
+    let mut t =
+        Table::new("Automatic K selection from the profile", &["target coverage", "selected K"]);
     for target in [0.5, 0.7, 0.9, 0.95, 0.99] {
         t.row(vec![
             fmt_pct(target),
-            profile
-                .select_k(target)
-                .map(|k| k.to_string())
-                .unwrap_or_else(|| "-".into()),
+            profile.select_k(target).map(|k| k.to_string()).unwrap_or_else(|| "-".into()),
         ]);
     }
     t

@@ -91,10 +91,7 @@ impl Setup {
 
     /// The workload set with the given byte cap.
     pub fn set(&self, max_bytes: usize) -> &WorkloadSet {
-        self.workload
-            .iter()
-            .find(|s| s.max_bytes == max_bytes)
-            .expect("workload set exists")
+        self.workload.iter().find(|s| s.max_bytes == max_bytes).expect("workload set exists")
     }
 
     /// A Nebula engine over this dataset with the given config, ACG

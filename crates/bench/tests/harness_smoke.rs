@@ -23,13 +23,8 @@ fn fig11_cells_are_sane() {
     // Monotonicity: ε=0.4 generates at least as many queries as ε=0.8
     // for the same L^m.
     for m in [50usize, 100, 500, 1000] {
-        let q = |eps: f64| {
-            cells
-                .iter()
-                .find(|c| c.epsilon == eps && c.max_bytes == m)
-                .unwrap()
-                .queries
-        };
+        let q =
+            |eps: f64| cells.iter().find(|c| c.epsilon == eps && c.max_bytes == m).unwrap().queries;
         assert!(q(0.4) >= q(0.8), "ε=0.4 ⊇ ε=0.8 at L^{m}");
     }
     // Tables render.
@@ -51,8 +46,7 @@ fn fig12_naive_returns_more_tuples() {
         let nebula = cells
             .iter()
             .find(|c| {
-                c.max_bytes == m
-                    && c.approach == fig12::Approach::Nebula { epsilon_tenths: 6 }
+                c.max_bytes == m && c.approach == fig12::Approach::Nebula { epsilon_tenths: 6 }
             })
             .unwrap();
         assert!(
@@ -87,11 +81,7 @@ fn fig14_minidb_grows_with_k() {
         let sizes: Vec<f64> = [2usize, 3, 4]
             .iter()
             .map(|k| {
-                cells
-                    .iter()
-                    .find(|c| c.delta == delta && c.k == Some(*k))
-                    .unwrap()
-                    .minidb_tuples
+                cells.iter().find(|c| c.delta == delta && c.k == Some(*k)).unwrap().minidb_tuples
             })
             .collect();
         assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2], "miniDB monotone in K");

@@ -82,10 +82,7 @@ impl Acg {
 
     /// Direct neighbors of a tuple with edge weights.
     pub fn neighbors(&self, t: TupleId) -> impl Iterator<Item = (TupleId, f64)> + '_ {
-        self.adjacency
-            .get(&t)
-            .into_iter()
-            .flat_map(|m| m.iter().map(|(k, v)| (*k, *v)))
+        self.adjacency.get(&t).into_iter().flat_map(|m| m.iter().map(|(k, v)| (*k, *v)))
     }
 
     /// Insert or refresh the undirected edge `(a, b)` with the
@@ -100,12 +97,7 @@ impl Acg {
             return false;
         }
         let weight = common as f64 / total.max(1) as f64;
-        let was_new = self
-            .adjacency
-            .entry(a)
-            .or_default()
-            .insert(b, weight)
-            .is_none();
+        let was_new = self.adjacency.entry(a).or_default().insert(b, weight).is_none();
         self.adjacency.entry(b).or_default().insert(a, weight);
         if was_new {
             self.edge_count += 1;
@@ -199,8 +191,7 @@ impl Acg {
     /// spreading search (§6.3).
     pub fn k_hop(&self, focal: &[TupleId], k: usize) -> Vec<TupleId> {
         let mut seen: HashSet<TupleId> = focal.iter().copied().collect();
-        let mut frontier: VecDeque<(TupleId, usize)> =
-            focal.iter().map(|&t| (t, 0)).collect();
+        let mut frontier: VecDeque<(TupleId, usize)> = focal.iter().map(|&t| (t, 0)).collect();
         while let Some((t, d)) = frontier.pop_front() {
             if d == k {
                 continue;

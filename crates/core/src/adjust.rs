@@ -90,9 +90,8 @@ fn neighborhood(map: &ContextMap, center: usize, alpha: usize) -> Neighborhood {
 /// `(1 + β)` once per match of the strongest achievable type, capped at
 /// 1.0.
 pub fn context_based_adjustment(map: &mut ContextMap, params: &AdjustParams) {
-    let snapshots: Vec<Neighborhood> = (0..map.entries.len())
-        .map(|i| neighborhood(map, i, params.alpha))
-        .collect();
+    let snapshots: Vec<Neighborhood> =
+        (0..map.entries.len()).map(|i| neighborhood(map, i, params.alpha)).collect();
 
     for (i, entry) in map.entries.iter_mut().enumerate() {
         let n = &snapshots[i];
@@ -237,12 +236,7 @@ mod tests {
     fn out_of_range_context_ignored() {
         let (db, meta) = setup();
         // 6 filler words between "gene" and the id — beyond α = 4.
-        let mut map = build_map(
-            &db,
-            &meta,
-            "gene mmmm nnnn oooo pppp qqqq rrrr JW0018",
-            0.6,
-        );
+        let mut map = build_map(&db, &meta, "gene mmmm nnnn oooo pppp qqqq rrrr JW0018", 0.6);
         let idx = map.entries.len() - 1;
         let before = map.entries[idx].values[0].weight;
         context_based_adjustment(&mut map, &AdjustParams { alpha: 4, ..Default::default() });

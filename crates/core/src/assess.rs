@@ -75,11 +75,7 @@ impl AssessmentReport {
         let fp_denom = c.n_verify_t + c.n_accept() + c.n_focal;
         let f_p = if fp_denom > 0 { c.n_accept_f as f64 / fp_denom as f64 } else { 0.0 };
         let m_f = c.n_verify() as f64;
-        let m_h = if c.n_verify() > 0 {
-            c.n_verify_t as f64 / c.n_verify() as f64
-        } else {
-            0.0
-        };
+        let m_h = if c.n_verify() > 0 { c.n_verify_t as f64 / c.n_verify() as f64 } else { 0.0 };
         AssessmentReport { f_n, f_p, m_f, m_h }
     }
 
@@ -185,8 +181,7 @@ mod tests {
     #[test]
     fn auto_rejected_correct_prediction_is_a_miss() {
         let bounds = VerificationBounds::new(0.3, 0.8);
-        let (counts, report) =
-            assess_predictions(&[cand(1, 0.1)], &bounds, &[t(0), t(1)], &[t(0)]);
+        let (counts, report) = assess_predictions(&[cand(1, 0.1)], &bounds, &[t(0), t(1)], &[t(0)]);
         assert_eq!(counts.n_reject, 1);
         assert!((report.f_n - 0.5).abs() < 1e-12);
     }

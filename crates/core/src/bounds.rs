@@ -114,9 +114,8 @@ impl BoundsSetting {
             }
         }
 
-        let mut chosen = best_feasible
-            .or(best_fallback)
-            .expect("grid always evaluates at least one point");
+        let mut chosen =
+            best_feasible.or(best_fallback).expect("grid always evaluates at least one point");
 
         // M_H-guided refinement: if almost all manual verifications accept,
         // lower β_upper one step to auto-accept more (§7 enhancement 2).

@@ -24,6 +24,7 @@ use crate::meta::NebulaMeta;
 use crate::querygen::{generate_queries, GeneratedQuery, QueryGenConfig};
 use crate::verify::{Command, Decision, VerificationBounds, VerificationQueue, VerificationTask};
 use annostore::{Annotation, AnnotationId, AnnotationStore, AttachmentTarget, StoreError};
+use nebula_obs::{names, PipelineEvent};
 use relstore::{Database, TupleId};
 use textsearch::{KeywordSearch, SearchOptions, SearchStats};
 
@@ -207,17 +208,28 @@ impl Nebula {
         annotation: &Annotation,
         focal: &[TupleId],
     ) -> Result<ProcessOutcome, StoreError> {
+        let pipeline_span = nebula_obs::span(names::PIPELINE);
+
         // Stage 0: register the annotation and its focal attachments.
+        let stage0_span = nebula_obs::span(names::STAGE0_REGISTER);
         let aid = store.add_annotation(annotation.clone());
         for &f in focal {
             store.attach(aid, AttachmentTarget::tuple(f))?;
             self.acg.add_attachment(store, aid, f);
         }
+        stage_event(aid, names::STAGE0_REGISTER, stage0_span, focal.len(), || {
+            format!("focal={}", focal.len())
+        });
 
         // Stage 1: annotation text → keyword queries.
+        let stage1_span = nebula_obs::span(names::STAGE1_QUERYGEN);
         let queries = generate_queries(db, &self.meta, &annotation.text, &self.config.querygen);
+        stage_event(aid, names::STAGE1_QUERYGEN, stage1_span, queries.len(), || {
+            format!("queries={}", queries.len())
+        });
 
         // Stage 2: execute, full or focal-spreading.
+        let stage2_span = nebula_obs::span(names::STAGE2_EXECUTE);
         let engine = self.search_engine(db);
         let (candidates, stats, used_focal_spread) = match self.spreading_k(focal) {
             Some(k) => {
@@ -253,8 +265,16 @@ impl Nebula {
                 (cands, stats, false)
             }
         };
+        stage_event(aid, names::STAGE2_EXECUTE, stage2_span, candidates.len(), || {
+            format!(
+                "mode={} hits={}",
+                if used_focal_spread { "focal-spread" } else { "full" },
+                candidates.len()
+            )
+        });
 
         // Stage 3: route candidates through the bounds.
+        let stage3_span = nebula_obs::span(names::STAGE3_ROUTE);
         let mut accepted = Vec::new();
         let mut pending = Vec::new();
         let mut rejected = Vec::new();
@@ -282,8 +302,48 @@ impl Nebula {
             }
         }
 
+        stage_event(aid, names::STAGE3_ROUTE, stage3_span, candidates.len(), || {
+            format!(
+                "accepted={} pending={} rejected={}",
+                accepted.len(),
+                pending.len(),
+                rejected.len()
+            )
+        });
+
         // One more annotation processed — advance the stability batch.
         self.acg.record_annotation();
+
+        if nebula_obs::enabled() {
+            nebula_obs::counter_add("core.annotations_processed", 1);
+            nebula_obs::counter_add("core.queries_generated", queries.len() as u64);
+            nebula_obs::counter_add("core.candidates", candidates.len() as u64);
+            nebula_obs::counter_add("core.accepted", accepted.len() as u64);
+            nebula_obs::counter_add("core.pending_verification", pending.len() as u64);
+            nebula_obs::counter_add("core.rejected", rejected.len() as u64);
+            if used_focal_spread {
+                nebula_obs::counter_add("core.focal_spread_used", 1);
+            }
+            let total_ns = pipeline_span.elapsed_ns();
+            nebula_obs::record_event(PipelineEvent {
+                annotation_id: aid.0,
+                stage: names::PIPELINE,
+                duration_ns: total_ns,
+                candidates: candidates.len() as u64,
+                decision: format!(
+                    "accepted={} pending={} rejected={} focal_spread={} configs={} \
+                     compiled={} inspected={}",
+                    accepted.len(),
+                    pending.len(),
+                    rejected.len(),
+                    used_focal_spread,
+                    stats.configurations,
+                    stats.compiled_queries,
+                    stats.tuples_inspected,
+                ),
+            });
+        }
+        drop(pipeline_span);
 
         Ok(ProcessOutcome {
             annotation: aid,
@@ -348,12 +408,8 @@ impl Nebula {
         store: &mut AnnotationStore,
         tid: TupleId,
     ) -> Vec<AnnotationId> {
-        let stale: Vec<u64> = self
-            .queue
-            .iter()
-            .filter(|task| task.tuple == tid)
-            .map(|task| task.vid)
-            .collect();
+        let stale: Vec<u64> =
+            self.queue.iter().filter(|task| task.tuple == tid).map(|task| task.vid).collect();
         for vid in stale {
             self.queue.take(vid);
         }
@@ -374,6 +430,29 @@ impl Nebula {
             Command::Verify(vid) => self.resolve_task(store, vid, true),
             Command::Reject(vid) => self.resolve_task(store, vid, false),
         }
+    }
+}
+
+/// Close a stage span and, when telemetry is on, record a structured
+/// pipeline event for it. The `decision` closure only runs when enabled,
+/// so the disabled path never allocates.
+fn stage_event(
+    aid: AnnotationId,
+    stage: &'static str,
+    span: nebula_obs::SpanGuard<'_>,
+    candidates: usize,
+    decision: impl FnOnce() -> String,
+) {
+    let duration_ns = span.elapsed_ns();
+    drop(span); // feeds the stage histogram
+    if nebula_obs::enabled() {
+        nebula_obs::record_event(PipelineEvent {
+            annotation_id: aid.0,
+            stage,
+            duration_ns,
+            candidates: candidates as u64,
+            decision: decision(),
+        });
     }
 }
 
@@ -437,10 +516,7 @@ mod tests {
     }
 
     fn config_accept_all() -> NebulaConfig {
-        NebulaConfig {
-            bounds: VerificationBounds::new(0.0, 0.0),
-            ..Default::default()
-        }
+        NebulaConfig { bounds: VerificationBounds::new(0.0, 0.0), ..Default::default() }
     }
 
     #[test]
@@ -488,10 +564,8 @@ mod tests {
     fn resolve_task_accept_and_reject() {
         let (db, meta, ids) = setup();
         let mut store = AnnotationStore::new();
-        let config = NebulaConfig {
-            bounds: VerificationBounds::new(0.0, 1.0),
-            ..Default::default()
-        };
+        let config =
+            NebulaConfig { bounds: VerificationBounds::new(0.0, 1.0), ..Default::default() };
         let mut nebula = Nebula::new(config, meta);
         let ann = Annotation::new("gene JW0014 and gene yaaI are notable");
         let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[0]]).unwrap();
@@ -509,17 +583,14 @@ mod tests {
     fn execute_command_verifies() {
         let (db, meta, ids) = setup();
         let mut store = AnnotationStore::new();
-        let config = NebulaConfig {
-            bounds: VerificationBounds::new(0.0, 1.0),
-            ..Default::default()
-        };
+        let config =
+            NebulaConfig { bounds: VerificationBounds::new(0.0, 1.0), ..Default::default() };
         let mut nebula = Nebula::new(config, meta);
         let ann = Annotation::new("gene JW0014");
         let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[0]]).unwrap();
         let vid = out.pending[0];
-        let task = nebula
-            .execute_command(&mut store, &format!("Verify Attachment {vid};"))
-            .unwrap();
+        let task =
+            nebula.execute_command(&mut store, &format!("Verify Attachment {vid};")).unwrap();
         assert!(store.focal(out.annotation).contains(&task.tuple));
         assert!(nebula.execute_command(&mut store, "garbage").is_err());
     }

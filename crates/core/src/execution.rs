@@ -181,8 +181,8 @@ mod tests {
     use crate::patterns::Pattern;
     use crate::querygen::{generate_queries, QueryGenConfig};
     use annostore::{Annotation, AnnotationStore, AttachmentTarget};
-    use textsearch::KeywordSearch;
     use relstore::{DataType, TableSchema, Value};
+    use textsearch::KeywordSearch;
 
     fn setup() -> (Database, NebulaMeta, Vec<TupleId>) {
         let mut db = Database::new();
@@ -303,14 +303,8 @@ mod tests {
     fn empty_queries_empty_result() {
         let (db, _meta, _) = setup();
         let engine = KeywordSearch::default();
-        let (cands, stats) = identify_related_tuples(
-            &db,
-            &engine,
-            &[],
-            &[],
-            None,
-            &ExecutionConfig::default(),
-        );
+        let (cands, stats) =
+            identify_related_tuples(&db, &engine, &[], &[], None, &ExecutionConfig::default());
         assert!(cands.is_empty());
         assert_eq!(stats.compiled_queries, 0);
     }
@@ -325,7 +319,11 @@ mod tests {
             text,
             &[],
             None,
-            &ExecutionConfig { mode: ExecutionMode::Shared, acg_adjustment: false, ..Default::default() },
+            &ExecutionConfig {
+                mode: ExecutionMode::Shared,
+                acg_adjustment: false,
+                ..Default::default()
+            },
         );
         let b = run(
             &db,
@@ -333,7 +331,11 @@ mod tests {
             text,
             &[],
             None,
-            &ExecutionConfig { mode: ExecutionMode::Isolated, acg_adjustment: false, ..Default::default() },
+            &ExecutionConfig {
+                mode: ExecutionMode::Isolated,
+                acg_adjustment: false,
+                ..Default::default()
+            },
         );
         assert_eq!(a, b);
     }

@@ -76,11 +76,7 @@ impl HopProfile {
 
     /// Iterate `(hops, count)` over non-empty buckets.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(h, &c)| (h, c))
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(h, &c)| (h, c))
     }
 }
 

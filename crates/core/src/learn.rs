@@ -74,32 +74,27 @@ pub fn learn_referencing_columns(
                     continue;
                 }
                 if text.contains(v.as_str()) {
-                    *support
-                        .entry((table_name.clone(), def.name.clone()))
-                        .or_insert(0) += 1;
+                    *support.entry((table_name.clone(), def.name.clone())).or_insert(0) += 1;
                 }
             }
         }
     }
 
-    let mut out: Vec<LearnedColumn> = support
-        .into_iter()
-        .filter_map(|((table, column), s)| {
-            let pairs = pairs_per_table.get(&table).copied().unwrap_or(0);
-            if pairs == 0 {
-                return None;
-            }
-            let coverage = s as f64 / pairs as f64;
-            (s >= config.min_support && coverage >= config.min_coverage).then_some(
-                LearnedColumn { table, column, support: s, coverage },
-            )
-        })
-        .collect();
+    let mut out: Vec<LearnedColumn> =
+        support
+            .into_iter()
+            .filter_map(|((table, column), s)| {
+                let pairs = pairs_per_table.get(&table).copied().unwrap_or(0);
+                if pairs == 0 {
+                    return None;
+                }
+                let coverage = s as f64 / pairs as f64;
+                (s >= config.min_support && coverage >= config.min_coverage)
+                    .then_some(LearnedColumn { table, column, support: s, coverage })
+            })
+            .collect();
     out.sort_by(|a, b| {
-        a.table
-            .cmp(&b.table)
-            .then(b.support.cmp(&a.support))
-            .then(a.column.cmp(&b.column))
+        a.table.cmp(&b.table).then(b.support.cmp(&a.support)).then(a.column.cmp(&b.column))
     });
     out
 }
@@ -189,12 +184,13 @@ mod tests {
     #[test]
     fn learns_id_and_name_not_family() {
         let (db, store) = setup();
-        let learned =
-            learn_referencing_columns(&db, &store, &LearnConfig { min_support: 2, ..Default::default() });
-        let cols: Vec<(&str, &str)> = learned
-            .iter()
-            .map(|lc| (lc.table.as_str(), lc.column.as_str()))
-            .collect();
+        let learned = learn_referencing_columns(
+            &db,
+            &store,
+            &LearnConfig { min_support: 2, ..Default::default() },
+        );
+        let cols: Vec<(&str, &str)> =
+            learned.iter().map(|lc| (lc.table.as_str(), lc.column.as_str())).collect();
         assert!(cols.contains(&("gene", "gid")));
         assert!(cols.contains(&("gene", "name")));
         assert!(!cols.contains(&("gene", "family")), "short `F1` is below min length");

@@ -144,18 +144,20 @@ impl NebulaMeta {
     /// Declare a curator equivalent name for a column
     /// (e.g. `"id"` for `gene.gid`).
     pub fn add_column_equivalent(&mut self, alias: &str, table: &str, column: &str) {
-        self.column_aliases
-            .entry(alias.to_lowercase())
-            .or_default()
-            .push((table.to_string(), column.to_string(), concept_weights::EQUIVALENT));
+        self.column_aliases.entry(alias.to_lowercase()).or_default().push((
+            table.to_string(),
+            column.to_string(),
+            concept_weights::EQUIVALENT,
+        ));
     }
 
     /// Declare a lexicon synonym for a column.
     pub fn add_column_synonym(&mut self, alias: &str, table: &str, column: &str) {
-        self.column_aliases
-            .entry(alias.to_lowercase())
-            .or_default()
-            .push((table.to_string(), column.to_string(), concept_weights::SYNONYM));
+        self.column_aliases.entry(alias.to_lowercase()).or_default().push((
+            table.to_string(),
+            column.to_string(),
+            concept_weights::SYNONYM,
+        ));
     }
 
     /// Attach an ontology (controlled vocabulary) to a column.
@@ -184,9 +186,7 @@ impl NebulaMeta {
     }
 
     fn domain_mut(&mut self, table: &str, column: &str) -> &mut ColumnDomain {
-        self.domains
-            .entry((table.to_lowercase(), column.to_lowercase()))
-            .or_default()
+        self.domains.entry((table.to_lowercase(), column.to_lowercase())).or_default()
     }
 
     /// Domain knowledge for a column, if declared.
@@ -223,8 +223,9 @@ impl NebulaMeta {
         // and JW0014" must reach the `gene` concept) — the lexical
         // normalization WordNet provides in the paper.
         let singular = textsearch::singularize(&w);
-        let name_matches =
-            |name: &str| name.eq_ignore_ascii_case(&w) || singular.as_deref() == Some(&name.to_lowercase());
+        let name_matches = |name: &str| {
+            name.eq_ignore_ascii_case(&w) || singular.as_deref() == Some(&name.to_lowercase())
+        };
 
         let mut best: HashMap<ConceptTarget, f64> = HashMap::new();
         let mut add = |target: ConceptTarget, weight: f64| {
@@ -256,9 +257,8 @@ impl NebulaMeta {
             }
         }
         // Curator equivalents and lexicon synonyms (singular form too).
-        let alias_keys: Vec<&str> = std::iter::once(w.as_str())
-            .chain(singular.as_deref())
-            .collect();
+        let alias_keys: Vec<&str> =
+            std::iter::once(w.as_str()).chain(singular.as_deref()).collect();
         for key in &alias_keys {
             if let Some(aliases) = self.table_aliases.get(*key) {
                 for (tname, weight) in aliases {
@@ -272,9 +272,7 @@ impl NebulaMeta {
             if let Some(aliases) = self.column_aliases.get(*key) {
                 for (tname, cname, weight) in aliases {
                     if let Some(tid) = db.catalog().resolve(tname) {
-                        if let Some(cid) =
-                            db.table(tid).and_then(|t| t.schema().column_id(cname))
-                        {
+                        if let Some(cid) = db.table(tid).and_then(|t| t.schema().column_id(cname)) {
                             add(ConceptTarget::Column(tid, cid), *weight);
                         }
                     }
@@ -373,8 +371,7 @@ impl NebulaMeta {
         for (alias, targets) in &self.column_aliases {
             for (tname, cname, weight) in targets {
                 if let Some(tid) = db.catalog().resolve(tname) {
-                    if let Some(cid) = db.table(tid).and_then(|t| t.schema().column_id(cname))
-                    {
+                    if let Some(cid) = db.table(tid).and_then(|t| t.schema().column_id(cname)) {
                         if *weight >= concept_weights::EQUIVALENT {
                             vocab.column_equivalent(alias, tid, cid);
                         } else {
@@ -436,11 +433,8 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        db.insert(
-            "gene",
-            vec![Value::text("JW0013"), Value::text("grpC"), Value::Int(1130)],
-        )
-        .unwrap();
+        db.insert("gene", vec![Value::text("JW0013"), Value::text("grpC"), Value::Int(1130)])
+            .unwrap();
         db
     }
 

@@ -67,8 +67,8 @@ impl CharClass {
             CharClass::Literal(l) => *l == c,
             CharClass::Any => true,
             CharClass::Set { negated, singles, ranges } => {
-                let inside = singles.contains(&c)
-                    || ranges.iter().any(|(lo, hi)| *lo <= c && c <= *hi);
+                let inside =
+                    singles.contains(&c) || ranges.iter().any(|(lo, hi)| *lo <= c && c <= *hi);
                 inside != *negated
             }
         }
@@ -132,13 +132,8 @@ impl Pattern {
                     i += 1;
                 }
                 '\\' => {
-                    let escaped =
-                        *chars.get(i + 1).ok_or(PatternError::BadClass("\\".into()))?;
-                    elements.push(Element {
-                        class: CharClass::Literal(escaped),
-                        min: 1,
-                        max: 1,
-                    });
+                    let escaped = *chars.get(i + 1).ok_or(PatternError::BadClass("\\".into()))?;
+                    elements.push(Element { class: CharClass::Literal(escaped), min: 1, max: 1 });
                     i += 2;
                 }
                 other => {

@@ -93,14 +93,16 @@ fn range_concepts(
         }
         for cm in &entry.concepts {
             match cm.target {
-                ConceptTarget::Table(ct) if ct == t
-                    && out.table.is_none_or(|(_, w)| cm.weight > w) => {
-                        out.table = Some((i, cm.weight));
-                    }
-                ConceptTarget::Column(ct, cc) if ct == t && cc == c
-                    && out.column.is_none_or(|(_, w)| cm.weight > w) => {
-                        out.column = Some((i, cm.weight));
-                    }
+                ConceptTarget::Table(ct)
+                    if ct == t && out.table.is_none_or(|(_, w)| cm.weight > w) =>
+                {
+                    out.table = Some((i, cm.weight));
+                }
+                ConceptTarget::Column(ct, cc)
+                    if ct == t && cc == c && out.column.is_none_or(|(_, w)| cm.weight > w) =>
+                {
+                    out.column = Some((i, cm.weight));
+                }
                 _ => {}
             }
         }
@@ -124,14 +126,14 @@ fn backward_concept(
         let mut best: Option<(f64, bool)> = None;
         for cm in &entry.concepts {
             match cm.target {
-                ConceptTarget::Table(ct) if ct == t
-                    && best.is_none_or(|(w, is_t)| !is_t || cm.weight > w) => {
-                        best = Some((cm.weight, true));
-                    }
-                ConceptTarget::Column(ct, cc) if ct == t && cc == c
-                    && best.is_none() => {
-                        best = Some((cm.weight, false));
-                    }
+                ConceptTarget::Table(ct)
+                    if ct == t && best.is_none_or(|(w, is_t)| !is_t || cm.weight > w) =>
+                {
+                    best = Some((cm.weight, true));
+                }
+                ConceptTarget::Column(ct, cc) if ct == t && cc == c && best.is_none() => {
+                    best = Some((cm.weight, false));
+                }
                 _ => {}
             }
         }
@@ -158,10 +160,8 @@ fn combo_columns(db: &Database, meta: &NebulaMeta) -> Vec<(TableId, Vec<ColumnId
             if combo.len() < 2 {
                 continue;
             }
-            let cols: Vec<ColumnId> = combo
-                .iter()
-                .filter_map(|c| table.schema().column_id(c))
-                .collect();
+            let cols: Vec<ColumnId> =
+                combo.iter().filter_map(|c| table.schema().column_id(c)).collect();
             if cols.len() == combo.len() {
                 out.push((tid, cols));
             }
@@ -198,20 +198,19 @@ fn complete_combo(
                     continue;
                 }
                 for vm in &entry.values {
-                    if vm.table == t && vm.column == other_col
-                        && best.is_none_or(|(_, w)| vm.weight > w) {
-                            best = Some((j, vm.weight));
-                        }
+                    if vm.table == t
+                        && vm.column == other_col
+                        && best.is_none_or(|(_, w)| vm.weight > w)
+                    {
+                        best = Some((j, vm.weight));
+                    }
                 }
             }
             if let Some((j, w)) = best {
                 q.positions.push(j);
                 q.positions.sort_unstable();
-                q.keywords = q
-                    .positions
-                    .iter()
-                    .map(|&p| map.entries[p].word.raw_for_matching())
-                    .collect();
+                q.keywords =
+                    q.positions.iter().map(|&p| map.entries[p].word.raw_for_matching()).collect();
                 q.weight += w;
             }
         }
@@ -236,22 +235,14 @@ pub fn concept_map_to_queries(
         // from the perspective of their hexagon member, so iterating
         // hexagons covers every match the paper's loop would form, and the
         // final dedup collapses the rest.
-        let Some(best_value) = entry
-            .values
-            .iter()
-            .max_by(|a, b| a.weight.total_cmp(&b.weight))
+        let Some(best_value) = entry.values.iter().max_by(|a, b| a.weight.total_cmp(&b.weight))
         else {
             continue;
         };
         // Is the value mapping actually the word's best mapping? If a
         // concept mapping dominates, the word acts as a concept, not a
         // value.
-        if let Some(best_concept) = entry
-            .concepts
-            .iter()
-            .map(|c| c.weight)
-            .max_by(f64::total_cmp)
-        {
+        if let Some(best_concept) = entry.concepts.iter().map(|c| c.weight).max_by(f64::total_cmp) {
             if best_concept > best_value.weight {
                 continue;
             }
@@ -353,11 +344,7 @@ fn dedup_and_normalize(queries: Vec<GeneratedQuery>) -> Vec<GeneratedQuery> {
             q.weight /= max;
         }
     }
-    out.sort_by(|a, b| {
-        b.weight
-            .total_cmp(&a.weight)
-            .then_with(|| a.positions.cmp(&b.positions))
-    });
+    out.sort_by(|a, b| b.weight.total_cmp(&a.weight).then_with(|| a.positions.cmp(&b.positions)));
     out
 }
 
@@ -436,7 +423,12 @@ mod tests {
     #[test]
     fn type2_query_formed() {
         let (db, meta) = setup();
-        let qs = generate_queries(&db, &meta, "the gene yaaB was upregulated", &QueryGenConfig::default());
+        let qs = generate_queries(
+            &db,
+            &meta,
+            "the gene yaaB was upregulated",
+            &QueryGenConfig::default(),
+        );
         assert_eq!(qs.len(), 1);
         assert_eq!(qs[0].match_type, 2);
         assert_eq!(qs[0].keywords, vec!["gene", "yaaB"]);
@@ -521,7 +513,8 @@ mod tests {
     #[test]
     fn no_emphasized_words_no_queries() {
         let (db, meta) = setup();
-        let qs = generate_queries(&db, &meta, "nothing to see here at all", &QueryGenConfig::default());
+        let qs =
+            generate_queries(&db, &meta, "nothing to see here at all", &QueryGenConfig::default());
         assert!(qs.is_empty());
     }
 

@@ -44,6 +44,11 @@ impl Stat {
             self.sum / self.count as f64
         }
     }
+
+    /// Sum of the observations (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
 }
 
 impl fmt::Display for Stat {
@@ -106,8 +111,8 @@ impl SessionReport {
     /// Fraction of auto decisions (accept + reject) among all routed
     /// predictions — the automation the adaptive bounds buy.
     pub fn automation_ratio(&self) -> f64 {
-        let auto = self.accepted.sum + self.rejected.sum;
-        let total = auto + self.pending.sum;
+        let auto = self.accepted.sum() + self.rejected.sum();
+        let total = auto + self.pending.sum();
         if total > 0.0 {
             auto / total
         } else {
@@ -134,16 +139,8 @@ impl fmt::Display for SessionReport {
         writeln!(f, "  auto-accepted:         {}", self.accepted)?;
         writeln!(f, "  pending (expert):      {}", self.pending)?;
         writeln!(f, "  auto-rejected:         {}", self.rejected)?;
-        writeln!(
-            f,
-            "  automation ratio:      {:.0}%",
-            self.automation_ratio() * 100.0
-        )?;
-        writeln!(
-            f,
-            "  focal spreading used:  {}/{}",
-            self.focal_spread_used, self.annotations
-        )?;
+        writeln!(f, "  automation ratio:      {:.0}%", self.automation_ratio() * 100.0)?;
+        writeln!(f, "  focal spreading used:  {}/{}", self.focal_spread_used, self.annotations)?;
         write!(
             f,
             "  expert decisions:      {} accept / {} reject (hit {:.0}%)",
@@ -186,7 +183,7 @@ mod tests {
             accepted: (0..accepted).map(|i| (t(i as u64), 0.9)).collect(),
             pending: (0..pending).map(|i| i as u64).collect(),
             rejected: (0..rejected).map(|i| (t(100 + i as u64), 0.1)).collect(),
-            used_focal_spread: accepted % 2 == 0,
+            used_focal_spread: accepted.is_multiple_of(2),
             stats: SearchStats::default(),
         }
     }
@@ -201,7 +198,40 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 5.0);
         assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!((s.sum() - 9.0).abs() < 1e-12);
         assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn stat_empty_is_all_zero() {
+        let s = Stat::default();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.sum(), 0.0);
+        assert_eq!(s.mean(), 0.0, "mean of zero observations must not divide by zero");
+        assert_eq!(s.to_string(), "min 0.0 / mean 0.0 / max 0.0");
+    }
+
+    #[test]
+    fn stat_single_observation_sets_all_fields() {
+        let mut s = Stat::default();
+        s.record(7.5);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+        assert_eq!(s.sum(), 7.5);
+        assert_eq!(s.mean(), 7.5);
+    }
+
+    #[test]
+    fn stat_min_updates_on_smaller_later_observation() {
+        let mut s = Stat::default();
+        s.record(2.0);
+        s.record(-4.0);
+        assert_eq!(s.min, -4.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.sum(), -2.0);
     }
 
     #[test]

@@ -175,9 +175,7 @@ impl Word {
     /// punctuation stripped but **case preserved**, because syntactic
     /// patterns are case-sensitive (`JW0013` vs `jw0013`).
     pub fn raw_for_matching(&self) -> String {
-        self.raw
-            .trim_matches(|c: char| !c.is_alphanumeric())
-            .to_string()
+        self.raw.trim_matches(|c: char| !c.is_alphanumeric()).to_string()
     }
 }
 
@@ -193,11 +191,7 @@ pub fn overlay(
         .iter()
         .zip(concept_map)
         .zip(value_map)
-        .map(|((word, concepts), values)| ContextEntry {
-            word: word.clone(),
-            concepts,
-            values,
-        })
+        .map(|((word, concepts), values)| ContextEntry { word: word.clone(), concepts, values })
         .collect();
     ContextMap { entries }
 }

@@ -163,9 +163,8 @@ pub fn parse_command(input: &str) -> Result<Command, ParseError> {
     if !noun.eq_ignore_ascii_case("attachment") {
         return Err(ParseError(format!("expected `Attachment`, got `{noun}`")));
     }
-    let vid: u64 = vid_str
-        .parse()
-        .map_err(|_| ParseError(format!("invalid task id `{vid_str}`")))?;
+    let vid: u64 =
+        vid_str.parse().map_err(|_| ParseError(format!("invalid task id `{vid_str}`")))?;
     if verb.eq_ignore_ascii_case("verify") {
         Ok(Command::Verify(vid))
     } else if verb.eq_ignore_ascii_case("reject") {

@@ -1,0 +1,55 @@
+//! Structured per-annotation pipeline events.
+
+/// One record in the pipeline event ring: what a stage did for one
+/// annotation. The engine emits one per stage plus a summary record, so
+/// `EXPLAIN ANNOTATION <id>` can replay the pipeline after the fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineEvent {
+    /// The annotation's store id.
+    pub annotation_id: u64,
+    /// The stage that produced this record (one of [`crate::names`]).
+    pub stage: &'static str,
+    /// Wall time the stage took.
+    pub duration_ns: u64,
+    /// Candidates flowing out of the stage (queries for stage 1,
+    /// candidate tuples for stage 2, routed candidates for stage 3).
+    pub candidates: u64,
+    /// Human-readable outcome, e.g. `accepted=2 pending=1 rejected=0`.
+    pub decision: String,
+}
+
+impl PipelineEvent {
+    /// Render as one fixed-format text line (used by the shell).
+    pub fn render_line(&self) -> String {
+        format!(
+            "[ann {}] {:<24} {:>12}  candidates={:<6} {}",
+            self.annotation_id,
+            self.stage,
+            crate::snapshot::format_ns(self.duration_ns),
+            self.candidates,
+            self.decision
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_line_contains_all_fields() {
+        let ev = PipelineEvent {
+            annotation_id: 7,
+            stage: "stage2.execute",
+            duration_ns: 1_500,
+            candidates: 4,
+            decision: "accepted=1 pending=2 rejected=1".into(),
+        };
+        let line = ev.render_line();
+        assert!(line.contains("[ann 7]"));
+        assert!(line.contains("stage2.execute"));
+        assert!(line.contains("1.50µs"));
+        assert!(line.contains("candidates=4"));
+        assert!(line.contains("accepted=1"));
+    }
+}

@@ -1,0 +1,447 @@
+//! In-tree telemetry for the Nebula engine.
+//!
+//! Three primitives, all dependency-free:
+//!
+//! - **Counters** — monotonic work counters with dotted hierarchical
+//!   names (`relstore.tuples_scanned`, `core.accepted`, ...).
+//! - **Histograms / spans** — latency distributions (min/mean/max plus
+//!   fixed power-of-ten buckets). A [`SpanGuard`] times a scope and
+//!   feeds the histogram named after it; the engine's pipeline stages
+//!   use the `stage0.register` … `stage3.route` hierarchy.
+//! - **Pipeline events** — a bounded ring buffer of per-annotation
+//!   records (stage, duration, candidate counts, routing decision)
+//!   backing `EXPLAIN ANNOTATION <id>` in the shell.
+//!
+//! Everything funnels through a [`MetricSink`]. The default global sink
+//! is a [`RecordingSink`] guarded by an `AtomicBool`: when telemetry is
+//! disabled (the default), every instrumentation call is a single
+//! relaxed atomic load — no locks, no clock reads, no allocation — so
+//! instrumented hot paths cost nothing measurable. Enable collection
+//! with [`set_enabled`]`(true)`, read it back with [`snapshot`].
+//!
+//! Snapshots ([`TelemetrySnapshot`]) render deterministically as text or
+//! JSON and support diffing against an earlier snapshot, which is how
+//! the bench harness emits per-experiment metrics sidecars.
+
+mod event;
+mod snapshot;
+
+pub use event::PipelineEvent;
+pub use snapshot::{HistogramSnapshot, TelemetrySnapshot, BUCKET_BOUNDS_NS};
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Canonical metric names, so the instrumented crates and the renderers
+/// agree on spelling. Counters and histograms share one namespace.
+pub mod names {
+    /// Stage 0: registering the annotation and focal attachments.
+    pub const STAGE0_REGISTER: &str = "stage0.register";
+    /// Stage 1: annotation text → keyword queries.
+    pub const STAGE1_QUERYGEN: &str = "stage1.querygen";
+    /// Stage 2: query execution (full database or focal miniDB).
+    pub const STAGE2_EXECUTE: &str = "stage2.execute";
+    /// Stage 3: routing candidates through the β bounds.
+    pub const STAGE3_ROUTE: &str = "stage3.route";
+    /// The whole `process_annotation` pipeline.
+    pub const PIPELINE: &str = "core.process_annotation";
+}
+
+/// Receives every telemetry record. Implementations must be cheap and
+/// non-blocking — instrumentation sites call these inline.
+pub trait MetricSink: Send + Sync {
+    /// Add `delta` to the named monotonic counter.
+    fn counter_add(&self, name: &'static str, delta: u64);
+    /// Record one latency observation for the named histogram.
+    fn observe_ns(&self, name: &'static str, ns: u64);
+    /// Record one pipeline event (ring-buffered).
+    fn event(&self, event: PipelineEvent);
+}
+
+/// A sink that drops everything (the disabled path and a useful default
+/// for embedding).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl MetricSink for NoopSink {
+    fn counter_add(&self, _name: &'static str, _delta: u64) {}
+    fn observe_ns(&self, _name: &'static str, _ns: u64) {}
+    fn event(&self, _event: PipelineEvent) {}
+}
+
+/// How many pipeline events the ring buffer retains.
+pub const EVENT_CAPACITY: usize = 256;
+
+#[derive(Debug, Default)]
+struct Recording {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, HistogramSnapshot>,
+    events: VecDeque<PipelineEvent>,
+}
+
+/// The standard in-memory sink: counters + histograms + a bounded event
+/// ring, all behind one mutex (instrumented sections are short).
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    inner: Mutex<Recording>,
+}
+
+impl RecordingSink {
+    /// Fresh, empty sink.
+    pub fn new() -> RecordingSink {
+        RecordingSink::default()
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Recording> {
+        // A panic while holding the lock poisons it; the data is plain
+        // counters, so recovering the inner value is always safe.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Copy out the current state.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let inner = self.locked();
+        TelemetrySnapshot {
+            counters: inner.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            histograms: inner.histograms.iter().map(|(&k, v)| (k.to_string(), v.clone())).collect(),
+            events: inner.events.iter().cloned().collect(),
+        }
+    }
+
+    /// Drop all recorded state.
+    pub fn reset(&self) {
+        let mut inner = self.locked();
+        *inner = Recording::default();
+    }
+}
+
+impl MetricSink for RecordingSink {
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut inner = self.locked();
+        let slot = inner.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    fn observe_ns(&self, name: &'static str, ns: u64) {
+        let mut inner = self.locked();
+        inner.histograms.entry(name).or_default().record(ns);
+    }
+
+    fn event(&self, event: PipelineEvent) {
+        let mut inner = self.locked();
+        if inner.events.len() == EVENT_CAPACITY {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(event);
+    }
+}
+
+/// A telemetry registry: an enabled flag in front of a [`MetricSink`].
+///
+/// Most code uses the process-global registry through the free functions
+/// ([`counter_add`], [`span`], ...), but `Telemetry` values can also be
+/// created standalone (e.g. with a custom sink) for embedding.
+pub struct Telemetry {
+    enabled: AtomicBool,
+    sink: Arc<dyn MetricSink>,
+    /// Set when `sink` is a [`RecordingSink`], so snapshots work without
+    /// downcasting.
+    recording: Option<Arc<RecordingSink>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("recording", &self.recording.is_some())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// Registry backed by a [`RecordingSink`], initially **disabled**.
+    pub fn recording() -> Telemetry {
+        let sink = Arc::new(RecordingSink::new());
+        Telemetry { enabled: AtomicBool::new(false), recording: Some(sink.clone()), sink }
+    }
+
+    /// Registry forwarding to a custom sink, initially **enabled** (a
+    /// custom sink that should start silent can be wrapped or toggled).
+    pub fn with_sink(sink: Arc<dyn MetricSink>) -> Telemetry {
+        Telemetry { enabled: AtomicBool::new(true), sink, recording: None }
+    }
+
+    /// Registry that never records anything.
+    pub fn noop() -> Telemetry {
+        Telemetry { enabled: AtomicBool::new(false), sink: Arc::new(NoopSink), recording: None }
+    }
+
+    /// Is collection on? A single relaxed load — this is the whole cost
+    /// of an instrumentation site while disabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn collection on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Add to a monotonic counter.
+    #[inline]
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if self.is_enabled() {
+            self.sink.counter_add(name, delta);
+        }
+    }
+
+    /// Record one latency observation.
+    #[inline]
+    pub fn observe_ns(&self, name: &'static str, ns: u64) {
+        if self.is_enabled() {
+            self.sink.observe_ns(name, ns);
+        }
+    }
+
+    /// Record one latency observation from a [`Duration`].
+    #[inline]
+    pub fn observe(&self, name: &'static str, d: Duration) {
+        self.observe_ns(name, d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Start a timed span feeding the histogram `name` on drop. When
+    /// disabled, the guard is inert (no clock read).
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let target = self.is_enabled().then(|| (self, Instant::now()));
+        SpanGuard { target, name }
+    }
+
+    /// Record one pipeline event.
+    #[inline]
+    pub fn record_event(&self, event: PipelineEvent) {
+        if self.is_enabled() {
+            self.sink.event(event);
+        }
+    }
+
+    /// Snapshot the recorded state. Empty for non-recording sinks.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.recording.as_ref().map(|r| r.snapshot()).unwrap_or_default()
+    }
+
+    /// Drop all recorded state (the enabled flag is unchanged).
+    pub fn reset(&self) {
+        if let Some(r) = &self.recording {
+            r.reset();
+        }
+    }
+}
+
+/// Times a scope; on drop, feeds the elapsed time into the histogram it
+/// was created for. Obtain via [`Telemetry::span`] or the free [`span`].
+#[must_use = "a span measures until dropped — binding to _ ends it immediately"]
+pub struct SpanGuard<'a> {
+    target: Option<(&'a Telemetry, Instant)>,
+    name: &'static str,
+}
+
+impl SpanGuard<'_> {
+    /// Nanoseconds elapsed so far; 0 when telemetry was disabled at
+    /// creation.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.target
+            .as_ref()
+            .map(|(_, start)| start.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((telemetry, start)) = self.target.take() {
+            telemetry.observe(self.name, start.elapsed());
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+/// The process-global registry (a [`RecordingSink`], disabled until
+/// [`set_enabled`]`(true)`).
+pub fn global() -> &'static Telemetry {
+    GLOBAL.get_or_init(Telemetry::recording)
+}
+
+/// Is global collection on? Never initializes the registry.
+#[inline]
+pub fn enabled() -> bool {
+    GLOBAL.get().is_some_and(Telemetry::is_enabled)
+}
+
+/// Turn global collection on or off.
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+/// Add to a global counter. While disabled this is one atomic load.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if let Some(t) = GLOBAL.get() {
+        t.counter_add(name, delta);
+    }
+}
+
+/// Record one latency observation globally.
+#[inline]
+pub fn observe_ns(name: &'static str, ns: u64) {
+    if let Some(t) = GLOBAL.get() {
+        t.observe_ns(name, ns);
+    }
+}
+
+/// Start a global timed span. Inert (no clock read) while disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard<'static> {
+    match GLOBAL.get() {
+        Some(t) => t.span(name),
+        None => SpanGuard { target: None, name },
+    }
+}
+
+/// Record one pipeline event globally.
+#[inline]
+pub fn record_event(event: PipelineEvent) {
+    if let Some(t) = GLOBAL.get() {
+        t.record_event(event);
+    }
+}
+
+/// Snapshot the global registry.
+pub fn snapshot() -> TelemetrySnapshot {
+    global().snapshot()
+}
+
+/// Reset the global registry's recorded state.
+pub fn reset() {
+    global().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let t = Telemetry::recording();
+        t.counter_add("a", 1);
+        t.observe_ns("h", 100);
+        {
+            let g = t.span("h");
+            assert_eq!(g.elapsed_ns(), 0, "inert guard");
+        }
+        t.record_event(PipelineEvent {
+            annotation_id: 1,
+            stage: "s",
+            duration_ns: 1,
+            candidates: 0,
+            decision: String::new(),
+        });
+        let snap = t.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let t = Telemetry::recording();
+        t.set_enabled(true);
+        t.counter_add("x", 2);
+        t.counter_add("x", 3);
+        t.counter_add("y", u64::MAX);
+        t.counter_add("y", 10);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["x"], 5);
+        assert_eq!(snap.counters["y"], u64::MAX);
+    }
+
+    #[test]
+    fn spans_feed_histograms() {
+        let t = Telemetry::recording();
+        t.set_enabled(true);
+        for _ in 0..3 {
+            let g = t.span("work");
+            std::hint::black_box((0..100).sum::<u64>());
+            drop(g);
+        }
+        let snap = t.snapshot();
+        let h = &snap.histograms["work"];
+        assert_eq!(h.count, 3);
+        assert!(h.min_ns <= h.max_ns);
+        assert!(h.sum_ns >= h.max_ns);
+        assert!(h.mean_ns() >= h.min_ns as f64 && h.mean_ns() <= h.max_ns as f64);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let t = Telemetry::recording();
+        t.set_enabled(true);
+        for i in 0..(EVENT_CAPACITY as u64 + 10) {
+            t.record_event(PipelineEvent {
+                annotation_id: i,
+                stage: "s",
+                duration_ns: i,
+                candidates: 0,
+                decision: String::new(),
+            });
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), EVENT_CAPACITY);
+        assert_eq!(snap.events.first().unwrap().annotation_id, 10, "oldest evicted");
+        assert_eq!(snap.events.last().unwrap().annotation_id, EVENT_CAPACITY as u64 + 9);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_enabled() {
+        let t = Telemetry::recording();
+        t.set_enabled(true);
+        t.counter_add("x", 1);
+        t.reset();
+        assert!(t.is_enabled());
+        assert!(t.snapshot().counters.is_empty());
+        t.counter_add("x", 1);
+        assert_eq!(t.snapshot().counters["x"], 1);
+    }
+
+    #[test]
+    fn custom_sink_receives_records() {
+        #[derive(Default)]
+        struct CountingSink(std::sync::atomic::AtomicU64);
+        impl MetricSink for CountingSink {
+            fn counter_add(&self, _: &'static str, d: u64) {
+                self.0.fetch_add(d, Ordering::Relaxed);
+            }
+            fn observe_ns(&self, _: &'static str, _: u64) {}
+            fn event(&self, _: PipelineEvent) {}
+        }
+        let sink = Arc::new(CountingSink::default());
+        let t = Telemetry::with_sink(sink.clone());
+        assert!(t.is_enabled(), "custom-sink registries start enabled");
+        t.counter_add("k", 7);
+        assert_eq!(sink.0.load(Ordering::Relaxed), 7);
+        assert!(t.snapshot().counters.is_empty(), "non-recording snapshot is empty");
+    }
+
+    #[test]
+    fn noop_registry_is_inert() {
+        let t = Telemetry::noop();
+        t.set_enabled(true); // even enabled, the sink drops everything
+        t.counter_add("x", 1);
+        assert!(t.snapshot().counters.is_empty());
+    }
+}

@@ -1,0 +1,368 @@
+//! Point-in-time views of the telemetry state: histograms, snapshots,
+//! diffing, and deterministic text / JSON rendering.
+
+use crate::PipelineEvent;
+use std::collections::BTreeMap;
+
+/// Upper bounds (inclusive, in nanoseconds) of the fixed histogram
+/// buckets: 1µs, 10µs, 100µs, 1ms, 10ms, 100ms, 1s; an implicit +inf
+/// bucket catches the rest.
+pub const BUCKET_BOUNDS_NS: [u64; 7] =
+    [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000];
+
+/// A latency distribution: count, min/mean/max, and fixed power-of-ten
+/// buckets per [`BUCKET_BOUNDS_NS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (saturating).
+    pub sum_ns: u64,
+    /// Smallest observation (0 when empty).
+    pub min_ns: u64,
+    /// Largest observation (0 when empty).
+    pub max_ns: u64,
+    /// Observation counts per bucket; index `i` counts observations
+    /// `<= BUCKET_BOUNDS_NS[i]`, the last entry is the overflow bucket.
+    pub buckets: [u64; BUCKET_BOUNDS_NS.len() + 1],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            buckets: [0; BUCKET_BOUNDS_NS.len() + 1],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Record one observation.
+    pub fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        let bucket = BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&bound| ns <= bound)
+            .unwrap_or(BUCKET_BOUNDS_NS.len());
+        self.buckets[bucket] += 1;
+    }
+
+    /// Mean observation; 0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of everything a registry recorded.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetrySnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Latency histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Ring-buffered pipeline events, oldest first.
+    pub events: Vec<PipelineEvent>,
+}
+
+impl TelemetrySnapshot {
+    /// The delta since `baseline`: counters, histogram counts/sums and
+    /// buckets are subtracted (saturating); min/max keep this snapshot's
+    /// values (extrema don't diff); events keep only those not present
+    /// in the baseline's ring.
+    pub fn diff(&self, baseline: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &v)| {
+                let base = baseline.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), v.saturating_sub(base))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let mut d = h.clone();
+                if let Some(base) = baseline.histograms.get(name) {
+                    d.count = d.count.saturating_sub(base.count);
+                    d.sum_ns = d.sum_ns.saturating_sub(base.sum_ns);
+                    for (slot, b) in d.buckets.iter_mut().zip(base.buckets) {
+                        *slot = slot.saturating_sub(b);
+                    }
+                }
+                (name.clone(), d)
+            })
+            .collect();
+        let events = self.events.iter().filter(|e| !baseline.events.contains(e)).cloned().collect();
+        TelemetrySnapshot { counters, histograms, events }
+    }
+
+    /// The events recorded for one annotation, oldest first.
+    pub fn events_for(&self, annotation_id: u64) -> Vec<&PipelineEvent> {
+        self.events.iter().filter(|e| e.annotation_id == annotation_id).collect()
+    }
+
+    /// Fixed-format text report; iteration order is the `BTreeMap`'s, so
+    /// output is deterministic.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("counters:\n");
+        if self.counters.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  {name:<40} {value}\n"));
+        }
+        out.push_str("spans:\n");
+        if self.histograms.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "  {name:<40} count {:<8} min {:>10}  mean {:>10}  max {:>10}\n",
+                h.count,
+                format_ns(h.min_ns),
+                format_ns(h.mean_ns() as u64),
+                format_ns(h.max_ns),
+            ));
+        }
+        out.push_str(&format!("events ({} in ring, oldest first):\n", self.events.len()));
+        for ev in &self.events {
+            out.push_str("  ");
+            out.push_str(&ev.render_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Deterministic JSON rendering (stable key order, no trailing
+    /// whitespace). Hand-rolled so the workspace stays dependency-free.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_entries(
+            &mut out,
+            self.counters.iter().map(|(name, v)| format!("{}: {v}", json_string(name))),
+        );
+        out.push_str("},\n  \"histograms\": {");
+        push_entries(
+            &mut out,
+            self.histograms.iter().map(|(name, h)| {
+                let buckets = h.buckets.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+                format!(
+                    "{}: {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"mean_ns\": {:.1}, \"buckets\": [{buckets}]}}",
+                    json_string(name),
+                    h.count,
+                    h.sum_ns,
+                    h.min_ns,
+                    h.max_ns,
+                    h.mean_ns(),
+                )
+            }),
+        );
+        out.push_str("},\n  \"events\": [");
+        push_entries(
+            &mut out,
+            self.events.iter().map(|e| {
+                format!(
+                    "{{\"annotation_id\": {}, \"stage\": {}, \"duration_ns\": {}, \
+                 \"candidates\": {}, \"decision\": {}}}",
+                    e.annotation_id,
+                    json_string(e.stage),
+                    e.duration_ns,
+                    e.candidates,
+                    json_string(&e.decision),
+                )
+            }),
+        );
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn push_entries(out: &mut String, entries: impl Iterator<Item = String>) {
+    let mut first = true;
+    for entry in entries {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&entry);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Human-readable nanoseconds: `999ns`, `1.50µs`, `2.30ms`, `1.20s`.
+pub(crate) fn format_ns(ns: u64) -> String {
+    let ns_f = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns_f / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns_f / 1e6)
+    } else {
+        format!("{:.2}s", ns_f / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters.insert("core.accepted".into(), 3);
+        snap.counters.insert("relstore.tuples_scanned".into(), 120);
+        let mut h = HistogramSnapshot::default();
+        h.record(500);
+        h.record(2_000);
+        h.record(3_000_000);
+        snap.histograms.insert("stage2.execute".into(), h);
+        snap.events.push(PipelineEvent {
+            annotation_id: 1,
+            stage: "stage3.route",
+            duration_ns: 42,
+            candidates: 2,
+            decision: "accepted=1 pending=1 rejected=0".into(),
+        });
+        snap
+    }
+
+    #[test]
+    fn histogram_tracks_extrema_and_buckets() {
+        let mut h = HistogramSnapshot::default();
+        assert_eq!(h.mean_ns(), 0.0, "empty histogram mean is 0");
+        h.record(500); // bucket 0 (≤1µs)
+        h.record(2_000); // bucket 1 (≤10µs)
+        h.record(5_000_000_000); // overflow bucket
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min_ns, 500);
+        assert_eq!(h.max_ns, 5_000_000_000);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[BUCKET_BOUNDS_NS.len()], 1);
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_keeps_new_events() {
+        let base = sample();
+        let mut later = sample();
+        *later.counters.get_mut("core.accepted").unwrap() = 10;
+        later.histograms.get_mut("stage2.execute").unwrap().record(700);
+        later.events.push(PipelineEvent {
+            annotation_id: 2,
+            stage: "stage3.route",
+            duration_ns: 11,
+            candidates: 0,
+            decision: "accepted=0 pending=0 rejected=0".into(),
+        });
+        let d = later.diff(&base);
+        assert_eq!(d.counters["core.accepted"], 7);
+        assert_eq!(d.counters["relstore.tuples_scanned"], 0);
+        assert_eq!(d.histograms["stage2.execute"].count, 1);
+        assert_eq!(d.events.len(), 1);
+        assert_eq!(d.events[0].annotation_id, 2);
+    }
+
+    #[test]
+    fn text_rendering_is_deterministic_and_complete() {
+        let a = sample().render_text();
+        let b = sample().render_text();
+        assert_eq!(a, b);
+        assert!(a.contains("core.accepted"));
+        assert!(a.contains("stage2.execute"));
+        assert!(a.contains("[ann 1]"));
+        let empty = TelemetrySnapshot::default().render_text();
+        assert!(empty.contains("(none)"));
+    }
+
+    #[test]
+    fn json_rendering_is_valid_and_escaped() {
+        let mut snap = sample();
+        snap.events[0].decision = "say \"hi\"\nnewline\tand \\ backslash".into();
+        let json = snap.render_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"core.accepted\": 3"));
+        assert!(json.contains("\\\"hi\\\"\\nnewline\\tand \\\\ backslash"));
+        // Structural sanity: balanced braces/brackets outside strings.
+        let (mut depth, mut in_str, mut escape) = (0i32, false, false);
+        for c in json.chars() {
+            if escape {
+                escape = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => escape = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn events_for_filters_by_annotation() {
+        let mut snap = sample();
+        snap.events.push(PipelineEvent {
+            annotation_id: 9,
+            stage: "stage1.querygen",
+            duration_ns: 5,
+            candidates: 3,
+            decision: String::new(),
+        });
+        assert_eq!(snap.events_for(1).len(), 1);
+        assert_eq!(snap.events_for(9).len(), 1);
+        assert!(snap.events_for(42).is_empty());
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(999), "999ns");
+        assert_eq!(format_ns(1_500), "1.50µs");
+        assert_eq!(format_ns(2_300_000), "2.30ms");
+        assert_eq!(format_ns(1_200_000_000), "1.20s");
+    }
+}

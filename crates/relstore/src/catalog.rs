@@ -68,10 +68,7 @@ impl Catalog {
 
     /// Iterate `(TableId, name)`.
     pub fn iter(&self) -> impl Iterator<Item = (TableId, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (TableId(i as u32), n.as_str()))
+        self.names.iter().enumerate().map(|(i, n)| (TableId(i as u32), n.as_str()))
     }
 
     /// Declare a foreign key.
@@ -140,9 +137,17 @@ mod tests {
         let protein = c.register("protein").unwrap();
         let publication = c.register("publication").unwrap();
         // protein.gene_id -> gene
-        c.add_foreign_key(ForeignKey { from_table: protein, from_column: ColumnId(2), to_table: gene });
+        c.add_foreign_key(ForeignKey {
+            from_table: protein,
+            from_column: ColumnId(2),
+            to_table: gene,
+        });
         // publication_protein join is modeled as publication fk for the test
-        c.add_foreign_key(ForeignKey { from_table: publication, from_column: ColumnId(1), to_table: protein });
+        c.add_foreign_key(ForeignKey {
+            from_table: publication,
+            from_column: ColumnId(1),
+            to_table: protein,
+        });
 
         assert_eq!(c.neighbors(protein), vec![gene, publication]);
         assert_eq!(c.neighbors(gene), vec![protein]);

@@ -36,7 +36,12 @@ impl Database {
 
     /// Declare a foreign key `from_table.from_column -> to_table` (which
     /// must have a primary key).
-    pub fn add_foreign_key(&mut self, from_table: &str, from_column: &str, to_table: &str) -> Result<()> {
+    pub fn add_foreign_key(
+        &mut self,
+        from_table: &str,
+        from_column: &str,
+        to_table: &str,
+    ) -> Result<()> {
         let from = self.catalog.require(from_table)?;
         let to = self.catalog.require(to_table)?;
         let from_col = self.tables[&from].schema().require_column(from_column)?;
@@ -143,10 +148,7 @@ impl Database {
     /// Update a live tuple in place (id preserved), refreshing both the
     /// hash indexes and the inverted index.
     pub fn update(&mut self, tid: TupleId, values: Vec<Value>) -> Result<()> {
-        let t = self
-            .tables
-            .get_mut(&tid.table)
-            .ok_or(Error::UnknownTuple(tid))?;
+        let t = self.tables.get_mut(&tid.table).ok_or(Error::UnknownTuple(tid))?;
         let searchable: Vec<(crate::schema::ColumnId, String)> = t
             .schema()
             .iter_columns()
@@ -305,7 +307,10 @@ mod tests {
         let mut db = bio_db();
         let g = db.insert("gene", vec![Value::text("JW0013"), Value::text("grpC")]).unwrap();
         let p = db
-            .insert("protein", vec![Value::text("P001"), Value::text("Actin"), Value::text("JW0013")])
+            .insert(
+                "protein",
+                vec![Value::text("P001"), Value::text("Actin"), Value::text("JW0013")],
+            )
             .unwrap();
         let fk = db.catalog().foreign_keys()[0];
         let pt = db.get(p).unwrap();
@@ -316,10 +321,8 @@ mod tests {
     #[test]
     fn fk_to_table_without_pk_rejected() {
         let mut db = Database::new();
-        db.create_table(
-            TableSchema::builder("nopk").column("x", DataType::Int).build().unwrap(),
-        )
-        .unwrap();
+        db.create_table(TableSchema::builder("nopk").column("x", DataType::Int).build().unwrap())
+            .unwrap();
         db.create_table(
             TableSchema::builder("src")
                 .column("id", DataType::Int)
@@ -338,7 +341,10 @@ mod tests {
         let g1 = db.insert("gene", vec![Value::text("JW0013"), Value::text("grpC")]).unwrap();
         let _g2 = db.insert("gene", vec![Value::text("JW0014"), Value::text("groP")]).unwrap();
         let p = db
-            .insert("protein", vec![Value::text("P001"), Value::text("Actin"), Value::text("JW0013")])
+            .insert(
+                "protein",
+                vec![Value::text("P001"), Value::text("Actin"), Value::text("JW0013")],
+            )
             .unwrap();
 
         let (mini, back) = db.materialize_subset(&[g1, p, g1]);

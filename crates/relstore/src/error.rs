@@ -47,10 +47,9 @@ impl fmt::Display for Error {
                 f,
                 "arity mismatch inserting into `{table}`: expected {expected} values, got {got}"
             ),
-            Error::TypeMismatch { table, column, expected, got } => write!(
-                f,
-                "type mismatch for `{table}.{column}`: expected {expected}, got {got}"
-            ),
+            Error::TypeMismatch { table, column, expected, got } => {
+                write!(f, "type mismatch for `{table}.{column}`: expected {expected}, got {got}")
+            }
             Error::DuplicateKey { table, key } => {
                 write!(f, "duplicate primary key `{key}` in table `{table}`")
             }

@@ -103,10 +103,8 @@ impl InvertedIndex {
 
     /// All postings for a token (exact match, case-insensitive).
     pub fn lookup(&self, token: &str) -> &[Posting] {
-        self.postings
-            .get(&token.to_lowercase())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        nebula_obs::counter_add("relstore.index_probes", 1);
+        self.postings.get(&token.to_lowercase()).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Document frequency of a token — the number of postings, used for

@@ -44,9 +44,7 @@ impl Predicate {
             Predicate::ContainsToken(c, token) => tuple
                 .get(*c)
                 .and_then(Value::as_text)
-                .map(|text| {
-                    crate::index::tokenize(text).iter().any(|t| t == &token.to_lowercase())
-                })
+                .map(|text| crate::index::tokenize(text).iter().any(|t| t == &token.to_lowercase()))
                 .unwrap_or(false),
             Predicate::NotNull(c) => tuple.get(*c).map(|v| !v.is_null()).unwrap_or(false),
         }
@@ -129,6 +127,7 @@ impl ConjunctiveQuery {
             }
         }
 
+        nebula_obs::counter_add("relstore.queries_executed", 1);
         let mut inspected = 0usize;
 
         // Seed the candidate set from the most selective indexable predicate.
@@ -155,6 +154,7 @@ impl ConjunctiveQuery {
         }
         out.sort();
         out.dedup();
+        nebula_obs::counter_add("relstore.tuples_scanned", inspected as u64);
         Ok(QueryResult { tuples: out, inspected })
     }
 
@@ -167,6 +167,9 @@ impl ConjunctiveQuery {
             if let Predicate::Eq(c, v) = p {
                 let hits = table.lookup(*c, v);
                 if table.schema().column(*c).map(|d| d.indexed).unwrap_or(false) {
+                    // Inverted-index probes are counted inside `lookup`;
+                    // key-index probes are counted here.
+                    nebula_obs::counter_add("relstore.index_probes", 1);
                     return Some(hits);
                 }
             }
@@ -288,8 +291,7 @@ mod tests {
             ("JW0019", "yaaB", "F3"),
             ("JW0012", "yaaI", "F1"),
         ] {
-            db.insert("gene", vec![Value::text(gid), Value::text(name), Value::text(fam)])
-                .unwrap();
+            db.insert("gene", vec![Value::text(gid), Value::text(name), Value::text(fam)]).unwrap();
         }
         db.insert(
             "protein",
@@ -387,8 +389,7 @@ mod tests {
         let (db, gene, _) = db();
         let q = ConjunctiveQuery::scan(TableId(99));
         assert!(q.execute(&db).is_err());
-        let q = ConjunctiveQuery::scan(gene)
-            .with_predicate(Predicate::NotNull(ColumnId(99)));
+        let q = ConjunctiveQuery::scan(gene).with_predicate(Predicate::NotNull(ColumnId(99)));
         assert!(q.execute(&db).is_err());
     }
 

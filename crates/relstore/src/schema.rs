@@ -174,11 +174,7 @@ impl TableSchemaBuilder {
                 }
             }
         }
-        let mut schema = TableSchema {
-            name: self.name,
-            columns: self.columns,
-            primary_key: None,
-        };
+        let mut schema = TableSchema { name: self.name, columns: self.columns, primary_key: None };
         if let Some(pk) = self.primary_key {
             let id = schema.require_column(&pk)?;
             // The PK column gets a hash index for free: lookups by key are
@@ -262,9 +258,6 @@ mod tests {
     fn require_column_error_names_table() {
         let s = gene_schema();
         let err = s.require_column("zzz").unwrap_err();
-        assert_eq!(
-            err,
-            Error::UnknownColumn { table: "gene".into(), column: "zzz".into() }
-        );
+        assert_eq!(err, Error::UnknownColumn { table: "gene".into(), column: "zzz".into() });
     }
 }

@@ -106,11 +106,8 @@ impl SelectStatement {
         }
 
         let qualifying = self.query.execute(db)?;
-        let mut tuples: Vec<crate::tuple::Tuple> = qualifying
-            .tuples
-            .iter()
-            .filter_map(|tid| db.get(*tid))
-            .collect();
+        let mut tuples: Vec<crate::tuple::Tuple> =
+            qualifying.tuples.iter().filter_map(|tid| db.get(*tid)).collect();
         if let Some((col, order)) = self.order_by {
             tuples.sort_by(|a, b| {
                 let cmp = a.get(col).cmp(&b.get(col));
@@ -125,20 +122,18 @@ impl SelectStatement {
         }
 
         let columns: Vec<String> = match &self.projection {
-            Some(proj) => proj
-                .iter()
-                .map(|c| schema.column(*c).expect("validated").name.clone())
-                .collect(),
+            Some(proj) => {
+                proj.iter().map(|c| schema.column(*c).expect("validated").name.clone()).collect()
+            }
             None => schema.iter_columns().map(|(_, d)| d.name.clone()).collect(),
         };
         let rows = tuples
             .into_iter()
             .map(|t| {
                 let values = match &self.projection {
-                    Some(proj) => proj
-                        .iter()
-                        .map(|c| t.get(*c).cloned().unwrap_or(Value::Null))
-                        .collect(),
+                    Some(proj) => {
+                        proj.iter().map(|c| t.get(*c).cloned().unwrap_or(Value::Null)).collect()
+                    }
                     None => t.values.clone(),
                 };
                 SelectRow { tuple: t.id, values }
@@ -168,13 +163,10 @@ mod tests {
                     .unwrap(),
             )
             .unwrap();
-        for (gid, name, len) in [
-            ("JW0013", "grpC", 1130i64),
-            ("JW0014", "groP", 1916),
-            ("JW0019", "yaaB", 905),
-        ] {
-            db.insert("gene", vec![Value::text(gid), Value::text(name), Value::Int(len)])
-                .unwrap();
+        for (gid, name, len) in
+            [("JW0013", "grpC", 1130i64), ("JW0014", "groP", 1916), ("JW0019", "yaaB", 905)]
+        {
+            db.insert("gene", vec![Value::text(gid), Value::text(name), Value::Int(len)]).unwrap();
         }
         (db, gene)
     }

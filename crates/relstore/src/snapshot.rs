@@ -223,18 +223,14 @@ pub fn load(bytes: &[u8]) -> Result<Database, SnapshotError> {
                 return Err(SnapshotError::Truncated("pk column"));
             }
             let pk = buf.get_u32_le() as usize;
-            let pk_name = column_names.get(pk).ok_or_else(|| {
-                SnapshotError::Corrupt(format!("pk column {pk} out of range"))
-            })?;
+            let pk_name = column_names
+                .get(pk)
+                .ok_or_else(|| SnapshotError::Corrupt(format!("pk column {pk} out of range")))?;
             builder = builder.primary_key(pk_name);
         }
-        let schema = builder
-            .build()
-            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        let schema = builder.build().map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
         let arity = schema.arity();
-        let tid = db
-            .create_table(schema)
-            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        let tid = db.create_table(schema).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
 
         if buf.remaining() < 8 {
             return Err(SnapshotError::Truncated("slot count"));
@@ -265,8 +261,7 @@ pub fn load(bytes: &[u8]) -> Result<Database, SnapshotError> {
             from_column: ColumnId(buf.get_u32_le()),
             to_table: TableId(buf.get_u32_le()),
         };
-        db.restore_foreign_key(fk)
-            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        db.restore_foreign_key(fk).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
     }
     Ok(db)
 }
@@ -317,11 +312,8 @@ mod tests {
             )
             .unwrap();
         }
-        db.insert(
-            "protein",
-            vec![Value::text("P1"), Value::text("JW0013"), Value::Float(42.5)],
-        )
-        .unwrap();
+        db.insert("protein", vec![Value::text("P1"), Value::text("JW0013"), Value::Float(42.5)])
+            .unwrap();
         db
     }
 

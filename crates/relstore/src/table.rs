@@ -119,11 +119,7 @@ impl Table {
         if !*self.live.get(i)? {
             return None;
         }
-        Some(Tuple {
-            id: tid,
-            schema: Arc::clone(&self.schema),
-            values: self.rows[i].clone(),
-        })
+        Some(Tuple { id: tid, schema: Arc::clone(&self.schema), values: self.rows[i].clone() })
     }
 
     /// Replace a live row's values in place (the tuple id is preserved).
@@ -194,15 +190,11 @@ impl Table {
 
     /// Iterate all live tuples in insertion order.
     pub fn scan(&self) -> impl Iterator<Item = Tuple> + '_ {
-        self.rows
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| self.live[*i])
-            .map(move |(i, values)| Tuple {
-                id: TupleId::new(self.id, i as u64),
-                schema: Arc::clone(&self.schema),
-                values: values.clone(),
-            })
+        self.rows.iter().enumerate().filter(|(i, _)| self.live[*i]).map(move |(i, values)| Tuple {
+            id: TupleId::new(self.id, i as u64),
+            schema: Arc::clone(&self.schema),
+            values: values.clone(),
+        })
     }
 
     /// Exact-match lookup on the primary key (O(1) via the PK index).
@@ -236,10 +228,7 @@ impl Table {
     /// including tombstoned rows (their slots must survive a
     /// save/load cycle so `TupleId`s stay stable).
     pub(crate) fn raw_slots(&self) -> impl Iterator<Item = (bool, &[Value])> {
-        self.live
-            .iter()
-            .zip(&self.rows)
-            .map(|(live, row)| (*live, row.as_slice()))
+        self.live.iter().zip(&self.rows).map(|(live, row)| (*live, row.as_slice()))
     }
 
     /// Restore one slot during snapshot load, bypassing re-validation (the
@@ -294,10 +283,7 @@ mod tests {
     #[test]
     fn arity_and_type_checks() {
         let mut t = table();
-        assert!(matches!(
-            t.insert(vec![Value::text("JW0013")]),
-            Err(Error::ArityMismatch { .. })
-        ));
+        assert!(matches!(t.insert(vec![Value::text("JW0013")]), Err(Error::ArityMismatch { .. })));
         assert!(matches!(
             t.insert(vec![Value::text("JW0013"), Value::Int(3), Value::Int(4)]),
             Err(Error::TypeMismatch { .. })
@@ -315,10 +301,7 @@ mod tests {
     fn duplicate_keys_rejected() {
         let mut t = table();
         t.insert(row("JW0013", "grpC", 1130)).unwrap();
-        assert!(matches!(
-            t.insert(row("JW0013", "zzz", 1)),
-            Err(Error::DuplicateKey { .. })
-        ));
+        assert!(matches!(t.insert(row("JW0013", "zzz", 1)), Err(Error::DuplicateKey { .. })));
     }
 
     #[test]
@@ -367,17 +350,12 @@ mod tests {
         let a = t.insert(row("JW0013", "grpC", 1130)).unwrap();
         let b = t.insert(row("JW0014", "groP", 1916)).unwrap();
         // Stealing another row's key fails.
-        assert!(matches!(
-            t.update(a, row("JW0014", "x", 1)),
-            Err(Error::DuplicateKey { .. })
-        ));
+        assert!(matches!(t.update(a, row("JW0014", "x", 1)), Err(Error::DuplicateKey { .. })));
         // Keeping one's own key is fine.
         assert!(t.update(a, row("JW0013", "x", 1)).is_ok());
         // Arity and type checks apply.
         assert!(t.update(a, vec![Value::text("JW0013")]).is_err());
-        assert!(t
-            .update(a, vec![Value::text("JW0013"), Value::Int(1), Value::Int(1)])
-            .is_err());
+        assert!(t.update(a, vec![Value::text("JW0013"), Value::Int(1), Value::Int(1)]).is_err());
         // Dead rows cannot be updated.
         t.delete(b);
         assert!(matches!(t.update(b, row("JW0014", "y", 2)), Err(Error::UnknownTuple(_))));

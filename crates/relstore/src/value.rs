@@ -254,12 +254,14 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_null_first() {
-        let mut vals = [Value::text("b"),
+        let mut vals = [
+            Value::text("b"),
             Value::Int(3),
             Value::Null,
             Value::Float(2.5),
             Value::Int(-1),
-            Value::text("a")];
+            Value::text("a"),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(-1));

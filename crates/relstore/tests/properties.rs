@@ -1,9 +1,7 @@
 //! Property-based tests for the relational engine's core invariants.
 
 use proptest::prelude::*;
-use relstore::{
-    ConjunctiveQuery, Database, DataType, Predicate, TableSchema, TupleId, Value,
-};
+use relstore::{ConjunctiveQuery, DataType, Database, Predicate, TableSchema, TupleId, Value};
 
 fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -65,11 +63,8 @@ fn build_db(rows: &[(String, i64)]) -> (Database, Vec<TupleId>) {
     let mut ids = Vec::new();
     for (i, (text, num)) in rows.iter().enumerate() {
         ids.push(
-            db.insert(
-                "t",
-                vec![Value::Int(i as i64), Value::text(text.clone()), Value::Int(*num)],
-            )
-            .unwrap(),
+            db.insert("t", vec![Value::Int(i as i64), Value::text(text.clone()), Value::Int(*num)])
+                .unwrap(),
         );
     }
     (db, ids)

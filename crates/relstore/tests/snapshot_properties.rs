@@ -2,7 +2,7 @@
 //! losslessly, and corrupted inputs never panic.
 
 use proptest::prelude::*;
-use relstore::{snapshot, Database, DataType, TableSchema, Value};
+use relstore::{snapshot, DataType, Database, TableSchema, Value};
 
 fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![

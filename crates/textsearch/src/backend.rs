@@ -68,7 +68,12 @@ impl Default for TfIdfSearch {
 
 impl TfIdfSearch {
     /// Score one query.
-    fn search_one(&self, query: &KeywordQuery, db: &Database, stats: &mut SearchStats) -> Vec<SearchHit> {
+    fn search_one(
+        &self,
+        query: &KeywordQuery,
+        db: &Database,
+        stats: &mut SearchStats,
+    ) -> Vec<SearchHit> {
         let mut score: HashMap<TupleId, f64> = HashMap::new();
         let mut matched_keywords: HashMap<TupleId, usize> = HashMap::new();
         let mut live_keywords = 0usize;
@@ -123,6 +128,7 @@ impl SearchBackend for TfIdfSearch {
     ) -> (Vec<Vec<SearchHit>>, SearchStats) {
         let mut stats = SearchStats { configurations: queries.len(), ..Default::default() };
         let hits = queries.iter().map(|q| self.search_one(q, db, &mut stats)).collect();
+        stats.publish();
         (hits, stats)
     }
 

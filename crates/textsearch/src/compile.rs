@@ -137,9 +137,7 @@ pub fn compile_configuration(
                 let join_preds: Vec<Predicate> = groups[other]
                     .iter()
                     .flat_map(|(cid, kw_tokens)| {
-                        kw_tokens
-                            .iter()
-                            .map(|t| Predicate::ContainsToken(*cid, t.clone()))
+                        kw_tokens.iter().map(|t| Predicate::ContainsToken(*cid, t.clone()))
                     })
                     .collect();
                 q = q.with_join(JoinStep { table: *other, predicates: join_preds });
@@ -193,12 +191,7 @@ mod tests {
         ] {
             db.insert(
                 "protein",
-                vec![
-                    Value::text(pid),
-                    Value::text(pname),
-                    Value::text(ptype),
-                    Value::text(gene),
-                ],
+                vec![Value::text(pid), Value::text(pname), Value::text(ptype), Value::text(gene)],
             )
             .unwrap();
         }
@@ -246,15 +239,10 @@ mod tests {
         let loose = compile_configuration(&db, &loose_cfg, &loose_kw);
         let (tight_cfg, tight_kw) = top_config(&db, &["G-Actin", "structural"]);
         let tight = compile_configuration(&db, &tight_cfg, &tight_kw);
-        let best = |v: &[CompiledQuery]| {
-            v.iter().map(|q| q.confidence).fold(0.0_f64, f64::max)
-        };
+        let best = |v: &[CompiledQuery]| v.iter().map(|q| q.confidence).fold(0.0_f64, f64::max);
         assert!(best(&tight) >= best(&loose));
         // And it pins down exactly one protein.
-        let top = tight
-            .iter()
-            .max_by(|a, b| a.confidence.total_cmp(&b.confidence))
-            .unwrap();
+        let top = tight.iter().max_by(|a, b| a.confidence.total_cmp(&b.confidence)).unwrap();
         assert_eq!(top.query.execute(&db).unwrap().tuples.len(), 1);
     }
 

@@ -41,18 +41,12 @@ impl MappingCache {
         let word = normalize(keyword);
         if let Some(cached) = self.entries.get(&word) {
             self.hits += 1;
-            return cached
-                .iter()
-                .map(|m| Mapping { keyword: index, ..m.clone() })
-                .collect();
+            return cached.iter().map(|m| Mapping { keyword: index, ..m.clone() }).collect();
         }
         self.misses += 1;
         let computed = gen.keyword_candidates(db, vocab, 0, keyword);
         self.entries.insert(word, computed.clone());
-        computed
-            .into_iter()
-            .map(|m| Mapping { keyword: index, ..m })
-            .collect()
+        computed.into_iter().map(|m| Mapping { keyword: index, ..m }).collect()
     }
 }
 
@@ -262,8 +256,7 @@ mod tests {
         let db = db();
         let vocab = SchemaVocabulary::new();
         let gen = ConfigurationGenerator { beam_width: 3, ..Default::default() };
-        let configs =
-            gen.generate(&db, &vocab, &["gene".into(), "gid".into(), "jw0013".into()]);
+        let configs = gen.generate(&db, &vocab, &["gene".into(), "gid".into(), "jw0013".into()]);
         assert!(configs.len() <= 3);
     }
 
@@ -294,8 +287,7 @@ mod tests {
         let mut cache = MappingCache::default();
         // First query: "grpc" at position 0; second: at position 1.
         let _ = gen.generate_cached(&db, &vocab, &["grpc".into()], &mut cache);
-        let configs =
-            gen.generate_cached(&db, &vocab, &["gene".into(), "grpc".into()], &mut cache);
+        let configs = gen.generate_cached(&db, &vocab, &["gene".into(), "grpc".into()], &mut cache);
         let top = &configs[0];
         let value = top.value_mappings().next().unwrap();
         assert_eq!(value.keyword, 1, "re-indexed on retrieval");

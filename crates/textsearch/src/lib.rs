@@ -47,9 +47,9 @@ pub mod token;
 
 pub use backend::{SearchBackend, TfIdfSearch};
 pub use compile::{compile_configuration, CompiledQuery};
-pub use naive::naive_search;
 pub use config::{Configuration, ConfigurationGenerator};
 pub use mapping::{Mapping, MappingKind, SchemaVocabulary};
+pub use naive::naive_search;
 pub use search::{KeywordQuery, KeywordSearch, SearchHit, SearchOptions, SearchStats};
 pub use shared::{ExecutionMode, SharedExecutor};
 pub use token::{is_stopword, normalize, singularize};

@@ -72,26 +72,25 @@ impl SchemaVocabulary {
 
     /// Declare a lexicon synonym for a table.
     pub fn table_synonym(&mut self, alias: &str, table: TableId) {
-        self.table_aliases
-            .entry(alias.to_lowercase())
-            .or_default()
-            .push((table, weights::SYNONYM));
+        self.table_aliases.entry(alias.to_lowercase()).or_default().push((table, weights::SYNONYM));
     }
 
     /// Declare a curator equivalent name for a column.
     pub fn column_equivalent(&mut self, alias: &str, table: TableId, column: ColumnId) {
-        self.column_aliases
-            .entry(alias.to_lowercase())
-            .or_default()
-            .push((table, column, weights::EQUIVALENT));
+        self.column_aliases.entry(alias.to_lowercase()).or_default().push((
+            table,
+            column,
+            weights::EQUIVALENT,
+        ));
     }
 
     /// Declare a lexicon synonym for a column.
     pub fn column_synonym(&mut self, alias: &str, table: TableId, column: ColumnId) {
-        self.column_aliases
-            .entry(alias.to_lowercase())
-            .or_default()
-            .push((table, column, weights::SYNONYM));
+        self.column_aliases.entry(alias.to_lowercase()).or_default().push((
+            table,
+            column,
+            weights::SYNONYM,
+        ));
     }
 
     /// Tables a (normalized) word may name, with weights. Regular plurals
@@ -100,8 +99,7 @@ impl SchemaVocabulary {
         let singular = crate::token::singularize(word);
         let mut out = Vec::new();
         for (tid, name) in db.catalog().iter() {
-            if name.eq_ignore_ascii_case(word)
-                || singular.as_deref() == Some(&name.to_lowercase())
+            if name.eq_ignore_ascii_case(word) || singular.as_deref() == Some(&name.to_lowercase())
             {
                 out.push((tid, weights::EXACT));
             }
@@ -165,9 +163,7 @@ pub fn value_weight(df: usize) -> f64 {
 
 /// Is `(table, column)` the referencing side of a foreign key?
 pub fn is_fk_column(db: &Database, table: TableId, column: ColumnId) -> bool {
-    db.catalog()
-        .outgoing(table)
-        .any(|fk| fk.from_table == table && fk.from_column == column)
+    db.catalog().outgoing(table).any(|fk| fk.from_table == table && fk.from_column == column)
 }
 
 /// Per-pair document frequency of one token.

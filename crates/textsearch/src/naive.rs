@@ -43,8 +43,11 @@ pub fn naive_search(db: &Database, text: &str) -> (Vec<SearchHit>, SearchStats) 
             let query = ConjunctiveQuery::scan(table)
                 .with_predicate(Predicate::ContainsToken(column, word.clone()));
             let Ok(result) = query.execute(db) else { continue };
-            stats.compiled_queries += 1;
-            stats.tuples_inspected += result.inspected;
+            stats.merge(SearchStats {
+                configurations: 0,
+                compiled_queries: 1,
+                tuples_inspected: result.inspected,
+            });
             let w = value_weight(df);
             for tid in result.tuples {
                 *conf.entry(tid).or_insert(0.0) += w;
@@ -58,6 +61,7 @@ pub fn naive_search(db: &Database, text: &str) -> (Vec<SearchHit>, SearchStats) 
         .map(|(tuple, c)| SearchHit { tuple, confidence: if max > 0.0 { c / max } else { 0.0 } })
         .collect();
     hits.sort_by(|a, b| b.confidence.total_cmp(&a.confidence).then(a.tuple.cmp(&b.tuple)));
+    stats.publish();
     (hits, stats)
 }
 

@@ -25,10 +25,7 @@ impl KeywordQuery {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        KeywordQuery {
-            keywords: keywords.into_iter().map(Into::into).collect(),
-            weight: 1.0,
-        }
+        KeywordQuery { keywords: keywords.into_iter().map(Into::into).collect(), weight: 1.0 }
     }
 
     /// Attach a weight.
@@ -85,6 +82,25 @@ pub struct SearchStats {
     pub tuples_inspected: usize,
 }
 
+impl SearchStats {
+    /// Fold another call's counters into this one (saturating — counters
+    /// never wrap, they pin at `usize::MAX`).
+    pub fn merge(&mut self, other: SearchStats) {
+        self.configurations = self.configurations.saturating_add(other.configurations);
+        self.compiled_queries = self.compiled_queries.saturating_add(other.compiled_queries);
+        self.tuples_inspected = self.tuples_inspected.saturating_add(other.tuples_inspected);
+    }
+
+    /// Publish these counters to the global telemetry registry (one call
+    /// per completed search, so enabling telemetry mid-run never double
+    /// counts).
+    pub(crate) fn publish(&self) {
+        nebula_obs::counter_add("textsearch.configurations", self.configurations as u64);
+        nebula_obs::counter_add("textsearch.compiled_queries", self.compiled_queries as u64);
+        nebula_obs::counter_add("textsearch.tuples_inspected", self.tuples_inspected as u64);
+    }
+}
+
 /// The keyword-search engine (stateless between calls; all state lives in
 /// the database's indexes).
 #[derive(Debug, Clone, Default)]
@@ -116,20 +132,17 @@ impl KeywordSearch {
     ) -> (Vec<SearchHit>, SearchStats) {
         let mut cache = crate::config::MappingCache::default();
         let (compiled, configurations) = self.compile_cached(query, db, &mut cache);
-        let mut stats = SearchStats {
-            configurations,
-            compiled_queries: compiled.len(),
-            tuples_inspected: 0,
-        };
+        let mut stats =
+            SearchStats { configurations, compiled_queries: compiled.len(), tuples_inspected: 0 };
         let mut exec = SharedExecutor::new(db);
         let hits = self.run_compiled(&compiled, &mut exec, &mut stats);
+        stats.publish();
         (hits, stats)
     }
 
     /// Compile a keyword query into its conjunctive queries.
     pub fn compile(&self, query: &KeywordQuery, db: &Database) -> Vec<CompiledQuery> {
-        self.compile_cached(query, db, &mut crate::config::MappingCache::default())
-            .0
+        self.compile_cached(query, db, &mut crate::config::MappingCache::default()).0
     }
 
     /// Compile through a shared per-group mapping cache. Returns the
@@ -140,12 +153,8 @@ impl KeywordSearch {
         db: &Database,
         cache: &mut crate::config::MappingCache,
     ) -> (Vec<CompiledQuery>, usize) {
-        let configs = self.options.generator.generate_cached(
-            db,
-            &self.options.vocab,
-            &query.keywords,
-            cache,
-        );
+        let configs =
+            self.options.generator.generate_cached(db, &self.options.vocab, &query.keywords, cache);
         let mut out = Vec::new();
         for config in &configs {
             out.extend(compile_configuration(db, config, &query.keywords));
@@ -167,7 +176,11 @@ impl KeywordSearch {
                 continue;
             }
             let result = exec.execute(&cq.query);
-            stats.tuples_inspected += result.inspected;
+            stats.merge(SearchStats {
+                configurations: 0,
+                compiled_queries: 0,
+                tuples_inspected: result.inspected,
+            });
             for tid in result.tuples {
                 let entry = best.entry(tid).or_insert(0.0);
                 if cq.confidence > *entry {
@@ -175,10 +188,8 @@ impl KeywordSearch {
                 }
             }
         }
-        let mut hits: Vec<SearchHit> = best
-            .into_iter()
-            .map(|(tuple, confidence)| SearchHit { tuple, confidence })
-            .collect();
+        let mut hits: Vec<SearchHit> =
+            best.into_iter().map(|(tuple, confidence)| SearchHit { tuple, confidence }).collect();
         hits.sort_by(|a, b| b.confidence.total_cmp(&a.confidence).then(a.tuple.cmp(&b.tuple)));
         if let Some(cap) = self.options.max_hits {
             hits.truncate(cap);
@@ -206,9 +217,13 @@ impl KeywordSearch {
                 let mut exec = SharedExecutor::new(db);
                 for q in queries {
                     let (compiled, configs) = self.compile_cached(q, db, &mut cache);
-                    stats.configurations += configs;
-                    stats.compiled_queries += compiled.len();
-                    results.push(self.run_compiled(&compiled, &mut exec, &mut stats));
+                    let mut q_stats = SearchStats {
+                        configurations: configs,
+                        compiled_queries: compiled.len(),
+                        tuples_inspected: 0,
+                    };
+                    results.push(self.run_compiled(&compiled, &mut exec, &mut q_stats));
+                    stats.merge(q_stats);
                 }
             }
             ExecutionMode::Isolated => {
@@ -216,12 +231,17 @@ impl KeywordSearch {
                     let mut cache = crate::config::MappingCache::default();
                     let mut exec = SharedExecutor::new(db);
                     let (compiled, configs) = self.compile_cached(q, db, &mut cache);
-                    stats.configurations += configs;
-                    stats.compiled_queries += compiled.len();
-                    results.push(self.run_compiled(&compiled, &mut exec, &mut stats));
+                    let mut q_stats = SearchStats {
+                        configurations: configs,
+                        compiled_queries: compiled.len(),
+                        tuples_inspected: 0,
+                    };
+                    results.push(self.run_compiled(&compiled, &mut exec, &mut q_stats));
+                    stats.merge(q_stats);
                 }
             }
         }
+        stats.publish();
         (results, stats)
     }
 }
@@ -249,8 +269,7 @@ mod tests {
             ("JW0019", "yaaB", "F3"),
             ("JW0012", "yaaI", "F1"),
         ] {
-            db.insert("gene", vec![Value::text(gid), Value::text(name), Value::text(fam)])
-                .unwrap();
+            db.insert("gene", vec![Value::text(gid), Value::text(name), Value::text(fam)]).unwrap();
         }
         db
     }
@@ -329,5 +348,28 @@ mod tests {
     fn query_weight_builder() {
         let q = KeywordQuery::new(["a"]).with_weight(0.4);
         assert_eq!(q.weight, 0.4);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = SearchStats { configurations: 1, compiled_queries: 2, tuples_inspected: 3 };
+        a.merge(SearchStats { configurations: 10, compiled_queries: 20, tuples_inspected: 30 });
+        assert_eq!(
+            a,
+            SearchStats { configurations: 11, compiled_queries: 22, tuples_inspected: 33 }
+        );
+    }
+
+    #[test]
+    fn stats_merge_saturates() {
+        let mut a = SearchStats {
+            configurations: usize::MAX - 1,
+            compiled_queries: usize::MAX,
+            tuples_inspected: 0,
+        };
+        a.merge(SearchStats { configurations: 5, compiled_queries: 1, tuples_inspected: 7 });
+        assert_eq!(a.configurations, usize::MAX);
+        assert_eq!(a.compiled_queries, usize::MAX);
+        assert_eq!(a.tuples_inspected, 7);
     }
 }

@@ -36,9 +36,7 @@ impl PredKey {
     fn new(table: TableId, p: &Predicate) -> PredKey {
         match p {
             Predicate::Eq(c, v) => PredKey::Eq(table, *c, v.clone()),
-            Predicate::ContainsToken(c, t) => {
-                PredKey::ContainsToken(table, *c, t.to_lowercase())
-            }
+            Predicate::ContainsToken(c, t) => PredKey::ContainsToken(table, *c, t.to_lowercase()),
             Predicate::NotNull(c) => PredKey::NotNull(table, *c),
         }
     }
@@ -200,10 +198,9 @@ impl<'a> SharedExecutor<'a> {
                 let mut exec = SharedExecutor::new(db);
                 queries.iter().map(|q| exec.execute(q)).collect()
             }
-            ExecutionMode::Isolated => queries
-                .iter()
-                .map(|q| SharedExecutor::new(db).execute(q))
-                .collect(),
+            ExecutionMode::Isolated => {
+                queries.iter().map(|q| SharedExecutor::new(db).execute(q)).collect()
+            }
         }
     }
 }
@@ -249,8 +246,7 @@ mod tests {
             ("JW0019", "yaaB", "F3"),
             ("JW0012", "yaaI", "F1"),
         ] {
-            db.insert("gene", vec![Value::text(gid), Value::text(name), Value::text(fam)])
-                .unwrap();
+            db.insert("gene", vec![Value::text(gid), Value::text(name), Value::text(fam)]).unwrap();
         }
         db
     }
@@ -265,7 +261,8 @@ mod tests {
     #[test]
     fn shared_matches_isolated_results() {
         let db = db();
-        let queries = vec![family_query(&db, "F1"), family_query(&db, "F1"), family_query(&db, "F3")];
+        let queries =
+            vec![family_query(&db, "F1"), family_query(&db, "F1"), family_query(&db, "F3")];
         let shared = SharedExecutor::execute_batch(&db, &queries, ExecutionMode::Shared);
         let isolated = SharedExecutor::execute_batch(&db, &queries, ExecutionMode::Isolated);
         for (s, i) in shared.iter().zip(&isolated) {
@@ -336,16 +333,10 @@ mod tests {
         )
         .unwrap();
         db.add_foreign_key("protein", "gene_id", "gene").unwrap();
-        db.insert(
-            "protein",
-            vec![Value::text("P1"), Value::text("Actin"), Value::text("JW0013")],
-        )
-        .unwrap();
-        db.insert(
-            "protein",
-            vec![Value::text("P2"), Value::text("Kinase"), Value::text("JW0014")],
-        )
-        .unwrap();
+        db.insert("protein", vec![Value::text("P1"), Value::text("Actin"), Value::text("JW0013")])
+            .unwrap();
+        db.insert("protein", vec![Value::text("P2"), Value::text("Kinase"), Value::text("JW0014")])
+            .unwrap();
         db
     }
 

@@ -9,15 +9,15 @@ pub fn normalize(word: &str) -> String {
 /// references and would otherwise flood value mappings.
 const STOPWORDS: &[&str] = &[
     "a", "an", "the", "and", "or", "but", "if", "then", "else", "of", "in", "on", "at", "to",
-    "for", "from", "by", "with", "about", "as", "into", "through", "after", "before", "is",
-    "are", "was", "were", "be", "been", "being", "it", "its", "this", "that", "these", "those",
-    "he", "she", "they", "them", "his", "her", "their", "we", "us", "our", "you", "your", "i",
-    "me", "my", "not", "no", "yes", "do", "does", "did", "done", "can", "could", "will",
-    "would", "shall", "should", "may", "might", "must", "have", "has", "had", "which", "who",
-    "whom", "whose", "what", "when", "where", "why", "how", "all", "any", "both", "each",
-    "few", "more", "most", "other", "some", "such", "only", "own", "same", "so", "than",
-    "too", "very", "just", "also", "there", "here", "out", "up", "down", "over", "under",
-    "again", "further", "once", "seems", "seem", "exp", "et", "al",
+    "for", "from", "by", "with", "about", "as", "into", "through", "after", "before", "is", "are",
+    "was", "were", "be", "been", "being", "it", "its", "this", "that", "these", "those", "he",
+    "she", "they", "them", "his", "her", "their", "we", "us", "our", "you", "your", "i", "me",
+    "my", "not", "no", "yes", "do", "does", "did", "done", "can", "could", "will", "would",
+    "shall", "should", "may", "might", "must", "have", "has", "had", "which", "who", "whom",
+    "whose", "what", "when", "where", "why", "how", "all", "any", "both", "each", "few", "more",
+    "most", "other", "some", "such", "only", "own", "same", "so", "than", "too", "very", "just",
+    "also", "there", "here", "out", "up", "down", "over", "under", "again", "further", "once",
+    "seems", "seem", "exp", "et", "al",
 ];
 
 /// Is this (already normalized or raw) word an English stopword?
@@ -30,10 +30,7 @@ pub fn is_stopword(word: &str) -> bool {
 /// callers that want them gone filter explicitly, because position matters
 /// for context windows).
 pub fn split_words(text: &str) -> Vec<String> {
-    text.split_whitespace()
-        .map(normalize)
-        .filter(|w| !w.is_empty())
-        .collect()
+    text.split_whitespace().map(normalize).filter(|w| !w.is_empty()).collect()
 }
 
 /// Light singularization for schema-name matching — the role WordNet's

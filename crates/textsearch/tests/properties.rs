@@ -1,7 +1,7 @@
 //! Property-based tests for the keyword-search engine.
 
 use proptest::prelude::*;
-use relstore::{Database, DataType, TableSchema, Value};
+use relstore::{DataType, Database, TableSchema, Value};
 use textsearch::{ExecutionMode, KeywordQuery, KeywordSearch, SearchOptions};
 
 /// Random single-table database of short text rows.

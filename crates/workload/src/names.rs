@@ -32,9 +32,22 @@ pub fn protein_id(i: usize) -> String {
 
 /// Protein-name stems used to build readable protein names.
 const PROTEIN_STEMS: &[&str] = &[
-    "Actin", "Kinase", "Ligase", "Helicase", "Polymerase", "Chaperone", "Synthase",
-    "Reductase", "Oxidase", "Transferase", "Permease", "Isomerase", "Hydrolase", "Mutase",
-    "Cyclase", "Esterase",
+    "Actin",
+    "Kinase",
+    "Ligase",
+    "Helicase",
+    "Polymerase",
+    "Chaperone",
+    "Synthase",
+    "Reductase",
+    "Oxidase",
+    "Transferase",
+    "Permease",
+    "Isomerase",
+    "Hydrolase",
+    "Mutase",
+    "Cyclase",
+    "Esterase",
 ];
 
 /// Protein name for index `i`, e.g. `G-Actin`, `B-Kinase`; names repeat

@@ -11,17 +11,80 @@ use rand::Rng;
 /// Neutral scientific filler words (lowercase; none matches the gene/
 /// protein syntactic patterns).
 const FILLER: &[&str] = &[
-    "we", "observed", "that", "expression", "levels", "increased", "during", "stress",
-    "response", "conditions", "suggesting", "regulatory", "interaction", "between",
-    "pathways", "results", "indicate", "significant", "correlation", "under", "heat",
-    "shock", "treatment", "analysis", "revealed", "binding", "affinity", "changes",
-    "measured", "samples", "cultures", "growth", "phase", "experiments", "showed",
-    "consistent", "patterns", "across", "replicates", "data", "support", "hypothesis",
-    "mechanism", "remains", "unclear", "further", "study", "required", "transcription",
-    "regulation", "membrane", "localization", "activity", "decreased", "mutant",
-    "strains", "exhibited", "phenotype", "wild", "type", "comparison", "control",
-    "conditions", "induced", "repressed", "upstream", "downstream", "promoter",
-    "region", "sequence", "conserved", "domains", "structural", "functional",
+    "we",
+    "observed",
+    "that",
+    "expression",
+    "levels",
+    "increased",
+    "during",
+    "stress",
+    "response",
+    "conditions",
+    "suggesting",
+    "regulatory",
+    "interaction",
+    "between",
+    "pathways",
+    "results",
+    "indicate",
+    "significant",
+    "correlation",
+    "under",
+    "heat",
+    "shock",
+    "treatment",
+    "analysis",
+    "revealed",
+    "binding",
+    "affinity",
+    "changes",
+    "measured",
+    "samples",
+    "cultures",
+    "growth",
+    "phase",
+    "experiments",
+    "showed",
+    "consistent",
+    "patterns",
+    "across",
+    "replicates",
+    "data",
+    "support",
+    "hypothesis",
+    "mechanism",
+    "remains",
+    "unclear",
+    "further",
+    "study",
+    "required",
+    "transcription",
+    "regulation",
+    "membrane",
+    "localization",
+    "activity",
+    "decreased",
+    "mutant",
+    "strains",
+    "exhibited",
+    "phenotype",
+    "wild",
+    "type",
+    "comparison",
+    "control",
+    "conditions",
+    "induced",
+    "repressed",
+    "upstream",
+    "downstream",
+    "promoter",
+    "region",
+    "sequence",
+    "conserved",
+    "domains",
+    "structural",
+    "functional",
 ];
 
 /// Words that shape-match identifier-like tokens — the controlled

@@ -12,7 +12,7 @@ use annostore::{Annotation, AnnotationStore, AttachmentTarget};
 use nebula_core::{ConceptRef, NebulaMeta, Pattern};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use relstore::{Database, DataType, TableSchema, TupleId, Value};
+use relstore::{DataType, Database, TableSchema, TupleId, Value};
 
 /// Size/shape parameters of a generated dataset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -376,8 +376,7 @@ pub fn pick_local_refs(
         // Safety valve for degenerate windows (cannot realistically fire
         // with window ≥ n, but never loop forever).
         let reach = if attempts > n * 50 { w * 8 } else { w };
-        let g = (center + rng.gen_range(-reach..=reach))
-            .clamp(0, genes.len() as i64 - 1) as usize;
+        let g = (center + rng.gen_range(-reach..=reach)).clamp(0, genes.len() as i64 - 1) as usize;
         // ~70% genes, 30% proteins of nearby genes.
         let pick_gene = genes_only || rng.gen_range(0..10) < 7 || prots.is_empty();
         let r = if pick_gene {
@@ -461,11 +460,9 @@ pub fn generate_dataset(spec: &DatasetSpec, seed: u64) -> DatasetBundle {
     for i in 0..spec.publications {
         let n_links =
             rng.gen_range(spec.links_per_publication.0..=spec.links_per_publication.1).max(1);
-        let refs =
-            pick_local_refs(&mut rng, spec, &gene_tuples, &protein_tuples, n_links, false);
+        let refs = pick_local_refs(&mut rng, spec, &gene_tuples, &protein_tuples, n_links, false);
         let words = rng.gen_range(spec.abstract_words.0..=spec.abstract_words.1);
-        let abstract_text =
-            compose_abstract(&mut rng, &refs, words, spec.confuser_rate, None);
+        let abstract_text = compose_abstract(&mut rng, &refs, words, spec.confuser_rate, None);
         let title = text::filler_sentence(&mut rng, 6);
         let tid = db
             .insert(
@@ -481,8 +478,7 @@ pub fn generate_dataset(spec: &DatasetSpec, seed: u64) -> DatasetBundle {
 
         // The publication is also an annotation attached to its links —
         // the complete (ideal) attachment set.
-        let aid = annotations
-            .add_annotation(Annotation::new(abstract_text).of_kind("publication"));
+        let aid = annotations.add_annotation(Annotation::new(abstract_text).of_kind("publication"));
         for r in &refs {
             annotations
                 .attach(aid, AttachmentTarget::tuple(r.tuple))
@@ -556,10 +552,7 @@ mod tests {
                 let tuple = b.db.get(*t).unwrap();
                 let key = tuple.key().unwrap().render();
                 let named = ["name", "pname"].iter().any(|col| {
-                    tuple
-                        .get_by_name(col)
-                        .map(|v| ann.text.contains(&v.render()))
-                        .unwrap_or(false)
+                    tuple.get_by_name(col).map(|v| ann.text.contains(&v.render())).unwrap_or(false)
                 });
                 ann.text.contains(&key) || named
             });
@@ -587,9 +580,21 @@ mod tests {
     fn compose_abstract_respects_budget() {
         let mut rng = StdRng::seed_from_u64(2);
         let refs = vec![
-            RefSpec { concept: "gene", text: "JW0001".into(), tuple: TupleId::new(relstore::schema::TableId(0), 1) },
-            RefSpec { concept: "gene", text: "abcD".into(), tuple: TupleId::new(relstore::schema::TableId(0), 2) },
-            RefSpec { concept: "protein", text: "P00003".into(), tuple: TupleId::new(relstore::schema::TableId(1), 3) },
+            RefSpec {
+                concept: "gene",
+                text: "JW0001".into(),
+                tuple: TupleId::new(relstore::schema::TableId(0), 1),
+            },
+            RefSpec {
+                concept: "gene",
+                text: "abcD".into(),
+                tuple: TupleId::new(relstore::schema::TableId(0), 2),
+            },
+            RefSpec {
+                concept: "protein",
+                text: "P00003".into(),
+                tuple: TupleId::new(relstore::schema::TableId(1), 3),
+            },
         ];
         let s = compose_abstract(&mut rng, &refs, 30, 0, Some(50));
         assert!(s.len() <= 50, "{} bytes: {s}", s.len());

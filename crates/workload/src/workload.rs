@@ -144,13 +144,7 @@ fn build_annotation(
         refs.pop();
     }
     let filler = if tight { 6 } else { max_bytes / 12 };
-    let body = compose_abstract(
-        rng,
-        &refs,
-        filler,
-        bundle.spec.confuser_rate,
-        Some(max_bytes),
-    );
+    let body = compose_abstract(rng, &refs, filler, bundle.spec.confuser_rate, Some(max_bytes));
     debug_assert!(body.len() <= max_bytes);
     let ideal = refs.iter().map(|r| r.tuple).collect();
     WorkloadAnnotation {
@@ -162,11 +156,7 @@ fn build_annotation(
 }
 
 /// Build the full workload over a dataset.
-pub fn build_workload(
-    bundle: &DatasetBundle,
-    spec: &WorkloadSpec,
-    seed: u64,
-) -> Vec<WorkloadSet> {
+pub fn build_workload(bundle: &DatasetBundle, spec: &WorkloadSpec, seed: u64) -> Vec<WorkloadSet> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_1234);
     let mut sets = Vec::with_capacity(spec.sizes.len());
     for &max_bytes in &spec.sizes {
@@ -232,8 +222,12 @@ mod tests {
         for set in &sets {
             assert_eq!(set.annotations.len(), 15, "15 annotations per L^m");
             for a in &set.annotations {
-                assert!(a.annotation.size_bytes() <= set.max_bytes,
-                    "{} > {}", a.annotation.size_bytes(), set.max_bytes);
+                assert!(
+                    a.annotation.size_bytes() <= set.max_bytes,
+                    "{} > {}",
+                    a.annotation.size_bytes(),
+                    set.max_bytes
+                );
                 assert!(!a.ideal.is_empty());
                 assert!(a.ideal.len() <= 10);
             }

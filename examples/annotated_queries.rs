@@ -11,7 +11,7 @@
 use nebula::annostore::{
     propagate, Annotation, AnnotationStore, AttachmentTarget, CuratorPredicate, CuratorRegistry,
 };
-use nebula::relstore::{ConjunctiveQuery, Database, DataType, Predicate, TableSchema, Value};
+use nebula::relstore::{ConjunctiveQuery, DataType, Database, Predicate, TableSchema, Value};
 
 fn main() {
     let mut db = Database::new();
@@ -59,17 +59,14 @@ fn main() {
             .insert("gene", vec![Value::text(gid), Value::text(name), Value::text(fam)])
             .expect("unique");
         let attached = curators.on_insert(&db, &mut store, t).expect("rules apply");
-        println!(
-            "inserted {gid} ({fam}): {} curator annotation(s) auto-attached",
-            attached.len()
-        );
+        println!("inserted {gid} ({fam}): {} curator annotation(s) auto-attached", attached.len());
     }
 
     // Query-time propagation: SELECT gid, family FROM gene WHERE family='F1'
     // — annotations ride along; the cell-level note on `name` is dropped
     // because the projection removed its column.
-    let query = ConjunctiveQuery::scan(gene)
-        .with_predicate(Predicate::Eq(family_col, Value::text("F1")));
+    let query =
+        ConjunctiveQuery::scan(gene).with_predicate(Predicate::Eq(family_col, Value::text("F1")));
     let result = query.execute(&db).expect("valid query");
     let projection = [schema.column_id("gid").expect("exists"), family_col];
     println!("\nSELECT gid, family FROM gene WHERE family = 'F1':");

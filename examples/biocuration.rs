@@ -16,8 +16,8 @@
 //! cargo run --example biocuration
 //! ```
 
-use nebula::prelude::*;
 use nebula::nebula_core::{ConceptRef, Pattern};
+use nebula::prelude::*;
 
 fn main() {
     // ---- The Figure 1 database -------------------------------------
@@ -97,10 +97,7 @@ fn main() {
 
     let mut store = AnnotationStore::new();
     let mut nebula = Nebula::new(
-        NebulaConfig {
-            bounds: VerificationBounds::new(0.3, 0.85),
-            ..Default::default()
-        },
+        NebulaConfig { bounds: VerificationBounds::new(0.3, 0.85), ..Default::default() },
         meta,
     );
 

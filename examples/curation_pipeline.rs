@@ -56,19 +56,13 @@ fn main() {
         for vid in &outcome.pending {
             let task = nebula.queue().get(*vid).expect("pending").clone();
             let correct = wa.ideal.contains(&task.tuple);
-            nebula
-                .resolve_task(&mut bundle.annotations, *vid, correct)
-                .expect("task resolves");
+            nebula.resolve_task(&mut bundle.annotations, *vid, correct).expect("task resolves");
             session.record_resolution(correct);
         }
 
         // Record the assessment for this annotation.
-        let (_, report) = assess_predictions(
-            &outcome.candidates,
-            &nebula.config().bounds,
-            &wa.ideal,
-            &focal,
-        );
+        let (_, report) =
+            assess_predictions(&outcome.candidates, &nebula.config().bounds, &wa.ideal, &focal);
         reports.push(report);
 
         if (i + 1) % 15 == 0 {
@@ -89,15 +83,14 @@ fn main() {
     println!("  F_P = {:.1}%  (wrong auto-accepts)", avg.f_p * 100.0);
     println!("  M_F = {:.1}   (expert verifications per annotation)", avg.m_f);
     println!("  M_H = {:.2}   (expert-accept ratio)", avg.m_h);
-    println!(
-        "  expert actions total: {}",
-        session.expert_accepts + session.expert_rejects
-    );
+    println!("  expert actions total: {}", session.expert_accepts + session.expert_rejects);
     println!(
         "  profile coverage: K=2 -> {:.0}%, K=3 -> {:.0}%",
         nebula.profile().coverage(2) * 100.0,
         nebula.profile().coverage(3) * 100.0
     );
-    println!("
-{session}");
+    println!(
+        "
+{session}"
+    );
 }

@@ -56,10 +56,7 @@ fn main() {
         db.insert("commits", vec![Value::text(sha), Value::text(msg), Value::text(author)])
             .expect("unique rows");
     }
-    let vulns = [
-        ("CVE-2024-0042", "high", "parser"),
-        ("CVE-2023-9911", "medium", "allocator"),
-    ];
+    let vulns = [("CVE-2024-0042", "high", "parser"), ("CVE-2023-9911", "medium", "allocator")];
     for (cve, sev, comp) in vulns {
         db.insert("vulns", vec![Value::text(cve), Value::text(sev), Value::text(comp)])
             .expect("unique rows");
@@ -71,8 +68,7 @@ fn main() {
         ("TCK-103", "memory spike under load"),
     ] {
         tickets.push(
-            db.insert("tickets", vec![Value::text(key), Value::text(title)])
-                .expect("unique rows"),
+            db.insert("tickets", vec![Value::text(key), Value::text(title)]).expect("unique rows"),
         );
     }
 
@@ -90,11 +86,7 @@ fn main() {
     });
     // Short git SHAs and CVE ids are syntactically crisp.
     meta.set_pattern("commits", "sha", Pattern::compile("[0-9a-f]{8}").expect("valid"));
-    meta.set_pattern(
-        "vulns",
-        "cve",
-        Pattern::compile("CVE-[0-9]{4}-[0-9]{4}").expect("valid"),
-    );
+    meta.set_pattern("vulns", "cve", Pattern::compile("CVE-[0-9]{4}-[0-9]{4}").expect("valid"));
     // Engineers say "fix", "change", or "patch" for commits.
     meta.add_table_synonym("fix", "commits");
     meta.add_table_synonym("patch", "commits");
@@ -115,10 +107,7 @@ fn main() {
     let mut report = SessionReport::new();
 
     let comments = [
-        (
-            tickets[0],
-            "bisect points at commit 3fa9c1d2 which reordered the flush locks",
-        ),
+        (tickets[0], "bisect points at commit 3fa9c1d2 which reordered the flush locks"),
         (
             tickets[1],
             "root cause is the parser rewrite, see commit 77be02aa and the \
@@ -132,13 +121,15 @@ fn main() {
     ];
     for (ticket, text) in comments {
         let outcome = nebula
-            .process_annotation(&db, &mut store, &Annotation::new(text).of_kind("comment"), &[ticket])
+            .process_annotation(
+                &db,
+                &mut store,
+                &Annotation::new(text).of_kind("comment"),
+                &[ticket],
+            )
             .expect("pipeline runs");
         report.record(&outcome);
-        println!(
-            "comment on {}:",
-            db.get(ticket).expect("live").get_by_name("key").expect("col")
-        );
+        println!("comment on {}:", db.get(ticket).expect("live").get_by_name("key").expect("col"));
         for (t, conf) in &outcome.accepted {
             println!("  linked (conf {conf:.2}) -> {}", db.get(*t).expect("live").render());
         }
@@ -155,9 +146,7 @@ fn main() {
     // Work the queue: accept everything the evidence supports.
     let vids: Vec<u64> = nebula.queue().iter().map(|t| t.vid).collect();
     for vid in vids {
-        nebula
-            .resolve_task(&mut store, vid, true)
-            .expect("task resolves");
+        nebula.resolve_task(&mut store, vid, true).expect("task resolves");
         report.record_resolution(true);
     }
 

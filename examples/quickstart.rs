@@ -26,11 +26,7 @@ fn main() {
     let config = NebulaConfig::default();
     let mut nebula = Nebula::new(config, bundle.meta.clone());
     nebula.bootstrap_acg(&bundle.annotations);
-    println!(
-        "ACG: {} nodes, {} edges",
-        nebula.acg().node_count(),
-        nebula.acg().edge_count()
-    );
+    println!("ACG: {} nodes, {} edges", nebula.acg().node_count(), nebula.acg().edge_count());
 
     // 3. A scientist attaches a comment to one gene. The comment also
     //    references two other database objects she did not link.

@@ -1,0 +1,119 @@
+//! [`any`] and the [`Arbitrary`] trait: default strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+/// The canonical strategy for `A`: `any::<A>()`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+/// The result of [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<A>(std::marker::PhantomData<fn() -> A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, runner: &mut TestRunner) -> A {
+        A::arbitrary(runner)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> $t {
+                // Bias 1-in-8 toward the edge values that shake out
+                // overflow and sentinel bugs, like upstream does.
+                if runner.below(8) == 0 {
+                    const SPECIAL: [$t; 4] = [0, 1, <$t>::MIN, <$t>::MAX];
+                    SPECIAL[runner.below(4) as usize]
+                } else {
+                    runner.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> f64 {
+        // Finite values only (no NaN/inf): special values 1-in-8, else a
+        // sign/magnitude spread across many orders of magnitude.
+        if runner.below(8) == 0 {
+            const SPECIAL: [f64; 6] = [0.0, -0.0, 1.0, -1.0, f64::MIN_POSITIVE, f64::MAX];
+            SPECIAL[runner.below(6) as usize]
+        } else {
+            let sign = if runner.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+            let exponent = runner.below(613) as i32 - 306; // 1e-306..=1e306
+            sign * runner.unit_f64() * 10f64.powi(exponent)
+        }
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(runner: &mut TestRunner) -> char {
+        loop {
+            if let Some(c) = char::from_u32(runner.below(0x11_0000) as u32) {
+                return c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> TestRunner {
+        let mut r = TestRunner::new("arbitrary-tests");
+        r.begin_case(0);
+        r
+    }
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut r = runner();
+        let trues = (0..100).filter(|_| bool::arbitrary(&mut r)).count();
+        assert!((20..80).contains(&trues));
+    }
+
+    #[test]
+    fn ints_hit_edge_values() {
+        let mut r = runner();
+        let mut saw_max = false;
+        for _ in 0..1_000 {
+            saw_max |= i64::arbitrary(&mut r) == i64::MAX;
+        }
+        assert!(saw_max);
+    }
+
+    #[test]
+    fn floats_are_finite() {
+        let mut r = runner();
+        for _ in 0..10_000 {
+            assert!(f64::arbitrary(&mut r).is_finite());
+        }
+    }
+
+    #[test]
+    fn any_is_a_strategy() {
+        let mut r = runner();
+        let _: u8 = any::<u8>().generate(&mut r);
+    }
+}

@@ -1,0 +1,255 @@
+//! Minimal std-only stand-in for the `proptest` crate, covering the API
+//! surface this workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with `#![proptest_config(...)]`, `#[test]`
+//!   pass-through, and `name in strategy` / `mut name in strategy` args),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! - strategies: integer/float ranges, regex-subset string literals,
+//!   tuples, [`collection::vec`], [`arbitrary::any`], [`strategy::Just`],
+//!   `prop_map`, [`prop_oneof!`], and [`sample::Index`],
+//! - [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from upstream: generation is seeded deterministically from
+//! the test name (same inputs every run — failures are always
+//! reproducible), and there is no shrinking — a failing case reports the
+//! generated inputs as-is. See `shims/README.md`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property-test file needs in one import.
+pub mod prelude {
+    /// The `prop::` alias for the crate root (`prop::sample::Index`,
+    /// `prop::collection::vec`, ...).
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The property-test entry point: wraps `fn name(binding in strategy, ...)
+/// { body }` items into `#[test]` functions that run the body over many
+/// generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __runner = $crate::test_runner::TestRunner::new(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                __runner.begin_case(__case as u64);
+                let __result: Result<(), $crate::test_runner::TestCaseError> =
+                    (|__r: &mut $crate::test_runner::TestRunner| {
+                        $crate::__pt_bind!(__r; $($args)*);
+                        { $body };
+                        Ok(())
+                    })(&mut __runner);
+                if let Err(e) = __result {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}\ngenerated inputs:\n{}",
+                        stringify!($name),
+                        __case + 1,
+                        __cfg.cases,
+                        e,
+                        __runner.inputs_description()
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __pt_bind {
+    ($r:expr;) => {};
+    ($r:expr; mut $name:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__pt_bind!($r; mut $name in $strat);
+        $crate::__pt_bind!($r; $($rest)*);
+    };
+    ($r:expr; mut $name:ident in $strat:expr) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), $r);
+        $r.record_input(stringify!($name), format!("{:?}", $name));
+    };
+    ($r:expr; $name:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__pt_bind!($r; $name in $strat);
+        $crate::__pt_bind!($r; $($rest)*);
+    };
+    ($r:expr; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), $r);
+        $r.record_input(stringify!($name), format!("{:?}", $name));
+    };
+}
+
+/// Fallible assertion: fails the current case (reporting the generated
+/// inputs) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fallible inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..17, b in -4i64..=4, f in 0.0f64..=1.0) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-4..=4).contains(&b));
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn regex_shapes(id in "JW[0-9]{4}", words in "[a-c]{1,3}( [a-c]{1,3}){0,2}") {
+            prop_assert_eq!(id.len(), 6);
+            prop_assert!(id.starts_with("JW"));
+            prop_assert!(id[2..].chars().all(|c| c.is_ascii_digit()));
+            prop_assert!(!words.is_empty() && words.len() <= 15, "{words}");
+            prop_assert!(words.chars().all(|c| ('a'..='c').contains(&c) || c == ' '));
+        }
+
+        #[test]
+        fn vec_and_tuples(
+            rows in crate::collection::vec(("[a-d]{1,4}", 0i64..4), 1..16),
+            mut picks in crate::collection::vec(any::<crate::sample::Index>(), 1..6),
+        ) {
+            prop_assert!(!rows.is_empty() && rows.len() < 16);
+            for (s, n) in &rows {
+                prop_assert!((1..=4).contains(&s.len()));
+                prop_assert!((0..4).contains(n));
+            }
+            picks.truncate(3);
+            for ix in &picks {
+                prop_assert!(ix.index(rows.len()) < rows.len());
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            Just(-1i64),
+            (0u8..10).prop_map(|x| x as i64 * 100),
+            any::<i64>(),
+        ]) {
+            // All three arms produce i64; nothing else to check beyond
+            // reaching here with a valid value.
+            let _ = v;
+        }
+    }
+
+    #[test]
+    // The nested proptest! emits an inner #[test] fn we invoke by hand.
+    #[allow(unnameable_test_items)]
+    fn failures_report_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(8))]
+                #[test]
+                fn always_fails(x in 0u32..10) {
+                    prop_assert!(x > 100, "x was {x}");
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("failed at case"), "{msg}");
+        assert!(msg.contains("x ="), "{msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let gen_once = || {
+            let mut r = crate::test_runner::TestRunner::new("det");
+            r.begin_case(0);
+            ".{0,40}".generate(&mut r)
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+}

@@ -1,0 +1,53 @@
+//! Sampling helpers: [`Index`], a length-agnostic collection index.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRunner;
+
+/// An abstract index resolved against a concrete collection length with
+/// [`Index::index`], so one generated value can index collections of any
+/// size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Resolve against a collection of `len` elements; uniform in
+    /// `[0, len)`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        // Multiply-shift keeps the high bits relevant (plain modulo would
+        // only use the low bits' distribution).
+        ((self.0 as u128 * len as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(runner: &mut TestRunner) -> Index {
+        Index(runner.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_stays_in_bounds_and_covers() {
+        let mut r = TestRunner::new("index-tests");
+        r.begin_case(0);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let ix = Index::arbitrary(&mut r);
+            let i = ix.index(5);
+            assert!(i < 5);
+            seen[i] = true;
+            assert!(ix.index(1) == 0);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty collection")]
+    fn empty_len_panics() {
+        Index(0).index(0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The [`Strategy`] trait and core combinators: ranges, tuples, [`Just`],
+//! [`Map`], and [`Union`].
+
+use crate::test_runner::TestRunner;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value from the runner's deterministic stream.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        (**self).generate(runner)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, runner: &mut TestRunner) -> S::Value {
+        (**self).generate(runner)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// Uniform choice among same-typed strategies (built by
+/// [`crate::prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Union over `options`; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        let pick = runner.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(runner)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + runner.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: every word is a valid sample.
+                    return runner.next_u64() as $t;
+                }
+                (start as i128 + runner.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + runner.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        let unit = (runner.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        start + unit * (end - start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> TestRunner {
+        let mut r = TestRunner::new("strategy-tests");
+        r.begin_case(0);
+        r
+    }
+
+    #[test]
+    fn just_and_map() {
+        let mut r = runner();
+        assert_eq!(Just(5i64).generate(&mut r), 5);
+        let doubled = (1u8..4).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            assert!([2, 4, 6].contains(&doubled.generate(&mut r)));
+        }
+    }
+
+    #[test]
+    fn inclusive_hits_endpoints() {
+        let mut r = runner();
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..2_000 {
+            match (0u8..=3).generate(&mut r) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        let mut r = runner();
+        let u = Union::new(vec![Just(1i64).boxed(), Just(2i64).boxed()]);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[u.generate(&mut r) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut r = runner();
+        let (a, b, c) = (0u8..2, 10i64..12, 0.0f64..1.0).generate(&mut r);
+        assert!(a < 2 && (10..12).contains(&b) && (0.0..1.0).contains(&c));
+    }
+}

@@ -1,0 +1,360 @@
+//! Regex-subset string generation: `&str` literals act as strategies
+//! producing strings matching the pattern.
+//!
+//! Supported syntax (the subset this workspace's tests use): literal
+//! characters, `(...)` groups, `a|b` alternation, `[a-z09 é]` character
+//! classes with ranges, `.` (any char except newline), and the repeaters
+//! `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded repeats are capped at 8).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+
+/// Cap for `*` / `+` repeats, which upstream treats as unbounded.
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Concatenation of parts.
+    Seq(Vec<Node>),
+    /// `a|b|c` — uniform choice.
+    Alt(Vec<Node>),
+    /// `[...]` — inclusive char ranges (singles are `(c, c)`).
+    Class(Vec<(char, char)>),
+    /// `.` — any char except `\n`.
+    AnyChar,
+    /// One literal char.
+    Lit(char),
+    /// `node{min,max}` (inclusive).
+    Repeat(Box<Node>, u32, u32),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Parser<'a> {
+        Parser { chars: pattern.chars().peekable(), pattern }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported regex pattern {:?}: {what}", self.pattern)
+    }
+
+    /// alternation := seq ('|' seq)*
+    fn parse_alt(&mut self) -> Node {
+        let mut arms = vec![self.parse_seq()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            arms.push(self.parse_seq());
+        }
+        if arms.len() == 1 {
+            arms.pop().unwrap()
+        } else {
+            Node::Alt(arms)
+        }
+    }
+
+    /// seq := (atom repeat?)*  — stops at '|' or ')'.
+    fn parse_seq(&mut self) -> Node {
+        let mut parts = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            parts.push(self.parse_repeat(atom));
+        }
+        Node::Seq(parts)
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alt();
+                if self.chars.next() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                inner
+            }
+            Some('[') => self.parse_class(),
+            Some('.') => Node::AnyChar,
+            Some('\\') => match self.chars.next() {
+                Some(
+                    c @ ('\\' | '.' | '|' | '(' | ')' | '[' | ']' | '{' | '}' | '?' | '*' | '+'
+                    | '-'),
+                ) => Node::Lit(c),
+                Some('n') => Node::Lit('\n'),
+                Some('t') => Node::Lit('\t'),
+                Some('d') => Node::Class(vec![('0', '9')]),
+                other => self.fail(&format!("escape \\{other:?}")),
+            },
+            Some(c @ ('{' | '}' | '?' | '*' | '+')) => {
+                self.fail(&format!("dangling repeat operator {c:?}"))
+            }
+            Some(c) => Node::Lit(c),
+            None => self.fail("unexpected end of pattern"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                Some(']') if !ranges.is_empty() => break,
+                Some('\\') => match self.chars.next() {
+                    Some(e @ ('\\' | ']' | '-' | '^')) => e,
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    other => self.fail(&format!("class escape \\{other:?}")),
+                },
+                Some(c) => c,
+                None => self.fail("unclosed character class"),
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.peek() {
+                    // Trailing '-' is a literal: `[a-]`.
+                    Some(&']') | None => {
+                        ranges.push((c, c));
+                        ranges.push(('-', '-'));
+                    }
+                    Some(&hi) => {
+                        self.chars.next();
+                        if (c as u32) > (hi as u32) {
+                            self.fail(&format!("inverted class range {c}-{hi}"));
+                        }
+                        ranges.push((c, hi));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_repeat(&mut self, atom: Node) -> Node {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let min = self.parse_number();
+                let max = match self.chars.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let max = self.parse_number();
+                        if self.chars.next() != Some('}') {
+                            self.fail("unclosed {m,n} repeat");
+                        }
+                        max
+                    }
+                    _ => self.fail("malformed {..} repeat"),
+                };
+                if min > max {
+                    self.fail(&format!("inverted repeat {{{min},{max}}}"));
+                }
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(&c) = self.chars.peek() {
+            match c.to_digit(10) {
+                Some(d) => {
+                    self.chars.next();
+                    n = n.checked_mul(10).and_then(|n| n.checked_add(d)).unwrap_or_else(|| {
+                        self.fail("repeat count overflow");
+                    });
+                    any = true;
+                }
+                None => break,
+            }
+        }
+        if !any {
+            self.fail("expected repeat count");
+        }
+        n
+    }
+}
+
+fn parse(pattern: &str) -> Node {
+    let mut p = Parser::new(pattern);
+    let node = p.parse_alt();
+    if p.chars.next().is_some() {
+        p.fail("trailing characters (unbalanced ')'?)");
+    }
+    node
+}
+
+fn gen_any_char(runner: &mut TestRunner) -> char {
+    // Weighted toward printable ASCII like upstream, with some unicode and
+    // control characters mixed in; never '\n' (regex `.` excludes it).
+    loop {
+        let c = match runner.below(100) {
+            0..=69 => char::from_u32(0x20 + runner.below(0x5F) as u32),
+            70..=89 => {
+                // Low BMP unicode: Latin-1 supplement through Greek.
+                char::from_u32(0xA1 + runner.below(0x340) as u32)
+            }
+            _ => char::from_u32(runner.below(0xD800) as u32),
+        };
+        match c {
+            Some('\n') | None => continue,
+            Some(c) => return c,
+        }
+    }
+}
+
+fn generate_into(node: &Node, runner: &mut TestRunner, out: &mut String) {
+    match node {
+        Node::Seq(parts) => {
+            for part in parts {
+                generate_into(part, runner, out);
+            }
+        }
+        Node::Alt(arms) => {
+            let pick = runner.below(arms.len() as u64) as usize;
+            generate_into(&arms[pick], runner, out);
+        }
+        Node::Class(ranges) => {
+            // Weight each range by its width so e.g. [a-z0] is not half '0'.
+            let total: u64 = ranges.iter().map(|&(lo, hi)| (hi as u64 - lo as u64) + 1).sum();
+            let mut pick = runner.below(total);
+            for &(lo, hi) in ranges {
+                let width = (hi as u64 - lo as u64) + 1;
+                if pick < width {
+                    let c = char::from_u32(lo as u32 + pick as u32)
+                        .expect("class range crosses surrogate block");
+                    out.push(c);
+                    break;
+                }
+                pick -= width;
+            }
+        }
+        Node::AnyChar => out.push(gen_any_char(runner)),
+        Node::Lit(c) => out.push(*c),
+        Node::Repeat(inner, min, max) => {
+            let n = *min as u64 + runner.below((*max - *min) as u64 + 1);
+            for _ in 0..n {
+                generate_into(inner, runner, out);
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        let node = parse(self);
+        let mut out = String::new();
+        generate_into(&node, runner, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        self.as_str().generate(runner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> TestRunner {
+        let mut r = TestRunner::new("string-tests");
+        r.begin_case(0);
+        r
+    }
+
+    #[test]
+    fn literal_and_exact_repeat() {
+        let mut r = runner();
+        assert_eq!("abc".generate(&mut r), "abc");
+        let s = "JW[0-9]{4}".generate(&mut r);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with("JW") && s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn alternation_with_repeat_range() {
+        let mut r = runner();
+        for _ in 0..200 {
+            let s = "(gene|protein|JW[0-9]{4}| |[a-z]{2,6}){0,40}".generate(&mut r);
+            // Every generated char must come from one of the arms.
+            assert!(
+                s.chars().all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || c == ' '
+                    || c == 'J'
+                    || c == 'W'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_with_unicode_and_space() {
+        let mut r = runner();
+        let mut seen_unicode = false;
+        for _ in 0..400 {
+            let s = "[a-zA-Z0-9 àé]{0,10}".generate(&mut r);
+            assert!(s.chars().count() <= 10);
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == 'à' || c == 'é'),
+                "{s:?}"
+            );
+            seen_unicode |= s.contains(['à', 'é']);
+        }
+        assert!(seen_unicode, "unicode class members never generated");
+    }
+
+    #[test]
+    fn dot_never_yields_newline() {
+        let mut r = runner();
+        for _ in 0..50 {
+            let s = ".{0,300}".generate(&mut r);
+            assert!(!s.contains('\n'));
+            assert!(s.chars().count() <= 300);
+        }
+    }
+
+    #[test]
+    fn optional_star_plus() {
+        let mut r = runner();
+        for _ in 0..100 {
+            let s = "ab?c*d+".generate(&mut r);
+            assert!(s.starts_with('a'));
+            assert!(s.trim_start_matches('a').trim_start_matches('b').starts_with(['c', 'd']));
+            assert!(s.ends_with('d'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex pattern")]
+    fn unbalanced_group_panics() {
+        let mut r = runner();
+        let _ = "(ab".generate(&mut r);
+    }
+}

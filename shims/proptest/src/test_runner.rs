@@ -1,0 +1,166 @@
+//! Deterministic case runner: per-test seeded RNG plus recorded inputs
+//! for failure reports.
+
+use std::fmt;
+
+/// How many cases each property runs. Only `cases` is configurable — the
+/// rest of upstream's knobs (shrink iters, fork, timeout) don't apply here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; we default lower because every case
+        // re-runs generation from scratch (no persistence/shrink reuse)
+        // and several properties build whole databases per case.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case (produced by `prop_assert!` and friends).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Fail the current case with a message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-property driver: owns the RNG stream and the record of inputs
+/// generated for the current case.
+pub struct TestRunner {
+    base_seed: u64,
+    state: u64,
+    inputs: Vec<(&'static str, String)>,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRunner {
+    /// Runner seeded from the fully-qualified test name, so every test
+    /// gets its own reproducible stream.
+    pub fn new(test_name: &str) -> TestRunner {
+        let base_seed = fnv1a(test_name.as_bytes());
+        TestRunner { base_seed, state: base_seed, inputs: Vec::new() }
+    }
+
+    /// Reset for case `case`: fresh sub-stream, empty input record.
+    pub fn begin_case(&mut self, case: u64) {
+        let mut mix = self.base_seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F);
+        self.state = splitmix(&mut mix);
+        self.inputs.clear();
+    }
+
+    /// Next raw 64-bit word of the case's stream.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix(&mut self.state)
+    }
+
+    /// Uniform draw in `[0, n)` (Lemire multiply-shift with rejection).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample an empty range");
+        let threshold = n.wrapping_neg() % n; // 2^64 mod n
+        loop {
+            let m = (self.next_u64() as u128) * (n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Record one generated binding for failure reporting.
+    pub fn record_input(&mut self, name: &'static str, value: String) {
+        self.inputs.push((name, value));
+    }
+
+    /// The recorded bindings of the current case, one `name = value` per
+    /// line.
+    pub fn inputs_description(&self) -> String {
+        if self.inputs.is_empty() {
+            return "    (no inputs recorded)".to_string();
+        }
+        self.inputs
+            .iter()
+            .map(|(name, value)| format!("    {name} = {value}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRunner;
+
+    #[test]
+    fn cases_get_distinct_streams() {
+        let mut r = TestRunner::new("t");
+        r.begin_case(0);
+        let a = r.next_u64();
+        r.begin_case(1);
+        let b = r.next_u64();
+        assert_ne!(a, b);
+        r.begin_case(0);
+        assert_eq!(a, r.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_bounds() {
+        let mut r = TestRunner::new("b");
+        r.begin_case(0);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn inputs_roundtrip_into_description() {
+        let mut r = TestRunner::new("i");
+        r.begin_case(0);
+        r.record_input("x", "42".to_string());
+        assert!(r.inputs_description().contains("x = 42"));
+        r.begin_case(1);
+        assert!(r.inputs_description().contains("no inputs"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Minimal std-only stand-in for the `rand` crate, covering the API
+//! surface this workspace uses: a seedable deterministic [`rngs::StdRng`]
+//! plus [`Rng::gen_range`] / [`Rng::gen_bool`].
+//!
+//! The generator is SplitMix64 — statistically solid for synthetic-data
+//! generation, deterministic across platforms, and dependency-free. It is
+//! *not* the same stream as the real crate's StdRng, so datasets generated
+//! from a given seed differ from upstream-rand builds; everything in this
+//! workspace derives expectations from the generated data itself, never
+//! from a hard-coded stream. See `shims/README.md`.
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A seedable generator.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling from a range, `rand`-style: implemented by the range types
+/// accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `low..high` or `low..=high`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        // 53 uniform mantissa bits, same construction as the real crate.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Uniform draw in `[0, n)` without modulo bias (Lemire's multiply-shift
+/// with rejection).
+fn uniform_below(rng: &mut dyn RngCore, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample an empty range");
+    let threshold = n.wrapping_neg() % n; // 2^64 mod n
+    loop {
+        let m = (rng.next_u64() as u128) * (n as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Element types with a uniform range sampler. The two [`SampleRange`]
+/// impls below are blanket impls over this trait — a single applicable
+/// impl per range shape, so type inference can flow from the usage site
+/// into integer literals exactly like it does with the real crate.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[lo, hi)` or `[lo, hi]`.
+    fn sample_range(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_range(*self.start(), *self.end(), true, rng)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: $t, hi: $t, inclusive: bool, rng: &mut dyn RngCore) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // Full-width range: every word is a valid sample.
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + uniform_below(rng, span as u64) as i128) as $t
+                } else {
+                    assert!(lo < hi, "empty range");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    (lo as i128 + uniform_below(rng, span) as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range(lo: f64, hi: f64, inclusive: bool, rng: &mut dyn RngCore) -> f64 {
+        if inclusive {
+            assert!(lo <= hi, "empty range");
+            let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+            lo + unit * (hi - lo)
+        } else {
+            assert!(lo < hi, "empty range");
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            lo + unit * (hi - lo)
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: usize =
+            (0..100).filter(|_| a.gen_range(0u64..1000) == c.gen_range(0u64..1000)).count();
+        assert!(same < 20, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3i64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+        // Inclusive endpoints are reachable.
+        let mut hit_hi = false;
+        for _ in 0..10_000 {
+            if rng.gen_range(0u8..=3) == 3 {
+                hit_hi = true;
+            }
+        }
+        assert!(hit_hi);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rough_balance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+}

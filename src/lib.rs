@@ -14,7 +14,9 @@
 //! - [`nebula_core`] — the proactive engine itself (signature maps, keyword
 //!   query generation, ACG, focal-based spreading, verification), and
 //! - [`nebula_workload`] — synthetic UniProt-like datasets and annotation
-//!   workloads used by the evaluation.
+//!   workloads used by the evaluation, and
+//! - [`nebula_obs`] — the in-tree telemetry subsystem (work counters, stage
+//!   spans, pipeline events) every layer above reports into.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub mod shell;
 
 pub use annostore;
 pub use nebula_core;
+pub use nebula_obs;
 pub use nebula_workload;
 pub use relstore;
 pub use shell::{Shell, ShellError};
@@ -60,7 +63,7 @@ pub mod prelude {
     };
     pub use nebula_workload::{generate_dataset, DatasetBundle, DatasetSpec, WorkloadSpec};
     pub use relstore::{
-        ConjunctiveQuery, Database, DataType, Predicate, TableSchema, Tuple, TupleId, Value,
+        ConjunctiveQuery, DataType, Database, Predicate, TableSchema, Tuple, TupleId, Value,
     };
     pub use textsearch::{KeywordQuery, KeywordSearch, SearchHit};
 }

@@ -53,8 +53,10 @@ pub struct Shell {
 }
 
 impl Shell {
-    /// Shell over an existing stack.
+    /// Shell over an existing stack. Turns on global telemetry so
+    /// `SHOW METRICS` and `EXPLAIN ANNOTATION` have data to report.
     pub fn new(db: Database, store: AnnotationStore, nebula: Nebula) -> Shell {
+        nebula_obs::set_enabled(true);
         Shell { db, store, nebula }
     }
 
@@ -70,7 +72,7 @@ impl Shell {
             bundle.meta.clone(),
         );
         nebula.bootstrap_acg(&bundle.annotations);
-        Shell { db: bundle.db, store: bundle.annotations, nebula }
+        Shell::new(bundle.db, bundle.annotations, nebula)
     }
 
     /// Execute one command line, returning the rendered response.
@@ -80,10 +82,7 @@ impl Shell {
             return Ok(String::new());
         }
         let tokens = lex(cleaned)?;
-        let verb = tokens
-            .first()
-            .ok_or_else(|| err("empty command"))?
-            .to_uppercase();
+        let verb = tokens.first().ok_or_else(|| err("empty command"))?.to_uppercase();
         match verb.as_str() {
             "HELP" => Ok(HELP.to_string()),
             "TABLES" => self.tables(),
@@ -113,6 +112,8 @@ impl Shell {
             }
             "SAVE" => self.save(&tokens[1..]),
             "LOAD" => self.load(&tokens[1..]),
+            "SHOW" => self.show(&tokens[1..]),
+            "EXPLAIN" => self.explain(&tokens[1..]),
             other => Err(err(format!("unknown command `{other}` — try HELP"))),
         }
     }
@@ -121,11 +122,8 @@ impl Shell {
         let mut out = Vec::new();
         for (tid, name) in self.db.catalog().iter() {
             let table = self.db.table(tid).expect("catalog consistent");
-            let cols: Vec<&str> = table
-                .schema()
-                .iter_columns()
-                .map(|(_, d)| d.name.as_str())
-                .collect();
+            let cols: Vec<&str> =
+                table.schema().iter_columns().map(|(_, d)| d.name.as_str()).collect();
             out.push(format!("{name} ({} rows): {}", table.len(), cols.join(", ")));
         }
         Ok(out.join("\n"))
@@ -143,9 +141,7 @@ impl Shell {
             .ok_or_else(|| err(format!("unknown table `{table_name}`")))?;
         let schema = self.db.table(tid).expect("resolved").schema().clone();
         let column = |name: &str| {
-            schema
-                .column_id(name)
-                .ok_or_else(|| err(format!("unknown column `{name}`")))
+            schema.column_id(name).ok_or_else(|| err(format!("unknown column `{name}`")))
         };
 
         let mut stmt = SelectStatement::new(ConjunctiveQuery::scan(tid)).limit(20);
@@ -154,10 +150,8 @@ impl Shell {
             match args[i].to_uppercase().as_str() {
                 "COLUMNS" => {
                     let list = args.get(i + 1).ok_or_else(|| err("COLUMNS needs a list"))?;
-                    let cols = list
-                        .split(',')
-                        .map(|c| column(c.trim()))
-                        .collect::<Result<Vec<_>, _>>()?;
+                    let cols =
+                        list.split(',').map(|c| column(c.trim())).collect::<Result<Vec<_>, _>>()?;
                     stmt = stmt.project(cols);
                     i += 2;
                 }
@@ -209,14 +203,11 @@ impl Shell {
         for row in &result.rows {
             // Cell-level annotations respect the projection, exactly as
             // query-time propagation does.
-            let notes = annostore::propagate(
-                &self.store,
-                &[row.tuple],
-                result.projection.as_deref(),
-            )
-            .pop()
-            .map(|p| p.annotations.len())
-            .unwrap_or(0);
+            let notes =
+                annostore::propagate(&self.store, &[row.tuple], result.projection.as_deref())
+                    .pop()
+                    .map(|p| p.annotations.len())
+                    .unwrap_or(0);
             let cells: Vec<String> = row.values.iter().map(|v| v.to_string()).collect();
             out.push(format!("{}  [{notes} annotations]", cells.join(" | ")));
         }
@@ -233,10 +224,7 @@ impl Shell {
         let tuple = self.resolve_key(table, key)?;
         self.db.delete(tuple);
         let affected = self.nebula.on_tuple_deleted(&mut self.store, tuple);
-        Ok(format!(
-            "deleted {table} '{key}'; {} annotation(s) lost an attachment",
-            affected.len()
-        ))
+        Ok(format!("deleted {table} '{key}'; {} annotation(s) lost an attachment", affected.len()))
     }
 
     /// Resolve `<table> '<pk>'` to a live tuple id.
@@ -255,8 +243,7 @@ impl Shell {
             .ok_or_else(|| err(format!("table `{table}` has no primary key")))?;
         let key_value = relstore::Value::parse_as(key, pk_type)
             .ok_or_else(|| err(format!("`{key}` is not a valid key")))?;
-        t.lookup_key(&key_value)
-            .ok_or_else(|| err(format!("no `{table}` row with key `{key}`")))
+        t.lookup_key(&key_value).ok_or_else(|| err(format!("no `{table}` row with key `{key}`")))
     }
 
     /// `ANNOTATE <table> '<pk>' '<text>'` — attach a new annotation and run
@@ -291,7 +278,10 @@ impl Shell {
             ));
         }
         if !outcome.rejected.is_empty() {
-            out.push(format!("  {} low-confidence candidates auto-rejected", outcome.rejected.len()));
+            out.push(format!(
+                "  {} low-confidence candidates auto-rejected",
+                outcome.rejected.len()
+            ));
         }
         Ok(out.join("\n"))
     }
@@ -344,11 +334,46 @@ impl Shell {
     }
 
     fn resolve(&mut self, line: &str) -> Result<String, ShellError> {
-        let task = self
-            .nebula
-            .execute_command(&mut self.store, line)
-            .map_err(|e| err(e.to_string()))?;
+        let task =
+            self.nebula.execute_command(&mut self.store, line).map_err(|e| err(e.to_string()))?;
         Ok(format!("task {} resolved ({} ↔ {})", task.vid, task.annotation, task.tuple))
+    }
+
+    /// `SHOW METRICS` — render the current telemetry snapshot: per-layer
+    /// work counters and per-stage latency distributions.
+    fn show(&self, args: &[String]) -> Result<String, ShellError> {
+        match args.first().map(|s| s.to_uppercase()).as_deref() {
+            Some("METRICS") => Ok(nebula_obs::snapshot().render_text()),
+            _ => Err(err("usage: SHOW METRICS")),
+        }
+    }
+
+    /// `EXPLAIN ANNOTATION <id>` — replay the recorded pipeline events for
+    /// one annotation: per-stage wall time, candidate counts, decisions.
+    fn explain(&self, args: &[String]) -> Result<String, ShellError> {
+        let [kind, id] = args else {
+            return Err(err("usage: EXPLAIN ANNOTATION <id>"));
+        };
+        if kind.to_uppercase() != "ANNOTATION" {
+            return Err(err("usage: EXPLAIN ANNOTATION <id>"));
+        }
+        // Accept both the display form `A7` and the bare number `7`.
+        let id: u64 = id
+            .trim_start_matches(['A', 'a'])
+            .parse()
+            .map_err(|_| err(format!("`{id}` is not an annotation id")))?;
+        let snapshot = nebula_obs::snapshot();
+        let events = snapshot.events_for(id);
+        if events.is_empty() {
+            return Ok(format!(
+                "no recorded pipeline events for annotation A{id} \
+                 (telemetry keeps the last {} events)",
+                nebula_obs::EVENT_CAPACITY
+            ));
+        }
+        let mut out = vec![format!("annotation A{id}:")];
+        out.extend(events.iter().map(|e| format!("  {}", e.render_line())));
+        Ok(out.join("\n"))
     }
 
     fn save(&self, args: &[String]) -> Result<String, ShellError> {
@@ -389,6 +414,7 @@ const HELP: &str = "commands:
   PENDING;
   VERIFY ATTACHMENT <vid>;   REJECT ATTACHMENT <vid>;
   ACG;   PROFILE;
+  SHOW METRICS;   EXPLAIN ANNOTATION <id>;
   SAVE '<path>';   LOAD '<path>';
   HELP;   EXIT;";
 
@@ -468,9 +494,7 @@ mod tests {
     #[test]
     fn select_projection_and_order() {
         let mut sh = shell();
-        let out = sh
-            .exec("SELECT gene COLUMNS name,length ORDER BY length DESC LIMIT 2")
-            .unwrap();
+        let out = sh.exec("SELECT gene COLUMNS name,length ORDER BY length DESC LIMIT 2").unwrap();
         let mut lines = out.lines();
         assert_eq!(lines.next(), Some("name | length"));
         let first: i64 = lines
@@ -504,11 +528,7 @@ mod tests {
     fn select_errors_are_friendly() {
         let mut sh = shell();
         assert!(sh.exec("SELECT nope").unwrap_err().0.contains("unknown table"));
-        assert!(sh
-            .exec("SELECT gene WHERE bogus = 'x'")
-            .unwrap_err()
-            .0
-            .contains("unknown column"));
+        assert!(sh.exec("SELECT gene WHERE bogus = 'x'").unwrap_err().0.contains("unknown column"));
         assert!(sh.exec("SELECT gene LIMIT abc").is_err());
     }
 
@@ -535,12 +555,7 @@ mod tests {
         let pending = sh.exec("PENDING").unwrap();
         assert!(pending.contains("task"));
         assert!(pending.contains("evidence"));
-        let vid: u64 = pending
-            .split_whitespace()
-            .nth(1)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let vid: u64 = pending.split_whitespace().nth(1).unwrap().parse().unwrap();
         let resolved = sh.exec(&format!("VERIFY ATTACHMENT {vid}")).unwrap();
         assert!(resolved.contains("resolved"));
         assert!(sh.exec(&format!("VERIFY ATTACHMENT {vid}")).is_err(), "double resolve");
@@ -585,6 +600,42 @@ mod tests {
         let rows = sh.exec("SELECT gene LIMIT 100").unwrap();
         assert!(rows.contains("(39 rows)"));
         assert!(sh.exec("DELETE gene 'JW0002'").is_err(), "double delete fails");
+    }
+
+    #[test]
+    fn show_metrics_reports_pipeline_work() {
+        let mut sh = shell();
+        sh.exec("ANNOTATE gene 'JW0007' 'observed together with gene JW0008'").unwrap();
+        let out = sh.exec("SHOW METRICS").unwrap();
+        assert!(out.contains("core.annotations_processed"), "{out}");
+        assert!(out.contains("relstore.tuples_scanned"), "{out}");
+        assert!(out.contains("textsearch.configurations"), "{out}");
+        assert!(out.contains(nebula_obs::names::STAGE2_EXECUTE), "{out}");
+        assert!(sh.exec("SHOW NONSENSE").is_err());
+    }
+
+    #[test]
+    fn explain_annotation_replays_stages() {
+        let mut sh = shell();
+        let out = sh.exec("ANNOTATE gene 'JW0009' 'co-expressed with gene JW0010'").unwrap();
+        // "annotation A<n> attached ..." — pull the id out of the response.
+        let aid = out.split_whitespace().nth(1).unwrap().to_string();
+        let explained = sh.exec(&format!("EXPLAIN ANNOTATION {aid}")).unwrap();
+        assert!(explained.contains(&format!("annotation {aid}:")), "{explained}");
+        for stage in [
+            nebula_obs::names::STAGE0_REGISTER,
+            nebula_obs::names::STAGE1_QUERYGEN,
+            nebula_obs::names::STAGE2_EXECUTE,
+            nebula_obs::names::STAGE3_ROUTE,
+            nebula_obs::names::PIPELINE,
+        ] {
+            assert!(explained.contains(stage), "missing {stage} in {explained}");
+        }
+        // Unknown ids report the miss instead of erroring.
+        let missing = sh.exec("EXPLAIN ANNOTATION 999999").unwrap();
+        assert!(missing.contains("no recorded pipeline events"));
+        assert!(sh.exec("EXPLAIN ANNOTATION abc").is_err());
+        assert!(sh.exec("EXPLAIN NONSENSE 3").is_err());
     }
 
     #[test]

@@ -42,10 +42,7 @@ fn stage2_works_with_either_backend() {
                 Some(&acg),
                 &ExecutionConfig::default(),
             );
-            recovered[i] += missing
-                .iter()
-                .filter(|m| cands.iter().any(|c| c.tuple == **m))
-                .count();
+            recovered[i] += missing.iter().filter(|m| cands.iter().any(|c| c.tuple == **m)).count();
         }
     }
     assert!(total > 0);

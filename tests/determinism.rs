@@ -4,6 +4,43 @@
 use nebula::nebula_workload::{build_workload, WorkloadSpec};
 use nebula::prelude::*;
 
+/// Run the pipeline and render every outcome to its full Debug form, so
+/// comparisons catch any divergence, not just the headline counts.
+fn run_pipeline_debug(seed: u64) -> Vec<String> {
+    let mut bundle = generate_dataset(&DatasetSpec::tiny(), seed);
+    let workload = build_workload(&bundle, &WorkloadSpec::default(), seed);
+    let mut nebula = Nebula::new(NebulaConfig::default(), bundle.meta.clone());
+    nebula.bootstrap_acg(&bundle.annotations);
+    workload
+        .iter()
+        .flat_map(|s| &s.annotations)
+        .take(10)
+        .map(|wa| {
+            let out = nebula
+                .process_annotation(
+                    &bundle.db,
+                    &mut bundle.annotations,
+                    &wa.annotation,
+                    &[wa.ideal[0]],
+                )
+                .expect("pipeline runs");
+            format!("{out:?}")
+        })
+        .collect()
+}
+
+#[test]
+fn telemetry_on_and_off_produce_identical_outcomes() {
+    // Telemetry observes the pipeline; it must never steer it. The full
+    // Debug rendering of every outcome has to match byte for byte.
+    nebula::nebula_obs::set_enabled(false);
+    let disabled = run_pipeline_debug(17);
+    nebula::nebula_obs::set_enabled(true);
+    let enabled = run_pipeline_debug(17);
+    nebula::nebula_obs::set_enabled(false);
+    assert_eq!(disabled, enabled);
+}
+
 fn run_pipeline(seed: u64) -> Vec<(usize, usize, usize, usize)> {
     let mut bundle = generate_dataset(&DatasetSpec::tiny(), seed);
     let workload = build_workload(&bundle, &WorkloadSpec::default(), seed);
@@ -47,10 +84,7 @@ fn dataset_generation_is_pure() {
     for (x, y) in a.gene_tuples.iter().zip(&b.gene_tuples) {
         assert_eq!(a.db.get(*x).expect("live").values, b.db.get(*y).expect("live").values);
     }
-    assert_eq!(
-        a.annotations.annotation_count(),
-        b.annotations.annotation_count()
-    );
+    assert_eq!(a.annotations.annotation_count(), b.annotations.annotation_count());
     for (ia, ib) in a.annotations.iter_annotations().zip(b.annotations.iter_annotations()) {
         assert_eq!(ia.1.text, ib.1.text);
     }

@@ -18,10 +18,7 @@ fn pipeline_setup() -> (DatasetBundle, Vec<nebula::nebula_workload::WorkloadSet>
 fn nebula_reduces_database_false_negatives() {
     let (mut bundle, workload) = pipeline_setup();
     let mut nebula = Nebula::new(
-        NebulaConfig {
-            bounds: VerificationBounds::new(0.3, 0.8),
-            ..Default::default()
-        },
+        NebulaConfig { bounds: VerificationBounds::new(0.3, 0.8), ..Default::default() },
         bundle.meta.clone(),
     );
     nebula.bootstrap_acg(&bundle.annotations);
@@ -69,10 +66,7 @@ fn nebula_reduces_database_false_negatives() {
 fn edge_lifecycle_matches_routing() {
     let (mut bundle, workload) = pipeline_setup();
     let mut nebula = Nebula::new(
-        NebulaConfig {
-            bounds: VerificationBounds::new(0.4, 0.75),
-            ..Default::default()
-        },
+        NebulaConfig { bounds: VerificationBounds::new(0.4, 0.75), ..Default::default() },
         bundle.meta.clone(),
     );
     nebula.bootstrap_acg(&bundle.annotations);
@@ -91,10 +85,8 @@ fn edge_lifecycle_matches_routing() {
     }
     for vid in &outcome.pending {
         let task = nebula.queue().get(*vid).expect("queued");
-        let e = bundle
-            .annotations
-            .edge(outcome.annotation, task.tuple)
-            .expect("predicted edge exists");
+        let e =
+            bundle.annotations.edge(outcome.annotation, task.tuple).expect("predicted edge exists");
         assert_eq!(e.kind, EdgeKind::Predicted);
         assert!((e.weight - task.confidence).abs() < 1e-9);
     }
@@ -133,18 +125,16 @@ fn expert_resolution_updates_state() {
 
     let accept_vid = outcome.pending[0];
     let reject_vid = outcome.pending[1];
-    let accepted = nebula
-        .resolve_task(&mut bundle.annotations, accept_vid, true)
-        .expect("accept works");
+    let accepted =
+        nebula.resolve_task(&mut bundle.annotations, accept_vid, true).expect("accept works");
     assert!(bundle.annotations.focal(outcome.annotation).contains(&accepted.tuple));
     assert!(
         nebula.acg().edge_weight(focal[0], accepted.tuple).is_some(),
         "ACG gains the edge between focal and the verified tuple"
     );
 
-    let rejected = nebula
-        .resolve_task(&mut bundle.annotations, reject_vid, false)
-        .expect("reject works");
+    let rejected =
+        nebula.resolve_task(&mut bundle.annotations, reject_vid, false).expect("reject works");
     assert!(bundle.annotations.edge(outcome.annotation, rejected.tuple).is_none());
     assert!(nebula.queue().get(accept_vid).is_none(), "resolved tasks leave the queue");
 }
@@ -155,20 +145,12 @@ fn expert_resolution_updates_state() {
 fn extended_sql_command_round_trip() {
     let (mut bundle, workload) = pipeline_setup();
     let mut nebula = Nebula::new(
-        NebulaConfig {
-            bounds: VerificationBounds::new(0.0, 1.0),
-            ..Default::default()
-        },
+        NebulaConfig { bounds: VerificationBounds::new(0.0, 1.0), ..Default::default() },
         bundle.meta.clone(),
     );
     let wa = &workload[2].annotations[0];
     let outcome = nebula
-        .process_annotation(
-            &bundle.db,
-            &mut bundle.annotations,
-            &wa.annotation,
-            &[wa.ideal[0]],
-        )
+        .process_annotation(&bundle.db, &mut bundle.annotations, &wa.annotation, &[wa.ideal[0]])
         .expect("pipeline runs");
     if let Some(vid) = outcome.pending.first() {
         nebula

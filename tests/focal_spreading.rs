@@ -18,10 +18,7 @@ fn setup() -> (DatasetBundle, Vec<nebula::nebula_workload::WorkloadSet>, Acg) {
 }
 
 fn engine_for(bundle: &DatasetBundle, db: &Database) -> KeywordSearch {
-    KeywordSearch::new(SearchOptions {
-        vocab: bundle.meta.to_vocabulary(db),
-        ..Default::default()
-    })
+    KeywordSearch::new(SearchOptions { vocab: bundle.meta.to_vocabulary(db), ..Default::default() })
 }
 
 /// Every candidate a focal-spread search finds must also be findable by
@@ -30,21 +27,22 @@ fn engine_for(bundle: &DatasetBundle, db: &Database) -> KeywordSearch {
 fn spread_candidates_subset_of_full_search() {
     let (bundle, workload, acg) = setup();
     let config = QueryGenConfig::default();
-    let exec = ExecutionConfig { mode: ExecutionMode::Shared, acg_adjustment: false, ..Default::default() };
+    let exec = ExecutionConfig {
+        mode: ExecutionMode::Shared,
+        acg_adjustment: false,
+        ..Default::default()
+    };
     for wa in workload.iter().flat_map(|s| &s.annotations).take(12) {
         let (focal, _) = distort(&wa.ideal, 2);
         let queries = generate_queries(&bundle.db, &bundle.meta, &wa.annotation.text, &config);
 
         let engine = engine_for(&bundle, &bundle.db);
-        let (full, _) =
-            identify_related_tuples(&bundle.db, &engine, &queries, &focal, None, &exec);
-        let full_set: std::collections::HashSet<TupleId> =
-            full.iter().map(|c| c.tuple).collect();
+        let (full, _) = identify_related_tuples(&bundle.db, &engine, &queries, &focal, None, &exec);
+        let full_set: std::collections::HashSet<TupleId> = full.iter().map(|c| c.tuple).collect();
 
         let (mini, back) = build_minidb(&bundle.db, &acg, &focal, 3);
         let mini_engine = engine_for(&bundle, &mini);
-        let (spread, _) =
-            identify_related_tuples(&mini, &mini_engine, &queries, &[], None, &exec);
+        let (spread, _) = identify_related_tuples(&mini, &mini_engine, &queries, &[], None, &exec);
         let spread = translate_candidates(spread, &back);
         for c in spread {
             if focal.contains(&c.tuple) {

@@ -1,0 +1,155 @@
+//! Telemetry integration: the pipeline reports work into every layer's
+//! counters, stage spans land in the histograms, and the whole subsystem
+//! is inert when disabled.
+//!
+//! All tests share the process-global telemetry registry, so each takes
+//! `GLOBAL_LOCK` and resets the recording before making assertions.
+
+use nebula::nebula_obs;
+use nebula::nebula_workload::{build_workload, WorkloadSpec};
+use nebula::prelude::*;
+use std::sync::Mutex;
+
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+struct Stack {
+    bundle: DatasetBundle,
+    workload: Vec<nebula::nebula_workload::WorkloadSet>,
+    nebula: Nebula,
+}
+
+fn stack(seed: u64) -> Stack {
+    let bundle = generate_dataset(&DatasetSpec::tiny(), seed);
+    let workload = build_workload(&bundle, &WorkloadSpec::default(), seed);
+    let mut nebula = Nebula::new(NebulaConfig::default(), bundle.meta.clone());
+    nebula.bootstrap_acg(&bundle.annotations);
+    Stack { bundle, workload, nebula }
+}
+
+impl Stack {
+    fn process_one(&mut self, i: usize) -> ProcessOutcome {
+        let wa =
+            self.workload.iter().flat_map(|s| &s.annotations).nth(i).expect("workload annotation");
+        self.nebula
+            .process_annotation(
+                &self.bundle.db,
+                &mut self.bundle.annotations,
+                &wa.annotation,
+                &[wa.ideal[0]],
+            )
+            .expect("pipeline runs")
+    }
+}
+
+#[test]
+fn counters_are_monotonic_and_cover_every_layer() {
+    let _guard = GLOBAL_LOCK.lock().unwrap();
+    nebula_obs::set_enabled(true);
+    nebula_obs::reset();
+
+    let mut st = stack(7);
+    st.process_one(0);
+    let first = nebula_obs::snapshot();
+    st.process_one(1);
+    let second = nebula_obs::snapshot();
+    nebula_obs::set_enabled(false);
+
+    // Every layer reported work from the very first annotation.
+    for name in [
+        "core.annotations_processed",
+        "core.queries_generated",
+        "relstore.index_probes",
+        "textsearch.configurations",
+        "textsearch.compiled_queries",
+        "annostore.annotations_registered",
+        "annostore.edges_added",
+    ] {
+        assert!(
+            first.counters.get(name).copied().unwrap_or(0) > 0,
+            "counter {name} should be non-zero after one annotation: {:?}",
+            first.counters
+        );
+    }
+
+    // Counters only ever grow.
+    for (name, before) in &first.counters {
+        let after = second.counters.get(name).copied().unwrap_or(0);
+        assert!(after >= *before, "counter {name} went backwards: {before} -> {after}");
+    }
+    assert_eq!(
+        second.counters["core.annotations_processed"],
+        first.counters["core.annotations_processed"] + 1
+    );
+}
+
+#[test]
+fn stage_spans_feed_the_histograms_and_events() {
+    let _guard = GLOBAL_LOCK.lock().unwrap();
+    nebula_obs::set_enabled(true);
+    nebula_obs::reset();
+
+    let mut st = stack(9);
+    let outcome = st.process_one(0);
+    let snap = nebula_obs::snapshot();
+    nebula_obs::set_enabled(false);
+
+    for stage in [
+        nebula_obs::names::STAGE0_REGISTER,
+        nebula_obs::names::STAGE1_QUERYGEN,
+        nebula_obs::names::STAGE2_EXECUTE,
+        nebula_obs::names::STAGE3_ROUTE,
+        nebula_obs::names::PIPELINE,
+    ] {
+        let hist =
+            snap.histograms.get(stage).unwrap_or_else(|| panic!("missing histogram for {stage}"));
+        assert_eq!(hist.count, 1, "{stage} recorded once");
+    }
+    assert!(
+        snap.histograms[nebula_obs::names::PIPELINE].sum_ns > 0,
+        "whole-pipeline wall time is non-zero"
+    );
+
+    // One structured event per stage plus the pipeline summary.
+    let events = snap.events_for(outcome.annotation.0);
+    assert_eq!(events.len(), 5, "events: {events:#?}");
+    assert_eq!(events[0].stage, nebula_obs::names::STAGE0_REGISTER);
+    assert_eq!(events[4].stage, nebula_obs::names::PIPELINE);
+
+    // The snapshot renders deterministically in both formats.
+    let text = snap.render_text();
+    assert!(text.contains("core.annotations_processed"));
+    let json = snap.render_json();
+    assert!(json.contains("\"stage2.execute\""));
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let _guard = GLOBAL_LOCK.lock().unwrap();
+    nebula_obs::set_enabled(false);
+    nebula_obs::reset();
+
+    let mut st = stack(11);
+    st.process_one(0);
+    let snap = nebula_obs::snapshot();
+
+    assert!(snap.counters.is_empty(), "counters: {:?}", snap.counters);
+    assert!(snap.histograms.is_empty());
+    assert!(snap.events.is_empty());
+}
+
+#[test]
+fn snapshot_diff_isolates_one_annotation() {
+    let _guard = GLOBAL_LOCK.lock().unwrap();
+    nebula_obs::set_enabled(true);
+    nebula_obs::reset();
+
+    let mut st = stack(13);
+    st.process_one(0);
+    let base = nebula_obs::snapshot();
+    st.process_one(1);
+    let diff = nebula_obs::snapshot().diff(&base);
+    nebula_obs::set_enabled(false);
+
+    assert_eq!(diff.counters["core.annotations_processed"], 1);
+    assert_eq!(diff.histograms[nebula_obs::names::PIPELINE].count, 1);
+}
