@@ -41,6 +41,7 @@ fn bench_execution(c: &mut Criterion) {
                             ..Default::default()
                         },
                     )
+                    .expect("ungoverned search cannot fail")
                 })
             },
         );

@@ -31,6 +31,7 @@ fn bench_sharing(c: &mut Criterion) {
                     Some(&setup.acg),
                     &ExecutionConfig { mode, acg_adjustment: true, ..Default::default() },
                 )
+                .expect("ungoverned search cannot fail")
             })
         });
     }

@@ -37,6 +37,7 @@ fn bench_focal(c: &mut Criterion) {
                 Some(&setup.acg),
                 &exec,
             )
+            .expect("ungoverned search cannot fail")
         })
     });
     for k in [2usize, 3, 4] {
@@ -54,7 +55,8 @@ fn bench_focal(c: &mut Criterion) {
                     &[],
                     None,
                     &ExecutionConfig { acg_adjustment: false, ..exec },
-                );
+                )
+                .expect("ungoverned search cannot fail");
                 translate_candidates(cands, &back)
             })
         });

@@ -45,7 +45,8 @@ fn assess(
                 &focal,
                 Some(&setup.acg),
                 exec,
-            );
+            )
+            .expect("ungoverned search cannot fail");
             assess_predictions(&cands, bounds, &wa.ideal, &focal).1
         })
         .collect();
@@ -113,7 +114,8 @@ fn ranking_quality(setup: &Setup, qconfig: &QueryGenConfig, exec: &ExecutionConf
             &focal,
             Some(&setup.acg),
             exec,
-        );
+        )
+        .expect("ungoverned search cannot fail");
         for m in &missing {
             n += 1;
             if let Some(rank) = cands.iter().position(|c| c.tuple == *m) {
@@ -182,7 +184,8 @@ pub fn learn_ablation(setup: &Setup, bounds: &VerificationBounds) -> Table {
                     &focal,
                     Some(&setup.acg),
                     &ExecutionConfig::default(),
-                );
+                )
+                .expect("ungoverned search cannot fail");
                 nebula_core::assess_predictions(&cands, bounds, &wa.ideal, &focal).1
             })
             .collect();

@@ -21,7 +21,9 @@
 //! snapshot per experiment (work counters, stage latency histograms,
 //! recent pipeline events) to `DIR/<experiment>.json` (default `metrics/`).
 
-use nebula_bench::{ablation, fig11, fig12, fig13, fig14, fig15, pipeline, profile, Scale, Setup};
+use nebula_bench::{
+    ablation, degradation, fig11, fig12, fig13, fig14, fig15, pipeline, profile, Scale, Setup,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +55,7 @@ fn main() {
             "naive-assess",
             "profile",
             "pipeline",
+            "degradation",
             "ablation-acg",
             "ablation-learn",
             "ablation-querygen",
@@ -61,8 +64,8 @@ fn main() {
     } else if experiments.contains(&"help") {
         println!(
             "experiments: fig11a fig11b fig11c fig12a fig12b fig13 fig14a fig14b \
-             fig15a fig15b naive-assess profile pipeline ablation-acg ablation-learn \
-             ablation-querygen ablation-stability all"
+             fig15a fig15b naive-assess profile pipeline degradation ablation-acg \
+             ablation-learn ablation-querygen ablation-stability all"
         );
         return;
     } else {
@@ -181,6 +184,11 @@ fn main() {
                 let setup = Setup::small(scale);
                 let report = pipeline::run(&setup, 100);
                 pipeline::table(setup.name, 100, &report).print();
+            }
+            "degradation" => {
+                eprintln!("[reproduce] generating D_small ...");
+                let setup = Setup::small(scale);
+                degradation::table(&degradation::run(&setup, 100)).print();
             }
             "profile" => {
                 let setup = get_large!();

@@ -1,0 +1,197 @@
+//! Degradation experiment: batch ingest under execution budgets and
+//! injected faults.
+//!
+//! Each scenario runs the same workload group through
+//! [`Nebula::process_batch`] with a different `(budget, fault plan)`
+//! combination and reports where every annotation landed — accepted,
+//! pending, rejected, degraded, or quarantined — plus the retry and
+//! recovery activity of the fault harness. The invariant under test is
+//! the tentpole robustness claim: no combination panics the batch or
+//! loses annotations; hostile plans shift the distribution toward
+//! degraded/quarantined, never toward aborts.
+//!
+//! The fault seed is `NEBULA_FAULT_SEED` (hex or decimal; default
+//! `0xF00D`) so CI can sweep seeds without recompiling.
+
+use crate::setup::Setup;
+use crate::table::Table;
+use nebula_core::{distort, Nebula, NebulaConfig, VerificationBounds};
+use nebula_govern::{ExecutionBudget, FaultPlan, FaultStats};
+use std::time::Duration;
+
+/// One scenario's outcome tallies.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Budget label.
+    pub budget: String,
+    /// Fault-plan label.
+    pub faults: String,
+    /// Annotations in the batch.
+    pub total: usize,
+    /// Per-status tallies.
+    pub accepted: usize,
+    /// Annotations with only pending tasks.
+    pub pending: usize,
+    /// Annotations with every candidate rejected.
+    pub rejected: usize,
+    /// Annotations that degraded to fit the budget.
+    pub degraded: usize,
+    /// Annotations quarantined by the containment harness.
+    pub quarantined: usize,
+    /// Fault-harness activity during the batch.
+    pub stats: FaultStats,
+}
+
+/// The fault seed: `NEBULA_FAULT_SEED` env (hex with `0x` prefix, or
+/// decimal), default `0xF00D`.
+pub fn fault_seed() -> u64 {
+    std::env::var("NEBULA_FAULT_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim();
+            match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(0xF00D)
+}
+
+fn engine(setup: &Setup, budget: ExecutionBudget) -> Nebula {
+    setup.engine(NebulaConfig {
+        bounds: VerificationBounds::new(0.4, 0.85),
+        budget,
+        ..Default::default()
+    })
+}
+
+/// Run one `(budget, plan)` scenario over the workload group.
+fn scenario(
+    setup: &Setup,
+    max_bytes: usize,
+    budget_label: &str,
+    budget: ExecutionBudget,
+    fault_label: &str,
+    plan: Option<FaultPlan>,
+) -> Cell {
+    // Fresh store per scenario so earlier runs don't seed the ACG.
+    let bytes = annostore::snapshot::save(&setup.bundle.annotations);
+    let mut store = annostore::snapshot::load(&bytes).expect("snapshot round-trip");
+    let mut nebula = engine(setup, budget);
+    let items: Vec<_> = setup
+        .set(max_bytes)
+        .annotations
+        .iter()
+        .map(|wa| (wa.annotation.clone(), distort(&wa.ideal, 1).0))
+        .collect();
+    nebula_govern::set_fault_plan(plan);
+    let report = nebula.process_batch(&setup.bundle.db, &mut store, &items);
+    let stats = nebula_govern::fault_stats();
+    nebula_govern::set_fault_plan(None);
+    Cell {
+        budget: budget_label.to_string(),
+        faults: fault_label.to_string(),
+        total: report.total(),
+        accepted: report.accepted,
+        pending: report.pending,
+        rejected: report.rejected,
+        degraded: report.degraded,
+        quarantined: report.quarantined,
+        stats,
+    }
+}
+
+/// Run the scenario grid: unbounded/mid/tight budgets crossed with no
+/// faults, a uniform plan, and the hostile always-firing plan.
+pub fn run(setup: &Setup, max_bytes: usize) -> Vec<Cell> {
+    let seed = fault_seed();
+    let mid = ExecutionBudget::unbounded()
+        .with_deadline(Duration::from_millis(250))
+        .with_max_tuples(20_000)
+        .with_max_configurations(64)
+        .with_max_candidates(32);
+    let tight = ExecutionBudget::unbounded()
+        .with_max_tuples(200)
+        .with_max_configurations(4)
+        .with_max_candidates(4);
+    vec![
+        scenario(setup, max_bytes, "unbounded", ExecutionBudget::unbounded(), "off", None),
+        scenario(setup, max_bytes, "mid", mid, "off", None),
+        scenario(setup, max_bytes, "tight", tight.clone(), "off", None),
+        scenario(
+            setup,
+            max_bytes,
+            "tight",
+            tight.clone(),
+            "uniform@0.25",
+            Some(FaultPlan::uniform(seed, 0.25)),
+        ),
+        scenario(setup, max_bytes, "tight", tight, "hostile", Some(FaultPlan::hostile(seed))),
+    ]
+}
+
+/// Render the scenario grid.
+pub fn table(cells: &[Cell]) -> Table {
+    let mut t = Table::new(
+        format!("Degradation: batch ingest under budgets and faults (seed={:#x})", fault_seed()),
+        &[
+            "budget",
+            "faults",
+            "total",
+            "accepted",
+            "pending",
+            "rejected",
+            "degraded",
+            "quarantined",
+            "retries",
+            "recovered",
+        ],
+    );
+    for c in cells {
+        t.row(vec![
+            c.budget.clone(),
+            c.faults.clone(),
+            c.total.to_string(),
+            c.accepted.to_string(),
+            c.pending.to_string(),
+            c.rejected.to_string(),
+            c.degraded.to_string(),
+            c.quarantined.to_string(),
+            c.stats.retries.to_string(),
+            c.stats.recovered.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_workload::DatasetSpec;
+
+    #[test]
+    fn every_scenario_accounts_for_every_annotation() {
+        let setup = Setup::new("test", &DatasetSpec::tiny());
+        let cells = run(&setup, 100);
+        assert_eq!(cells.len(), 5);
+        for c in &cells {
+            assert_eq!(
+                c.accepted + c.pending + c.rejected + c.degraded + c.quarantined,
+                c.total,
+                "{} / {}: every annotation ends in exactly one state",
+                c.budget,
+                c.faults
+            );
+        }
+        // The unbounded/no-fault row is clean.
+        assert_eq!(cells[0].degraded, 0);
+        assert_eq!(cells[0].quarantined, 0);
+        // The tight budget forces degradations without faults.
+        assert!(cells[2].degraded > 0, "tight budget degrades: {:?}", cells[2]);
+        assert_eq!(cells[2].quarantined, 0, "budget trips never quarantine");
+        // The hostile plan drives retries; nothing panics out of the batch.
+        assert!(cells[4].stats.retries > 0);
+        let rendered = table(&cells).render();
+        assert!(rendered.contains("quarantined"));
+    }
+}

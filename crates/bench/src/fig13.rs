@@ -70,7 +70,8 @@ pub fn run_dataset(setup: &Setup) -> Vec<SharingCell> {
                         &focal,
                         Some(&setup.acg),
                         &ExecutionConfig { mode, acg_adjustment: true, ..Default::default() },
-                    );
+                    )
+                    .expect("ungoverned search cannot fail");
                     (t0.elapsed().as_secs_f64(), cands)
                 };
                 let (ti, ci) = run(ExecutionMode::Isolated);

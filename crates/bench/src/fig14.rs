@@ -71,7 +71,8 @@ pub fn run_dataset(setup: &Setup, max_bytes: usize) -> Vec<FocalCell> {
                             &focal,
                             Some(&setup.acg),
                             &exec,
-                        );
+                        )
+                        .expect("ungoverned search cannot fail");
                         seconds += t0.elapsed().as_secs_f64() / n;
                         tuples += cands.len() as f64 / n;
                     }
@@ -89,7 +90,8 @@ pub fn run_dataset(setup: &Setup, max_bytes: usize) -> Vec<FocalCell> {
                             &[],
                             None,
                             &ExecutionConfig { acg_adjustment: false, ..exec },
-                        );
+                        )
+                        .expect("ungoverned search cannot fail");
                         let mut cands = translate_candidates(cands, &back);
                         cands.retain(|c| !focal.contains(&c.tuple));
                         seconds += t0.elapsed().as_secs_f64() / n;

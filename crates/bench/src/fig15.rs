@@ -89,6 +89,7 @@ pub fn candidates_for(
                 Some(&setup.acg),
                 &exec,
             )
+            .expect("ungoverned search cannot fail")
             .0
         }
         Some(k) => {
@@ -104,7 +105,8 @@ pub fn candidates_for(
                 &[],
                 None,
                 &ExecutionConfig { acg_adjustment: false, ..exec },
-            );
+            )
+            .expect("ungoverned search cannot fail");
             let mut cands = translate_candidates(cands, &back);
             cands.retain(|c| !focal.contains(&c.tuple));
             cands
@@ -150,7 +152,8 @@ pub fn tune_bounds(setup: &Setup, training_size: usize) -> (VerificationBounds, 
                     &focal,
                     Some(&setup.acg),
                     &ExecutionConfig::default(),
-                );
+                )
+                .expect("ungoverned search cannot fail");
                 (cands, focal)
             };
             examples.push(TrainingExample { candidates, ideal: wa.ideal.clone(), focal });
@@ -196,7 +199,8 @@ pub fn naive_assessment(setup: &Setup, bounds: &VerificationBounds) -> (Assessme
     let mut avg_tuples = 0.0;
     let n = set.annotations.len() as f64;
     for wa in &set.annotations {
-        let (hits, _) = naive_search(&setup.bundle.db, &wa.annotation.text);
+        let (hits, _) = naive_search(&setup.bundle.db, &wa.annotation.text)
+            .expect("ungoverned search cannot fail");
         avg_tuples += hits.len() as f64 / n;
         let (focal, _) = distort(&wa.ideal, 1);
         let cands: Vec<Candidate> = hits

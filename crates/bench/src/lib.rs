@@ -10,6 +10,7 @@
 //! the experiment list.
 
 pub mod ablation;
+pub mod degradation;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;

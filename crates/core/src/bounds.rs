@@ -114,8 +114,12 @@ impl BoundsSetting {
             }
         }
 
-        let mut chosen =
-            best_feasible.or(best_fallback).expect("grid always evaluates at least one point");
+        // The grid always evaluates at least one point, but degrade to the
+        // default bounds rather than panic if it ever doesn't.
+        let mut chosen = best_feasible.or(best_fallback).unwrap_or_else(|| {
+            let bounds = VerificationBounds::default();
+            BoundsEvaluation { bounds, report: self.evaluate(examples, bounds) }
+        });
 
         // M_H-guided refinement: if almost all manual verifications accept,
         // lower β_upper one step to auto-accept more (§7 enhancement 2).

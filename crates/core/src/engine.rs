@@ -18,15 +18,17 @@
 //! extended SQL command handled by [`Nebula::execute_command`].
 
 use crate::acg::{Acg, StabilityConfig};
+use crate::error::NebulaError;
 use crate::execution::{identify_related_tuples, translate_candidates, Candidate, ExecutionConfig};
 use crate::focal::{build_minidb, HopProfile};
 use crate::meta::NebulaMeta;
 use crate::querygen::{generate_queries, GeneratedQuery, QueryGenConfig};
 use crate::verify::{Command, Decision, VerificationBounds, VerificationQueue, VerificationTask};
 use annostore::{Annotation, AnnotationId, AnnotationStore, AttachmentTarget, StoreError};
+use nebula_govern::{Degradation, ExecutionBudget, RetryPolicy};
 use nebula_obs::{names, PipelineEvent};
 use relstore::{Database, TupleId};
-use textsearch::{KeywordSearch, SearchOptions, SearchStats};
+use textsearch::{KeywordSearch, SearchError, SearchOptions, SearchStats};
 
 /// Where Stage 2 searches.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,6 +67,11 @@ pub struct NebulaConfig {
     pub bounds: VerificationBounds,
     /// ACG stability configuration (batch size B, threshold μ).
     pub stability: StabilityConfig,
+    /// Per-annotation execution budget. Unbounded by default, which keeps
+    /// the pipeline byte-identical to the ungoverned engine.
+    pub budget: ExecutionBudget,
+    /// Retry policy for transient (injected) search faults.
+    pub retry: RetryPolicy,
 }
 
 impl Default for NebulaConfig {
@@ -77,6 +84,8 @@ impl Default for NebulaConfig {
             default_k: 3,
             bounds: VerificationBounds::default(),
             stability: StabilityConfig::default(),
+            budget: ExecutionBudget::unbounded(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -100,6 +109,9 @@ pub struct ProcessOutcome {
     pub used_focal_spread: bool,
     /// Search work counters.
     pub stats: SearchStats,
+    /// What the engine gave up to fit the execution budget (empty on an
+    /// ungoverned or untripped run).
+    pub degradations: Vec<Degradation>,
 }
 
 /// The proactive annotation-management engine.
@@ -201,16 +213,26 @@ impl Nebula {
     /// `focal` — the tuples the annotation was manually attached to
     /// (Definition 3.5). Returns the outcome; auto-accepted attachments
     /// are already applied to `store`, the ACG, and the hop profile.
+    ///
+    /// The whole call runs under the configured [`ExecutionBudget`]. On a
+    /// budget trip the engine *degrades* rather than fails — full search
+    /// falls back to focal spreading, then to an empty candidate set — and
+    /// the outcome's `degradations` records what was given up. Transient
+    /// injected faults are retried per the configured [`RetryPolicy`];
+    /// only exhausted or permanent faults surface as errors.
     pub fn process_annotation(
         &mut self,
         db: &Database,
         store: &mut AnnotationStore,
         annotation: &Annotation,
         focal: &[TupleId],
-    ) -> Result<ProcessOutcome, StoreError> {
+    ) -> Result<ProcessOutcome, NebulaError> {
         let pipeline_span = nebula_obs::span(names::PIPELINE);
+        let _budget = nebula_govern::begin_budget(&self.config.budget);
+        let mut degradations: Vec<Degradation> = Vec::new();
 
         // Stage 0: register the annotation and its focal attachments.
+        nebula_govern::stage_boundary(names::STAGE0_REGISTER);
         let stage0_span = nebula_obs::span(names::STAGE0_REGISTER);
         let aid = store.add_annotation(annotation.clone());
         for &f in focal {
@@ -222,49 +244,29 @@ impl Nebula {
         });
 
         // Stage 1: annotation text → keyword queries.
+        nebula_govern::stage_boundary(names::STAGE1_QUERYGEN);
         let stage1_span = nebula_obs::span(names::STAGE1_QUERYGEN);
         let queries = generate_queries(db, &self.meta, &annotation.text, &self.config.querygen);
         stage_event(aid, names::STAGE1_QUERYGEN, stage1_span, queries.len(), || {
             format!("queries={}", queries.len())
         });
 
-        // Stage 2: execute, full or focal-spreading.
+        // Stage 2: execute, full or focal-spreading, degrading on budget
+        // trips instead of failing.
+        nebula_govern::stage_boundary(names::STAGE2_EXECUTE);
         let stage2_span = nebula_obs::span(names::STAGE2_EXECUTE);
-        let engine = self.search_engine(db);
-        let (candidates, stats, used_focal_spread) = match self.spreading_k(focal) {
-            Some(k) => {
-                let (mini, back) = build_minidb(db, &self.acg, focal, k);
-                let mini_engine = self.search_engine(&mini);
-                // Focal ids in miniDB space for exclusion/ACG are the
-                // *translated* ones; simplest is to translate results back
-                // first and exclude/adjust in original space.
-                let (cands, stats) = identify_related_tuples(
-                    &mini,
-                    &mini_engine,
-                    &queries,
-                    &[],
-                    None,
-                    &ExecutionConfig { acg_adjustment: false, ..self.config.execution },
-                );
-                let mut cands = translate_candidates(cands, &back);
-                cands.retain(|c| !focal.contains(&c.tuple));
-                if self.config.execution.acg_adjustment {
-                    apply_acg_adjustment(&mut cands, &self.acg, focal);
-                }
-                (cands, stats, true)
-            }
-            None => {
-                let (cands, stats) = identify_related_tuples(
-                    db,
-                    &engine,
-                    &queries,
-                    focal,
-                    Some(&self.acg),
-                    &self.config.execution,
-                );
-                (cands, stats, false)
-            }
-        };
+        let (candidates, stats, used_focal_spread) =
+            self.stage2_search(db, &queries, focal, &mut degradations)?;
+        let report = nebula_govern::budget_report();
+        if report.truncated_configurations > 0 {
+            degradations.push(Degradation::TruncatedConfigurations {
+                dropped: report.truncated_configurations,
+            });
+        }
+        if report.truncated_candidates > 0 {
+            degradations
+                .push(Degradation::TruncatedCandidates { dropped: report.truncated_candidates });
+        }
         stage_event(aid, names::STAGE2_EXECUTE, stage2_span, candidates.len(), || {
             format!(
                 "mode={} hits={}",
@@ -274,6 +276,7 @@ impl Nebula {
         });
 
         // Stage 3: route candidates through the bounds.
+        nebula_govern::stage_boundary(names::STAGE3_ROUTE);
         let stage3_span = nebula_obs::span(names::STAGE3_ROUTE);
         let mut accepted = Vec::new();
         let mut pending = Vec::new();
@@ -324,6 +327,20 @@ impl Nebula {
             if used_focal_spread {
                 nebula_obs::counter_add("core.focal_spread_used", 1);
             }
+            if !degradations.is_empty() {
+                nebula_obs::counter_add("core.degraded_annotations", 1);
+                nebula_obs::record_event(PipelineEvent {
+                    annotation_id: aid.0,
+                    stage: names::GOVERN_DEGRADE,
+                    duration_ns: 0,
+                    candidates: candidates.len() as u64,
+                    decision: degradations
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" "),
+                });
+            }
             let total_ns = pipeline_span.elapsed_ns();
             nebula_obs::record_event(PipelineEvent {
                 annotation_id: aid.0,
@@ -354,7 +371,99 @@ impl Nebula {
             rejected,
             used_focal_spread,
             stats,
+            degradations,
         })
+    }
+
+    /// Stage 2 with the degradation ladder. Runs the primary search
+    /// (focal-spreading when engaged, full otherwise); on a budget trip the
+    /// full search falls back to focal-spreading with `default_k` (the
+    /// budget usage is re-armed, the deadline keeps ticking), and if even
+    /// that trips, candidate discovery is abandoned. Transient faults are
+    /// retried with bounded backoff at every rung.
+    fn stage2_search(
+        &self,
+        db: &Database,
+        queries: &[GeneratedQuery],
+        focal: &[TupleId],
+        degradations: &mut Vec<Degradation>,
+    ) -> Result<(Vec<Candidate>, SearchStats, bool), NebulaError> {
+        let spread_k = self.spreading_k(focal);
+        let primary = retry_transient(&self.config.retry, || match spread_k {
+            Some(k) => self.focal_search(db, queries, focal, k),
+            None => self.full_search(db, queries, focal),
+        });
+        let tripped = match primary {
+            Ok((cands, stats)) => return Ok((cands, stats, spread_k.is_some())),
+            Err(SearchFailure::Fatal(e)) => return Err(e),
+            Err(SearchFailure::Budget(b)) => b,
+        };
+        if spread_k.is_none() && !focal.is_empty() {
+            // Rung 1: the full-database search was too expensive — retry in
+            // the focal neighborhood, which inspects far fewer tuples.
+            let k = self.config.default_k;
+            degradations.push(Degradation::FocalFallback { resource: tripped.resource, k });
+            nebula_govern::rearm();
+            match retry_transient(&self.config.retry, || self.focal_search(db, queries, focal, k)) {
+                Ok((cands, stats)) => return Ok((cands, stats, true)),
+                Err(SearchFailure::Fatal(e)) => return Err(e),
+                Err(SearchFailure::Budget(b)) => {
+                    degradations.push(Degradation::SearchAbandoned { resource: b.resource });
+                    return Ok((Vec::new(), SearchStats::default(), true));
+                }
+            }
+        }
+        // Rung 2: no cheaper search space left — proceed with no candidates
+        // (the annotation itself and its focal attachments are preserved).
+        degradations.push(Degradation::SearchAbandoned { resource: tripped.resource });
+        Ok((Vec::new(), SearchStats::default(), spread_k.is_some()))
+    }
+
+    /// One full-database search attempt.
+    fn full_search(
+        &self,
+        db: &Database,
+        queries: &[GeneratedQuery],
+        focal: &[TupleId],
+    ) -> Result<(Vec<Candidate>, SearchStats), SearchError> {
+        let engine = self.search_engine(db);
+        identify_related_tuples(
+            db,
+            &engine,
+            queries,
+            focal,
+            Some(&self.acg),
+            &self.config.execution,
+        )
+    }
+
+    /// One focal-spreading search attempt over the K-hop miniDB.
+    fn focal_search(
+        &self,
+        db: &Database,
+        queries: &[GeneratedQuery],
+        focal: &[TupleId],
+        k: usize,
+    ) -> Result<(Vec<Candidate>, SearchStats), SearchError> {
+        let (mini, back) = build_minidb(db, &self.acg, focal, k);
+        let mini_engine = self.search_engine(&mini);
+        // Focal ids in miniDB space for exclusion/ACG are the *translated*
+        // ones; simplest is to translate results back first and
+        // exclude/adjust in original space.
+        let (cands, stats) = identify_related_tuples(
+            &mini,
+            &mini_engine,
+            queries,
+            &[],
+            None,
+            &ExecutionConfig { acg_adjustment: false, ..self.config.execution },
+        )?;
+        let mut cands = translate_candidates(cands, &back);
+        cands.retain(|c| !focal.contains(&c.tuple));
+        if self.config.execution.acg_adjustment {
+            apply_acg_adjustment(&mut cands, &self.acg, focal);
+        }
+        Ok((cands, stats))
     }
 
     /// Accept one predicted attachment: promote the edge, update the ACG,
@@ -385,9 +494,9 @@ impl Nebula {
         store: &mut AnnotationStore,
         vid: u64,
         accept: bool,
-    ) -> Result<VerificationTask, StoreError> {
+    ) -> Result<VerificationTask, NebulaError> {
         let Some(task) = self.queue.take(vid) else {
-            return Err(StoreError::InvalidWeight(format!("no pending task {vid}")));
+            return Err(NebulaError::UnknownTask(vid));
         };
         if accept {
             let focal = store.focal(task.annotation);
@@ -423,12 +532,50 @@ impl Nebula {
         &mut self,
         store: &mut AnnotationStore,
         input: &str,
-    ) -> Result<VerificationTask, StoreError> {
-        let command = crate::verify::parse_command(input)
-            .map_err(|e| StoreError::InvalidWeight(e.to_string()))?;
+    ) -> Result<VerificationTask, NebulaError> {
+        let command =
+            crate::verify::parse_command(input).map_err(|e| NebulaError::Parse(e.to_string()))?;
         match command {
             Command::Verify(vid) => self.resolve_task(store, vid, true),
             Command::Reject(vid) => self.resolve_task(store, vid, false),
+        }
+    }
+}
+
+/// How one retried search attempt ultimately failed.
+enum SearchFailure {
+    /// A budget trip — the caller degrades instead of failing.
+    Budget(nebula_govern::BudgetExceeded),
+    /// Anything else — surfaced to the caller as-is.
+    Fatal(NebulaError),
+}
+
+/// Run `attempt_fn`, retrying transient injected faults with bounded
+/// exponential backoff. Budget trips are never retried (re-running the same
+/// work would trip again); permanent faults and store errors fail fast.
+fn retry_transient<T>(
+    retry: &RetryPolicy,
+    mut attempt_fn: impl FnMut() -> Result<T, SearchError>,
+) -> Result<T, SearchFailure> {
+    let mut attempt = 0u32;
+    loop {
+        match attempt_fn() {
+            Ok(v) => return Ok(v),
+            Err(SearchError::Budget(b)) => return Err(SearchFailure::Budget(b)),
+            Err(SearchError::Fault(fault))
+                if fault.transient && attempt + 1 < retry.max_attempts =>
+            {
+                nebula_govern::note_retry();
+                std::thread::sleep(retry.backoff(attempt));
+                attempt += 1;
+            }
+            Err(SearchError::Fault(fault)) => {
+                return Err(SearchFailure::Fatal(NebulaError::Fault {
+                    fault,
+                    attempts: attempt + 1,
+                }));
+            }
+            Err(other) => return Err(SearchFailure::Fatal(other.into())),
         }
     }
 }
@@ -690,6 +837,56 @@ mod tests {
         // Deleting a focal tuple reports the affected annotation.
         let affected = nebula.on_tuple_deleted(&mut store, ids[0]);
         assert_eq!(affected, vec![out.annotation]);
+    }
+
+    #[test]
+    fn unknown_task_is_a_structured_error() {
+        let (_db, meta, _) = setup();
+        let mut store = AnnotationStore::new();
+        let mut nebula = Nebula::new(NebulaConfig::default(), meta);
+        assert_eq!(
+            nebula.resolve_task(&mut store, 999, true).unwrap_err(),
+            NebulaError::UnknownTask(999)
+        );
+        assert_eq!(
+            nebula.execute_command(&mut store, "Verify Attachment 999;").unwrap_err(),
+            NebulaError::UnknownTask(999)
+        );
+        assert!(matches!(
+            nebula.execute_command(&mut store, "garbage").unwrap_err(),
+            NebulaError::Parse(_)
+        ));
+    }
+
+    #[test]
+    fn tight_budget_degrades_instead_of_failing() {
+        let (db, meta, ids) = setup();
+        let mut store = AnnotationStore::new();
+        let config = NebulaConfig {
+            bounds: VerificationBounds::new(0.0, 0.0),
+            budget: ExecutionBudget::unbounded().with_max_tuples(1),
+            ..Default::default()
+        };
+        let mut nebula = Nebula::new(config, meta);
+        let ann = Annotation::new("this gene correlates with JW0014 and grpC");
+        let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[2]]).unwrap();
+        // The full search cannot fit in one inspected tuple: the engine
+        // fell back to the focal neighborhood (and, with an empty ACG,
+        // ultimately abandoned the search) instead of erroring out.
+        assert!(!out.degradations.is_empty());
+        assert!(out.degradations.iter().any(|d| matches!(d, Degradation::FocalFallback { .. })));
+        // The annotation and its focal attachment survived.
+        assert!(store.focal(out.annotation).contains(&ids[2]));
+    }
+
+    #[test]
+    fn unbounded_budget_reports_no_degradations() {
+        let (db, meta, ids) = setup();
+        let mut store = AnnotationStore::new();
+        let mut nebula = Nebula::new(config_accept_all(), meta);
+        let ann = Annotation::new("this gene correlates with JW0014 and grpC");
+        let out = nebula.process_annotation(&db, &mut store, &ann, &[ids[2]]).unwrap();
+        assert!(out.degradations.is_empty());
     }
 
     #[test]

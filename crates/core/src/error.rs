@@ -1,0 +1,124 @@
+//! The workspace-level error type.
+//!
+//! Every fallible path of the engine funnels into [`NebulaError`]:
+//! annotation-store failures, relational-store failures, search failures,
+//! and the governed causes (budget trips, injected faults) lifted out so
+//! the caller — and the batch-ingest quarantine — can route on them
+//! without unwrapping nested sources.
+
+use annostore::StoreError;
+use nebula_govern::{BudgetExceeded, InjectedFault};
+use std::fmt;
+use textsearch::SearchError;
+
+/// Unified error for the Nebula engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NebulaError {
+    /// The annotation store rejected an operation.
+    Store(StoreError),
+    /// The relational store failed.
+    Relational(relstore::Error),
+    /// Keyword search failed for a non-governed reason.
+    Search(SearchError),
+    /// The execution budget tripped and no further degradation was
+    /// possible (the engine normally degrades instead of surfacing this).
+    Budget(BudgetExceeded),
+    /// An injected fault persisted through every retry attempt.
+    Fault {
+        /// The fault that fired.
+        fault: InjectedFault,
+        /// How many attempts were made (including the first).
+        attempts: u32,
+    },
+    /// No pending verification task has this id.
+    UnknownTask(u64),
+    /// An extended-SQL command failed to parse.
+    Parse(String),
+}
+
+impl From<StoreError> for NebulaError {
+    fn from(e: StoreError) -> NebulaError {
+        NebulaError::Store(e)
+    }
+}
+
+impl From<relstore::Error> for NebulaError {
+    fn from(e: relstore::Error) -> NebulaError {
+        match e {
+            relstore::Error::BudgetExceeded(b) => NebulaError::Budget(b),
+            relstore::Error::FaultInjected(fault) => NebulaError::Fault { fault, attempts: 1 },
+            other => NebulaError::Relational(other),
+        }
+    }
+}
+
+impl From<SearchError> for NebulaError {
+    fn from(e: SearchError) -> NebulaError {
+        match e {
+            SearchError::Budget(b) => NebulaError::Budget(b),
+            SearchError::Fault(fault) => NebulaError::Fault { fault, attempts: 1 },
+            other => NebulaError::Search(other),
+        }
+    }
+}
+
+impl From<BudgetExceeded> for NebulaError {
+    fn from(b: BudgetExceeded) -> NebulaError {
+        NebulaError::Budget(b)
+    }
+}
+
+impl fmt::Display for NebulaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NebulaError::Store(e) => write!(f, "annotation store: {e}"),
+            NebulaError::Relational(e) => write!(f, "relational store: {e}"),
+            NebulaError::Search(e) => write!(f, "{e}"),
+            NebulaError::Budget(b) => write!(f, "{b}"),
+            NebulaError::Fault { fault, attempts } => {
+                write!(f, "{fault} (after {attempts} attempt(s))")
+            }
+            NebulaError::UnknownTask(vid) => write!(f, "no pending verification task {vid}"),
+            NebulaError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NebulaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NebulaError::Store(e) => Some(e),
+            NebulaError::Relational(e) => Some(e),
+            NebulaError::Search(e) => Some(e),
+            NebulaError::Budget(b) => Some(b),
+            NebulaError::Fault { fault, .. } => Some(fault),
+            NebulaError::UnknownTask(_) | NebulaError::Parse(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_govern::{FaultSite, Resource};
+
+    #[test]
+    fn governed_causes_are_lifted_from_sources() {
+        let b = BudgetExceeded { resource: Resource::TuplesInspected, limit: 10 };
+        assert_eq!(NebulaError::from(relstore::Error::BudgetExceeded(b)), NebulaError::Budget(b));
+        let fault = InjectedFault { site: FaultSite::Query, transient: true };
+        assert_eq!(
+            NebulaError::from(SearchError::Fault(fault)),
+            NebulaError::Fault { fault, attempts: 1 }
+        );
+        // Non-governed sources stay wrapped.
+        let e = NebulaError::from(relstore::Error::UnknownTable("x".into()));
+        assert!(matches!(e, NebulaError::Relational(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NebulaError::UnknownTask(7).to_string().contains('7'));
+        assert!(NebulaError::Parse("bad token".into()).to_string().contains("bad token"));
+    }
+}

@@ -13,7 +13,7 @@ use crate::acg::Acg;
 use crate::querygen::GeneratedQuery;
 use relstore::{Database, TupleId};
 use std::collections::HashMap;
-use textsearch::{ExecutionMode, KeywordQuery, SearchBackend, SearchStats};
+use textsearch::{ExecutionMode, KeywordQuery, SearchBackend, SearchError, SearchStats};
 
 /// A candidate attachment: a tuple the annotation likely references.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,7 +70,8 @@ impl Default for ExecutionConfig {
 /// `focal` is the annotation's focal (excluded from the candidates —
 /// those attachments already exist — and used for the ACG reward).
 /// Returns the candidates sorted by descending confidence, plus search
-/// work counters.
+/// work counters. Fails when the installed budget trips mid-search or a
+/// fault plan injects an unrecovered error.
 pub fn identify_related_tuples(
     db: &Database,
     engine: &dyn SearchBackend,
@@ -78,14 +79,14 @@ pub fn identify_related_tuples(
     focal: &[TupleId],
     acg: Option<&Acg>,
     config: &ExecutionConfig,
-) -> (Vec<Candidate>, SearchStats) {
+) -> Result<(Vec<Candidate>, SearchStats), SearchError> {
     // Step 1: execute each keyword query; scale hit confidence by the
     // query's weight.
     let kw_queries: Vec<KeywordQuery> = queries
         .iter()
         .map(|q| KeywordQuery::new(q.keywords.clone()).with_weight(q.weight))
         .collect();
-    let (per_query_hits, stats) = engine.run_group(&kw_queries, db, config.mode);
+    let (per_query_hits, stats) = engine.run_group(&kw_queries, db, config.mode)?;
 
     // Candidate attachments are restricted to the *concept* tables the
     // queries anchor on (Definition 3.2's embedded references point at
@@ -146,7 +147,7 @@ pub fn identify_related_tuples(
     // Rank by the *uncapped* confidence so the ordering distinguishes
     // candidates whose routing confidence saturates at 1.0.
     raw.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-    let out: Vec<Candidate> = raw
+    let mut out: Vec<Candidate> = raw
         .into_iter()
         .map(|(tuple, c)| Candidate {
             tuple,
@@ -154,7 +155,12 @@ pub fn identify_related_tuples(
             evidence: evidence.remove(&tuple).unwrap_or_default(),
         })
         .collect();
-    (out, stats)
+    // Budget governance: keep only as many ranked candidates as the
+    // installed budget admits (the list is already sorted by descending
+    // confidence, so the weakest are dropped). A no-op when ungoverned.
+    let allowed = nebula_govern::admit(nebula_govern::Resource::Candidates, out.len());
+    out.truncate(allowed);
+    Ok((out, stats))
 }
 
 /// Translate candidates produced over a miniDB back into original-database
@@ -222,7 +228,9 @@ mod tests {
     ) -> Vec<Candidate> {
         let queries = generate_queries(db, meta, text, &QueryGenConfig::default());
         let engine = KeywordSearch::default();
-        identify_related_tuples(db, &engine, &queries, focal, acg, config).0
+        identify_related_tuples(db, &engine, &queries, focal, acg, config)
+            .expect("ungoverned search cannot fail")
+            .0
     }
 
     #[test]
@@ -304,7 +312,8 @@ mod tests {
         let (db, _meta, _) = setup();
         let engine = KeywordSearch::default();
         let (cands, stats) =
-            identify_related_tuples(&db, &engine, &[], &[], None, &ExecutionConfig::default());
+            identify_related_tuples(&db, &engine, &[], &[], None, &ExecutionConfig::default())
+                .unwrap();
         assert!(cands.is_empty());
         assert_eq!(stats.compiled_queries, 0);
     }

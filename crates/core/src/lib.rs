@@ -18,13 +18,22 @@
 //! [`patterns`] provides the small from-scratch pattern matcher NebulaMeta
 //! uses for syntactic column descriptions (e.g. `JW[0-9]{4}`).
 //!
+//! Cross-cutting robustness ([`error`], [`batch`]): every fallible engine
+//! path returns a typed [`NebulaError`], and [`Nebula::process_batch`]
+//! ingests whole batches with per-annotation fault containment under the
+//! `nebula-govern` execution budgets and fault plans.
+//!
 //! See the [`Nebula`] facade for the end-to-end API.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod acg;
 pub mod adjust;
 pub mod assess;
+pub mod batch;
 pub mod bounds;
 pub mod engine;
+pub mod error;
 pub mod execution;
 pub mod focal;
 pub mod learn;
@@ -38,8 +47,10 @@ pub mod verify;
 pub use acg::{Acg, StabilityConfig};
 pub use adjust::{context_based_adjustment, AdjustParams};
 pub use assess::{assess_predictions, AssessmentCounts, AssessmentReport};
+pub use batch::{BatchEntry, BatchReport, BatchStatus, QuarantineReason};
 pub use bounds::{distort, BoundsEvaluation, BoundsSetting, TrainingExample};
 pub use engine::{Nebula, NebulaConfig, ProcessOutcome, SearchMode};
+pub use error::NebulaError;
 pub use execution::{
     identify_related_tuples, translate_candidates, AcgRewardMode, Candidate, ExecutionConfig,
 };

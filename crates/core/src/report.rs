@@ -185,6 +185,7 @@ mod tests {
             rejected: (0..rejected).map(|i| (t(100 + i as u64), 0.1)).collect(),
             used_focal_spread: accepted.is_multiple_of(2),
             stats: SearchStats::default(),
+            degradations: vec![],
         }
     }
 

@@ -1,0 +1,156 @@
+//! Execution budgets: declarative per-call resource limits.
+//!
+//! A budget bounds one `process_annotation` call along four axes — wall
+//! clock, tuples inspected, configurations compiled, candidates ranked.
+//! Limits of `usize::MAX` (and `deadline: None`) mean *unbounded*; the
+//! default budget is fully unbounded, so existing callers pay nothing.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The resources a budget can bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Wall-clock deadline for the whole call.
+    Deadline,
+    /// Tuples materialized/inspected by query execution (relstore and the
+    /// shared executor hot loops).
+    TuplesInspected,
+    /// Keyword-query configurations compiled by the search engine.
+    Configurations,
+    /// Candidate attachments ranked by the execution stage.
+    Candidates,
+}
+
+impl Resource {
+    /// Counter slot for chargeable resources (`None` for the deadline,
+    /// which is clock-driven rather than counted).
+    pub(crate) fn slot(self) -> Option<usize> {
+        match self {
+            Resource::Deadline => None,
+            Resource::TuplesInspected => Some(0),
+            Resource::Configurations => Some(1),
+            Resource::Candidates => Some(2),
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Resource::Deadline => "deadline",
+            Resource::TuplesInspected => "tuples-inspected",
+            Resource::Configurations => "configurations",
+            Resource::Candidates => "candidates",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Per-call resource limits. `usize::MAX` / `None` = unbounded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionBudget {
+    /// Wall-clock deadline for the governed call.
+    pub deadline: Option<Duration>,
+    /// Max tuples the executors may inspect.
+    pub max_tuples_inspected: usize,
+    /// Max configurations the search engine may compile (excess
+    /// configurations are truncated by descending score, not an error).
+    pub max_configurations: usize,
+    /// Max candidates the execution stage may rank (excess candidates are
+    /// truncated by descending confidence, not an error).
+    pub max_candidates: usize,
+}
+
+impl ExecutionBudget {
+    /// A budget with no limits at all (the default).
+    pub fn unbounded() -> ExecutionBudget {
+        ExecutionBudget {
+            deadline: None,
+            max_tuples_inspected: usize::MAX,
+            max_configurations: usize::MAX,
+            max_candidates: usize::MAX,
+        }
+    }
+
+    /// Does this budget constrain anything?
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_tuples_inspected == usize::MAX
+            && self.max_configurations == usize::MAX
+            && self.max_candidates == usize::MAX
+    }
+
+    /// Builder: set the deadline.
+    pub fn with_deadline(mut self, d: Duration) -> ExecutionBudget {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Builder: cap tuples inspected.
+    pub fn with_max_tuples(mut self, n: usize) -> ExecutionBudget {
+        self.max_tuples_inspected = n;
+        self
+    }
+
+    /// Builder: cap configurations compiled.
+    pub fn with_max_configurations(mut self, n: usize) -> ExecutionBudget {
+        self.max_configurations = n;
+        self
+    }
+
+    /// Builder: cap candidates ranked.
+    pub fn with_max_candidates(mut self, n: usize) -> ExecutionBudget {
+        self.max_candidates = n;
+        self
+    }
+}
+
+impl Default for ExecutionBudget {
+    fn default() -> Self {
+        ExecutionBudget::unbounded()
+    }
+}
+
+impl fmt::Display for ExecutionBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unbounded() {
+            return write!(f, "unbounded");
+        }
+        let mut parts = Vec::new();
+        if let Some(d) = self.deadline {
+            parts.push(format!("deadline={}ms", d.as_millis()));
+        }
+        if self.max_tuples_inspected != usize::MAX {
+            parts.push(format!("tuples={}", self.max_tuples_inspected));
+        }
+        if self.max_configurations != usize::MAX {
+            parts.push(format!("configs={}", self.max_configurations));
+        }
+        if self.max_candidates != usize::MAX {
+            parts.push(format!("candidates={}", self.max_candidates));
+        }
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+/// A budget trip: which resource ran out and at what limit (for the
+/// deadline, the limit is in milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The exhausted resource.
+    pub resource: Resource,
+    /// The configured limit that was hit.
+    pub limit: usize,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.resource {
+            Resource::Deadline => write!(f, "execution deadline of {}ms exceeded", self.limit),
+            r => write!(f, "{r} budget of {} exceeded", self.limit),
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}

@@ -1,0 +1,230 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A [`FaultPlan`] describes *where* and *how often* faults fire; the plan
+//! carries its own xorshift64* stream so that a given seed replays the exact
+//! same fault sequence, independent of wall clock or thread scheduling.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The injection points wired into the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A relstore/executor query errors out before producing results.
+    Query,
+    /// An inverted-index probe fails; executors fall back to a scan.
+    IndexProbe,
+    /// Artificial latency at a pipeline stage boundary.
+    Latency,
+    /// A panic at a pipeline stage boundary (tests batch containment).
+    Panic,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultSite::Query => "query",
+            FaultSite::IndexProbe => "index-probe",
+            FaultSite::Latency => "latency",
+            FaultSite::Panic => "panic",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A fault that actually fired at a site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Where it fired.
+    pub site: FaultSite,
+    /// Transient faults are retryable; permanent ones are not.
+    pub transient: bool,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.transient { "transient" } else { "permanent" };
+        write!(f, "injected {kind} fault at {} site", self.site)
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+/// Probability + flavor for one site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Firing probability in `[0, 1]`.
+    pub rate: f64,
+    /// Whether fired faults are transient (retryable).
+    pub transient: bool,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec { rate: 0.0, transient: true }
+    }
+}
+
+/// A seeded schedule of faults across all injection sites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed the plan was built from (for display/reproduction).
+    pub seed: u64,
+    /// Query-execution errors.
+    pub query: FaultSpec,
+    /// Index-probe failure rate (always recoverable via scan fallback).
+    pub index_probe: f64,
+    /// Stage-boundary latency rate.
+    pub latency: f64,
+    /// Latency injected per firing.
+    pub latency_per_site: Duration,
+    /// Stage-boundary panic rate.
+    pub panic_rate: f64,
+    state: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and all rates zero.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            query: FaultSpec::default(),
+            index_probe: 0.0,
+            latency: 0.0,
+            latency_per_site: Duration::from_micros(50),
+            panic_rate: 0.0,
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// Every non-panic site fires at `rate`; query faults are transient.
+    pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed);
+        plan.query = FaultSpec { rate, transient: true };
+        plan.index_probe = rate;
+        plan.latency = rate;
+        plan
+    }
+
+    /// Errors at every injection site: transient query errors and
+    /// index-probe failures always fire, every stage boundary stalls.
+    /// Panics stay off — they are opt-in via [`FaultPlan::with_panics`].
+    pub fn hostile(seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed);
+        plan.query = FaultSpec { rate: 1.0, transient: true };
+        plan.index_probe = 1.0;
+        plan.latency = 1.0;
+        plan
+    }
+
+    /// Builder: set the query-error rate and flavor.
+    pub fn with_query(mut self, rate: f64, transient: bool) -> FaultPlan {
+        self.query = FaultSpec { rate, transient };
+        self
+    }
+
+    /// Builder: set the index-probe failure rate.
+    pub fn with_index_probe(mut self, rate: f64) -> FaultPlan {
+        self.index_probe = rate;
+        self
+    }
+
+    /// Builder: set the stage-latency rate and per-firing delay.
+    pub fn with_latency(mut self, rate: f64, delay: Duration) -> FaultPlan {
+        self.latency = rate;
+        self.latency_per_site = delay;
+        self
+    }
+
+    /// Builder: set the stage-panic rate.
+    pub fn with_panics(mut self, rate: f64) -> FaultPlan {
+        self.panic_rate = rate;
+        self
+    }
+
+    /// Human-readable one-liner for `SHOW FAULTS`.
+    pub fn describe(&self) -> String {
+        format!(
+            "seed={} query={:.2}{} index-probe={:.2} latency={:.2}@{}us panic={:.2}",
+            self.seed,
+            self.query.rate,
+            if self.query.transient { " (transient)" } else { " (permanent)" },
+            self.index_probe,
+            self.latency,
+            self.latency_per_site.as_micros(),
+            self.panic_rate,
+        )
+    }
+
+    /// xorshift64* step; the plan is its own RNG so injection order is a
+    /// pure function of the seed and the call sequence.
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// One Bernoulli draw at `rate`. Always consumes a draw so that toggling
+    /// one site's rate does not shift the stream seen by other sites.
+    pub(crate) fn roll(&mut self, rate: f64) -> bool {
+        let draw = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        rate > 0.0 && draw < rate
+    }
+}
+
+/// Per-thread tally of injection activity, for tests and `SHOW FAULTS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Query errors injected.
+    pub query_errors: u64,
+    /// Index-probe failures injected.
+    pub index_probe_failures: u64,
+    /// Latency stalls injected.
+    pub latency_injections: u64,
+    /// Panics injected.
+    pub panics: u64,
+    /// Faults absorbed without surfacing an error (e.g. scan fallback).
+    pub recovered: u64,
+    /// Retry attempts made against transient faults.
+    pub retries: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across all sites.
+    pub fn total_injected(&self) -> u64 {
+        self.query_errors + self.index_probe_failures + self.latency_injections + self.panics
+    }
+}
+
+/// Bounded exponential backoff for retrying transient faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (so 3 = 1 try + 2 retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based): base * 2^attempt,
+    /// capped at `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_backoff.checked_mul(factor).map_or(self.max_backoff, |d| d.min(self.max_backoff))
+    }
+}

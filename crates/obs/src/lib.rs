@@ -47,6 +47,8 @@ pub mod names {
     pub const STAGE3_ROUTE: &str = "stage3.route";
     /// The whole `process_annotation` pipeline.
     pub const PIPELINE: &str = "core.process_annotation";
+    /// Degradation events emitted by the resource governor.
+    pub const GOVERN_DEGRADE: &str = "govern.degrade";
 }
 
 /// Receives every telemetry record. Implementations must be cheap and

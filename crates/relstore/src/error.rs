@@ -33,6 +33,10 @@ pub enum Error {
     InvalidSchema(String),
     /// A query referenced tables/columns inconsistently.
     InvalidQuery(String),
+    /// Execution tripped the installed resource budget.
+    BudgetExceeded(nebula_govern::BudgetExceeded),
+    /// A seeded fault plan injected a failure at a relstore site.
+    FaultInjected(nebula_govern::InjectedFault),
 }
 
 impl fmt::Display for Error {
@@ -59,11 +63,25 @@ impl fmt::Display for Error {
             Error::UnknownTuple(tid) => write!(f, "unknown tuple id {tid}"),
             Error::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
             Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            Error::BudgetExceeded(b) => write!(f, "{b}"),
+            Error::FaultInjected(fault) => write!(f, "{fault}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<nebula_govern::BudgetExceeded> for Error {
+    fn from(b: nebula_govern::BudgetExceeded) -> Error {
+        Error::BudgetExceeded(b)
+    }
+}
+
+impl From<nebula_govern::InjectedFault> for Error {
+    fn from(fault: nebula_govern::InjectedFault) -> Error {
+        Error::FaultInjected(fault)
+    }
+}
 
 #[cfg(test)]
 mod tests {

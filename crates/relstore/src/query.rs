@@ -127,6 +127,10 @@ impl ConjunctiveQuery {
             }
         }
 
+        if let Some(fault) = nebula_govern::inject(nebula_govern::FaultSite::Query) {
+            return Err(Error::FaultInjected(fault));
+        }
+
         nebula_obs::counter_add("relstore.queries_executed", 1);
         let mut inspected = 0usize;
 
@@ -140,6 +144,7 @@ impl ConjunctiveQuery {
         let mut out = Vec::new();
         for tuple in candidates {
             inspected += 1;
+            nebula_govern::charge(nebula_govern::Resource::TuplesInspected, 1)?;
             if !self.predicates.iter().all(|p| p.matches(&tuple)) {
                 continue;
             }
@@ -160,6 +165,12 @@ impl ConjunctiveQuery {
 
     /// Try to answer one predicate from an index to seed candidates.
     fn seed_candidates(&self, db: &Database) -> Option<Vec<TupleId>> {
+        // An injected index-probe failure degrades to the full-scan path,
+        // which produces identical results — recovery without retry.
+        if nebula_govern::inject(nebula_govern::FaultSite::IndexProbe).is_some() {
+            nebula_govern::note_recovered(nebula_govern::FaultSite::IndexProbe);
+            return None;
+        }
         let table = db.table(self.base)?;
         // Prefer Eq on an indexed column, then ContainsToken via the
         // inverted index.

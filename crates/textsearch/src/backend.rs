@@ -10,6 +10,7 @@
 //! - [`TfIdfSearch`]: a simpler SQAK-style disjunctive ranker that scores
 //!   tuples by accumulated token rarity, with no schema metadata at all.
 
+use crate::error::SearchError;
 use crate::search::{KeywordQuery, KeywordSearch, SearchHit, SearchStats};
 use crate::shared::ExecutionMode;
 use relstore::{Database, TupleId};
@@ -20,13 +21,14 @@ pub trait SearchBackend {
     /// Execute a group of keyword queries (typically all the queries
     /// generated from one annotation), returning one hit list per query
     /// plus work counters. `mode` requests isolated or shared execution;
-    /// backends without sharing may ignore it.
+    /// backends without sharing may ignore it. Fails when the installed
+    /// budget trips or a fault plan injects an error.
     fn run_group(
         &self,
         queries: &[KeywordQuery],
         db: &Database,
         mode: ExecutionMode,
-    ) -> (Vec<Vec<SearchHit>>, SearchStats);
+    ) -> Result<(Vec<Vec<SearchHit>>, SearchStats), SearchError>;
 
     /// Human-readable backend name (for logs and experiment tables).
     fn name(&self) -> &'static str;
@@ -38,7 +40,7 @@ impl SearchBackend for KeywordSearch {
         queries: &[KeywordQuery],
         db: &Database,
         mode: ExecutionMode,
-    ) -> (Vec<Vec<SearchHit>>, SearchStats) {
+    ) -> Result<(Vec<Vec<SearchHit>>, SearchStats), SearchError> {
         self.search_group(queries, db, mode)
     }
 
@@ -73,7 +75,10 @@ impl TfIdfSearch {
         query: &KeywordQuery,
         db: &Database,
         stats: &mut SearchStats,
-    ) -> Vec<SearchHit> {
+    ) -> Result<Vec<SearchHit>, SearchError> {
+        if let Some(fault) = nebula_govern::inject(nebula_govern::FaultSite::Query) {
+            return Err(fault.into());
+        }
         let mut score: HashMap<TupleId, f64> = HashMap::new();
         let mut matched_keywords: HashMap<TupleId, usize> = HashMap::new();
         let mut live_keywords = 0usize;
@@ -83,6 +88,7 @@ impl TfIdfSearch {
             for token in &tokens {
                 let postings = db.inverted_index().lookup(token);
                 stats.tuples_inspected += postings.len();
+                nebula_govern::charge(nebula_govern::Resource::TuplesInspected, postings.len())?;
                 if postings.is_empty() {
                     continue;
                 }
@@ -115,7 +121,7 @@ impl TfIdfSearch {
             })
             .collect();
         hits.sort_by(|a, b| b.confidence.total_cmp(&a.confidence).then(a.tuple.cmp(&b.tuple)));
-        hits
+        Ok(hits)
     }
 }
 
@@ -125,11 +131,14 @@ impl SearchBackend for TfIdfSearch {
         queries: &[KeywordQuery],
         db: &Database,
         _mode: ExecutionMode,
-    ) -> (Vec<Vec<SearchHit>>, SearchStats) {
+    ) -> Result<(Vec<Vec<SearchHit>>, SearchStats), SearchError> {
         let mut stats = SearchStats { configurations: queries.len(), ..Default::default() };
-        let hits = queries.iter().map(|q| self.search_one(q, db, &mut stats)).collect();
+        let hits = queries
+            .iter()
+            .map(|q| self.search_one(q, db, &mut stats))
+            .collect::<Result<Vec<_>, _>>()?;
         stats.publish();
-        (hits, stats)
+        Ok((hits, stats))
     }
 
     fn name(&self) -> &'static str {
@@ -163,11 +172,9 @@ mod tests {
     fn tfidf_finds_referenced_tuple_first() {
         let db = db();
         let backend = TfIdfSearch::default();
-        let (hits, stats) = backend.run_group(
-            &[KeywordQuery::new(["gene", "JW0013"])],
-            &db,
-            ExecutionMode::Isolated,
-        );
+        let (hits, stats) = backend
+            .run_group(&[KeywordQuery::new(["gene", "JW0013"])], &db, ExecutionMode::Isolated)
+            .unwrap();
         assert_eq!(hits.len(), 1);
         let top = &hits[0][0];
         assert_eq!(db.get(top.tuple).unwrap().get_by_name("gid"), Some(&Value::text("JW0013")));
@@ -181,11 +188,9 @@ mod tests {
         // A decoy containing only one of the two keywords many times.
         db.insert("gene", vec![Value::text("JW0999"), Value::text("grpX")]).unwrap();
         let backend = TfIdfSearch { min_score: 0.0, ..Default::default() };
-        let (hits, _) = backend.run_group(
-            &[KeywordQuery::new(["JW0013", "grpC"])],
-            &db,
-            ExecutionMode::Isolated,
-        );
+        let (hits, _) = backend
+            .run_group(&[KeywordQuery::new(["JW0013", "grpC"])], &db, ExecutionMode::Isolated)
+            .unwrap();
         let first = db.get(hits[0][0].tuple).unwrap();
         assert_eq!(first.get_by_name("gid"), Some(&Value::text("JW0013")));
     }
@@ -196,8 +201,9 @@ mod tests {
         let queries = vec![KeywordQuery::new(["gene", "yaaB"])];
         let metadata = KeywordSearch::default();
         let tfidf = TfIdfSearch::default();
-        let (a, _) = SearchBackend::run_group(&metadata, &queries, &db, ExecutionMode::Shared);
-        let (b, _) = tfidf.run_group(&queries, &db, ExecutionMode::Shared);
+        let (a, _) =
+            SearchBackend::run_group(&metadata, &queries, &db, ExecutionMode::Shared).unwrap();
+        let (b, _) = tfidf.run_group(&queries, &db, ExecutionMode::Shared).unwrap();
         let target = |hits: &Vec<Vec<SearchHit>>| {
             hits[0]
                 .iter()
@@ -214,11 +220,9 @@ mod tests {
     fn min_score_filters() {
         let db = db();
         let strict = TfIdfSearch { min_score: 1.1, full_match_boost: 2.0 };
-        let (hits, _) = strict.run_group(
-            &[KeywordQuery::new(["gene", "JW0013"])],
-            &db,
-            ExecutionMode::Isolated,
-        );
+        let (hits, _) = strict
+            .run_group(&[KeywordQuery::new(["gene", "JW0013"])], &db, ExecutionMode::Isolated)
+            .unwrap();
         assert!(hits[0].is_empty(), "nothing reaches a score above 1.1");
     }
 }

@@ -1,0 +1,64 @@
+//! Error type for the search layer.
+//!
+//! Search execution can now fail for governed reasons — a tripped
+//! [`nebula_govern::BudgetExceeded`] budget or an injected fault — in
+//! addition to genuine store errors. [`SearchError`] keeps the three cases
+//! distinguishable so the engine above can degrade (budget), retry
+//! (transient fault), or fail (everything else).
+
+use std::fmt;
+
+/// Errors surfaced by keyword-search execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// Execution tripped the installed resource budget.
+    Budget(nebula_govern::BudgetExceeded),
+    /// A seeded fault plan injected a failure at a search-layer site.
+    Fault(nebula_govern::InjectedFault),
+    /// The underlying relational store failed.
+    Store(relstore::Error),
+}
+
+impl From<relstore::Error> for SearchError {
+    fn from(e: relstore::Error) -> SearchError {
+        // Lift governed causes out of the store error so callers can match
+        // on them without digging.
+        match e {
+            relstore::Error::BudgetExceeded(b) => SearchError::Budget(b),
+            relstore::Error::FaultInjected(fault) => SearchError::Fault(fault),
+            other => SearchError::Store(other),
+        }
+    }
+}
+
+impl From<nebula_govern::BudgetExceeded> for SearchError {
+    fn from(b: nebula_govern::BudgetExceeded) -> SearchError {
+        SearchError::Budget(b)
+    }
+}
+
+impl From<nebula_govern::InjectedFault> for SearchError {
+    fn from(fault: nebula_govern::InjectedFault) -> SearchError {
+        SearchError::Fault(fault)
+    }
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::Budget(b) => write!(f, "search aborted: {b}"),
+            SearchError::Fault(fault) => write!(f, "search failed: {fault}"),
+            SearchError::Store(e) => write!(f, "search failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SearchError::Budget(b) => Some(b),
+            SearchError::Fault(fault) => Some(fault),
+            SearchError::Store(e) => Some(e),
+        }
+    }
+}

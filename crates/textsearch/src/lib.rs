@@ -31,7 +31,7 @@
 //! db.insert("gene", vec![Value::text("JW0013"), Value::text("grpC")]).unwrap();
 //!
 //! let engine = KeywordSearch::new(Default::default());
-//! let hits = engine.search(&KeywordQuery::new(["gene", "grpC"]), &db);
+//! let hits = engine.search(&KeywordQuery::new(["gene", "grpC"]), &db).unwrap();
 //! assert_eq!(hits.len(), 1);
 //! assert!(hits[0].confidence > 0.0);
 //! ```
@@ -39,6 +39,7 @@
 pub mod backend;
 pub mod compile;
 pub mod config;
+pub mod error;
 pub mod mapping;
 pub mod naive;
 pub mod search;
@@ -48,6 +49,7 @@ pub mod token;
 pub use backend::{SearchBackend, TfIdfSearch};
 pub use compile::{compile_configuration, CompiledQuery};
 pub use config::{Configuration, ConfigurationGenerator};
+pub use error::SearchError;
 pub use mapping::{Mapping, MappingKind, SchemaVocabulary};
 pub use naive::naive_search;
 pub use search::{KeywordQuery, KeywordSearch, SearchHit, SearchOptions, SearchStats};

@@ -11,6 +11,7 @@
 //! words hit enormous posting lists, so the work done and the result size
 //! both explode with annotation length and database size.
 
+use crate::error::SearchError;
 use crate::mapping::value_weight;
 use crate::search::{SearchHit, SearchStats};
 use crate::token::{is_stopword, split_words};
@@ -20,8 +21,13 @@ use std::collections::HashMap;
 
 /// Execute the naive whole-annotation search. Returns hits sorted by
 /// descending confidence plus work counters (`tuples_inspected` counts
-/// tuples the generated queries materialized).
-pub fn naive_search(db: &Database, text: &str) -> (Vec<SearchHit>, SearchStats) {
+/// tuples the generated queries materialized). Governed causes — a budget
+/// trip or an injected fault — abort the search; per-query store errors
+/// are skipped, as the naive engine has no schema knowledge to react with.
+pub fn naive_search(
+    db: &Database,
+    text: &str,
+) -> Result<(Vec<SearchHit>, SearchStats), SearchError> {
     let mut stats = SearchStats { configurations: 1, ..Default::default() };
     let mut conf: HashMap<TupleId, f64> = HashMap::new();
 
@@ -42,7 +48,15 @@ pub fn naive_search(db: &Database, text: &str) -> (Vec<SearchHit>, SearchStats) 
         for ((table, column), df) in pair_df {
             let query = ConjunctiveQuery::scan(table)
                 .with_predicate(Predicate::ContainsToken(column, word.clone()));
-            let Ok(result) = query.execute(db) else { continue };
+            let result = match query.execute(db) {
+                Ok(result) => result,
+                Err(
+                    e @ (relstore::Error::BudgetExceeded(_) | relstore::Error::FaultInjected(_)),
+                ) => {
+                    return Err(e.into());
+                }
+                Err(_) => continue,
+            };
             stats.merge(SearchStats {
                 configurations: 0,
                 compiled_queries: 1,
@@ -62,7 +76,7 @@ pub fn naive_search(db: &Database, text: &str) -> (Vec<SearchHit>, SearchStats) 
         .collect();
     hits.sort_by(|a, b| b.confidence.total_cmp(&a.confidence).then(a.tuple.cmp(&b.tuple)));
     stats.publish();
-    (hits, stats)
+    Ok((hits, stats))
 }
 
 #[cfg(test)]
@@ -99,7 +113,7 @@ mod tests {
     #[test]
     fn common_words_flood_the_answer() {
         let db = db();
-        let (hits, stats) = naive_search(&db, "the common description mentions gn3A");
+        let (hits, stats) = naive_search(&db, "the common description mentions gn3A").unwrap();
         // Every row matches through the shared description words.
         assert_eq!(hits.len(), 20);
         // But the row actually referenced ranks first.
@@ -114,7 +128,7 @@ mod tests {
     #[test]
     fn stopwords_skipped() {
         let db = db();
-        let (_, stats) = naive_search(&db, "the of and with");
+        let (_, stats) = naive_search(&db, "the of and with").unwrap();
         assert_eq!(stats.compiled_queries, 0);
         assert_eq!(stats.tuples_inspected, 0);
     }
@@ -122,14 +136,14 @@ mod tests {
     #[test]
     fn empty_text_empty_result() {
         let db = db();
-        let (hits, _) = naive_search(&db, "");
+        let (hits, _) = naive_search(&db, "").unwrap();
         assert!(hits.is_empty());
     }
 
     #[test]
     fn confidences_normalized() {
         let db = db();
-        let (hits, _) = naive_search(&db, "common gn3A gn5A");
+        let (hits, _) = naive_search(&db, "common gn3A gn5A").unwrap();
         assert!(hits.iter().all(|h| h.confidence > 0.0 && h.confidence <= 1.0));
         assert_eq!(hits[0].confidence, 1.0);
     }

@@ -2,6 +2,7 @@
 
 use crate::compile::{compile_configuration, CompiledQuery};
 use crate::config::ConfigurationGenerator;
+use crate::error::SearchError;
 use crate::mapping::SchemaVocabulary;
 use crate::shared::{ExecutionMode, SharedExecutor};
 use relstore::{Database, TupleId};
@@ -120,8 +121,12 @@ impl KeywordSearch {
     }
 
     /// Search, returning hits sorted by descending confidence.
-    pub fn search(&self, query: &KeywordQuery, db: &Database) -> Vec<SearchHit> {
-        self.search_with_stats(query, db).0
+    pub fn search(
+        &self,
+        query: &KeywordQuery,
+        db: &Database,
+    ) -> Result<Vec<SearchHit>, SearchError> {
+        Ok(self.search_with_stats(query, db)?.0)
     }
 
     /// Search and report work counters.
@@ -129,15 +134,15 @@ impl KeywordSearch {
         &self,
         query: &KeywordQuery,
         db: &Database,
-    ) -> (Vec<SearchHit>, SearchStats) {
+    ) -> Result<(Vec<SearchHit>, SearchStats), SearchError> {
         let mut cache = crate::config::MappingCache::default();
         let (compiled, configurations) = self.compile_cached(query, db, &mut cache);
         let mut stats =
             SearchStats { configurations, compiled_queries: compiled.len(), tuples_inspected: 0 };
         let mut exec = SharedExecutor::new(db);
-        let hits = self.run_compiled(&compiled, &mut exec, &mut stats);
+        let hits = self.run_compiled(&compiled, &mut exec, &mut stats)?;
         stats.publish();
-        (hits, stats)
+        Ok((hits, stats))
     }
 
     /// Compile a keyword query into its conjunctive queries.
@@ -153,8 +158,17 @@ impl KeywordSearch {
         db: &Database,
         cache: &mut crate::config::MappingCache,
     ) -> (Vec<CompiledQuery>, usize) {
-        let configs =
+        let mut configs =
             self.options.generator.generate_cached(db, &self.options.vocab, &query.keywords, cache);
+        // Budget governance: only compile as many configurations as the
+        // installed budget admits, keeping the highest-scoring ones. When
+        // nothing is truncated the original order is untouched, so the
+        // ungoverned path stays byte-identical.
+        let allowed = nebula_govern::admit(nebula_govern::Resource::Configurations, configs.len());
+        if allowed < configs.len() {
+            configs.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+            configs.truncate(allowed);
+        }
         let mut out = Vec::new();
         for config in &configs {
             out.extend(compile_configuration(db, config, &query.keywords));
@@ -169,13 +183,13 @@ impl KeywordSearch {
         compiled: &[CompiledQuery],
         exec: &mut SharedExecutor<'_>,
         stats: &mut SearchStats,
-    ) -> Vec<SearchHit> {
+    ) -> Result<Vec<SearchHit>, SearchError> {
         let mut best: HashMap<TupleId, f64> = HashMap::new();
         for cq in compiled {
             if cq.confidence < self.options.min_confidence {
                 continue;
             }
-            let result = exec.execute(&cq.query);
+            let result = exec.execute(&cq.query)?;
             stats.merge(SearchStats {
                 configurations: 0,
                 compiled_queries: 0,
@@ -194,7 +208,7 @@ impl KeywordSearch {
         if let Some(cap) = self.options.max_hits {
             hits.truncate(cap);
         }
-        hits
+        Ok(hits)
     }
 
     /// Execute a *group* of keyword queries under the given execution mode
@@ -205,7 +219,7 @@ impl KeywordSearch {
         queries: &[KeywordQuery],
         db: &Database,
         mode: ExecutionMode,
-    ) -> (Vec<Vec<SearchHit>>, SearchStats) {
+    ) -> Result<(Vec<Vec<SearchHit>>, SearchStats), SearchError> {
         let mut stats = SearchStats::default();
         let mut results = Vec::with_capacity(queries.len());
         match mode {
@@ -222,7 +236,7 @@ impl KeywordSearch {
                         compiled_queries: compiled.len(),
                         tuples_inspected: 0,
                     };
-                    results.push(self.run_compiled(&compiled, &mut exec, &mut q_stats));
+                    results.push(self.run_compiled(&compiled, &mut exec, &mut q_stats)?);
                     stats.merge(q_stats);
                 }
             }
@@ -236,13 +250,13 @@ impl KeywordSearch {
                         compiled_queries: compiled.len(),
                         tuples_inspected: 0,
                     };
-                    results.push(self.run_compiled(&compiled, &mut exec, &mut q_stats));
+                    results.push(self.run_compiled(&compiled, &mut exec, &mut q_stats)?);
                     stats.merge(q_stats);
                 }
             }
         }
         stats.publish();
-        (results, stats)
+        Ok((results, stats))
     }
 }
 
@@ -278,7 +292,7 @@ mod tests {
     fn unique_value_found_with_high_confidence() {
         let db = db();
         let engine = KeywordSearch::default();
-        let hits = engine.search(&KeywordQuery::new(["gene", "JW0013"]), &db);
+        let hits = engine.search(&KeywordQuery::new(["gene", "JW0013"]), &db).unwrap();
         assert_eq!(hits.len(), 1);
         assert!(hits[0].confidence > 0.5);
         assert_eq!(db.get(hits[0].tuple).unwrap().get_by_name("gid"), Some(&Value::text("JW0013")));
@@ -288,7 +302,7 @@ mod tests {
     fn shared_value_returns_all_holders() {
         let db = db();
         let engine = KeywordSearch::default();
-        let hits = engine.search(&KeywordQuery::new(["F1"]), &db);
+        let hits = engine.search(&KeywordQuery::new(["F1"]), &db).unwrap();
         assert_eq!(hits.len(), 2);
     }
 
@@ -296,14 +310,14 @@ mod tests {
     fn no_match_returns_empty() {
         let db = db();
         let engine = KeywordSearch::default();
-        assert!(engine.search(&KeywordQuery::new(["qqqq"]), &db).is_empty());
+        assert!(engine.search(&KeywordQuery::new(["qqqq"]), &db).unwrap().is_empty());
     }
 
     #[test]
     fn hits_sorted_by_confidence_then_id() {
         let db = db();
         let engine = KeywordSearch::default();
-        let hits = engine.search(&KeywordQuery::new(["gene", "F1", "yaaI"]), &db);
+        let hits = engine.search(&KeywordQuery::new(["gene", "F1", "yaaI"]), &db).unwrap();
         assert!(hits.windows(2).all(|w| w[0].confidence >= w[1].confidence));
     }
 
@@ -311,7 +325,7 @@ mod tests {
     fn max_hits_caps_output() {
         let db = db();
         let engine = KeywordSearch::new(SearchOptions { max_hits: Some(1), ..Default::default() });
-        let hits = engine.search(&KeywordQuery::new(["F1"]), &db);
+        let hits = engine.search(&KeywordQuery::new(["F1"]), &db).unwrap();
         assert_eq!(hits.len(), 1);
     }
 
@@ -319,7 +333,8 @@ mod tests {
     fn stats_count_work() {
         let db = db();
         let engine = KeywordSearch::default();
-        let (_, stats) = engine.search_with_stats(&KeywordQuery::new(["gene", "JW0013"]), &db);
+        let (_, stats) =
+            engine.search_with_stats(&KeywordQuery::new(["gene", "JW0013"]), &db).unwrap();
         assert!(stats.configurations >= 1);
         assert!(stats.compiled_queries >= 1);
         assert!(stats.tuples_inspected >= 1);
@@ -334,8 +349,8 @@ mod tests {
             KeywordQuery::new(["gene", "grpC"]),
             KeywordQuery::new(["gene", "F1"]),
         ];
-        let (shared, _) = engine.search_group(&queries, &db, ExecutionMode::Shared);
-        let (isolated, _) = engine.search_group(&queries, &db, ExecutionMode::Isolated);
+        let (shared, _) = engine.search_group(&queries, &db, ExecutionMode::Shared).unwrap();
+        let (isolated, _) = engine.search_group(&queries, &db, ExecutionMode::Isolated).unwrap();
         assert_eq!(shared.len(), 3);
         for (s, i) in shared.iter().zip(&isolated) {
             let st: Vec<TupleId> = s.iter().map(|h| h.tuple).collect();

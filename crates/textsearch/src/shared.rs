@@ -78,6 +78,14 @@ impl<'a> SharedExecutor<'a> {
         let Some(t) = self.db.table(table) else { return Vec::new() };
         let mut ids: Vec<TupleId> = match p {
             Predicate::Eq(c, v) => t.lookup(*c, v),
+            Predicate::ContainsToken(..)
+                if nebula_govern::inject(nebula_govern::FaultSite::IndexProbe).is_some() =>
+            {
+                // Injected index-probe failure: fall back to a table scan,
+                // which yields the same live tuples the index would have.
+                nebula_govern::note_recovered(nebula_govern::FaultSite::IndexProbe);
+                t.scan().filter(|tuple| p.matches(tuple)).map(|tuple| tuple.id).collect()
+            }
             Predicate::ContainsToken(c, token) => self
                 .db
                 .inverted_index()
@@ -99,13 +107,17 @@ impl<'a> SharedExecutor<'a> {
     }
 
     /// Execute one query through the memo.
-    pub fn execute(&mut self, q: &ConjunctiveQuery) -> QueryResult {
+    pub fn execute(&mut self, q: &ConjunctiveQuery) -> relstore::Result<QueryResult> {
+        if let Some(fault) = nebula_govern::inject(nebula_govern::FaultSite::Query) {
+            return Err(fault.into());
+        }
         let mut inspected = 0usize;
         // Intersect per-predicate result sets.
         let mut candidates: Option<Vec<TupleId>> = None;
         for p in &q.predicates {
             let ids = self.eval_predicate(q.base, p);
             inspected += ids.len();
+            nebula_govern::charge(nebula_govern::Resource::TuplesInspected, ids.len())?;
             candidates = Some(match candidates {
                 None => ids.as_ref().clone(),
                 Some(prev) => intersect_sorted(&prev, &ids),
@@ -127,6 +139,7 @@ impl<'a> SharedExecutor<'a> {
         'tuples: for tid in base_ids {
             let Some(tuple) = self.db.get(tid) else { continue };
             inspected += 1;
+            nebula_govern::charge(nebula_govern::Resource::TuplesInspected, 1)?;
             for step in &q.joins {
                 if !self.join_matches(&tuple, step) {
                     continue 'tuples;
@@ -136,7 +149,7 @@ impl<'a> SharedExecutor<'a> {
         }
         out.sort();
         out.dedup();
-        QueryResult { tuples: out, inspected }
+        Ok(QueryResult { tuples: out, inspected })
     }
 
     /// Whether `tuple` has a partner in `step.table` satisfying the step's
@@ -192,7 +205,7 @@ impl<'a> SharedExecutor<'a> {
         db: &Database,
         queries: &[ConjunctiveQuery],
         mode: ExecutionMode,
-    ) -> Vec<QueryResult> {
+    ) -> relstore::Result<Vec<QueryResult>> {
         match mode {
             ExecutionMode::Shared => {
                 let mut exec = SharedExecutor::new(db);
@@ -263,8 +276,9 @@ mod tests {
         let db = db();
         let queries =
             vec![family_query(&db, "F1"), family_query(&db, "F1"), family_query(&db, "F3")];
-        let shared = SharedExecutor::execute_batch(&db, &queries, ExecutionMode::Shared);
-        let isolated = SharedExecutor::execute_batch(&db, &queries, ExecutionMode::Isolated);
+        let shared = SharedExecutor::execute_batch(&db, &queries, ExecutionMode::Shared).unwrap();
+        let isolated =
+            SharedExecutor::execute_batch(&db, &queries, ExecutionMode::Isolated).unwrap();
         for (s, i) in shared.iter().zip(&isolated) {
             assert_eq!(s.tuples, i.tuples);
         }
@@ -276,7 +290,7 @@ mod tests {
         let queries = vec![family_query(&db, "F1"); 5];
         let mut exec = SharedExecutor::new(&db);
         for q in &queries {
-            exec.execute(q);
+            exec.execute(q).unwrap();
         }
         assert_eq!(exec.evaluations, 1, "one real evaluation");
         assert_eq!(exec.cache_hits, 4, "four memo hits");
@@ -286,7 +300,7 @@ mod tests {
     fn shared_matches_relstore_executor() {
         let db = db();
         let q = family_query(&db, "F1");
-        let via_shared = SharedExecutor::new(&db).execute(&q);
+        let via_shared = SharedExecutor::new(&db).execute(&q).unwrap();
         let via_relstore = q.execute(&db).unwrap();
         assert_eq!(via_shared.tuples, via_relstore.tuples);
     }
@@ -300,7 +314,7 @@ mod tests {
         let q = ConjunctiveQuery::scan(gene)
             .with_predicate(Predicate::ContainsToken(name, "grpc".into()))
             .with_predicate(Predicate::ContainsToken(fam, "f6".into()));
-        let r = SharedExecutor::new(&db).execute(&q);
+        let r = SharedExecutor::new(&db).execute(&q).unwrap();
         assert!(r.tuples.is_empty());
     }
 
@@ -316,7 +330,7 @@ mod tests {
     fn scan_query_returns_all() {
         let db = db();
         let gene = db.catalog().resolve("gene").unwrap();
-        let r = SharedExecutor::new(&db).execute(&ConjunctiveQuery::scan(gene));
+        let r = SharedExecutor::new(&db).execute(&ConjunctiveQuery::scan(gene)).unwrap();
         assert_eq!(r.tuples.len(), 4);
     }
 
@@ -351,7 +365,7 @@ mod tests {
             table: protein,
             predicates: vec![Predicate::ContainsToken(pname, "actin".into())],
         });
-        let via_shared = SharedExecutor::new(&db).execute(&q);
+        let via_shared = SharedExecutor::new(&db).execute(&q).unwrap();
         let via_relstore = q.execute(&db).unwrap();
         assert_eq!(via_shared.tuples, via_relstore.tuples);
         assert_eq!(via_shared.tuples.len(), 1);
@@ -362,7 +376,7 @@ mod tests {
             table: gene,
             predicates: vec![Predicate::Eq(fam, Value::text("F1"))],
         });
-        let a = SharedExecutor::new(&db).execute(&q2);
+        let a = SharedExecutor::new(&db).execute(&q2).unwrap();
         let b = q2.execute(&db).unwrap();
         assert_eq!(a.tuples, b.tuples);
         assert_eq!(a.tuples.len(), 1, "only P1's gene is in F1");
@@ -386,9 +400,9 @@ mod tests {
             .with_predicate(Predicate::ContainsToken(gname, "grop".into()))
             .with_join(join);
         let mut exec = SharedExecutor::new(&db);
-        exec.execute(&q1);
+        exec.execute(&q1).unwrap();
         let evals_after_first = exec.evaluations;
-        exec.execute(&q2);
+        exec.execute(&q2).unwrap();
         // Second query re-evaluates only its own base predicate; the join
         // predicate comes from the memo.
         assert_eq!(exec.evaluations, evals_after_first + 1);

@@ -35,7 +35,7 @@ proptest! {
             min_confidence: 0.0,
             ..Default::default()
         });
-        let hits = engine.search(&KeywordQuery::new([query.clone()]), &db);
+        let hits = engine.search(&KeywordQuery::new([query.clone()]), &db).unwrap();
         for h in hits {
             let tuple = db.get(h.tuple).unwrap();
             let body = tuple.get_by_name("body").unwrap().render();
@@ -57,7 +57,7 @@ proptest! {
         rows[0] = format!("{} zqx", rows[0]);
         let db = build_db(&rows);
         let engine = KeywordSearch::default();
-        let hits = engine.search(&KeywordQuery::new(["zqx"]), &db);
+        let hits = engine.search(&KeywordQuery::new(["zqx"]), &db).unwrap();
         prop_assert_eq!(hits.len(), 1);
         let body = db.get(hits[0].tuple).unwrap().get_by_name("body").unwrap().render();
         prop_assert!(body.contains("zqx"));
@@ -77,8 +77,8 @@ proptest! {
         });
         let group: Vec<KeywordQuery> =
             queries.iter().map(|q| KeywordQuery::new([q.clone()])).collect();
-        let (shared, _) = engine.search_group(&group, &db, ExecutionMode::Shared);
-        let (isolated, _) = engine.search_group(&group, &db, ExecutionMode::Isolated);
+        let (shared, _) = engine.search_group(&group, &db, ExecutionMode::Shared).unwrap();
+        let (isolated, _) = engine.search_group(&group, &db, ExecutionMode::Isolated).unwrap();
         prop_assert_eq!(shared.len(), isolated.len());
         for (s, i) in shared.iter().zip(&isolated) {
             let st: Vec<_> = s.iter().map(|h| h.tuple).collect();
@@ -98,8 +98,8 @@ proptest! {
         let loose = KeywordSearch::new(SearchOptions { min_confidence: 0.0, ..Default::default() });
         let strict = KeywordSearch::new(SearchOptions { min_confidence: floor, ..Default::default() });
         let q = KeywordQuery::new([query]);
-        let all = loose.search(&q, &db);
-        let some = strict.search(&q, &db);
+        let all = loose.search(&q, &db).unwrap();
+        let some = strict.search(&q, &db).unwrap();
         prop_assert!(some.len() <= all.len());
         let all_set: std::collections::HashSet<_> = all.iter().map(|h| h.tuple).collect();
         for h in some {

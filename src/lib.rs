@@ -16,7 +16,9 @@
 //! - [`nebula_workload`] — synthetic UniProt-like datasets and annotation
 //!   workloads used by the evaluation, and
 //! - [`nebula_obs`] — the in-tree telemetry subsystem (work counters, stage
-//!   spans, pipeline events) every layer above reports into.
+//!   spans, pipeline events) every layer above reports into, and
+//! - [`nebula_govern`] — resource governance: per-annotation execution
+//!   budgets, graceful degradation, and deterministic fault injection.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub mod shell;
 
 pub use annostore;
 pub use nebula_core;
+pub use nebula_govern;
 pub use nebula_obs;
 pub use nebula_workload;
 pub use relstore;
@@ -57,10 +60,12 @@ pub use textsearch;
 pub mod prelude {
     pub use annostore::{Annotation, AnnotationId, AnnotationStore, AttachmentTarget, Edge};
     pub use nebula_core::{
-        Acg, AssessmentReport, BoundsSetting, HopProfile, Nebula, NebulaConfig, NebulaMeta,
-        ProcessOutcome, QueryGenConfig, SearchMode, StabilityConfig, VerificationBounds,
-        VerificationQueue, VerificationTask,
+        Acg, AssessmentReport, BatchEntry, BatchReport, BatchStatus, BoundsSetting, HopProfile,
+        Nebula, NebulaConfig, NebulaError, NebulaMeta, ProcessOutcome, QuarantineReason,
+        QueryGenConfig, SearchMode, StabilityConfig, VerificationBounds, VerificationQueue,
+        VerificationTask,
     };
+    pub use nebula_govern::{Degradation, ExecutionBudget, FaultPlan, FaultStats, RetryPolicy};
     pub use nebula_workload::{generate_dataset, DatasetBundle, DatasetSpec, WorkloadSpec};
     pub use relstore::{
         ConjunctiveQuery, DataType, Database, Predicate, TableSchema, Tuple, TupleId, Value,

@@ -112,6 +112,7 @@ impl Shell {
             }
             "SAVE" => self.save(&tokens[1..]),
             "LOAD" => self.load(&tokens[1..]),
+            "SET" => self.set(&tokens[1..]),
             "SHOW" => self.show(&tokens[1..]),
             "EXPLAIN" => self.explain(&tokens[1..]),
             other => Err(err(format!("unknown command `{other}` — try HELP"))),
@@ -283,6 +284,9 @@ impl Shell {
                 outcome.rejected.len()
             ));
         }
+        for d in &outcome.degradations {
+            out.push(format!("  degraded: {d}"));
+        }
         Ok(out.join("\n"))
     }
 
@@ -339,12 +343,112 @@ impl Shell {
         Ok(format!("task {} resolved ({} ↔ {})", task.vid, task.annotation, task.tuple))
     }
 
-    /// `SHOW METRICS` — render the current telemetry snapshot: per-layer
-    /// work counters and per-stage latency distributions.
+    /// `SET BUDGET ... | SET FAULTS ...` — configure the execution budget
+    /// on the engine, or the fault plan on this thread.
+    fn set(&mut self, args: &[String]) -> Result<String, ShellError> {
+        match args.first().map(|s| s.to_uppercase()).as_deref() {
+            Some("BUDGET") => self.set_budget(&args[1..]),
+            Some("FAULTS") => self.set_faults(&args[1..]),
+            _ => Err(err("usage: SET BUDGET ... | SET FAULTS ...")),
+        }
+    }
+
+    /// `SET BUDGET DEADLINE <ms> | TUPLES <n> | CONFIGS <n> |
+    /// CANDIDATES <n> | OFF` — limits accumulate across calls; OFF resets
+    /// to unbounded.
+    fn set_budget(&mut self, args: &[String]) -> Result<String, ShellError> {
+        const USAGE: &str =
+            "usage: SET BUDGET DEADLINE <ms> | TUPLES <n> | CONFIGS <n> | CANDIDATES <n> | OFF";
+        let budget = &mut self.nebula.config_mut().budget;
+        match args.first().map(|s| s.to_uppercase()).as_deref() {
+            Some("OFF") => {
+                *budget = ExecutionBudget::unbounded();
+                return Ok("budget: unbounded".into());
+            }
+            Some(dim @ ("DEADLINE" | "TUPLES" | "CONFIGS" | "CANDIDATES")) => {
+                let n: u64 = args
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(format!("SET BUDGET {dim} needs a number")))?;
+                match dim {
+                    "DEADLINE" => {
+                        budget.deadline = Some(std::time::Duration::from_millis(n));
+                    }
+                    "TUPLES" => budget.max_tuples_inspected = n as usize,
+                    "CONFIGS" => budget.max_configurations = n as usize,
+                    _ => budget.max_candidates = n as usize,
+                }
+            }
+            _ => return Err(err(USAGE)),
+        }
+        Ok(format!("budget: {}", self.nebula.config().budget))
+    }
+
+    /// `SET FAULTS <seed> [RATE <r>] | HOSTILE <seed> | OFF` — install a
+    /// deterministic fault plan on this thread (uniform at RATE, default
+    /// 0.1), the always-firing hostile plan, or clear it.
+    fn set_faults(&mut self, args: &[String]) -> Result<String, ShellError> {
+        const USAGE: &str = "usage: SET FAULTS <seed> [RATE <r>] | HOSTILE <seed> | OFF";
+        match args.first().map(|s| s.to_uppercase()).as_deref() {
+            Some("OFF") => {
+                nebula_govern::set_fault_plan(None);
+                Ok("faults: off".into())
+            }
+            Some("HOSTILE") => {
+                let seed: u64 = args
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("SET FAULTS HOSTILE needs a seed"))?;
+                let plan = FaultPlan::hostile(seed);
+                let desc = plan.describe();
+                nebula_govern::set_fault_plan(Some(plan));
+                Ok(format!("faults: {desc}"))
+            }
+            Some(_) => {
+                let seed: u64 =
+                    args[0].parse().map_err(|_| err(format!("`{}` is not a seed", args[0])))?;
+                let rate = match args.get(1).map(|s| s.to_uppercase()).as_deref() {
+                    Some("RATE") => args
+                        .get(2)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .filter(|r| (0.0..=1.0).contains(r))
+                        .ok_or_else(|| err("RATE needs a number in [0, 1]"))?,
+                    Some(_) => return Err(err(USAGE)),
+                    None => 0.1,
+                };
+                let plan = FaultPlan::uniform(seed, rate);
+                let desc = plan.describe();
+                nebula_govern::set_fault_plan(Some(plan));
+                Ok(format!("faults: {desc}"))
+            }
+            None => Err(err(USAGE)),
+        }
+    }
+
+    /// `SHOW METRICS | BUDGET | FAULTS` — the telemetry snapshot, the
+    /// configured execution budget, or the installed fault plan and its
+    /// injection tallies.
     fn show(&self, args: &[String]) -> Result<String, ShellError> {
         match args.first().map(|s| s.to_uppercase()).as_deref() {
             Some("METRICS") => Ok(nebula_obs::snapshot().render_text()),
-            _ => Err(err("usage: SHOW METRICS")),
+            Some("BUDGET") => Ok(format!("budget: {}", self.nebula.config().budget)),
+            Some("FAULTS") => match nebula_govern::describe_fault_plan() {
+                None => Ok("faults: off".into()),
+                Some(desc) => {
+                    let s = nebula_govern::fault_stats();
+                    Ok(format!(
+                        "faults: {desc}\n  injected: {} query, {} index-probe, {} latency, \
+                         {} panic\n  recovered: {}   retries: {}",
+                        s.query_errors,
+                        s.index_probe_failures,
+                        s.latency_injections,
+                        s.panics,
+                        s.recovered,
+                        s.retries,
+                    ))
+                }
+            },
+            _ => Err(err("usage: SHOW METRICS | BUDGET | FAULTS")),
         }
     }
 
@@ -415,6 +519,9 @@ const HELP: &str = "commands:
   VERIFY ATTACHMENT <vid>;   REJECT ATTACHMENT <vid>;
   ACG;   PROFILE;
   SHOW METRICS;   EXPLAIN ANNOTATION <id>;
+  SET BUDGET DEADLINE <ms> | TUPLES <n> | CONFIGS <n> | CANDIDATES <n> | OFF;
+  SET FAULTS <seed> [RATE <r>] | HOSTILE <seed> | OFF;
+  SHOW BUDGET;   SHOW FAULTS;
   SAVE '<path>';   LOAD '<path>';
   HELP;   EXIT;";
 
@@ -636,6 +743,62 @@ mod tests {
         assert!(missing.contains("no recorded pipeline events"));
         assert!(sh.exec("EXPLAIN ANNOTATION abc").is_err());
         assert!(sh.exec("EXPLAIN NONSENSE 3").is_err());
+    }
+
+    #[test]
+    fn set_budget_and_show_budget() {
+        let mut sh = shell();
+        assert_eq!(sh.exec("SHOW BUDGET").unwrap(), "budget: unbounded");
+        assert_eq!(sh.exec("SET BUDGET TUPLES 500").unwrap(), "budget: tuples=500");
+        let out = sh.exec("SET BUDGET CONFIGS 8").unwrap();
+        assert_eq!(out, "budget: tuples=500 configs=8", "limits accumulate");
+        assert!(sh.exec("SET BUDGET DEADLINE 250").unwrap().contains("deadline=250ms"));
+        assert_eq!(sh.exec("SET BUDGET OFF").unwrap(), "budget: unbounded");
+        assert!(sh.exec("SET BUDGET TUPLES abc").is_err());
+        assert!(sh.exec("SET BUDGET NONSENSE 3").is_err());
+        assert!(sh.exec("SET NONSENSE").is_err());
+    }
+
+    #[test]
+    fn set_faults_and_show_faults() {
+        let mut sh = shell();
+        assert_eq!(sh.exec("SHOW FAULTS").unwrap(), "faults: off");
+        let out = sh.exec("SET FAULTS 42 RATE 0.5").unwrap();
+        assert!(out.contains("seed=42"), "{out}");
+        assert!(out.contains("query=0.50"), "{out}");
+        let shown = sh.exec("SHOW FAULTS").unwrap();
+        assert!(shown.contains("injected:"), "{shown}");
+        let hostile = sh.exec("SET FAULTS HOSTILE 7").unwrap();
+        assert!(hostile.contains("query=1.00"), "{hostile}");
+        assert_eq!(sh.exec("SET FAULTS OFF").unwrap(), "faults: off");
+        assert!(sh.exec("SET FAULTS abc").is_err());
+        assert!(sh.exec("SET FAULTS 42 RATE 7").is_err(), "rate out of range");
+    }
+
+    #[test]
+    fn budget_degradation_reported_by_annotate() {
+        let mut sh = shell();
+        sh.exec("SET BUDGET TUPLES 1").unwrap();
+        let out = sh
+            .exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'")
+            .unwrap();
+        assert!(out.contains("degraded:"), "{out}");
+        sh.exec("SET BUDGET OFF").unwrap();
+    }
+
+    #[test]
+    fn hostile_faults_quarantine_but_shell_survives() {
+        let mut sh = shell();
+        sh.exec("SET FAULTS HOSTILE 9").unwrap();
+        // Every query errors (transiently) and retries exhaust: the command
+        // fails with a structured error, but the shell keeps working.
+        let res = sh.exec("ANNOTATE gene 'JW0006' 'paired with gene JW0007'");
+        assert!(res.is_err());
+        let shown = sh.exec("SHOW FAULTS").unwrap();
+        assert!(shown.contains("retries: 2"), "bounded retries recorded: {shown}");
+        sh.exec("SET FAULTS OFF").unwrap();
+        let ok = sh.exec("ANNOTATE gene 'JW0006' 'paired with gene JW0007'");
+        assert!(ok.is_ok(), "clean run after clearing the plan");
     }
 
     #[test]

@@ -41,7 +41,8 @@ fn stage2_works_with_either_backend() {
                 &focal,
                 Some(&acg),
                 &ExecutionConfig::default(),
-            );
+            )
+            .expect("ungoverned search cannot fail");
             recovered[i] += missing.iter().filter(|m| cands.iter().any(|c| c.tuple == **m)).count();
         }
     }

@@ -4,12 +4,13 @@
 use nebula::nebula_workload::{build_workload, WorkloadSpec};
 use nebula::prelude::*;
 
-/// Run the pipeline and render every outcome to its full Debug form, so
-/// comparisons catch any divergence, not just the headline counts.
-fn run_pipeline_debug(seed: u64) -> Vec<String> {
+/// Run the pipeline under `config` and render every outcome to its full
+/// Debug form, so comparisons catch any divergence, not just the headline
+/// counts.
+fn run_pipeline_debug_with(seed: u64, config: NebulaConfig) -> Vec<String> {
     let mut bundle = generate_dataset(&DatasetSpec::tiny(), seed);
     let workload = build_workload(&bundle, &WorkloadSpec::default(), seed);
-    let mut nebula = Nebula::new(NebulaConfig::default(), bundle.meta.clone());
+    let mut nebula = Nebula::new(config, bundle.meta.clone());
     nebula.bootstrap_acg(&bundle.annotations);
     workload
         .iter()
@@ -27,6 +28,10 @@ fn run_pipeline_debug(seed: u64) -> Vec<String> {
             format!("{out:?}")
         })
         .collect()
+}
+
+fn run_pipeline_debug(seed: u64) -> Vec<String> {
+    run_pipeline_debug_with(seed, NebulaConfig::default())
 }
 
 #[test]
@@ -74,6 +79,96 @@ fn different_seeds_differ() {
     // Not a hard guarantee per annotation, but across 10 annotations two
     // different datasets should not produce identical traces.
     assert_ne!(run_pipeline(11), run_pipeline(12));
+}
+
+/// An explicit `usize::MAX` budget with no deadline is recognized as
+/// unbounded and leaves the pipeline byte-identical to the ungoverned
+/// default.
+#[test]
+fn unbounded_budget_is_byte_identical_to_ungoverned() {
+    let ungoverned = run_pipeline_debug(17);
+    let governed = run_pipeline_debug_with(
+        17,
+        NebulaConfig { budget: ExecutionBudget::unbounded(), ..Default::default() },
+    );
+    assert_eq!(ungoverned, governed);
+}
+
+/// A generous-but-finite budget installs the governor (every hot loop
+/// charges against it) yet never trips — so the full Debug rendering of
+/// every outcome must still match the ungoverned run byte for byte.
+#[test]
+fn untripped_governor_is_byte_identical_to_ungoverned() {
+    let ungoverned = run_pipeline_debug(17);
+    let governed = run_pipeline_debug_with(
+        17,
+        NebulaConfig {
+            budget: ExecutionBudget::unbounded()
+                .with_deadline(std::time::Duration::from_secs(3600))
+                .with_max_tuples(1 << 40)
+                .with_max_configurations(1 << 40)
+                .with_max_candidates(1 << 40),
+            ..Default::default()
+        },
+    );
+    assert_eq!(ungoverned, governed);
+}
+
+/// Degraded runs stay sound: when a tight tuple budget forces the
+/// focal-fallback ladder, every candidate the degraded engine proposes is
+/// one the unbounded full search would also have proposed (or a focal
+/// tuple itself) — degradation loses recall, never invents results.
+#[test]
+fn degraded_focal_candidates_are_subset_of_full_search() {
+    // Reject everything so neither engine mutates the attachment graph and
+    // the two runs stay state-identical annotation by annotation.
+    let bounds = VerificationBounds::new(1.1, 1.1);
+    let run = |budget: ExecutionBudget| -> Vec<(TupleId, ProcessOutcome)> {
+        let mut bundle = generate_dataset(&DatasetSpec::tiny(), 21);
+        let workload = build_workload(&bundle, &WorkloadSpec::default(), 21);
+        let mut nebula =
+            Nebula::new(NebulaConfig { bounds, budget, ..Default::default() }, bundle.meta.clone());
+        nebula.bootstrap_acg(&bundle.annotations);
+        nebula.acg_mut().set_stable(true);
+        workload
+            .iter()
+            .flat_map(|s| &s.annotations)
+            .filter(|wa| !wa.ideal.is_empty())
+            .take(10)
+            .map(|wa| {
+                let out = nebula
+                    .process_annotation(
+                        &bundle.db,
+                        &mut bundle.annotations,
+                        &wa.annotation,
+                        &[wa.ideal[0]],
+                    )
+                    .expect("budget trips degrade, they do not fail");
+                (wa.ideal[0], out)
+            })
+            .collect()
+    };
+
+    let full = run(ExecutionBudget::unbounded());
+    let tight = run(ExecutionBudget::unbounded().with_max_tuples(5));
+
+    assert_eq!(full.len(), tight.len());
+    let mut fallbacks = 0;
+    for ((_, f), (focal, t)) in full.iter().zip(&tight) {
+        if t.degradations.iter().any(|d| matches!(d, Degradation::FocalFallback { .. })) {
+            fallbacks += 1;
+        }
+        let full_set: std::collections::HashSet<TupleId> =
+            f.candidates.iter().map(|c| c.tuple).collect();
+        for c in &t.candidates {
+            assert!(
+                full_set.contains(&c.tuple) || c.tuple == *focal,
+                "degraded search proposed {} that the full search never saw",
+                c.tuple
+            );
+        }
+    }
+    assert!(fallbacks > 0, "the tight budget never tripped — test is vacuous");
 }
 
 #[test]

@@ -1,0 +1,226 @@
+//! Fault-injection integration suite: every injected fault site either
+//! recovers (retry or scan fallback) or surfaces as a quarantined
+//! annotation with matching telemetry — and batch ingest never aborts.
+//!
+//! The tests share one process, and telemetry counters are global, so
+//! every test serializes on `GUARD` and asserts on counter *deltas*.
+
+use nebula::nebula_govern as govern;
+use nebula::nebula_workload::{build_workload, WorkloadSpec};
+use nebula::prelude::*;
+use std::sync::Mutex;
+
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // A panicking test (some tests exercise injected panics) must not
+    // poison the suite.
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fresh copy of the bundle's seed store (`AnnotationStore` is not
+/// `Clone`; round-trip through the snapshot codec instead).
+fn fresh_store(bundle: &DatasetBundle) -> AnnotationStore {
+    let bytes = nebula::annostore::snapshot::save(&bundle.annotations);
+    nebula::annostore::snapshot::load(&bytes).expect("snapshot round-trip")
+}
+
+/// Dataset + engine + a batch of `n` workload annotations (cycled).
+fn batch_fixture(
+    seed: u64,
+    n: usize,
+    config: NebulaConfig,
+) -> (DatasetBundle, Nebula, Vec<(Annotation, Vec<TupleId>)>) {
+    let bundle = generate_dataset(&DatasetSpec::tiny(), seed);
+    let workload = build_workload(&bundle, &WorkloadSpec::default(), seed);
+    let mut nebula = Nebula::new(config, bundle.meta.clone());
+    nebula.bootstrap_acg(&bundle.annotations);
+    nebula.acg_mut().set_stable(true);
+    let base: Vec<_> =
+        workload.iter().flat_map(|s| &s.annotations).filter(|wa| !wa.ideal.is_empty()).collect();
+    assert!(!base.is_empty());
+    let items: Vec<_> = (0..n)
+        .map(|i| {
+            let wa = base[i % base.len()];
+            (wa.annotation.clone(), vec![wa.ideal[0]])
+        })
+        .collect();
+    (bundle, nebula, items)
+}
+
+/// Run `f` with panic output suppressed (injected panics are expected).
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// The tentpole acceptance scenario: a 500-annotation batch under a tight
+/// budget and a hostile seeded fault plan (panics on) completes without
+/// aborting; every annotation lands in exactly one terminal state and the
+/// telemetry counters agree with the report.
+#[test]
+fn hostile_500_batch_completes_with_full_accounting() {
+    let _g = lock();
+    let config = NebulaConfig {
+        bounds: VerificationBounds::new(0.4, 0.85),
+        budget: ExecutionBudget::unbounded()
+            .with_max_tuples(300)
+            .with_max_configurations(8)
+            .with_max_candidates(8),
+        ..Default::default()
+    };
+    let (bundle, mut nebula, items) = batch_fixture(41, 500, config);
+    let mut store = fresh_store(&bundle);
+
+    nebula::nebula_obs::set_enabled(true);
+    let baseline = nebula::nebula_obs::snapshot();
+    govern::set_fault_plan(Some(FaultPlan::hostile(0xF00D).with_panics(0.02)));
+    let report = with_quiet_panics(|| nebula.process_batch(&bundle.db, &mut store, &items));
+    let stats = govern::fault_stats();
+    govern::set_fault_plan(None);
+    let diff = nebula::nebula_obs::snapshot().diff(&baseline);
+    nebula::nebula_obs::set_enabled(false);
+
+    assert_eq!(report.total(), 500, "no annotation lost");
+    assert_eq!(
+        report.accepted + report.pending + report.rejected + report.degraded + report.quarantined,
+        500,
+        "every annotation ends in exactly one of the five states"
+    );
+    assert_eq!(
+        report.entries.iter().filter(|e| e.quarantine.is_some()).count(),
+        report.quarantined,
+        "quarantine reasons present iff quarantined"
+    );
+    // Hostile query faults exhaust retries → quarantines, with retries
+    // recorded both thread-locally and in the obs counters.
+    assert!(report.quarantined > 0);
+    assert!(stats.retries > 0);
+    assert!(stats.query_errors > 0);
+    assert_eq!(
+        diff.counters.get("core.quarantined").copied().unwrap_or(0),
+        report.quarantined as u64
+    );
+    assert_eq!(diff.counters.get("govern.retries").copied().unwrap_or(0), stats.retries);
+    assert!(
+        diff.counters.get("govern.faults_injected").copied().unwrap_or(0) >= stats.query_errors
+    );
+}
+
+/// With a moderate transient fault rate, some annotations recover via
+/// retry (succeeding after a failed attempt) and none abort the batch.
+#[test]
+fn transient_faults_recover_via_bounded_retry() {
+    let _g = lock();
+    let (bundle, mut nebula, items) = batch_fixture(42, 60, NebulaConfig::default());
+    let mut store = fresh_store(&bundle);
+
+    govern::set_fault_plan(Some(FaultPlan::new(7).with_query(0.3, true)));
+    let report = nebula.process_batch(&bundle.db, &mut store, &items);
+    let stats = govern::fault_stats();
+    govern::set_fault_plan(None);
+
+    assert_eq!(report.total(), 60);
+    assert!(stats.query_errors > 0, "the plan fired");
+    assert!(stats.retries > 0, "transient faults were retried");
+    assert!(
+        report.quarantined < report.total(),
+        "retries recovered at least part of the batch: {report:?}"
+    );
+    for e in &report.entries {
+        if let Some(QuarantineReason::Error(err)) = &e.quarantine {
+            assert!(
+                matches!(err, NebulaError::Fault { attempts, .. } if *attempts == 3),
+                "quarantined only after exhausting all attempts: {err:?}"
+            );
+        }
+    }
+}
+
+/// Index-probe failures are always absorbed: the executors fall back to a
+/// scan and produce byte-identical candidates.
+#[test]
+fn index_probe_failures_degrade_to_identical_candidates() {
+    let _g = lock();
+    let (bundle, mut nebula, items) = batch_fixture(43, 10, NebulaConfig::default());
+
+    let mut store_a = fresh_store(&bundle);
+    let clean = nebula.process_batch(&bundle.db, &mut store_a, &items);
+
+    let (_, mut nebula_b, _) = batch_fixture(43, 10, NebulaConfig::default());
+    let mut store_b = fresh_store(&bundle);
+    govern::set_fault_plan(Some(FaultPlan::new(11).with_index_probe(1.0)));
+    let probed = nebula_b.process_batch(&bundle.db, &mut store_b, &items);
+    let stats = govern::fault_stats();
+    govern::set_fault_plan(None);
+
+    assert!(stats.index_probe_failures > 0, "the probe site fired");
+    assert_eq!(stats.index_probe_failures, stats.recovered, "every probe failure was absorbed");
+    assert_eq!(probed.quarantined, 0);
+    for (a, b) in clean.entries.iter().zip(&probed.entries) {
+        let ca: Vec<_> =
+            a.outcome.as_ref().expect("clean").candidates.iter().map(|c| c.tuple).collect();
+        let cb: Vec<_> =
+            b.outcome.as_ref().expect("probed").candidates.iter().map(|c| c.tuple).collect();
+        assert_eq!(ca, cb, "scan fallback must not change results");
+    }
+}
+
+/// Injected panics at stage boundaries are contained per annotation: the
+/// poisoned annotation is quarantined with the panic message and the rest
+/// of the batch continues.
+#[test]
+fn injected_panics_are_contained_per_annotation() {
+    let _g = lock();
+    let (bundle, mut nebula, items) = batch_fixture(44, 8, NebulaConfig::default());
+    let mut store = fresh_store(&bundle);
+
+    govern::set_fault_plan(Some(FaultPlan::new(3).with_panics(1.0)));
+    let report = with_quiet_panics(|| nebula.process_batch(&bundle.db, &mut store, &items));
+    let stats = govern::fault_stats();
+    govern::set_fault_plan(None);
+
+    assert_eq!(report.total(), 8, "the batch never aborts");
+    assert_eq!(report.quarantined, 8, "every annotation hit the injected panic");
+    assert_eq!(stats.panics, 8);
+    for e in &report.entries {
+        match &e.quarantine {
+            Some(QuarantineReason::Panic(msg)) => {
+                assert!(msg.contains("injected panic"), "{msg}");
+            }
+            other => panic!("expected a panic quarantine, got {other:?}"),
+        }
+    }
+    // The engine is still usable afterwards.
+    let mut follow_up = fresh_store(&bundle);
+    let clean = nebula.process_batch(&bundle.db, &mut follow_up, &items[..2]);
+    assert_eq!(clean.quarantined, 0);
+}
+
+/// A budget trip on the full search degrades to focal-spreading (recorded
+/// as a `FocalFallback`) rather than failing the annotation.
+#[test]
+fn budget_trips_degrade_to_focal_fallback() {
+    let _g = lock();
+    let config = NebulaConfig {
+        budget: ExecutionBudget::unbounded().with_max_tuples(5),
+        ..Default::default()
+    };
+    let (bundle, mut nebula, items) = batch_fixture(45, 20, config);
+    let mut store = fresh_store(&bundle);
+    let report = nebula.process_batch(&bundle.db, &mut store, &items);
+
+    assert_eq!(report.quarantined, 0, "budget trips never quarantine");
+    assert!(report.degraded > 0, "the tight budget forced degradations");
+    let fallbacks = report
+        .entries
+        .iter()
+        .filter_map(|e| e.outcome.as_ref())
+        .flat_map(|o| &o.degradations)
+        .filter(|d| matches!(d, Degradation::FocalFallback { .. }))
+        .count();
+    assert!(fallbacks > 0, "full-search trips fell back to focal mode");
+}

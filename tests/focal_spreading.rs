@@ -37,12 +37,14 @@ fn spread_candidates_subset_of_full_search() {
         let queries = generate_queries(&bundle.db, &bundle.meta, &wa.annotation.text, &config);
 
         let engine = engine_for(&bundle, &bundle.db);
-        let (full, _) = identify_related_tuples(&bundle.db, &engine, &queries, &focal, None, &exec);
+        let (full, _) = identify_related_tuples(&bundle.db, &engine, &queries, &focal, None, &exec)
+            .expect("ungoverned search cannot fail");
         let full_set: std::collections::HashSet<TupleId> = full.iter().map(|c| c.tuple).collect();
 
         let (mini, back) = build_minidb(&bundle.db, &acg, &focal, 3);
         let mini_engine = engine_for(&bundle, &mini);
-        let (spread, _) = identify_related_tuples(&mini, &mini_engine, &queries, &[], None, &exec);
+        let (spread, _) = identify_related_tuples(&mini, &mini_engine, &queries, &[], None, &exec)
+            .expect("ungoverned search cannot fail");
         let spread = translate_candidates(spread, &back);
         for c in spread {
             if focal.contains(&c.tuple) {
