@@ -127,7 +127,11 @@ pub fn save(store: &AnnotationStore) -> Bytes {
         });
         buf.put_f64_le(e.weight);
     }
-    let cells: Vec<(AnnotationId, TupleId, ColumnId)> = store.iter_cell_columns().collect();
+    // Cells are sorted too, so the encoding is canonical: two stores with
+    // the same logical content produce identical bytes (the durability
+    // layer compares states by snapshot digest).
+    let mut cells: Vec<(AnnotationId, TupleId, ColumnId)> = store.iter_cell_columns().collect();
+    cells.sort();
     buf.put_u64_le(cells.len() as u64);
     for (aid, tid, cid) in cells {
         buf.put_u64_le(aid.0);
@@ -148,6 +152,11 @@ pub fn load(bytes: &[u8]) -> Result<AnnotationStore, SnapshotError> {
         return Err(SnapshotError::Truncated("annotation count"));
     }
     let count = buf.get_u64_le();
+    // Each annotation costs at least a text length and two option flags;
+    // fail a hostile count up front instead of looping on it.
+    if count > (buf.remaining() / 6) as u64 {
+        return Err(SnapshotError::Corrupt(format!("implausible annotation count {count}")));
+    }
     for _ in 0..count {
         let text = get_string(&mut buf)?;
         let author = get_opt_string(&mut buf)?;
@@ -161,6 +170,9 @@ pub fn load(bytes: &[u8]) -> Result<AnnotationStore, SnapshotError> {
         return Err(SnapshotError::Truncated("edge count"));
     }
     let edges = buf.get_u64_le();
+    if edges > (buf.remaining() / 29) as u64 {
+        return Err(SnapshotError::Corrupt(format!("implausible edge count {edges}")));
+    }
     for _ in 0..edges {
         if buf.remaining() < 8 {
             return Err(SnapshotError::Truncated("edge annotation"));
@@ -186,6 +198,9 @@ pub fn load(bytes: &[u8]) -> Result<AnnotationStore, SnapshotError> {
         return Err(SnapshotError::Truncated("cell count"));
     }
     let cells = buf.get_u64_le();
+    if cells > (buf.remaining() / 24) as u64 {
+        return Err(SnapshotError::Corrupt(format!("implausible cell count {cells}")));
+    }
     for _ in 0..cells {
         if buf.remaining() < 8 {
             return Err(SnapshotError::Truncated("cell annotation"));

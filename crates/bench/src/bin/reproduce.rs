@@ -11,6 +11,7 @@
 //!   fig15a fig15b            verification & assessment criteria
 //!   naive-assess             §8.2 naive-baseline assessment
 //!   profile                  Figure 7 hop profile + K selection
+//!   durability               WAL append overhead + recovery vs log length
 //!   ablation-acg ablation-querygen ablation-stability
 //!   all                      everything above
 //! ```
@@ -22,7 +23,8 @@
 //! recent pipeline events) to `DIR/<experiment>.json` (default `metrics/`).
 
 use nebula_bench::{
-    ablation, degradation, fig11, fig12, fig13, fig14, fig15, pipeline, profile, Scale, Setup,
+    ablation, degradation, durability, fig11, fig12, fig13, fig14, fig15, pipeline, profile, Scale,
+    Setup,
 };
 
 fn main() {
@@ -56,6 +58,7 @@ fn main() {
             "profile",
             "pipeline",
             "degradation",
+            "durability",
             "ablation-acg",
             "ablation-learn",
             "ablation-querygen",
@@ -64,8 +67,8 @@ fn main() {
     } else if experiments.contains(&"help") {
         println!(
             "experiments: fig11a fig11b fig11c fig12a fig12b fig13 fig14a fig14b \
-             fig15a fig15b naive-assess profile pipeline degradation ablation-acg \
-             ablation-learn ablation-querygen ablation-stability all"
+             fig15a fig15b naive-assess profile pipeline degradation durability \
+             ablation-acg ablation-learn ablation-querygen ablation-stability all"
         );
         return;
     } else {
@@ -189,6 +192,13 @@ fn main() {
                 eprintln!("[reproduce] generating D_small ...");
                 let setup = Setup::small(scale);
                 degradation::table(&degradation::run(&setup, 100)).print();
+            }
+            "durability" => {
+                eprintln!("[reproduce] generating D_small ...");
+                let setup = Setup::small(scale);
+                let (cells, recovery) = durability::run(&setup, 100);
+                durability::table(&cells).print();
+                durability::recovery_table(&recovery).print();
             }
             "profile" => {
                 let setup = get_large!();

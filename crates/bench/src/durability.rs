@@ -1,0 +1,247 @@
+//! Durability experiment: log-append overhead and recovery time.
+//!
+//! Part one runs the same batch ingest four times — durability off, WAL
+//! with per-record fsync, WAL with per-batch fsync, and WAL plus periodic
+//! checkpoints — and reports the wall-clock cost of each policy next to
+//! the log traffic it produced. Part two recovers prefixes of the longest
+//! log (25% / 50% / 100% of its records) and reports recovery time as a
+//! function of log length, the claim being that recovery cost is linear
+//! in the un-checkpointed suffix, not in database size.
+
+use crate::setup::Setup;
+use crate::table::Table;
+use nebula_core::{distort, Nebula, NebulaConfig, VerificationBounds};
+use nebula_durable::{recover, recover_from_bytes, wal, Durability, DurabilityOptions, SyncPolicy};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One ingest scenario's cost and log traffic.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Scenario label.
+    pub scenario: String,
+    /// Annotations ingested.
+    pub total: usize,
+    /// Batch wall time in milliseconds.
+    pub wall_ms: f64,
+    /// WAL records appended over the whole run (0 when durability is off).
+    pub records: u64,
+    /// Bytes left in the WAL at the end of the run.
+    pub wal_bytes: u64,
+    /// Checkpoint watermark at the end of the run.
+    pub watermark: u64,
+    /// Wall time of a full recovery from the scenario's directory.
+    pub recover_ms: f64,
+    /// Records replayed by that recovery.
+    pub replayed: usize,
+}
+
+/// One recovery-vs-log-length measurement.
+#[derive(Debug, Clone)]
+pub struct RecoveryCell {
+    /// Fraction of the log recovered.
+    pub fraction: &'static str,
+    /// Records in the prefix.
+    pub records: usize,
+    /// Bytes in the prefix.
+    pub bytes: usize,
+    /// Recovery wall time in milliseconds.
+    pub wall_ms: f64,
+}
+
+fn scenario_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("nebula-bench-durability-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine(setup: &Setup) -> Nebula {
+    setup.engine(NebulaConfig { bounds: VerificationBounds::new(0.4, 0.85), ..Default::default() })
+}
+
+/// Run one ingest scenario; `options` of `None` means durability off.
+fn scenario(
+    setup: &Setup,
+    max_bytes: usize,
+    label: &str,
+    options: Option<DurabilityOptions>,
+) -> (Cell, Option<PathBuf>) {
+    // Fresh store per scenario so earlier runs don't seed the ACG.
+    let bytes = annostore::snapshot::save(&setup.bundle.annotations);
+    let mut store = annostore::snapshot::load(&bytes).expect("snapshot round-trip");
+    let mut nebula = engine(setup);
+    let items: Vec<_> = setup
+        .set(max_bytes)
+        .annotations
+        .iter()
+        .map(|wa| (wa.annotation.clone(), distort(&wa.ideal, 1).0))
+        .collect();
+
+    let dir = options.map(|opts| {
+        let dir = scenario_dir(label);
+        let durability = Durability::begin(&dir, &setup.bundle.db, &store, opts)
+            .expect("fresh durability directory");
+        nebula.set_mutation_sink(Some(Box::new(durability)));
+        dir
+    });
+
+    let t0 = Instant::now();
+    let report = nebula.process_batch(&setup.bundle.db, &mut store, &items);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(nebula.take_mutation_sink());
+
+    let mut cell = Cell {
+        scenario: label.to_string(),
+        total: report.total(),
+        wall_ms,
+        records: 0,
+        wal_bytes: 0,
+        watermark: 0,
+        recover_ms: 0.0,
+        replayed: 0,
+    };
+    if let Some(dir) = &dir {
+        cell.wal_bytes = std::fs::metadata(dir.join(wal::WAL_FILE)).map(|m| m.len()).unwrap_or(0);
+        let t1 = Instant::now();
+        let recovered = recover(dir).expect("clean directory recovers");
+        cell.recover_ms = t1.elapsed().as_secs_f64() * 1e3;
+        cell.replayed = recovered.replayed;
+        cell.watermark = recovered.watermark;
+        // LSNs are dense from 1, so the last LSN is the total record count.
+        cell.records = recovered.last_lsn;
+    }
+    (cell, dir)
+}
+
+/// Run the four ingest scenarios, then recovery-vs-log-length over the
+/// longest log. Returns `(ingest cells, recovery cells)`.
+pub fn run(setup: &Setup, max_bytes: usize) -> (Vec<Cell>, Vec<RecoveryCell>) {
+    let (off, _) = scenario(setup, max_bytes, "off", None);
+    let (sync_each, dir_each) = scenario(
+        setup,
+        max_bytes,
+        "wal-sync-each",
+        Some(DurabilityOptions { sync: SyncPolicy::EveryRecord, checkpoint_every: None }),
+    );
+    let (sync_batch, dir_batch) = scenario(
+        setup,
+        max_bytes,
+        "wal-sync-batch",
+        Some(DurabilityOptions { sync: SyncPolicy::Batch, checkpoint_every: None }),
+    );
+    let (ckpt, dir_ckpt) = scenario(
+        setup,
+        max_bytes,
+        "wal-ckpt-64",
+        Some(DurabilityOptions { sync: SyncPolicy::Batch, checkpoint_every: Some(64) }),
+    );
+
+    // Recovery cost vs log length, on the longest (never-checkpointed) log.
+    let mut recovery = Vec::new();
+    if let Some(dir) = &dir_batch {
+        let image = nebula_durable::checkpoint::list_checkpoints(dir)
+            .ok()
+            .and_then(|list| list.last().map(|(_, p)| p.clone()))
+            .and_then(|p| std::fs::read(p).ok())
+            .expect("scenario wrote a checkpoint");
+        let wal_bytes = std::fs::read(dir.join(wal::WAL_FILE)).unwrap_or_default();
+        let (records, _) = wal::read_wal(&wal_bytes);
+        for (fraction, share) in [("25%", 4), ("50%", 2), ("100%", 1)] {
+            let count = records.len() / share;
+            let end = if count == 0 { 0 } else { records[count - 1].end_offset };
+            let t0 = Instant::now();
+            let recovered =
+                recover_from_bytes(Some(&image), &wal_bytes[..end]).expect("prefix recovers");
+            recovery.push(RecoveryCell {
+                fraction,
+                records: recovered.replayed,
+                bytes: end,
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+
+    for dir in [dir_each, dir_batch, dir_ckpt].into_iter().flatten() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    (vec![off, sync_each, sync_batch, ckpt], recovery)
+}
+
+/// Render the ingest-overhead grid.
+pub fn table(cells: &[Cell]) -> Table {
+    let mut t = Table::new(
+        "Durability: batch ingest overhead by policy".to_string(),
+        &[
+            "scenario",
+            "annotations",
+            "wall_ms",
+            "records",
+            "wal_bytes",
+            "watermark",
+            "recover_ms",
+            "replayed",
+        ],
+    );
+    for c in cells {
+        t.row(vec![
+            c.scenario.clone(),
+            c.total.to_string(),
+            format!("{:.1}", c.wall_ms),
+            c.records.to_string(),
+            c.wal_bytes.to_string(),
+            c.watermark.to_string(),
+            format!("{:.1}", c.recover_ms),
+            c.replayed.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Render the recovery-vs-log-length table.
+pub fn recovery_table(cells: &[RecoveryCell]) -> Table {
+    let mut t = Table::new(
+        "Durability: recovery time vs log length".to_string(),
+        &["log fraction", "records", "bytes", "recover_ms"],
+    );
+    for c in cells {
+        t.row(vec![
+            c.fraction.to_string(),
+            c.records.to_string(),
+            c.bytes.to_string(),
+            format!("{:.1}", c.wall_ms),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_workload::DatasetSpec;
+
+    #[test]
+    fn policies_ingest_identically_and_recovery_scales_with_the_log() {
+        let setup = Setup::new("test", &DatasetSpec::tiny());
+        let (cells, recovery) = run(&setup, 100);
+        assert_eq!(cells.len(), 4);
+        // Durability never changes what the batch produces.
+        for c in &cells[1..] {
+            assert_eq!(c.total, cells[0].total, "{}", c.scenario);
+            assert!(c.records > 0, "{} logged records", c.scenario);
+        }
+        assert_eq!(cells[0].records, 0, "off scenario stays off the log");
+        // All WAL-only scenarios append the same record stream.
+        assert_eq!(cells[1].records, cells[2].records);
+        // The checkpointing scenario truncates: its WAL is the smallest.
+        assert!(cells[3].wal_bytes <= cells[2].wal_bytes, "{cells:?}");
+        // Recovery sweep covers growing prefixes of the same log.
+        assert_eq!(recovery.len(), 3);
+        assert!(recovery[0].records <= recovery[1].records);
+        assert!(recovery[1].records <= recovery[2].records);
+        assert_eq!(recovery[2].records as u64, cells[2].records);
+        let rendered = table(&cells).render();
+        assert!(rendered.contains("wal-sync-each"));
+        assert!(recovery_table(&recovery).render().contains("100%"));
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod ablation;
 pub mod degradation;
+pub mod durability;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;

@@ -174,6 +174,19 @@ impl Nebula {
             }
             report.tally(entry.status);
             report.entries.push(entry);
+            // Periodic checkpointing between items: the sink decides when
+            // one is due; a failed checkpoint degrades gracefully (the WAL
+            // still covers everything, so nothing is lost).
+            if let Some(sink) = self.mutation_sink_mut() {
+                if sink.checkpoint_due() && sink.checkpoint(db, store).is_err() {
+                    nebula_obs::counter_add("core.checkpoint_deferred", 1);
+                }
+            }
+        }
+        if let Some(sink) = self.mutation_sink_mut() {
+            if sink.flush().is_err() {
+                nebula_obs::counter_add("core.flush_failed", 1);
+            }
         }
         report
     }

@@ -1,0 +1,129 @@
+//! The engine ↔ durability boundary: logged mutations and the sink trait.
+//!
+//! The proactive pipeline mutates the annotation layer at a handful of
+//! well-defined points (register, attach, accept, reject, curate to a cell,
+//! tuple deletion). Each point is described by a [`Mutation`] and offered to
+//! an optional [`MutationSink`] **before** it is applied — write-ahead
+//! semantics — so a sink that persists the mutations (the `nebula-durable`
+//! WAL) can reconstruct the exact in-memory state after a crash.
+//!
+//! The trait lives in `nebula-core` so the engine does not depend on any
+//! concrete durability implementation; `nebula-durable` depends on core and
+//! implements the trait, and the facade wires the two together.
+
+use annostore::{Annotation, AnnotationId, AnnotationStore};
+use relstore::{ColumnId, Database, TupleId};
+use std::fmt;
+
+/// One annotation-layer mutation, offered to the sink before it is applied.
+///
+/// Borrows from the pipeline's working state; sinks that persist mutations
+/// serialize what they need and return.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mutation<'a> {
+    /// A new annotation is about to be inserted. `expected` is the id the
+    /// store will assign (ids are dense, in insertion order); replay
+    /// verifies the assignment to catch checkpoint/log mismatches.
+    AddAnnotation {
+        /// The id the store will assign.
+        expected: AnnotationId,
+        /// The annotation being inserted.
+        annotation: &'a Annotation,
+    },
+    /// A true (focal or verified) attachment to a whole tuple.
+    AttachTuple {
+        /// The attaching annotation.
+        annotation: AnnotationId,
+        /// The target tuple.
+        tuple: TupleId,
+    },
+    /// A curated attachment refined to one cell of a tuple.
+    AttachCell {
+        /// The attaching annotation.
+        annotation: AnnotationId,
+        /// The target tuple.
+        tuple: TupleId,
+        /// The target column within the tuple.
+        column: ColumnId,
+    },
+    /// A predicted attachment entering the pending-verification band.
+    AttachPredicted {
+        /// The attaching annotation.
+        annotation: AnnotationId,
+        /// The predicted target tuple.
+        tuple: TupleId,
+        /// Prediction confidence.
+        confidence: f64,
+    },
+    /// A predicted edge is accepted (auto-accept or expert verification)
+    /// and becomes a true attachment.
+    AcceptEdge {
+        /// The attaching annotation.
+        annotation: AnnotationId,
+        /// The accepted target tuple.
+        tuple: TupleId,
+    },
+    /// A predicted edge is rejected and discarded.
+    RejectEdge {
+        /// The attaching annotation.
+        annotation: AnnotationId,
+        /// The rejected target tuple.
+        tuple: TupleId,
+    },
+    /// A tuple is deleted from the relational store; the annotation layer
+    /// drops every attachment to it.
+    TupleDeleted {
+        /// The deleted tuple.
+        tuple: TupleId,
+    },
+}
+
+/// A sink failed to record or persist a mutation.
+///
+/// Carries only a rendered message: the engine treats any sink failure the
+/// same way (the mutation is *not* applied and the annotation is
+/// quarantined), so structure would buy nothing at this boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkError(pub String);
+
+impl fmt::Display for SinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for SinkError {}
+
+/// Receives every annotation-layer mutation before it is applied.
+///
+/// Implementations must honor write-ahead semantics: when [`record`]
+/// returns `Ok`, the mutation is (or will deterministically become)
+/// recoverable; when it returns `Err`, the engine does **not** apply the
+/// mutation, so the persisted log never runs ahead of the in-memory state
+/// on the error path and never lags it on the success path.
+///
+/// [`record`]: MutationSink::record
+pub trait MutationSink: fmt::Debug {
+    /// Persist one mutation. Returns its log sequence number.
+    fn record(&mut self, mutation: &Mutation<'_>) -> Result<u64, SinkError>;
+
+    /// Should the engine take a checkpoint now? Consulted between batch
+    /// items; the default sink never asks for one.
+    fn checkpoint_due(&self) -> bool {
+        false
+    }
+
+    /// Write a checkpoint of the full state and truncate the log. Returns
+    /// the sequence watermark the checkpoint covers.
+    fn checkpoint(&mut self, db: &Database, store: &AnnotationStore) -> Result<u64, SinkError>;
+
+    /// Flush any buffered state to stable storage (end of a batch).
+    fn flush(&mut self) -> Result<(), SinkError> {
+        Ok(())
+    }
+
+    /// One-line status for `SHOW DURABILITY`.
+    fn describe(&self) -> String {
+        String::new()
+    }
+}

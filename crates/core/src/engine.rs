@@ -18,13 +18,14 @@
 //! extended SQL command handled by [`Nebula::execute_command`].
 
 use crate::acg::{Acg, StabilityConfig};
+use crate::durability::{Mutation, MutationSink};
 use crate::error::NebulaError;
 use crate::execution::{identify_related_tuples, translate_candidates, Candidate, ExecutionConfig};
 use crate::focal::{build_minidb, HopProfile};
 use crate::meta::NebulaMeta;
 use crate::querygen::{generate_queries, GeneratedQuery, QueryGenConfig};
 use crate::verify::{Command, Decision, VerificationBounds, VerificationQueue, VerificationTask};
-use annostore::{Annotation, AnnotationId, AnnotationStore, AttachmentTarget, StoreError};
+use annostore::{Annotation, AnnotationId, AnnotationStore, AttachmentTarget};
 use nebula_govern::{Degradation, ExecutionBudget, RetryPolicy};
 use nebula_obs::{names, PipelineEvent};
 use relstore::{Database, TupleId};
@@ -122,13 +123,21 @@ pub struct Nebula {
     acg: Acg,
     profile: HopProfile,
     queue: VerificationQueue,
+    sink: Option<Box<dyn MutationSink>>,
 }
 
 impl Nebula {
     /// New engine with the given configuration and metadata repository.
     pub fn new(config: NebulaConfig, meta: NebulaMeta) -> Self {
         let acg = Acg::new(config.stability);
-        Nebula { config, meta, acg, profile: HopProfile::new(), queue: VerificationQueue::new() }
+        Nebula {
+            config,
+            meta,
+            acg,
+            profile: HopProfile::new(),
+            queue: VerificationQueue::new(),
+            sink: None,
+        }
     }
 
     /// The engine's configuration.
@@ -165,6 +174,38 @@ impl Nebula {
     /// The pending-verification queue.
     pub fn queue(&self) -> &VerificationQueue {
         &self.queue
+    }
+
+    /// Install (or clear, with `None`) the durability sink. Every
+    /// subsequent annotation-layer mutation is offered to the sink
+    /// *before* it is applied (write-ahead); a sink failure aborts the
+    /// mutation, so the log never diverges from the in-memory state.
+    pub fn set_mutation_sink(&mut self, sink: Option<Box<dyn MutationSink>>) {
+        self.sink = sink;
+    }
+
+    /// The installed durability sink, if any.
+    pub fn mutation_sink(&self) -> Option<&dyn MutationSink> {
+        self.sink.as_deref()
+    }
+
+    /// Mutable access to the installed durability sink (checkpoints need
+    /// `&mut`).
+    pub fn mutation_sink_mut(&mut self) -> Option<&mut (dyn MutationSink + 'static)> {
+        self.sink.as_deref_mut()
+    }
+
+    /// Remove and return the installed durability sink.
+    pub fn take_mutation_sink(&mut self) -> Option<Box<dyn MutationSink>> {
+        self.sink.take()
+    }
+
+    /// Offer one mutation to the sink (no-op when none is installed).
+    fn log_mutation(&mut self, mutation: &Mutation<'_>) -> Result<(), NebulaError> {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(mutation)?;
+        }
+        Ok(())
     }
 
     /// Build the ACG at once from the store's current true attachments
@@ -234,8 +275,11 @@ impl Nebula {
         // Stage 0: register the annotation and its focal attachments.
         nebula_govern::stage_boundary(names::STAGE0_REGISTER);
         let stage0_span = nebula_obs::span(names::STAGE0_REGISTER);
+        let expected = AnnotationId(store.annotation_count() as u64);
+        self.log_mutation(&Mutation::AddAnnotation { expected, annotation })?;
         let aid = store.add_annotation(annotation.clone());
         for &f in focal {
+            self.log_mutation(&Mutation::AttachTuple { annotation: aid, tuple: f })?;
             store.attach(aid, AttachmentTarget::tuple(f))?;
             self.acg.add_attachment(store, aid, f);
         }
@@ -288,6 +332,11 @@ impl Nebula {
                     accepted.push((cand.tuple, cand.confidence));
                 }
                 Decision::Pending => {
+                    self.log_mutation(&Mutation::AttachPredicted {
+                        annotation: aid,
+                        tuple: cand.tuple,
+                        confidence: cand.confidence,
+                    })?;
                     store.attach_predicted(aid, cand.tuple, cand.confidence)?;
                     let vid = self.queue.next_vid();
                     self.queue.enqueue(VerificationTask {
@@ -475,7 +524,8 @@ impl Nebula {
         aid: AnnotationId,
         tuple: TupleId,
         focal: &[TupleId],
-    ) -> Result<(), StoreError> {
+    ) -> Result<(), NebulaError> {
+        self.log_mutation(&Mutation::AcceptEdge { annotation: aid, tuple })?;
         if !focal.is_empty() {
             if let Some(hops) = self.acg.shortest_hops(tuple, focal, 16) {
                 self.profile.record(hops);
@@ -502,6 +552,10 @@ impl Nebula {
             let focal = store.focal(task.annotation);
             self.apply_accept(store, task.annotation, task.tuple, &focal)?;
         } else {
+            self.log_mutation(&Mutation::RejectEdge {
+                annotation: task.annotation,
+                tuple: task.tuple,
+            })?;
             store.discard_prediction(task.annotation, task.tuple)?;
         }
         Ok(task)
@@ -511,19 +565,21 @@ impl Nebula {
     /// annotation layer consistent — removes every attachment to the
     /// tuple, drops it from the ACG, and discards pending verification
     /// tasks that target it. Returns the annotations that lost a true
-    /// attachment.
+    /// attachment. Fails only when the durability sink cannot log the
+    /// deletion (the annotation layer is then left untouched).
     pub fn on_tuple_deleted(
         &mut self,
         store: &mut AnnotationStore,
         tid: TupleId,
-    ) -> Vec<AnnotationId> {
+    ) -> Result<Vec<AnnotationId>, NebulaError> {
+        self.log_mutation(&Mutation::TupleDeleted { tuple: tid })?;
         let stale: Vec<u64> =
             self.queue.iter().filter(|task| task.tuple == tid).map(|task| task.vid).collect();
         for vid in stale {
             self.queue.take(vid);
         }
         self.acg.remove_tuple(tid);
-        store.on_tuple_deleted(tid)
+        Ok(store.on_tuple_deleted(tid))
     }
 
     /// Execute the extended SQL command
@@ -823,7 +879,7 @@ mod tests {
         assert!(!out.pending.is_empty());
         let victim = nebula.queue().get(out.pending[0]).unwrap().tuple;
 
-        let affected = nebula.on_tuple_deleted(&mut store, victim);
+        let affected = nebula.on_tuple_deleted(&mut store, victim).unwrap();
         // Pending tasks targeting the tuple are gone.
         assert!(nebula.queue().iter().all(|t| t.tuple != victim));
         // Predicted edge gone from the store.
@@ -835,7 +891,7 @@ mod tests {
         assert!(affected.is_empty());
 
         // Deleting a focal tuple reports the affected annotation.
-        let affected = nebula.on_tuple_deleted(&mut store, ids[0]);
+        let affected = nebula.on_tuple_deleted(&mut store, ids[0]).unwrap();
         assert_eq!(affected, vec![out.annotation]);
     }
 

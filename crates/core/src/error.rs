@@ -34,6 +34,9 @@ pub enum NebulaError {
     UnknownTask(u64),
     /// An extended-SQL command failed to parse.
     Parse(String),
+    /// The durability sink failed to record a mutation; the mutation was
+    /// not applied, keeping the log and the in-memory state consistent.
+    Durability(String),
 }
 
 impl From<StoreError> for NebulaError {
@@ -68,6 +71,12 @@ impl From<BudgetExceeded> for NebulaError {
     }
 }
 
+impl From<crate::durability::SinkError> for NebulaError {
+    fn from(e: crate::durability::SinkError) -> NebulaError {
+        NebulaError::Durability(e.0)
+    }
+}
+
 impl fmt::Display for NebulaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -80,6 +89,7 @@ impl fmt::Display for NebulaError {
             }
             NebulaError::UnknownTask(vid) => write!(f, "no pending verification task {vid}"),
             NebulaError::Parse(msg) => write!(f, "parse error: {msg}"),
+            NebulaError::Durability(msg) => write!(f, "durability: {msg}"),
         }
     }
 }
@@ -92,7 +102,9 @@ impl std::error::Error for NebulaError {
             NebulaError::Search(e) => Some(e),
             NebulaError::Budget(b) => Some(b),
             NebulaError::Fault { fault, .. } => Some(fault),
-            NebulaError::UnknownTask(_) | NebulaError::Parse(_) => None,
+            NebulaError::UnknownTask(_) | NebulaError::Parse(_) | NebulaError::Durability(_) => {
+                None
+            }
         }
     }
 }

@@ -18,10 +18,13 @@
 //! [`patterns`] provides the small from-scratch pattern matcher NebulaMeta
 //! uses for syntactic column descriptions (e.g. `JW[0-9]{4}`).
 //!
-//! Cross-cutting robustness ([`error`], [`batch`]): every fallible engine
-//! path returns a typed [`NebulaError`], and [`Nebula::process_batch`]
-//! ingests whole batches with per-annotation fault containment under the
-//! `nebula-govern` execution budgets and fault plans.
+//! Cross-cutting robustness ([`error`], [`batch`], [`durability`]): every
+//! fallible engine path returns a typed [`NebulaError`],
+//! [`Nebula::process_batch`] ingests whole batches with per-annotation
+//! fault containment under the `nebula-govern` execution budgets and fault
+//! plans, and an optional [`MutationSink`] receives every annotation-layer
+//! mutation *before* it is applied (write-ahead), which is what the
+//! `nebula-durable` crate builds its crash-safe WAL on.
 //!
 //! See the [`Nebula`] facade for the end-to-end API.
 
@@ -32,6 +35,7 @@ pub mod adjust;
 pub mod assess;
 pub mod batch;
 pub mod bounds;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod execution;
@@ -49,6 +53,7 @@ pub use adjust::{context_based_adjustment, AdjustParams};
 pub use assess::{assess_predictions, AssessmentCounts, AssessmentReport};
 pub use batch::{BatchEntry, BatchReport, BatchStatus, QuarantineReason};
 pub use bounds::{distort, BoundsEvaluation, BoundsSetting, TrainingExample};
+pub use durability::{Mutation, MutationSink, SinkError};
 pub use engine::{Nebula, NebulaConfig, ProcessOutcome, SearchMode};
 pub use error::NebulaError;
 pub use execution::{

@@ -1,0 +1,556 @@
+//! [`Durability`] — the live WAL/checkpoint manager the engine logs
+//! through.
+//!
+//! ## Write path
+//!
+//! [`Durability::append`] encodes one record and writes it to the log,
+//! with `nebula-govern` I/O fault sites consulted at every step:
+//!
+//! 1. **Torn write** — only a prefix of the record reaches the file and
+//!    *stays there*, as a real crash mid-write would leave it. The manager
+//!    **wedges**: further appends are refused until a checkpoint (which
+//!    truncates the log, discarding the torn bytes) or a restart through
+//!    [`Durability::resume`] (which truncates to the valid prefix).
+//! 2. **Short write** — a prefix reaches the file but the failure is
+//!    detected immediately, so the manager truncates back to the pre-write
+//!    offset and reports the error; the log stays clean and unwedged.
+//! 3. **Fsync failure** — the record bytes are in the file but stable
+//!    storage was never confirmed; the manager wedges.
+//!
+//! Because the engine logs **before** it applies and never applies a
+//! mutation whose append failed, the in-memory state always equals the
+//! log's valid prefix — which is exactly what wedged-state checkpointing
+//! and crash recovery rely on.
+//!
+//! ## Checkpoint path
+//!
+//! [`Durability::checkpoint`] writes the framed image to `checkpoint.tmp`,
+//! fsyncs it, then **reads it back and fully decodes it** before renaming
+//! it into place and truncating the WAL. An injected bit flip (or any real
+//! corruption) therefore fails the checkpoint cleanly — the previous
+//! checkpoint and the complete WAL still hold every mutation, so nothing
+//! is lost.
+
+use crate::checkpoint;
+use crate::recover::{recover, Recovered};
+use crate::wal::{encode_record, WalOp, WAL_FILE};
+use crate::{counters, DurableError};
+use annostore::AnnotationStore;
+use nebula_core::{Mutation, MutationSink, SinkError};
+use nebula_govern::{inject_io, FaultSite, IoFault};
+use relstore::Database;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// When the WAL is fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Fsync after every record — maximum durability, slowest.
+    EveryRecord,
+    /// Fsync once per batch (the engine flushes at batch end).
+    Batch,
+}
+
+/// Tuning knobs for [`Durability`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// Fsync cadence.
+    pub sync: SyncPolicy,
+    /// Take a checkpoint after this many records (`None` = only on
+    /// explicit request).
+    pub checkpoint_every: Option<usize>,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> DurabilityOptions {
+        DurabilityOptions { sync: SyncPolicy::EveryRecord, checkpoint_every: None }
+    }
+}
+
+/// The live durability manager: an open WAL plus checkpoint bookkeeping.
+#[derive(Debug)]
+pub struct Durability {
+    dir: PathBuf,
+    wal: File,
+    wal_len: u64,
+    next_lsn: u64,
+    ckpt_seq: u64,
+    watermark: u64,
+    since_checkpoint: usize,
+    options: DurabilityOptions,
+    wedged: Option<String>,
+}
+
+impl Durability {
+    /// Start durability in a fresh directory: write an initial checkpoint
+    /// of the current state and open an empty WAL.
+    ///
+    /// Refuses a directory that already holds durable state
+    /// ([`DurableError::DirectoryInUse`]) — recover it or pick another.
+    pub fn begin(
+        dir: &Path,
+        db: &Database,
+        store: &AnnotationStore,
+        options: DurabilityOptions,
+    ) -> Result<Durability, DurableError> {
+        std::fs::create_dir_all(dir)?;
+        let existing = checkpoint::list_checkpoints(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        let wal_populated = std::fs::metadata(&wal_path).map(|m| m.len() > 0).unwrap_or(false);
+        if !existing.is_empty() || wal_populated {
+            return Err(DurableError::DirectoryInUse(dir.display().to_string()));
+        }
+        let wal = OpenOptions::new().create(true).truncate(true).write(true).open(&wal_path)?;
+        let mut durability = Durability {
+            dir: dir.to_path_buf(),
+            wal,
+            wal_len: 0,
+            next_lsn: 1,
+            ckpt_seq: 1,
+            watermark: 0,
+            since_checkpoint: 0,
+            options,
+            wedged: None,
+        };
+        durability.checkpoint(db, store)?;
+        Ok(durability)
+    }
+
+    /// Reopen a directory: recover its state, repair the WAL tail
+    /// (truncate to the valid prefix), and return a manager ready to
+    /// append, alongside the recovered state.
+    pub fn resume(
+        dir: &Path,
+        options: DurabilityOptions,
+    ) -> Result<(Durability, Recovered), DurableError> {
+        let recovered = recover(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        let mut wal =
+            OpenOptions::new().create(true).truncate(false).write(true).open(&wal_path)?;
+        if recovered.tail.dropped_bytes > 0 {
+            wal.set_len(recovered.tail.valid_bytes as u64)?;
+            wal.sync_data()?;
+            nebula_obs::counter_add(counters::WAL_TRUNCATIONS, 1);
+        }
+        wal.seek(SeekFrom::Start(recovered.tail.valid_bytes as u64))?;
+        let ckpt_seq =
+            checkpoint::list_checkpoints(dir)?.last().map(|(seq, _)| seq + 1).unwrap_or(1);
+        let durability = Durability {
+            dir: dir.to_path_buf(),
+            wal,
+            wal_len: recovered.tail.valid_bytes as u64,
+            next_lsn: recovered.last_lsn + 1,
+            ckpt_seq,
+            watermark: recovered.watermark,
+            since_checkpoint: recovered.replayed,
+            options,
+            wedged: None,
+        };
+        Ok((durability, recovered))
+    }
+
+    /// Append one operation to the log. Returns the assigned LSN.
+    pub fn append(&mut self, op: &WalOp) -> Result<u64, DurableError> {
+        let _span = nebula_obs::span(counters::SPAN_APPEND);
+        if let Some(why) = &self.wedged {
+            nebula_obs::counter_add(counters::APPEND_FAILURES, 1);
+            return Err(DurableError::Wedged(why.clone()));
+        }
+        let lsn = self.next_lsn;
+        let record = encode_record(lsn, op);
+
+        if let Some(IoFault::TornWrite { keep }) = inject_io(FaultSite::TornWrite, record.len()) {
+            // A crash mid-write: the prefix stays on disk and the log is
+            // in an unknown state until a checkpoint or recovery.
+            self.wal.write_all(&record[..keep])?;
+            let _ = self.wal.sync_data();
+            self.wedged = Some(format!("torn write at lsn {lsn} ({keep} bytes persisted)"));
+            nebula_obs::counter_add(counters::APPEND_FAILURES, 1);
+            return Err(DurableError::TornWrite { written: keep, expected: record.len() });
+        }
+        if let Some(IoFault::ShortWrite { keep }) = inject_io(FaultSite::ShortWrite, record.len()) {
+            // Detected immediately: restore the pre-write length so the
+            // log stays clean.
+            self.wal.write_all(&record[..keep])?;
+            self.wal.set_len(self.wal_len)?;
+            self.wal.seek(SeekFrom::Start(self.wal_len))?;
+            nebula_obs::counter_add(counters::APPEND_FAILURES, 1);
+            return Err(DurableError::ShortWrite { written: keep, expected: record.len() });
+        }
+
+        self.wal.write_all(&record)?;
+        if self.options.sync == SyncPolicy::EveryRecord {
+            if let Some(IoFault::FsyncFail) = inject_io(FaultSite::FsyncFail, record.len()) {
+                self.wedged = Some(format!("fsync failed after lsn {lsn}"));
+                nebula_obs::counter_add(counters::APPEND_FAILURES, 1);
+                return Err(DurableError::SyncFailed(format!("after lsn {lsn}")));
+            }
+            self.wal.sync_data()?;
+            nebula_obs::counter_add(counters::FSYNCS, 1);
+        }
+        self.wal_len += record.len() as u64;
+        self.next_lsn += 1;
+        self.since_checkpoint += 1;
+        nebula_obs::counter_add(counters::RECORDS_APPENDED, 1);
+        nebula_obs::counter_add(counters::BYTES_APPENDED, record.len() as u64);
+        Ok(lsn)
+    }
+
+    /// Fsync the log (used by the [`SyncPolicy::Batch`] policy at batch
+    /// boundaries; a no-op under [`SyncPolicy::EveryRecord`]).
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        if self.options.sync != SyncPolicy::Batch || self.wedged.is_some() {
+            return Ok(());
+        }
+        if let Some(IoFault::FsyncFail) = inject_io(FaultSite::FsyncFail, self.wal_len as usize) {
+            self.wedged = Some("batch fsync failed".to_string());
+            return Err(DurableError::SyncFailed("batch flush".to_string()));
+        }
+        self.wal.sync_data()?;
+        nebula_obs::counter_add(counters::FSYNCS, 1);
+        Ok(())
+    }
+
+    /// Take a checkpoint of `db`/`store`, verify it, commit it, and
+    /// truncate the WAL. Returns the watermark the checkpoint covers.
+    ///
+    /// Valid — and the only self-service repair — while wedged: the
+    /// in-memory state equals the log's valid prefix (failed appends are
+    /// never applied), so persisting it and truncating the log discards
+    /// exactly the torn bytes.
+    pub fn checkpoint(
+        &mut self,
+        db: &Database,
+        store: &AnnotationStore,
+    ) -> Result<u64, DurableError> {
+        let _span = nebula_obs::span(counters::SPAN_CHECKPOINT);
+        let watermark = self.next_lsn - 1;
+        let mut image = checkpoint::encode(watermark, db, store);
+        if let Some(IoFault::BitFlip { bit }) = inject_io(FaultSite::BitFlip, image.len()) {
+            image[bit / 8] ^= 1 << (bit % 8);
+        }
+
+        let tmp_path = self.dir.join("checkpoint.tmp");
+        let commit = (|| -> Result<(), DurableError> {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(&image)?;
+            tmp.sync_data()?;
+            drop(tmp);
+            // Read back and fully decode before committing: a corrupt
+            // image (injected bit flip, real disk fault) must never
+            // replace a good checkpoint or cost WAL records.
+            let reread = std::fs::read(&tmp_path)?;
+            checkpoint::decode(&reread)?;
+            Ok(())
+        })();
+        if let Err(e) = commit {
+            let _ = std::fs::remove_file(&tmp_path);
+            nebula_obs::counter_add(counters::CHECKPOINT_FAILURES, 1);
+            return Err(e);
+        }
+        let final_path = self.dir.join(checkpoint::file_name(self.ckpt_seq));
+        std::fs::rename(&tmp_path, &final_path)?;
+
+        // The image is durable: the log before the watermark is redundant.
+        self.wal.set_len(0)?;
+        self.wal.seek(SeekFrom::Start(0))?;
+        self.wal.sync_data()?;
+        self.wal_len = 0;
+        self.watermark = watermark;
+        self.since_checkpoint = 0;
+        self.wedged = None;
+        for (seq, path) in checkpoint::list_checkpoints(&self.dir)? {
+            if seq < self.ckpt_seq {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        self.ckpt_seq += 1;
+        nebula_obs::counter_add(counters::CHECKPOINTS, 1);
+        Ok(watermark)
+    }
+
+    /// The directory this manager persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The LSN the next append will use.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// The watermark of the last committed checkpoint.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Bytes currently in the WAL's valid prefix.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_len
+    }
+
+    /// Is the log wedged (torn write / fsync failure awaiting repair)?
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.is_some()
+    }
+}
+
+impl MutationSink for Durability {
+    fn record(&mut self, mutation: &Mutation<'_>) -> Result<u64, SinkError> {
+        self.append(&WalOp::from_mutation(mutation)).map_err(|e| SinkError(e.to_string()))
+    }
+
+    fn checkpoint_due(&self) -> bool {
+        self.options.checkpoint_every.is_some_and(|every| self.since_checkpoint >= every)
+    }
+
+    fn checkpoint(&mut self, db: &Database, store: &AnnotationStore) -> Result<u64, SinkError> {
+        Durability::checkpoint(self, db, store).map_err(|e| SinkError(e.to_string()))
+    }
+
+    fn flush(&mut self) -> Result<(), SinkError> {
+        self.sync().map_err(|e| SinkError(e.to_string()))
+    }
+
+    fn describe(&self) -> String {
+        let policy = match self.options.sync {
+            SyncPolicy::EveryRecord => "every-record",
+            SyncPolicy::Batch => "batch",
+        };
+        let every =
+            self.options.checkpoint_every.map_or_else(|| "manual".to_string(), |n| n.to_string());
+        format!(
+            "dir={} sync={policy} checkpoint_every={every} next_lsn={} watermark={} \
+             wal_bytes={}{}",
+            self.dir.display(),
+            self.next_lsn,
+            self.watermark,
+            self.wal_len,
+            if self.wedged.is_some() { " WEDGED" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recover::recover;
+    use annostore::AnnotationId;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nebula-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn op(n: u64) -> WalOp {
+        WalOp::AddAnnotation {
+            expected: AnnotationId(n),
+            text: format!("note {n}"),
+            author: None,
+            kind: None,
+        }
+    }
+
+    #[test]
+    fn begin_append_recover_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let mut db = Database::new();
+        let mut store = AnnotationStore::new();
+        let mut d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        for n in 0..4u64 {
+            let lsn = d.append(&op(n)).unwrap();
+            assert_eq!(lsn, n + 1);
+            crate::recover::replay_op(&mut db, &mut store, &op(n)).unwrap();
+        }
+        drop(d);
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.replayed, 4);
+        assert_eq!(r.store.annotation_count(), 4);
+        assert_eq!(r.last_lsn, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn begin_refuses_a_directory_in_use() {
+        let dir = temp_dir("in-use");
+        let db = Database::new();
+        let store = AnnotationStore::new();
+        let d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        drop(d);
+        let err = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap_err();
+        assert!(matches!(err, DurableError::DirectoryInUse(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_raises_watermark() {
+        let dir = temp_dir("ckpt");
+        let mut db = Database::new();
+        let mut store = AnnotationStore::new();
+        let mut d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        for n in 0..3u64 {
+            d.append(&op(n)).unwrap();
+            crate::recover::replay_op(&mut db, &mut store, &op(n)).unwrap();
+        }
+        assert!(d.wal_bytes() > 0);
+        let watermark = d.checkpoint(&db, &store).unwrap();
+        assert_eq!(watermark, 3);
+        assert_eq!(d.wal_bytes(), 0);
+        // One more record after the checkpoint; recovery must skip
+        // nothing and replay exactly one.
+        d.append(&op(3)).unwrap();
+        crate::recover::replay_op(&mut db, &mut store, &op(3)).unwrap();
+        drop(d);
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.watermark, 3);
+        assert_eq!(r.replayed, 1);
+        assert_eq!(r.skipped, 0);
+        assert_eq!(r.store.annotation_count(), 4);
+        // Exactly one checkpoint file remains.
+        assert_eq!(checkpoint::list_checkpoints(&dir).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_continues_the_lsn_sequence() {
+        let dir = temp_dir("resume");
+        let mut db = Database::new();
+        let mut store = AnnotationStore::new();
+        let mut d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        for n in 0..2u64 {
+            d.append(&op(n)).unwrap();
+            crate::recover::replay_op(&mut db, &mut store, &op(n)).unwrap();
+        }
+        drop(d);
+        let (mut d2, r) = Durability::resume(&dir, DurabilityOptions::default()).unwrap();
+        assert_eq!(r.replayed, 2);
+        assert_eq!(d2.next_lsn(), 3);
+        assert_eq!(d2.append(&op(2)).unwrap(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_repairs_a_torn_tail() {
+        let dir = temp_dir("repair");
+        let db = Database::new();
+        let store = AnnotationStore::new();
+        let mut d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        d.append(&op(0)).unwrap();
+        let valid = d.wal_bytes();
+        drop(d);
+        // Tear the log by appending half of a record by hand.
+        let torn = encode_record(2, &op(1));
+        let mut bytes = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        std::fs::write(dir.join(WAL_FILE), &bytes).unwrap();
+
+        let (d2, r) = Durability::resume(&dir, DurabilityOptions::default()).unwrap();
+        assert_eq!(r.tail.dropped_records, 1);
+        assert_eq!(d2.wal_bytes(), valid);
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), valid);
+        assert_eq!(d2.next_lsn(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_wedges_until_checkpoint() {
+        let dir = temp_dir("wedge");
+        let mut db = Database::new();
+        let mut store = AnnotationStore::new();
+        let mut d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        d.append(&op(0)).unwrap();
+        crate::recover::replay_op(&mut db, &mut store, &op(0)).unwrap();
+
+        nebula_govern::set_fault_plan(Some(
+            nebula_govern::FaultPlan::new(0xDEAD_BEEF).with_torn_writes(1.0),
+        ));
+        let err = d.append(&op(1)).unwrap_err();
+        nebula_govern::set_fault_plan(None);
+        assert!(matches!(err, DurableError::TornWrite { .. }), "{err}");
+        assert!(d.is_wedged());
+        // While wedged, appends are refused...
+        assert!(matches!(d.append(&op(1)), Err(DurableError::Wedged(_))));
+        // ...but the on-disk log still recovers to the applied prefix.
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.store.annotation_count(), 1);
+        // A checkpoint repairs the log and unwedges the manager.
+        d.checkpoint(&db, &store).unwrap();
+        assert!(!d.is_wedged());
+        d.append(&op(1)).unwrap();
+        crate::recover::replay_op(&mut db, &mut store, &op(1)).unwrap();
+        drop(d);
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.store.annotation_count(), 2);
+        assert!(r.tail.is_clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_self_repairs() {
+        let dir = temp_dir("short");
+        let db = Database::new();
+        let store = AnnotationStore::new();
+        let mut d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        d.append(&op(0)).unwrap();
+        let before = d.wal_bytes();
+
+        nebula_govern::set_fault_plan(Some(
+            nebula_govern::FaultPlan::new(7).with_short_writes(1.0),
+        ));
+        let err = d.append(&op(1)).unwrap_err();
+        nebula_govern::set_fault_plan(None);
+        assert!(matches!(err, DurableError::ShortWrite { .. }), "{err}");
+        assert!(!d.is_wedged());
+        assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), before);
+        // The retry goes straight through with the same LSN.
+        assert_eq!(d.append(&op(1)).unwrap(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_fails_the_checkpoint_without_losing_data() {
+        let dir = temp_dir("flip");
+        let mut db = Database::new();
+        let mut store = AnnotationStore::new();
+        let mut d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        for n in 0..3u64 {
+            d.append(&op(n)).unwrap();
+            crate::recover::replay_op(&mut db, &mut store, &op(n)).unwrap();
+        }
+        nebula_govern::set_fault_plan(Some(nebula_govern::FaultPlan::new(99).with_bit_flips(1.0)));
+        let err = d.checkpoint(&db, &store).unwrap_err();
+        nebula_govern::set_fault_plan(None);
+        assert!(matches!(err, DurableError::Corrupt(_)), "{err}");
+        // WAL untouched, old checkpoint still valid, no tmp file left.
+        assert!(d.wal_bytes() > 0);
+        assert!(!dir.join("checkpoint.tmp").exists());
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.store.annotation_count(), 3);
+        // And a clean checkpoint succeeds afterwards.
+        d.checkpoint(&db, &store).unwrap();
+        assert_eq!(d.wal_bytes(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_failure_wedges_but_recovery_may_replay_the_record() {
+        let dir = temp_dir("fsync");
+        let db = Database::new();
+        let store = AnnotationStore::new();
+        let mut d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        nebula_govern::set_fault_plan(Some(
+            nebula_govern::FaultPlan::new(5).with_fsync_failures(1.0),
+        ));
+        let err = d.append(&op(0)).unwrap_err();
+        nebula_govern::set_fault_plan(None);
+        assert!(matches!(err, DurableError::SyncFailed(_)), "{err}");
+        assert!(d.is_wedged());
+        // The record bytes reached the file; standard WAL semantics allow
+        // a logged-but-unapplied record to replay on recovery.
+        let r = recover(&dir).unwrap();
+        assert!(r.store.annotation_count() <= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

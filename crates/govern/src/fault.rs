@@ -18,6 +18,16 @@ pub enum FaultSite {
     Latency,
     /// A panic at a pipeline stage boundary (tests batch containment).
     Panic,
+    /// A WAL append is cut short at byte `k` and the partial bytes stay on
+    /// disk, as if the process lost power mid-write.
+    TornWrite,
+    /// A write call persists fewer bytes than asked and reports it, so the
+    /// caller can repair by truncating back to the pre-write offset.
+    ShortWrite,
+    /// An `fsync` fails after the bytes were handed to the OS.
+    FsyncFail,
+    /// One bit of a checkpoint image flips before it reaches disk.
+    BitFlip,
 }
 
 impl fmt::Display for FaultSite {
@@ -27,6 +37,10 @@ impl fmt::Display for FaultSite {
             FaultSite::IndexProbe => "index-probe",
             FaultSite::Latency => "latency",
             FaultSite::Panic => "panic",
+            FaultSite::TornWrite => "torn-write",
+            FaultSite::ShortWrite => "short-write",
+            FaultSite::FsyncFail => "fsync-fail",
+            FaultSite::BitFlip => "bit-flip",
         };
         write!(f, "{s}")
     }
@@ -65,6 +79,47 @@ impl Default for FaultSpec {
     }
 }
 
+/// Firing rates for the seeded I/O fault sites exercised by the durability
+/// layer. All rates are probabilities in `[0, 1]` and default to zero, so
+/// plans built before the durability layer existed behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IoFaultSpec {
+    /// Torn-write rate ([`FaultSite::TornWrite`]).
+    pub torn_write: f64,
+    /// Short-write rate ([`FaultSite::ShortWrite`]).
+    pub short_write: f64,
+    /// Fsync-failure rate ([`FaultSite::FsyncFail`]).
+    pub fsync_fail: f64,
+    /// Checkpoint bit-flip rate ([`FaultSite::BitFlip`]).
+    pub bit_flip: f64,
+}
+
+/// An I/O fault that fired, with its seed-derived parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Only the first `keep` bytes of the buffer reach the file; the rest
+    /// vanish as if the process died mid-write. `keep` is always strictly
+    /// less than the buffer length.
+    TornWrite {
+        /// Bytes that made it to disk.
+        keep: usize,
+    },
+    /// The write persists `keep` bytes and reports the shortfall, so the
+    /// caller can truncate back and surface a clean error.
+    ShortWrite {
+        /// Bytes that made it to disk.
+        keep: usize,
+    },
+    /// The `fsync` call fails after the write.
+    FsyncFail,
+    /// Bit number `bit` (little-endian within the buffer) flips before the
+    /// buffer is written.
+    BitFlip {
+        /// Flipped bit index in `[0, len * 8)`.
+        bit: usize,
+    },
+}
+
 /// A seeded schedule of faults across all injection sites.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -80,6 +135,8 @@ pub struct FaultPlan {
     pub latency_per_site: Duration,
     /// Stage-boundary panic rate.
     pub panic_rate: f64,
+    /// Seeded I/O fault rates for the durability layer.
+    pub io: IoFaultSpec,
     state: u64,
 }
 
@@ -93,6 +150,7 @@ impl FaultPlan {
             latency: 0.0,
             latency_per_site: Duration::from_micros(50),
             panic_rate: 0.0,
+            io: IoFaultSpec::default(),
             state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
         }
     }
@@ -142,10 +200,35 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: set the torn-write rate.
+    pub fn with_torn_writes(mut self, rate: f64) -> FaultPlan {
+        self.io.torn_write = rate;
+        self
+    }
+
+    /// Builder: set the short-write rate.
+    pub fn with_short_writes(mut self, rate: f64) -> FaultPlan {
+        self.io.short_write = rate;
+        self
+    }
+
+    /// Builder: set the fsync-failure rate.
+    pub fn with_fsync_failures(mut self, rate: f64) -> FaultPlan {
+        self.io.fsync_fail = rate;
+        self
+    }
+
+    /// Builder: set the checkpoint bit-flip rate.
+    pub fn with_bit_flips(mut self, rate: f64) -> FaultPlan {
+        self.io.bit_flip = rate;
+        self
+    }
+
     /// Human-readable one-liner for `SHOW FAULTS`.
     pub fn describe(&self) -> String {
         format!(
-            "seed={} query={:.2}{} index-probe={:.2} latency={:.2}@{}us panic={:.2}",
+            "seed={} query={:.2}{} index-probe={:.2} latency={:.2}@{}us panic={:.2} \
+             io[torn={:.2} short={:.2} fsync={:.2} flip={:.2}]",
             self.seed,
             self.query.rate,
             if self.query.transient { " (transient)" } else { " (permanent)" },
@@ -153,6 +236,10 @@ impl FaultPlan {
             self.latency,
             self.latency_per_site.as_micros(),
             self.panic_rate,
+            self.io.torn_write,
+            self.io.short_write,
+            self.io.fsync_fail,
+            self.io.bit_flip,
         )
     }
 
@@ -173,6 +260,12 @@ impl FaultPlan {
         let draw = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
         rate > 0.0 && draw < rate
     }
+
+    /// One raw 64-bit draw, used to derive fault parameters (torn-write
+    /// offsets, flipped bit indexes) from the same seeded stream.
+    pub(crate) fn draw(&mut self) -> u64 {
+        self.next()
+    }
 }
 
 /// Per-thread tally of injection activity, for tests and `SHOW FAULTS`.
@@ -186,6 +279,14 @@ pub struct FaultStats {
     pub latency_injections: u64,
     /// Panics injected.
     pub panics: u64,
+    /// Torn writes injected.
+    pub torn_writes: u64,
+    /// Short writes injected.
+    pub short_writes: u64,
+    /// Fsync failures injected.
+    pub fsync_failures: u64,
+    /// Checkpoint bit flips injected.
+    pub bit_flips: u64,
     /// Faults absorbed without surfacing an error (e.g. scan fallback).
     pub recovered: u64,
     /// Retry attempts made against transient faults.
@@ -195,7 +296,14 @@ pub struct FaultStats {
 impl FaultStats {
     /// Total faults injected across all sites.
     pub fn total_injected(&self) -> u64 {
-        self.query_errors + self.index_probe_failures + self.latency_injections + self.panics
+        self.query_errors
+            + self.index_probe_failures
+            + self.latency_injections
+            + self.panics
+            + self.torn_writes
+            + self.short_writes
+            + self.fsync_failures
+            + self.bit_flips
     }
 }
 

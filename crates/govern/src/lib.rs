@@ -24,7 +24,9 @@ mod budget;
 mod fault;
 
 pub use budget::{BudgetExceeded, ExecutionBudget, Resource};
-pub use fault::{FaultPlan, FaultSite, FaultSpec, FaultStats, InjectedFault, RetryPolicy};
+pub use fault::{
+    FaultPlan, FaultSite, FaultSpec, FaultStats, InjectedFault, IoFault, IoFaultSpec, RetryPolicy,
+};
 
 use std::cell::RefCell;
 use std::fmt;
@@ -288,12 +290,66 @@ pub fn inject(site: FaultSite) -> Option<InjectedFault> {
                 let rate = plan.index_probe;
                 plan.roll(rate).then_some(InjectedFault { site, transient: false })
             }
-            // Latency and panics fire through stage_boundary, not inject.
-            FaultSite::Latency | FaultSite::Panic => None,
+            // Latency and panics fire through stage_boundary; the I/O
+            // sites fire through inject_io.
+            FaultSite::Latency
+            | FaultSite::Panic
+            | FaultSite::TornWrite
+            | FaultSite::ShortWrite
+            | FaultSite::FsyncFail
+            | FaultSite::BitFlip => None,
         }?;
         match site {
             FaultSite::Query => g.fault_stats.query_errors += 1,
             FaultSite::IndexProbe => g.fault_stats.index_probe_failures += 1,
+            _ => {}
+        }
+        Some(fault)
+    });
+    if fired.is_some() {
+        nebula_obs::counter_add(counters::FAULTS_INJECTED, 1);
+    }
+    fired
+}
+
+/// Roll the installed plan at one of the I/O fault sites
+/// ([`FaultSite::TornWrite`], [`FaultSite::ShortWrite`],
+/// [`FaultSite::FsyncFail`], [`FaultSite::BitFlip`]) for an operation over a
+/// `len`-byte buffer. Returns the fault (with seed-derived parameters) if it
+/// fired; `None` for non-I/O sites, when no plan is installed, or when the
+/// roll misses.
+///
+/// Every call consumes exactly two draws from the plan's stream — one
+/// Bernoulli roll and one parameter value — so toggling a site's rate never
+/// shifts the sequence seen by other sites.
+pub fn inject_io(site: FaultSite, len: usize) -> Option<IoFault> {
+    let fired = GOVERNOR.with(|g| {
+        let mut g = g.borrow_mut();
+        let plan = g.plan.as_mut()?;
+        let rate = match site {
+            FaultSite::TornWrite => plan.io.torn_write,
+            FaultSite::ShortWrite => plan.io.short_write,
+            FaultSite::FsyncFail => plan.io.fsync_fail,
+            FaultSite::BitFlip => plan.io.bit_flip,
+            _ => 0.0,
+        };
+        let hit = plan.roll(rate);
+        let value = plan.draw() as usize;
+        if !hit {
+            return None;
+        }
+        let fault = match site {
+            FaultSite::TornWrite => IoFault::TornWrite { keep: value % len.max(1) },
+            FaultSite::ShortWrite => IoFault::ShortWrite { keep: value % len.max(1) },
+            FaultSite::FsyncFail => IoFault::FsyncFail,
+            FaultSite::BitFlip => IoFault::BitFlip { bit: value % (len.max(1) * 8) },
+            _ => return None,
+        };
+        match site {
+            FaultSite::TornWrite => g.fault_stats.torn_writes += 1,
+            FaultSite::ShortWrite => g.fault_stats.short_writes += 1,
+            FaultSite::FsyncFail => g.fault_stats.fsync_failures += 1,
+            FaultSite::BitFlip => g.fault_stats.bit_flips += 1,
             _ => {}
         }
         Some(fault)
@@ -534,6 +590,57 @@ mod tests {
         assert_eq!(stats.recovered, 1);
         assert_eq!(stats.retries, 2);
         set_fault_plan(None);
+    }
+
+    #[test]
+    fn io_faults_fire_with_bounded_parameters() {
+        set_fault_plan(Some(
+            FaultPlan::new(5)
+                .with_torn_writes(1.0)
+                .with_short_writes(1.0)
+                .with_fsync_failures(1.0)
+                .with_bit_flips(1.0),
+        ));
+        for _ in 0..32 {
+            match inject_io(FaultSite::TornWrite, 100) {
+                Some(IoFault::TornWrite { keep }) => assert!(keep < 100),
+                other => panic!("expected a torn write, got {other:?}"),
+            }
+            match inject_io(FaultSite::ShortWrite, 100) {
+                Some(IoFault::ShortWrite { keep }) => assert!(keep < 100),
+                other => panic!("expected a short write, got {other:?}"),
+            }
+            assert_eq!(inject_io(FaultSite::FsyncFail, 100), Some(IoFault::FsyncFail));
+            match inject_io(FaultSite::BitFlip, 100) {
+                Some(IoFault::BitFlip { bit }) => assert!(bit < 800),
+                other => panic!("expected a bit flip, got {other:?}"),
+            }
+        }
+        let stats = fault_stats();
+        assert_eq!(stats.torn_writes, 32);
+        assert_eq!(stats.short_writes, 32);
+        assert_eq!(stats.fsync_failures, 32);
+        assert_eq!(stats.bit_flips, 32);
+        assert_eq!(stats.total_injected(), 128);
+        set_fault_plan(None);
+        assert!(inject_io(FaultSite::TornWrite, 100).is_none());
+    }
+
+    #[test]
+    fn io_sites_consume_fixed_draws() {
+        // Two plans with the same seed but different site toggles must see
+        // the same downstream stream: each inject_io consumes exactly two
+        // draws whether or not the site is enabled.
+        let run = |plan: FaultPlan| {
+            set_fault_plan(Some(plan));
+            let _ = inject_io(FaultSite::TornWrite, 64);
+            let seq: Vec<bool> = (0..32).map(|_| inject(FaultSite::Query).is_some()).collect();
+            set_fault_plan(None);
+            seq
+        };
+        let without = run(FaultPlan::new(9).with_query(0.5, true));
+        let with = run(FaultPlan::new(9).with_query(0.5, true).with_torn_writes(1.0));
+        assert_eq!(without, with);
     }
 
     #[test]

@@ -190,12 +190,23 @@ pub fn load(bytes: &[u8]) -> Result<Database, SnapshotError> {
         return Err(SnapshotError::Truncated("table count"));
     }
     let table_count = buf.get_u32_le();
+    // Every table needs at least a name length, a column count, a pk
+    // flag, and a slot count — a hostile count fails here instead of
+    // spinning through the loop.
+    if table_count as usize > buf.remaining() / 17 {
+        return Err(SnapshotError::Corrupt(format!("implausible table count {table_count}")));
+    }
     for _ in 0..table_count {
         let name = get_string(&mut buf)?;
         if buf.remaining() < 4 {
             return Err(SnapshotError::Truncated("column count"));
         }
         let column_count = buf.get_u32_le();
+        // Each column costs at least a name length plus three flag bytes;
+        // never pre-allocate from an unvalidated length field.
+        if column_count as usize > buf.remaining() / 7 {
+            return Err(SnapshotError::Corrupt(format!("implausible column count {column_count}")));
+        }
         let mut builder = TableSchema::builder(&name);
         let mut column_names = Vec::with_capacity(column_count as usize);
         for _ in 0..column_count {
@@ -236,6 +247,11 @@ pub fn load(bytes: &[u8]) -> Result<Database, SnapshotError> {
             return Err(SnapshotError::Truncated("slot count"));
         }
         let slot_count = buf.get_u64_le();
+        // Each slot costs at least its liveness byte plus one value tag
+        // per column.
+        if slot_count > (buf.remaining() / (1 + arity.max(1))) as u64 {
+            return Err(SnapshotError::Corrupt(format!("implausible slot count {slot_count}")));
+        }
         for _ in 0..slot_count {
             if buf.remaining() < 1 {
                 return Err(SnapshotError::Truncated("slot liveness"));
@@ -252,6 +268,9 @@ pub fn load(bytes: &[u8]) -> Result<Database, SnapshotError> {
         return Err(SnapshotError::Truncated("fk count"));
     }
     let fk_count = buf.get_u32_le();
+    if fk_count as usize > buf.remaining() / 12 {
+        return Err(SnapshotError::Corrupt(format!("implausible foreign-key count {fk_count}")));
+    }
     for _ in 0..fk_count {
         if buf.remaining() < 12 {
             return Err(SnapshotError::Truncated("foreign key"));

@@ -98,6 +98,69 @@ proptest! {
         let _ = snapshot::load(&bytes);
     }
 
+    /// Tombstoned slots survive the round-trip exactly: deleted ids stay
+    /// dead, live ids keep their slots, secondary/inverted indexes agree
+    /// with the live database, and post-restore row allocation continues
+    /// from the same high-water mark.
+    #[test]
+    fn tombstones_roundtrip_with_stable_ids(
+        n in 4usize..24,
+        delete_every in 2usize..5,
+    ) {
+        let rows: Vec<(i64, Value, Value)> = (0..n)
+            .map(|i| (i as i64, Value::text(format!("tok{i}")), Value::Int((i % 3) as i64)))
+            .collect();
+        let mut db = build_db(&rows, 0);
+        let all: Vec<_> = db.table_by_name("t").unwrap().scan().map(|t| t.id).collect();
+        let deleted: Vec<_> =
+            all.iter().copied().filter(|tid| (tid.row as usize).is_multiple_of(delete_every)).collect();
+        for tid in &deleted {
+            prop_assert!(db.delete(*tid));
+        }
+
+        let mut restored = snapshot::load(&snapshot::save(&db)).unwrap();
+        let table = db.table_by_name("t").unwrap();
+        let rtable = restored.table_by_name("t").unwrap();
+
+        // Dead slots stay dead; live slots keep ids and values.
+        for tid in &deleted {
+            prop_assert!(!rtable.is_live(*tid), "{tid} must stay tombstoned");
+            prop_assert_eq!(restored.get(*tid), None);
+        }
+        for tuple in table.scan() {
+            prop_assert!(rtable.is_live(tuple.id));
+            prop_assert_eq!(restored.get(tuple.id).unwrap().values, tuple.values);
+        }
+
+        // Rebuilt indexes are equivalent to the live ones: PK, secondary,
+        // and inverted lookups return the same tuple sets.
+        for tuple in table.scan() {
+            prop_assert_eq!(rtable.lookup_key(tuple.key().unwrap()), Some(tuple.id));
+        }
+        let b_col = table.schema().column_id("b").unwrap();
+        for probe in 0..3i64 {
+            let mut live = table.lookup(b_col, &Value::Int(probe));
+            let mut back = rtable.lookup(b_col, &Value::Int(probe));
+            live.sort();
+            back.sort();
+            prop_assert_eq!(live, back, "secondary index for b={probe}");
+        }
+        for tid in &deleted {
+            let tok = format!("tok{}", tid.row);
+            prop_assert!(
+                !restored.inverted_index().lookup(&tok).iter().any(|p| p.tuple == *tid),
+                "deleted row's token `{tok}` must not be indexed"
+            );
+        }
+
+        // Row allocation continues from the same high-water mark on both
+        // sides: the next insert yields the same TupleId.
+        let next = |d: &mut Database| {
+            d.insert("t", vec![Value::Int(9999), Value::text("fresh"), Value::Int(7)]).unwrap()
+        };
+        prop_assert_eq!(next(&mut db), next(&mut restored));
+    }
+
     /// Bit-flips in a valid snapshot are rejected or produce a decodable
     /// database — but never panic.
     #[test]

@@ -18,7 +18,10 @@
 //! - [`nebula_obs`] — the in-tree telemetry subsystem (work counters, stage
 //!   spans, pipeline events) every layer above reports into, and
 //! - [`nebula_govern`] — resource governance: per-annotation execution
-//!   budgets, graceful degradation, and deterministic fault injection.
+//!   budgets, graceful degradation, and deterministic fault injection, and
+//! - [`nebula_durable`] — crash-safe durability: a checksummed write-ahead
+//!   log of pipeline mutations, framed checkpoints, and torn-tail-tolerant
+//!   recovery.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub mod shell;
 
 pub use annostore;
 pub use nebula_core;
+pub use nebula_durable;
 pub use nebula_govern;
 pub use nebula_obs;
 pub use nebula_workload;
@@ -65,6 +69,7 @@ pub mod prelude {
         QueryGenConfig, SearchMode, StabilityConfig, VerificationBounds, VerificationQueue,
         VerificationTask,
     };
+    pub use nebula_durable::{Durability, DurabilityOptions, Recovered, SyncPolicy};
     pub use nebula_govern::{Degradation, ExecutionBudget, FaultPlan, FaultStats, RetryPolicy};
     pub use nebula_workload::{generate_dataset, DatasetBundle, DatasetSpec, WorkloadSpec};
     pub use relstore::{

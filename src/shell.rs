@@ -22,7 +22,7 @@
 //! thin stdin loop and tests drive the shell directly.
 
 use crate::prelude::*;
-use nebula_core::StabilityConfig;
+use nebula_core::{MutationSink, StabilityConfig};
 use relstore::{ConjunctiveQuery, Predicate};
 use std::fmt;
 
@@ -112,6 +112,8 @@ impl Shell {
             }
             "SAVE" => self.save(&tokens[1..]),
             "LOAD" => self.load(&tokens[1..]),
+            "CHECKPOINT" => self.checkpoint(),
+            "RECOVER" => self.recover(&tokens[1..]),
             "SET" => self.set(&tokens[1..]),
             "SHOW" => self.show(&tokens[1..]),
             "EXPLAIN" => self.explain(&tokens[1..]),
@@ -223,8 +225,11 @@ impl Shell {
             return Err(err("usage: DELETE <table> '<pk>'"));
         };
         let tuple = self.resolve_key(table, key)?;
+        // Log before apply: the deletion reaches the WAL (when durability
+        // is on) before either store mutates.
+        let affected =
+            self.nebula.on_tuple_deleted(&mut self.store, tuple).map_err(|e| err(e.to_string()))?;
         self.db.delete(tuple);
-        let affected = self.nebula.on_tuple_deleted(&mut self.store, tuple);
         Ok(format!("deleted {table} '{key}'; {} annotation(s) lost an attachment", affected.len()))
     }
 
@@ -343,14 +348,102 @@ impl Shell {
         Ok(format!("task {} resolved ({} ↔ {})", task.vid, task.annotation, task.tuple))
     }
 
-    /// `SET BUDGET ... | SET FAULTS ...` — configure the execution budget
-    /// on the engine, or the fault plan on this thread.
+    /// `SET BUDGET ... | SET FAULTS ... | SET DURABILITY ...` — configure
+    /// the execution budget on the engine, the fault plan on this thread,
+    /// or write-ahead durability on the engine.
     fn set(&mut self, args: &[String]) -> Result<String, ShellError> {
         match args.first().map(|s| s.to_uppercase()).as_deref() {
             Some("BUDGET") => self.set_budget(&args[1..]),
             Some("FAULTS") => self.set_faults(&args[1..]),
-            _ => Err(err("usage: SET BUDGET ... | SET FAULTS ...")),
+            Some("DURABILITY") => self.set_durability(&args[1..]),
+            _ => Err(err("usage: SET BUDGET ... | SET FAULTS ... | SET DURABILITY ...")),
         }
+    }
+
+    /// `SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF` — start
+    /// logging every pipeline mutation to a write-ahead log in `<dir>`
+    /// (checkpointing every `<n>` records), or detach the log.
+    fn set_durability(&mut self, args: &[String]) -> Result<String, ShellError> {
+        const USAGE: &str = "usage: SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF";
+        let first = args.first().ok_or_else(|| err(USAGE))?;
+        if first.to_uppercase() == "OFF" {
+            return match self.nebula.take_mutation_sink() {
+                Some(_) => Ok("durability: off (log closed; directory keeps its state)".into()),
+                None => Ok("durability: already off".into()),
+            };
+        }
+        let mut options = DurabilityOptions::default();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].to_uppercase().as_str() {
+                "EVERY" => {
+                    let n: usize = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|n| *n > 0)
+                        .ok_or_else(|| err("EVERY needs a positive number"))?;
+                    options.checkpoint_every = Some(n);
+                    i += 2;
+                }
+                "SYNC" => {
+                    match args.get(i + 1).map(|s| s.to_uppercase()).as_deref() {
+                        Some("BATCH") => options.sync = SyncPolicy::Batch,
+                        Some("EVERY") => options.sync = SyncPolicy::EveryRecord,
+                        _ => return Err(err("usage: SYNC BATCH | SYNC EVERY")),
+                    }
+                    i += 2;
+                }
+                _ => return Err(err(USAGE)),
+            }
+        }
+        let durability =
+            Durability::begin(std::path::Path::new(first), &self.db, &self.store, options)
+                .map_err(|e| err(e.to_string()))?;
+        let summary =
+            format!("durability: on ({}); initial checkpoint written", durability.describe());
+        self.nebula.set_mutation_sink(Some(Box::new(durability)));
+        Ok(summary)
+    }
+
+    /// `CHECKPOINT` — persist the full state now and truncate the log.
+    fn checkpoint(&mut self) -> Result<String, ShellError> {
+        let sink = self
+            .nebula
+            .mutation_sink_mut()
+            .ok_or_else(|| err("durability is off — SET DURABILITY '<dir>' first"))?;
+        let watermark = sink.checkpoint(&self.db, &self.store).map_err(|e| err(e.to_string()))?;
+        Ok(format!("checkpoint committed (watermark lsn {watermark}); log truncated"))
+    }
+
+    /// `RECOVER '<dir>'` — replace the live state with the recovered
+    /// checkpoint + log replay from `<dir>` and continue logging into it.
+    fn recover(&mut self, args: &[String]) -> Result<String, ShellError> {
+        let path = args.first().ok_or_else(|| err("usage: RECOVER '<dir>'"))?;
+        let (durability, recovered) =
+            Durability::resume(std::path::Path::new(path), DurabilityOptions::default())
+                .map_err(|e| err(e.to_string()))?;
+        self.db = recovered.db;
+        self.store = recovered.store;
+        self.nebula.bootstrap_acg(&self.store);
+        self.nebula.set_mutation_sink(Some(Box::new(durability)));
+        let mut out = vec![format!(
+            "recovered {} tuples, {} annotations from '{path}' \
+             (watermark lsn {}, {} replayed, {} skipped); ACG rebuilt",
+            self.db.total_tuples(),
+            self.store.annotation_count(),
+            recovered.watermark,
+            recovered.replayed,
+            recovered.skipped,
+        )];
+        if !recovered.tail.is_clean() {
+            out.push(format!(
+                "  torn tail repaired: {} record(s) / {} byte(s) dropped ({})",
+                recovered.tail.dropped_records,
+                recovered.tail.dropped_bytes,
+                recovered.tail.reason.as_deref().unwrap_or("unknown reason"),
+            ));
+        }
+        Ok(out.join("\n"))
     }
 
     /// `SET BUDGET DEADLINE <ms> | TUPLES <n> | CONFIGS <n> |
@@ -425,13 +518,17 @@ impl Shell {
         }
     }
 
-    /// `SHOW METRICS | BUDGET | FAULTS` — the telemetry snapshot, the
-    /// configured execution budget, or the installed fault plan and its
-    /// injection tallies.
+    /// `SHOW METRICS | BUDGET | FAULTS | DURABILITY` — the telemetry
+    /// snapshot, the configured execution budget, the installed fault plan
+    /// and its injection tallies, or the durability manager's state.
     fn show(&self, args: &[String]) -> Result<String, ShellError> {
         match args.first().map(|s| s.to_uppercase()).as_deref() {
             Some("METRICS") => Ok(nebula_obs::snapshot().render_text()),
             Some("BUDGET") => Ok(format!("budget: {}", self.nebula.config().budget)),
+            Some("DURABILITY") => Ok(match self.nebula.mutation_sink() {
+                Some(sink) => format!("durability: on ({})", sink.describe()),
+                None => "durability: off".to_string(),
+            }),
             Some("FAULTS") => match nebula_govern::describe_fault_plan() {
                 None => Ok("faults: off".into()),
                 Some(desc) => {
@@ -448,7 +545,7 @@ impl Shell {
                     ))
                 }
             },
-            _ => Err(err("usage: SHOW METRICS | BUDGET | FAULTS")),
+            _ => Err(err("usage: SHOW METRICS | BUDGET | FAULTS | DURABILITY")),
         }
     }
 
@@ -521,7 +618,9 @@ const HELP: &str = "commands:
   SHOW METRICS;   EXPLAIN ANNOTATION <id>;
   SET BUDGET DEADLINE <ms> | TUPLES <n> | CONFIGS <n> | CANDIDATES <n> | OFF;
   SET FAULTS <seed> [RATE <r>] | HOSTILE <seed> | OFF;
-  SHOW BUDGET;   SHOW FAULTS;
+  SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF;
+  CHECKPOINT;   RECOVER '<dir>';
+  SHOW BUDGET;   SHOW FAULTS;   SHOW DURABILITY;
   SAVE '<path>';   LOAD '<path>';
   HELP;   EXIT;";
 
@@ -799,6 +898,55 @@ mod tests {
         sh.exec("SET FAULTS OFF").unwrap();
         let ok = sh.exec("ANNOTATE gene 'JW0006' 'paired with gene JW0007'");
         assert!(ok.is_ok(), "clean run after clearing the plan");
+    }
+
+    #[test]
+    fn durability_set_checkpoint_recover_flow() {
+        let dir = std::env::temp_dir().join(format!("nebula-shell-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut sh = shell();
+        assert_eq!(sh.exec("SHOW DURABILITY").unwrap(), "durability: off");
+        assert!(sh.exec("CHECKPOINT").unwrap_err().0.contains("durability is off"));
+
+        let on = sh.exec(&format!("SET DURABILITY '{}' EVERY 64", dir.display())).unwrap();
+        assert!(on.contains("durability: on"), "{on}");
+        assert!(on.contains("initial checkpoint"), "{on}");
+        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'").unwrap();
+        let shown = sh.exec("SHOW DURABILITY").unwrap();
+        assert!(shown.contains("next_lsn"), "{shown}");
+
+        let ck = sh.exec("CHECKPOINT").unwrap();
+        assert!(ck.contains("watermark"), "{ck}");
+        sh.exec("ANNOTATE gene 'JW0002' 'note about gene JW0003'").unwrap();
+        let notes_before = sh.exec("ANNOTATIONS gene 'JW0005'").unwrap();
+        sh.exec("SET DURABILITY OFF").unwrap();
+        assert_eq!(sh.exec("SHOW DURABILITY").unwrap(), "durability: off");
+
+        // A fresh shell recovers the full state: checkpoint + log replay.
+        let mut fresh = shell();
+        let rec = fresh.exec(&format!("RECOVER '{}'", dir.display())).unwrap();
+        assert!(rec.contains("recovered"), "{rec}");
+        assert_eq!(fresh.exec("ANNOTATIONS gene 'JW0005'").unwrap(), notes_before);
+        let resumed = fresh.exec("SHOW DURABILITY").unwrap();
+        assert!(resumed.contains("durability: on"), "logging continues: {resumed}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durability_refuses_a_directory_in_use() {
+        let dir =
+            std::env::temp_dir().join(format!("nebula-shell-durable-inuse-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sh = shell();
+        sh.exec(&format!("SET DURABILITY '{}'", dir.display())).unwrap();
+        sh.exec("SET DURABILITY OFF").unwrap();
+        let e = sh.exec(&format!("SET DURABILITY '{}'", dir.display())).unwrap_err();
+        assert!(e.0.contains("RECOVER"), "points at recovery: {e}");
+        assert!(sh.exec("SET DURABILITY").is_err());
+        assert!(sh.exec("RECOVER").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -3,6 +3,16 @@
 
 use nebula::nebula_workload::{build_workload, WorkloadSpec};
 use nebula::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+/// Telemetry is process-global; tests in this binary that enable it (or
+/// run the pipeline while another test might have it enabled) serialize
+/// through this guard so counter diffs stay attributable.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn guard() -> MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Run the pipeline under `config` and render every outcome to its full
 /// Debug form, so comparisons catch any divergence, not just the headline
@@ -36,6 +46,7 @@ fn run_pipeline_debug(seed: u64) -> Vec<String> {
 
 #[test]
 fn telemetry_on_and_off_produce_identical_outcomes() {
+    let _serial = guard();
     // Telemetry observes the pipeline; it must never steer it. The full
     // Debug rendering of every outcome has to match byte for byte.
     nebula::nebula_obs::set_enabled(false);
@@ -71,11 +82,13 @@ fn run_pipeline(seed: u64) -> Vec<(usize, usize, usize, usize)> {
 
 #[test]
 fn same_seed_same_outcomes() {
+    let _serial = guard();
     assert_eq!(run_pipeline(11), run_pipeline(11));
 }
 
 #[test]
 fn different_seeds_differ() {
+    let _serial = guard();
     // Not a hard guarantee per annotation, but across 10 annotations two
     // different datasets should not produce identical traces.
     assert_ne!(run_pipeline(11), run_pipeline(12));
@@ -86,6 +99,7 @@ fn different_seeds_differ() {
 /// default.
 #[test]
 fn unbounded_budget_is_byte_identical_to_ungoverned() {
+    let _serial = guard();
     let ungoverned = run_pipeline_debug(17);
     let governed = run_pipeline_debug_with(
         17,
@@ -99,6 +113,7 @@ fn unbounded_budget_is_byte_identical_to_ungoverned() {
 /// every outcome must still match the ungoverned run byte for byte.
 #[test]
 fn untripped_governor_is_byte_identical_to_ungoverned() {
+    let _serial = guard();
     let ungoverned = run_pipeline_debug(17);
     let governed = run_pipeline_debug_with(
         17,
@@ -120,6 +135,7 @@ fn untripped_governor_is_byte_identical_to_ungoverned() {
 /// tuple itself) — degradation loses recall, never invents results.
 #[test]
 fn degraded_focal_candidates_are_subset_of_full_search() {
+    let _serial = guard();
     // Reject everything so neither engine mutates the attachment graph and
     // the two runs stay state-identical annotation by annotation.
     let bounds = VerificationBounds::new(1.1, 1.1);
@@ -171,8 +187,78 @@ fn degraded_focal_candidates_are_subset_of_full_search() {
     assert!(fallbacks > 0, "the tight budget never tripped — test is vacuous");
 }
 
+/// Durability observes the pipeline and must never steer it: the same
+/// batch with the WAL on and off produces a byte-identical batch report,
+/// and identical pipeline metrics modulo the `durable.*` keys the sink
+/// itself emits.
+#[test]
+fn durability_on_and_off_produce_identical_outcomes() {
+    let _serial = guard();
+    let dir =
+        std::env::temp_dir().join(format!("nebula-determinism-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run = |wal_dir: Option<&std::path::Path>| {
+        let mut bundle = generate_dataset(&DatasetSpec::tiny(), 29);
+        let workload = build_workload(&bundle, &WorkloadSpec::default(), 29);
+        let items: Vec<_> = workload
+            .iter()
+            .flat_map(|s| &s.annotations)
+            .filter(|wa| !wa.ideal.is_empty())
+            .take(12)
+            .map(|wa| (wa.annotation.clone(), vec![wa.ideal[0]]))
+            .collect();
+        let mut nebula = Nebula::new(NebulaConfig::default(), bundle.meta.clone());
+        nebula.bootstrap_acg(&bundle.annotations);
+        if let Some(d) = wal_dir {
+            let durability =
+                Durability::begin(d, &bundle.db, &bundle.annotations, DurabilityOptions::default())
+                    .expect("fresh durability directory");
+            nebula.set_mutation_sink(Some(Box::new(durability)));
+        }
+        nebula::nebula_obs::reset();
+        nebula::nebula_obs::set_enabled(true);
+        let report = nebula.process_batch(&bundle.db, &mut bundle.annotations, &items);
+        nebula::nebula_obs::set_enabled(false);
+        let snap = nebula::nebula_obs::snapshot();
+        drop(nebula.take_mutation_sink());
+        (format!("{report:?}"), snap)
+    };
+
+    let (off_report, off_snap) = run(None);
+    let (on_report, on_snap) = run(Some(&dir));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(off_report, on_report, "the WAL must not change what the batch produces");
+
+    // Counters match exactly once the sink's own `durable.*` keys are set
+    // aside; histogram keys and observation counts likewise (latencies
+    // themselves are wall-clock and not comparable).
+    let counters = |snap: &nebula::nebula_obs::TelemetrySnapshot| -> Vec<(String, u64)> {
+        snap.counters
+            .iter()
+            .filter(|(k, _)| !k.starts_with("durable."))
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    };
+    assert_eq!(counters(&off_snap), counters(&on_snap));
+    let spans = |snap: &nebula::nebula_obs::TelemetrySnapshot| -> Vec<(String, u64)> {
+        snap.histograms
+            .iter()
+            .filter(|(k, _)| !k.starts_with("durable."))
+            .map(|(k, h)| (k.clone(), h.count))
+            .collect()
+    };
+    assert_eq!(spans(&off_snap), spans(&on_snap));
+
+    // And the durable keys exist exactly when the sink is attached.
+    assert!(on_snap.counters.keys().any(|k| k.starts_with("durable.")));
+    assert!(!off_snap.counters.keys().any(|k| k.starts_with("durable.")));
+}
+
 #[test]
 fn dataset_generation_is_pure() {
+    let _serial = guard();
     let a = generate_dataset(&DatasetSpec::tiny(), 33);
     let b = generate_dataset(&DatasetSpec::tiny(), 33);
     assert_eq!(a.db.total_tuples(), b.db.total_tuples());

@@ -105,6 +105,60 @@ proptest! {
         prop_assert!(out.lines().count() <= limit + 2);
     }
 
+    /// Snapshot decoders are total over truncation: every proper prefix
+    /// of a valid encoding returns `Err` — no panic, no partial state.
+    #[test]
+    fn snapshot_truncations_error_cleanly(cut_seed in 0usize..10_000, relational in any::<bool>()) {
+        let bundle = dataset();
+        if relational {
+            let bytes = nebula::relstore::snapshot::save(&bundle.db);
+            let cut = cut_seed % bytes.len();
+            prop_assert!(nebula::relstore::snapshot::load(&bytes[..cut]).is_err(), "cut={cut}");
+        } else {
+            let bytes = nebula::annostore::snapshot::save(&bundle.annotations);
+            let cut = cut_seed % bytes.len();
+            prop_assert!(nebula::annostore::snapshot::load(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    /// Snapshot decoders never panic on bit-flipped encodings. A flip may
+    /// land in string or float payload and still decode — the property is
+    /// totality, not rejection — but length-carrying fields must fail
+    /// cleanly rather than drive allocation or out-of-bounds reads.
+    #[test]
+    fn snapshot_bit_flips_never_panic(
+        pos_seed in 0usize..100_000,
+        bit in 0u32..8,
+        relational in any::<bool>(),
+    ) {
+        let bundle = dataset();
+        if relational {
+            let mut bytes = nebula::relstore::snapshot::save(&bundle.db).to_vec();
+            let pos = pos_seed % bytes.len();
+            bytes[pos] ^= 1 << bit;
+            let _ = nebula::relstore::snapshot::load(&bytes);
+        } else {
+            let mut bytes = nebula::annostore::snapshot::save(&bundle.annotations).to_vec();
+            let pos = pos_seed % bytes.len();
+            bytes[pos] ^= 1 << bit;
+            let _ = nebula::annostore::snapshot::load(&bytes);
+        }
+    }
+
+    /// The WAL reader is total over arbitrary bytes: it never panics, its
+    /// valid/dropped accounting covers the buffer, and a garbage
+    /// checkpoint image fails recovery cleanly.
+    #[test]
+    fn wal_reader_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let (records, tail) = nebula::nebula_durable::wal::read_wal(&bytes);
+        prop_assert_eq!(records.len(), tail.valid_records);
+        prop_assert!(tail.valid_bytes <= bytes.len());
+        prop_assert_eq!(tail.valid_bytes + tail.dropped_bytes, bytes.len());
+        if !bytes.is_empty() {
+            prop_assert!(nebula::nebula_durable::recover_from_bytes(Some(&bytes), &[]).is_err());
+        }
+    }
+
     /// The full process_annotation pipeline never panics on hostile text
     /// and its routing partitions the candidates.
     #[test]
