@@ -12,6 +12,7 @@
 //!   naive-assess             §8.2 naive-baseline assessment
 //!   profile                  Figure 7 hop profile + K selection
 //!   durability               WAL append overhead + recovery vs log length
+//!   overload                 concurrent ingest under arrival pressure
 //!   ablation-acg ablation-querygen ablation-stability
 //!   all                      everything above
 //! ```
@@ -23,8 +24,8 @@
 //! recent pipeline events) to `DIR/<experiment>.json` (default `metrics/`).
 
 use nebula_bench::{
-    ablation, degradation, durability, fig11, fig12, fig13, fig14, fig15, pipeline, profile, Scale,
-    Setup,
+    ablation, degradation, durability, fig11, fig12, fig13, fig14, fig15, overload, pipeline,
+    profile, Scale, Setup,
 };
 
 fn main() {
@@ -59,6 +60,7 @@ fn main() {
             "pipeline",
             "degradation",
             "durability",
+            "overload",
             "ablation-acg",
             "ablation-learn",
             "ablation-querygen",
@@ -68,7 +70,7 @@ fn main() {
         println!(
             "experiments: fig11a fig11b fig11c fig12a fig12b fig13 fig14a fig14b \
              fig15a fig15b naive-assess profile pipeline degradation durability \
-             ablation-acg ablation-learn ablation-querygen ablation-stability all"
+             overload ablation-acg ablation-learn ablation-querygen ablation-stability all"
         );
         return;
     } else {
@@ -199,6 +201,11 @@ fn main() {
                 let (cells, recovery) = durability::run(&setup, 100);
                 durability::table(&cells).print();
                 durability::recovery_table(&recovery).print();
+            }
+            "overload" => {
+                eprintln!("[reproduce] generating D_small ...");
+                let setup = Setup::small(scale);
+                overload::table(&overload::run(&setup, if fast { 40 } else { 96 })).print();
             }
             "profile" => {
                 let setup = get_large!();

@@ -17,6 +17,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod overload;
 pub mod pipeline;
 pub mod profile;
 pub mod setup;

@@ -98,6 +98,13 @@ impl BatchReport {
         self.entries.len()
     }
 
+    /// Append `entry` and update the matching tally. This is the only way
+    /// entries should enter a report, so tallies and records can't drift.
+    pub fn push(&mut self, entry: BatchEntry) {
+        self.tally(entry.status);
+        self.entries.push(entry);
+    }
+
     fn tally(&mut self, status: BatchStatus) {
         match status {
             BatchStatus::Accepted => self.accepted += 1,
@@ -111,7 +118,7 @@ impl BatchReport {
 
 /// Classify a clean outcome. Degradation dominates — a degraded run's
 /// accepts were computed from a reduced search and should be flagged.
-fn classify(outcome: &ProcessOutcome) -> BatchStatus {
+pub fn classify_outcome(outcome: &ProcessOutcome) -> BatchStatus {
     if !outcome.degradations.is_empty() {
         BatchStatus::Degraded
     } else if !outcome.accepted.is_empty() {
@@ -123,7 +130,8 @@ fn classify(outcome: &ProcessOutcome) -> BatchStatus {
     }
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Downcast a caught panic payload to its message where possible.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -152,7 +160,7 @@ impl Nebula {
             let entry = match attempt {
                 Ok(Ok(outcome)) => BatchEntry {
                     index,
-                    status: classify(&outcome),
+                    status: classify_outcome(&outcome),
                     outcome: Some(outcome),
                     quarantine: None,
                 },
@@ -172,8 +180,7 @@ impl Nebula {
             if entry.status == BatchStatus::Quarantined {
                 nebula_obs::counter_add("core.quarantined", 1);
             }
-            report.tally(entry.status);
-            report.entries.push(entry);
+            report.push(entry);
             // Periodic checkpointing between items: the sink decides when
             // one is due; a failed checkpoint degrades gracefully (the WAL
             // still covers everything, so nothing is lost).

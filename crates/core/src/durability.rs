@@ -102,8 +102,11 @@ impl std::error::Error for SinkError {}
 /// mutation, so the persisted log never runs ahead of the in-memory state
 /// on the error path and never lags it on the success path.
 ///
+/// Sinks are `Send` so a worker pool can drive the engine (and its
+/// installed sink) from whichever thread holds the commit turn.
+///
 /// [`record`]: MutationSink::record
-pub trait MutationSink: fmt::Debug {
+pub trait MutationSink: fmt::Debug + Send {
     /// Persist one mutation. Returns its log sequence number.
     fn record(&mut self, mutation: &Mutation<'_>) -> Result<u64, SinkError>;
 

@@ -622,7 +622,7 @@ fn retry_transient<T>(
                 if fault.transient && attempt + 1 < retry.max_attempts =>
             {
                 nebula_govern::note_retry();
-                std::thread::sleep(retry.backoff(attempt));
+                nebula_govern::clock::sleep(retry.backoff(attempt));
                 attempt += 1;
             }
             Err(SearchError::Fault(fault)) => {

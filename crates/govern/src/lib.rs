@@ -21,6 +21,7 @@
 //! the engine (relstore, textsearch, core) can hook into it without cycles.
 
 mod budget;
+pub mod clock;
 mod fault;
 
 pub use budget::{BudgetExceeded, ExecutionBudget, Resource};
@@ -260,6 +261,45 @@ pub fn set_fault_plan(plan: Option<FaultPlan>) {
     });
 }
 
+/// A detached fault plan plus its accumulated statistics, for migrating the
+/// single deterministic fault stream between threads.
+///
+/// [`set_fault_plan`] resets the stats and the plan's RNG position, which is
+/// right for *starting* a run but wrong for *continuing* one on another
+/// thread. A worker pool that must replay the exact sequential fault
+/// sequence takes the context off the coordinating thread with
+/// [`take_fault_context`], hands it to whichever worker holds the commit
+/// turn, and restores it with [`restore_fault_context`] — RNG state and
+/// tallies intact.
+#[derive(Debug, Clone, Default)]
+pub struct FaultContext {
+    /// The plan, frozen mid-stream (RNG position preserved). `None` when no
+    /// plan was installed.
+    pub plan: Option<FaultPlan>,
+    /// Injection tallies accumulated so far.
+    pub stats: FaultStats,
+}
+
+/// Detach the current thread's fault plan and stats, leaving the thread
+/// without a plan. Pair with [`restore_fault_context`].
+pub fn take_fault_context() -> FaultContext {
+    GOVERNOR.with(|g| {
+        let mut g = g.borrow_mut();
+        FaultContext { plan: g.plan.take(), stats: std::mem::take(&mut g.fault_stats) }
+    })
+}
+
+/// Install a previously-detached fault context on the current thread,
+/// preserving its RNG position and tallies (unlike [`set_fault_plan`],
+/// which resets both).
+pub fn restore_fault_context(ctx: FaultContext) {
+    GOVERNOR.with(|g| {
+        let mut g = g.borrow_mut();
+        g.plan = ctx.plan;
+        g.fault_stats = ctx.stats;
+    });
+}
+
 /// Is a fault plan currently installed on this thread?
 pub fn fault_plan_active() -> bool {
     GOVERNOR.with(|g| g.borrow().plan.is_some())
@@ -382,7 +422,7 @@ pub fn stage_boundary(stage: &'static str) {
     });
     if let Some(d) = delay {
         nebula_obs::counter_add(counters::FAULTS_INJECTED, 1);
-        std::thread::sleep(d);
+        clock::sleep(d);
     }
     if panic_now {
         nebula_obs::counter_add(counters::FAULTS_INJECTED, 1);
@@ -641,6 +681,32 @@ mod tests {
         let without = run(FaultPlan::new(9).with_query(0.5, true));
         let with = run(FaultPlan::new(9).with_query(0.5, true).with_torn_writes(1.0));
         assert_eq!(without, with);
+    }
+
+    #[test]
+    fn fault_context_migration_preserves_stream_and_stats() {
+        // Uninterrupted stream on one thread.
+        set_fault_plan(Some(FaultPlan::uniform(21, 0.5)));
+        let whole: Vec<bool> = (0..64).map(|_| inject(FaultSite::Query).is_some()).collect();
+        let whole_stats = fault_stats();
+        set_fault_plan(None);
+
+        // Same plan, but detached mid-stream and continued on another thread.
+        set_fault_plan(Some(FaultPlan::uniform(21, 0.5)));
+        let mut split: Vec<bool> = (0..20).map(|_| inject(FaultSite::Query).is_some()).collect();
+        let ctx = take_fault_context();
+        assert!(!fault_plan_active());
+        let (rest, ctx_back) = std::thread::spawn(move || {
+            restore_fault_context(ctx);
+            let rest: Vec<bool> = (0..44).map(|_| inject(FaultSite::Query).is_some()).collect();
+            (rest, take_fault_context())
+        })
+        .join()
+        .expect("migration thread");
+        split.extend(rest);
+        assert_eq!(split, whole);
+        assert_eq!(ctx_back.stats.query_errors, whole_stats.query_errors);
+        restore_fault_context(FaultContext::default());
     }
 
     #[test]

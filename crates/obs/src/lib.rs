@@ -51,6 +51,114 @@ pub mod names {
     pub const GOVERN_DEGRADE: &str = "govern.degrade";
 }
 
+/// The closed registry of metric names the engine is allowed to emit.
+///
+/// Every counter, gauge, and span name written anywhere in the workspace
+/// must be listed here; `tests/telemetry.rs` runs the pipeline with
+/// collection on and fails if a snapshot contains a name the registry
+/// doesn't know. That keeps `SHOW METRICS` and the JSON sidecars a stable,
+/// reviewable surface — a new metric is a deliberate one-line addition
+/// here, never an accident of instrumentation.
+pub mod registry {
+    /// Every monotonic counter the engine emits.
+    pub const KNOWN_COUNTERS: &[&str] = &[
+        "annostore.annotations_registered",
+        "annostore.edges_added",
+        "annostore.propagation_fanout",
+        "annostore.propagations",
+        "core.accepted",
+        "core.annotations_processed",
+        "core.candidates",
+        "core.checkpoint_deferred",
+        "core.degraded_annotations",
+        "core.flush_failed",
+        "core.focal_spread_used",
+        "core.pending_verification",
+        "core.quarantined",
+        "core.queries_generated",
+        "core.rejected",
+        "durable.append_failures",
+        "durable.bytes_appended",
+        "durable.checkpoint_failures",
+        "durable.checkpoints",
+        "durable.fsyncs",
+        "durable.records_appended",
+        "durable.records_dropped",
+        "durable.records_replayed",
+        "durable.records_skipped",
+        "durable.recoveries",
+        "durable.wal_truncations",
+        "govern.budget_trips",
+        "govern.faults_injected",
+        "govern.faults_recovered",
+        "govern.retries",
+        "govern.truncated_candidates",
+        "govern.truncated_configurations",
+        "ingest.admitted",
+        "ingest.breaker_half_open",
+        "ingest.breaker_opened",
+        "ingest.completed",
+        "ingest.shed",
+        "ingest.shed_circuit_open",
+        "ingest.shed_deadline",
+        "ingest.shed_queue_full",
+        "ingest.shed_wedged",
+        "relstore.index_probes",
+        "relstore.queries_executed",
+        "relstore.tuples_scanned",
+        "textsearch.compiled_queries",
+        "textsearch.configurations",
+        "textsearch.tuples_inspected",
+    ];
+
+    /// Every last-value gauge the engine emits.
+    pub const KNOWN_GAUGES: &[&str] =
+        &["ingest.health", "ingest.queue_depth_peak", "ingest.workers"];
+
+    /// Every span / histogram name the engine emits.
+    pub const KNOWN_SPANS: &[&str] = &[
+        "core.process_annotation",
+        "durable.append",
+        "durable.checkpoint",
+        "durable.recover",
+        "ingest.item",
+        "stage0.register",
+        "stage1.querygen",
+        "stage2.execute",
+        "stage3.route",
+    ];
+
+    /// Is `name` a registered counter, gauge, or span name?
+    pub fn is_known(name: &str) -> bool {
+        KNOWN_COUNTERS.binary_search(&name).is_ok()
+            || KNOWN_GAUGES.binary_search(&name).is_ok()
+            || KNOWN_SPANS.binary_search(&name).is_ok()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn registry_lists_are_sorted_and_unique() {
+            for list in [KNOWN_COUNTERS, KNOWN_GAUGES, KNOWN_SPANS] {
+                for pair in list.windows(2) {
+                    assert!(pair[0] < pair[1], "{} must sort before {}", pair[0], pair[1]);
+                }
+            }
+        }
+
+        #[test]
+        fn is_known_hits_and_misses() {
+            assert!(is_known("core.checkpoint_deferred"));
+            assert!(is_known("ingest.shed"));
+            assert!(is_known("ingest.health"));
+            assert!(is_known("stage2.execute"));
+            assert!(!is_known("core.made_up"));
+        }
+    }
+}
+
 /// Receives every telemetry record. Implementations must be cheap and
 /// non-blocking — instrumentation sites call these inline.
 pub trait MetricSink: Send + Sync {
@@ -60,6 +168,10 @@ pub trait MetricSink: Send + Sync {
     fn observe_ns(&self, name: &'static str, ns: u64);
     /// Record one pipeline event (ring-buffered).
     fn event(&self, event: PipelineEvent);
+    /// Set the named gauge to `value` (last-value-wins, e.g. queue depth
+    /// or health state). Default: dropped, so counter-only sinks keep
+    /// working.
+    fn gauge_set(&self, _name: &'static str, _value: u64) {}
 }
 
 /// A sink that drops everything (the disabled path and a useful default
@@ -79,6 +191,7 @@ pub const EVENT_CAPACITY: usize = 256;
 #[derive(Debug, Default)]
 struct Recording {
     counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, HistogramSnapshot>,
     events: VecDeque<PipelineEvent>,
 }
@@ -107,6 +220,7 @@ impl RecordingSink {
         let inner = self.locked();
         TelemetrySnapshot {
             counters: inner.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            gauges: inner.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
             histograms: inner.histograms.iter().map(|(&k, v)| (k.to_string(), v.clone())).collect(),
             events: inner.events.iter().cloned().collect(),
         }
@@ -137,6 +251,10 @@ impl MetricSink for RecordingSink {
             inner.events.pop_front();
         }
         inner.events.push_back(event);
+    }
+
+    fn gauge_set(&self, name: &'static str, value: u64) {
+        self.locked().gauges.insert(name, value);
     }
 }
 
@@ -205,6 +323,14 @@ impl Telemetry {
     pub fn observe_ns(&self, name: &'static str, ns: u64) {
         if self.is_enabled() {
             self.sink.observe_ns(name, ns);
+        }
+    }
+
+    /// Set a last-value gauge.
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, value: u64) {
+        if self.is_enabled() {
+            self.sink.gauge_set(name, value);
         }
     }
 
@@ -302,6 +428,14 @@ pub fn counter_add(name: &'static str, delta: u64) {
 pub fn observe_ns(name: &'static str, ns: u64) {
     if let Some(t) = GLOBAL.get() {
         t.observe_ns(name, ns);
+    }
+}
+
+/// Set a global last-value gauge. While disabled this is one atomic load.
+#[inline]
+pub fn gauge_set(name: &'static str, value: u64) {
+    if let Some(t) = GLOBAL.get() {
+        t.gauge_set(name, value);
     }
 }
 
@@ -406,6 +540,19 @@ mod tests {
         assert_eq!(snap.events.len(), EVENT_CAPACITY);
         assert_eq!(snap.events.first().unwrap().annotation_id, 10, "oldest evicted");
         assert_eq!(snap.events.last().unwrap().annotation_id, EVENT_CAPACITY as u64 + 9);
+    }
+
+    #[test]
+    fn gauges_are_last_value_wins() {
+        let t = Telemetry::recording();
+        t.gauge_set("g", 10); // disabled: dropped
+        t.set_enabled(true);
+        t.gauge_set("g", 3);
+        t.gauge_set("g", 7);
+        t.gauge_set("g", 5);
+        let snap = t.snapshot();
+        assert_eq!(snap.gauges["g"], 5);
+        assert!(snap.counters.is_empty(), "gauges don't leak into counters");
     }
 
     #[test]

@@ -73,6 +73,8 @@ impl HistogramSnapshot {
 pub struct TelemetrySnapshot {
     /// Monotonic counters by name.
     pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges by name (queue depth, health state, ...).
+    pub gauges: BTreeMap<String, u64>,
     /// Latency histograms by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Ring-buffered pipeline events, oldest first.
@@ -81,9 +83,10 @@ pub struct TelemetrySnapshot {
 
 impl TelemetrySnapshot {
     /// The delta since `baseline`: counters, histogram counts/sums and
-    /// buckets are subtracted (saturating); min/max keep this snapshot's
-    /// values (extrema don't diff); events keep only those not present
-    /// in the baseline's ring.
+    /// buckets are subtracted (saturating); gauges keep this snapshot's
+    /// values (a last-value gauge doesn't diff, its current reading *is*
+    /// the report); min/max keep this snapshot's values (extrema don't
+    /// diff); events keep only those not present in the baseline's ring.
     pub fn diff(&self, baseline: &TelemetrySnapshot) -> TelemetrySnapshot {
         let counters = self
             .counters
@@ -109,7 +112,7 @@ impl TelemetrySnapshot {
             })
             .collect();
         let events = self.events.iter().filter(|e| !baseline.events.contains(e)).cloned().collect();
-        TelemetrySnapshot { counters, histograms, events }
+        TelemetrySnapshot { counters, gauges: self.gauges.clone(), histograms, events }
     }
 
     /// The events recorded for one annotation, oldest first.
@@ -127,6 +130,12 @@ impl TelemetrySnapshot {
         }
         for (name, value) in &self.counters {
             out.push_str(&format!("  {name:<40} {value}\n"));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<40} {value}\n"));
+            }
         }
         out.push_str("spans:\n");
         if self.histograms.is_empty() {
@@ -157,6 +166,11 @@ impl TelemetrySnapshot {
         push_entries(
             &mut out,
             self.counters.iter().map(|(name, v)| format!("{}: {v}", json_string(name))),
+        );
+        out.push_str("},\n  \"gauges\": {");
+        push_entries(
+            &mut out,
+            self.gauges.iter().map(|(name, v)| format!("{}: {v}", json_string(name))),
         );
         out.push_str("},\n  \"histograms\": {");
         push_entries(
@@ -341,6 +355,24 @@ mod tests {
         }
         assert_eq!(depth, 0);
         assert!(!in_str);
+    }
+
+    #[test]
+    fn gauges_render_and_keep_current_value_in_diff() {
+        let mut base = sample();
+        base.gauges.insert("ingest.queue_depth_peak".into(), 4);
+        let mut later = base.clone();
+        later.gauges.insert("ingest.queue_depth_peak".into(), 9);
+        let d = later.diff(&base);
+        assert_eq!(d.gauges["ingest.queue_depth_peak"], 9, "gauges keep the current reading");
+        let text = later.render_text();
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("ingest.queue_depth_peak"));
+        let json = later.render_json();
+        assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"ingest.queue_depth_peak\": 9"));
+        // Snapshots without gauges omit the text section entirely.
+        assert!(!sample().render_text().contains("gauges:"));
     }
 
     #[test]

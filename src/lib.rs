@@ -21,7 +21,10 @@
 //!   budgets, graceful degradation, and deterministic fault injection, and
 //! - [`nebula_durable`] — crash-safe durability: a checksummed write-ahead
 //!   log of pipeline mutations, framed checkpoints, and torn-tail-tolerant
-//!   recovery.
+//!   recovery, and
+//! - [`nebula_ingest`] — overload-safe concurrent ingest: bounded admission
+//!   with priority classes, a turn-gated single-writer worker pool, circuit
+//!   breakers, and the engine health state machine.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@ pub use annostore;
 pub use nebula_core;
 pub use nebula_durable;
 pub use nebula_govern;
+pub use nebula_ingest;
 pub use nebula_obs;
 pub use nebula_workload;
 pub use relstore;
@@ -71,6 +75,9 @@ pub mod prelude {
     };
     pub use nebula_durable::{Durability, DurabilityOptions, Recovered, SyncPolicy};
     pub use nebula_govern::{Degradation, ExecutionBudget, FaultPlan, FaultStats, RetryPolicy};
+    pub use nebula_ingest::{
+        ingest_batch, HealthState, IngestConfig, IngestItem, IngestReport, Priority, ShedReason,
+    };
     pub use nebula_workload::{generate_dataset, DatasetBundle, DatasetSpec, WorkloadSpec};
     pub use relstore::{
         ConjunctiveQuery, DataType, Database, Predicate, TableSchema, Tuple, TupleId, Value,

@@ -50,6 +50,10 @@ pub struct Shell {
     pub store: AnnotationStore,
     /// The proactive engine.
     pub nebula: Nebula,
+    /// Worker-pool configuration used by ANNOTATE (see `SET WORKERS`).
+    ingest: IngestConfig,
+    /// The most recent ingest report, backing `SHOW HEALTH`.
+    last_ingest: Option<IngestReport>,
 }
 
 impl Shell {
@@ -57,7 +61,10 @@ impl Shell {
     /// `SHOW METRICS` and `EXPLAIN ANNOTATION` have data to report.
     pub fn new(db: Database, store: AnnotationStore, nebula: Nebula) -> Shell {
         nebula_obs::set_enabled(true);
-        Shell { db, store, nebula }
+        // One worker by default: the shell is interactive, and `SET
+        // WORKERS <n>` raises the pool when a session wants concurrency.
+        let ingest = IngestConfig { workers: 1, ..IngestConfig::default() };
+        Shell { db, store, nebula, ingest, last_ingest: None }
     }
 
     /// Shell over a freshly generated synthetic dataset.
@@ -253,17 +260,40 @@ impl Shell {
     }
 
     /// `ANNOTATE <table> '<pk>' '<text>'` — attach a new annotation and run
-    /// the proactive pipeline.
+    /// the proactive pipeline through the ingest worker pool (sized by
+    /// `SET WORKERS`; `SHOW HEALTH` reports on the run afterwards).
     fn annotate(&mut self, args: &[String]) -> Result<String, ShellError> {
         let [table, key, text] = args else {
             return Err(err("usage: ANNOTATE <table> '<pk>' '<text>'"));
         };
         let focal = self.resolve_key(table, key)?;
 
-        let outcome = self
-            .nebula
-            .process_annotation(&self.db, &mut self.store, &Annotation::new(text.clone()), &[focal])
-            .map_err(|e| err(e.to_string()))?;
+        let item = IngestItem::new(Annotation::new(text.clone()), vec![focal]);
+        let report =
+            ingest_batch(&mut self.nebula, &self.db, &mut self.store, &[item], &self.ingest);
+        let result = self.render_annotate(&report, table, key);
+        self.last_ingest = Some(report);
+        result
+    }
+
+    /// Render the single-item ingest report behind ANNOTATE. Sheds and
+    /// quarantines surface as shell errors (the session survives either
+    /// way); clean commits render the familiar outcome summary.
+    fn render_annotate(
+        &self,
+        report: &IngestReport,
+        table: &str,
+        key: &str,
+    ) -> Result<String, ShellError> {
+        if let Some(shed) = report.sheds.first() {
+            return Err(err(format!("annotation shed ({})", shed.reason)));
+        }
+        let entry = report.batch.entries.first().ok_or_else(|| err("ingest produced no result"))?;
+        if let Some(reason) = &entry.quarantine {
+            return Err(err(reason.to_string()));
+        }
+        let outcome =
+            entry.outcome.as_ref().ok_or_else(|| err("ingest entry carries no outcome"))?;
         let mut out = vec![format!(
             "annotation {} attached to {table} '{key}'; {} queries generated",
             outcome.annotation,
@@ -348,16 +378,33 @@ impl Shell {
         Ok(format!("task {} resolved ({} ↔ {})", task.vid, task.annotation, task.tuple))
     }
 
-    /// `SET BUDGET ... | SET FAULTS ... | SET DURABILITY ...` — configure
-    /// the execution budget on the engine, the fault plan on this thread,
-    /// or write-ahead durability on the engine.
+    /// `SET BUDGET ... | SET FAULTS ... | SET DURABILITY ... |
+    /// SET WORKERS <n>` — configure the execution budget on the engine,
+    /// the fault plan on this thread, write-ahead durability on the
+    /// engine, or the ingest worker-pool size.
     fn set(&mut self, args: &[String]) -> Result<String, ShellError> {
         match args.first().map(|s| s.to_uppercase()).as_deref() {
             Some("BUDGET") => self.set_budget(&args[1..]),
             Some("FAULTS") => self.set_faults(&args[1..]),
             Some("DURABILITY") => self.set_durability(&args[1..]),
-            _ => Err(err("usage: SET BUDGET ... | SET FAULTS ... | SET DURABILITY ...")),
+            Some("WORKERS") => self.set_workers(&args[1..]),
+            _ => Err(err(
+                "usage: SET BUDGET ... | SET FAULTS ... | SET DURABILITY ... | SET WORKERS <n>",
+            )),
         }
+    }
+
+    /// `SET WORKERS <n>` — size the worker pool ANNOTATE runs through.
+    /// Any positive count gives byte-identical results for a fixed fault
+    /// seed; more workers only change how overload is absorbed.
+    fn set_workers(&mut self, args: &[String]) -> Result<String, ShellError> {
+        let n: usize = args
+            .first()
+            .and_then(|s| s.parse().ok())
+            .filter(|n| *n > 0)
+            .ok_or_else(|| err("usage: SET WORKERS <n>  (n >= 1)"))?;
+        self.ingest.workers = n;
+        Ok(format!("workers: {n}"))
     }
 
     /// `SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF` — start
@@ -518,12 +565,32 @@ impl Shell {
         }
     }
 
-    /// `SHOW METRICS | BUDGET | FAULTS | DURABILITY` — the telemetry
-    /// snapshot, the configured execution budget, the installed fault plan
-    /// and its injection tallies, or the durability manager's state.
+    /// `SHOW METRICS | BUDGET | FAULTS | DURABILITY | HEALTH` — the
+    /// telemetry snapshot, the configured execution budget, the installed
+    /// fault plan and its injection tallies, the durability manager's
+    /// state, or the ingest health report.
     fn show(&self, args: &[String]) -> Result<String, ShellError> {
         match args.first().map(|s| s.to_uppercase()).as_deref() {
             Some("METRICS") => Ok(nebula_obs::snapshot().render_text()),
+            Some("HEALTH") => Ok(match &self.last_ingest {
+                None => format!(
+                    "health: healthy (no ingest yet)\n  workers: {}   queue capacity: {}",
+                    self.ingest.workers, self.ingest.queue_capacity
+                ),
+                Some(r) => format!(
+                    "health: {}\n  workers: {}   queue capacity: {}   peak depth: {}\n  \
+                     last ingest: {} committed, {} shed ({:.0}% shed rate), \
+                     p99 latency {:.2}ms",
+                    r.health,
+                    r.workers,
+                    self.ingest.queue_capacity,
+                    r.queue_depth_peak,
+                    r.batch.total(),
+                    r.sheds.len(),
+                    r.shed_rate() * 100.0,
+                    r.p99_latency_ns() as f64 / 1e6,
+                ),
+            }),
             Some("BUDGET") => Ok(format!("budget: {}", self.nebula.config().budget)),
             Some("DURABILITY") => Ok(match self.nebula.mutation_sink() {
                 Some(sink) => format!("durability: on ({})", sink.describe()),
@@ -545,7 +612,7 @@ impl Shell {
                     ))
                 }
             },
-            _ => Err(err("usage: SHOW METRICS | BUDGET | FAULTS | DURABILITY")),
+            _ => Err(err("usage: SHOW METRICS | BUDGET | FAULTS | DURABILITY | HEALTH")),
         }
     }
 
@@ -619,8 +686,9 @@ const HELP: &str = "commands:
   SET BUDGET DEADLINE <ms> | TUPLES <n> | CONFIGS <n> | CANDIDATES <n> | OFF;
   SET FAULTS <seed> [RATE <r>] | HOSTILE <seed> | OFF;
   SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF;
+  SET WORKERS <n>;
   CHECKPOINT;   RECOVER '<dir>';
-  SHOW BUDGET;   SHOW FAULTS;   SHOW DURABILITY;
+  SHOW BUDGET;   SHOW FAULTS;   SHOW DURABILITY;   SHOW HEALTH;
   SAVE '<path>';   LOAD '<path>';
   HELP;   EXIT;";
 
@@ -947,6 +1015,41 @@ mod tests {
         assert!(sh.exec("SET DURABILITY").is_err());
         assert!(sh.exec("RECOVER").is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn set_workers_and_show_health() {
+        let mut sh = shell();
+        let fresh = sh.exec("SHOW HEALTH").unwrap();
+        assert!(fresh.contains("no ingest yet"), "{fresh}");
+        assert_eq!(sh.exec("SET WORKERS 4").unwrap(), "workers: 4");
+        assert!(sh.exec("SET WORKERS 0").is_err());
+        assert!(sh.exec("SET WORKERS abc").is_err());
+        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'").unwrap();
+        let health = sh.exec("SHOW HEALTH").unwrap();
+        assert!(health.contains("health: healthy"), "{health}");
+        assert!(health.contains("workers: 4"), "{health}");
+        assert!(health.contains("1 committed, 0 shed"), "{health}");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_annotate_output() {
+        let mut a = shell();
+        let mut b = shell();
+        b.exec("SET WORKERS 8").unwrap();
+        let cmd = "ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'";
+        assert_eq!(a.exec(cmd).unwrap(), b.exec(cmd).unwrap());
+    }
+
+    #[test]
+    fn hostile_faults_degrade_health() {
+        let mut sh = shell();
+        sh.exec("SET FAULTS HOSTILE 11").unwrap();
+        let res = sh.exec("ANNOTATE gene 'JW0006' 'paired with gene JW0007'");
+        assert!(res.is_err(), "quarantined");
+        let health = sh.exec("SHOW HEALTH").unwrap();
+        assert!(health.contains("health: degraded"), "{health}");
+        sh.exec("SET FAULTS OFF").unwrap();
     }
 
     #[test]

@@ -256,6 +256,155 @@ fn durability_on_and_off_produce_identical_outcomes() {
     assert!(!off_snap.counters.keys().any(|k| k.starts_with("durable.")));
 }
 
+/// Worker counts exercised by the concurrency-equivalence tests:
+/// `NEBULA_WORKERS` (comma-separated), default `1,2,8`. CI's thread-count
+/// matrix pins one value per job.
+fn worker_counts() -> Vec<usize> {
+    std::env::var("NEBULA_WORKERS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|n| *n > 0)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 8])
+}
+
+/// The worker pool is a concurrency construct, not a semantics one: for a
+/// fixed fault seed and a non-shedding configuration, the concurrent batch
+/// report renders byte-identically to `process_batch` at every worker
+/// count — faults, retries, quarantines and all.
+#[test]
+fn concurrent_ingest_matches_sequential_at_any_worker_count() {
+    let _serial = guard();
+    let plan = || Some(FaultPlan::uniform(0xBEEF, 0.2));
+
+    let prepared = || {
+        let bundle = generate_dataset(&DatasetSpec::tiny(), 37);
+        let workload = build_workload(&bundle, &WorkloadSpec::default(), 37);
+        let items: Vec<_> = workload
+            .iter()
+            .flat_map(|s| &s.annotations)
+            .filter(|wa| !wa.ideal.is_empty())
+            .take(12)
+            .map(|wa| (wa.annotation.clone(), vec![wa.ideal[0]]))
+            .collect();
+        let mut nebula = Nebula::new(NebulaConfig::default(), bundle.meta.clone());
+        nebula.bootstrap_acg(&bundle.annotations);
+        (bundle, nebula, items)
+    };
+
+    let sequential = {
+        let (mut bundle, mut nebula, items) = prepared();
+        nebula::nebula_govern::set_fault_plan(plan());
+        let report = nebula.process_batch(&bundle.db, &mut bundle.annotations, &items);
+        nebula::nebula_govern::set_fault_plan(None);
+        format!("{report:?}")
+    };
+
+    for workers in worker_counts() {
+        let (mut bundle, mut nebula, items) = prepared();
+        let ingest_items: Vec<_> =
+            items.iter().map(|(a, focal)| IngestItem::new(a.clone(), focal.clone())).collect();
+        nebula::nebula_govern::set_fault_plan(plan());
+        let report = ingest_batch(
+            &mut nebula,
+            &bundle.db,
+            &mut bundle.annotations,
+            &ingest_items,
+            &IngestConfig::deterministic(workers, ingest_items.len()),
+        );
+        nebula::nebula_govern::set_fault_plan(None);
+        assert!(report.sheds.is_empty(), "deterministic config never sheds");
+        assert_eq!(
+            sequential,
+            format!("{:?}", report.batch),
+            "workers={workers} diverged from the sequential batch"
+        );
+    }
+}
+
+/// The single-writer pool preserves PR 3's ordering guarantee end to end:
+/// with the WAL attached (including mid-batch checkpoints), the recovered
+/// on-disk state after a concurrent ingest is byte-identical to the
+/// sequential run's, at every worker count.
+#[test]
+fn concurrent_ingest_recovers_to_the_same_bytes_as_sequential() {
+    let _serial = guard();
+    let plan = || Some(FaultPlan::uniform(0xD1CE, 0.2));
+
+    // Run 12 annotations through a WAL-backed engine (checkpoint every 5
+    // records so the periodic checkpoint path runs mid-batch), then
+    // recover from disk and digest the recovered annotation store.
+    let run = |workers: Option<usize>| -> (String, Vec<u8>) {
+        let dir = std::env::temp_dir().join(format!(
+            "nebula-determinism-pool-{}-{}",
+            std::process::id(),
+            workers.map_or("seq".to_string(), |w| w.to_string())
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut bundle = generate_dataset(&DatasetSpec::tiny(), 41);
+        let workload = build_workload(&bundle, &WorkloadSpec::default(), 41);
+        let items: Vec<_> = workload
+            .iter()
+            .flat_map(|s| &s.annotations)
+            .filter(|wa| !wa.ideal.is_empty())
+            .take(12)
+            .map(|wa| (wa.annotation.clone(), vec![wa.ideal[0]]))
+            .collect();
+        let mut nebula = Nebula::new(NebulaConfig::default(), bundle.meta.clone());
+        nebula.bootstrap_acg(&bundle.annotations);
+        let options = DurabilityOptions { checkpoint_every: Some(5), ..Default::default() };
+        let durability = Durability::begin(&dir, &bundle.db, &bundle.annotations, options)
+            .expect("fresh durability directory");
+        nebula.set_mutation_sink(Some(Box::new(durability)));
+
+        nebula::nebula_govern::set_fault_plan(plan());
+        let rendered = match workers {
+            None => {
+                let report = nebula.process_batch(&bundle.db, &mut bundle.annotations, &items);
+                format!("{report:?}")
+            }
+            Some(w) => {
+                let ingest_items: Vec<_> = items
+                    .iter()
+                    .map(|(a, focal)| IngestItem::new(a.clone(), focal.clone()))
+                    .collect();
+                let report = ingest_batch(
+                    &mut nebula,
+                    &bundle.db,
+                    &mut bundle.annotations,
+                    &ingest_items,
+                    &IngestConfig::deterministic(w, ingest_items.len()),
+                );
+                format!("{:?}", report.batch)
+            }
+        };
+        nebula::nebula_govern::set_fault_plan(None);
+        drop(nebula.take_mutation_sink());
+
+        let (resumed, recovered) = Durability::resume(&dir, DurabilityOptions::default())
+            .expect("recovery from a cleanly closed log");
+        drop(resumed);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(
+            recovered.store.annotation_count(),
+            bundle.annotations.annotation_count(),
+            "recovery restores every annotation"
+        );
+        (rendered, nebula::annostore::snapshot::save(&recovered.store).to_vec())
+    };
+
+    let (seq_report, seq_bytes) = run(None);
+    for workers in worker_counts() {
+        let (report, bytes) = run(Some(workers));
+        assert_eq!(seq_report, report, "workers={workers}: batch report diverged");
+        assert_eq!(seq_bytes, bytes, "workers={workers}: recovered store bytes diverged");
+    }
+}
+
 #[test]
 fn dataset_generation_is_pure() {
     let _serial = guard();

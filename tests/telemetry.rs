@@ -153,3 +153,79 @@ fn snapshot_diff_isolates_one_annotation() {
     assert_eq!(diff.counters["core.annotations_processed"], 1);
     assert_eq!(diff.histograms[nebula_obs::names::PIPELINE].count, 1);
 }
+
+/// Every metric the engine writes — counters, gauges, histograms — is
+/// listed in `nebula_obs::registry`. A counter that exists in code but not
+/// in the registry is invisible to dashboards and to `SHOW METRICS`
+/// consumers, so this test drives the full surface (pipeline, durability,
+/// concurrent ingest with sheds, quarantines, breaker activity, deferred
+/// checkpoints) and then refuses any unlisted name.
+#[test]
+fn every_written_metric_is_listed_in_the_registry() {
+    let _guard = GLOBAL_LOCK.lock().unwrap();
+    nebula_obs::set_enabled(true);
+    nebula_obs::reset();
+
+    let dir =
+        std::env::temp_dir().join(format!("nebula-telemetry-registry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut st = stack(19);
+    st.process_one(0);
+
+    // Concurrent ingest with a WAL attached, faults, a tiny queue, and
+    // deadlines: exercises ingest.*, durable.*, and the shed counters.
+    let durability = Durability::begin(
+        &dir,
+        &st.bundle.db,
+        &st.bundle.annotations,
+        DurabilityOptions { checkpoint_every: Some(2), ..Default::default() },
+    )
+    .expect("fresh durability directory");
+    st.nebula.set_mutation_sink(Some(Box::new(durability)));
+    let items: Vec<IngestItem> = st
+        .workload
+        .iter()
+        .flat_map(|s| &s.annotations)
+        .filter(|wa| !wa.ideal.is_empty())
+        .take(24)
+        .enumerate()
+        .map(|(i, wa)| {
+            let item = IngestItem::new(wa.annotation.clone(), vec![wa.ideal[0]]);
+            if i % 4 == 0 {
+                item.with_deadline(std::time::Duration::ZERO)
+            } else {
+                item
+            }
+        })
+        .collect();
+    nebula::nebula_govern::set_fault_plan(Some(FaultPlan::uniform(0x9E6, 0.3)));
+    let report = ingest_batch(
+        &mut st.nebula,
+        &st.bundle.db,
+        &mut st.bundle.annotations,
+        &items,
+        &IngestConfig { workers: 2, queue_capacity: 2, ..Default::default() },
+    );
+    nebula::nebula_govern::set_fault_plan(None);
+    drop(st.nebula.take_mutation_sink());
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(!report.sheds.is_empty(), "the tiny queue and deadlines shed: {report:?}");
+
+    let snap = nebula_obs::snapshot();
+    nebula_obs::set_enabled(false);
+
+    for name in snap.counters.keys() {
+        assert!(nebula_obs::registry::is_known(name), "counter `{name}` is not in the registry");
+    }
+    for name in snap.gauges.keys() {
+        assert!(nebula_obs::registry::is_known(name), "gauge `{name}` is not in the registry");
+    }
+    for name in snap.histograms.keys() {
+        assert!(nebula_obs::registry::is_known(name), "histogram `{name}` is not in the registry");
+    }
+    // The new PR-4 names actually got written, so the registry check above
+    // had teeth.
+    assert!(snap.counters.contains_key("ingest.shed"), "{:?}", snap.counters);
+    assert!(snap.gauges.contains_key("ingest.health"), "{:?}", snap.gauges);
+}
