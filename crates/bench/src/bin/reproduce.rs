@@ -13,6 +13,7 @@
 //!   profile                  Figure 7 hop profile + K selection
 //!   durability               WAL append overhead + recovery vs log length
 //!   overload                 concurrent ingest under arrival pressure
+//!   replication              WAL shipping under transport faults
 //!   ablation-acg ablation-querygen ablation-stability
 //!   all                      everything above
 //! ```
@@ -25,7 +26,7 @@
 
 use nebula_bench::{
     ablation, degradation, durability, fig11, fig12, fig13, fig14, fig15, overload, pipeline,
-    profile, Scale, Setup,
+    profile, replication, Scale, Setup,
 };
 
 fn main() {
@@ -61,6 +62,7 @@ fn main() {
             "degradation",
             "durability",
             "overload",
+            "replication",
             "ablation-acg",
             "ablation-learn",
             "ablation-querygen",
@@ -70,7 +72,8 @@ fn main() {
         println!(
             "experiments: fig11a fig11b fig11c fig12a fig12b fig13 fig14a fig14b \
              fig15a fig15b naive-assess profile pipeline degradation durability \
-             overload ablation-acg ablation-learn ablation-querygen ablation-stability all"
+             overload replication ablation-acg ablation-learn ablation-querygen \
+             ablation-stability all"
         );
         return;
     } else {
@@ -206,6 +209,11 @@ fn main() {
                 eprintln!("[reproduce] generating D_small ...");
                 let setup = Setup::small(scale);
                 overload::table(&overload::run(&setup, if fast { 40 } else { 96 })).print();
+            }
+            "replication" => {
+                eprintln!("[reproduce] generating D_small ...");
+                let setup = Setup::small(scale);
+                replication::table(&replication::run(&setup, if fast { 30 } else { 80 })).print();
             }
             "profile" => {
                 let setup = get_large!();

@@ -1,0 +1,237 @@
+//! Replication experiment: WAL shipping under transport faults.
+//!
+//! Each cell runs the same batch ingest through a [`Cluster`] of three
+//! replicas at a different `(net profile, commit rule)` point and reports
+//! what replication cost and what it guaranteed: batch wall time, the
+//! primary's final LSN, how many extra pump rounds the cluster needed to
+//! converge after the batch, and the safety outcomes. The invariants
+//! under test are the tentpole replication claims:
+//!
+//! - under every net profile the cluster **converges**: once the
+//!   transport drains, every live replica's applied LSN reaches the
+//!   primary's and its full-state digest matches the primary's shadow —
+//!   loss, delay, reordering, duplication, and flapping links change how
+//!   long convergence takes, never where it lands;
+//! - divergence detection stays silent (no replica is wedged) because
+//!   replay is deterministic; and
+//! - ack-quorum only changes *when* a record counts as committed, never
+//!   what the replicas end up holding.
+//!
+//! The fault seed is `NEBULA_FAULT_SEED` (hex or decimal; default
+//! `0xF00D`), shared with the degradation and overload experiments.
+
+use crate::degradation::fault_seed;
+use crate::setup::Setup;
+use crate::table::Table;
+use nebula_core::{distort, CommitRule, Nebula, NebulaConfig, VerificationBounds};
+use nebula_govern::FaultPlan;
+use nebula_replica::{Cluster, ClusterConfig, ClusterSink, SimTransport};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Replicas per cell (nodes 1..=3; the primary is node 0).
+const REPLICAS: usize = 3;
+
+/// Convergence pump budget after the batch (a cap, not a target).
+const DRAIN_ROUNDS: usize = 2_000;
+
+/// One `(net profile, commit rule)` cell's outcome.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Net-profile label (`clean`, `lossy`, `flaky`).
+    pub net: String,
+    /// Commit-rule label (`ack-none` or `ack-quorum(q)`).
+    pub rule: String,
+    /// Annotations ingested.
+    pub total: usize,
+    /// The primary's final LSN (records shipped).
+    pub records: u64,
+    /// Batch wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Did any record exhaust its lag budget mid-batch?
+    pub lagged: bool,
+    /// Pump rounds needed after the batch before every live replica
+    /// acked the final LSN (0 = already converged).
+    pub drain_rounds: usize,
+    /// Did every live replica converge within the drain budget?
+    pub converged: bool,
+    /// Do all live replicas' state digests match the primary's shadow?
+    pub digests_match: bool,
+    /// Replicas wedged by divergence detection (must stay 0).
+    pub wedged: usize,
+    /// Divergences the primary reported (must stay 0).
+    pub divergences: usize,
+    /// The transport's one-line delivery summary.
+    pub transport: String,
+}
+
+fn scenario_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nebula-bench-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine(setup: &Setup) -> Nebula {
+    setup.engine(NebulaConfig { bounds: VerificationBounds::new(0.4, 0.85), ..Default::default() })
+}
+
+/// Run one cell.
+fn scenario(setup: &Setup, n: usize, net: &str, transport: SimTransport, rule: CommitRule) -> Cell {
+    // Fresh store per cell so earlier cells don't seed the ACG.
+    let bytes = annostore::snapshot::save(&setup.bundle.annotations);
+    let mut store = annostore::snapshot::load(&bytes).expect("snapshot round-trip");
+    let mut nebula = engine(setup);
+    let source = &setup.set(100).annotations;
+    let items: Vec<_> = (0..n)
+        .map(|i| {
+            let wa = &source[i % source.len()];
+            (wa.annotation.clone(), distort(&wa.ideal, 1).0)
+        })
+        .collect();
+
+    let dir = scenario_dir(&format!("{net}-{rule}"));
+    let config = ClusterConfig { rule, ..ClusterConfig::default() };
+    let cluster =
+        Cluster::new(&dir, &setup.bundle.db, &store, REPLICAS, Box::new(transport), config)
+            .expect("fresh cluster directory");
+    let sink = ClusterSink::new(cluster);
+    let handle = sink.handle();
+    nebula.set_mutation_sink(Some(Box::new(sink)));
+
+    let t0 = Instant::now();
+    let report = nebula.process_batch(&setup.bundle.db, &mut store, &items);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(nebula.take_mutation_sink());
+
+    let mut cluster = handle.lock();
+    let lagged = cluster.lag_exceeded();
+    // Drain: keep pumping until every live replica acked the final LSN.
+    let last = cluster.primary().last_lsn();
+    let mut drain_rounds = 0;
+    while cluster.primary().min_acked() < last && drain_rounds < DRAIN_ROUNDS {
+        cluster.pump(1);
+        drain_rounds += 1;
+    }
+    let converged = cluster.primary().min_acked() >= last;
+    let want = cluster.primary().shadow_digest();
+    let replica_wedges = cluster.replicas().iter().filter(|r| r.is_wedged()).count();
+    let digests_match = replica_wedges == 0
+        && cluster.replicas().iter().all(|r| r.digest() == want && r.applied() == last);
+    let cell = Cell {
+        net: net.to_string(),
+        rule: rule.to_string(),
+        total: report.total(),
+        records: last,
+        wall_ms,
+        lagged,
+        drain_rounds,
+        converged: converged && digests_match,
+        digests_match,
+        wedged: cluster.primary().wedged_count() + replica_wedges,
+        divergences: cluster.primary().divergences().len(),
+        transport: cluster.describe_transport(),
+    };
+    drop(cluster);
+    let _ = std::fs::remove_dir_all(&dir);
+    cell
+}
+
+/// Build the transport for one net-profile label.
+fn transport_for(net: &str) -> SimTransport {
+    let seed = fault_seed();
+    let nodes = REPLICAS + 1;
+    match net {
+        // Loss, delay, reordering, and duplication on every link.
+        "lossy" => SimTransport::new(nodes, FaultPlan::new(seed).with_net(0.15, 0.15, 0.1, 0.1)),
+        // Milder per-frame faults plus a deterministic link-flap schedule
+        // that keeps each replica dark for a third of the run.
+        "flaky" => SimTransport::new(nodes, FaultPlan::new(seed).with_net(0.05, 0.1, 0.05, 0.05))
+            .with_flap(40),
+        _ => SimTransport::reliable(nodes),
+    }
+}
+
+/// Run the grid: net profiles `{clean, lossy, flaky}` crossed with
+/// commit rules `{ack-none, ack-quorum(2)}`.
+pub fn run(setup: &Setup, n: usize) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for net in ["clean", "lossy", "flaky"] {
+        for rule in [CommitRule::Local, CommitRule::Quorum(2)] {
+            cells.push(scenario(setup, n, net, transport_for(net), rule));
+        }
+    }
+    cells
+}
+
+/// Render the grid.
+pub fn table(cells: &[Cell]) -> Table {
+    let mut t = Table::new(
+        format!("Replication: WAL shipping under transport faults (seed={:#x})", fault_seed()),
+        &[
+            "net",
+            "rule",
+            "annotations",
+            "records",
+            "wall_ms",
+            "lagged",
+            "drain",
+            "converged",
+            "digests",
+            "wedged",
+            "divergences",
+        ],
+    );
+    for c in cells {
+        t.row(vec![
+            c.net.clone(),
+            c.rule.clone(),
+            c.total.to_string(),
+            c.records.to_string(),
+            format!("{:.1}", c.wall_ms),
+            if c.lagged { "yes" } else { "no" }.to_string(),
+            c.drain_rounds.to_string(),
+            if c.converged { "yes" } else { "NO" }.to_string(),
+            if c.digests_match { "match" } else { "MISMATCH" }.to_string(),
+            c.wedged.to_string(),
+            c.divergences.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_workload::DatasetSpec;
+
+    #[test]
+    fn every_profile_converges_to_the_primary_digest() {
+        let setup = Setup::new("test", &DatasetSpec::tiny());
+        let cells = run(&setup, 30);
+        assert_eq!(cells.len(), 6);
+        for c in &cells {
+            assert!(c.records > 0, "{}/{}: the batch shipped records", c.net, c.rule);
+            assert!(c.converged, "{}/{} must converge: {c:?}", c.net, c.rule);
+            assert!(c.digests_match, "{}/{} digests: {c:?}", c.net, c.rule);
+            assert_eq!(c.wedged, 0, "{c:?}");
+            assert_eq!(c.divergences, 0, "{c:?}");
+        }
+        // The commit rule never changes what the batch produces or ships.
+        for pair in cells.chunks(2) {
+            assert_eq!(pair[0].total, pair[1].total, "{}", pair[0].net);
+            assert_eq!(pair[0].records, pair[1].records, "{}", pair[0].net);
+        }
+        // Faulty transports actually exercised their faults.
+        for c in cells.iter().filter(|c| c.net != "clean") {
+            assert!(
+                c.transport.contains("dropped=") && !c.transport.contains("dropped=0 "),
+                "{}/{} transport saw loss: {}",
+                c.net,
+                c.rule,
+                c.transport
+            );
+        }
+        let rendered = table(&cells).render();
+        assert!(rendered.contains("ack-quorum(2)"), "{rendered}");
+    }
+}

@@ -78,6 +78,51 @@ pub enum Mutation<'a> {
     },
 }
 
+/// How a sink decides a recorded mutation counts as *committed*.
+///
+/// The plain WAL sink commits on local append ([`CommitRule::Local`]); a
+/// replicated sink can additionally demand acknowledgements from a quorum
+/// of replicas before the write is considered safe against losing the
+/// primary node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitRule {
+    /// The local WAL append suffices (ack-none).
+    Local,
+    /// At least this many replicas must acknowledge the LSN (ack-quorum).
+    Quorum(usize),
+}
+
+impl fmt::Display for CommitRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitRule::Local => write!(f, "ack-none"),
+            CommitRule::Quorum(q) => write!(f, "ack-quorum({q})"),
+        }
+    }
+}
+
+/// The replication posture a sink reports after its most recent record.
+///
+/// Non-replicated sinks report nothing; the ingest pool feeds this into
+/// the health machine and the replication circuit breaker, and the shell
+/// renders it for `SHOW REPLICATION`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationStatus {
+    /// The primary's current fencing epoch.
+    pub epoch: u64,
+    /// The commit rule in force.
+    pub rule: CommitRule,
+    /// Attached replicas (wedged ones included).
+    pub replicas: usize,
+    /// Replicas wedged by divergence detection.
+    pub wedged_replicas: usize,
+    /// Largest acknowledgement lag across live replicas, in LSNs.
+    pub max_lag: u64,
+    /// Did the most recent record exhaust its lag budget before the
+    /// commit rule was satisfied?
+    pub lag_budget_exceeded: bool,
+}
+
 /// A sink failed to record or persist a mutation.
 ///
 /// Carries only a rendered message: the engine treats any sink failure the
@@ -128,5 +173,18 @@ pub trait MutationSink: fmt::Debug + Send {
     /// One-line status for `SHOW DURABILITY`.
     fn describe(&self) -> String {
         String::new()
+    }
+
+    /// The commit rule this sink enforces. Non-replicated sinks commit on
+    /// local append.
+    fn commit_rule(&self) -> CommitRule {
+        CommitRule::Local
+    }
+
+    /// Replication posture after the most recent record, if this sink
+    /// replicates. The ingest pool polls this each commit turn to feed the
+    /// health machine and the replication breaker.
+    fn replication(&self) -> Option<ReplicationStatus> {
+        None
     }
 }

@@ -55,7 +55,7 @@ pub use batch::{
     classify_outcome, panic_message, BatchEntry, BatchReport, BatchStatus, QuarantineReason,
 };
 pub use bounds::{distort, BoundsEvaluation, BoundsSetting, TrainingExample};
-pub use durability::{Mutation, MutationSink, SinkError};
+pub use durability::{CommitRule, Mutation, MutationSink, ReplicationStatus, SinkError};
 pub use engine::{Nebula, NebulaConfig, ProcessOutcome, SearchMode};
 pub use error::NebulaError;
 pub use execution::{

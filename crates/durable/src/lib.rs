@@ -20,6 +20,9 @@
 //! - [`manager`] — [`Durability`], the [`nebula_core::MutationSink`]
 //!   implementation the engine logs through (log **before** apply), with
 //!   `nebula-govern` I/O fault injection wired into every write path.
+//! - [`segment`] — epoch-stamped replication frames: shipped WAL segments
+//!   and checkpoint transfers, the payloads `nebula-replica` moves from a
+//!   primary to its replicas.
 //! - [`harness`] — the crash-point harness: kills-and-recovers the store at
 //!   every log record boundary and asserts the recovered state equals a
 //!   reference replay (prefix consistency).
@@ -33,11 +36,13 @@ pub mod crc32c;
 pub mod harness;
 pub mod manager;
 pub mod recover;
+pub mod segment;
 pub mod wal;
 
-pub use harness::{crash_points, CrashPointReport};
+pub use harness::{crash_points, state_digest, CrashPointReport};
 pub use manager::{Durability, DurabilityOptions, SyncPolicy};
-pub use recover::{recover, recover_from_bytes, Recovered};
+pub use recover::{recover, recover_from_bytes, replay_op, Recovered};
+pub use segment::{CheckpointFrame, Segment};
 pub use wal::{TailReport, WalOp, WalRecord};
 
 /// Counter and span names this crate publishes to `nebula-obs`.

@@ -94,6 +94,21 @@ impl Durability {
         store: &AnnotationStore,
         options: DurabilityOptions,
     ) -> Result<Durability, DurableError> {
+        Durability::begin_at(dir, db, store, options, 1)
+    }
+
+    /// [`Durability::begin`], but the first append gets LSN `first_lsn`
+    /// (which must be ≥ 1). The initial checkpoint carries watermark
+    /// `first_lsn - 1`, so the new log slots into an existing LSN
+    /// sequence — this is how a promoted replica becomes a primary
+    /// without renumbering the history it inherited.
+    pub fn begin_at(
+        dir: &Path,
+        db: &Database,
+        store: &AnnotationStore,
+        options: DurabilityOptions,
+        first_lsn: u64,
+    ) -> Result<Durability, DurableError> {
         std::fs::create_dir_all(dir)?;
         let existing = checkpoint::list_checkpoints(dir)?;
         let wal_path = dir.join(WAL_FILE);
@@ -106,7 +121,7 @@ impl Durability {
             dir: dir.to_path_buf(),
             wal,
             wal_len: 0,
-            next_lsn: 1,
+            next_lsn: first_lsn.max(1),
             ckpt_seq: 1,
             watermark: 0,
             since_checkpoint: 0,
@@ -119,18 +134,21 @@ impl Durability {
 
     /// Reopen a directory: recover its state, repair the WAL tail
     /// (truncate to the valid prefix), and return a manager ready to
-    /// append, alongside the recovered state.
+    /// append, alongside the recovered state. When a torn tail was
+    /// truncated, [`Recovered::wal_truncated_to`] carries the surviving
+    /// LSN watermark so replication can make its catch-up decision.
     pub fn resume(
         dir: &Path,
         options: DurabilityOptions,
     ) -> Result<(Durability, Recovered), DurableError> {
-        let recovered = recover(dir)?;
+        let mut recovered = recover(dir)?;
         let wal_path = dir.join(WAL_FILE);
         let mut wal =
             OpenOptions::new().create(true).truncate(false).write(true).open(&wal_path)?;
         if recovered.tail.dropped_bytes > 0 {
             wal.set_len(recovered.tail.valid_bytes as u64)?;
             wal.sync_data()?;
+            recovered.wal_truncated_to = Some(recovered.last_lsn);
             nebula_obs::counter_add(counters::WAL_TRUNCATIONS, 1);
         }
         wal.seek(SeekFrom::Start(recovered.tail.valid_bytes as u64))?;
@@ -448,9 +466,50 @@ mod tests {
 
         let (d2, r) = Durability::resume(&dir, DurabilityOptions::default()).unwrap();
         assert_eq!(r.tail.dropped_records, 1);
+        assert_eq!(
+            r.wal_truncated_to,
+            Some(1),
+            "truncation reports the surviving LSN watermark, not just a counter"
+        );
         assert_eq!(d2.wal_bytes(), valid);
         assert_eq!(std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(), valid);
         assert_eq!(d2.next_lsn(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_resume_reports_no_truncation() {
+        let dir = temp_dir("clean-resume");
+        let db = Database::new();
+        let store = AnnotationStore::new();
+        let mut d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        d.append(&op(0)).unwrap();
+        drop(d);
+        let (_, r) = Durability::resume(&dir, DurabilityOptions::default()).unwrap();
+        assert_eq!(r.wal_truncated_to, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn begin_at_slots_into_an_existing_lsn_sequence() {
+        let dir = temp_dir("begin-at");
+        let mut db = Database::new();
+        let mut store = AnnotationStore::new();
+        // A promoted replica at LSN 2 continues the history from LSN 3.
+        for n in 0..2u64 {
+            crate::recover::replay_op(&mut db, &mut store, &op(n)).unwrap();
+        }
+        let mut d =
+            Durability::begin_at(&dir, &db, &store, DurabilityOptions::default(), 3).unwrap();
+        assert_eq!(d.next_lsn(), 3);
+        assert_eq!(d.watermark(), 2, "initial checkpoint covers the inherited prefix");
+        assert_eq!(d.append(&op(2)).unwrap(), 3);
+        drop(d);
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.watermark, 2);
+        assert_eq!(r.replayed, 1);
+        assert_eq!(r.last_lsn, 3);
+        assert_eq!(r.store.annotation_count(), 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

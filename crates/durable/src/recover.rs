@@ -40,11 +40,19 @@ pub struct Recovered {
     pub tail: TailReport,
     /// Whether a checkpoint file was found (false = empty-state bootstrap).
     pub had_checkpoint: bool,
+    /// When [`crate::Durability::resume`] repaired a torn tail, the LSN
+    /// watermark the log was truncated back to (the highest LSN that
+    /// survived). `None` when nothing was truncated. Replicas use this to
+    /// decide whether WAL shipping can continue from their acked LSN or a
+    /// checkpoint transfer is needed.
+    pub wal_truncated_to: Option<u64>,
 }
 
-/// Apply one WAL operation to the state. `pub(crate)` so the crash-point
-/// harness can build its reference states through the same code path.
-pub(crate) fn replay_op(
+/// Apply one WAL operation to the state. Public so the crash-point
+/// harness and the replication layer (`nebula-replica`) build their
+/// reference and replica states through the same idempotent code path
+/// recovery uses.
+pub fn replay_op(
     db: &mut Database,
     store: &mut AnnotationStore,
     op: &WalOp,
@@ -136,7 +144,17 @@ pub fn recover_from_bytes(
     nebula_obs::counter_add(counters::RECORDS_REPLAYED, replayed as u64);
     nebula_obs::counter_add(counters::RECORDS_SKIPPED, skipped as u64);
     nebula_obs::counter_add(counters::RECORDS_DROPPED, tail.dropped_records as u64);
-    Ok(Recovered { db, store, watermark, last_lsn, replayed, skipped, tail, had_checkpoint })
+    Ok(Recovered {
+        db,
+        store,
+        watermark,
+        last_lsn,
+        replayed,
+        skipped,
+        tail,
+        had_checkpoint,
+        wal_truncated_to: None,
+    })
 }
 
 /// Recover durable state from a directory.

@@ -28,6 +28,14 @@ pub enum FaultSite {
     FsyncFail,
     /// One bit of a checkpoint image flips before it reaches disk.
     BitFlip,
+    /// A replication transport frame vanishes in flight.
+    NetDrop,
+    /// A replication transport frame is held back before delivery.
+    NetDelay,
+    /// A replication transport frame overtakes an earlier one.
+    NetReorder,
+    /// A replication transport frame is delivered twice.
+    NetDuplicate,
 }
 
 impl fmt::Display for FaultSite {
@@ -41,6 +49,10 @@ impl fmt::Display for FaultSite {
             FaultSite::ShortWrite => "short-write",
             FaultSite::FsyncFail => "fsync-fail",
             FaultSite::BitFlip => "bit-flip",
+            FaultSite::NetDrop => "net-drop",
+            FaultSite::NetDelay => "net-delay",
+            FaultSite::NetReorder => "net-reorder",
+            FaultSite::NetDuplicate => "net-duplicate",
         };
         write!(f, "{s}")
     }
@@ -94,6 +106,41 @@ pub struct IoFaultSpec {
     pub bit_flip: f64,
 }
 
+/// Firing rates for the seeded replication-transport fault sites. All
+/// rates are probabilities in `[0, 1]` and default to zero, so plans built
+/// before the replication layer existed behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetFaultSpec {
+    /// Frame-drop rate ([`FaultSite::NetDrop`]).
+    pub drop: f64,
+    /// Frame-delay rate ([`FaultSite::NetDelay`]).
+    pub delay: f64,
+    /// Frame-reorder rate ([`FaultSite::NetReorder`]).
+    pub reorder: f64,
+    /// Frame-duplication rate ([`FaultSite::NetDuplicate`]).
+    pub duplicate: f64,
+}
+
+/// A transport fault that fired, with its seed-derived parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The frame is dropped on the floor; the shipping protocol must
+    /// retransmit.
+    Drop,
+    /// The frame is held for `ticks` delivery polls before it becomes
+    /// deliverable (head-of-line: later frames on the link wait behind it
+    /// unless a reorder moved them ahead).
+    Delay {
+        /// Polls to hold the frame, in `[1, 4]`.
+        ticks: u32,
+    },
+    /// The frame is inserted *ahead* of the frames already queued on its
+    /// link, overtaking them.
+    Reorder,
+    /// The frame is enqueued twice.
+    Duplicate,
+}
+
 /// An I/O fault that fired, with its seed-derived parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IoFault {
@@ -137,6 +184,8 @@ pub struct FaultPlan {
     pub panic_rate: f64,
     /// Seeded I/O fault rates for the durability layer.
     pub io: IoFaultSpec,
+    /// Seeded transport fault rates for the replication layer.
+    pub net: NetFaultSpec,
     state: u64,
 }
 
@@ -151,6 +200,7 @@ impl FaultPlan {
             latency_per_site: Duration::from_micros(50),
             panic_rate: 0.0,
             io: IoFaultSpec::default(),
+            net: NetFaultSpec::default(),
             state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
         }
     }
@@ -224,11 +274,47 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: set all four replication-transport fault rates at once.
+    pub fn with_net(mut self, drop: f64, delay: f64, reorder: f64, duplicate: f64) -> FaultPlan {
+        self.net = NetFaultSpec { drop, delay, reorder, duplicate };
+        self
+    }
+
+    /// Roll the seeded stream at one transport fault site. Valid sites are
+    /// the four `Net*` variants; anything else never fires.
+    ///
+    /// Every call consumes exactly **two** draws (the Bernoulli roll and
+    /// the parameter draw) whether or not the fault fires, so toggling one
+    /// site's rate never shifts the stream seen by the other sites — the
+    /// same discipline `inject_io` follows.
+    pub fn roll_net(&mut self, site: FaultSite) -> Option<NetFault> {
+        let rate = match site {
+            FaultSite::NetDrop => self.net.drop,
+            FaultSite::NetDelay => self.net.delay,
+            FaultSite::NetReorder => self.net.reorder,
+            FaultSite::NetDuplicate => self.net.duplicate,
+            _ => 0.0,
+        };
+        let fired = self.roll(rate);
+        let param = self.draw();
+        if !fired {
+            return None;
+        }
+        match site {
+            FaultSite::NetDrop => Some(NetFault::Drop),
+            FaultSite::NetDelay => Some(NetFault::Delay { ticks: (param % 4) as u32 + 1 }),
+            FaultSite::NetReorder => Some(NetFault::Reorder),
+            FaultSite::NetDuplicate => Some(NetFault::Duplicate),
+            _ => None,
+        }
+    }
+
     /// Human-readable one-liner for `SHOW FAULTS`.
     pub fn describe(&self) -> String {
         format!(
             "seed={} query={:.2}{} index-probe={:.2} latency={:.2}@{}us panic={:.2} \
-             io[torn={:.2} short={:.2} fsync={:.2} flip={:.2}]",
+             io[torn={:.2} short={:.2} fsync={:.2} flip={:.2}] \
+             net[drop={:.2} delay={:.2} reorder={:.2} dup={:.2}]",
             self.seed,
             self.query.rate,
             if self.query.transient { " (transient)" } else { " (permanent)" },
@@ -240,6 +326,10 @@ impl FaultPlan {
             self.io.short_write,
             self.io.fsync_fail,
             self.io.bit_flip,
+            self.net.drop,
+            self.net.delay,
+            self.net.reorder,
+            self.net.duplicate,
         )
     }
 
@@ -334,5 +424,62 @@ impl RetryPolicy {
     pub fn backoff(&self, attempt: u32) -> Duration {
         let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
         self.base_backoff.checked_mul(factor).map_or(self.max_backoff, |d| d.min(self.max_backoff))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roll_net_replays_identically_for_a_seed() {
+        let sites = [
+            FaultSite::NetDrop,
+            FaultSite::NetDelay,
+            FaultSite::NetReorder,
+            FaultSite::NetDuplicate,
+        ];
+        let mut a = FaultPlan::new(0xF00D).with_net(0.3, 0.3, 0.3, 0.3);
+        let mut b = FaultPlan::new(0xF00D).with_net(0.3, 0.3, 0.3, 0.3);
+        for i in 0..256 {
+            let site = sites[i % sites.len()];
+            assert_eq!(a.roll_net(site), b.roll_net(site), "call {i}");
+        }
+    }
+
+    #[test]
+    fn roll_net_consumes_fixed_draws_regardless_of_rates() {
+        // With drop off in one plan and on in the other, the *other*
+        // sites must still see the same stream: every roll_net call
+        // consumes exactly two draws.
+        let mut quiet = FaultPlan::new(42).with_net(0.0, 0.5, 0.5, 0.5);
+        let mut noisy = FaultPlan::new(42).with_net(1.0, 0.5, 0.5, 0.5);
+        for _ in 0..64 {
+            assert_eq!(quiet.roll_net(FaultSite::NetDrop), None);
+            assert!(noisy.roll_net(FaultSite::NetDrop).is_some());
+            assert_eq!(quiet.roll_net(FaultSite::NetDelay), noisy.roll_net(FaultSite::NetDelay));
+            assert_eq!(
+                quiet.roll_net(FaultSite::NetReorder),
+                noisy.roll_net(FaultSite::NetReorder)
+            );
+        }
+    }
+
+    #[test]
+    fn delay_ticks_stay_in_range() {
+        let mut plan = FaultPlan::new(7).with_net(0.0, 1.0, 0.0, 0.0);
+        for _ in 0..128 {
+            match plan.roll_net(FaultSite::NetDelay) {
+                Some(NetFault::Delay { ticks }) => assert!((1..=4).contains(&ticks)),
+                other => panic!("delay at rate 1.0 must fire: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_net_sites_never_fire_in_roll_net() {
+        let mut plan = FaultPlan::hostile(1).with_net(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(plan.roll_net(FaultSite::Query), None);
+        assert_eq!(plan.roll_net(FaultSite::TornWrite), None);
     }
 }

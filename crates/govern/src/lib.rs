@@ -26,7 +26,8 @@ mod fault;
 
 pub use budget::{BudgetExceeded, ExecutionBudget, Resource};
 pub use fault::{
-    FaultPlan, FaultSite, FaultSpec, FaultStats, InjectedFault, IoFault, IoFaultSpec, RetryPolicy,
+    FaultPlan, FaultSite, FaultSpec, FaultStats, InjectedFault, IoFault, IoFaultSpec, NetFault,
+    NetFaultSpec, RetryPolicy,
 };
 
 use std::cell::RefCell;
@@ -331,13 +332,18 @@ pub fn inject(site: FaultSite) -> Option<InjectedFault> {
                 plan.roll(rate).then_some(InjectedFault { site, transient: false })
             }
             // Latency and panics fire through stage_boundary; the I/O
-            // sites fire through inject_io.
+            // sites fire through inject_io; the transport sites fire
+            // through FaultPlan::roll_net on a transport-owned plan.
             FaultSite::Latency
             | FaultSite::Panic
             | FaultSite::TornWrite
             | FaultSite::ShortWrite
             | FaultSite::FsyncFail
-            | FaultSite::BitFlip => None,
+            | FaultSite::BitFlip
+            | FaultSite::NetDrop
+            | FaultSite::NetDelay
+            | FaultSite::NetReorder
+            | FaultSite::NetDuplicate => None,
         }?;
         match site {
             FaultSite::Query => g.fault_stats.query_errors += 1,

@@ -82,6 +82,7 @@ pub struct HealthMachine {
     wal_trips: u32,
     wedge_after_wal_trips: u32,
     breaker_not_closed: bool,
+    replication_lagging: bool,
     state: HealthState,
 }
 
@@ -95,6 +96,7 @@ impl HealthMachine {
             wal_trips: 0,
             wedge_after_wal_trips: wedge_after_wal_trips.max(1),
             breaker_not_closed: false,
+            replication_lagging: false,
             state: HealthState::Healthy,
         }
     }
@@ -120,6 +122,13 @@ impl HealthMachine {
         self.breaker_not_closed = open;
     }
 
+    /// Tell the machine whether the replication sink last reported a
+    /// commit-rule or lag-budget miss (keeps the engine at least
+    /// Degraded while replicas are behind).
+    pub fn set_replication_lagging(&mut self, lagging: bool) {
+        self.replication_lagging = lagging;
+    }
+
     /// Current state.
     pub fn state(&self) -> HealthState {
         self.state
@@ -132,6 +141,7 @@ impl HealthMachine {
             } else if self.window.contains(&HealthSignal::Shed) {
                 HealthState::Shedding
             } else if self.breaker_not_closed
+                || self.replication_lagging
                 || self.window.contains(&HealthSignal::Degraded)
                 || self.window.contains(&HealthSignal::Failed)
             {
@@ -175,6 +185,15 @@ mod tests {
         m.set_breaker_not_closed(true);
         assert_eq!(m.observe(HealthSignal::Clean), HealthState::Degraded);
         m.set_breaker_not_closed(false);
+        assert_eq!(m.observe(HealthSignal::Clean), HealthState::Healthy);
+    }
+
+    #[test]
+    fn replication_lag_pins_at_least_degraded() {
+        let mut m = HealthMachine::new(2, 3);
+        m.set_replication_lagging(true);
+        assert_eq!(m.observe(HealthSignal::Clean), HealthState::Degraded);
+        m.set_replication_lagging(false);
         assert_eq!(m.observe(HealthSignal::Clean), HealthState::Healthy);
     }
 

@@ -178,6 +178,7 @@ struct EngineState<'a> {
     fault_ctx: Option<FaultContext>,
     search_breaker: CircuitBreaker,
     wal_breaker: CircuitBreaker,
+    repl_breaker: CircuitBreaker,
     health: HealthMachine,
     slots: Vec<Option<BatchEntry>>,
     sheds: Vec<ShedRecord>,
@@ -239,6 +240,7 @@ pub fn ingest_batch(
             fault_ctx: Some(nebula_govern::take_fault_context()),
             search_breaker: CircuitBreaker::new(config.breaker),
             wal_breaker: CircuitBreaker::new(config.breaker),
+            repl_breaker: CircuitBreaker::new(config.breaker),
             health: HealthMachine::new(config.health_window, config.wedge_after_wal_trips),
             slots: vec![None; items.len()],
             sheds: Vec::new(),
@@ -341,11 +343,12 @@ fn dispatch(state: &mut EngineState<'_>, db: &Database, items: &[IngestItem], qu
         );
         return;
     }
-    // Both breakers must consent; each open breaker counts the shed
+    // All breakers must consent; each open breaker counts the shed
     // toward its own half-open transition, so no short-circuiting.
     let search_ok = state.search_breaker.allows();
     let wal_ok = state.wal_breaker.allows();
-    if !(search_ok && wal_ok) {
+    let repl_ok = state.repl_breaker.allows();
+    if !(search_ok && wal_ok && repl_ok) {
         record_shed(
             state,
             ShedRecord {
@@ -403,9 +406,24 @@ fn dispatch(state: &mut EngineState<'_>, db: &Database, items: &[IngestItem], qu
         }
         Some(_) => state.search_breaker.record_failure(),
     }
+    // A replicated sink reports its posture after every record; feed the
+    // lag signal into the replication breaker and the health machine.
+    let repl_status = {
+        let EngineState { nebula, .. } = state;
+        nebula.mutation_sink_mut().and_then(|sink| sink.replication())
+    };
+    if let Some(repl) = repl_status {
+        if repl.lag_budget_exceeded {
+            state.repl_breaker.record_failure();
+        } else {
+            state.repl_breaker.record_success();
+        }
+        state.health.set_replication_lagging(repl.lag_budget_exceeded);
+    }
     state.health.set_breaker_not_closed(
         state.search_breaker.state() != BreakerState::Closed
-            || state.wal_breaker.state() != BreakerState::Closed,
+            || state.wal_breaker.state() != BreakerState::Closed
+            || state.repl_breaker.state() != BreakerState::Closed,
     );
     let signal = match entry.status {
         BatchStatus::Quarantined => HealthSignal::Failed,

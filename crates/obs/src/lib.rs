@@ -106,14 +106,34 @@ pub mod registry {
         "relstore.index_probes",
         "relstore.queries_executed",
         "relstore.tuples_scanned",
+        "repl.acks",
+        "repl.catchup_checkpoints",
+        "repl.divergences",
+        "repl.epoch_rejections",
+        "repl.frames_delayed",
+        "repl.frames_dropped",
+        "repl.frames_duplicated",
+        "repl.frames_reordered",
+        "repl.lag_budget_exceeded",
+        "repl.promotions",
+        "repl.records_replayed",
+        "repl.records_shipped",
+        "repl.records_skipped",
+        "repl.segments_shipped",
         "textsearch.compiled_queries",
         "textsearch.configurations",
         "textsearch.tuples_inspected",
     ];
 
     /// Every last-value gauge the engine emits.
-    pub const KNOWN_GAUGES: &[&str] =
-        &["ingest.health", "ingest.queue_depth_peak", "ingest.workers"];
+    pub const KNOWN_GAUGES: &[&str] = &[
+        "ingest.health",
+        "ingest.queue_depth_peak",
+        "ingest.workers",
+        "repl.epoch",
+        "repl.max_lag",
+        "repl.replicas",
+    ];
 
     /// Every span / histogram name the engine emits.
     pub const KNOWN_SPANS: &[&str] = &[
@@ -153,6 +173,8 @@ pub mod registry {
             assert!(is_known("core.checkpoint_deferred"));
             assert!(is_known("ingest.shed"));
             assert!(is_known("ingest.health"));
+            assert!(is_known("repl.divergences"));
+            assert!(is_known("repl.max_lag"));
             assert!(is_known("stage2.execute"));
             assert!(!is_known("core.made_up"));
         }

@@ -1,0 +1,509 @@
+//! The cluster: one primary, N replicas, a transport, and a commit rule.
+//!
+//! [`Cluster`] owns the whole replication topology and drives it
+//! synchronously and deterministically: every [`Cluster::record`] appends
+//! on the primary, ships, then **pumps** the transport a bounded number
+//! of rounds until the configured commit rule (ack-none / ack-quorum) is
+//! satisfied. A rule that cannot be satisfied inside the pump budget is
+//! not an error — the record is locally durable — but a **typed
+//! degradation**: [`ReplicationStatus::lag_budget_exceeded`] is raised,
+//! which the ingest pool feeds into its replication breaker and health
+//! machine.
+//!
+//! [`Cluster::promote`] is deterministic failover: pick a live replica,
+//! bump the epoch, root a fresh WAL at its applied LSN
+//! ([`Durability::begin_at`]), and resync the remaining replicas from the
+//! new primary's checkpoint. The old primary is retained as *deposed* —
+//! its writes after promotion are fenced by epoch nacks, which is what
+//! the failover tests assert.
+//!
+//! [`ClusterSink`] adapts a shared cluster handle to
+//! [`nebula_core::MutationSink`], so the engine and ingest pool write
+//! through replication exactly as they write through a plain WAL.
+
+use annostore::AnnotationStore;
+use nebula_core::{CommitRule, Mutation, MutationSink, ReplicationStatus, SinkError};
+use nebula_durable::wal::WalOp;
+use nebula_durable::{Durability, DurabilityOptions};
+use relstore::Database;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::counters;
+use crate::frame::Frame;
+use crate::primary::Primary;
+use crate::replica::Replica;
+use crate::transport::Transport;
+use crate::ReplicaError;
+
+/// Tuning knobs for a [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// When a record counts as committed.
+    pub rule: CommitRule,
+    /// Largest tolerated acknowledgement lag (LSNs) before a record is
+    /// flagged as a lag degradation even under ack-none.
+    pub lag_budget: u64,
+    /// Transport pump rounds attempted per record before giving up on
+    /// the commit rule for that record.
+    pub pump_rounds: usize,
+    /// Options for the primary's local WAL.
+    pub options: DurabilityOptions,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            rule: CommitRule::Local,
+            lag_budget: 64,
+            pump_rounds: 8,
+            options: DurabilityOptions::default(),
+        }
+    }
+}
+
+/// A full replication topology, pumped deterministically in-process.
+#[derive(Debug)]
+pub struct Cluster {
+    transport: Box<dyn Transport>,
+    primary: Primary,
+    replicas: Vec<Replica>,
+    deposed: Vec<Primary>,
+    config: ClusterConfig,
+    base_dir: PathBuf,
+    lag_exceeded: bool,
+}
+
+impl Cluster {
+    /// Build a cluster: the primary (node 0, epoch 1) starts durability
+    /// in `base_dir/epoch-1` over `db`/`store`, and `replica_count`
+    /// replicas (nodes 1..=N) bootstrap from its initial checkpoint.
+    pub fn new(
+        base_dir: &Path,
+        db: &Database,
+        store: &AnnotationStore,
+        replica_count: usize,
+        transport: Box<dyn Transport>,
+        config: ClusterConfig,
+    ) -> Result<Cluster, ReplicaError> {
+        let dir = base_dir.join("epoch-1");
+        let wal = Durability::begin(&dir, db, store, config.options)?;
+        let primary = Primary::new(0, 1, wal, db, store)?;
+        let mut cluster = Cluster {
+            transport,
+            primary,
+            replicas: (1..=replica_count).map(Replica::new).collect(),
+            deposed: Vec::new(),
+            config,
+            base_dir: base_dir.to_path_buf(),
+            lag_exceeded: false,
+        };
+        for id in 1..=replica_count {
+            cluster.primary.attach(id, &mut *cluster.transport);
+        }
+        cluster.pump(2);
+        Ok(cluster)
+    }
+
+    /// Record one operation through the primary, then pump until the
+    /// commit rule is satisfied or the pump budget runs out (a typed lag
+    /// degradation, not an error). Returns the assigned LSN.
+    pub fn record(&mut self, op: &WalOp) -> Result<u64, ReplicaError> {
+        let lsn = self.primary.record(op, &mut *self.transport)?;
+        let needed = match self.config.rule {
+            CommitRule::Local => 0,
+            CommitRule::Quorum(q) => q,
+        };
+        let mut satisfied = false;
+        for _ in 0..self.config.pump_rounds.max(1) {
+            self.pump(1);
+            if self.primary.acks_at(lsn) >= needed {
+                satisfied = true;
+                break;
+            }
+        }
+        self.lag_exceeded = !satisfied || self.primary.max_lag() > self.config.lag_budget;
+        if self.lag_exceeded {
+            nebula_obs::counter_add(counters::LAG_BUDGET_EXCEEDED, 1);
+        }
+        nebula_obs::gauge_set(counters::MAX_LAG, self.primary.max_lag());
+        Ok(lsn)
+    }
+
+    /// Record through a **deposed** primary (post-failover), pumping so
+    /// its peers' epoch nacks come back. Succeeds only if the deposed
+    /// primary still believes it leads *and* no fencing nack arrives —
+    /// with a connected transport this deterministically returns
+    /// [`ReplicaError::Fenced`].
+    pub fn record_on_deposed(&mut self, which: usize, op: &WalOp) -> Result<u64, ReplicaError> {
+        let deposed_count = self.deposed.len();
+        let d = self.deposed.get_mut(which).ok_or(ReplicaError::UnknownReplica(deposed_count))?;
+        let lsn = d.record(op, &mut *self.transport)?;
+        for _ in 0..self.config.pump_rounds.max(2) {
+            self.pump(1);
+            if let Some(d) = self.deposed.get_mut(which) {
+                d.drain(&mut *self.transport);
+                if d.is_fenced() {
+                    let (epoch, newer) = (d.epoch(), d.fenced_by().unwrap_or(d.epoch() + 1));
+                    return Err(ReplicaError::Fenced { epoch, newer });
+                }
+            }
+        }
+        Ok(lsn)
+    }
+
+    /// One delivery sweep: every replica drains its inbox and replies;
+    /// then the primary drains acks and runs its catch-up shipping pass.
+    fn pump_once(&mut self) {
+        for r in &mut self.replicas {
+            while let Some((from, bytes)) = self.transport.recv(r.id()) {
+                let Ok(frame) = Frame::decode(&bytes) else { continue };
+                if let Some(reply) = r.handle(&frame) {
+                    self.transport.send(r.id(), from, reply.encode());
+                }
+            }
+        }
+        self.primary.drain(&mut *self.transport);
+    }
+
+    /// Pump `rounds` delivery sweeps (public so tests can heal a
+    /// partition and converge the cluster).
+    pub fn pump(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.pump_once();
+        }
+    }
+
+    /// Deterministic failover: promote replica `id` to primary.
+    ///
+    /// The new primary starts a fresh WAL at `epoch-{N}` rooted at the
+    /// replica's applied LSN (no renumbering), bumps the epoch, and
+    /// resyncs the remaining replicas from its checkpoint — any suffix a
+    /// replica replayed beyond the promoted state (a fork candidate) is
+    /// discarded by the higher-epoch checkpoint load. The old primary
+    /// moves to the deposed list; it learns of its fencing lazily, from
+    /// epoch nacks, the first time it ships again.
+    pub fn promote(&mut self, id: usize) -> Result<(), ReplicaError> {
+        let idx = self
+            .replicas
+            .iter()
+            .position(|r| r.id() == id)
+            .ok_or(ReplicaError::UnknownReplica(id))?;
+        if self.replicas[idx].is_wedged() {
+            return Err(ReplicaError::NotPromotable(format!(
+                "replica {id} is wedged: {}",
+                self.replicas[idx].wedge_reason().unwrap_or("unknown")
+            )));
+        }
+        let new_epoch = self.primary.epoch() + 1;
+        let dir = self.base_dir.join(format!("epoch-{new_epoch}"));
+        let (db, store, applied) = {
+            let r = &self.replicas[idx];
+            (r.db(), r.store(), r.applied())
+        };
+        let wal = Durability::begin_at(&dir, db, store, self.config.options, applied + 1)?;
+        let new_primary = Primary::new(id, new_epoch, wal, db, store)?;
+        let old = std::mem::replace(&mut self.primary, new_primary);
+        self.deposed.push(old);
+        self.replicas.remove(idx);
+        let ids: Vec<usize> = self.replicas.iter().map(Replica::id).collect();
+        for rid in ids {
+            self.primary.attach(rid, &mut *self.transport);
+        }
+        nebula_obs::counter_add(counters::PROMOTIONS, 1);
+        self.pump(2);
+        Ok(())
+    }
+
+    /// The best failover target: the live replica with the highest
+    /// applied LSN (lowest id breaks ties). `None` if every replica is
+    /// wedged or detached.
+    pub fn best_failover_candidate(&self) -> Option<usize> {
+        self.replicas
+            .iter()
+            .filter(|r| !r.is_wedged())
+            .max_by(|a, b| a.applied().cmp(&b.applied()).then(b.id().cmp(&a.id())))
+            .map(Replica::id)
+    }
+
+    /// The replication posture after the most recent record.
+    pub fn status(&self) -> ReplicationStatus {
+        ReplicationStatus {
+            epoch: self.primary.epoch(),
+            rule: self.config.rule,
+            replicas: self.replicas.len(),
+            wedged_replicas: self.replicas.iter().filter(|r| r.is_wedged()).count(),
+            max_lag: self.primary.max_lag(),
+            lag_budget_exceeded: self.lag_exceeded,
+        }
+    }
+
+    /// Checkpoint the primary (persist + truncate its WAL, refresh the
+    /// catch-up image).
+    pub fn checkpoint(
+        &mut self,
+        db: &Database,
+        store: &AnnotationStore,
+    ) -> Result<u64, ReplicaError> {
+        self.primary.checkpoint(db, store)
+    }
+
+    /// Should the primary checkpoint now?
+    pub fn checkpoint_due(&self) -> bool {
+        self.primary.checkpoint_due()
+    }
+
+    /// Flush the primary's WAL (batch-sync policy).
+    pub fn flush(&mut self) -> Result<(), ReplicaError> {
+        self.primary.flush()
+    }
+
+    /// A bounded-staleness read against replica `id`: runs `f` if the
+    /// replica is live and within `bound` LSNs of the primary.
+    pub fn read_replica<T>(
+        &self,
+        id: usize,
+        bound: u64,
+        f: impl FnOnce(&Database, &AnnotationStore) -> T,
+    ) -> Result<T, ReplicaError> {
+        let r =
+            self.replicas.iter().find(|r| r.id() == id).ok_or(ReplicaError::UnknownReplica(id))?;
+        r.read(self.primary.last_lsn(), bound, f)
+    }
+
+    /// The current primary.
+    pub fn primary(&self) -> &Primary {
+        &self.primary
+    }
+
+    /// The attached replicas.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// One replica by node id.
+    pub fn replica(&self, id: usize) -> Option<&Replica> {
+        self.replicas.iter().find(|r| r.id() == id)
+    }
+
+    /// Deposed primaries, oldest first.
+    pub fn deposed(&self) -> &[Primary] {
+        &self.deposed
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Did the most recent record exceed its commit rule or lag budget?
+    pub fn lag_exceeded(&self) -> bool {
+        self.lag_exceeded
+    }
+
+    /// Cut or restore all transport links to `node`.
+    pub fn set_partitioned(&mut self, node: usize, on: bool) {
+        self.transport.set_partitioned(node, on);
+    }
+
+    /// One-line transport status.
+    pub fn describe_transport(&self) -> String {
+        self.transport.describe()
+    }
+}
+
+/// A cloneable [`MutationSink`] over a shared [`Cluster`], so the engine
+/// (or the ingest pool) writes through replication while the shell keeps
+/// a handle for `PROMOTE` / `SHOW REPLICATION`.
+#[derive(Debug, Clone)]
+pub struct ClusterSink {
+    inner: Arc<Mutex<Cluster>>,
+}
+
+impl ClusterSink {
+    /// Wrap a cluster for sharing.
+    pub fn new(cluster: Cluster) -> ClusterSink {
+        ClusterSink { inner: Arc::new(Mutex::new(cluster)) }
+    }
+
+    /// A second handle to the same cluster.
+    pub fn handle(&self) -> ClusterSink {
+        ClusterSink { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Lock the cluster (poison-tolerant: replication state is guarded
+    /// by its own invariants, not by the panic that poisoned the lock).
+    pub fn lock(&self) -> MutexGuard<'_, Cluster> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl MutationSink for ClusterSink {
+    fn record(&mut self, mutation: &Mutation<'_>) -> Result<u64, SinkError> {
+        let op = WalOp::from_mutation(mutation);
+        self.lock().record(&op).map_err(|e| SinkError(e.to_string()))
+    }
+
+    fn checkpoint_due(&self) -> bool {
+        self.lock().checkpoint_due()
+    }
+
+    fn checkpoint(&mut self, db: &Database, store: &AnnotationStore) -> Result<u64, SinkError> {
+        self.lock().checkpoint(db, store).map_err(|e| SinkError(e.to_string()))
+    }
+
+    fn flush(&mut self) -> Result<(), SinkError> {
+        self.lock().flush().map_err(|e| SinkError(e.to_string()))
+    }
+
+    fn describe(&self) -> String {
+        let cluster = self.lock();
+        let st = cluster.status();
+        format!(
+            "replicated epoch={} rule={} replicas={} wedged={} max_lag={}{} | {}",
+            st.epoch,
+            st.rule,
+            st.replicas,
+            st.wedged_replicas,
+            st.max_lag,
+            if st.lag_budget_exceeded { " LAGGING" } else { "" },
+            cluster.describe_transport(),
+        )
+    }
+
+    fn commit_rule(&self) -> CommitRule {
+        self.lock().config().rule
+    }
+
+    fn replication(&self) -> Option<ReplicationStatus> {
+        Some(self.lock().status())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::SimTransport;
+    use annostore::AnnotationId;
+    use nebula_govern::FaultPlan;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nebula-cluster-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn op(n: u64) -> WalOp {
+        WalOp::AddAnnotation {
+            expected: AnnotationId(n),
+            text: format!("note {n}"),
+            author: None,
+            kind: None,
+        }
+    }
+
+    fn fresh(
+        tag: &str,
+        replicas: usize,
+        transport: Box<dyn Transport>,
+        rule: CommitRule,
+    ) -> Cluster {
+        let db = Database::new();
+        let store = AnnotationStore::new();
+        let config = ClusterConfig { rule, ..ClusterConfig::default() };
+        Cluster::new(&temp_dir(tag), &db, &store, replicas, transport, config).unwrap()
+    }
+
+    #[test]
+    fn quorum_commits_and_replicas_match_primary_digest() {
+        let mut c = fresh("quorum", 2, Box::new(SimTransport::reliable(3)), CommitRule::Quorum(2));
+        for i in 0..10 {
+            c.record(&op(i)).unwrap();
+        }
+        assert!(!c.lag_exceeded());
+        let expected = c.primary().shadow_digest();
+        for r in c.replicas() {
+            assert_eq!(r.applied(), 10);
+            assert_eq!(r.digest(), expected);
+        }
+        assert_eq!(c.status().max_lag, 0);
+    }
+
+    #[test]
+    fn lossy_transport_converges_under_quorum() {
+        let plan = FaultPlan::new(0xC0FFEE).with_net(0.15, 0.15, 0.1, 0.1);
+        let mut c = fresh("lossy", 2, Box::new(SimTransport::new(3, plan)), CommitRule::Quorum(1));
+        for i in 0..50 {
+            c.record(&op(i)).unwrap();
+        }
+        c.pump(50);
+        let expected = c.primary().shadow_digest();
+        for r in c.replicas() {
+            assert_eq!(r.applied(), 50, "replica {}", r.id());
+            assert_eq!(r.digest(), expected, "replica {}", r.id());
+            assert_eq!(r.records_replayed() + r.applied_via_checkpoint(), r.applied());
+        }
+        assert!(c.primary().divergences().is_empty());
+    }
+
+    #[test]
+    fn partition_breaks_quorum_as_a_typed_degradation_not_an_error() {
+        let mut c =
+            fresh("partition", 1, Box::new(SimTransport::reliable(2)), CommitRule::Quorum(1));
+        c.set_partitioned(1, true);
+        c.record(&op(0)).unwrap();
+        assert!(c.lag_exceeded());
+        assert!(c.status().lag_budget_exceeded);
+        c.set_partitioned(1, false);
+        c.record(&op(1)).unwrap();
+        assert!(!c.lag_exceeded(), "healed partition restores the commit rule");
+    }
+
+    #[test]
+    fn promotion_fences_the_deposed_primary() {
+        let mut c =
+            fresh("failover", 2, Box::new(SimTransport::reliable(3)), CommitRule::Quorum(2));
+        for i in 0..5 {
+            c.record(&op(i)).unwrap();
+        }
+        let target = c.best_failover_candidate().unwrap();
+        c.promote(target).unwrap();
+        assert_eq!(c.primary().epoch(), 2);
+        assert_eq!(c.primary().node(), target);
+        // The new primary continues the LSN sequence without renumbering.
+        c.record(&op(5)).unwrap();
+        assert_eq!(c.primary().last_lsn(), 6);
+        // The deposed primary's writes are rejected by epoch fencing.
+        let err = c.record_on_deposed(0, &op(5)).unwrap_err();
+        assert!(matches!(err, ReplicaError::Fenced { epoch: 1, newer: 2 }), "{err:?}");
+        // And every later write fails immediately.
+        let err = c.record_on_deposed(0, &op(6)).unwrap_err();
+        assert!(matches!(err, ReplicaError::Fenced { .. }));
+        // The surviving replica follows the new chain.
+        let expected = c.primary().shadow_digest();
+        c.pump(5);
+        for r in c.replicas() {
+            assert_eq!(r.applied(), 6);
+            assert_eq!(r.digest(), expected);
+        }
+    }
+
+    #[test]
+    fn sink_reports_replication_status_and_bounded_reads_work() {
+        let c = fresh("sink", 1, Box::new(SimTransport::reliable(2)), CommitRule::Local);
+        let sink = ClusterSink::new(c);
+        let mut sink2 = sink.handle();
+        use nebula_core::Mutation;
+        let ann = annostore::Annotation { text: "x".into(), author: None, kind: None };
+        let m = Mutation::AddAnnotation { expected: AnnotationId(0), annotation: &ann };
+        let lsn = MutationSink::record(&mut sink2, &m).unwrap();
+        assert_eq!(lsn, 1);
+        let st = sink.replication().unwrap();
+        assert_eq!(st.epoch, 1);
+        assert_eq!(st.replicas, 1);
+        assert_eq!(sink.commit_rule(), CommitRule::Local);
+        let count = sink.lock().read_replica(1, 0, |_, s| s.annotation_count()).unwrap();
+        assert_eq!(count, 1);
+        assert!(sink.describe().contains("replicated epoch=1"));
+    }
+}

@@ -1,0 +1,167 @@
+//! The replication wire protocol.
+//!
+//! One [`Frame`] per transport message. The two bulk payloads — shipped
+//! WAL segments and checkpoint transfers — are the already-validated,
+//! epoch-stamped envelopes from [`nebula_durable::segment`]; this layer
+//! only adds a kind tag and the small control frames (ack, nack, fence).
+//!
+//! Every control frame carries the sender's **epoch** so receivers can
+//! fence stale senders without decoding a payload.
+
+use crate::ReplicaError;
+
+/// One replication message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A shipped WAL segment (`NEBSEG01` bytes; decode with
+    /// [`nebula_durable::segment::decode_segment`]).
+    Segment(Vec<u8>),
+    /// A checkpoint transfer (`NEBSCP01` bytes; decode with
+    /// [`nebula_durable::segment::decode_checkpoint_frame`]).
+    Checkpoint(Vec<u8>),
+    /// Wedge the receiver: it diverged or belongs to a deposed epoch.
+    Fence {
+        /// The sender's epoch.
+        epoch: u64,
+        /// Human-readable cause, kept for the wedge report.
+        reason: String,
+    },
+    /// A replica's progress report: everything up to `lsn` is applied and
+    /// the replica's state digest at that point is `digest`.
+    Ack {
+        /// The replica's current epoch.
+        epoch: u64,
+        /// Highest contiguously applied LSN.
+        lsn: u64,
+        /// `nebula_durable::state_digest` of the replica state at `lsn`.
+        digest: (u32, u32),
+    },
+    /// An epoch rejection: the receiver holds `epoch` (newer than the
+    /// sender's) and has applied up to `lsn`. A primary receiving this
+    /// learns it was deposed.
+    Nack {
+        /// The rejecting node's (newer) epoch.
+        epoch: u64,
+        /// The rejecting node's applied LSN.
+        lsn: u64,
+    },
+}
+
+const KIND_SEGMENT: u8 = 1;
+const KIND_CHECKPOINT: u8 = 2;
+const KIND_FENCE: u8 = 3;
+const KIND_ACK: u8 = 4;
+const KIND_NACK: u8 = 5;
+
+impl Frame {
+    /// Serialize for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Frame::Segment(bytes) => {
+                let mut out = Vec::with_capacity(1 + bytes.len());
+                out.push(KIND_SEGMENT);
+                out.extend_from_slice(bytes);
+                out
+            }
+            Frame::Checkpoint(bytes) => {
+                let mut out = Vec::with_capacity(1 + bytes.len());
+                out.push(KIND_CHECKPOINT);
+                out.extend_from_slice(bytes);
+                out
+            }
+            Frame::Fence { epoch, reason } => {
+                let mut out = Vec::with_capacity(9 + reason.len());
+                out.push(KIND_FENCE);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(reason.as_bytes());
+                out
+            }
+            Frame::Ack { epoch, lsn, digest } => {
+                let mut out = Vec::with_capacity(25);
+                out.push(KIND_ACK);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&lsn.to_le_bytes());
+                out.extend_from_slice(&digest.0.to_le_bytes());
+                out.extend_from_slice(&digest.1.to_le_bytes());
+                out
+            }
+            Frame::Nack { epoch, lsn } => {
+                let mut out = Vec::with_capacity(17);
+                out.push(KIND_NACK);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&lsn.to_le_bytes());
+                out
+            }
+        }
+    }
+
+    /// Deserialize from the wire.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, ReplicaError> {
+        let (&kind, rest) =
+            bytes.split_first().ok_or_else(|| ReplicaError::Codec("empty frame".into()))?;
+        match kind {
+            KIND_SEGMENT => Ok(Frame::Segment(rest.to_vec())),
+            KIND_CHECKPOINT => Ok(Frame::Checkpoint(rest.to_vec())),
+            KIND_FENCE => {
+                let (epoch, rest) = take_u64(rest, "fence epoch")?;
+                let reason = String::from_utf8_lossy(rest).into_owned();
+                Ok(Frame::Fence { epoch, reason })
+            }
+            KIND_ACK => {
+                let (epoch, rest) = take_u64(rest, "ack epoch")?;
+                let (lsn, rest) = take_u64(rest, "ack lsn")?;
+                let (d0, rest) = take_u32(rest, "ack digest")?;
+                let (d1, _) = take_u32(rest, "ack digest")?;
+                Ok(Frame::Ack { epoch, lsn, digest: (d0, d1) })
+            }
+            KIND_NACK => {
+                let (epoch, rest) = take_u64(rest, "nack epoch")?;
+                let (lsn, _) = take_u64(rest, "nack lsn")?;
+                Ok(Frame::Nack { epoch, lsn })
+            }
+            other => Err(ReplicaError::Codec(format!("unknown frame kind {other}"))),
+        }
+    }
+}
+
+fn take_u64<'a>(bytes: &'a [u8], what: &str) -> Result<(u64, &'a [u8]), ReplicaError> {
+    if bytes.len() < 8 {
+        return Err(ReplicaError::Codec(format!("{what}: truncated")));
+    }
+    let (head, rest) = bytes.split_at(8);
+    Ok((u64::from_le_bytes(head.try_into().expect("8 bytes")), rest))
+}
+
+fn take_u32<'a>(bytes: &'a [u8], what: &str) -> Result<(u32, &'a [u8]), ReplicaError> {
+    if bytes.len() < 4 {
+        return Err(ReplicaError::Codec(format!("{what}: truncated")));
+    }
+    let (head, rest) = bytes.split_at(4);
+    Ok((u32::from_le_bytes(head.try_into().expect("4 bytes")), rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let frames = vec![
+            Frame::Segment(vec![9, 8, 7]),
+            Frame::Checkpoint(vec![1, 2]),
+            Frame::Fence { epoch: 3, reason: "diverged at lsn 7".into() },
+            Frame::Ack { epoch: 2, lsn: 41, digest: (0xDEAD, 0xBEEF) },
+            Frame::Nack { epoch: 5, lsn: 40 },
+        ];
+        for f in frames {
+            assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        assert!(Frame::decode(&[]).is_err());
+        assert!(Frame::decode(&[42]).is_err());
+        assert!(Frame::decode(&[KIND_ACK, 1, 2]).is_err());
+    }
+}

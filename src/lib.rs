@@ -24,7 +24,11 @@
 //!   recovery, and
 //! - [`nebula_ingest`] — overload-safe concurrent ingest: bounded admission
 //!   with priority classes, a turn-gated single-writer worker pool, circuit
-//!   breakers, and the engine health state machine.
+//!   breakers, and the engine health state machine, and
+//! - [`nebula_replica`] — WAL-shipping replication: a single primary
+//!   streaming log segments to replicas over a deterministic simulated
+//!   transport, ack-none/ack-quorum commit rules, epoch-fenced failover,
+//!   and continuous divergence detection.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +63,7 @@ pub use nebula_durable;
 pub use nebula_govern;
 pub use nebula_ingest;
 pub use nebula_obs;
+pub use nebula_replica;
 pub use nebula_workload;
 pub use relstore;
 pub use shell::{Shell, ShellError};
@@ -68,15 +73,19 @@ pub use textsearch;
 pub mod prelude {
     pub use annostore::{Annotation, AnnotationId, AnnotationStore, AttachmentTarget, Edge};
     pub use nebula_core::{
-        Acg, AssessmentReport, BatchEntry, BatchReport, BatchStatus, BoundsSetting, HopProfile,
-        Nebula, NebulaConfig, NebulaError, NebulaMeta, ProcessOutcome, QuarantineReason,
-        QueryGenConfig, SearchMode, StabilityConfig, VerificationBounds, VerificationQueue,
-        VerificationTask,
+        Acg, AssessmentReport, BatchEntry, BatchReport, BatchStatus, BoundsSetting, CommitRule,
+        HopProfile, Nebula, NebulaConfig, NebulaError, NebulaMeta, ProcessOutcome,
+        QuarantineReason, QueryGenConfig, ReplicationStatus, SearchMode, StabilityConfig,
+        VerificationBounds, VerificationQueue, VerificationTask,
     };
     pub use nebula_durable::{Durability, DurabilityOptions, Recovered, SyncPolicy};
     pub use nebula_govern::{Degradation, ExecutionBudget, FaultPlan, FaultStats, RetryPolicy};
     pub use nebula_ingest::{
         ingest_batch, HealthState, IngestConfig, IngestItem, IngestReport, Priority, ShedReason,
+    };
+    pub use nebula_replica::{
+        Cluster, ClusterConfig, ClusterSink, DivergenceReport, Primary, Replica, ReplicaError,
+        SimTransport, Transport, TransportStats,
     };
     pub use nebula_workload::{generate_dataset, DatasetBundle, DatasetSpec, WorkloadSpec};
     pub use relstore::{

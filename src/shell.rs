@@ -22,7 +22,8 @@
 //! thin stdin loop and tests drive the shell directly.
 
 use crate::prelude::*;
-use nebula_core::{MutationSink, StabilityConfig};
+use nebula_core::{CommitRule, MutationSink, StabilityConfig};
+use nebula_replica::{Cluster, ClusterConfig, ClusterSink, SimTransport};
 use relstore::{ConjunctiveQuery, Predicate};
 use std::fmt;
 
@@ -54,6 +55,10 @@ pub struct Shell {
     ingest: IngestConfig,
     /// The most recent ingest report, backing `SHOW HEALTH`.
     last_ingest: Option<IngestReport>,
+    /// A second handle on the replication cluster while `SET REPLICAS`
+    /// has one installed as the mutation sink (backs PROMOTE and
+    /// SHOW REPLICATION / SHOW REPLICA).
+    repl: Option<ClusterSink>,
 }
 
 impl Shell {
@@ -64,7 +69,7 @@ impl Shell {
         // One worker by default: the shell is interactive, and `SET
         // WORKERS <n>` raises the pool when a session wants concurrency.
         let ingest = IngestConfig { workers: 1, ..IngestConfig::default() };
-        Shell { db, store, nebula, ingest, last_ingest: None }
+        Shell { db, store, nebula, ingest, last_ingest: None, repl: None }
     }
 
     /// Shell over a freshly generated synthetic dataset.
@@ -121,6 +126,7 @@ impl Shell {
             "LOAD" => self.load(&tokens[1..]),
             "CHECKPOINT" => self.checkpoint(),
             "RECOVER" => self.recover(&tokens[1..]),
+            "PROMOTE" => self.promote(&tokens[1..]),
             "SET" => self.set(&tokens[1..]),
             "SHOW" => self.show(&tokens[1..]),
             "EXPLAIN" => self.explain(&tokens[1..]),
@@ -379,18 +385,19 @@ impl Shell {
     }
 
     /// `SET BUDGET ... | SET FAULTS ... | SET DURABILITY ... |
-    /// SET WORKERS <n>` — configure the execution budget on the engine,
-    /// the fault plan on this thread, write-ahead durability on the
-    /// engine, or the ingest worker-pool size.
+    /// SET REPLICAS ... | SET WORKERS <n>` — configure the execution
+    /// budget on the engine, the fault plan on this thread, write-ahead
+    /// durability or WAL-shipping replication on the engine, or the
+    /// ingest worker-pool size.
     fn set(&mut self, args: &[String]) -> Result<String, ShellError> {
         match args.first().map(|s| s.to_uppercase()).as_deref() {
             Some("BUDGET") => self.set_budget(&args[1..]),
             Some("FAULTS") => self.set_faults(&args[1..]),
             Some("DURABILITY") => self.set_durability(&args[1..]),
+            Some("REPLICAS") => self.set_replicas(&args[1..]),
             Some("WORKERS") => self.set_workers(&args[1..]),
-            _ => Err(err(
-                "usage: SET BUDGET ... | SET FAULTS ... | SET DURABILITY ... | SET WORKERS <n>",
-            )),
+            _ => Err(err("usage: SET BUDGET ... | SET FAULTS ... | SET DURABILITY ... | \
+                 SET REPLICAS ... | SET WORKERS <n>")),
         }
     }
 
@@ -414,6 +421,7 @@ impl Shell {
         const USAGE: &str = "usage: SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF";
         let first = args.first().ok_or_else(|| err(USAGE))?;
         if first.to_uppercase() == "OFF" {
+            self.repl = None;
             return match self.nebula.take_mutation_sink() {
                 Some(_) => Ok("durability: off (log closed; directory keeps its state)".into()),
                 None => Ok("durability: already off".into()),
@@ -448,8 +456,211 @@ impl Shell {
                 .map_err(|e| err(e.to_string()))?;
         let summary =
             format!("durability: on ({}); initial checkpoint written", durability.describe());
+        self.repl = None;
         self.nebula.set_mutation_sink(Some(Box::new(durability)));
         Ok(summary)
+    }
+
+    /// `SET REPLICAS <n> '<dir>' [QUORUM <q>] [NETFAULTS <seed> <rate>]
+    /// | OFF` — stand up a single-primary WAL-shipping cluster with `n`
+    /// replicas rooted at `<dir>` and route every pipeline mutation
+    /// through it, optionally demanding `q` acknowledgements per record
+    /// (ack-quorum) and injecting seeded transport faults. OFF detaches
+    /// the cluster.
+    fn set_replicas(&mut self, args: &[String]) -> Result<String, ShellError> {
+        const USAGE: &str =
+            "usage: SET REPLICAS <n> '<dir>' [QUORUM <q>] [NETFAULTS <seed> <rate>] | OFF";
+        let first = args.first().ok_or_else(|| err(USAGE))?;
+        if first.to_uppercase() == "OFF" {
+            self.repl = None;
+            return match self.nebula.take_mutation_sink() {
+                Some(_) => {
+                    Ok("replication: off (cluster detached; directories keep their state)".into())
+                }
+                None => Ok("replication: already off".into()),
+            };
+        }
+        let n: usize = first
+            .parse()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| err("SET REPLICAS needs a replica count >= 1"))?;
+        let dir = args.get(1).ok_or_else(|| err(USAGE))?;
+        let mut config = ClusterConfig::default();
+        let mut plan: Option<FaultPlan> = None;
+        let mut i = 2;
+        while i < args.len() {
+            match args[i].to_uppercase().as_str() {
+                "QUORUM" => {
+                    let q: usize = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|q| (1..=n).contains(q))
+                        .ok_or_else(|| {
+                            err("QUORUM needs a count between 1 and the replica count")
+                        })?;
+                    config.rule = CommitRule::Quorum(q);
+                    i += 2;
+                }
+                "NETFAULTS" => {
+                    let seed: u64 = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("NETFAULTS needs a seed"))?;
+                    let rate: f64 = args
+                        .get(i + 2)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|r| (0.0..=1.0).contains(r))
+                        .ok_or_else(|| err("NETFAULTS needs a rate in [0, 1]"))?;
+                    plan = Some(FaultPlan::new(seed).with_net(rate, rate, rate, rate));
+                    i += 3;
+                }
+                _ => return Err(err(USAGE)),
+            }
+        }
+        // Node 0 is the primary; replicas are nodes 1..=n.
+        let transport: Box<SimTransport> = match plan {
+            Some(p) => Box::new(SimTransport::new(n + 1, p)),
+            None => Box::new(SimTransport::reliable(n + 1)),
+        };
+        let cluster =
+            Cluster::new(std::path::Path::new(dir), &self.db, &self.store, n, transport, config)
+                .map_err(|e| err(e.to_string()))?;
+        let st = cluster.status();
+        let summary = format!(
+            "replication: on (epoch {} rule {} replicas {}); bootstrap checkpoints shipped",
+            st.epoch, st.rule, st.replicas
+        );
+        let sink = ClusterSink::new(cluster);
+        self.repl = Some(sink.handle());
+        self.nebula.set_mutation_sink(Some(Box::new(sink)));
+        Ok(summary)
+    }
+
+    /// `PROMOTE [<id>]` — deterministic failover: promote replica `id`
+    /// (or the best live candidate) to primary under a bumped epoch, then
+    /// rebase the shell's live state onto the new primary. Any suffix the
+    /// old primary held beyond the promoted replica's applied LSN is
+    /// discarded — that is the failover contract — and the deposed
+    /// primary's future writes are fenced.
+    fn promote(&mut self, args: &[String]) -> Result<String, ShellError> {
+        let sink = self
+            .repl
+            .as_ref()
+            .ok_or_else(|| err("replication is off — SET REPLICAS <n> '<dir>' first"))?
+            .handle();
+        let image;
+        let id;
+        let epoch;
+        let applied;
+        {
+            let mut cluster = sink.lock();
+            id = match args.first() {
+                Some(tok) => {
+                    tok.parse().map_err(|_| err(format!("`{tok}` is not a replica id")))?
+                }
+                None => cluster
+                    .best_failover_candidate()
+                    .ok_or_else(|| err("no live replica to promote"))?,
+            };
+            cluster.promote(id).map_err(|e| err(e.to_string()))?;
+            let (db, store) = cluster.primary().shadow();
+            image = nebula_durable::checkpoint::encode(0, db, store);
+            epoch = cluster.primary().epoch();
+            applied = cluster.primary().last_lsn();
+        }
+        let (_, db, store) =
+            nebula_durable::checkpoint::decode(&image).map_err(|e| err(e.to_string()))?;
+        self.db = db;
+        self.store = store;
+        self.nebula.bootstrap_acg(&self.store);
+        Ok(format!(
+            "promoted replica {id} to primary (epoch {epoch}, lsn {applied}); \
+             shell state rebased onto the new primary; ACG rebuilt"
+        ))
+    }
+
+    /// `SHOW REPLICATION` — the cluster posture: epoch, commit rule,
+    /// per-replica ack/ship positions, divergences, deposed primaries.
+    fn show_replication(&self) -> Result<String, ShellError> {
+        let Some(sink) = &self.repl else {
+            return Ok("replication: off".into());
+        };
+        let cluster = sink.lock();
+        let st = cluster.status();
+        let mut out = vec![format!(
+            "replication: epoch {} rule {} ({} replica(s), {} wedged) max lag {}{}",
+            st.epoch,
+            st.rule,
+            st.replicas,
+            st.wedged_replicas,
+            st.max_lag,
+            if st.lag_budget_exceeded { "  LAGGING" } else { "" },
+        )];
+        out.push(format!(
+            "  primary: node {} at lsn {}",
+            cluster.primary().node(),
+            cluster.primary().last_lsn()
+        ));
+        out.push(format!("  transport: {}", cluster.describe_transport()));
+        for row in cluster.primary().peer_rows() {
+            out.push(format!(
+                "  replica {}: acked lsn {} / shipped {}{}",
+                row.id,
+                row.acked,
+                row.shipped,
+                if row.wedged { "  WEDGED" } else { "" },
+            ));
+        }
+        for d in cluster.primary().divergences() {
+            out.push(format!(
+                "  divergence: replica {} at lsn {} (expected {:?}, observed {:?}, epoch {})",
+                d.replica, d.lsn, d.expected, d.observed, d.epoch
+            ));
+        }
+        if !cluster.deposed().is_empty() {
+            let epochs: Vec<String> =
+                cluster.deposed().iter().map(|p| format!("epoch {}", p.epoch())).collect();
+            out.push(format!("  deposed primaries: {}", epochs.join(", ")));
+        }
+        Ok(out.join("\n"))
+    }
+
+    /// `SHOW REPLICA <id> [STALENESS <n>]` — a bounded-staleness read
+    /// against one replica: succeeds only if the replica is live and
+    /// within `n` LSNs of the primary (unbounded without STALENESS).
+    fn show_replica(&self, args: &[String]) -> Result<String, ShellError> {
+        const USAGE: &str = "usage: SHOW REPLICA <id> [STALENESS <n>]";
+        let sink = self
+            .repl
+            .as_ref()
+            .ok_or_else(|| err("replication is off — SET REPLICAS <n> '<dir>' first"))?;
+        let id: usize = args.first().and_then(|s| s.parse().ok()).ok_or_else(|| err(USAGE))?;
+        let bound = match args.get(1).map(|s| s.to_uppercase()).as_deref() {
+            Some("STALENESS") => args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("STALENESS needs a number"))?,
+            Some(_) => return Err(err(USAGE)),
+            None => u64::MAX,
+        };
+        let cluster = sink.lock();
+        let r = cluster
+            .replica(id)
+            .ok_or_else(|| err(format!("no replica {id} — SHOW REPLICATION lists them")))?;
+        let lag = cluster.primary().last_lsn().saturating_sub(r.applied());
+        let (tuples, notes) = cluster
+            .read_replica(id, bound, |db, store| (db.total_tuples(), store.annotation_count()))
+            .map_err(|e| err(e.to_string()))?;
+        Ok(format!(
+            "replica {id}: epoch {} applied lsn {} (lag {lag}) — {tuples} tuples, \
+             {notes} annotations ({} replayed, {} skipped, {} via checkpoint)",
+            r.epoch(),
+            r.applied(),
+            r.records_replayed(),
+            r.records_skipped(),
+            r.applied_via_checkpoint(),
+        ))
     }
 
     /// `CHECKPOINT` — persist the full state now and truncate the log.
@@ -472,6 +683,7 @@ impl Shell {
         self.db = recovered.db;
         self.store = recovered.store;
         self.nebula.bootstrap_acg(&self.store);
+        self.repl = None;
         self.nebula.set_mutation_sink(Some(Box::new(durability)));
         let mut out = vec![format!(
             "recovered {} tuples, {} annotations from '{path}' \
@@ -565,13 +777,16 @@ impl Shell {
         }
     }
 
-    /// `SHOW METRICS | BUDGET | FAULTS | DURABILITY | HEALTH` — the
-    /// telemetry snapshot, the configured execution budget, the installed
-    /// fault plan and its injection tallies, the durability manager's
-    /// state, or the ingest health report.
+    /// `SHOW METRICS | BUDGET | FAULTS | DURABILITY | HEALTH |
+    /// REPLICATION | REPLICA <id>` — the telemetry snapshot, the
+    /// configured execution budget, the installed fault plan and its
+    /// injection tallies, the durability manager's state, the ingest
+    /// health report, or the replication cluster posture.
     fn show(&self, args: &[String]) -> Result<String, ShellError> {
         match args.first().map(|s| s.to_uppercase()).as_deref() {
             Some("METRICS") => Ok(nebula_obs::snapshot().render_text()),
+            Some("REPLICATION") => self.show_replication(),
+            Some("REPLICA") => self.show_replica(&args[1..]),
             Some("HEALTH") => Ok(match &self.last_ingest {
                 None => format!(
                     "health: healthy (no ingest yet)\n  workers: {}   queue capacity: {}",
@@ -612,7 +827,8 @@ impl Shell {
                     ))
                 }
             },
-            _ => Err(err("usage: SHOW METRICS | BUDGET | FAULTS | DURABILITY | HEALTH")),
+            _ => Err(err("usage: SHOW METRICS | BUDGET | FAULTS | DURABILITY | HEALTH | \
+                 REPLICATION | REPLICA <id>")),
         }
     }
 
@@ -686,9 +902,12 @@ const HELP: &str = "commands:
   SET BUDGET DEADLINE <ms> | TUPLES <n> | CONFIGS <n> | CANDIDATES <n> | OFF;
   SET FAULTS <seed> [RATE <r>] | HOSTILE <seed> | OFF;
   SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF;
+  SET REPLICAS <n> '<dir>' [QUORUM <q>] [NETFAULTS <seed> <rate>] | OFF;
+  PROMOTE [<id>];
   SET WORKERS <n>;
   CHECKPOINT;   RECOVER '<dir>';
   SHOW BUDGET;   SHOW FAULTS;   SHOW DURABILITY;   SHOW HEALTH;
+  SHOW REPLICATION;   SHOW REPLICA <id> [STALENESS <n>];
   SAVE '<path>';   LOAD '<path>';
   HELP;   EXIT;";
 
@@ -1014,6 +1233,56 @@ mod tests {
         assert!(e.0.contains("RECOVER"), "points at recovery: {e}");
         assert!(sh.exec("SET DURABILITY").is_err());
         assert!(sh.exec("RECOVER").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replication_set_annotate_promote_flow() {
+        let dir = std::env::temp_dir().join(format!("nebula-shell-repl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut sh = shell();
+        assert_eq!(sh.exec("SHOW REPLICATION").unwrap(), "replication: off");
+        assert!(sh.exec("PROMOTE 1").unwrap_err().0.contains("replication is off"));
+        assert!(sh.exec("SHOW REPLICA 1").unwrap_err().0.contains("replication is off"));
+
+        let on = sh.exec(&format!("SET REPLICAS 2 '{}' QUORUM 1", dir.display())).unwrap();
+        assert!(on.contains("replication: on"), "{on}");
+        assert!(on.contains("ack-quorum(1)"), "{on}");
+        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'").unwrap();
+
+        let shown = sh.exec("SHOW REPLICATION").unwrap();
+        assert!(shown.contains("epoch 1"), "{shown}");
+        assert!(shown.contains("replica 1:"), "{shown}");
+        assert!(shown.contains("replica 2:"), "{shown}");
+        let durability = sh.exec("SHOW DURABILITY").unwrap();
+        assert!(durability.contains("replicated"), "{durability}");
+
+        let rep = sh.exec("SHOW REPLICA 1").unwrap();
+        assert!(rep.contains("annotations"), "{rep}");
+        assert!(sh.exec("SHOW REPLICA 9").is_err(), "unknown replica");
+        assert!(sh.exec("SHOW REPLICA 1 STALENESS abc").is_err());
+        // A reliable transport keeps replicas current, so a zero
+        // staleness bound still reads.
+        let bounded = sh.exec("SHOW REPLICA 1 STALENESS 0").unwrap();
+        assert!(bounded.contains("lag 0"), "{bounded}");
+
+        let promoted = sh.exec("PROMOTE 1").unwrap();
+        assert!(promoted.contains("promoted replica 1"), "{promoted}");
+        assert!(promoted.contains("epoch 2"), "{promoted}");
+        let after = sh.exec("SHOW REPLICATION").unwrap();
+        assert!(after.contains("epoch 2"), "{after}");
+        assert!(after.contains("deposed primaries: epoch 1"), "{after}");
+        // The annotation survives the failover (it was acked before).
+        let notes = sh.exec("ANNOTATIONS gene 'JW0005'").unwrap();
+        assert!(notes.contains("correlates"), "{notes}");
+        // Writes keep flowing through the promoted primary.
+        sh.exec("ANNOTATE gene 'JW0002' 'note about gene JW0003'").unwrap();
+
+        assert!(sh.exec("SET REPLICAS OFF").unwrap().contains("replication: off"));
+        assert_eq!(sh.exec("SHOW REPLICATION").unwrap(), "replication: off");
+        assert!(sh.exec("SET REPLICAS abc").is_err());
+        assert!(sh.exec(&format!("SET REPLICAS 2 '{}' QUORUM 9", dir.display())).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

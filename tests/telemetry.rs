@@ -212,6 +212,28 @@ fn every_written_metric_is_listed_in_the_registry() {
     let _ = std::fs::remove_dir_all(&dir);
     assert!(!report.sheds.is_empty(), "the tiny queue and deadlines shed: {report:?}");
 
+    // Replication: a one-replica cluster as the sink, plus a failover,
+    // exercises the repl.* counters and gauges.
+    let rdir =
+        std::env::temp_dir().join(format!("nebula-telemetry-registry-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&rdir);
+    let cluster = Cluster::new(
+        &rdir,
+        &st.bundle.db,
+        &st.bundle.annotations,
+        1,
+        Box::new(SimTransport::reliable(2)),
+        ClusterConfig { rule: CommitRule::Quorum(1), ..ClusterConfig::default() },
+    )
+    .expect("fresh cluster directory");
+    let sink = ClusterSink::new(cluster);
+    let handle = sink.handle();
+    st.nebula.set_mutation_sink(Some(Box::new(sink)));
+    st.process_one(1);
+    drop(st.nebula.take_mutation_sink());
+    handle.lock().promote(1).expect("promotion");
+    let _ = std::fs::remove_dir_all(&rdir);
+
     let snap = nebula_obs::snapshot();
     nebula_obs::set_enabled(false);
 
@@ -228,4 +250,9 @@ fn every_written_metric_is_listed_in_the_registry() {
     // had teeth.
     assert!(snap.counters.contains_key("ingest.shed"), "{:?}", snap.counters);
     assert!(snap.gauges.contains_key("ingest.health"), "{:?}", snap.gauges);
+    // And the PR-5 replication names, via the ClusterSink and failover.
+    assert!(snap.counters.contains_key("repl.records_shipped"), "{:?}", snap.counters);
+    assert!(snap.counters.contains_key("repl.acks"), "{:?}", snap.counters);
+    assert!(snap.counters.contains_key("repl.promotions"), "{:?}", snap.counters);
+    assert!(snap.gauges.contains_key("repl.max_lag"), "{:?}", snap.gauges);
 }
