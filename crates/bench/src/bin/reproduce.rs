@@ -14,6 +14,7 @@
 //!   durability               WAL append overhead + recovery vs log length
 //!   overload                 concurrent ingest under arrival pressure
 //!   replication              WAL shipping under transport faults
+//!   tracing                  trace overhead + critical-path attribution
 //!   ablation-acg ablation-querygen ablation-stability
 //!   all                      everything above
 //! ```
@@ -23,10 +24,14 @@
 //! `--metrics[=DIR]` turns on the telemetry subsystem and writes one JSON
 //! snapshot per experiment (work counters, stage latency histograms,
 //! recent pipeline events) to `DIR/<experiment>.json` (default `metrics/`).
+//!
+//! `--traces[=DIR]` turns on end-to-end tracing and writes the span trees
+//! retained at the end of each experiment (full JSON, durations included)
+//! to `DIR/<experiment>.trace.json` (default `traces/`).
 
 use nebula_bench::{
     ablation, degradation, durability, fig11, fig12, fig13, fig14, fig15, overload, pipeline,
-    profile, replication, Scale, Setup,
+    profile, replication, tracing, Scale, Setup,
 };
 
 fn main() {
@@ -41,6 +46,15 @@ fn main() {
     });
     if metrics_dir.is_some() {
         nebula_obs::set_enabled(true);
+    }
+    let traces_dir: Option<std::path::PathBuf> = args.iter().find_map(|a| {
+        a.strip_prefix("--traces").map(|rest| match rest.strip_prefix('=') {
+            Some(dir) if !dir.is_empty() => dir.into(),
+            _ => std::path::PathBuf::from("traces"),
+        })
+    });
+    if traces_dir.is_some() {
+        nebula_obs::trace::set_enabled(true);
     }
     let experiments: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
@@ -63,6 +77,7 @@ fn main() {
             "durability",
             "overload",
             "replication",
+            "tracing",
             "ablation-acg",
             "ablation-learn",
             "ablation-querygen",
@@ -72,8 +87,8 @@ fn main() {
         println!(
             "experiments: fig11a fig11b fig11c fig12a fig12b fig13 fig14a fig14b \
              fig15a fig15b naive-assess profile pipeline degradation durability \
-             overload replication ablation-acg ablation-learn ablation-querygen \
-             ablation-stability all"
+             overload replication tracing ablation-acg ablation-learn \
+             ablation-querygen ablation-stability all"
         );
         return;
     } else {
@@ -101,6 +116,13 @@ fn main() {
         // Per-experiment metrics: diff against the counters accumulated so
         // far, so each sidecar reports only its own experiment's work.
         let baseline = metrics_dir.as_ref().map(|_| nebula_obs::snapshot());
+        if traces_dir.is_some() {
+            // Fresh ring per experiment so each sidecar carries only its
+            // own span trees; the experiment may toggle tracing itself
+            // (the `tracing` experiment does), so re-arm it here.
+            nebula_obs::trace::set_enabled(true);
+            nebula_obs::trace::reset();
+        }
         match exp {
             "fig11a" | "fig11b" | "fig11c" => {
                 let setup = get_large!();
@@ -215,6 +237,14 @@ fn main() {
                 let setup = Setup::small(scale);
                 replication::table(&replication::run(&setup, if fast { 30 } else { 80 })).print();
             }
+            "tracing" => {
+                eprintln!("[reproduce] generating D_small ...");
+                let setup = Setup::small(scale);
+                let overhead = tracing::run_overhead(&setup, if fast { 2 } else { 5 });
+                tracing::overhead_table(&overhead).print();
+                let cells = tracing::run_attribution(&setup, if fast { 24 } else { 64 });
+                tracing::attribution_table(&cells).print();
+            }
             "profile" => {
                 let setup = get_large!();
                 let p = profile::build_profile(setup, if fast { 30 } else { 120 });
@@ -241,6 +271,21 @@ fn main() {
                 eprintln!(
                     "[reproduce] metrics sidecar → {}",
                     dir.join(format!("{exp}.json")).display()
+                );
+            }
+        }
+        if let Some(dir) = &traces_dir {
+            let traces = nebula_obs::trace::traces();
+            let json = nebula_obs::trace::render_traces_json(&traces, true);
+            let path = dir.join(format!("{exp}.trace.json"));
+            if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json))
+            {
+                eprintln!("[reproduce] failed to write trace sidecar for {exp}: {e}");
+            } else {
+                eprintln!(
+                    "[reproduce] trace sidecar → {} ({} trace(s))",
+                    path.display(),
+                    traces.len()
                 );
             }
         }

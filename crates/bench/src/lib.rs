@@ -23,5 +23,6 @@ pub mod profile;
 pub mod replication;
 pub mod setup;
 pub mod table;
+pub mod tracing;
 
 pub use setup::{Scale, Setup};

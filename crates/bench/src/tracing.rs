@@ -1,0 +1,310 @@
+//! Tracing experiment: instrumentation overhead and commit critical-path
+//! attribution.
+//!
+//! Two questions, one experiment:
+//!
+//! - **Overhead** — what does end-to-end tracing cost on the hot path?
+//!   The same pipeline workload runs with tracing off and on (telemetry
+//!   stays on in both modes, so the `core.process_annotation` histogram
+//!   is the common yardstick), interleaved round-by-round so ambient
+//!   machine noise hits both modes alike. The tentpole claim is that the
+//!   tracing-on mean stays within 10% of tracing-off.
+//! - **Attribution** — where does commit latency actually go? Each grid
+//!   cell replays a representative scenario (sequential pipeline,
+//!   concurrent ingest at 1 and 4 workers with and without the fault
+//!   plan, replicated commits under ack-quorum) with tracing on and
+//!   aggregates critical-path self times across every committed
+//!   annotation's span tree.
+//!
+//! The fault seed is `NEBULA_FAULT_SEED` (hex or decimal; default
+//! `0xF00D`), shared with the other grid experiments.
+
+use crate::degradation::fault_seed;
+use crate::setup::Setup;
+use crate::table::Table;
+use nebula_core::{distort, CommitRule, NebulaConfig, VerificationBounds};
+use nebula_govern::FaultPlan;
+use nebula_ingest::{ingest_batch, IngestConfig, IngestItem};
+use nebula_obs::trace;
+use nebula_replica::{Cluster, ClusterConfig, ClusterSink, SimTransport};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// On/off overhead on the pipeline experiment's end-to-end histogram.
+#[derive(Debug, Clone)]
+pub struct Overhead {
+    /// Interleaved measurement rounds per mode.
+    pub rounds: usize,
+    /// Annotations timed with tracing off.
+    pub annotations_off: u64,
+    /// Annotations timed with tracing on.
+    pub annotations_on: u64,
+    /// Mean `core.process_annotation` latency, tracing off.
+    pub mean_off_ns: f64,
+    /// Mean `core.process_annotation` latency, tracing on.
+    pub mean_on_ns: f64,
+}
+
+impl Overhead {
+    /// Tracing-on mean relative to tracing-off, as a signed percentage.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.mean_off_ns <= 0.0 {
+            return 0.0;
+        }
+        (self.mean_on_ns / self.mean_off_ns - 1.0) * 100.0
+    }
+}
+
+/// One pipeline round in one tracing mode; returns the round's
+/// `(count, sum_ns)` slice of the end-to-end histogram.
+fn pipeline_round(setup: &Setup, tracing_on: bool) -> (u64, u64) {
+    trace::set_enabled(tracing_on);
+    let baseline = nebula_obs::snapshot();
+    let _ = crate::pipeline::run(setup, 100);
+    let diff = nebula_obs::snapshot().diff(&baseline);
+    trace::set_enabled(false);
+    diff.histograms.get(nebula_obs::names::PIPELINE).map(|h| (h.count, h.sum_ns)).unwrap_or((0, 0))
+}
+
+/// Measure the on/off overhead: `rounds` interleaved pipeline rounds per
+/// mode, after one warm-up round that is thrown away.
+pub fn run_overhead(setup: &Setup, rounds: usize) -> Overhead {
+    let obs_was = nebula_obs::enabled();
+    let trace_was = trace::enabled();
+    nebula_obs::set_enabled(true);
+    // Warm-up: first-touch effects (allocator, page cache, ACG growth in
+    // the cloned store) must not land on whichever mode runs first.
+    let _ = pipeline_round(setup, false);
+    let rounds = rounds.max(1);
+    let (mut off, mut on) = ((0u64, 0u64), (0u64, 0u64));
+    for _ in 0..rounds {
+        let r = pipeline_round(setup, false);
+        off = (off.0 + r.0, off.1 + r.1);
+        let r = pipeline_round(setup, true);
+        on = (on.0 + r.0, on.1 + r.1);
+    }
+    nebula_obs::set_enabled(obs_was);
+    trace::set_enabled(trace_was);
+    let mean = |(count, sum): (u64, u64)| if count == 0 { 0.0 } else { sum as f64 / count as f64 };
+    Overhead {
+        rounds,
+        annotations_off: off.0,
+        annotations_on: on.0,
+        mean_off_ns: mean(off),
+        mean_on_ns: mean(on),
+    }
+}
+
+/// One attribution cell: a scenario's aggregate critical path.
+#[derive(Debug, Clone)]
+pub struct AttributionCell {
+    /// Scenario label.
+    pub scenario: String,
+    /// Committed annotations traced.
+    pub traces: usize,
+    /// Sum of root (end-to-end) durations.
+    pub total_ns: u64,
+    /// The segment holding the largest share of the critical path.
+    pub dominant: String,
+    /// `dominant / total`.
+    pub dominant_share: f64,
+    /// All segments, largest first.
+    pub segments: Vec<(String, u64)>,
+}
+
+fn cell_from(scenario: String, traces: &[trace::Trace]) -> AttributionCell {
+    let attr = trace::attribution(traces);
+    let (dominant, dominant_ns) =
+        attr.dominant().map(|(label, ns)| (label.to_string(), ns)).unwrap_or_default();
+    AttributionCell {
+        scenario,
+        traces: attr.traces,
+        total_ns: attr.total_ns,
+        dominant,
+        dominant_share: if attr.total_ns == 0 {
+            0.0
+        } else {
+            dominant_ns as f64 / attr.total_ns as f64
+        },
+        segments: attr.segments.iter().map(|(label, ns)| (label.to_string(), *ns)).collect(),
+    }
+}
+
+/// Sequential pipeline: every commit is a single-threaded span tree.
+fn pipeline_cell(setup: &Setup) -> AttributionCell {
+    trace::reset();
+    let _ = crate::pipeline::run(setup, 100);
+    cell_from("pipeline".to_string(), &trace::traces())
+}
+
+/// Concurrent ingest: burst arrivals through the worker pool, with the
+/// queue sized to the batch so every item commits (and is traced).
+fn ingest_cell(
+    setup: &Setup,
+    n: usize,
+    workers: usize,
+    fault_label: &str,
+    plan: Option<FaultPlan>,
+) -> AttributionCell {
+    let bytes = annostore::snapshot::save(&setup.bundle.annotations);
+    let mut store = annostore::snapshot::load(&bytes).expect("snapshot round-trip");
+    let mut nebula = setup
+        .engine(NebulaConfig { bounds: VerificationBounds::new(0.4, 0.85), ..Default::default() });
+    let source = &setup.set(100).annotations;
+    let items: Vec<_> = (0..n)
+        .map(|i| {
+            let wa = &source[i % source.len()];
+            IngestItem::new(wa.annotation.clone(), distort(&wa.ideal, 1).0)
+        })
+        .collect();
+    let config = IngestConfig { workers, queue_capacity: n.max(1), ..IngestConfig::default() };
+    nebula_govern::set_fault_plan(plan);
+    trace::reset();
+    let _ = ingest_batch(&mut nebula, &setup.bundle.db, &mut store, &items, &config);
+    nebula_govern::set_fault_plan(None);
+    cell_from(format!("ingest w={workers} faults={fault_label}"), &trace::traces())
+}
+
+/// Replicated commits: the batch flows through a three-replica cluster
+/// under ack-quorum(2), so WAL and shipping spans join the tree.
+fn replication_cell(setup: &Setup, n: usize) -> AttributionCell {
+    let bytes = annostore::snapshot::save(&setup.bundle.annotations);
+    let mut store = annostore::snapshot::load(&bytes).expect("snapshot round-trip");
+    let mut nebula = setup
+        .engine(NebulaConfig { bounds: VerificationBounds::new(0.4, 0.85), ..Default::default() });
+    let source = &setup.set(100).annotations;
+    let items: Vec<_> = (0..n)
+        .map(|i| {
+            let wa = &source[i % source.len()];
+            (wa.annotation.clone(), distort(&wa.ideal, 1).0)
+        })
+        .collect();
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("nebula-bench-trace-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ClusterConfig { rule: CommitRule::Quorum(2), ..ClusterConfig::default() };
+    let cluster = Cluster::new(
+        &dir,
+        &setup.bundle.db,
+        &store,
+        3,
+        Box::new(SimTransport::reliable(4)),
+        config,
+    )
+    .expect("fresh cluster directory");
+    nebula.set_mutation_sink(Some(Box::new(ClusterSink::new(cluster))));
+    trace::reset();
+    let _ = nebula.process_batch(&setup.bundle.db, &mut store, &items);
+    drop(nebula.take_mutation_sink());
+    let cell = cell_from("replicated ack-quorum(2)".to_string(), &trace::traces());
+    let _ = std::fs::remove_dir_all(&dir);
+    cell
+}
+
+/// Run the attribution grid: sequential pipeline, ingest at 1 and 4
+/// workers (clean and faulty), and a replicated batch.
+pub fn run_attribution(setup: &Setup, n: usize) -> Vec<AttributionCell> {
+    let trace_was = trace::enabled();
+    trace::set_enabled(true);
+    let seed = fault_seed();
+    // The overload experiment's slow-service regime: a quarter of the
+    // governed sites fault and half the stage boundaries stall 1ms.
+    let faulty = FaultPlan::uniform(seed, 0.25).with_latency(0.5, Duration::from_millis(1));
+    let cells = vec![
+        pipeline_cell(setup),
+        ingest_cell(setup, n, 1, "off", None),
+        ingest_cell(setup, n, 4, "off", None),
+        ingest_cell(setup, n, 4, "uniform@0.25+lat", Some(faulty)),
+        replication_cell(setup, n),
+    ];
+    trace::set_enabled(trace_was);
+    trace::reset();
+    cells
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Render the overhead comparison.
+pub fn overhead_table(o: &Overhead) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Tracing: on/off overhead on {} ({} interleaved rounds/mode)",
+            nebula_obs::names::PIPELINE,
+            o.rounds
+        ),
+        &["mode", "annotations", "mean (us)", "overhead"],
+    );
+    t.row(vec![
+        "tracing off".to_string(),
+        o.annotations_off.to_string(),
+        format!("{:.2}", o.mean_off_ns / 1e3),
+        "-".to_string(),
+    ]);
+    t.row(vec![
+        "tracing on".to_string(),
+        o.annotations_on.to_string(),
+        format!("{:.2}", o.mean_on_ns / 1e3),
+        format!("{:+.1}%", o.overhead_pct()),
+    ]);
+    t
+}
+
+/// Render the attribution grid.
+pub fn attribution_table(cells: &[AttributionCell]) -> Table {
+    let mut t = Table::new(
+        format!("Tracing: commit critical-path attribution (seed={:#x})", fault_seed()),
+        &["scenario", "traces", "total (ms)", "dominant segment", "share", "runners-up"],
+    );
+    for c in cells {
+        let runners: Vec<String> = c
+            .segments
+            .iter()
+            .skip(1)
+            .take(2)
+            .map(|(label, ns)| format!("{label} {}ms", ms(*ns)))
+            .collect();
+        t.row(vec![
+            c.scenario.clone(),
+            c.traces.to_string(),
+            ms(c.total_ns),
+            c.dominant.clone(),
+            format!("{:.0}%", c.dominant_share * 100.0),
+            runners.join(", "),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_workload::DatasetSpec;
+
+    #[test]
+    fn overhead_and_attribution_produce_data() {
+        let setup = Setup::new("test", &DatasetSpec::tiny());
+        let o = run_overhead(&setup, 2);
+        assert!(o.annotations_off > 0 && o.annotations_on > 0, "{o:?}");
+        assert!(o.mean_off_ns > 0.0 && o.mean_on_ns > 0.0, "{o:?}");
+        let rendered = overhead_table(&o).render();
+        assert!(rendered.contains("tracing on"), "{rendered}");
+
+        let cells = run_attribution(&setup, 24);
+        assert_eq!(cells.len(), 5);
+        for c in &cells {
+            assert!(c.traces > 0, "every scenario commits traced work: {c:?}");
+            assert!(!c.dominant.is_empty(), "{c:?}");
+            assert!(c.total_ns > 0, "{c:?}");
+        }
+        // The replicated cell's critical path must include shipping work.
+        let repl = cells.last().unwrap();
+        assert!(
+            repl.segments.iter().any(|(label, _)| label.starts_with("repl.")),
+            "replication segments present: {repl:?}"
+        );
+        let rendered = attribution_table(&cells).render();
+        assert!(rendered.contains("ack-quorum"), "{rendered}");
+    }
+}

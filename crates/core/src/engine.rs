@@ -269,29 +269,37 @@ impl Nebula {
         focal: &[TupleId],
     ) -> Result<ProcessOutcome, NebulaError> {
         let pipeline_span = nebula_obs::span(names::PIPELINE);
+        // When the ingest pool dispatched us it already opened the trace
+        // root; otherwise (sequential callers, the bench harness) this
+        // scope owns a fresh root. Either way the stage spans below
+        // attach under it, and an error return abandons an owned trace.
+        let pipeline_trace = PipelineTrace::open();
         let _budget = nebula_govern::begin_budget(&self.config.budget);
         let mut degradations: Vec<Degradation> = Vec::new();
 
         // Stage 0: register the annotation and its focal attachments.
         nebula_govern::stage_boundary(names::STAGE0_REGISTER);
         let stage0_span = nebula_obs::span(names::STAGE0_REGISTER);
+        let stage0_trace = nebula_obs::trace::span(names::STAGE0_REGISTER);
         let expected = AnnotationId(store.annotation_count() as u64);
         self.log_mutation(&Mutation::AddAnnotation { expected, annotation })?;
         let aid = store.add_annotation(annotation.clone());
+        nebula_obs::trace::bind(aid.0);
         for &f in focal {
             self.log_mutation(&Mutation::AttachTuple { annotation: aid, tuple: f })?;
             store.attach(aid, AttachmentTarget::tuple(f))?;
             self.acg.add_attachment(store, aid, f);
         }
-        stage_event(aid, names::STAGE0_REGISTER, stage0_span, focal.len(), || {
+        stage_event(aid, names::STAGE0_REGISTER, stage0_span, stage0_trace, focal.len(), || {
             format!("focal={}", focal.len())
         });
 
         // Stage 1: annotation text → keyword queries.
         nebula_govern::stage_boundary(names::STAGE1_QUERYGEN);
         let stage1_span = nebula_obs::span(names::STAGE1_QUERYGEN);
+        let stage1_trace = nebula_obs::trace::span(names::STAGE1_QUERYGEN);
         let queries = generate_queries(db, &self.meta, &annotation.text, &self.config.querygen);
-        stage_event(aid, names::STAGE1_QUERYGEN, stage1_span, queries.len(), || {
+        stage_event(aid, names::STAGE1_QUERYGEN, stage1_span, stage1_trace, queries.len(), || {
             format!("queries={}", queries.len())
         });
 
@@ -299,6 +307,7 @@ impl Nebula {
         // trips instead of failing.
         nebula_govern::stage_boundary(names::STAGE2_EXECUTE);
         let stage2_span = nebula_obs::span(names::STAGE2_EXECUTE);
+        let stage2_trace = nebula_obs::trace::span(names::STAGE2_EXECUTE);
         let (candidates, stats, used_focal_spread) =
             self.stage2_search(db, &queries, focal, &mut degradations)?;
         let report = nebula_govern::budget_report();
@@ -311,17 +320,25 @@ impl Nebula {
             degradations
                 .push(Degradation::TruncatedCandidates { dropped: report.truncated_candidates });
         }
-        stage_event(aid, names::STAGE2_EXECUTE, stage2_span, candidates.len(), || {
-            format!(
-                "mode={} hits={}",
-                if used_focal_spread { "focal-spread" } else { "full" },
-                candidates.len()
-            )
-        });
+        stage_event(
+            aid,
+            names::STAGE2_EXECUTE,
+            stage2_span,
+            stage2_trace,
+            candidates.len(),
+            || {
+                format!(
+                    "mode={} hits={}",
+                    if used_focal_spread { "focal-spread" } else { "full" },
+                    candidates.len()
+                )
+            },
+        );
 
         // Stage 3: route candidates through the bounds.
         nebula_govern::stage_boundary(names::STAGE3_ROUTE);
         let stage3_span = nebula_obs::span(names::STAGE3_ROUTE);
+        let stage3_trace = nebula_obs::trace::span(names::STAGE3_ROUTE);
         let mut accepted = Vec::new();
         let mut pending = Vec::new();
         let mut rejected = Vec::new();
@@ -354,7 +371,7 @@ impl Nebula {
             }
         }
 
-        stage_event(aid, names::STAGE3_ROUTE, stage3_span, candidates.len(), || {
+        stage_event(aid, names::STAGE3_ROUTE, stage3_span, stage3_trace, candidates.len(), || {
             format!(
                 "accepted={} pending={} rejected={}",
                 accepted.len(),
@@ -410,6 +427,12 @@ impl Nebula {
             });
         }
         drop(pipeline_span);
+        pipeline_trace.commit(format!(
+            "accepted={} pending={} rejected={}",
+            accepted.len(),
+            pending.len(),
+            rejected.len()
+        ));
 
         Ok(ProcessOutcome {
             annotation: aid,
@@ -636,26 +659,81 @@ fn retry_transient<T>(
     }
 }
 
-/// Close a stage span and, when telemetry is on, record a structured
-/// pipeline event for it. The `decision` closure only runs when enabled,
-/// so the disabled path never allocates.
+/// Close a stage span (and its trace twin) and, when telemetry is on,
+/// record a structured pipeline event for it. The `decision` closure only
+/// runs when either consumer (event log or trace detail) is live, so the
+/// fully-disabled path never allocates.
 fn stage_event(
     aid: AnnotationId,
     stage: &'static str,
     span: nebula_obs::SpanGuard<'_>,
+    tspan: nebula_obs::trace::SpanHandle,
     candidates: usize,
     decision: impl FnOnce() -> String,
 ) {
     let duration_ns = span.elapsed_ns();
     drop(span); // feeds the stage histogram
-    if nebula_obs::enabled() {
-        nebula_obs::record_event(PipelineEvent {
-            annotation_id: aid.0,
-            stage,
-            duration_ns,
-            candidates: candidates as u64,
-            decision: decision(),
-        });
+    let obs_on = nebula_obs::enabled();
+    if obs_on || tspan.is_active() {
+        let decision = decision();
+        if tspan.is_active() {
+            tspan.detail(decision.clone());
+        }
+        drop(tspan); // closes the trace span at the same boundary
+        if obs_on {
+            nebula_obs::record_event(PipelineEvent {
+                annotation_id: aid.0,
+                stage,
+                duration_ns,
+                candidates: candidates as u64,
+                decision,
+            });
+        }
+    }
+}
+
+/// Trace scope for one `process_annotation` call.
+///
+/// If the caller (the ingest pool) already opened a trace root, the
+/// pipeline attaches as a child span and the caller keeps ownership of
+/// `finish`/`abandon`. Otherwise — sequential callers, the bench harness —
+/// this scope owns a fresh root: a clean exit commits it via
+/// [`PipelineTrace::commit`], while an early `?` return drops the scope
+/// and abandons the partial trace (the mutation it described failed).
+struct PipelineTrace {
+    owns_root: bool,
+    span: nebula_obs::trace::SpanHandle,
+}
+
+impl PipelineTrace {
+    fn open() -> Self {
+        let owns_root = nebula_obs::trace::start_if_idle(names::PIPELINE);
+        let span = if owns_root {
+            nebula_obs::trace::SpanHandle::inert()
+        } else {
+            nebula_obs::trace::span(names::PIPELINE)
+        };
+        PipelineTrace { owns_root, span }
+    }
+
+    fn commit(mut self, detail: String) {
+        let span = std::mem::replace(&mut self.span, nebula_obs::trace::SpanHandle::inert());
+        if span.is_active() {
+            span.detail(detail);
+        }
+        drop(span);
+        if self.owns_root {
+            self.owns_root = false;
+            nebula_obs::trace::finish();
+        }
+    }
+}
+
+impl Drop for PipelineTrace {
+    fn drop(&mut self) {
+        if self.owns_root {
+            nebula_obs::trace::abandon();
+        }
     }
 }
 

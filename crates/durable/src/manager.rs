@@ -171,11 +171,16 @@ impl Durability {
     /// Append one operation to the log. Returns the assigned LSN.
     pub fn append(&mut self, op: &WalOp) -> Result<u64, DurableError> {
         let _span = nebula_obs::span(counters::SPAN_APPEND);
+        let tspan = nebula_obs::trace::span("durable.append");
         if let Some(why) = &self.wedged {
             nebula_obs::counter_add(counters::APPEND_FAILURES, 1);
             return Err(DurableError::Wedged(why.clone()));
         }
         let lsn = self.next_lsn;
+        if tspan.is_active() {
+            tspan.detail(format!("lsn={lsn}"));
+            nebula_obs::trace::note_lsn(lsn);
+        }
         let record = encode_record(lsn, op);
 
         if let Some(IoFault::TornWrite { keep }) = inject_io(FaultSite::TornWrite, record.len()) {
@@ -184,6 +189,10 @@ impl Durability {
             self.wal.write_all(&record[..keep])?;
             let _ = self.wal.sync_data();
             self.wedged = Some(format!("torn write at lsn {lsn} ({keep} bytes persisted)"));
+            nebula_obs::trace::flight_event(
+                "wedge",
+                format!("torn write at lsn {lsn} ({keep} bytes persisted)"),
+            );
             nebula_obs::counter_add(counters::APPEND_FAILURES, 1);
             return Err(DurableError::TornWrite { written: keep, expected: record.len() });
         }
@@ -199,13 +208,16 @@ impl Durability {
 
         self.wal.write_all(&record)?;
         if self.options.sync == SyncPolicy::EveryRecord {
+            let fsync_span = nebula_obs::trace::span("durable.fsync");
             if let Some(IoFault::FsyncFail) = inject_io(FaultSite::FsyncFail, record.len()) {
                 self.wedged = Some(format!("fsync failed after lsn {lsn}"));
+                nebula_obs::trace::flight_event("wedge", format!("fsync failed after lsn {lsn}"));
                 nebula_obs::counter_add(counters::APPEND_FAILURES, 1);
                 return Err(DurableError::SyncFailed(format!("after lsn {lsn}")));
             }
             self.wal.sync_data()?;
             nebula_obs::counter_add(counters::FSYNCS, 1);
+            drop(fsync_span);
         }
         self.wal_len += record.len() as u64;
         self.next_lsn += 1;
@@ -223,6 +235,7 @@ impl Durability {
         }
         if let Some(IoFault::FsyncFail) = inject_io(FaultSite::FsyncFail, self.wal_len as usize) {
             self.wedged = Some("batch fsync failed".to_string());
+            nebula_obs::trace::flight_event("wedge", "batch fsync failed".to_string());
             return Err(DurableError::SyncFailed("batch flush".to_string()));
         }
         self.wal.sync_data()?;
@@ -243,6 +256,7 @@ impl Durability {
         store: &AnnotationStore,
     ) -> Result<u64, DurableError> {
         let _span = nebula_obs::span(counters::SPAN_CHECKPOINT);
+        let _tspan = nebula_obs::trace::span("durable.checkpoint");
         let watermark = self.next_lsn - 1;
         let mut image = checkpoint::encode(watermark, db, store);
         if let Some(IoFault::BitFlip { bit }) = inject_io(FaultSite::BitFlip, image.len()) {

@@ -24,8 +24,22 @@ static VIRTUAL_NS: AtomicU64 = AtomicU64::new(0);
 
 /// Switch the process-wide clock between real (`false`, the default) and
 /// virtual (`true`) mode.
+///
+/// Engaging virtual mode also installs this clock as the trace layer's
+/// ambient time source (idempotent): while virtual mode is on, traced
+/// span durations come from the virtual accumulator instead of the wall
+/// clock, so they are as deterministic as the sleeps that feed them.
 pub fn set_virtual(on: bool) {
+    if on {
+        nebula_obs::trace::install_time_source(virtual_probe);
+    }
     VIRTUAL.store(on, Ordering::Relaxed);
+}
+
+/// The [`nebula_obs::trace::TimeSource`] probe: claim the clock only
+/// while virtual mode is on.
+fn virtual_probe() -> Option<u64> {
+    is_virtual().then(virtual_ns)
 }
 
 /// Is the clock currently virtual?

@@ -135,6 +135,7 @@ impl HealthMachine {
     }
 
     fn recompute(&mut self) -> HealthState {
+        let before = self.state;
         self.state =
             if self.state == HealthState::Wedged || self.wal_trips >= self.wedge_after_wal_trips {
                 HealthState::Wedged
@@ -149,6 +150,14 @@ impl HealthMachine {
             } else {
                 HealthState::Healthy
             };
+        if self.state != before {
+            nebula_obs::trace::flight_event("health", format!("{before} -> {}", self.state));
+            if self.state == HealthState::Wedged {
+                // Wedged is sticky, so this transition fires exactly once
+                // per machine — the post-mortem trigger.
+                nebula_obs::trace::flight_dump("ingest.wedged");
+            }
+        }
         nebula_obs::gauge_set(crate::counters::HEALTH_GAUGE, self.state.as_gauge());
         self.state
     }

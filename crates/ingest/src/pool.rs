@@ -306,10 +306,12 @@ pub fn ingest_batch(
 
 fn worker_loop(shared: &Shared<'_>, queue: &AdmissionQueue, db: &Database, items: &[IngestItem]) {
     while let Some((seq, queued)) = queue.pop() {
+        let turn_started = Instant::now();
         shared.wait_turn(seq);
+        let turn_wait_ns = turn_started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         {
             let mut state = shared.engine_locked();
-            dispatch(&mut state, db, items, &queued);
+            dispatch(&mut state, db, items, &queued, turn_wait_ns);
         }
         shared.advance_turn();
     }
@@ -319,8 +321,31 @@ fn worker_loop(shared: &Shared<'_>, queue: &AdmissionQueue, db: &Database, items
 /// (wedged / deadline / breakers), governed execution with the migrated
 /// fault context, breaker + health bookkeeping, and the periodic
 /// checkpoint — all under the engine lock, in commit order.
-fn dispatch(state: &mut EngineState<'_>, db: &Database, items: &[IngestItem], queued: &Queued) {
+fn dispatch(
+    state: &mut EngineState<'_>,
+    db: &Database,
+    items: &[IngestItem],
+    queued: &Queued,
+    turn_wait_ns: u64,
+) {
     let item = &items[queued.index];
+    // Open the trace root for this commit attempt. Admission and
+    // turn-gate time happened before the builder existed (off-thread), so
+    // they attach as explicit-duration wait leaves; the root's duration
+    // is extended by the same amounts so it still covers
+    // admission → commit. A shed or quarantine abandons the trace (via
+    // `record_shed` / the routing at the bottom) — only committed
+    // annotations reach the ring.
+    if nebula_obs::trace::start("ingest.item") {
+        nebula_obs::trace::root_detail(format!("class={:?}", queued.priority));
+        let sojourn_so_far = queued.admitted_at.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        nebula_obs::trace::wait(
+            "ingest.queue_wait",
+            String::new(),
+            sojourn_so_far.saturating_sub(turn_wait_ns),
+        );
+        nebula_obs::trace::wait("ingest.turn_wait", String::new(), turn_wait_ns);
+    }
     if state.health.state() == HealthState::Wedged {
         record_shed(
             state,
@@ -401,10 +426,23 @@ fn dispatch(state: &mut EngineState<'_>, db: &Database, items: &[IngestItem], qu
             let trips_before = state.wal_breaker.trips;
             state.wal_breaker.record_failure();
             if state.wal_breaker.trips > trips_before {
+                nebula_obs::trace::flight_event(
+                    "breaker.trip",
+                    format!("wal trips={}", state.wal_breaker.trips),
+                );
                 state.health.note_wal_trip();
             }
         }
-        Some(_) => state.search_breaker.record_failure(),
+        Some(_) => {
+            let trips_before = state.search_breaker.trips;
+            state.search_breaker.record_failure();
+            if state.search_breaker.trips > trips_before {
+                nebula_obs::trace::flight_event(
+                    "breaker.trip",
+                    format!("search trips={}", state.search_breaker.trips),
+                );
+            }
+        }
     }
     // A replicated sink reports its posture after every record; feed the
     // lag signal into the replication breaker and the health machine.
@@ -414,7 +452,14 @@ fn dispatch(state: &mut EngineState<'_>, db: &Database, items: &[IngestItem], qu
     };
     if let Some(repl) = repl_status {
         if repl.lag_budget_exceeded {
+            let trips_before = state.repl_breaker.trips;
             state.repl_breaker.record_failure();
+            if state.repl_breaker.trips > trips_before {
+                nebula_obs::trace::flight_event(
+                    "breaker.trip",
+                    format!("replication trips={}", state.repl_breaker.trips),
+                );
+            }
         } else {
             state.repl_breaker.record_success();
         }
@@ -436,6 +481,7 @@ fn dispatch(state: &mut EngineState<'_>, db: &Database, items: &[IngestItem], qu
     nebula_obs::observe_ns(counters::ITEM_SPAN, sojourn.as_nanos().min(u64::MAX as u128) as u64);
     state.latencies_ns.push(sojourn.as_nanos().min(u64::MAX as u128) as u64);
     nebula_obs::counter_add(counters::COMPLETED, 1);
+    let committed = entry.status != BatchStatus::Quarantined;
     state.slots[queued.index] = Some(entry);
 
     // Periodic checkpointing between items, mirroring `process_batch`:
@@ -447,9 +493,26 @@ fn dispatch(state: &mut EngineState<'_>, db: &Database, items: &[IngestItem], qu
             nebula_obs::counter_add("core.checkpoint_deferred", 1);
         }
     }
+
+    // Route the trace: a committed annotation's tree (including any
+    // periodic checkpoint spans above) enters the ring; a quarantined
+    // item's mutations never applied, so its partial trace is dropped.
+    if committed {
+        nebula_obs::trace::finish();
+    } else {
+        nebula_obs::trace::abandon();
+    }
 }
 
 fn record_shed(state: &mut EngineState<'_>, shed: ShedRecord) {
+    // A shed item never commits: drop any trace opened for its dispatch
+    // (no-op on the coordinator thread, which never opens one) and leave
+    // a flight-recorder event in its place.
+    nebula_obs::trace::abandon();
+    nebula_obs::trace::flight_event(
+        "shed",
+        format!("index={} reason={:?}", shed.index, shed.reason),
+    );
     nebula_obs::counter_add(counters::SHED, 1);
     let reason_counter = match shed.reason {
         ShedReason::QueueFull => counters::SHED_QUEUE_FULL,

@@ -22,9 +22,16 @@
 //! Snapshots ([`TelemetrySnapshot`]) render deterministically as text or
 //! JSON and support diffing against an earlier snapshot, which is how
 //! the bench harness emits per-experiment metrics sidecars.
+//!
+//! The [`trace`] module builds on the same cost model: causally-linked
+//! span trees with deterministic IDs covering the whole commit path
+//! (admission → stages → WAL → replication ack), a critical-path
+//! analyzer, and a bounded flight recorder that dumps deterministic
+//! JSON post-mortems on terminal conditions.
 
 mod event;
 mod snapshot;
+pub mod trace;
 
 pub use event::PipelineEvent;
 pub use snapshot::{HistogramSnapshot, TelemetrySnapshot, BUCKET_BOUNDS_NS};
@@ -123,6 +130,11 @@ pub mod registry {
         "textsearch.compiled_queries",
         "textsearch.configurations",
         "textsearch.tuples_inspected",
+        "trace.flight_dumps",
+        "trace.flight_events",
+        "trace.ring_evictions",
+        "trace.spans",
+        "trace.traces",
     ];
 
     /// Every last-value gauge the engine emits.
@@ -133,6 +145,7 @@ pub mod registry {
         "repl.epoch",
         "repl.max_lag",
         "repl.replicas",
+        "trace.ring_occupancy",
     ];
 
     /// Every span / histogram name the engine emits.
@@ -176,6 +189,9 @@ pub mod registry {
             assert!(is_known("repl.divergences"));
             assert!(is_known("repl.max_lag"));
             assert!(is_known("stage2.execute"));
+            assert!(is_known("trace.spans"));
+            assert!(is_known("trace.flight_dumps"));
+            assert!(is_known("trace.ring_occupancy"));
             assert!(!is_known("core.made_up"));
         }
     }

@@ -5,12 +5,32 @@ use crate::PipelineEvent;
 use std::collections::BTreeMap;
 
 /// Upper bounds (inclusive, in nanoseconds) of the fixed histogram
-/// buckets: 1µs, 10µs, 100µs, 1ms, 10ms, 100ms, 1s; an implicit +inf
-/// bucket catches the rest.
-pub const BUCKET_BOUNDS_NS: [u64; 7] =
-    [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000];
+/// buckets: a log scale with two buckets per decade (100ns, ~316ns,
+/// 1µs, ~3.16µs, ... 1s); an implicit +inf bucket catches the rest.
+/// Whole-decade bounds proved too coarse — the checked-in pipeline
+/// sample put every `core.process_annotation` observation in one
+/// bucket — and half-decade steps resolve the per-stage means (stage0
+/// at a few µs, stage1/stage2 around 100µs, the whole pipeline in the
+/// 100µs–1ms band) into distinct buckets.
+pub const BUCKET_BOUNDS_NS: [u64; 15] = [
+    100,
+    316,
+    1_000,
+    3_162,
+    10_000,
+    31_623,
+    100_000,
+    316_228,
+    1_000_000,
+    3_162_278,
+    10_000_000,
+    31_622_777,
+    100_000_000,
+    316_227_766,
+    1_000_000_000,
+];
 
-/// A latency distribution: count, min/mean/max, and fixed power-of-ten
+/// A latency distribution: count, min/mean/max, and fixed log-scaled
 /// buckets per [`BUCKET_BOUNDS_NS`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
@@ -209,7 +229,7 @@ impl TelemetrySnapshot {
     }
 }
 
-fn push_entries(out: &mut String, entries: impl Iterator<Item = String>) {
+pub(crate) fn push_entries(out: &mut String, entries: impl Iterator<Item = String>) {
     let mut first = true;
     for entry in entries {
         if first {
@@ -226,7 +246,7 @@ fn push_entries(out: &mut String, entries: impl Iterator<Item = String>) {
 }
 
 /// JSON string literal with escaping.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -285,15 +305,24 @@ mod tests {
     fn histogram_tracks_extrema_and_buckets() {
         let mut h = HistogramSnapshot::default();
         assert_eq!(h.mean_ns(), 0.0, "empty histogram mean is 0");
-        h.record(500); // bucket 0 (≤1µs)
-        h.record(2_000); // bucket 1 (≤10µs)
+        h.record(500); // bucket 2 (≤1µs)
+        h.record(2_000); // bucket 3 (≤3.16µs)
         h.record(5_000_000_000); // overflow bucket
         assert_eq!(h.count, 3);
         assert_eq!(h.min_ns, 500);
         assert_eq!(h.max_ns, 5_000_000_000);
-        assert_eq!(h.buckets[0], 1);
-        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[3], 1);
         assert_eq!(h.buckets[BUCKET_BOUNDS_NS.len()], 1);
+
+        // Half-decade resolution separates the pipeline's stage means:
+        // a ~5µs stage0, a ~100µs stage1, and a ~300µs pipeline land in
+        // three distinct buckets instead of sharing the ≤1ms bucket.
+        let mut stages = HistogramSnapshot::default();
+        stages.record(5_000);
+        stages.record(100_000);
+        stages.record(300_000);
+        assert_eq!(stages.buckets.iter().filter(|&&c| c == 1).count(), 3);
     }
 
     #[test]

@@ -114,14 +114,25 @@ impl Cluster {
             CommitRule::Local => 0,
             CommitRule::Quorum(q) => q,
         };
+        let quorum_span = nebula_obs::trace::span("repl.quorum");
         let mut satisfied = false;
+        let mut rounds = 0usize;
         for _ in 0..self.config.pump_rounds.max(1) {
             self.pump(1);
+            rounds += 1;
             if self.primary.acks_at(lsn) >= needed {
                 satisfied = true;
                 break;
             }
         }
+        if quorum_span.is_active() {
+            quorum_span.detail(format!(
+                "need={needed} acks={} rounds={rounds}{}",
+                self.primary.acks_at(lsn),
+                if satisfied { "" } else { " unsatisfied" }
+            ));
+        }
+        drop(quorum_span);
         self.lag_exceeded = !satisfied || self.primary.max_lag() > self.config.lag_budget;
         if self.lag_exceeded {
             nebula_obs::counter_add(counters::LAG_BUDGET_EXCEEDED, 1);

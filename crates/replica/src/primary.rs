@@ -157,6 +157,7 @@ impl Primary {
     /// Fails with [`ReplicaError::Fenced`] once a newer epoch has been
     /// observed: a deposed primary's writes are rejected, not forked.
     pub fn record(&mut self, op: &WalOp, t: &mut dyn Transport) -> Result<u64, ReplicaError> {
+        nebula_obs::trace::note_epoch(self.epoch);
         self.drain(t);
         if let Some(newer) = self.fenced {
             return Err(ReplicaError::Fenced { epoch: self.epoch, newer });
@@ -181,14 +182,18 @@ impl Primary {
                 Frame::Ack { epoch, lsn, digest } => {
                     nebula_obs::counter_add(counters::ACKS, 1);
                     if epoch > self.epoch {
-                        self.fenced = Some(epoch);
+                        self.fence(epoch);
                         continue;
+                    }
+                    let tspan = nebula_obs::trace::span("repl.ack");
+                    if tspan.is_active() {
+                        tspan.detail(format!("peer={from} lsn={lsn}"));
                     }
                     self.on_ack(from, lsn, digest, t);
                 }
                 Frame::Nack { epoch, .. } => {
                     if epoch > self.epoch {
-                        self.fenced = Some(epoch);
+                        self.fence(epoch);
                     } else if let Some(tr) = self.peers.get_mut(&from) {
                         // A same-epoch nack means the peer cannot apply
                         // our segments (e.g. its bootstrap checkpoint was
@@ -198,7 +203,7 @@ impl Primary {
                 }
                 Frame::Fence { epoch, .. } => {
                     if epoch > self.epoch {
-                        self.fenced = Some(epoch);
+                        self.fence(epoch);
                     }
                 }
                 // Bulk payloads are replica-bound; a primary ignores them.
@@ -227,6 +232,11 @@ impl Primary {
                     };
                     self.divergences.push(report);
                     nebula_obs::counter_add(counters::DIVERGENCES, 1);
+                    nebula_obs::trace::flight_event(
+                        "divergence",
+                        format!("replica={from} lsn={lsn} epoch={}", self.epoch),
+                    );
+                    nebula_obs::trace::flight_dump("repl.divergence");
                     let fence = Frame::Fence {
                         epoch: self.epoch,
                         reason: format!("state digest mismatch at lsn {lsn}"),
@@ -248,6 +258,20 @@ impl Primary {
             // otherwise leave `shipped` ahead of the replica forever.
             tr.shipped = tr.acked;
         }
+    }
+
+    /// Depose this primary: a peer proved a newer epoch exists. The first
+    /// observation is a flight-recorder post-mortem trigger; repeats only
+    /// refresh the recorded epoch.
+    fn fence(&mut self, newer: u64) {
+        if self.fenced.is_none() {
+            nebula_obs::trace::flight_event(
+                "fence",
+                format!("epoch {newer} deposed primary at epoch {}", self.epoch),
+            );
+            nebula_obs::trace::flight_dump("repl.fenced");
+        }
+        self.fenced = Some(newer);
     }
 
     /// Ship the next chunk toward peer `id`: a segment from its unacked
@@ -299,8 +323,13 @@ impl Primary {
         }
         let count = (end - start + 1) as u32;
         tr.shipped = end;
+        let tspan = nebula_obs::trace::span("repl.ship");
+        if tspan.is_active() {
+            tspan.detail(format!("peer={id} records={count}"));
+        }
         let frame = Frame::Segment(encode_segment(self.epoch, start, count, &bytes));
         t.send(self.node, id, frame.encode());
+        drop(tspan);
         nebula_obs::counter_add(counters::SEGMENTS_SHIPPED, 1);
         nebula_obs::counter_add(counters::RECORDS_SHIPPED, u64::from(count));
     }

@@ -66,6 +66,7 @@ impl Shell {
     /// `SHOW METRICS` and `EXPLAIN ANNOTATION` have data to report.
     pub fn new(db: Database, store: AnnotationStore, nebula: Nebula) -> Shell {
         nebula_obs::set_enabled(true);
+        nebula_obs::trace::set_enabled(true);
         // One worker by default: the shell is interactive, and `SET
         // WORKERS <n>` raises the pool when a session wants concurrency.
         let ingest = IngestConfig { workers: 1, ..IngestConfig::default() };
@@ -130,6 +131,7 @@ impl Shell {
             "SET" => self.set(&tokens[1..]),
             "SHOW" => self.show(&tokens[1..]),
             "EXPLAIN" => self.explain(&tokens[1..]),
+            "TRACE" => self.trace(&tokens[1..]),
             other => Err(err(format!("unknown command `{other}` — try HELP"))),
         }
     }
@@ -827,8 +829,58 @@ impl Shell {
                     ))
                 }
             },
+            Some("CRITICAL") => {
+                if args.get(1).map(|s| s.to_uppercase()).as_deref() != Some("PATH") {
+                    return Err(err("usage: SHOW CRITICAL PATH"));
+                }
+                let traces = nebula_obs::trace::traces();
+                Ok(nebula_obs::trace::attribution(&traces).render_text().trim_end().to_string())
+            }
+            Some("FLIGHT") => Ok(self.show_flight()),
             _ => Err(err("usage: SHOW METRICS | BUDGET | FAULTS | DURABILITY | HEALTH | \
-                 REPLICATION | REPLICA <id>")),
+                 REPLICATION | REPLICA <id> | CRITICAL PATH | FLIGHT")),
+        }
+    }
+
+    /// `SHOW FLIGHT` — the flight recorder: recent operational events and
+    /// any post-mortem dumps captured by a terminal condition.
+    fn show_flight(&self) -> String {
+        let events = nebula_obs::trace::flight_events();
+        let dumps = nebula_obs::trace::flight_dumps();
+        if events.is_empty() && dumps.is_empty() {
+            return "flight recorder: empty".to_string();
+        }
+        let mut out = vec![format!("flight recorder: {} event(s) retained", events.len())];
+        out.extend(events.iter().map(|e| format!("  #{} {} {}", e.seq, e.kind, e.detail)));
+        if !dumps.is_empty() {
+            out.push(format!("post-mortem dumps: {}", dumps.len()));
+            out.extend(dumps.iter().map(|d| {
+                format!("  trigger {} ({} event(s) captured)", d.trigger, d.events.len())
+            }));
+        }
+        out.join("\n")
+    }
+
+    /// `TRACE ANNOTATION <id>` — the committed annotation's span tree,
+    /// with the critical path marked.
+    fn trace(&self, args: &[String]) -> Result<String, ShellError> {
+        let [kind, id] = args else {
+            return Err(err("usage: TRACE ANNOTATION <id>"));
+        };
+        if kind.to_uppercase() != "ANNOTATION" {
+            return Err(err("usage: TRACE ANNOTATION <id>"));
+        }
+        let id: u64 = id
+            .trim_start_matches(['A', 'a'])
+            .parse()
+            .map_err(|_| err(format!("`{id}` is not an annotation id")))?;
+        match nebula_obs::trace::for_annotation(id) {
+            Some(trace) => Ok(trace.render_tree().trim_end().to_string()),
+            None => Ok(format!(
+                "no trace recorded for annotation A{id} \
+                 (the ring keeps the last {} commits)",
+                nebula_obs::trace::TRACE_CAPACITY
+            )),
         }
     }
 
@@ -899,6 +951,7 @@ const HELP: &str = "commands:
   VERIFY ATTACHMENT <vid>;   REJECT ATTACHMENT <vid>;
   ACG;   PROFILE;
   SHOW METRICS;   EXPLAIN ANNOTATION <id>;
+  TRACE ANNOTATION <id>;   SHOW CRITICAL PATH;   SHOW FLIGHT;
   SET BUDGET DEADLINE <ms> | TUPLES <n> | CONFIGS <n> | CANDIDATES <n> | OFF;
   SET FAULTS <seed> [RATE <r>] | HOSTILE <seed> | OFF;
   SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF;
@@ -1053,6 +1106,34 @@ mod tests {
         assert!(resolved.contains("resolved"));
         assert!(sh.exec(&format!("VERIFY ATTACHMENT {vid}")).is_err(), "double resolve");
         assert_eq!(sh.exec("PENDING").unwrap(), "(no pending verification tasks)");
+    }
+
+    #[test]
+    fn trace_annotation_renders_the_span_tree() {
+        let mut sh = shell();
+        sh.exec("ANNOTATE gene 'JW0011' 'linked with gene JW0012'").unwrap();
+        let id = sh.store.annotation_count() as u64 - 1;
+        let out = sh.exec(&format!("TRACE ANNOTATION A{id}")).unwrap();
+        assert!(out.contains("ingest.item"), "{out}");
+        assert!(out.contains("core.process_annotation"), "{out}");
+        assert!(out.contains("stage0.register"), "{out}");
+        assert!(out.contains("critical path ends at"), "{out}");
+        // Both id forms are accepted; unknown ids degrade gracefully.
+        assert!(sh.exec(&format!("TRACE ANNOTATION {id}")).unwrap().contains("ingest.item"));
+        assert!(sh.exec("TRACE ANNOTATION 999999").unwrap().contains("no trace recorded"));
+        assert!(sh.exec("TRACE NONSENSE 1").is_err());
+    }
+
+    #[test]
+    fn show_critical_path_and_flight_report() {
+        let mut sh = shell();
+        sh.exec("ANNOTATE gene 'JW0012' 'observed near gene JW0013'").unwrap();
+        let cp = sh.exec("SHOW CRITICAL PATH").unwrap();
+        assert!(cp.contains("critical path over"), "{cp}");
+        assert!(sh.exec("SHOW CRITICAL NONSENSE").is_err());
+        let fl = sh.exec("SHOW FLIGHT").unwrap();
+        assert!(fl.contains("flight recorder"), "{fl}");
+        assert!(fl.contains("commit"), "commits land in the flight ring: {fl}");
     }
 
     #[test]

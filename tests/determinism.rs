@@ -405,6 +405,142 @@ fn concurrent_ingest_recovers_to_the_same_bytes_as_sequential() {
     }
 }
 
+/// The fault seed honored by the trace-determinism tests:
+/// `NEBULA_FAULT_SEED` (hex with `0x` prefix or decimal), default
+/// `0xF00D` — the same knob the bench grids and the replication soak
+/// share. CI's tracing matrix pins seeds here.
+fn trace_fault_seed() -> u64 {
+    std::env::var("NEBULA_FAULT_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim().to_string();
+            match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(0xF00D)
+}
+
+/// The tentpole tracing claim: span-tree *structure* — IDs, parent links,
+/// labels, details, the whole causal shape — is a pure function of the
+/// committed work. For a fixed fault seed, a WAL-backed concurrent ingest
+/// renders byte-identical structure-only trace JSON at every worker
+/// count (durations are wall-clock and excluded from that rendering).
+#[test]
+fn trace_structure_is_byte_identical_at_any_worker_count() {
+    let _serial = guard();
+    let seed = trace_fault_seed();
+
+    let run = |workers: usize| -> String {
+        let dir = std::env::temp_dir()
+            .join(format!("nebula-determinism-trace-{}-{workers}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut bundle = generate_dataset(&DatasetSpec::tiny(), 43);
+        let workload = build_workload(&bundle, &WorkloadSpec::default(), 43);
+        let items: Vec<_> = workload
+            .iter()
+            .flat_map(|s| &s.annotations)
+            .filter(|wa| !wa.ideal.is_empty())
+            .take(12)
+            .map(|wa| IngestItem::new(wa.annotation.clone(), vec![wa.ideal[0]]))
+            .collect();
+        let mut nebula = Nebula::new(NebulaConfig::default(), bundle.meta.clone());
+        nebula.bootstrap_acg(&bundle.annotations);
+        let options = DurabilityOptions { checkpoint_every: Some(5), ..Default::default() };
+        let durability = Durability::begin(&dir, &bundle.db, &bundle.annotations, options)
+            .expect("fresh durability directory");
+        nebula.set_mutation_sink(Some(Box::new(durability)));
+
+        nebula::nebula_obs::trace::set_enabled(true);
+        nebula::nebula_obs::trace::reset();
+        nebula::nebula_govern::set_fault_plan(Some(FaultPlan::uniform(seed, 0.2)));
+        let report = ingest_batch(
+            &mut nebula,
+            &bundle.db,
+            &mut bundle.annotations,
+            &items,
+            &IngestConfig::deterministic(workers, items.len()),
+        );
+        nebula::nebula_govern::set_fault_plan(None);
+        let traces = nebula::nebula_obs::trace::traces();
+        nebula::nebula_obs::trace::set_enabled(false);
+        drop(nebula.take_mutation_sink());
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert!(report.sheds.is_empty(), "deterministic config never sheds");
+        assert!(!traces.is_empty(), "committed annotations leave traces");
+        nebula::nebula_obs::trace::render_traces_json(&traces, false)
+    };
+
+    let reference = run(1);
+    // Shape sanity: every layer of the commit path shows up in the trees.
+    for label in ["ingest.item", "ingest.queue_wait", "core.process_annotation", "durable.append"] {
+        assert!(reference.contains(label), "reference traces missing {label}");
+    }
+    for workers in worker_counts().into_iter().filter(|w| *w != 1) {
+        assert_eq!(reference, run(workers), "workers={workers}: trace structure diverged");
+    }
+}
+
+/// Tracing observes the commit path; it must never steer it. The same
+/// WAL-backed concurrent batch with tracing off and on produces a
+/// byte-identical batch report and byte-identical recovered store bytes.
+#[test]
+fn tracing_on_and_off_produce_identical_outcomes() {
+    let _serial = guard();
+    let seed = trace_fault_seed();
+
+    let run = |tracing_on: bool| -> (String, Vec<u8>) {
+        let dir = std::env::temp_dir()
+            .join(format!("nebula-determinism-traceonoff-{}-{tracing_on}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut bundle = generate_dataset(&DatasetSpec::tiny(), 47);
+        let workload = build_workload(&bundle, &WorkloadSpec::default(), 47);
+        let items: Vec<_> = workload
+            .iter()
+            .flat_map(|s| &s.annotations)
+            .filter(|wa| !wa.ideal.is_empty())
+            .take(12)
+            .map(|wa| IngestItem::new(wa.annotation.clone(), vec![wa.ideal[0]]))
+            .collect();
+        let mut nebula = Nebula::new(NebulaConfig::default(), bundle.meta.clone());
+        nebula.bootstrap_acg(&bundle.annotations);
+        let options = DurabilityOptions { checkpoint_every: Some(5), ..Default::default() };
+        let durability = Durability::begin(&dir, &bundle.db, &bundle.annotations, options)
+            .expect("fresh durability directory");
+        nebula.set_mutation_sink(Some(Box::new(durability)));
+
+        nebula::nebula_obs::trace::set_enabled(tracing_on);
+        nebula::nebula_obs::trace::reset();
+        nebula::nebula_govern::set_fault_plan(Some(FaultPlan::uniform(seed, 0.2)));
+        let report = ingest_batch(
+            &mut nebula,
+            &bundle.db,
+            &mut bundle.annotations,
+            &items,
+            &IngestConfig::deterministic(2, items.len()),
+        );
+        nebula::nebula_govern::set_fault_plan(None);
+        nebula::nebula_obs::trace::set_enabled(false);
+        drop(nebula.take_mutation_sink());
+
+        let (resumed, recovered) = Durability::resume(&dir, DurabilityOptions::default())
+            .expect("recovery from a cleanly closed log");
+        drop(resumed);
+        let _ = std::fs::remove_dir_all(&dir);
+        (
+            format!("{:?}", report.batch),
+            nebula::annostore::snapshot::save(&recovered.store).to_vec(),
+        )
+    };
+
+    let (off_report, off_bytes) = run(false);
+    let (on_report, on_bytes) = run(true);
+    assert_eq!(off_report, on_report, "tracing must not change what the batch produces");
+    assert_eq!(off_bytes, on_bytes, "tracing must not change the recovered store bytes");
+}
+
 #[test]
 fn dataset_generation_is_pure() {
     let _serial = guard();

@@ -234,6 +234,15 @@ fn every_written_metric_is_listed_in_the_registry() {
     handle.lock().promote(1).expect("promotion");
     let _ = std::fs::remove_dir_all(&rdir);
 
+    // Tracing: commit one traced annotation and fire a flight event and
+    // post-mortem dump, so the trace.* counters and gauges are written.
+    nebula_obs::trace::set_enabled(true);
+    nebula_obs::trace::reset();
+    st.process_one(2);
+    nebula_obs::trace::flight_event("health", "healthy -> degraded".to_string());
+    nebula_obs::trace::flight_dump("ingest.wedged");
+    nebula_obs::trace::set_enabled(false);
+
     let snap = nebula_obs::snapshot();
     nebula_obs::set_enabled(false);
 
@@ -255,4 +264,11 @@ fn every_written_metric_is_listed_in_the_registry() {
     assert!(snap.counters.contains_key("repl.acks"), "{:?}", snap.counters);
     assert!(snap.counters.contains_key("repl.promotions"), "{:?}", snap.counters);
     assert!(snap.gauges.contains_key("repl.max_lag"), "{:?}", snap.gauges);
+    // And the PR-6 tracing names, via the traced commit and the flight
+    // recorder.
+    assert!(snap.counters.contains_key("trace.spans"), "{:?}", snap.counters);
+    assert!(snap.counters.contains_key("trace.traces"), "{:?}", snap.counters);
+    assert!(snap.counters.contains_key("trace.flight_events"), "{:?}", snap.counters);
+    assert!(snap.counters.contains_key("trace.flight_dumps"), "{:?}", snap.counters);
+    assert!(snap.gauges.contains_key("trace.ring_occupancy"), "{:?}", snap.gauges);
 }
