@@ -14,6 +14,7 @@
 //!   durability               WAL append overhead + recovery vs log length
 //!   overload                 concurrent ingest under arrival pressure
 //!   replication              WAL shipping under transport faults
+//!   repair                   reconvergence cost vs divergence depth
 //!   tracing                  trace overhead + critical-path attribution
 //!   ablation-acg ablation-querygen ablation-stability
 //!   all                      everything above
@@ -31,7 +32,7 @@
 
 use nebula_bench::{
     ablation, degradation, durability, fig11, fig12, fig13, fig14, fig15, overload, pipeline,
-    profile, replication, tracing, Scale, Setup,
+    profile, repair, replication, tracing, Scale, Setup,
 };
 
 fn main() {
@@ -77,6 +78,7 @@ fn main() {
             "durability",
             "overload",
             "replication",
+            "repair",
             "tracing",
             "ablation-acg",
             "ablation-learn",
@@ -87,7 +89,7 @@ fn main() {
         println!(
             "experiments: fig11a fig11b fig11c fig12a fig12b fig13 fig14a fig14b \
              fig15a fig15b naive-assess profile pipeline degradation durability \
-             overload replication tracing ablation-acg ablation-learn \
+             overload replication repair tracing ablation-acg ablation-learn \
              ablation-querygen ablation-stability all"
         );
         return;
@@ -236,6 +238,9 @@ fn main() {
                 eprintln!("[reproduce] generating D_small ...");
                 let setup = Setup::small(scale);
                 replication::table(&replication::run(&setup, if fast { 30 } else { 80 })).print();
+            }
+            "repair" => {
+                repair::table(&repair::run(if fast { 48 } else { 160 })).print();
             }
             "tracing" => {
                 eprintln!("[reproduce] generating D_small ...");

@@ -20,6 +20,7 @@ pub mod fig15;
 pub mod overload;
 pub mod pipeline;
 pub mod profile;
+pub mod repair;
 pub mod replication;
 pub mod setup;
 pub mod table;

@@ -187,4 +187,11 @@ pub trait MutationSink: fmt::Debug + Send {
     fn replication(&self) -> Option<ReplicationStatus> {
         None
     }
+
+    /// Is the sink currently able to accept writes? A wedged durability
+    /// layer answers `false`; recovery probes consult this before lifting
+    /// a Wedged health state. The default sink is always writable.
+    fn healthy(&self) -> bool {
+        true
+    }
 }

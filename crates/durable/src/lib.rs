@@ -36,12 +36,14 @@ pub mod crc32c;
 pub mod harness;
 pub mod manager;
 pub mod recover;
+pub mod scrub;
 pub mod segment;
 pub mod wal;
 
 pub use harness::{crash_points, state_digest, CrashPointReport};
 pub use manager::{Durability, DurabilityOptions, SyncPolicy};
 pub use recover::{recover, recover_from_bytes, replay_op, Recovered};
+pub use scrub::{inject_rot, scrub, RotReport, ScrubReport};
 pub use segment::{CheckpointFrame, Segment};
 pub use wal::{TailReport, WalOp, WalRecord};
 

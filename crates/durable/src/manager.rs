@@ -345,6 +345,10 @@ impl MutationSink for Durability {
         self.sync().map_err(|e| SinkError(e.to_string()))
     }
 
+    fn healthy(&self) -> bool {
+        !self.is_wedged()
+    }
+
     fn describe(&self) -> String {
         let policy = match self.options.sync {
             SyncPolicy::EveryRecord => "every-record",

@@ -28,6 +28,12 @@ pub enum FaultSite {
     FsyncFail,
     /// One bit of a checkpoint image flips before it reaches disk.
     BitFlip,
+    /// One bit of the at-rest WAL file flips on disk (silent media rot,
+    /// found by the anti-entropy scrubber rather than at recovery).
+    WalRot,
+    /// One bit of the at-rest checkpoint file flips on disk (silent media
+    /// rot, found by the anti-entropy scrubber rather than at recovery).
+    CheckpointRot,
     /// A replication transport frame vanishes in flight.
     NetDrop,
     /// A replication transport frame is held back before delivery.
@@ -49,6 +55,8 @@ impl fmt::Display for FaultSite {
             FaultSite::ShortWrite => "short-write",
             FaultSite::FsyncFail => "fsync-fail",
             FaultSite::BitFlip => "bit-flip",
+            FaultSite::WalRot => "wal-rot",
+            FaultSite::CheckpointRot => "checkpoint-rot",
             FaultSite::NetDrop => "net-drop",
             FaultSite::NetDelay => "net-delay",
             FaultSite::NetReorder => "net-reorder",
@@ -104,6 +112,10 @@ pub struct IoFaultSpec {
     pub fsync_fail: f64,
     /// Checkpoint bit-flip rate ([`FaultSite::BitFlip`]).
     pub bit_flip: f64,
+    /// At-rest WAL bit-rot rate ([`FaultSite::WalRot`]).
+    pub wal_rot: f64,
+    /// At-rest checkpoint bit-rot rate ([`FaultSite::CheckpointRot`]).
+    pub checkpoint_rot: f64,
 }
 
 /// Firing rates for the seeded replication-transport fault sites. All
@@ -274,6 +286,14 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: set the at-rest bit-rot rate for both storage artifacts
+    /// (the WAL file and the checkpoint file).
+    pub fn with_bit_rot(mut self, wal: f64, checkpoint: f64) -> FaultPlan {
+        self.io.wal_rot = wal;
+        self.io.checkpoint_rot = checkpoint;
+        self
+    }
+
     /// Builder: set all four replication-transport fault rates at once.
     pub fn with_net(mut self, drop: f64, delay: f64, reorder: f64, duplicate: f64) -> FaultPlan {
         self.net = NetFaultSpec { drop, delay, reorder, duplicate };
@@ -313,7 +333,7 @@ impl FaultPlan {
     pub fn describe(&self) -> String {
         format!(
             "seed={} query={:.2}{} index-probe={:.2} latency={:.2}@{}us panic={:.2} \
-             io[torn={:.2} short={:.2} fsync={:.2} flip={:.2}] \
+             io[torn={:.2} short={:.2} fsync={:.2} flip={:.2} rot={:.2}/{:.2}] \
              net[drop={:.2} delay={:.2} reorder={:.2} dup={:.2}]",
             self.seed,
             self.query.rate,
@@ -326,6 +346,8 @@ impl FaultPlan {
             self.io.short_write,
             self.io.fsync_fail,
             self.io.bit_flip,
+            self.io.wal_rot,
+            self.io.checkpoint_rot,
             self.net.drop,
             self.net.delay,
             self.net.reorder,
@@ -377,6 +399,10 @@ pub struct FaultStats {
     pub fsync_failures: u64,
     /// Checkpoint bit flips injected.
     pub bit_flips: u64,
+    /// At-rest WAL bit-rot flips injected.
+    pub wal_rots: u64,
+    /// At-rest checkpoint bit-rot flips injected.
+    pub checkpoint_rots: u64,
     /// Faults absorbed without surfacing an error (e.g. scan fallback).
     pub recovered: u64,
     /// Retry attempts made against transient faults.
@@ -394,6 +420,8 @@ impl FaultStats {
             + self.short_writes
             + self.fsync_failures
             + self.bit_flips
+            + self.wal_rots
+            + self.checkpoint_rots
     }
 }
 

@@ -340,6 +340,8 @@ pub fn inject(site: FaultSite) -> Option<InjectedFault> {
             | FaultSite::ShortWrite
             | FaultSite::FsyncFail
             | FaultSite::BitFlip
+            | FaultSite::WalRot
+            | FaultSite::CheckpointRot
             | FaultSite::NetDrop
             | FaultSite::NetDelay
             | FaultSite::NetReorder
@@ -377,6 +379,8 @@ pub fn inject_io(site: FaultSite, len: usize) -> Option<IoFault> {
             FaultSite::ShortWrite => plan.io.short_write,
             FaultSite::FsyncFail => plan.io.fsync_fail,
             FaultSite::BitFlip => plan.io.bit_flip,
+            FaultSite::WalRot => plan.io.wal_rot,
+            FaultSite::CheckpointRot => plan.io.checkpoint_rot,
             _ => 0.0,
         };
         let hit = plan.roll(rate);
@@ -388,7 +392,9 @@ pub fn inject_io(site: FaultSite, len: usize) -> Option<IoFault> {
             FaultSite::TornWrite => IoFault::TornWrite { keep: value % len.max(1) },
             FaultSite::ShortWrite => IoFault::ShortWrite { keep: value % len.max(1) },
             FaultSite::FsyncFail => IoFault::FsyncFail,
-            FaultSite::BitFlip => IoFault::BitFlip { bit: value % (len.max(1) * 8) },
+            FaultSite::BitFlip | FaultSite::WalRot | FaultSite::CheckpointRot => {
+                IoFault::BitFlip { bit: value % (len.max(1) * 8) }
+            }
             _ => return None,
         };
         match site {
@@ -396,6 +402,8 @@ pub fn inject_io(site: FaultSite, len: usize) -> Option<IoFault> {
             FaultSite::ShortWrite => g.fault_stats.short_writes += 1,
             FaultSite::FsyncFail => g.fault_stats.fsync_failures += 1,
             FaultSite::BitFlip => g.fault_stats.bit_flips += 1,
+            FaultSite::WalRot => g.fault_stats.wal_rots += 1,
+            FaultSite::CheckpointRot => g.fault_stats.checkpoint_rots += 1,
             _ => {}
         }
         Some(fault)

@@ -11,8 +11,11 @@
 //! - **Shedding** — work in the window was shed (queue-full, deadline,
 //!   or open breaker); the engine is protecting itself by refusing load.
 //! - **Wedged** — the durability layer has hard-failed repeatedly; the
-//!   engine refuses all further work. Wedged is sticky: only a new batch
-//!   (a fresh machine) leaves it.
+//!   engine refuses all further work. Wedged is sticky against the
+//!   window: no amount of clean observations leaves it. The only exit is
+//!   the explicit, guarded [`HealthMachine::try_recover`] — taken when a
+//!   recovery probe has proven the WAL breaker's failure domain healed,
+//!   or by the operator's `RECOVER INGEST`.
 //!
 //! Because the window is fed in commit order, the health history is as
 //! deterministic as everything else in the pool.
@@ -134,6 +137,26 @@ impl HealthMachine {
         self.state
     }
 
+    /// The guarded Wedged → Degraded exit. Callers must first prove the
+    /// WAL's failure domain healed (the breaker left Open and the sink
+    /// reports healthy, or an operator forced a successful checkpoint);
+    /// this method only performs the transition. The accumulated WAL-trip
+    /// count is forgiven so the next trip escalates afresh, and the
+    /// machine re-enters at Degraded — never straight to Healthy — so the
+    /// window must prove itself clean again. Returns whether a recovery
+    /// actually happened (`false` when not Wedged).
+    pub fn try_recover(&mut self) -> bool {
+        if self.state != HealthState::Wedged {
+            return false;
+        }
+        self.wal_trips = 0;
+        self.state = HealthState::Degraded;
+        nebula_obs::counter_add(crate::counters::RECOVERED, 1);
+        nebula_obs::trace::flight_event("health", "wedged -> degraded (recovered)".to_string());
+        nebula_obs::gauge_set(crate::counters::HEALTH_GAUGE, self.state.as_gauge());
+        true
+    }
+
     fn recompute(&mut self) -> HealthState {
         let before = self.state;
         self.state =
@@ -215,6 +238,27 @@ mod tests {
             m.observe(HealthSignal::Clean);
         }
         assert_eq!(m.state(), HealthState::Wedged, "no recovery within a batch");
+    }
+
+    #[test]
+    fn try_recover_is_the_only_exit_and_lands_on_degraded() {
+        let mut m = HealthMachine::new(4, 2);
+        assert!(!m.try_recover(), "not wedged: nothing to recover");
+        m.note_wal_trip();
+        m.note_wal_trip();
+        assert_eq!(m.state(), HealthState::Wedged);
+        assert!(m.try_recover());
+        assert_eq!(m.state(), HealthState::Degraded, "recovery re-enters at Degraded");
+        // The trip count was forgiven: it takes the full threshold to
+        // wedge again (one trip is survivable, as on a fresh machine).
+        assert_eq!(m.note_wal_trip(), HealthState::Healthy);
+        assert_eq!(m.note_wal_trip(), HealthState::Wedged);
+        // And the machine recovers a second time just the same.
+        assert!(m.try_recover());
+        for _ in 0..4 {
+            m.observe(HealthSignal::Clean);
+        }
+        assert_eq!(m.state(), HealthState::Healthy);
     }
 
     #[test]

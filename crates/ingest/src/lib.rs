@@ -57,6 +57,8 @@ pub mod counters {
     pub const SHED_CIRCUIT_OPEN: &str = "ingest.shed_circuit_open";
     /// Sheds because the engine was wedged.
     pub const SHED_WEDGED: &str = "ingest.shed_wedged";
+    /// Guarded Wedged → Degraded recoveries (probe or operator).
+    pub const RECOVERED: &str = "ingest.recovered";
     /// Breaker transitions into Open.
     pub const BREAKER_OPENED: &str = "ingest.breaker_opened";
     /// Breaker transitions into HalfOpen.

@@ -347,15 +347,27 @@ fn dispatch(
         nebula_obs::trace::wait("ingest.turn_wait", String::new(), turn_wait_ns);
     }
     if state.health.state() == HealthState::Wedged {
-        record_shed(
-            state,
-            ShedRecord {
-                index: queued.index,
-                priority: queued.priority,
-                reason: ShedReason::Wedged,
-            },
-        );
-        return;
+        // Recovery probe: if the WAL breaker has left Open (its cooldown
+        // elapsed) and the sink itself reports writable again — e.g. an
+        // operator checkpoint or the cluster's scrub rebuilt the log — the
+        // wedge is provably stale. Lift it to Degraded and let this item
+        // run; otherwise shed as before.
+        let wal_calm = state.wal_breaker.state() != BreakerState::Open;
+        let sink_ok = {
+            let EngineState { nebula, .. } = state;
+            nebula.mutation_sink_mut().is_none_or(|sink| sink.healthy())
+        };
+        if !(wal_calm && sink_ok && state.health.try_recover()) {
+            record_shed(
+                state,
+                ShedRecord {
+                    index: queued.index,
+                    priority: queued.priority,
+                    reason: ShedReason::Wedged,
+                },
+            );
+            return;
+        }
     }
     if queued.deadline.is_some_and(|d| Instant::now() >= d) {
         record_shed(

@@ -105,6 +105,7 @@ pub mod registry {
         "ingest.breaker_half_open",
         "ingest.breaker_opened",
         "ingest.completed",
+        "ingest.recovered",
         "ingest.shed",
         "ingest.shed_circuit_open",
         "ingest.shed_deadline",
@@ -113,6 +114,13 @@ pub mod registry {
         "relstore.index_probes",
         "relstore.queries_executed",
         "relstore.tuples_scanned",
+        "repair.bitrot_detected",
+        "repair.bitrot_injected",
+        "repair.ladder_probes",
+        "repair.records_resynced",
+        "repair.rejoins",
+        "repair.repairs",
+        "repair.scrubs",
         "repl.acks",
         "repl.catchup_checkpoints",
         "repl.divergences",
@@ -142,6 +150,8 @@ pub mod registry {
         "ingest.health",
         "ingest.queue_depth_peak",
         "ingest.workers",
+        "repair.last_scrub_lsn",
+        "repair.pending",
         "repl.epoch",
         "repl.max_lag",
         "repl.replicas",
@@ -155,6 +165,7 @@ pub mod registry {
         "durable.checkpoint",
         "durable.recover",
         "ingest.item",
+        "repair.scrub",
         "stage0.register",
         "stage1.querygen",
         "stage2.execute",
@@ -188,6 +199,10 @@ pub mod registry {
             assert!(is_known("ingest.health"));
             assert!(is_known("repl.divergences"));
             assert!(is_known("repl.max_lag"));
+            assert!(is_known("ingest.recovered"));
+            assert!(is_known("repair.scrubs"));
+            assert!(is_known("repair.last_scrub_lsn"));
+            assert!(is_known("repair.scrub"));
             assert!(is_known("stage2.execute"));
             assert!(is_known("trace.spans"));
             assert!(is_known("trace.flight_dumps"));

@@ -24,14 +24,16 @@
 use annostore::AnnotationStore;
 use nebula_core::{CommitRule, Mutation, MutationSink, ReplicationStatus, SinkError};
 use nebula_durable::wal::WalOp;
-use nebula_durable::{Durability, DurabilityOptions};
+use nebula_durable::{Durability, DurabilityOptions, ScrubReport};
 use relstore::Database;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use crate::counters;
 use crate::frame::Frame;
 use crate::primary::Primary;
+use crate::repair;
 use crate::replica::Replica;
 use crate::transport::Transport;
 use crate::ReplicaError;
@@ -49,6 +51,11 @@ pub struct ClusterConfig {
     pub pump_rounds: usize,
     /// Options for the primary's local WAL.
     pub options: DurabilityOptions,
+    /// Governed-clock cadence for automatic anti-entropy scrubs (and
+    /// repair of whatever they find). `None` leaves scrubbing to the
+    /// operator's `SCRUB`. Measured against the virtual clock when one is
+    /// installed, wall time otherwise.
+    pub scrub_interval: Option<Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -58,8 +65,93 @@ impl Default for ClusterConfig {
             lag_budget: 64,
             pump_rounds: 8,
             options: DurabilityOptions::default(),
+            scrub_interval: None,
         }
     }
+}
+
+/// The cluster-level findings of one anti-entropy scrub pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScrubSummary {
+    /// The primary LSN the scrub ran at.
+    pub at_lsn: u64,
+    /// On-disk WAL/checkpoint CRC findings for the primary's directory.
+    pub media: ScrubReport,
+    /// Was found media rot healed by re-checkpointing from the shadow?
+    pub media_healed: bool,
+    /// Replicas whose digest ladder disagreed with the primary's.
+    pub diverged: Vec<usize>,
+    /// Replicas already wedged (fenced) when the scrub ran.
+    pub wedged: Vec<usize>,
+    /// Ladder range-digest probes spent across all replicas.
+    pub probes: u64,
+}
+
+impl ScrubSummary {
+    /// Nothing wrong anywhere?
+    pub fn is_clean(&self) -> bool {
+        self.media.is_clean() && self.diverged.is_empty() && self.wedged.is_empty()
+    }
+}
+
+/// One completed replica repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// The repaired replica's node id.
+    pub replica: usize,
+    /// The last LSN the ladder proved both sides agreed on.
+    pub agreed: u64,
+    /// Diverged suffix LSNs the replica discarded (divergence depth).
+    pub rewound: u64,
+    /// Ladder range-digest probes spent locating the agreed LSN.
+    pub probes: u64,
+    /// LSNs re-applied to bring the replica back to the primary's tip.
+    pub resynced: u64,
+    /// Transport pump rounds the resync took.
+    pub rounds: usize,
+    /// Did the replica reconverge to the primary's digest?
+    pub converged: bool,
+}
+
+/// One deposed primary demoted and re-admitted as a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinOutcome {
+    /// The rejoining node's id.
+    pub node: usize,
+    /// The epoch it rejoined into.
+    pub epoch: u64,
+    /// The last LSN the ladder proved both epochs agreed on — the rewind
+    /// point.
+    pub agreed: u64,
+    /// Un-acked suffix LSNs from its deposed epoch, rewound and accounted
+    /// exactly once (these writes were fenced, never committed).
+    pub rewound: u64,
+    /// Ladder probes spent locating the rewind point.
+    pub probes: u64,
+    /// Did the rejoined replica reconverge to the new primary's digest?
+    pub converged: bool,
+}
+
+/// Aggregate repair posture for `SHOW REPAIR`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RepairStatus {
+    /// Scrub passes run (manual + cadence).
+    pub scrubs: u64,
+    /// Primary LSN of the most recent scrub.
+    pub last_scrub_lsn: Option<u64>,
+    /// Replicas currently needing repair (wedged or ladder-diverged).
+    pub pending: Vec<usize>,
+    /// Replica repairs completed.
+    pub repairs: u64,
+    /// Deposed-primary rejoins completed.
+    pub rejoins: u64,
+    /// Total diverged/un-acked suffix LSNs discarded across repairs and
+    /// rejoins.
+    pub total_rewound: u64,
+    /// Deepest single divergence repaired.
+    pub max_divergence: u64,
+    /// Ladder range-digest probes spent in total.
+    pub ladder_probes: u64,
 }
 
 /// A full replication topology, pumped deterministically in-process.
@@ -72,6 +164,16 @@ pub struct Cluster {
     config: ClusterConfig,
     base_dir: PathBuf,
     lag_exceeded: bool,
+    /// Repair bookkeeping: completed repairs/rejoins and the most recent
+    /// scrub, surfaced through [`Cluster::repair_status`].
+    repairs: Vec<RepairOutcome>,
+    rejoins: Vec<RejoinOutcome>,
+    last_scrub: Option<ScrubSummary>,
+    scrubs: u64,
+    /// Wall-clock base for the scrub cadence when no virtual clock is
+    /// installed.
+    scrub_base: Instant,
+    last_scrub_ns: u64,
 }
 
 impl Cluster {
@@ -97,6 +199,12 @@ impl Cluster {
             config,
             base_dir: base_dir.to_path_buf(),
             lag_exceeded: false,
+            repairs: Vec::new(),
+            rejoins: Vec::new(),
+            last_scrub: None,
+            scrubs: 0,
+            scrub_base: Instant::now(),
+            last_scrub_ns: 0,
         };
         for id in 1..=replica_count {
             cluster.primary.attach(id, &mut *cluster.transport);
@@ -138,7 +246,262 @@ impl Cluster {
             nebula_obs::counter_add(counters::LAG_BUDGET_EXCEEDED, 1);
         }
         nebula_obs::gauge_set(counters::MAX_LAG, self.primary.max_lag());
+        self.maybe_scrub();
         Ok(lsn)
+    }
+
+    /// Nanoseconds on the governed clock: the virtual clock when one is
+    /// installed (deterministic tests), wall time otherwise.
+    fn clock_ns(&self) -> u64 {
+        if nebula_govern::clock::is_virtual() {
+            nebula_govern::clock::virtual_ns()
+        } else {
+            self.scrub_base.elapsed().as_nanos() as u64
+        }
+    }
+
+    /// Run the scrub cadence: when `scrub_interval` has elapsed on the
+    /// governed clock, scrub and repair whatever the scrub found.
+    fn maybe_scrub(&mut self) {
+        let Some(interval) = self.config.scrub_interval else { return };
+        let now = self.clock_ns();
+        if now.saturating_sub(self.last_scrub_ns) < interval.as_nanos() as u64 {
+            return;
+        }
+        self.last_scrub_ns = now;
+        let summary = self.scrub();
+        for id in summary.wedged.iter().chain(summary.diverged.iter()) {
+            let _ = self.repair_replica(*id);
+        }
+    }
+
+    /// One anti-entropy scrub pass: CRC-verify the primary's on-disk WAL
+    /// and checkpoint (healing found rot by re-checkpointing from the
+    /// shadow), then ladder-compare every live replica's digest chain
+    /// against the primary's. Detection only for replicas — call
+    /// [`Cluster::repair_replica`] (or let the cadence do it) to heal.
+    pub fn scrub(&mut self) -> ScrubSummary {
+        let at_lsn = self.primary.last_lsn();
+        let dir = self.primary.wal().dir().to_path_buf();
+        let media = nebula_durable::scrub(&dir).unwrap_or_else(|e| ScrubReport {
+            wal_reason: Some(format!("scrub i/o failure: {e}")),
+            wal_dropped: 1,
+            ..ScrubReport::default()
+        });
+        let mut media_healed = false;
+        if !media.is_clean() {
+            media_healed = self.primary.checkpoint_from_shadow().is_ok();
+            nebula_obs::trace::flight_event(
+                "scrub",
+                format!("media rot at lsn {at_lsn}: {media}; healed={media_healed}"),
+            );
+        }
+        let mut diverged = Vec::new();
+        let mut wedged = Vec::new();
+        let mut probes = 0u64;
+        for r in &self.replicas {
+            if r.is_wedged() {
+                wedged.push(r.id());
+                continue;
+            }
+            let out = repair::last_agreed(self.primary.digests(), r.digests(), at_lsn);
+            probes += out.probes;
+            if out.diverged {
+                diverged.push(r.id());
+                nebula_obs::trace::flight_event(
+                    "scrub",
+                    format!(
+                        "ladder divergence: replica {} agrees only to lsn {}",
+                        r.id(),
+                        out.agreed
+                    ),
+                );
+            }
+        }
+        nebula_obs::counter_add(counters::LADDER_PROBES, probes);
+        nebula_obs::gauge_set(counters::LAST_SCRUB_LSN, at_lsn);
+        let summary = ScrubSummary { at_lsn, media, media_healed, diverged, wedged, probes };
+        nebula_obs::gauge_set(
+            counters::PENDING_REPAIRS,
+            (summary.diverged.len() + summary.wedged.len()) as u64,
+        );
+        self.scrubs += 1;
+        self.last_scrub = Some(summary.clone());
+        summary
+    }
+
+    /// Repair a diverged or fenced replica: binary-search the range-digest
+    /// ladder to the last agreed LSN, truncate the replica's suffix past
+    /// it, unfence both sides, and resync through the normal checkpoint
+    /// catch-up path until the replica matches the primary's digest again.
+    pub fn repair_replica(&mut self, id: usize) -> Result<RepairOutcome, ReplicaError> {
+        let idx = self
+            .replicas
+            .iter()
+            .position(|r| r.id() == id)
+            .ok_or(ReplicaError::UnknownReplica(id))?;
+        let target = self.primary.last_lsn();
+        let ladder =
+            repair::last_agreed(self.primary.digests(), self.replicas[idx].digests(), target);
+        let rewound = self.replicas[idx].prepare_resync(ladder.agreed);
+        self.primary.unwedge_peer(id);
+        nebula_obs::trace::flight_event(
+            "repair",
+            format!(
+                "replica {id}: agreed lsn {} rewound {rewound} probes {}",
+                ladder.agreed, ladder.probes
+            ),
+        );
+        let expected = self.primary.shadow_digest();
+        let mut rounds = 0usize;
+        let mut converged = false;
+        for _ in 0..self.config.pump_rounds.max(4) * 8 {
+            self.pump(1);
+            rounds += 1;
+            let r = &self.replicas[idx];
+            if !r.is_wedged() && r.applied() >= target && r.digest() == expected {
+                converged = true;
+                break;
+            }
+        }
+        let resynced = target.saturating_sub(ladder.agreed);
+        let outcome = RepairOutcome {
+            replica: id,
+            agreed: ladder.agreed,
+            rewound,
+            probes: ladder.probes,
+            resynced: if converged { resynced } else { 0 },
+            rounds,
+            converged,
+        };
+        nebula_obs::counter_add(counters::REPAIRS, 1);
+        nebula_obs::counter_add(counters::LADDER_PROBES, ladder.probes);
+        if converged {
+            nebula_obs::counter_add(counters::RECORDS_RESYNCED, resynced);
+        }
+        nebula_obs::trace::flight_event(
+            "repair",
+            format!("replica {id}: converged={converged} after {rounds} round(s)"),
+        );
+        self.repairs.push(outcome);
+        Ok(outcome)
+    }
+
+    /// Re-admit a deposed primary as a replica of the current epoch: its
+    /// un-acked suffix (writes that were fenced, never committed) is
+    /// rewound and accounted exactly once, its durability handle for the
+    /// old epoch is retired, and a fresh replica at the same node id
+    /// bootstraps from the new primary's checkpoint — the prefix both
+    /// epochs agreed on is never forked.
+    pub fn rejoin(&mut self, node: usize) -> Result<RejoinOutcome, ReplicaError> {
+        let idx = self
+            .deposed
+            .iter()
+            .position(|d| d.node() == node)
+            .ok_or(ReplicaError::UnknownReplica(node))?;
+        let old = self.deposed.remove(idx);
+        let hi = old.last_lsn().min(self.primary.last_lsn());
+        let ladder = repair::last_agreed(self.primary.digests(), old.digests(), hi);
+        // With no comparable entries (both sides pruned past each other)
+        // the checkpoint watermark the new primary took over at is the
+        // best provable agreement point.
+        let agreed = if ladder.compared == 0 {
+            self.primary.ckpt_watermark().min(old.last_lsn())
+        } else {
+            ladder.agreed
+        };
+        let rewound = old.last_lsn().saturating_sub(agreed);
+        let epoch = self.primary.epoch();
+        drop(old);
+        nebula_obs::trace::flight_event(
+            "rejoin",
+            format!("node {node} demoted into epoch {epoch}: rewound {rewound} un-acked lsn(s)"),
+        );
+        self.replicas.push(Replica::new(node));
+        self.replicas.sort_by_key(Replica::id);
+        self.primary.attach(node, &mut *self.transport);
+        let expected = self.primary.shadow_digest();
+        let target = self.primary.last_lsn();
+        let mut converged = false;
+        for _ in 0..self.config.pump_rounds.max(4) * 8 {
+            self.pump(1);
+            let Some(r) = self.replicas.iter().find(|r| r.id() == node) else { break };
+            if !r.is_wedged() && r.applied() >= target && r.digest() == expected {
+                converged = true;
+                break;
+            }
+        }
+        let outcome =
+            RejoinOutcome { node, epoch, agreed, rewound, probes: ladder.probes, converged };
+        nebula_obs::counter_add(counters::REJOINS, 1);
+        nebula_obs::counter_add(counters::LADDER_PROBES, ladder.probes);
+        nebula_obs::trace::flight_event(
+            "rejoin",
+            format!("node {node}: converged={converged} at epoch {epoch}"),
+        );
+        self.rejoins.push(outcome);
+        Ok(outcome)
+    }
+
+    /// Replicas currently needing repair: wedged now, or flagged as
+    /// diverged by the most recent scrub.
+    pub fn pending_repairs(&self) -> Vec<usize> {
+        let mut pending: Vec<usize> =
+            self.replicas.iter().filter(|r| r.is_wedged()).map(Replica::id).collect();
+        if let Some(s) = &self.last_scrub {
+            for id in &s.diverged {
+                if !pending.contains(id) && self.replica(*id).is_some() {
+                    pending.push(*id);
+                }
+            }
+        }
+        pending.sort_unstable();
+        pending
+    }
+
+    /// Aggregate repair posture for `SHOW REPAIR`.
+    pub fn repair_status(&self) -> RepairStatus {
+        let total_rewound = self.repairs.iter().map(|r| r.rewound).sum::<u64>()
+            + self.rejoins.iter().map(|r| r.rewound).sum::<u64>();
+        RepairStatus {
+            scrubs: self.scrubs,
+            last_scrub_lsn: self.last_scrub.as_ref().map(|s| s.at_lsn),
+            pending: self.pending_repairs(),
+            repairs: self.repairs.len() as u64,
+            rejoins: self.rejoins.len() as u64,
+            total_rewound,
+            max_divergence: self
+                .repairs
+                .iter()
+                .map(|r| r.rewound)
+                .chain(self.rejoins.iter().map(|r| r.rewound))
+                .max()
+                .unwrap_or(0),
+            ladder_probes: self.repairs.iter().map(|r| r.probes).sum::<u64>()
+                + self.rejoins.iter().map(|r| r.probes).sum::<u64>()
+                + self.last_scrub.as_ref().map_or(0, |s| s.probes),
+        }
+    }
+
+    /// The most recent scrub's findings, if any scrub has run.
+    pub fn last_scrub(&self) -> Option<&ScrubSummary> {
+        self.last_scrub.as_ref()
+    }
+
+    /// Node ids of deposed primaries eligible for `REJOIN`.
+    pub fn deposed_nodes(&self) -> Vec<usize> {
+        self.deposed.iter().map(Primary::node).collect()
+    }
+
+    /// Chaos hook: deterministically corrupt replica `id`'s in-memory
+    /// state (see [`Replica::chaos_corrupt`]) so divergence detection and
+    /// repair can be exercised end to end.
+    pub fn chaos_corrupt_replica(&mut self, id: usize) -> Result<(), ReplicaError> {
+        self.replicas
+            .iter_mut()
+            .find(|r| r.id() == id)
+            .map(Replica::chaos_corrupt)
+            .ok_or(ReplicaError::UnknownReplica(id))
     }
 
     /// Record through a **deposed** primary (post-failover), pumping so
@@ -386,6 +749,10 @@ impl MutationSink for ClusterSink {
         self.lock().config().rule
     }
 
+    fn healthy(&self) -> bool {
+        !self.lock().primary().wal().is_wedged()
+    }
+
     fn replication(&self) -> Option<ReplicationStatus> {
         Some(self.lock().status())
     }
@@ -497,6 +864,114 @@ mod tests {
             assert_eq!(r.applied(), 6);
             assert_eq!(r.digest(), expected);
         }
+    }
+
+    #[test]
+    fn corrupted_replica_is_fenced_then_repaired_to_byte_identity() {
+        let mut c = fresh("repair", 2, Box::new(SimTransport::reliable(3)), CommitRule::Quorum(2));
+        for i in 0..12 {
+            c.record(&op(i)).unwrap();
+        }
+        // Poison replica 1 and write once more: its ack now carries the
+        // wrong digest, divergence detection fences it.
+        c.chaos_corrupt_replica(1).unwrap();
+        c.record(&op(12)).unwrap();
+        c.pump(4);
+        assert_eq!(c.primary().wedged_count(), 1);
+        assert!(c.replica(1).unwrap().is_wedged());
+        let scrub = c.scrub();
+        assert_eq!(scrub.wedged, vec![1]);
+        assert_eq!(c.pending_repairs(), vec![1]);
+        // Repair: ladder to the agreed LSN, truncate, resync.
+        let outcome = c.repair_replica(1).unwrap();
+        assert!(outcome.converged, "{outcome:?}");
+        assert!(outcome.rewound >= 1, "the poisoned suffix must be discarded");
+        assert_eq!(c.primary().wedged_count(), 0);
+        assert!(c.pending_repairs().is_empty());
+        let expected = c.primary().shadow_digest();
+        assert_eq!(c.replica(1).unwrap().digest(), expected);
+        // The repaired replica keeps replicating new writes.
+        c.record(&op(13)).unwrap();
+        c.pump(4);
+        assert_eq!(c.replica(1).unwrap().applied(), 14);
+        assert_eq!(c.replica(1).unwrap().digest(), c.primary().shadow_digest());
+    }
+
+    #[test]
+    fn deposed_primary_rejoins_the_new_epoch_as_a_replica() {
+        let mut c = fresh("rejoin", 2, Box::new(SimTransport::reliable(3)), CommitRule::Quorum(2));
+        for i in 0..8 {
+            c.record(&op(i)).unwrap();
+        }
+        let target = c.best_failover_candidate().unwrap();
+        c.promote(target).unwrap();
+        assert_eq!(c.deposed_nodes(), vec![0]);
+        // The new epoch moves on without the old primary.
+        for i in 8..12 {
+            c.record(&op(i)).unwrap();
+        }
+        // Rejoin: node 0 demotes to replica and reconverges byte-for-byte.
+        let outcome = c.rejoin(0).unwrap();
+        assert!(outcome.converged, "{outcome:?}");
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(c.deposed_nodes(), Vec::<usize>::new());
+        assert_eq!(c.replicas().len(), 2);
+        let expected = c.primary().shadow_digest();
+        let r0 = c.replica(0).unwrap();
+        assert_eq!(r0.applied(), 12);
+        assert_eq!(r0.digest(), expected);
+        // And it tracks the new chain from here on.
+        c.record(&op(12)).unwrap();
+        c.pump(4);
+        assert_eq!(c.replica(0).unwrap().digest(), c.primary().shadow_digest());
+        assert_eq!(c.repair_status().rejoins, 1);
+    }
+
+    #[test]
+    fn media_rot_is_found_and_healed_by_the_scrub() {
+        let mut c = fresh("mediarot", 1, Box::new(SimTransport::reliable(2)), CommitRule::Local);
+        for i in 0..6 {
+            c.record(&op(i)).unwrap();
+        }
+        nebula_govern::set_fault_plan(Some(FaultPlan::new(31).with_bit_rot(1.0, 1.0)));
+        let dir = c.primary().wal().dir().to_path_buf();
+        let rot = nebula_durable::inject_rot(&dir).unwrap();
+        nebula_govern::set_fault_plan(None);
+        assert!(rot.any(), "bit rot must fire at rate 1.0");
+        let summary = c.scrub();
+        assert!(!summary.media.is_clean(), "scrub must find the rot");
+        assert!(summary.media_healed, "re-checkpoint from shadow must heal it");
+        // A second scrub over the rewritten artifacts is clean.
+        assert!(c.scrub().media.is_clean());
+    }
+
+    #[test]
+    fn scrub_cadence_fires_on_the_virtual_clock() {
+        nebula_govern::clock::set_virtual(true);
+        let config = ClusterConfig {
+            scrub_interval: Some(std::time::Duration::from_millis(1)),
+            ..ClusterConfig::default()
+        };
+        let db = Database::new();
+        let store = AnnotationStore::new();
+        let mut c = Cluster::new(
+            &temp_dir("cadence"),
+            &db,
+            &store,
+            1,
+            Box::new(SimTransport::reliable(2)),
+            config,
+        )
+        .unwrap();
+        assert_eq!(c.repair_status().scrubs, 0);
+        nebula_govern::clock::sleep(std::time::Duration::from_millis(2));
+        c.record(&op(0)).unwrap();
+        let after_first = c.repair_status().scrubs;
+        assert!(after_first >= 1, "cadence scrub must fire after the interval elapses");
+        // No further virtual time passes: no further scrubs.
+        c.record(&op(1)).unwrap();
+        assert_eq!(c.repair_status().scrubs, after_first);
+        nebula_govern::clock::set_virtual(false);
     }
 
     #[test]

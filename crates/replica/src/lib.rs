@@ -42,13 +42,19 @@ use std::fmt;
 
 pub mod cluster;
 pub mod frame;
+pub mod nemesis;
 pub mod primary;
+pub mod repair;
 pub mod replica;
 pub mod transport;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterSink};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterSink, RejoinOutcome, RepairOutcome, RepairStatus, ScrubSummary,
+};
 pub use frame::Frame;
+pub use nemesis::{compose_schedule, NemesisEvent, NemesisPlan};
 pub use primary::{DivergenceReport, Primary};
+pub use repair::{last_agreed, LadderOutcome};
 pub use replica::Replica;
 pub use transport::{SimTransport, Transport, TransportStats};
 
@@ -84,6 +90,18 @@ pub mod counters {
     pub const RECORDS_SKIPPED: &str = "repl.records_skipped";
     /// Segments shipped to replicas.
     pub const SEGMENTS_SHIPPED: &str = "repl.segments_shipped";
+    /// Ladder range-digest probes spent locating divergence points.
+    pub const LADDER_PROBES: &str = "repair.ladder_probes";
+    /// Diverged suffix LSNs re-applied by completed repairs.
+    pub const RECORDS_RESYNCED: &str = "repair.records_resynced";
+    /// Deposed primaries re-admitted as replicas.
+    pub const REJOINS: &str = "repair.rejoins";
+    /// Replica repairs completed.
+    pub const REPAIRS: &str = "repair.repairs";
+    /// Gauge: primary LSN of the most recent anti-entropy scrub.
+    pub const LAST_SCRUB_LSN: &str = "repair.last_scrub_lsn";
+    /// Gauge: replicas currently pending repair.
+    pub const PENDING_REPAIRS: &str = "repair.pending";
     /// Gauge: the primary's current epoch.
     pub const EPOCH: &str = "repl.epoch";
     /// Gauge: largest acknowledgement lag across live replicas, in LSNs.

@@ -1,0 +1,258 @@
+//! The deterministic chaos nemesis: a seeded schedule composer.
+//!
+//! A nemesis run interleaves every fault dimension the stack already has —
+//! crash/overload pressure (ingest bursts), network partitions, in-memory
+//! replica corruption, on-disk bit-rot, and failovers — into one soak
+//! schedule. The composer is **pure**: same seed, same schedule, no clock
+//! and no I/O. The driver (tests/chaos.rs, the bench harness) executes the
+//! events against a live [`crate::Cluster`] and asserts that the cluster
+//! reconverges byte-identically afterwards, with nothing lost or
+//! duplicated.
+//!
+//! Schedules are self-closing by construction: every `Partition` is
+//! followed by a matching `Heal`, every disruption is eventually followed
+//! by a `Scrub` (which repairs what it finds), and the schedule ends with
+//! heal-everything / rejoin-everyone / scrub — so a run that does *not*
+//! converge indicates a repair bug, never an unfinished schedule.
+
+/// One step of a nemesis schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NemesisEvent {
+    /// Ingest the next `n` annotations through the cluster.
+    Ingest(u32),
+    /// Cut every transport link to `node`.
+    Partition {
+        /// The node to isolate.
+        node: usize,
+    },
+    /// Restore every transport link to `node`.
+    Heal {
+        /// The node to reconnect.
+        node: usize,
+    },
+    /// Corrupt replica `replica`'s in-memory state
+    /// ([`crate::Replica::chaos_corrupt`]).
+    Corrupt {
+        /// The replica to poison.
+        replica: usize,
+    },
+    /// Roll the seeded bit-rot sites against the primary's durability
+    /// directory ([`nebula_durable::inject_rot`]).
+    BitRot,
+    /// Run an anti-entropy scrub and repair everything it finds.
+    Scrub,
+    /// Quiesce, then promote the best failover candidate (epoch bump;
+    /// the old primary is deposed).
+    Failover,
+    /// Re-admit every deposed primary as a replica of the current epoch.
+    Rejoin,
+    /// Ingest `n` annotations as one unthrottled burst (overload
+    /// pressure for the admission-control path).
+    Burst(u32),
+}
+
+/// A composed schedule plus the seed that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NemesisPlan {
+    /// The composing seed.
+    pub seed: u64,
+    /// Replica count the schedule was composed for.
+    pub replicas: usize,
+    /// Total annotations across all `Ingest`/`Burst` events.
+    pub total_ops: u64,
+    /// The schedule, in execution order.
+    pub events: Vec<NemesisEvent>,
+}
+
+impl NemesisPlan {
+    /// How many events of each disruptive kind the plan holds, for
+    /// asserting a soak actually exercised every dimension.
+    pub fn disruption_counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut partitions = 0;
+        let mut corruptions = 0;
+        let mut rots = 0;
+        let mut failovers = 0;
+        let mut bursts = 0;
+        for e in &self.events {
+            match e {
+                NemesisEvent::Partition { .. } => partitions += 1,
+                NemesisEvent::Corrupt { .. } => corruptions += 1,
+                NemesisEvent::BitRot => rots += 1,
+                NemesisEvent::Failover => failovers += 1,
+                NemesisEvent::Burst(_) => bursts += 1,
+                _ => {}
+            }
+        }
+        (partitions, corruptions, rots, failovers, bursts)
+    }
+}
+
+/// xorshift64* — the same tiny deterministic generator the fault plans
+/// use, reimplemented here so the composer stays clock- and plan-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Compose a deterministic chaos schedule for a cluster with `replicas`
+/// replicas, ingesting `total_ops` annotations in all. Pure: same inputs,
+/// same schedule.
+pub fn compose_schedule(seed: u64, replicas: usize, total_ops: u64) -> NemesisPlan {
+    let mut rng = Rng(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut events = Vec::new();
+    let mut remaining = total_ops;
+    let mut open_partition: Option<usize> = None;
+    let mut deposed_pending = false;
+
+    // Reserve a calm tail so the final convergence runs over real traffic.
+    let tail = (total_ops / 10).clamp(10, 50).min(total_ops);
+    while remaining > tail {
+        let chunk = (20 + rng.below(41)).min(remaining - tail) as u32;
+        events.push(NemesisEvent::Ingest(chunk));
+        remaining -= u64::from(chunk);
+        if remaining <= tail {
+            break;
+        }
+        match rng.below(8) {
+            0 | 1 => {
+                // Partition a replica for the next chunk, then heal it.
+                if open_partition.is_none() && replicas > 0 {
+                    let node = 1 + rng.below(replicas as u64) as usize;
+                    events.push(NemesisEvent::Partition { node });
+                    open_partition = Some(node);
+                } else if let Some(node) = open_partition.take() {
+                    events.push(NemesisEvent::Heal { node });
+                    events.push(NemesisEvent::Scrub);
+                }
+            }
+            2 if replicas > 0 => {
+                let replica = 1 + rng.below(replicas as u64) as usize;
+                // Never poison the partitioned node: its divergence
+                // would go undetected until after the heal, crossing
+                // wires with the partition's own repair.
+                if open_partition != Some(replica) {
+                    events.push(NemesisEvent::Corrupt { replica });
+                    events.push(NemesisEvent::Scrub);
+                }
+            }
+            3 => {
+                events.push(NemesisEvent::BitRot);
+                events.push(NemesisEvent::Scrub);
+            }
+            4 => {
+                // A failover needs every link up to quiesce cleanly.
+                if let Some(node) = open_partition.take() {
+                    events.push(NemesisEvent::Heal { node });
+                }
+                events.push(NemesisEvent::Failover);
+                deposed_pending = true;
+            }
+            5 if deposed_pending => {
+                events.push(NemesisEvent::Rejoin);
+                deposed_pending = false;
+            }
+            6 => {
+                let n = (30 + rng.below(31)).min(remaining - tail) as u32;
+                if n > 0 {
+                    events.push(NemesisEvent::Burst(n));
+                    remaining -= u64::from(n);
+                }
+            }
+            _ => {} // calm stretch
+        }
+    }
+
+    // Close the schedule: heal, re-admit, scrub, and drain the tail.
+    if let Some(node) = open_partition.take() {
+        events.push(NemesisEvent::Heal { node });
+    }
+    events.push(NemesisEvent::Rejoin);
+    events.push(NemesisEvent::Scrub);
+    if remaining > 0 {
+        events.push(NemesisEvent::Ingest(remaining as u32));
+    }
+    events.push(NemesisEvent::Scrub);
+
+    NemesisPlan { seed, replicas, total_ops, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = compose_schedule(0xF00D, 2, 500);
+        let b = compose_schedule(0xF00D, 2, 500);
+        assert_eq!(a, b);
+        let c = compose_schedule(0xF00E, 2, 500);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn ingest_totals_are_exact() {
+        for seed in [1u64, 0xF00D, 0xBAD5EED, 12345] {
+            let plan = compose_schedule(seed, 3, 500);
+            let total: u64 = plan
+                .events
+                .iter()
+                .map(|e| match e {
+                    NemesisEvent::Ingest(n) | NemesisEvent::Burst(n) => u64::from(*n),
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(total, 500, "seed {seed:#x}");
+        }
+    }
+
+    #[test]
+    fn partitions_are_always_healed_and_schedule_self_closes() {
+        for seed in [7u64, 0xF00D, 0xBAD5EED, 12345, 999] {
+            let plan = compose_schedule(seed, 2, 600);
+            let mut open: Option<usize> = None;
+            for e in &plan.events {
+                match e {
+                    NemesisEvent::Partition { node } => {
+                        assert!(open.is_none(), "seed {seed:#x}: overlapping partitions");
+                        open = Some(*node);
+                    }
+                    NemesisEvent::Heal { node } => {
+                        assert_eq!(open, Some(*node), "seed {seed:#x}: heal without partition");
+                        open = None;
+                    }
+                    NemesisEvent::Failover => {
+                        assert!(open.is_none(), "seed {seed:#x}: failover under partition");
+                    }
+                    _ => {}
+                }
+            }
+            assert!(open.is_none(), "seed {seed:#x}: schedule ends partitioned");
+            // Every schedule ends with rejoin + scrub before/after the tail.
+            assert!(plan.events.iter().any(|e| matches!(e, NemesisEvent::Rejoin)));
+            assert!(matches!(plan.events.last(), Some(NemesisEvent::Scrub)));
+        }
+    }
+
+    #[test]
+    fn long_soaks_exercise_every_dimension() {
+        let plan = compose_schedule(0xF00D, 2, 2000);
+        let (partitions, corruptions, rots, failovers, bursts) = plan.disruption_counts();
+        assert!(partitions > 0, "no partitions composed");
+        assert!(corruptions > 0, "no corruptions composed");
+        assert!(rots > 0, "no bit-rot composed");
+        assert!(failovers > 0, "no failovers composed");
+        assert!(bursts > 0, "no bursts composed");
+    }
+}

@@ -458,6 +458,64 @@ impl Primary {
         state_digest(&self.shadow_db, &self.shadow_store)
     }
 
+    /// The primary's per-LSN digest chain (its half of the anti-entropy
+    /// ladder).
+    pub fn digests(&self) -> &BTreeMap<u64, (u32, u32)> {
+        &self.digests
+    }
+
+    /// The watermark of the current catch-up checkpoint image.
+    pub fn ckpt_watermark(&self) -> u64 {
+        self.ckpt_watermark
+    }
+
+    /// Forgive a wedged (diverged) peer after repair: reset its tracker to
+    /// the repaired replica's agreed position and force a checkpoint
+    /// re-ship so its next state load is wholesale.
+    pub fn unwedge_peer(&mut self, id: usize) {
+        if let Some(tr) = self.peers.get_mut(&id) {
+            tr.wedged = false;
+            tr.acked = 0;
+            tr.shipped = 0;
+            tr.cooldown = 0;
+            tr.needs_ckpt = true;
+        }
+    }
+
+    /// Checkpoint from the shadow state: persist a fresh checkpoint image
+    /// and truncated WAL derived from the primary's own mirror of the log.
+    /// This rewrites both on-disk artifacts, which is how media rot found
+    /// by the scrubber is healed — and, as a checkpoint, it also clears a
+    /// wedged WAL manager once its failure domain stopped injecting.
+    pub fn checkpoint_from_shadow(&mut self) -> Result<u64, ReplicaError> {
+        let Primary {
+            wal,
+            shadow_db,
+            shadow_store,
+            ckpt_image,
+            ckpt_watermark,
+            buffer,
+            digests,
+            peers,
+            ..
+        } = self;
+        let watermark = wal.checkpoint(shadow_db, shadow_store)?;
+        *ckpt_image = checkpoint::encode(watermark, shadow_db, shadow_store);
+        *ckpt_watermark = watermark;
+        while buffer.front().is_some_and(|(l, _)| *l <= watermark) {
+            buffer.pop_front();
+        }
+        let floor = peers
+            .values()
+            .filter(|tr| !tr.wedged)
+            .map(|tr| tr.acked)
+            .min()
+            .unwrap_or(watermark)
+            .min(watermark);
+        digests.retain(|l, _| *l >= floor);
+        Ok(watermark)
+    }
+
     /// The shadow state (read-only).
     pub fn shadow(&self) -> (&Database, &AnnotationStore) {
         (&self.shadow_db, &self.shadow_store)

@@ -17,10 +17,14 @@ use nebula_durable::checkpoint;
 use nebula_durable::segment::{decode_checkpoint_frame, decode_segment};
 use nebula_durable::{replay_op, state_digest};
 use relstore::Database;
+use std::collections::BTreeMap;
 
 use crate::counters;
 use crate::frame::Frame;
 use crate::ReplicaError;
+
+/// Most per-LSN digests a replica retains for the anti-entropy ladder.
+const DIGEST_KEEP: usize = 4096;
 
 /// One replica: a node id, an epoch, and a replayed copy of the state.
 #[derive(Debug)]
@@ -40,6 +44,11 @@ pub struct Replica {
     records_skipped: u64,
     applied_via_checkpoint: u64,
     checkpoint_loads: u64,
+    /// Per-LSN state digests (bounded), the replica's half of the
+    /// anti-entropy range-digest ladder.
+    digests: BTreeMap<u64, (u32, u32)>,
+    /// Suffix LSNs discarded by repair resyncs (divergence depth total).
+    rewound: u64,
 }
 
 impl Replica {
@@ -58,6 +67,17 @@ impl Replica {
             records_skipped: 0,
             applied_via_checkpoint: 0,
             checkpoint_loads: 0,
+            digests: BTreeMap::new(),
+            rewound: 0,
+        }
+    }
+
+    /// Record the current state digest at `lsn`, bounded to
+    /// [`DIGEST_KEEP`] entries.
+    fn note_digest(&mut self, lsn: u64) {
+        self.digests.insert(lsn, state_digest(&self.db, &self.store));
+        while self.digests.len() > DIGEST_KEEP {
+            self.digests.pop_first();
         }
     }
 
@@ -117,6 +137,7 @@ impl Replica {
             }
             self.applied = rec.lsn;
             self.records_replayed += 1;
+            self.note_digest(rec.lsn);
             nebula_obs::counter_add(counters::RECORDS_REPLAYED, 1);
         }
         Some(self.ack())
@@ -145,6 +166,17 @@ impl Replica {
             self.applied = watermark;
             self.initialized = true;
             self.checkpoint_loads += 1;
+            // A rewrite replaces history under us: old-epoch digests no
+            // longer describe this chain. A same-epoch load invalidates
+            // anything past the loaded watermark.
+            if rewrite {
+                self.digests.clear();
+            } else {
+                self.digests.retain(|l, _| *l < watermark);
+            }
+            if watermark > 0 {
+                self.note_digest(watermark);
+            }
             nebula_obs::counter_add(counters::CATCHUP_CHECKPOINTS, 1);
         }
         self.epoch = frame.epoch;
@@ -242,6 +274,46 @@ impl Replica {
     /// the new primary's WAL.
     pub fn into_state(self) -> (Database, AnnotationStore, u64, u64) {
         (self.db, self.store, self.applied, self.epoch)
+    }
+
+    /// The replica's per-LSN digest chain (its half of the anti-entropy
+    /// ladder).
+    pub fn digests(&self) -> &BTreeMap<u64, (u32, u32)> {
+        &self.digests
+    }
+
+    /// Total suffix LSNs this replica has discarded across repair resyncs.
+    pub fn rewound(&self) -> u64 {
+        self.rewound
+    }
+
+    /// Rewind this replica to the last LSN it provably agreed on with the
+    /// primary and arm it for a wholesale resync: the digest suffix past
+    /// `agreed` is truncated, the wedge (if any) is cleared, and the
+    /// replica is de-initialized so the next checkpoint transfer replaces
+    /// its state outright instead of being skipped as stale. Returns the
+    /// number of suffix LSNs discarded.
+    pub fn prepare_resync(&mut self, agreed: u64) -> u64 {
+        let discarded = self.applied.saturating_sub(agreed);
+        self.digests.retain(|l, _| *l <= agreed);
+        self.applied = agreed;
+        self.initialized = false;
+        self.wedged = None;
+        self.rewound += discarded;
+        discarded
+    }
+
+    /// Deterministically corrupt this replica's in-memory state (a phantom
+    /// annotation the primary never logged) and refresh its digest at the
+    /// applied LSN — the chaos nemesis's stand-in for silent memory or
+    /// replay corruption. The next ack carries the poisoned digest, so
+    /// divergence detection must fire.
+    pub fn chaos_corrupt(&mut self) {
+        self.store.add_annotation(annostore::Annotation::new("chaos: phantom annotation"));
+        if self.applied > 0 {
+            let d = state_digest(&self.db, &self.store);
+            self.digests.insert(self.applied, d);
+        }
     }
 }
 

@@ -128,6 +128,8 @@ impl Shell {
             "CHECKPOINT" => self.checkpoint(),
             "RECOVER" => self.recover(&tokens[1..]),
             "PROMOTE" => self.promote(&tokens[1..]),
+            "SCRUB" => self.scrub(),
+            "REJOIN" => self.rejoin(&tokens[1..]),
             "SET" => self.set(&tokens[1..]),
             "SHOW" => self.show(&tokens[1..]),
             "EXPLAIN" => self.explain(&tokens[1..]),
@@ -665,6 +667,134 @@ impl Shell {
         ))
     }
 
+    /// `SCRUB` — run one anti-entropy pass now: CRC-check the primary's
+    /// on-disk WAL and checkpoints (healing found rot from the shadow
+    /// state), walk the range-digest ladder against every live replica,
+    /// and repair whatever the pass finds.
+    fn scrub(&mut self) -> Result<String, ShellError> {
+        let sink = self
+            .repl
+            .as_ref()
+            .ok_or_else(|| err("replication is off — SET REPLICAS <n> '<dir>' first"))?
+            .handle();
+        let mut cluster = sink.lock();
+        let summary = cluster.scrub();
+        let mut out = vec![format!(
+            "scrub at lsn {}: media {}{}",
+            summary.at_lsn,
+            summary.media,
+            if summary.media_healed { " — healed from shadow state" } else { "" },
+        )];
+        let mut to_repair = summary.wedged.clone();
+        to_repair.extend(summary.diverged.iter().copied());
+        to_repair.sort_unstable();
+        to_repair.dedup();
+        if to_repair.is_empty() {
+            out.push("  replicas: all ladders agree".into());
+        }
+        for id in to_repair {
+            match cluster.repair_replica(id) {
+                Ok(r) => out.push(format!(
+                    "  repaired replica {}: rewound {} lsn(s) past agreed lsn {} \
+                     ({} probes, {} resynced, converged = {})",
+                    r.replica, r.rewound, r.agreed, r.probes, r.resynced, r.converged,
+                )),
+                Err(e) => out.push(format!("  replica {id}: repair failed ({e})")),
+            }
+        }
+        Ok(out.join("\n"))
+    }
+
+    /// `REJOIN <node>` — demote the deposed primary `node` to a replica of
+    /// the current epoch: rewind its un-acked (fenced) suffix and re-sync
+    /// it through the checkpoint catch-up path.
+    fn rejoin(&mut self, args: &[String]) -> Result<String, ShellError> {
+        let sink = self
+            .repl
+            .as_ref()
+            .ok_or_else(|| err("replication is off — SET REPLICAS <n> '<dir>' first"))?
+            .handle();
+        let mut cluster = sink.lock();
+        let node: usize = match args.first() {
+            Some(tok) => tok.parse().map_err(|_| err(format!("`{tok}` is not a node id")))?,
+            None => *cluster
+                .deposed_nodes()
+                .first()
+                .ok_or_else(|| err("no deposed primary to rejoin — PROMOTE creates one"))?,
+        };
+        let r = cluster.rejoin(node).map_err(|e| err(e.to_string()))?;
+        Ok(format!(
+            "node {} rejoined epoch {} as a replica: rewound {} fenced lsn(s) \
+             ({} ladder probes, converged = {})",
+            r.node, r.epoch, r.rewound, r.probes, r.converged,
+        ))
+    }
+
+    /// `RECOVER INGEST` — the operator half of the guarded Wedged exit:
+    /// if the durability sink reports writable again, clear the wedged
+    /// verdict so the next ANNOTATE dispatches instead of shedding.
+    fn recover_ingest(&mut self) -> Result<String, ShellError> {
+        let wedged = self.last_ingest.as_ref().is_some_and(|r| r.health == HealthState::Wedged);
+        if !wedged {
+            return Ok("ingest is not wedged — nothing to recover".into());
+        }
+        let sink_ok = self.nebula.mutation_sink().is_none_or(|sink| sink.healthy());
+        if !sink_ok {
+            return Err(err(
+                "the durability layer is still wedged — CHECKPOINT rebuilds the log first",
+            ));
+        }
+        if let Some(r) = &mut self.last_ingest {
+            r.health = HealthState::Degraded;
+        }
+        nebula_obs::counter_add(nebula_ingest::counters::RECOVERED, 1);
+        nebula_obs::trace::flight_event("health", "wedged -> degraded (operator)".to_string());
+        Ok("ingest recovered: wedged -> degraded (the window must prove itself clean)".into())
+    }
+
+    /// `SHOW REPAIR` — the repair posture: scrub cadence results, pending
+    /// repairs, completed repairs/rejoins, and divergence depths.
+    fn show_repair(&self) -> Result<String, ShellError> {
+        let Some(sink) = &self.repl else {
+            return Ok("replication: off — no repair surface".into());
+        };
+        let cluster = sink.lock();
+        let st = cluster.repair_status();
+        let mut out = vec![format!(
+            "repair: {} scrub(s), {} repair(s), {} rejoin(s)",
+            st.scrubs, st.repairs, st.rejoins
+        )];
+        match st.last_scrub_lsn {
+            Some(lsn) => out.push(format!("  last scrub: lsn {lsn}")),
+            None => out.push("  last scrub: never".into()),
+        }
+        if let Some(s) = cluster.last_scrub() {
+            out.push(format!(
+                "    media {}; {} diverged, {} wedged, {} probes",
+                s.media,
+                s.diverged.len(),
+                s.wedged.len(),
+                s.probes
+            ));
+        }
+        if st.pending.is_empty() {
+            out.push("  pending repairs: none".into());
+        } else {
+            let ids: Vec<String> = st.pending.iter().map(|id| format!("replica {id}")).collect();
+            out.push(format!("  pending repairs: {}", ids.join(", ")));
+        }
+        out.push(format!(
+            "  rewound {} lsn(s) total (deepest single divergence {}), {} ladder probes",
+            st.total_rewound, st.max_divergence, st.ladder_probes
+        ));
+        let deposed = cluster.deposed_nodes();
+        if !deposed.is_empty() {
+            let ids: Vec<String> = deposed.iter().map(|n| format!("node {n}")).collect();
+            out.push(format!("  deposed primaries awaiting REJOIN: {}", ids.join(", ")));
+        }
+        Ok(out.join("\n"))
+    }
+
     /// `CHECKPOINT` — persist the full state now and truncate the log.
     fn checkpoint(&mut self) -> Result<String, ShellError> {
         let sink = self
@@ -677,8 +807,12 @@ impl Shell {
 
     /// `RECOVER '<dir>'` — replace the live state with the recovered
     /// checkpoint + log replay from `<dir>` and continue logging into it.
+    /// `RECOVER INGEST` — clear a wedged ingest verdict instead.
     fn recover(&mut self, args: &[String]) -> Result<String, ShellError> {
-        let path = args.first().ok_or_else(|| err("usage: RECOVER '<dir>'"))?;
+        let path = args.first().ok_or_else(|| err("usage: RECOVER '<dir>' | RECOVER INGEST"))?;
+        if path.to_uppercase() == "INGEST" {
+            return self.recover_ingest();
+        }
         let (durability, recovered) =
             Durability::resume(std::path::Path::new(path), DurabilityOptions::default())
                 .map_err(|e| err(e.to_string()))?;
@@ -789,6 +923,7 @@ impl Shell {
             Some("METRICS") => Ok(nebula_obs::snapshot().render_text()),
             Some("REPLICATION") => self.show_replication(),
             Some("REPLICA") => self.show_replica(&args[1..]),
+            Some("REPAIR") => self.show_repair(),
             Some("HEALTH") => Ok(match &self.last_ingest {
                 None => format!(
                     "health: healthy (no ingest yet)\n  workers: {}   queue capacity: {}",
@@ -838,7 +973,7 @@ impl Shell {
             }
             Some("FLIGHT") => Ok(self.show_flight()),
             _ => Err(err("usage: SHOW METRICS | BUDGET | FAULTS | DURABILITY | HEALTH | \
-                 REPLICATION | REPLICA <id> | CRITICAL PATH | FLIGHT")),
+                 REPLICATION | REPLICA <id> | REPAIR | CRITICAL PATH | FLIGHT")),
         }
     }
 
@@ -957,10 +1092,11 @@ const HELP: &str = "commands:
   SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF;
   SET REPLICAS <n> '<dir>' [QUORUM <q>] [NETFAULTS <seed> <rate>] | OFF;
   PROMOTE [<id>];
+  SCRUB;   REJOIN [<node>];   RECOVER INGEST;
   SET WORKERS <n>;
   CHECKPOINT;   RECOVER '<dir>';
   SHOW BUDGET;   SHOW FAULTS;   SHOW DURABILITY;   SHOW HEALTH;
-  SHOW REPLICATION;   SHOW REPLICA <id> [STALENESS <n>];
+  SHOW REPLICATION;   SHOW REPLICA <id> [STALENESS <n>];   SHOW REPAIR;
   SAVE '<path>';   LOAD '<path>';
   HELP;   EXIT;";
 
@@ -1365,6 +1501,63 @@ mod tests {
         assert!(sh.exec("SET REPLICAS abc").is_err());
         assert!(sh.exec(&format!("SET REPLICAS 2 '{}' QUORUM 9", dir.display())).is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_rejoin_and_show_repair_flow() {
+        let dir = std::env::temp_dir().join(format!("nebula-shell-repair-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut sh = shell();
+        // All repair surfaces degrade gracefully with replication off.
+        assert!(sh.exec("SCRUB").unwrap_err().0.contains("replication is off"));
+        assert!(sh.exec("REJOIN 0").unwrap_err().0.contains("replication is off"));
+        assert!(sh.exec("SHOW REPAIR").unwrap().contains("replication: off"));
+
+        sh.exec(&format!("SET REPLICAS 2 '{}'", dir.display())).unwrap();
+        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'").unwrap();
+
+        // A clean cluster scrubs clean.
+        let clean = sh.exec("SCRUB").unwrap();
+        assert!(clean.contains("media clean"), "{clean}");
+        assert!(clean.contains("all ladders agree"), "{clean}");
+
+        // Poison a replica, then let SCRUB find and repair it.
+        sh.repl.as_ref().unwrap().lock().chaos_corrupt_replica(1).unwrap();
+        sh.exec("ANNOTATE gene 'JW0002' 'note about gene JW0003'").unwrap();
+        let repaired = sh.exec("SCRUB").unwrap();
+        assert!(repaired.contains("repaired replica 1"), "{repaired}");
+        assert!(repaired.contains("converged = true"), "{repaired}");
+
+        // Fail over, then re-admit the deposed primary.
+        assert!(sh.exec("REJOIN").unwrap_err().0.contains("no deposed primary"));
+        sh.exec("PROMOTE 1").unwrap();
+        let rejoined = sh.exec("REJOIN 0").unwrap();
+        assert!(rejoined.contains("node 0 rejoined epoch 2"), "{rejoined}");
+        assert!(rejoined.contains("converged = true"), "{rejoined}");
+        assert!(sh.exec("REJOIN 0").is_err(), "nothing left to rejoin");
+
+        let status = sh.exec("SHOW REPAIR").unwrap();
+        assert!(status.contains("scrub(s)"), "{status}");
+        assert!(status.contains("1 rejoin(s)"), "{status}");
+        assert!(status.contains("pending repairs: none"), "{status}");
+        assert!(sh.exec("REJOIN abc").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_ingest_clears_a_wedged_verdict() {
+        let mut sh = shell();
+        assert!(sh.exec("RECOVER INGEST").unwrap().contains("not wedged"));
+        // Manufacture a wedged last-ingest verdict (the pool owns the real
+        // machine per batch; the shell records its final state).
+        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'").unwrap();
+        sh.last_ingest.as_mut().unwrap().health = HealthState::Wedged;
+        let out = sh.exec("RECOVER INGEST").unwrap();
+        assert!(out.contains("wedged -> degraded"), "{out}");
+        assert_eq!(sh.last_ingest.as_ref().unwrap().health, HealthState::Degraded);
+        let health = sh.exec("SHOW HEALTH").unwrap();
+        assert!(health.contains("health: degraded"), "{health}");
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! The deterministic chaos nemesis soak.
+//!
+//! [`nebula::nebula_replica::compose_schedule`] composes a seeded,
+//! self-closing schedule that interleaves every fault dimension the stack
+//! owns — ingest bursts (overload), network partitions, in-memory replica
+//! corruption, on-disk bit-rot, failovers, and rejoins — and this driver
+//! executes it against a live engine + ingest pool + replicated cluster.
+//! The acceptance bar from the self-healing tentpole:
+//!
+//! - **≥ 500 annotations per seed**, every one accounted for exactly once
+//!   (zero sheds, every offered item executed);
+//! - **every injected bit-rot detected** by the very next scrub — before
+//!   any checkpoint could paper over it — and healed from shadow state;
+//! - **zero fenced-forever replicas** (every deposed primary rejoins) and
+//!   **zero permanently-Wedged ingest** (no batch ends wedged);
+//! - **byte-identical reconvergence**: after the schedule drains, the live
+//!   engine state, the primary's shadow, every replica, and a cold
+//!   recovery from the primary's durability directory all serialize to
+//!   the same checkpoint image, with each LSN applied exactly once.
+//!
+//! Same seed, same schedule, same verdict — a red run replays exactly.
+//! `NEBULA_WORKERS` pins the ingest pool size (CI sweeps 1 and 8).
+
+use nebula::nebula_durable::{checkpoint, inject_rot, Durability};
+use nebula::nebula_govern::set_fault_plan;
+use nebula::nebula_replica::{compose_schedule, NemesisEvent};
+use nebula::nebula_workload::{build_workload, WorkloadSpec};
+use nebula::prelude::*;
+use std::path::PathBuf;
+
+const REPLICAS: usize = 2;
+const OPS: u64 = 500;
+const SEEDS: [u64; 3] = [0xF00D, 0xBAD5EED, 12345];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nebula-chaos-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// CI's thread-count matrix pins the pool size via `NEBULA_WORKERS`.
+fn workers() -> usize {
+    std::env::var("NEBULA_WORKERS")
+        .ok()
+        .and_then(|s| s.split(',').next().and_then(|t| t.trim().parse().ok()))
+        .filter(|n| *n > 0)
+        .unwrap_or(4)
+}
+
+/// Canonical state bytes: the checkpoint image at a fixed watermark, so
+/// only state differences can distinguish two nodes.
+fn state_bytes(db: &nebula::relstore::Database, store: &AnnotationStore) -> Vec<u8> {
+    checkpoint::encode(0, db, store)
+}
+
+#[test]
+fn nemesis_soak_reconverges_byte_identically_for_each_seed() {
+    // Disruption totals across all seeds: the suite as a whole must
+    // exercise every chaos dimension, even if one seed happens to skip one.
+    let mut dims = (0usize, 0usize, 0usize, 0usize, 0usize);
+
+    for seed in SEEDS {
+        let plan = compose_schedule(seed, REPLICAS, OPS);
+        let (p, c, r, f, b) = plan.disruption_counts();
+        dims = (dims.0 + p, dims.1 + c, dims.2 + r, dims.3 + f, dims.4 + b);
+
+        // The same workload shape as the replication soak: real annotations
+        // from the generated dataset, cycled up to the schedule's total.
+        let bundle = generate_dataset(&DatasetSpec::tiny(), 0x5E_AC);
+        let workload = build_workload(&bundle, &WorkloadSpec::default(), 21);
+        let source: Vec<_> = workload
+            .iter()
+            .flat_map(|s| &s.annotations)
+            .filter(|wa| !wa.ideal.is_empty())
+            .collect();
+        assert!(!source.is_empty());
+        let items: Vec<IngestItem> = (0..OPS as usize)
+            .map(|i| {
+                let wa = source[i % source.len()];
+                IngestItem::new(wa.annotation.clone(), vec![wa.ideal[0]])
+            })
+            .collect();
+
+        let mut bundle = bundle;
+        let mut nebula = Nebula::new(NebulaConfig::default(), bundle.meta.clone());
+        nebula.bootstrap_acg(&bundle.annotations);
+
+        let dir = temp_dir(&format!("soak-{seed:x}"));
+        let cluster = Cluster::new(
+            &dir,
+            &bundle.db,
+            &bundle.annotations,
+            REPLICAS,
+            Box::new(SimTransport::reliable(3)),
+            ClusterConfig::default(),
+        )
+        .expect("fresh cluster directory");
+        let sink = ClusterSink::new(cluster);
+        let handle = sink.handle();
+        nebula.set_mutation_sink(Some(Box::new(sink)));
+
+        // A non-shedding pool: the nemesis supplies the chaos, so any shed
+        // or wedge here is a real loss, not configured pressure.
+        let ingest = IngestConfig::deterministic(workers(), OPS as usize);
+
+        let mut next = 0usize; // cursor into `items`
+        let mut executed = 0usize;
+        let mut rot_injections = 0usize;
+        let mut rot_detections = 0usize;
+        let mut rot_pending = false;
+        let mut partitioned: Option<usize> = None;
+
+        for event in &plan.events {
+            match *event {
+                // Overload bursts ride the same path: the deterministic
+                // pool's capacity covers the burst, so nothing sheds and
+                // the pressure lands on the cluster underneath.
+                NemesisEvent::Ingest(n) | NemesisEvent::Burst(n) => {
+                    let n = n as usize;
+                    let slice = &items[next..next + n];
+                    next += n;
+                    let report = ingest_batch(
+                        &mut nebula,
+                        &bundle.db,
+                        &mut bundle.annotations,
+                        slice,
+                        &ingest,
+                    );
+                    assert!(
+                        report.sheds.is_empty(),
+                        "seed {seed:#x}: no annotation shed: {:?}",
+                        report.sheds
+                    );
+                    assert_ne!(
+                        report.health,
+                        HealthState::Wedged,
+                        "seed {seed:#x}: no batch ends permanently wedged"
+                    );
+                    assert_eq!(report.batch.total(), n, "seed {seed:#x}: every offered item ran");
+                    executed += report.batch.total();
+                }
+                NemesisEvent::Partition { node } => {
+                    handle.lock().set_partitioned(node, true);
+                    partitioned = Some(node);
+                }
+                NemesisEvent::Heal { node } => {
+                    handle.lock().set_partitioned(node, false);
+                    partitioned = None;
+                }
+                // The target may currently be the primary or a deposed
+                // node — corruption then has no replica surface to poison.
+                NemesisEvent::Corrupt { replica } => {
+                    let _ = handle.lock().chaos_corrupt_replica(replica);
+                }
+                NemesisEvent::BitRot => {
+                    let wal_dir = handle.lock().primary().wal().dir().to_path_buf();
+                    // The governor is thread-local: arming the plan here
+                    // affects only this thread's inject_rot, never the
+                    // pool's worker threads.
+                    set_fault_plan(Some(
+                        FaultPlan::new(seed.wrapping_add(rot_injections as u64))
+                            .with_bit_rot(1.0, 1.0),
+                    ));
+                    let rot = inject_rot(&wal_dir).expect("rot injection");
+                    set_fault_plan(None);
+                    if rot.any() {
+                        rot_injections += 1;
+                        rot_pending = true;
+                    }
+                }
+                NemesisEvent::Scrub => {
+                    let mut cluster = handle.lock();
+                    let summary = cluster.scrub();
+                    if rot_pending {
+                        // The composer schedules a scrub immediately after
+                        // every rot — no checkpoint runs in between, so
+                        // this is the "before the next checkpoint" gate.
+                        assert!(
+                            !summary.media.is_clean(),
+                            "seed {seed:#x}: injected rot detected before the next checkpoint"
+                        );
+                        assert!(summary.media_healed, "seed {seed:#x}: rot healed from shadow");
+                        rot_detections += 1;
+                        rot_pending = false;
+                    }
+                    let mut targets = summary.wedged.clone();
+                    for id in &summary.diverged {
+                        if !targets.contains(id) {
+                            targets.push(*id);
+                        }
+                    }
+                    for id in targets {
+                        let out = cluster.repair_replica(id).expect("repair");
+                        if partitioned != Some(id) {
+                            assert!(out.converged, "seed {seed:#x}: repair of replica {id}");
+                        }
+                    }
+                }
+                NemesisEvent::Failover => {
+                    let mut cluster = handle.lock();
+                    // Quiesce first: every live replica acks the full log,
+                    // so promotion preserves the live engine's state and
+                    // the engine never has to roll back.
+                    let last = cluster.primary().last_lsn();
+                    let mut rounds = 0;
+                    while cluster.primary().min_acked() < last && rounds < 20_000 {
+                        cluster.pump(1);
+                        rounds += 1;
+                    }
+                    assert!(
+                        cluster.primary().min_acked() >= last,
+                        "seed {seed:#x}: quiesce before failover ({})",
+                        cluster.describe_transport()
+                    );
+                    if let Some(target) = cluster.best_failover_candidate() {
+                        cluster.promote(target).expect("promotion");
+                    }
+                }
+                NemesisEvent::Rejoin => {
+                    let mut cluster = handle.lock();
+                    for node in cluster.deposed_nodes() {
+                        let epoch = cluster.primary().epoch();
+                        let out = cluster.rejoin(node).expect("rejoin");
+                        assert_eq!(out.epoch, epoch, "seed {seed:#x}: rejoined the live epoch");
+                        if partitioned != Some(node) {
+                            assert!(out.converged, "seed {seed:#x}: rejoin of node {node}");
+                        }
+                    }
+                }
+            }
+        }
+
+        // Exactly-once offering: the schedule carried every annotation,
+        // and every one executed (nothing shed, nothing double-offered).
+        assert_eq!(next, OPS as usize, "seed {seed:#x}: the schedule offered all {OPS} items");
+        assert_eq!(executed, OPS as usize, "seed {seed:#x}: all {OPS} items executed");
+        // 100% scrub detection of whatever rot the schedule injected.
+        assert_eq!(
+            rot_detections, rot_injections,
+            "seed {seed:#x}: the scrubber caught every injected rot"
+        );
+
+        // Drain and take stock: the final ingest may still be in flight to
+        // the replicas; converge within a bounded pump budget.
+        drop(nebula.take_mutation_sink());
+        let mut cluster = handle.lock();
+        let last = cluster.primary().last_lsn();
+        let mut rounds = 0;
+        while cluster.primary().min_acked() < last && rounds < 20_000 {
+            cluster.pump(1);
+            rounds += 1;
+        }
+        assert!(
+            cluster.primary().min_acked() >= last,
+            "seed {seed:#x}: final drain converged ({})",
+            cluster.describe_transport()
+        );
+
+        // At rest everything is clean: media, ladders, membership.
+        let final_scrub = cluster.scrub();
+        assert!(final_scrub.media.is_clean(), "seed {seed:#x}: media clean at rest");
+        assert!(
+            final_scrub.diverged.is_empty() && final_scrub.wedged.is_empty(),
+            "seed {seed:#x}: no divergence at rest"
+        );
+        assert!(cluster.pending_repairs().is_empty(), "seed {seed:#x}: nothing pending");
+        assert_eq!(
+            cluster.deposed_nodes(),
+            Vec::<usize>::new(),
+            "seed {seed:#x}: zero fenced-forever nodes"
+        );
+        assert_eq!(cluster.replicas().len(), REPLICAS, "seed {seed:#x}: full membership");
+
+        // Byte-identical reconvergence: live engine == primary shadow ==
+        // every replica, with each LSN applied exactly once.
+        let want = state_bytes(&bundle.db, &bundle.annotations);
+        let (pdb, pstore) = cluster.primary().shadow();
+        assert_eq!(state_bytes(pdb, pstore), want, "seed {seed:#x}: primary == live engine");
+        assert_eq!(
+            pstore.annotation_count(),
+            bundle.annotations.annotation_count(),
+            "seed {seed:#x}: annotation census agrees"
+        );
+        let want_digest = cluster.primary().shadow_digest();
+        for r in cluster.replicas() {
+            assert!(!r.is_wedged(), "seed {seed:#x}: replica {}", r.id());
+            assert_eq!(r.applied(), last, "seed {seed:#x}: replica {}", r.id());
+            assert_eq!(r.digest(), want_digest, "seed {seed:#x}: replica {}", r.id());
+            assert_eq!(
+                state_bytes(r.db(), r.store()),
+                want,
+                "seed {seed:#x}: replica {} bytes",
+                r.id()
+            );
+            // Lifetime replay accounting: a repaired replica legitimately
+            // re-applies rewound LSNs (counted once as replay, once via
+            // the resync checkpoint), so the lifetime counters bound
+            // `applied` from above; the byte-identity asserts carry the
+            // exactly-once-in-state claim.
+            assert!(
+                r.records_replayed() + r.applied_via_checkpoint() >= r.applied(),
+                "seed {seed:#x}: replica {} lifetime counters cover every applied LSN",
+                r.id()
+            );
+        }
+
+        // And a cold restart agrees: recovery from the primary's healed
+        // durability directory reproduces the same bytes.
+        let wal_dir = cluster.primary().wal().dir().to_path_buf();
+        drop(cluster);
+        drop(handle);
+        let (resumed, recovered) =
+            Durability::resume(&wal_dir, DurabilityOptions::default()).expect("resume");
+        assert_eq!(
+            state_bytes(&recovered.db, &recovered.store),
+            want,
+            "seed {seed:#x}: cold recovery agrees byte-for-byte"
+        );
+        drop(resumed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // The three seeds together exercised every chaos dimension.
+    let (partitions, corruptions, rots, failovers, bursts) = dims;
+    assert!(partitions > 0, "no partitions across the seed suite");
+    assert!(corruptions > 0, "no corruptions across the seed suite");
+    assert!(rots > 0, "no bit-rot across the seed suite");
+    assert!(failovers > 0, "no failovers across the seed suite");
+    assert!(bursts > 0, "no bursts across the seed suite");
+}

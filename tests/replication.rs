@@ -271,6 +271,112 @@ fn failover_at_every_ack_boundary_preserves_a_single_chain() {
     }
 }
 
+/// An op with the same expected id slot as [`op`] but different bytes —
+/// the post-promotion chain records these so the epochs genuinely fork.
+fn fork_op(n: u64) -> WalOp {
+    WalOp::AddAnnotation {
+        expected: AnnotationId(n),
+        text: format!("forked note {n}"),
+        author: None,
+        kind: None,
+    }
+}
+
+/// The rejoin variant of the failover sweep: at every ack boundary `k`,
+/// promote, fence the deposed primary's further writes, finish the
+/// history on a *forked* new chain (different bytes past the promotion
+/// point), then **rejoin** the deposed primary as a replica of the new
+/// epoch. The rejoined node must locate the promotion point exactly,
+/// rewind precisely its un-acked epoch-1 suffix (every fenced LSN
+/// accounted once, none surviving, none double-applied), and reconverge
+/// byte-for-byte with the new chain.
+#[test]
+fn rejoin_at_every_failover_boundary_reconverges_byte_for_byte() {
+    const N: u64 = 10;
+    for rule in ack_rules() {
+        for k in 1..=N {
+            let dir = temp_dir(&format!("rejoin-{rule}-{k}"));
+            let config = ClusterConfig { rule, ..ClusterConfig::default() };
+            let mut cluster = Cluster::new(
+                &dir,
+                &nebula::relstore::Database::new(),
+                &AnnotationStore::new(),
+                2,
+                Box::new(SimTransport::reliable(3)),
+                config,
+            )
+            .expect("fresh cluster directory");
+            for i in 0..k {
+                cluster.record(&op(i)).expect("record on healthy cluster");
+            }
+            let target = cluster.best_failover_candidate().expect("a live candidate");
+            cluster.promote(target).expect("promotion");
+            let a = cluster.primary().last_lsn();
+
+            // The deposed primary keeps writing and is fenced every time.
+            assert!(matches!(
+                cluster.record_on_deposed(0, &op(a)).unwrap_err(),
+                ReplicaError::Fenced { .. }
+            ));
+            // The new chain continues with *different* records, so the
+            // deposed primary's suffix past `a` is a real fork.
+            for i in a..N {
+                cluster.record(&fork_op(i)).expect("record on the new primary");
+            }
+            cluster.pump(8);
+
+            // Reference: the agreed prefix, then the forked suffix.
+            let mut rdb = nebula::relstore::Database::new();
+            let mut rstore = AnnotationStore::new();
+            for i in 0..a {
+                replay_op(&mut rdb, &mut rstore, &op(i)).expect("reference replay");
+            }
+            for i in a..N {
+                replay_op(&mut rdb, &mut rstore, &fork_op(i)).expect("reference replay");
+            }
+            let want_digest = state_digest(&rdb, &rstore);
+            let want_bytes = state_bytes(&rdb, &rstore);
+
+            // Rejoin: the deposed primary demotes, rewinds its un-acked
+            // epoch-1 suffix, and catches up under epoch 2.
+            let deposed_last = cluster
+                .deposed()
+                .first()
+                .map(nebula::nebula_replica::Primary::last_lsn)
+                .expect("a deposed primary existed");
+            let out = cluster.rejoin(0).expect("rejoin the deposed primary");
+            assert_eq!(out.node, 0, "{rule}/{k}");
+            assert_eq!(out.epoch, 2, "{rule}/{k}");
+            assert!(out.converged, "{rule}/{k}: rejoin converged");
+            // Exactly-once accounting: the ladder pins the promotion
+            // point, and every fenced LSN past it is rewound exactly once
+            // — none survive, and the agreed prefix is not re-wound.
+            assert_eq!(out.agreed, a, "{rule}/{k}: rewind point is the promotion point");
+            assert_eq!(out.rewound, deposed_last - a, "{rule}/{k}: exactly the fenced suffix");
+            assert_eq!(cluster.deposed_nodes(), Vec::<usize>::new(), "{rule}/{k}");
+
+            // Byte-for-byte reconvergence of the whole membership — the
+            // rejoined node included — on the new chain.
+            assert_eq!(cluster.primary().shadow_digest(), want_digest, "{rule}/{k}");
+            assert_eq!(cluster.replicas().len(), 2, "{rule}/{k}: both replicas attached");
+            for r in cluster.replicas() {
+                assert!(!r.is_wedged(), "{rule}/{k}: replica {}", r.id());
+                assert_eq!(r.applied(), N, "{rule}/{k}: replica {}", r.id());
+                assert_eq!(r.digest(), want_digest, "{rule}/{k}: replica {}", r.id());
+                assert_eq!(
+                    state_bytes(r.db(), r.store()),
+                    want_bytes,
+                    "{rule}/{k}: replica {}",
+                    r.id()
+                );
+            }
+            assert_eq!(cluster.repair_status().rejoins, 1, "{rule}/{k}");
+            drop(cluster);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
 /// The acceptance bar for ack-quorum: with a full quorum, *every* acked
 /// LSN leaves every replica's state bytes identical to the primary's
 /// shadow at that LSN — commit acknowledgements never run ahead of
