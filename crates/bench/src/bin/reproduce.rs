@@ -14,6 +14,7 @@
 //!   durability               WAL append overhead + recovery vs log length
 //!   overload                 concurrent ingest under arrival pressure
 //!   replication              WAL shipping under transport faults
+//!   sharding                 scatter-gather ingest across shard counts
 //!   repair                   reconvergence cost vs divergence depth
 //!   tracing                  trace overhead + critical-path attribution
 //!   ablation-acg ablation-querygen ablation-stability
@@ -32,7 +33,7 @@
 
 use nebula_bench::{
     ablation, degradation, durability, fig11, fig12, fig13, fig14, fig15, overload, pipeline,
-    profile, repair, replication, tracing, Scale, Setup,
+    profile, repair, replication, sharding, tracing, Scale, Setup,
 };
 
 fn main() {
@@ -78,6 +79,7 @@ fn main() {
             "durability",
             "overload",
             "replication",
+            "sharding",
             "repair",
             "tracing",
             "ablation-acg",
@@ -89,7 +91,7 @@ fn main() {
         println!(
             "experiments: fig11a fig11b fig11c fig12a fig12b fig13 fig14a fig14b \
              fig15a fig15b naive-assess profile pipeline degradation durability \
-             overload replication repair tracing ablation-acg ablation-learn \
+             overload replication sharding repair tracing ablation-acg ablation-learn \
              ablation-querygen ablation-stability all"
         );
         return;
@@ -238,6 +240,11 @@ fn main() {
                 eprintln!("[reproduce] generating D_small ...");
                 let setup = Setup::small(scale);
                 replication::table(&replication::run(&setup, if fast { 30 } else { 80 })).print();
+            }
+            "sharding" => {
+                eprintln!("[reproduce] generating D_small ...");
+                let setup = Setup::small(scale);
+                sharding::table(&sharding::run(&setup, if fast { 24 } else { 64 })).print();
             }
             "repair" => {
                 repair::table(&repair::run(if fast { 48 } else { 160 })).print();

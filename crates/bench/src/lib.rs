@@ -23,6 +23,7 @@ pub mod profile;
 pub mod repair;
 pub mod replication;
 pub mod setup;
+pub mod sharding;
 pub mod table;
 pub mod tracing;
 

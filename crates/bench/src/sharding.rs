@@ -1,0 +1,174 @@
+//! Sharding experiment: scatter-gather ingest across shard counts and
+//! net profiles.
+//!
+//! Each cell ingests the same annotation sequence through a
+//! [`ShardCluster`] at a different `(shard count, net profile)` point and
+//! reports what partitioning cost and what it preserved: ingest wall
+//! time and throughput, how many annotations degraded to typed partial
+//! results, the fabric's delivery summary, and the tentpole invariants —
+//!
+//! - on a **clean** fabric nothing degrades and the merged per-shard
+//!   slices reassemble byte-identically at every shard count;
+//! - on a **lossy** fabric probes may time out (typed partials, counted,
+//!   never silent) and applies are nacked-and-retried, but the durable
+//!   history still replays to the same bytes: the merged image always
+//!   matches an unsharded twin replayed from the cluster's own log.
+//!
+//! The fault seed is `NEBULA_FAULT_SEED` (hex or decimal; default
+//! `0xF00D`), shared with the other robustness experiments.
+
+use crate::degradation::fault_seed;
+use crate::setup::Setup;
+use crate::table::Table;
+use nebula_core::{distort, NebulaConfig, SearchMode, VerificationBounds};
+use nebula_shard::{NetProfile, ShardCluster, ShardConfig};
+use std::time::Instant;
+
+/// Shard counts per net profile.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One `(shard count, net profile)` cell's outcome.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Shard count.
+    pub shards: usize,
+    /// Net-profile label (`clean` or `lossy`).
+    pub net: String,
+    /// Annotations ingested.
+    pub total: usize,
+    /// Ingest wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Annotations per second.
+    pub throughput: f64,
+    /// Annotations that completed with a typed partial result.
+    pub partials: usize,
+    /// Shards still behind the head after the run (must drain to 0).
+    pub lagging: usize,
+    /// Does the merged image match the unsharded twin's replay?
+    pub digest_match: bool,
+    /// The fabric's one-line delivery summary.
+    pub transport: String,
+}
+
+/// Run one cell.
+fn scenario(setup: &Setup, n: usize, shards: usize, net: &str) -> Cell {
+    let seed = fault_seed();
+    let mut config = ShardConfig::new(shards);
+    if net == "lossy" {
+        config.net = Some(NetProfile::lossy(seed));
+    }
+    let engine_config = NebulaConfig {
+        bounds: VerificationBounds::new(0.4, 0.85),
+        search_mode: SearchMode::Full,
+        ..Default::default()
+    };
+    let mut cluster = ShardCluster::new(
+        &setup.bundle.db,
+        &setup.bundle.annotations,
+        &setup.bundle.meta,
+        &engine_config,
+        config,
+    )
+    .expect("cluster boots");
+
+    let source = &setup.set(100).annotations;
+    let items: Vec<_> = (0..n)
+        .map(|i| {
+            let wa = &source[i % source.len()];
+            (wa.annotation.clone(), distort(&wa.ideal, 1).0)
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let mut partials = 0usize;
+    for (annotation, focal) in &items {
+        let outcome = cluster.ingest(annotation, focal).expect("sharded ingest");
+        if !outcome.degradations.is_empty() {
+            partials += 1;
+        }
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Drain: a lossy fabric may leave shards behind the head; every
+    // heal pass resends the missed batches with fresh fault draws.
+    let mut rounds = 0;
+    while !cluster.lagging().is_empty() && rounds < 64 {
+        for s in cluster.lagging() {
+            cluster.heal_shard(s);
+        }
+        rounds += 1;
+    }
+
+    let digest_match = match (cluster.merged_checkpoint(), cluster.rebuild_twin()) {
+        (Ok(merged), Ok(twin)) => merged == twin.checkpoint(),
+        _ => false,
+    };
+    Cell {
+        shards,
+        net: net.to_string(),
+        total: items.len(),
+        wall_ms,
+        throughput: items.len() as f64 / (wall_ms / 1e3).max(1e-9),
+        partials,
+        lagging: cluster.lagging().len(),
+        digest_match,
+        transport: format!("{:?}", cluster.transport_stats()),
+    }
+}
+
+/// Run the grid: shard counts `{1, 2, 4}` crossed with net profiles
+/// `{clean, lossy}`.
+pub fn run(setup: &Setup, n: usize) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for net in ["clean", "lossy"] {
+        for shards in SHARD_COUNTS {
+            cells.push(scenario(setup, n, shards, net));
+        }
+    }
+    cells
+}
+
+/// Render the grid.
+pub fn table(cells: &[Cell]) -> Table {
+    let mut t = Table::new(
+        format!("Sharding: scatter-gather ingest throughput (seed={:#x})", fault_seed()),
+        &["net", "shards", "annotations", "wall_ms", "annos/s", "partials", "lagging", "digest"],
+    );
+    for c in cells {
+        t.row(vec![
+            c.net.clone(),
+            c.shards.to_string(),
+            c.total.to_string(),
+            format!("{:.1}", c.wall_ms),
+            format!("{:.0}", c.throughput),
+            c.partials.to_string(),
+            c.lagging.to_string(),
+            if c.digest_match { "match" } else { "MISMATCH" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nebula_workload::DatasetSpec;
+
+    #[test]
+    fn every_cell_reassembles_byte_identically() {
+        let setup = Setup::new("test", &DatasetSpec::tiny());
+        let cells = run(&setup, 24);
+        assert_eq!(cells.len(), 6);
+        for c in &cells {
+            assert_eq!(c.total, 24, "{}/{}", c.net, c.shards);
+            assert!(c.throughput > 0.0, "{}/{}", c.net, c.shards);
+            assert_eq!(c.lagging, 0, "{}/{} drained: {c:?}", c.net, c.shards);
+            assert!(c.digest_match, "{}/{} merged == twin: {c:?}", c.net, c.shards);
+            if c.net == "clean" {
+                assert_eq!(c.partials, 0, "clean fabric never degrades: {c:?}");
+            }
+        }
+        let rendered = table(&cells).render();
+        assert!(rendered.contains("lossy"), "{rendered}");
+    }
+}

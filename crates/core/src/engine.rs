@@ -29,7 +29,54 @@ use annostore::{Annotation, AnnotationId, AnnotationStore, AttachmentTarget};
 use nebula_govern::{Degradation, ExecutionBudget, RetryPolicy};
 use nebula_obs::{names, PipelineEvent};
 use relstore::{Database, TupleId};
-use textsearch::{KeywordSearch, SearchError, SearchOptions, SearchStats};
+use textsearch::{
+    ExecutionMode, KeywordQuery, KeywordSearch, SearchBackend, SearchError, SearchHit,
+    SearchOptions, SearchStats,
+};
+
+/// A pluggable Stage 2 group searcher a distribution layer can install in
+/// front of the engine's local full-database search (e.g. the shard
+/// scatter-gather router in `nebula-shard`).
+///
+/// Mirrors [`SearchBackend::run_group`] but is `Send` (the ingest pool
+/// drives engines from worker threads) and `Debug` (the engine derives
+/// it). Only the *full* search routes through the override; focal-spread
+/// searches stay local — the K-hop miniDB is built from the engine's own
+/// replica, which a shard deployment keeps fully converged.
+pub trait GroupSearch: std::fmt::Debug + Send {
+    /// Execute the query group against `db` and return per-query hit
+    /// lists plus work counters, exactly as [`SearchBackend::run_group`].
+    fn run_group(
+        &self,
+        queries: &[KeywordQuery],
+        db: &Database,
+        mode: ExecutionMode,
+    ) -> Result<(Vec<Vec<SearchHit>>, SearchStats), SearchError>;
+
+    /// Short label for EXPLAIN output.
+    fn label(&self) -> &'static str {
+        "override"
+    }
+}
+
+/// Adapts a [`GroupSearch`] override to the [`SearchBackend`] seam that
+/// `identify_related_tuples` executes against.
+struct OverrideBackend<'a>(&'a dyn GroupSearch);
+
+impl SearchBackend for OverrideBackend<'_> {
+    fn run_group(
+        &self,
+        queries: &[KeywordQuery],
+        db: &Database,
+        mode: ExecutionMode,
+    ) -> Result<(Vec<Vec<SearchHit>>, SearchStats), SearchError> {
+        self.0.run_group(queries, db, mode)
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.label()
+    }
+}
 
 /// Where Stage 2 searches.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -124,6 +171,7 @@ pub struct Nebula {
     profile: HopProfile,
     queue: VerificationQueue,
     sink: Option<Box<dyn MutationSink>>,
+    searcher: Option<Box<dyn GroupSearch>>,
 }
 
 impl Nebula {
@@ -137,6 +185,7 @@ impl Nebula {
             profile: HopProfile::new(),
             queue: VerificationQueue::new(),
             sink: None,
+            searcher: None,
         }
     }
 
@@ -198,6 +247,18 @@ impl Nebula {
     /// Remove and return the installed durability sink.
     pub fn take_mutation_sink(&mut self) -> Option<Box<dyn MutationSink>> {
         self.sink.take()
+    }
+
+    /// Install (or clear, with `None`) a Stage 2 group-search override.
+    /// When set, *full* searches execute through it instead of the local
+    /// [`KeywordSearch`]; focal-spread searches stay local.
+    pub fn set_group_search(&mut self, searcher: Option<Box<dyn GroupSearch>>) {
+        self.searcher = searcher;
+    }
+
+    /// The installed group-search override, if any.
+    pub fn group_search(&self) -> Option<&dyn GroupSearch> {
+        self.searcher.as_deref()
     }
 
     /// Offer one mutation to the sink (no-op when none is installed).
@@ -275,6 +336,9 @@ impl Nebula {
         // attach under it, and an error return abandons an owned trace.
         let pipeline_trace = PipelineTrace::open();
         let _budget = nebula_govern::begin_budget(&self.config.budget);
+        // Drop notes leaked by an earlier erroring pipeline run so they
+        // cannot masquerade as this annotation's degradations.
+        nebula_govern::take_noted_degradations();
         let mut degradations: Vec<Degradation> = Vec::new();
 
         // Stage 0: register the annotation and its focal attachments.
@@ -310,6 +374,10 @@ impl Nebula {
         let stage2_trace = nebula_obs::trace::span(names::STAGE2_EXECUTE);
         let (candidates, stats, used_focal_spread) =
             self.stage2_search(db, &queries, focal, &mut degradations)?;
+        // Layers below the engine (e.g. a shard scatter-gather) note their
+        // degradations out-of-band; fold them into this annotation's
+        // outcome so partial results are typed, never silent.
+        degradations.extend(nebula_govern::take_noted_degradations());
         let report = nebula_govern::budget_report();
         if report.truncated_configurations > 0 {
             degradations.push(Degradation::TruncatedConfigurations {
@@ -498,6 +566,17 @@ impl Nebula {
         queries: &[GeneratedQuery],
         focal: &[TupleId],
     ) -> Result<(Vec<Candidate>, SearchStats), SearchError> {
+        if let Some(searcher) = self.searcher.as_deref() {
+            let backend = OverrideBackend(searcher);
+            return identify_related_tuples(
+                db,
+                &backend,
+                queries,
+                focal,
+                Some(&self.acg),
+                &self.config.execution,
+            );
+        }
         let engine = self.search_engine(db);
         identify_related_tuples(
             db,
@@ -557,6 +636,82 @@ impl Nebula {
         store.attach(aid, AttachmentTarget::tuple(tuple))?;
         self.acg.add_attachment(store, aid, tuple);
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Mirror API: replaying another engine's committed mutations.
+    //
+    // A shard sibling (or any follower holding a full replica) replays the
+    // home engine's mutation batches through these methods so its own
+    // engine state — store, ACG, hop profile, verification queue — stays
+    // byte-equivalent with the engine that originated the batch. Each
+    // method performs exactly the state transitions the originating
+    // pipeline performed, in the same order, without consulting the sink
+    // (the mutations are already committed upstream).
+    // ------------------------------------------------------------------
+
+    /// Mirror a focal (true, manual) attachment: Stage 0's per-focal
+    /// store + ACG update.
+    pub fn mirror_attach_focal(
+        &mut self,
+        store: &mut AnnotationStore,
+        aid: AnnotationId,
+        tuple: TupleId,
+    ) -> Result<(), NebulaError> {
+        store.attach(aid, AttachmentTarget::tuple(tuple))?;
+        self.acg.add_attachment(store, aid, tuple);
+        Ok(())
+    }
+
+    /// Mirror an auto-accepted (or expert-verified) attachment, including
+    /// the profile-before-attach rule of [`Nebula::process_annotation`]'s
+    /// Stage 3. `focal` must be the annotation's *manual* focal list at
+    /// accept time (its logged `AttachTuple` targets), not every true
+    /// attachment accumulated since.
+    pub fn mirror_accept(
+        &mut self,
+        store: &mut AnnotationStore,
+        aid: AnnotationId,
+        tuple: TupleId,
+        focal: &[TupleId],
+    ) -> Result<(), NebulaError> {
+        if !focal.is_empty() {
+            if let Some(hops) = self.acg.shortest_hops(tuple, focal, 16) {
+                self.profile.record(hops);
+            }
+        }
+        store.attach(aid, AttachmentTarget::tuple(tuple))?;
+        self.acg.add_attachment(store, aid, tuple);
+        Ok(())
+    }
+
+    /// Mirror a predicted attachment entering the pending band. The
+    /// verification task is enqueued with the same vid sequence the
+    /// originating engine drew; evidence strings are not replicated (they
+    /// are display-only and never feed a decision).
+    pub fn mirror_attach_predicted(
+        &mut self,
+        store: &mut AnnotationStore,
+        aid: AnnotationId,
+        tuple: TupleId,
+        confidence: f64,
+    ) -> Result<u64, NebulaError> {
+        store.attach_predicted(aid, tuple, confidence)?;
+        let vid = self.queue.next_vid();
+        self.queue.enqueue(VerificationTask {
+            vid,
+            annotation: aid,
+            tuple,
+            confidence,
+            evidence: Vec::new(),
+        });
+        Ok(vid)
+    }
+
+    /// Mirror the end of one annotation's pipeline run: advance the ACG
+    /// stability batch exactly as the originating engine did.
+    pub fn mirror_annotation_done(&mut self) {
+        self.acg.record_annotation();
     }
 
     /// Expert resolution of a pending task. `accept == true` verifies the

@@ -42,6 +42,12 @@ pub enum FaultSite {
     NetReorder,
     /// A replication transport frame is delivered twice.
     NetDuplicate,
+    /// A scatter-gather shard probe errors out while a sibling shard
+    /// serves it (the shard answers with an error instead of hits).
+    ShardProbe,
+    /// A shard boundary-edge apply fails before the batch is replayed
+    /// (the shard nacks and the origin retries).
+    ShardApply,
 }
 
 impl fmt::Display for FaultSite {
@@ -61,6 +67,8 @@ impl fmt::Display for FaultSite {
             FaultSite::NetDelay => "net-delay",
             FaultSite::NetReorder => "net-reorder",
             FaultSite::NetDuplicate => "net-duplicate",
+            FaultSite::ShardProbe => "shard-probe",
+            FaultSite::ShardApply => "shard-apply",
         };
         write!(f, "{s}")
     }
@@ -198,6 +206,8 @@ pub struct FaultPlan {
     pub io: IoFaultSpec,
     /// Seeded transport fault rates for the replication layer.
     pub net: NetFaultSpec,
+    /// Shard-layer fault rate (probe serving and boundary-edge applies).
+    pub shard: f64,
     state: u64,
 }
 
@@ -213,6 +223,7 @@ impl FaultPlan {
             panic_rate: 0.0,
             io: IoFaultSpec::default(),
             net: NetFaultSpec::default(),
+            shard: 0.0,
             state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
         }
     }
@@ -300,6 +311,13 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: set the shard-layer fault rate (probe serving and
+    /// boundary-edge applies both roll against it).
+    pub fn with_shard(mut self, rate: f64) -> FaultPlan {
+        self.shard = rate;
+        self
+    }
+
     /// Roll the seeded stream at one transport fault site. Valid sites are
     /// the four `Net*` variants; anything else never fires.
     ///
@@ -334,7 +352,7 @@ impl FaultPlan {
         format!(
             "seed={} query={:.2}{} index-probe={:.2} latency={:.2}@{}us panic={:.2} \
              io[torn={:.2} short={:.2} fsync={:.2} flip={:.2} rot={:.2}/{:.2}] \
-             net[drop={:.2} delay={:.2} reorder={:.2} dup={:.2}]",
+             net[drop={:.2} delay={:.2} reorder={:.2} dup={:.2}] shard={:.2}",
             self.seed,
             self.query.rate,
             if self.query.transient { " (transient)" } else { " (permanent)" },
@@ -352,6 +370,7 @@ impl FaultPlan {
             self.net.delay,
             self.net.reorder,
             self.net.duplicate,
+            self.shard,
         )
     }
 
@@ -407,6 +426,8 @@ pub struct FaultStats {
     pub recovered: u64,
     /// Retry attempts made against transient faults.
     pub retries: u64,
+    /// Shard-layer faults injected (probe serving + boundary applies).
+    pub shard_faults: u64,
 }
 
 impl FaultStats {

@@ -49,6 +49,30 @@ pub enum NemesisEvent {
     /// Ingest `n` annotations as one unthrottled burst (overload
     /// pressure for the admission-control path).
     Burst(u32),
+    /// Cut every scatter-gather link to `shard` of a sharded cluster
+    /// (probes time out; the shard's breaker trips; ingest degrades to
+    /// typed partial results).
+    ShardPartition {
+        /// The shard to isolate.
+        shard: usize,
+    },
+    /// Restore the links to `shard` and replay its missed batches.
+    ShardHeal {
+        /// The shard to reconnect.
+        shard: usize,
+    },
+    /// Corrupt a single shard's replica state; the next `Scrub` must
+    /// localize and repair it.
+    ShardBitRot {
+        /// The shard to poison.
+        shard: usize,
+    },
+    /// Crash `shard` and promote a replacement rebuilt from the durable
+    /// history under a bumped fencing epoch.
+    ShardFailover {
+        /// The shard to crash and rebuild.
+        shard: usize,
+    },
 }
 
 /// A composed schedule plus the seed that produced it.
@@ -58,6 +82,9 @@ pub struct NemesisPlan {
     pub seed: u64,
     /// Replica count the schedule was composed for.
     pub replicas: usize,
+    /// Shard count the schedule was composed for (0 = unsharded; no
+    /// shard events are composed).
+    pub shards: usize,
     /// Total annotations across all `Ingest`/`Burst` events.
     pub total_ops: u64,
     /// The schedule, in execution order.
@@ -85,6 +112,23 @@ impl NemesisPlan {
         }
         (partitions, corruptions, rots, failovers, bursts)
     }
+
+    /// How many shard-dimension disruptions the plan holds:
+    /// `(shard_partitions, shard_rots, shard_failovers)`.
+    pub fn shard_disruption_counts(&self) -> (usize, usize, usize) {
+        let mut partitions = 0;
+        let mut rots = 0;
+        let mut failovers = 0;
+        for e in &self.events {
+            match e {
+                NemesisEvent::ShardPartition { .. } => partitions += 1,
+                NemesisEvent::ShardBitRot { .. } => rots += 1,
+                NemesisEvent::ShardFailover { .. } => failovers += 1,
+                _ => {}
+            }
+        }
+        (partitions, rots, failovers)
+    }
 }
 
 /// xorshift64* — the same tiny deterministic generator the fault plans
@@ -108,13 +152,32 @@ impl Rng {
 
 /// Compose a deterministic chaos schedule for a cluster with `replicas`
 /// replicas, ingesting `total_ops` annotations in all. Pure: same inputs,
-/// same schedule.
+/// same schedule. Equivalent to
+/// [`compose_schedule_with_shards`]`(seed, replicas, 0, total_ops)`.
 pub fn compose_schedule(seed: u64, replicas: usize, total_ops: u64) -> NemesisPlan {
+    compose_schedule_with_shards(seed, replicas, 0, total_ops)
+}
+
+/// Compose a deterministic chaos schedule that also disrupts a sharded
+/// engine: with `shards > 0` the event dimensions grow by shard
+/// partition/heal pairs, single-shard bit-rot, and epoch-fenced shard
+/// failovers. With `shards == 0` the schedule is byte-identical to
+/// [`compose_schedule`]'s. Pure and self-closing either way: every
+/// `ShardPartition` is healed, every disruption is followed by a `Scrub`,
+/// and the schedule ends heal-everything / rejoin / scrub.
+pub fn compose_schedule_with_shards(
+    seed: u64,
+    replicas: usize,
+    shards: usize,
+    total_ops: u64,
+) -> NemesisPlan {
     let mut rng = Rng(seed ^ 0x9E37_79B9_7F4A_7C15);
     let mut events = Vec::new();
     let mut remaining = total_ops;
     let mut open_partition: Option<usize> = None;
+    let mut open_shard: Option<usize> = None;
     let mut deposed_pending = false;
+    let dims = if shards > 0 { 11 } else { 8 };
 
     // Reserve a calm tail so the final convergence runs over real traffic.
     let tail = (total_ops / 10).clamp(10, 50).min(total_ops);
@@ -125,7 +188,7 @@ pub fn compose_schedule(seed: u64, replicas: usize, total_ops: u64) -> NemesisPl
         if remaining <= tail {
             break;
         }
-        match rng.below(8) {
+        match rng.below(dims) {
             0 | 1 => {
                 // Partition a replica for the next chunk, then heal it.
                 if open_partition.is_none() && replicas > 0 {
@@ -170,6 +233,37 @@ pub fn compose_schedule(seed: u64, replicas: usize, total_ops: u64) -> NemesisPl
                     remaining -= u64::from(n);
                 }
             }
+            // A single-shard cluster has no inter-shard links to cut, so
+            // partitions only compose at shards >= 2.
+            8 | 9 if shards > 1 => {
+                // Partition a shard for the next chunk, then heal it.
+                if open_shard.is_none() {
+                    let shard = rng.below(shards as u64) as usize;
+                    events.push(NemesisEvent::ShardPartition { shard });
+                    open_shard = Some(shard);
+                } else if let Some(shard) = open_shard.take() {
+                    events.push(NemesisEvent::ShardHeal { shard });
+                    events.push(NemesisEvent::Scrub);
+                }
+            }
+            10 if shards > 0 => {
+                let shard = rng.below(shards as u64) as usize;
+                if rng.below(2) == 0 {
+                    // Never poison the partitioned shard: its missed
+                    // batches and its rot would tangle the same repair.
+                    if open_shard != Some(shard) {
+                        events.push(NemesisEvent::ShardBitRot { shard });
+                        events.push(NemesisEvent::Scrub);
+                    }
+                } else {
+                    // A shard failover rebuilds from the durable history;
+                    // heal first so the replay fabric is fully connected.
+                    if let Some(open) = open_shard.take() {
+                        events.push(NemesisEvent::ShardHeal { shard: open });
+                    }
+                    events.push(NemesisEvent::ShardFailover { shard });
+                }
+            }
             _ => {} // calm stretch
         }
     }
@@ -178,6 +272,9 @@ pub fn compose_schedule(seed: u64, replicas: usize, total_ops: u64) -> NemesisPl
     if let Some(node) = open_partition.take() {
         events.push(NemesisEvent::Heal { node });
     }
+    if let Some(shard) = open_shard.take() {
+        events.push(NemesisEvent::ShardHeal { shard });
+    }
     events.push(NemesisEvent::Rejoin);
     events.push(NemesisEvent::Scrub);
     if remaining > 0 {
@@ -185,7 +282,7 @@ pub fn compose_schedule(seed: u64, replicas: usize, total_ops: u64) -> NemesisPl
     }
     events.push(NemesisEvent::Scrub);
 
-    NemesisPlan { seed, replicas, total_ops, events }
+    NemesisPlan { seed, replicas, shards, total_ops, events }
 }
 
 #[cfg(test)]
@@ -242,6 +339,82 @@ mod tests {
             // Every schedule ends with rejoin + scrub before/after the tail.
             assert!(plan.events.iter().any(|e| matches!(e, NemesisEvent::Rejoin)));
             assert!(matches!(plan.events.last(), Some(NemesisEvent::Scrub)));
+        }
+    }
+
+    #[test]
+    fn unsharded_schedule_is_identical_through_both_entry_points() {
+        for seed in [1u64, 0xF00D, 0xBAD5EED] {
+            let a = compose_schedule(seed, 2, 600);
+            let b = compose_schedule_with_shards(seed, 2, 0, 600);
+            assert_eq!(a, b, "seed {seed:#x}: shards=0 must not perturb the schedule");
+            assert!(a.events.iter().all(|e| !matches!(
+                e,
+                NemesisEvent::ShardPartition { .. }
+                    | NemesisEvent::ShardHeal { .. }
+                    | NemesisEvent::ShardBitRot { .. }
+                    | NemesisEvent::ShardFailover { .. }
+            )));
+        }
+    }
+
+    #[test]
+    fn sharded_schedules_self_close_and_stay_in_range() {
+        for seed in [7u64, 0xF00D, 0xBAD5EED, 12345, 999] {
+            let plan = compose_schedule_with_shards(seed, 0, 3, 800);
+            assert_eq!(plan.shards, 3);
+            let mut open: Option<usize> = None;
+            for e in &plan.events {
+                match e {
+                    NemesisEvent::ShardPartition { shard } => {
+                        assert!(*shard < 3, "seed {seed:#x}: shard out of range");
+                        assert!(open.is_none(), "seed {seed:#x}: overlapping shard partitions");
+                        open = Some(*shard);
+                    }
+                    NemesisEvent::ShardHeal { shard } => {
+                        assert_eq!(open, Some(*shard), "seed {seed:#x}: heal without partition");
+                        open = None;
+                    }
+                    NemesisEvent::ShardBitRot { shard } => {
+                        assert!(*shard < 3);
+                        assert_ne!(open, Some(*shard), "seed {seed:#x}: rot on the dark shard");
+                    }
+                    NemesisEvent::ShardFailover { shard } => {
+                        assert!(*shard < 3);
+                        assert!(open.is_none(), "seed {seed:#x}: failover under shard partition");
+                    }
+                    _ => {}
+                }
+            }
+            assert!(open.is_none(), "seed {seed:#x}: schedule ends shard-partitioned");
+            assert!(matches!(plan.events.last(), Some(NemesisEvent::Scrub)));
+            let total: u64 = plan
+                .events
+                .iter()
+                .map(|e| match e {
+                    NemesisEvent::Ingest(n) | NemesisEvent::Burst(n) => u64::from(*n),
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(total, 800, "seed {seed:#x}: ingest total drifted");
+        }
+    }
+
+    #[test]
+    fn sharded_soaks_exercise_the_shard_dimension() {
+        let plan = compose_schedule_with_shards(0xF00D, 0, 3, 2000);
+        let (partitions, rots, failovers) = plan.shard_disruption_counts();
+        assert!(partitions > 0, "no shard partitions composed");
+        assert!(rots > 0, "no shard bit-rot composed");
+        assert!(failovers > 0, "no shard failovers composed");
+    }
+
+    #[test]
+    fn single_shard_schedules_never_partition_the_only_shard() {
+        for seed in [1u64, 0xF00D, 0xBAD5EED, 12345] {
+            let plan = compose_schedule_with_shards(seed, 0, 1, 1000);
+            let (partitions, _, _) = plan.shard_disruption_counts();
+            assert_eq!(partitions, 0, "seed {seed:#x}: partitioning 1 shard is total outage");
         }
     }
 

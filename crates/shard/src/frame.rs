@@ -1,0 +1,374 @@
+//! The shard wire protocol: length-free kind-byte frames, little-endian
+//! throughout, modeled on `nebula-replica`'s [`Frame`](nebula_replica::Frame).
+//!
+//! Two exchanges share the fabric:
+//!
+//! - **Scatter-gather** — `Probe` fans a query group out to every
+//!   sibling; each answers with a `ProbeReply` carrying only the hits it
+//!   *owns* (its hash slots). Replies are matched by `probe_id`; stale
+//!   replies from an earlier scatter are dropped on the floor.
+//! - **Boundary-edge exchange** — `Apply` ships one committed mutation
+//!   batch (concatenated WAL records) to a sibling, which answers
+//!   `ApplyAck` (with its post-apply store digest, feeding divergence
+//!   detection) or `ApplyNack` (naming the sequence it has actually
+//!   applied through, so the origin can resend the gap).
+//!
+//! Every frame carries the sender's fencing epoch where it matters:
+//! frames minted before a failover promote are silently discarded by
+//! receivers on the new epoch.
+
+use textsearch::{ExecutionMode, KeywordQuery, SearchHit};
+
+/// Decode failure: a frame that is truncated, of unknown kind, or
+/// structurally implausible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError(pub String);
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad shard frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// One shard-to-shard message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardFrame {
+    /// Scatter: run this query group over your owned slots and reply.
+    Probe {
+        /// Correlates replies with one scatter round.
+        probe_id: u64,
+        /// The home shard awaiting replies.
+        origin: usize,
+        /// Sender's fencing epoch.
+        epoch: u64,
+        /// Requested execution mode (isolated or shared).
+        mode: ExecutionMode,
+        /// The query group (one annotation's generated queries).
+        queries: Vec<KeywordQuery>,
+    },
+    /// Gather: one sibling's owned-slot hits for a probe.
+    ProbeReply {
+        /// The probe being answered.
+        probe_id: u64,
+        /// The answering shard.
+        shard: usize,
+        /// `false` when serving failed (injected fault or budget trip);
+        /// `groups` is empty then and the home counts the shard missing.
+        ok: bool,
+        /// One hit list per query, filtered to the answerer's owned slots.
+        groups: Vec<Vec<SearchHit>>,
+    },
+    /// Boundary-edge exchange: one committed mutation batch.
+    Apply {
+        /// Global batch sequence number (1-based).
+        seq: u64,
+        /// The shard that originated (processed) the batch.
+        origin: usize,
+        /// Sender's fencing epoch.
+        epoch: u64,
+        /// Did the originating pipeline run to completion? A batch from
+        /// an erroring pipeline replays its ops but must not advance the
+        /// ACG stability window.
+        completed: bool,
+        /// Concatenated WAL records ([`nebula_durable::encode_record`]).
+        ops: Vec<u8>,
+    },
+    /// Batch `seq` applied; `digest` is the replica's post-apply store
+    /// digest for divergence detection.
+    ApplyAck {
+        /// Acked sequence.
+        seq: u64,
+        /// Acking shard.
+        shard: usize,
+        /// FNV-1a digest of the acking shard's annotation store.
+        digest: u64,
+    },
+    /// Batch `seq` refused (gap or injected apply fault); the sender has
+    /// applied through `applied` and needs `applied+1..` resent.
+    ApplyNack {
+        /// Refused sequence.
+        seq: u64,
+        /// Refusing shard.
+        shard: usize,
+        /// Highest sequence the refusing shard has applied.
+        applied: u64,
+    },
+}
+
+const KIND_PROBE: u8 = 1;
+const KIND_PROBE_REPLY: u8 = 2;
+const KIND_APPLY: u8 = 3;
+const KIND_APPLY_ACK: u8 = 4;
+const KIND_APPLY_NACK: u8 = 5;
+
+/// Caps that keep a corrupted length prefix from ballooning allocation.
+const MAX_QUERIES: u32 = 1 << 16;
+const MAX_KEYWORDS: u32 = 1 << 12;
+const MAX_HITS: u32 = 1 << 24;
+
+impl ShardFrame {
+    /// Encode to the wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            ShardFrame::Probe { probe_id, origin, epoch, mode, queries } => {
+                out.push(KIND_PROBE);
+                out.extend_from_slice(&probe_id.to_le_bytes());
+                out.extend_from_slice(&(*origin as u32).to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.push(match mode {
+                    ExecutionMode::Isolated => 0,
+                    ExecutionMode::Shared => 1,
+                });
+                out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+                for q in queries {
+                    out.extend_from_slice(&(q.keywords.len() as u32).to_le_bytes());
+                    for kw in &q.keywords {
+                        out.extend_from_slice(&(kw.len() as u32).to_le_bytes());
+                        out.extend_from_slice(kw.as_bytes());
+                    }
+                    out.extend_from_slice(&q.weight.to_bits().to_le_bytes());
+                }
+            }
+            ShardFrame::ProbeReply { probe_id, shard, ok, groups } => {
+                out.push(KIND_PROBE_REPLY);
+                out.extend_from_slice(&probe_id.to_le_bytes());
+                out.extend_from_slice(&(*shard as u32).to_le_bytes());
+                out.push(u8::from(*ok));
+                out.extend_from_slice(&(groups.len() as u32).to_le_bytes());
+                for hits in groups {
+                    out.extend_from_slice(&(hits.len() as u32).to_le_bytes());
+                    for h in hits {
+                        out.extend_from_slice(&h.tuple.table.0.to_le_bytes());
+                        out.extend_from_slice(&h.tuple.row.to_le_bytes());
+                        out.extend_from_slice(&h.confidence.to_bits().to_le_bytes());
+                    }
+                }
+            }
+            ShardFrame::Apply { seq, origin, epoch, completed, ops } => {
+                out.push(KIND_APPLY);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&(*origin as u32).to_le_bytes());
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.push(u8::from(*completed));
+                out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+                out.extend_from_slice(ops);
+            }
+            ShardFrame::ApplyAck { seq, shard, digest } => {
+                out.push(KIND_APPLY_ACK);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&(*shard as u32).to_le_bytes());
+                out.extend_from_slice(&digest.to_le_bytes());
+            }
+            ShardFrame::ApplyNack { seq, shard, applied } => {
+                out.push(KIND_APPLY_NACK);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&(*shard as u32).to_le_bytes());
+                out.extend_from_slice(&applied.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode from the wire form.
+    pub fn decode(bytes: &[u8]) -> Result<ShardFrame, FrameError> {
+        let mut c = Cursor { bytes, at: 0 };
+        let kind = c.u8("kind")?;
+        let frame = match kind {
+            KIND_PROBE => {
+                let probe_id = c.u64("probe_id")?;
+                let origin = c.u32("origin")? as usize;
+                let epoch = c.u64("epoch")?;
+                let mode = match c.u8("mode")? {
+                    0 => ExecutionMode::Isolated,
+                    1 => ExecutionMode::Shared,
+                    m => return Err(FrameError(format!("unknown execution mode {m}"))),
+                };
+                let n = c.u32("query count")?;
+                if n > MAX_QUERIES {
+                    return Err(FrameError(format!("implausible query count {n}")));
+                }
+                let mut queries = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let kws = c.u32("keyword count")?;
+                    if kws > MAX_KEYWORDS {
+                        return Err(FrameError(format!("implausible keyword count {kws}")));
+                    }
+                    let mut keywords = Vec::with_capacity(kws as usize);
+                    for _ in 0..kws {
+                        keywords.push(c.string("keyword")?);
+                    }
+                    let weight = f64::from_bits(c.u64("weight")?);
+                    queries.push(KeywordQuery::new(keywords).with_weight(weight));
+                }
+                ShardFrame::Probe { probe_id, origin, epoch, mode, queries }
+            }
+            KIND_PROBE_REPLY => {
+                let probe_id = c.u64("probe_id")?;
+                let shard = c.u32("shard")? as usize;
+                let ok = c.u8("ok")? != 0;
+                let n = c.u32("group count")?;
+                if n > MAX_QUERIES {
+                    return Err(FrameError(format!("implausible group count {n}")));
+                }
+                let mut groups = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let hits = c.u32("hit count")?;
+                    if hits > MAX_HITS {
+                        return Err(FrameError(format!("implausible hit count {hits}")));
+                    }
+                    let mut list = Vec::with_capacity(hits as usize);
+                    for _ in 0..hits {
+                        let table = c.u32("hit table")?;
+                        let row = c.u64("hit row")?;
+                        let confidence = f64::from_bits(c.u64("hit confidence")?);
+                        list.push(SearchHit {
+                            tuple: relstore::TupleId::new(relstore::schema::TableId(table), row),
+                            confidence,
+                        });
+                    }
+                    groups.push(list);
+                }
+                ShardFrame::ProbeReply { probe_id, shard, ok, groups }
+            }
+            KIND_APPLY => {
+                let seq = c.u64("seq")?;
+                let origin = c.u32("origin")? as usize;
+                let epoch = c.u64("epoch")?;
+                let completed = c.u8("completed")? != 0;
+                let len = c.u32("ops length")? as usize;
+                let ops = c.slice("ops", len)?.to_vec();
+                ShardFrame::Apply { seq, origin, epoch, completed, ops }
+            }
+            KIND_APPLY_ACK => ShardFrame::ApplyAck {
+                seq: c.u64("seq")?,
+                shard: c.u32("shard")? as usize,
+                digest: c.u64("digest")?,
+            },
+            KIND_APPLY_NACK => ShardFrame::ApplyNack {
+                seq: c.u64("seq")?,
+                shard: c.u32("shard")? as usize,
+                applied: c.u64("applied")?,
+            },
+            k => return Err(FrameError(format!("unknown frame kind {k}"))),
+        };
+        if c.at != bytes.len() {
+            return Err(FrameError(format!("{} trailing bytes", bytes.len() - c.at)));
+        }
+        Ok(frame)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn slice(&mut self, what: &str, n: usize) -> Result<&[u8], FrameError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| FrameError(format!("truncated at {what}")))?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, FrameError> {
+        Ok(self.slice(what, 1)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, FrameError> {
+        let s = self.slice(what, 4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, FrameError> {
+        let s = self.slice(what, 8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, FrameError> {
+        let len = self.u32(what)? as usize;
+        if len > 1 << 20 {
+            return Err(FrameError(format!("implausible {what} length {len}")));
+        }
+        let s = self.slice(what, len)?;
+        String::from_utf8(s.to_vec()).map_err(|_| FrameError(format!("{what} not utf-8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::schema::TableId;
+    use relstore::TupleId;
+
+    fn roundtrip(f: ShardFrame) {
+        let bytes = f.encode();
+        assert_eq!(ShardFrame::decode(&bytes).expect("decode"), f);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        roundtrip(ShardFrame::Probe {
+            probe_id: 7,
+            origin: 2,
+            epoch: 3,
+            mode: ExecutionMode::Shared,
+            queries: vec![
+                KeywordQuery::new(["acute", "lymphoblastic"]).with_weight(0.75),
+                KeywordQuery::new(Vec::<String>::new()),
+            ],
+        });
+        roundtrip(ShardFrame::ProbeReply {
+            probe_id: 7,
+            shard: 1,
+            ok: true,
+            groups: vec![
+                vec![SearchHit { tuple: TupleId::new(TableId(4), 99), confidence: 0.512_345 }],
+                vec![],
+            ],
+        });
+        roundtrip(ShardFrame::ProbeReply { probe_id: 8, shard: 3, ok: false, groups: vec![] });
+        roundtrip(ShardFrame::Apply {
+            seq: 41,
+            origin: 0,
+            epoch: 2,
+            completed: true,
+            ops: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(ShardFrame::ApplyAck { seq: 41, shard: 2, digest: 0xDEAD_BEEF });
+        roundtrip(ShardFrame::ApplyNack { seq: 41, shard: 2, applied: 39 });
+    }
+
+    #[test]
+    fn confidence_is_bit_exact() {
+        let hit = SearchHit { tuple: TupleId::new(TableId(0), 1), confidence: 0.1 + 0.2 };
+        let f = ShardFrame::ProbeReply { probe_id: 1, shard: 0, ok: true, groups: vec![vec![hit]] };
+        match ShardFrame::decode(&f.encode()).expect("decode") {
+            ShardFrame::ProbeReply { groups, .. } => {
+                assert_eq!(groups[0][0].confidence.to_bits(), (0.1f64 + 0.2).to_bits());
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_junk_are_typed_errors() {
+        let good = ShardFrame::ApplyAck { seq: 1, shard: 0, digest: 9 }.encode();
+        for cut in 0..good.len() {
+            assert!(ShardFrame::decode(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        assert!(ShardFrame::decode(&[0xFF, 1, 2]).is_err());
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(ShardFrame::decode(&trailing).is_err());
+    }
+}

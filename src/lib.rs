@@ -64,6 +64,7 @@ pub use nebula_govern;
 pub use nebula_ingest;
 pub use nebula_obs;
 pub use nebula_replica;
+pub use nebula_shard;
 pub use nebula_workload;
 pub use relstore;
 pub use shell::{Shell, ShellError};
@@ -87,6 +88,7 @@ pub mod prelude {
         Cluster, ClusterConfig, ClusterSink, DivergenceReport, Primary, Replica, ReplicaError,
         SimTransport, Transport, TransportStats,
     };
+    pub use nebula_shard::{NetProfile, ShardCluster, ShardConfig, ShardError};
     pub use nebula_workload::{generate_dataset, DatasetBundle, DatasetSpec, WorkloadSpec};
     pub use relstore::{
         ConjunctiveQuery, DataType, Database, Predicate, TableSchema, Tuple, TupleId, Value,

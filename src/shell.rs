@@ -59,6 +59,9 @@ pub struct Shell {
     /// has one installed as the mutation sink (backs PROMOTE and
     /// SHOW REPLICATION / SHOW REPLICA).
     repl: Option<ClusterSink>,
+    /// The sharded scatter-gather cluster while `SET SHARDS` is active
+    /// (ANNOTATE routes through it; backs SHOW SHARDS).
+    shards: Option<ShardCluster>,
 }
 
 impl Shell {
@@ -70,7 +73,7 @@ impl Shell {
         // One worker by default: the shell is interactive, and `SET
         // WORKERS <n>` raises the pool when a session wants concurrency.
         let ingest = IngestConfig { workers: 1, ..IngestConfig::default() };
-        Shell { db, store, nebula, ingest, last_ingest: None, repl: None }
+        Shell { db, store, nebula, ingest, last_ingest: None, repl: None, shards: None }
     }
 
     /// Shell over a freshly generated synthetic dataset.
@@ -241,6 +244,11 @@ impl Shell {
         let [table, key] = args else {
             return Err(err("usage: DELETE <table> '<pk>'"));
         };
+        if self.shards.is_some() {
+            return Err(err(
+                "DELETE is unavailable while SET SHARDS is active — SET SHARDS OFF first",
+            ));
+        }
         let tuple = self.resolve_key(table, key)?;
         // Log before apply: the deletion reaches the WAL (when durability
         // is on) before either store mutates.
@@ -277,6 +285,42 @@ impl Shell {
             return Err(err("usage: ANNOTATE <table> '<pk>' '<text>'"));
         };
         let focal = self.resolve_key(table, key)?;
+
+        if let Some(cluster) = &mut self.shards {
+            let annotation = Annotation::new(text.clone());
+            let outcome = cluster.ingest(&annotation, &[focal]).map_err(|e| err(e.to_string()))?;
+            // Mirror the merged shard state back into the shell's store so
+            // ANNOTATIONS / SELECT keep reading the single source of truth.
+            self.store = cluster.merged_store().map_err(|e| err(e.to_string()))?;
+            let mut out = vec![format!(
+                "annotation {} attached to {table} '{key}' via shard {}; {} queries generated",
+                outcome.annotation,
+                cluster.router().route(&[focal]),
+                outcome.queries.len()
+            )];
+            for (t, conf) in &outcome.accepted {
+                out.push(format!(
+                    "  auto-accepted (conf {conf:.2}): {}",
+                    self.db.get(*t).expect("live").render()
+                ));
+            }
+            if !outcome.pending.is_empty() {
+                out.push(format!(
+                    "  {} candidates pending expert verification on their home shard",
+                    outcome.pending.len()
+                ));
+            }
+            if !outcome.rejected.is_empty() {
+                out.push(format!(
+                    "  {} low-confidence candidates auto-rejected",
+                    outcome.rejected.len()
+                ));
+            }
+            for d in &outcome.degradations {
+                out.push(format!("  degraded: {d}"));
+            }
+            return Ok(out.join("\n"));
+        }
 
         let item = IngestItem::new(Annotation::new(text.clone()), vec![focal]);
         let report =
@@ -400,8 +444,53 @@ impl Shell {
             Some("DURABILITY") => self.set_durability(&args[1..]),
             Some("REPLICAS") => self.set_replicas(&args[1..]),
             Some("WORKERS") => self.set_workers(&args[1..]),
+            Some("SHARDS") => self.set_shards(&args[1..]),
             _ => Err(err("usage: SET BUDGET ... | SET FAULTS ... | SET DURABILITY ... | \
-                 SET REPLICAS ... | SET WORKERS <n>")),
+                 SET REPLICAS ... | SET WORKERS <n> | SET SHARDS <n> | OFF")),
+        }
+    }
+
+    /// `SET SHARDS <n> | OFF` — partition the engine into `n` shards
+    /// behind the deterministic focal-hash router (ANNOTATE then
+    /// scatter-gathers keyword search across them), or collapse the
+    /// merged shard state back onto the single-engine path.
+    fn set_shards(&mut self, args: &[String]) -> Result<String, ShellError> {
+        const USAGE: &str = "usage: SET SHARDS <n>  (n >= 1) | OFF";
+        match args.first().map(|s| s.to_uppercase()).as_deref() {
+            Some("OFF") => match self.shards.take() {
+                Some(cluster) => {
+                    self.store = cluster.merged_store().map_err(|e| err(e.to_string()))?;
+                    Ok(format!(
+                        "shards: off ({} shard slices merged back into one store)",
+                        cluster.shards()
+                    ))
+                }
+                None => Ok("shards: already off".into()),
+            },
+            Some(tok) => {
+                if self.nebula.mutation_sink().is_some() {
+                    return Err(err("SET SHARDS needs the single-engine sink detached first — \
+                         run SET DURABILITY OFF / SET REPLICAS OFF"));
+                }
+                let n: usize =
+                    tok.parse().ok().filter(|n: &usize| *n >= 1).ok_or_else(|| err(USAGE))?;
+                let cluster = ShardCluster::new(
+                    &self.db,
+                    &self.store,
+                    self.nebula.meta(),
+                    self.nebula.config(),
+                    ShardConfig::new(n),
+                )
+                .map_err(|e| err(e.to_string()))?;
+                let shards = cluster.shards();
+                self.shards = Some(cluster);
+                Ok(format!(
+                    "shards: {shards} (focal-hash router over {} slots; \
+                     ANNOTATE now scatter-gathers)",
+                    nebula_ingest::SLOTS
+                ))
+            }
+            None => Err(err(USAGE)),
         }
     }
 
@@ -430,6 +519,9 @@ impl Shell {
                 Some(_) => Ok("durability: off (log closed; directory keeps its state)".into()),
                 None => Ok("durability: already off".into()),
             };
+        }
+        if self.shards.is_some() {
+            return Err(err("SET DURABILITY needs SET SHARDS OFF first"));
         }
         let mut options = DurabilityOptions::default();
         let mut i = 1;
@@ -483,6 +575,9 @@ impl Shell {
                 }
                 None => Ok("replication: already off".into()),
             };
+        }
+        if self.shards.is_some() {
+            return Err(err("SET REPLICAS needs SET SHARDS OFF first"));
         }
         let n: usize = first
             .parse()
@@ -924,6 +1019,10 @@ impl Shell {
             Some("REPLICATION") => self.show_replication(),
             Some("REPLICA") => self.show_replica(&args[1..]),
             Some("REPAIR") => self.show_repair(),
+            Some("SHARDS") => Ok(match &self.shards {
+                None => "shards: off (single-engine path)".to_string(),
+                Some(c) => format!("shards: on\n{}", c.describe().trim_end()),
+            }),
             Some("HEALTH") => Ok(match &self.last_ingest {
                 None => format!(
                     "health: healthy (no ingest yet)\n  workers: {}   queue capacity: {}",
@@ -973,7 +1072,7 @@ impl Shell {
             }
             Some("FLIGHT") => Ok(self.show_flight()),
             _ => Err(err("usage: SHOW METRICS | BUDGET | FAULTS | DURABILITY | HEALTH | \
-                 REPLICATION | REPLICA <id> | REPAIR | CRITICAL PATH | FLIGHT")),
+                 REPLICATION | REPLICA <id> | REPAIR | SHARDS | CRITICAL PATH | FLIGHT")),
         }
     }
 
@@ -1091,12 +1190,14 @@ const HELP: &str = "commands:
   SET FAULTS <seed> [RATE <r>] | HOSTILE <seed> | OFF;
   SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF;
   SET REPLICAS <n> '<dir>' [QUORUM <q>] [NETFAULTS <seed> <rate>] | OFF;
+  SET SHARDS <n> | OFF;
   PROMOTE [<id>];
   SCRUB;   REJOIN [<node>];   RECOVER INGEST;
   SET WORKERS <n>;
   CHECKPOINT;   RECOVER '<dir>';
   SHOW BUDGET;   SHOW FAULTS;   SHOW DURABILITY;   SHOW HEALTH;
   SHOW REPLICATION;   SHOW REPLICA <id> [STALENESS <n>];   SHOW REPAIR;
+  SHOW SHARDS;
   SAVE '<path>';   LOAD '<path>';
   HELP;   EXIT;";
 
@@ -1601,5 +1702,39 @@ mod tests {
         assert!(sh.exec("HELP").unwrap().contains("ANNOTATE"));
         assert!(sh.exec("FROBNICATE").is_err());
         assert_eq!(sh.exec("   ").unwrap(), "");
+    }
+
+    #[test]
+    fn sharded_session_routes_annotate_and_reports_health() {
+        let mut sh = shell();
+        assert!(sh.exec("SHOW SHARDS").unwrap().contains("shards: off"));
+
+        let on = sh.exec("SET SHARDS 2").unwrap();
+        assert!(on.contains("shards: 2"), "{on}");
+        let out = sh
+            .exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'")
+            .unwrap();
+        assert!(out.contains("via shard"), "{out}");
+        // The merged shard state is mirrored back into the shell's store.
+        let notes = sh.exec("ANNOTATIONS gene 'JW0005'").unwrap();
+        assert!(notes.contains("correlates"), "{notes}");
+
+        let status = sh.exec("SHOW SHARDS").unwrap();
+        assert!(status.contains("2 shards"), "{status}");
+        assert!(status.contains("epoch 0"), "{status}");
+        assert!(status.contains("shard 0"), "{status}");
+        assert!(status.contains("shard 1"), "{status}");
+
+        // Mutations that bypass the router are fenced off while sharded.
+        assert!(sh.exec("DELETE gene 'JW0001'").is_err());
+        assert!(sh.exec("SET DURABILITY '/tmp/nowhere'").is_err());
+        assert!(sh.exec("SET REPLICAS 1 '/tmp/nowhere'").is_err());
+
+        let off = sh.exec("SET SHARDS OFF").unwrap();
+        assert!(off.contains("shards: off"), "{off}");
+        // The annotation survives the collapse back to one engine.
+        let notes = sh.exec("ANNOTATIONS gene 'JW0005'").unwrap();
+        assert!(notes.contains("correlates"), "{notes}");
+        assert!(sh.exec("SET SHARDS 0").is_err(), "zero shards is rejected");
     }
 }
