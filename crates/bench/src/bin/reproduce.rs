@@ -16,6 +16,7 @@
 //!   replication              WAL shipping under transport faults
 //!   sharding                 scatter-gather ingest across shard counts
 //!   repair                   reconvergence cost vs divergence depth
+//!   paging                   paged storage vs RAM across pool sizes
 //!   tracing                  trace overhead + critical-path attribution
 //!   ablation-acg ablation-querygen ablation-stability
 //!   all                      everything above
@@ -32,8 +33,8 @@
 //! to `DIR/<experiment>.trace.json` (default `traces/`).
 
 use nebula_bench::{
-    ablation, degradation, durability, fig11, fig12, fig13, fig14, fig15, overload, pipeline,
-    profile, repair, replication, sharding, tracing, Scale, Setup,
+    ablation, degradation, durability, fig11, fig12, fig13, fig14, fig15, overload, paging,
+    pipeline, profile, repair, replication, sharding, tracing, Scale, Setup,
 };
 
 fn main() {
@@ -81,6 +82,7 @@ fn main() {
             "replication",
             "sharding",
             "repair",
+            "paging",
             "tracing",
             "ablation-acg",
             "ablation-learn",
@@ -91,7 +93,7 @@ fn main() {
         println!(
             "experiments: fig11a fig11b fig11c fig12a fig12b fig13 fig14a fig14b \
              fig15a fig15b naive-assess profile pipeline degradation durability \
-             overload replication sharding repair tracing ablation-acg ablation-learn \
+             overload replication sharding repair paging tracing ablation-acg ablation-learn \
              ablation-querygen ablation-stability all"
         );
         return;
@@ -248,6 +250,9 @@ fn main() {
             }
             "repair" => {
                 repair::table(&repair::run(if fast { 48 } else { 160 })).print();
+            }
+            "paging" => {
+                paging::table(&paging::run(if fast { 200 } else { 800 })).print();
             }
             "tracing" => {
                 eprintln!("[reproduce] generating D_small ...");

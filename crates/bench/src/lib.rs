@@ -18,6 +18,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod overload;
+pub mod paging;
 pub mod pipeline;
 pub mod profile;
 pub mod repair;

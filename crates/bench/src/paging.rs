@@ -1,0 +1,214 @@
+//! Paging experiment: the cost of breaking the RAM ceiling.
+//!
+//! The same row/posting workload — bulk inserts with a long-text tail,
+//! point updates, deletes, two full read sweeps, and inverted-index
+//! lookups — runs once on the RAM backend and once per buffer-pool size
+//! on the paged backend. Each cell reports wall time, throughput, the
+//! `page.*` pool accounting (hits / misses / evictions / write-backs),
+//! the final file size in pages, and the tentpole invariants:
+//!
+//! - the paged database **fingerprints identically** to the RAM twin at
+//!   every pool size, even when the pool is far smaller than the file
+//!   (pure eviction churn);
+//! - after the final flush the page file **scrubs clean** end to end.
+//!
+//! Pool sizes sweep from "everything resident" down to the 2-frame
+//! minimum, so the table shows the full curve from RAM-like caching to
+//! disk-bound thrashing.
+
+use crate::table::Table;
+use nebula_pagestore::PagedStorage;
+use relstore::{snapshot, DataType, Database, TableSchema, TupleId, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Buffer-pool sizes (frames) swept by the paged cells.
+const POOL_SIZES: [usize; 4] = [256, 64, 8, 2];
+
+/// One backend cell's outcome.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Backend label (`mem` or `disk`).
+    pub backend: String,
+    /// Buffer-pool frames (0 for the RAM backend).
+    pub pool_frames: usize,
+    /// Mutations + reads executed.
+    pub total_ops: usize,
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Operations per second.
+    pub throughput: f64,
+    /// Final page-file size in pages (0 for RAM).
+    pub file_pages: u32,
+    /// Buffer-pool hits.
+    pub hits: u64,
+    /// Buffer-pool misses (disk reads).
+    pub misses: u64,
+    /// Clock-hand evictions.
+    pub evictions: u64,
+    /// Dirty pages written back across all flushes.
+    pub write_backs: u64,
+    /// Does the database fingerprint match the RAM twin's?
+    pub digest_match: bool,
+    /// Did the final scrub come back clean?
+    pub scrub_clean: bool,
+}
+
+/// The deterministic workload: returns (ops executed, fingerprint).
+fn drive(db: &mut Database, n: usize) -> (usize, u64) {
+    db.create_table(
+        TableSchema::builder("entries")
+            .column("id", DataType::Int)
+            .column("body", DataType::Text)
+            .primary_key("id")
+            .build()
+            .expect("schema"),
+    )
+    .expect("table");
+    let mut ops = 0usize;
+    let mut live: Vec<TupleId> = Vec::new();
+    for i in 0..n {
+        // Every 9th row carries a long tail so records overflow pages.
+        let body = if i % 9 == 0 {
+            format!("entry {i} zebra {}", "x".repeat(3000 + (i * 97) % 2000))
+        } else {
+            format!("entry {i} zebra {}", "b".repeat((i * 131) % 800))
+        };
+        live.push(
+            db.insert("entries", vec![Value::Int(i as i64), Value::text(body)]).expect("insert"),
+        );
+        ops += 1;
+    }
+    for (i, tid) in live.clone().iter().enumerate().step_by(5) {
+        db.update(*tid, vec![Value::Int(i as i64), Value::text(format!("rewritten {i} zebra"))])
+            .expect("update");
+        ops += 1;
+    }
+    for tid in live.iter().skip(2).step_by(10) {
+        assert!(db.delete(*tid), "delete {tid:?}");
+        ops += 1;
+    }
+    // Two full sweeps (forward + reverse) so a small pool churns.
+    for tid in live.iter().chain(live.iter().rev()) {
+        let _ = db.get(*tid);
+        ops += 1;
+    }
+    for token in ["zebra", "rewritten", "entry"] {
+        let _ = db.inverted_index().lookup(token).len();
+        ops += 1;
+    }
+    (ops, snapshot::fingerprint(db))
+}
+
+/// Run the sweep: one RAM cell, then the paged backend at each pool size.
+pub fn run(n: usize) -> Vec<Cell> {
+    let mut cells = Vec::new();
+
+    let t0 = Instant::now();
+    let mut mem = Database::new();
+    let (ops, mem_fp) = drive(&mut mem, n);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    cells.push(Cell {
+        backend: "mem".into(),
+        pool_frames: 0,
+        total_ops: ops,
+        wall_ms,
+        throughput: ops as f64 / (wall_ms / 1e3).max(1e-9),
+        file_pages: 0,
+        hits: 0,
+        misses: 0,
+        evictions: 0,
+        write_backs: 0,
+        digest_match: true,
+        scrub_clean: true,
+    });
+
+    for frames in POOL_SIZES {
+        let dir = std::env::temp_dir()
+            .join(format!("nebula-bench-paging-{frames}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("bench directory");
+        let store = PagedStorage::open(&dir, frames).expect("paged store");
+        let t0 = Instant::now();
+        let mut db = Database::with_storage(Arc::new(store.clone()));
+        let (ops, fp) = drive(&mut db, n);
+        store.flush_pages().expect("flush");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let scrub_clean = store.scrub().map(|r| r.is_clean()).unwrap_or(false);
+        let m = store.metrics();
+        cells.push(Cell {
+            backend: "disk".into(),
+            pool_frames: frames,
+            total_ops: ops,
+            wall_ms,
+            throughput: ops as f64 / (wall_ms / 1e3).max(1e-9),
+            file_pages: m.page_count,
+            hits: m.pool.hits,
+            misses: m.pool.misses,
+            evictions: m.pool.evictions,
+            write_backs: m.pool.write_backs,
+            digest_match: fp == mem_fp,
+            scrub_clean,
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    cells
+}
+
+/// Render the sweep.
+pub fn table(cells: &[Cell]) -> Table {
+    let mut t = Table::new(
+        "Paging: row/posting workload across backends and pool sizes",
+        &[
+            "backend",
+            "pool",
+            "ops",
+            "wall_ms",
+            "ops/s",
+            "pages",
+            "hits",
+            "misses",
+            "evict",
+            "writeback",
+            "digest",
+            "scrub",
+        ],
+    );
+    for c in cells {
+        t.row(vec![
+            c.backend.clone(),
+            if c.pool_frames == 0 { "-".into() } else { c.pool_frames.to_string() },
+            c.total_ops.to_string(),
+            format!("{:.1}", c.wall_ms),
+            format!("{:.0}", c.throughput),
+            if c.backend == "mem" { "-".into() } else { c.file_pages.to_string() },
+            c.hits.to_string(),
+            c.misses.to_string(),
+            c.evictions.to_string(),
+            c.write_backs.to_string(),
+            if c.digest_match { "match" } else { "MISMATCH" }.to_string(),
+            if c.scrub_clean { "clean" } else { "CORRUPT" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pool_size_matches_the_ram_twin() {
+        let cells = run(120);
+        assert_eq!(cells.len(), 1 + POOL_SIZES.len());
+        for c in &cells {
+            assert!(c.digest_match, "{}/{}: fingerprint drifted: {c:?}", c.backend, c.pool_frames);
+            assert!(c.scrub_clean, "{}/{}: file corrupt: {c:?}", c.backend, c.pool_frames);
+            assert!(c.throughput > 0.0);
+        }
+        // The smallest pool actually thrashed; the biggest barely missed.
+        let tiny = cells.last().expect("2-frame cell");
+        assert!(tiny.evictions > 0, "2-frame pool must evict: {tiny:?}");
+        assert!(tiny.file_pages as usize > 2, "file outgrew the pool");
+    }
+}

@@ -48,6 +48,17 @@ pub enum FaultSite {
     /// A shard boundary-edge apply fails before the batch is replayed
     /// (the shard nacks and the origin retries).
     ShardApply,
+    /// A buffer-pool page read fails before the page leaves the kernel
+    /// (transient; the pool retries the syscall).
+    PageRead,
+    /// A page write-back fails mid-syscall during the in-place apply
+    /// phase (the shadow image on disk makes the apply replayable).
+    PageWrite,
+    /// An `fsync` of the page file or its shadow image fails.
+    PageFsync,
+    /// One bit of an at-rest page flips on disk (silent media rot, found
+    /// by the page scrubber's CRC walk rather than at read time).
+    PageRot,
 }
 
 impl fmt::Display for FaultSite {
@@ -69,6 +80,10 @@ impl fmt::Display for FaultSite {
             FaultSite::NetDuplicate => "net-duplicate",
             FaultSite::ShardProbe => "shard-probe",
             FaultSite::ShardApply => "shard-apply",
+            FaultSite::PageRead => "page-read",
+            FaultSite::PageWrite => "page-write",
+            FaultSite::PageFsync => "page-fsync",
+            FaultSite::PageRot => "page-rot",
         };
         write!(f, "{s}")
     }
@@ -141,6 +156,45 @@ pub struct NetFaultSpec {
     pub duplicate: f64,
 }
 
+/// Firing rates for the seeded page-store fault sites. All rates are
+/// probabilities in `[0, 1]` and default to zero, so plans built before
+/// the page store existed behave identically.
+///
+/// The page store rolls these against its **own** [`FaultPlan`] (the
+/// owned-plan discipline [`FaultPlan::roll_net`] established), so page
+/// I/O faults never shift the engine's thread-local fault stream — the
+/// property the mem-vs-paged digest-identity tests rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PageFaultSpec {
+    /// Page-read failure rate ([`FaultSite::PageRead`]).
+    pub read: f64,
+    /// Page write-back failure rate ([`FaultSite::PageWrite`]).
+    pub write: f64,
+    /// Page-file fsync failure rate ([`FaultSite::PageFsync`]).
+    pub fsync: f64,
+    /// At-rest page bit-rot rate ([`FaultSite::PageRot`]).
+    pub rot: f64,
+}
+
+/// A page-store fault that fired, with its seed-derived parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageFault {
+    /// The read syscall fails; no bytes are delivered. Transient — the
+    /// buffer pool retries it.
+    ReadError,
+    /// The write-back syscall fails mid-apply; the on-disk page may hold
+    /// any mix of old and new bytes. The shadow image makes the apply
+    /// replayable, so recovery re-drives it.
+    WriteError,
+    /// The `fsync` call fails after the bytes were handed to the OS.
+    FsyncFail,
+    /// Bit number `bit` (little-endian within the page) flips at rest.
+    Rot {
+        /// Flipped bit index in `[0, page_len * 8)`.
+        bit: usize,
+    },
+}
+
 /// A transport fault that fired, with its seed-derived parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetFault {
@@ -208,6 +262,8 @@ pub struct FaultPlan {
     pub net: NetFaultSpec,
     /// Shard-layer fault rate (probe serving and boundary-edge applies).
     pub shard: f64,
+    /// Seeded page-store fault rates for the paged storage backend.
+    pub pages: PageFaultSpec,
     state: u64,
 }
 
@@ -224,6 +280,7 @@ impl FaultPlan {
             io: IoFaultSpec::default(),
             net: NetFaultSpec::default(),
             shard: 0.0,
+            pages: PageFaultSpec::default(),
             state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
         }
     }
@@ -347,12 +404,51 @@ impl FaultPlan {
         }
     }
 
+    /// Builder: set all four page-store fault rates at once.
+    pub fn with_pages(mut self, read: f64, write: f64, fsync: f64, rot: f64) -> FaultPlan {
+        self.pages = PageFaultSpec { read, write, fsync, rot };
+        self
+    }
+
+    /// Roll the seeded stream at one page-store fault site. Valid sites
+    /// are the four `Page*` variants; anything else never fires.
+    /// `page_len` bounds the bit index a [`PageFault::Rot`] can name.
+    ///
+    /// Every call consumes exactly **two** draws (the Bernoulli roll and
+    /// the parameter draw) whether or not the fault fires, so toggling one
+    /// site's rate never shifts the stream seen by the other sites — the
+    /// same discipline [`FaultPlan::roll_net`] and `inject_io` follow.
+    pub fn roll_page(&mut self, site: FaultSite, page_len: usize) -> Option<PageFault> {
+        let rate = match site {
+            FaultSite::PageRead => self.pages.read,
+            FaultSite::PageWrite => self.pages.write,
+            FaultSite::PageFsync => self.pages.fsync,
+            FaultSite::PageRot => self.pages.rot,
+            _ => 0.0,
+        };
+        let fired = self.roll(rate);
+        let param = self.draw();
+        if !fired {
+            return None;
+        }
+        match site {
+            FaultSite::PageRead => Some(PageFault::ReadError),
+            FaultSite::PageWrite => Some(PageFault::WriteError),
+            FaultSite::PageFsync => Some(PageFault::FsyncFail),
+            FaultSite::PageRot => {
+                Some(PageFault::Rot { bit: (param as usize) % (page_len * 8).max(1) })
+            }
+            _ => None,
+        }
+    }
+
     /// Human-readable one-liner for `SHOW FAULTS`.
     pub fn describe(&self) -> String {
         format!(
             "seed={} query={:.2}{} index-probe={:.2} latency={:.2}@{}us panic={:.2} \
              io[torn={:.2} short={:.2} fsync={:.2} flip={:.2} rot={:.2}/{:.2}] \
-             net[drop={:.2} delay={:.2} reorder={:.2} dup={:.2}] shard={:.2}",
+             net[drop={:.2} delay={:.2} reorder={:.2} dup={:.2}] shard={:.2} \
+             page[read={:.2} write={:.2} fsync={:.2} rot={:.2}]",
             self.seed,
             self.query.rate,
             if self.query.transient { " (transient)" } else { " (permanent)" },
@@ -371,6 +467,10 @@ impl FaultPlan {
             self.net.reorder,
             self.net.duplicate,
             self.shard,
+            self.pages.read,
+            self.pages.write,
+            self.pages.fsync,
+            self.pages.rot,
         )
     }
 
@@ -530,5 +630,58 @@ mod tests {
         let mut plan = FaultPlan::hostile(1).with_net(1.0, 1.0, 1.0, 1.0);
         assert_eq!(plan.roll_net(FaultSite::Query), None);
         assert_eq!(plan.roll_net(FaultSite::TornWrite), None);
+    }
+
+    #[test]
+    fn roll_page_replays_identically_for_a_seed() {
+        let sites =
+            [FaultSite::PageRead, FaultSite::PageWrite, FaultSite::PageFsync, FaultSite::PageRot];
+        let mut a = FaultPlan::new(0xBEEF).with_pages(0.3, 0.3, 0.3, 0.3);
+        let mut b = FaultPlan::new(0xBEEF).with_pages(0.3, 0.3, 0.3, 0.3);
+        for i in 0..256 {
+            let site = sites[i % sites.len()];
+            assert_eq!(a.roll_page(site, 4096), b.roll_page(site, 4096), "call {i}");
+        }
+    }
+
+    #[test]
+    fn roll_page_consumes_fixed_draws_regardless_of_rates() {
+        // With read faults off in one plan and on in the other, the
+        // *other* sites must still see the same stream: every roll_page
+        // call consumes exactly two draws.
+        let mut quiet = FaultPlan::new(42).with_pages(0.0, 0.5, 0.5, 0.5);
+        let mut noisy = FaultPlan::new(42).with_pages(1.0, 0.5, 0.5, 0.5);
+        for _ in 0..64 {
+            assert_eq!(quiet.roll_page(FaultSite::PageRead, 4096), None);
+            assert!(noisy.roll_page(FaultSite::PageRead, 4096).is_some());
+            assert_eq!(
+                quiet.roll_page(FaultSite::PageWrite, 4096),
+                noisy.roll_page(FaultSite::PageWrite, 4096)
+            );
+            assert_eq!(
+                quiet.roll_page(FaultSite::PageRot, 4096),
+                noisy.roll_page(FaultSite::PageRot, 4096)
+            );
+        }
+    }
+
+    #[test]
+    fn page_rot_bit_stays_in_range() {
+        let mut plan = FaultPlan::new(9).with_pages(0.0, 0.0, 0.0, 1.0);
+        for _ in 0..128 {
+            match plan.roll_page(FaultSite::PageRot, 512) {
+                Some(PageFault::Rot { bit }) => assert!(bit < 512 * 8),
+                other => panic!("rot at rate 1.0 must fire: {other:?}"),
+            }
+        }
+        // A zero-length page cannot panic on the modulus.
+        assert!(plan.roll_page(FaultSite::PageRot, 0).is_some());
+    }
+
+    #[test]
+    fn non_page_sites_never_fire_in_roll_page() {
+        let mut plan = FaultPlan::hostile(1).with_pages(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(plan.roll_page(FaultSite::Query, 4096), None);
+        assert_eq!(plan.roll_page(FaultSite::NetDrop, 4096), None);
     }
 }

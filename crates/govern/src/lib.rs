@@ -27,7 +27,7 @@ mod fault;
 pub use budget::{BudgetExceeded, ExecutionBudget, Resource};
 pub use fault::{
     FaultPlan, FaultSite, FaultSpec, FaultStats, InjectedFault, IoFault, IoFaultSpec, NetFault,
-    NetFaultSpec, RetryPolicy,
+    NetFaultSpec, PageFault, PageFaultSpec, RetryPolicy,
 };
 
 use std::cell::RefCell;
@@ -341,7 +341,9 @@ pub fn inject(site: FaultSite) -> Option<InjectedFault> {
             }
             // Latency and panics fire through stage_boundary; the I/O
             // sites fire through inject_io; the transport sites fire
-            // through FaultPlan::roll_net on a transport-owned plan.
+            // through FaultPlan::roll_net on a transport-owned plan; the
+            // page sites fire through FaultPlan::roll_page on the page
+            // store's own plan.
             FaultSite::Latency
             | FaultSite::Panic
             | FaultSite::TornWrite
@@ -353,7 +355,11 @@ pub fn inject(site: FaultSite) -> Option<InjectedFault> {
             | FaultSite::NetDrop
             | FaultSite::NetDelay
             | FaultSite::NetReorder
-            | FaultSite::NetDuplicate => None,
+            | FaultSite::NetDuplicate
+            | FaultSite::PageRead
+            | FaultSite::PageWrite
+            | FaultSite::PageFsync
+            | FaultSite::PageRot => None,
         }?;
         match site {
             FaultSite::Query => g.fault_stats.query_errors += 1,

@@ -111,8 +111,18 @@ pub mod registry {
         "ingest.shed_deadline",
         "ingest.shed_queue_full",
         "ingest.shed_wedged",
+        "page.evictions",
+        "page.faults_injected",
+        "page.flushes",
+        "page.hits",
+        "page.misses",
+        "page.retries",
+        "page.scrub_corrupt",
+        "page.scrub_pages",
+        "page.write_backs",
         "relstore.index_probes",
         "relstore.queries_executed",
+        "relstore.storage_errors",
         "relstore.tuples_scanned",
         "repair.bitrot_detected",
         "repair.bitrot_injected",
@@ -167,6 +177,9 @@ pub mod registry {
         "ingest.health",
         "ingest.queue_depth_peak",
         "ingest.workers",
+        "page.dirty_pages",
+        "page.file_pages",
+        "page.resident_pages",
         "repair.last_scrub_lsn",
         "repair.pending",
         "repl.epoch",

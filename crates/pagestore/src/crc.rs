@@ -1,0 +1,65 @@
+//! CRC32C (Castagnoli), the per-page checksum.
+//!
+//! Same table-driven, compile-time construction as the durability
+//! layer's WAL checksum; duplicated here (≈30 lines) rather than
+//! imported so the page store stays independent of `nebula-durable` —
+//! the durability layer must be able to grow a page-file scrub without a
+//! dependency cycle.
+
+const POLY: u32 = 0x82F6_3B78;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// The CRC contribution of a lone error byte `1 << bit` with nothing
+/// after it (zero initial state, no final inversion). CRC is affine, so
+/// `crc(data ⊕ e) ⊕ crc(data)` equals the pure-linear CRC of the error
+/// pattern `e` — the init and final inversions cancel under XOR. This
+/// seed plus [`advance_zero`] walks that contribution backwards through
+/// the page, which is what makes single-bit rot correctable in O(page).
+pub(crate) fn bit_seed(bit: usize) -> u32 {
+    TABLE[1usize << bit]
+}
+
+/// Advance a pure-linear CRC state through one zero byte.
+pub(crate) fn advance_zero(state: u32) -> u32 {
+    TABLE[(state & 0xFF) as usize] ^ (state >> 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 (iSCSI) test vectors — must agree with the durability
+        // layer's implementation.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+    }
+}

@@ -1,0 +1,434 @@
+//! The buffer pool: a bounded set of resident page frames over a
+//! [`PageFile`], with pin/unpin and deterministic clock-hand
+//! (second-chance) eviction.
+//!
+//! The pool is the only path to page bytes. Reads land in a frame
+//! (counting a hit or a miss); mutations mark the frame dirty; the dirty
+//! set reaches disk only through [`BufferPool::flush`], which seals every
+//! dirty page (CRC + LSN watermark) and hands the batch — header page
+//! first, then dirty pages sorted by page id — to the page file's
+//! shadow-commit discipline. That ordering is the log-before-apply
+//! contract: the durable watermark in the header page and the page
+//! images it covers move in one atomic commit.
+//!
+//! Eviction is deterministic: the clock hand sweeps frames in index
+//! order, clearing reference bits, and the first unpinned, unreferenced
+//! frame is the victim. Evicting a dirty victim first flushes the whole
+//! dirty set (never a lone page — single-page write-back would let page
+//! images outrun the watermark).
+
+use crate::file::{CrashPoint, FaultTally, PageFile};
+use crate::page::{self, PageBuf, PAGE_SIZE};
+use crate::{counters, PageStoreError};
+use nebula_govern::FaultPlan;
+use std::collections::HashMap;
+
+/// Fewest frames a pool will run with (one victim + one pinned page).
+pub const MIN_FRAMES: usize = 2;
+
+/// Default frame budget when the caller does not size the pool.
+pub const DEFAULT_FRAMES: usize = 256;
+
+#[derive(Debug)]
+struct Frame {
+    page_id: u32,
+    buf: PageBuf,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+/// Pool counters, mirrored into the obs registry as `page.*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Accesses served from a resident frame.
+    pub hits: u64,
+    /// Accesses that had to read the page file.
+    pub misses: u64,
+    /// Frames recycled by the clock hand.
+    pub evictions: u64,
+    /// Shadow-commit flushes.
+    pub flushes: u64,
+    /// Dirty pages written back across all flushes.
+    pub write_backs: u64,
+}
+
+/// A bounded page cache over one [`PageFile`].
+#[derive(Debug)]
+pub struct BufferPool {
+    file: PageFile,
+    capacity: usize,
+    frames: Vec<Frame>,
+    map: HashMap<u32, usize>,
+    hand: usize,
+    page_count: u32,
+    watermark: u64,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Open (or create) the page file in `dir` with room for `capacity`
+    /// resident frames. The header page is read eagerly; data pages
+    /// fault in on demand.
+    pub fn open(dir: &std::path::Path, capacity: usize) -> Result<BufferPool, PageStoreError> {
+        let capacity = capacity.max(MIN_FRAMES);
+        let (file, page_count, watermark) = if dir.join(crate::file::FILE_NAME).exists() {
+            PageFile::open(dir)?
+        } else {
+            (PageFile::create(dir)?, 1, 0)
+        };
+        Ok(BufferPool {
+            file,
+            capacity,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+            page_count,
+            watermark,
+            stats: PoolStats::default(),
+        })
+    }
+
+    /// Pages in the file, including the header page.
+    pub fn page_count(&self) -> u32 {
+        self.page_count
+    }
+
+    /// The durable LSN watermark as of the last flush (or open).
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Advance the watermark; it reaches disk with the next flush.
+    pub fn set_watermark(&mut self, lsn: u64) {
+        self.watermark = self.watermark.max(lsn);
+    }
+
+    /// Pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Injected-fault tally from the underlying file.
+    pub fn fault_tally(&self) -> FaultTally {
+        self.file.fault_tally()
+    }
+
+    /// Install (or clear) the fault plan page I/O rolls against.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.file.set_fault_plan(plan);
+    }
+
+    /// The directory the page file lives in.
+    pub fn dir(&self) -> std::path::PathBuf {
+        self.file.dir().to_path_buf()
+    }
+
+    /// Roll the `PageRot` site and, if it fires, flip one at-rest bit in
+    /// a data page on disk. Resident frames are invalidated so the rot
+    /// is observed (by the scrubber or a checksum failure), not masked
+    /// by the cache.
+    pub fn inject_rot(&mut self) -> Result<Option<(u32, usize)>, PageStoreError> {
+        let hit = self.file.inject_rot(self.page_count)?;
+        if let Some((page, _)) = hit {
+            if let Some(idx) = self.map.remove(&page) {
+                // Keep the frame slot but forget the page: the next
+                // access must re-read the rotted bytes.
+                self.frames[idx].page_id = u32::MAX;
+                self.frames[idx].dirty = false;
+                self.frames[idx].pins = 0;
+                self.frames[idx].referenced = false;
+            }
+        }
+        Ok(hit)
+    }
+
+    /// Dirty pages currently awaiting a flush.
+    pub fn dirty_pages(&self) -> u64 {
+        self.frames.iter().filter(|f| f.dirty).count() as u64
+    }
+
+    /// Resident frames.
+    pub fn resident_pages(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// The frame budget this pool was opened with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocate a fresh heap page (zeroed, slotted-initialized, dirty).
+    pub fn allocate(&mut self) -> Result<u32, PageStoreError> {
+        // Find the frame first: if that triggers an eviction flush, the
+        // header it writes must not yet claim the new page (a crash there
+        // would otherwise leave a header counting a page the file lacks).
+        let idx = self.free_frame()?;
+        let id = self.page_count;
+        self.page_count += 1;
+        let mut buf = page::zeroed();
+        page::set_page_type(&mut buf, page::TYPE_HEAP);
+        crate::slotted::init(&mut buf);
+        self.frames[idx] = Frame { page_id: id, buf, dirty: true, pins: 0, referenced: true };
+        self.map.insert(id, idx);
+        Ok(id)
+    }
+
+    /// Pin a page so eviction cannot recycle its frame. Every pin must
+    /// be paired with [`BufferPool::unpin`].
+    pub fn pin(&mut self, id: u32) -> Result<(), PageStoreError> {
+        let idx = self.frame_for(id)?;
+        self.frames[idx].pins += 1;
+        Ok(())
+    }
+
+    /// Release one pin.
+    pub fn unpin(&mut self, id: u32) {
+        if let Some(&idx) = self.map.get(&id) {
+            self.frames[idx].pins = self.frames[idx].pins.saturating_sub(1);
+        }
+    }
+
+    /// Read access to a page's bytes.
+    pub fn with_page<R>(
+        &mut self,
+        id: u32,
+        f: impl FnOnce(&[u8; PAGE_SIZE]) -> R,
+    ) -> Result<R, PageStoreError> {
+        let idx = self.frame_for(id)?;
+        Ok(f(&self.frames[idx].buf))
+    }
+
+    /// Mutable access to a page's bytes; the frame is marked dirty and
+    /// the page reaches disk (sealed, LSN-stamped) at the next flush.
+    pub fn with_page_mut<R>(
+        &mut self,
+        id: u32,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R, PageStoreError> {
+        let idx = self.frame_for(id)?;
+        self.frames[idx].dirty = true;
+        Ok(f(&mut self.frames[idx].buf))
+    }
+
+    /// Flush the dirty set through one shadow commit: header page first,
+    /// then dirty pages sorted by page id, each sealed with the current
+    /// watermark as its LSN.
+    pub fn flush(&mut self) -> Result<(), PageStoreError> {
+        self.flush_inner(None)
+    }
+
+    /// [`BufferPool::flush`] torn at `crash` for the crash-point
+    /// harness. The pool is poisoned for further use; reopen the
+    /// directory to observe recovery.
+    pub fn flush_crash(&mut self, crash: CrashPoint) -> Result<(), PageStoreError> {
+        self.flush_inner(Some(crash))
+    }
+
+    fn flush_inner(&mut self, crash: Option<CrashPoint>) -> Result<(), PageStoreError> {
+        let mut dirty: Vec<usize> =
+            (0..self.frames.len()).filter(|&i| self.frames[i].dirty).collect();
+        if dirty.is_empty() && crash.is_none() {
+            return Ok(());
+        }
+        dirty.sort_by_key(|&i| self.frames[i].page_id);
+        for &i in &dirty {
+            let frame = &mut self.frames[i];
+            page::set_lsn(&mut frame.buf, self.watermark);
+            page::seal(&mut frame.buf);
+        }
+        let header = page::encode_header_page(self.page_count, self.watermark);
+        let mut batch: Vec<(u32, &PageBuf)> = Vec::with_capacity(dirty.len() + 1);
+        batch.push((0, &header));
+        for &i in &dirty {
+            batch.push((self.frames[i].page_id, &self.frames[i].buf));
+        }
+        match crash {
+            Some(point) => self.file.commit_batch_crash(&batch, point)?,
+            None => self.file.commit_batch(&batch)?,
+        }
+        let written = dirty.len() as u64;
+        for i in dirty {
+            self.frames[i].dirty = false;
+        }
+        self.stats.flushes += 1;
+        self.stats.write_backs += written;
+        nebula_obs::counter_add(counters::FLUSHES, 1);
+        nebula_obs::counter_add(counters::WRITE_BACKS, written);
+        Ok(())
+    }
+
+    /// Index of the frame holding `id`, faulting it in (and evicting if
+    /// the pool is full) when absent.
+    fn frame_for(&mut self, id: u32) -> Result<usize, PageStoreError> {
+        if id == 0 || id >= self.page_count {
+            return Err(PageStoreError::UnknownRecord(u64::from(id) << 16));
+        }
+        if let Some(&idx) = self.map.get(&id) {
+            self.frames[idx].referenced = true;
+            self.stats.hits += 1;
+            nebula_obs::counter_add(counters::HITS, 1);
+            return Ok(idx);
+        }
+        self.stats.misses += 1;
+        nebula_obs::counter_add(counters::MISSES, 1);
+        let buf = self.file.read_page(id)?;
+        if page::page_type(&buf) != page::TYPE_HEAP {
+            return Err(PageStoreError::Corrupt(format!(
+                "page {id} has type {} (expected heap)",
+                page::page_type(&buf)
+            )));
+        }
+        let idx = self.free_frame()?;
+        self.frames[idx] = Frame { page_id: id, buf, dirty: false, pins: 0, referenced: true };
+        self.map.insert(id, idx);
+        Ok(idx)
+    }
+
+    /// A frame index free to overwrite: grows the pool while under
+    /// budget, otherwise runs the clock hand.
+    fn free_frame(&mut self) -> Result<usize, PageStoreError> {
+        if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                page_id: u32::MAX,
+                buf: page::zeroed(),
+                dirty: false,
+                pins: 0,
+                referenced: false,
+            });
+            return Ok(self.frames.len() - 1);
+        }
+        // Second-chance sweep. Two full passes guarantee a victim unless
+        // every frame is pinned — that is a caller bug worth surfacing.
+        for _ in 0..self.frames.len() * 2 {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let frame = &mut self.frames[idx];
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            if frame.dirty {
+                // Never write back a lone page: flush the whole dirty
+                // set so the on-disk image stays watermark-consistent.
+                self.flush_inner(None)?;
+            }
+            let evicted = self.frames[idx].page_id;
+            self.map.remove(&evicted);
+            self.stats.evictions += 1;
+            nebula_obs::counter_add(counters::EVICTIONS, 1);
+            return Ok(idx);
+        }
+        Err(PageStoreError::Io(format!(
+            "buffer pool exhausted: all {} frames pinned",
+            self.frames.len()
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("nebula-pool-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn eviction_under_tiny_pool_preserves_every_page() {
+        let dir = tmpdir("evict");
+        let mut pool = BufferPool::open(&dir, MIN_FRAMES).unwrap();
+        // Many more pages than frames.
+        let pages: Vec<u32> = (0..16)
+            .map(|i| {
+                let id = pool.allocate().unwrap();
+                pool.with_page_mut(id, |p| {
+                    crate::slotted::insert(p, &[i as u8; 32]).unwrap();
+                })
+                .unwrap();
+                id
+            })
+            .collect();
+        pool.flush().unwrap();
+        assert!(pool.stats().evictions > 0, "tiny pool must evict");
+        // Every page reads back its record through the churn.
+        for (i, id) in pages.iter().enumerate() {
+            let ok = pool
+                .with_page(*id, |p| crate::slotted::read(p, 0) == Some(&[i as u8; 32][..]))
+                .unwrap();
+            assert!(ok, "page {id} lost its record");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pinned_frames_survive_the_clock_hand() {
+        let dir = tmpdir("pin");
+        let mut pool = BufferPool::open(&dir, MIN_FRAMES).unwrap();
+        let keep = pool.allocate().unwrap();
+        pool.flush().unwrap();
+        pool.pin(keep).unwrap();
+        for _ in 0..6 {
+            pool.allocate().unwrap();
+        }
+        assert!(pool.with_page(keep, |_| ()).is_ok());
+        assert_eq!(pool.stats().misses, 0, "pinned page never left the pool");
+        pool.unpin(keep);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flush_then_reopen_restores_pages_and_watermark() {
+        let dir = tmpdir("reopen");
+        let mut pool = BufferPool::open(&dir, 8).unwrap();
+        let id = pool.allocate().unwrap();
+        pool.with_page_mut(id, |p| {
+            crate::slotted::insert(p, b"durable").unwrap();
+        })
+        .unwrap();
+        pool.set_watermark(42);
+        pool.flush().unwrap();
+        drop(pool);
+        let mut pool = BufferPool::open(&dir, 8).unwrap();
+        assert_eq!(pool.watermark(), 42);
+        assert_eq!(pool.page_count(), 2);
+        let bytes = pool.with_page(id, |p| crate::slotted::read(p, 0).map(<[u8]>::to_vec)).unwrap();
+        assert_eq!(bytes.as_deref(), Some(&b"durable"[..]));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unflushed_changes_are_lost_flushed_changes_survive() {
+        let dir = tmpdir("volatile");
+        let mut pool = BufferPool::open(&dir, 8).unwrap();
+        let id = pool.allocate().unwrap();
+        pool.with_page_mut(id, |p| {
+            crate::slotted::insert(p, b"committed").unwrap();
+        })
+        .unwrap();
+        pool.flush().unwrap();
+        pool.with_page_mut(id, |p| {
+            crate::slotted::insert(p, b"in-flight").unwrap();
+        })
+        .unwrap();
+        drop(pool); // no flush: the second record must not survive
+        let mut pool = BufferPool::open(&dir, 8).unwrap();
+        let (first, second) = pool
+            .with_page(id, |p| {
+                (
+                    crate::slotted::read(p, 0).map(<[u8]>::to_vec),
+                    crate::slotted::read(p, 1).map(<[u8]>::to_vec),
+                )
+            })
+            .unwrap();
+        assert_eq!(first.as_deref(), Some(&b"committed"[..]));
+        assert_eq!(second, None, "unflushed record leaked to disk");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,315 @@
+//! The slotted record layout inside a heap page.
+//!
+//! Records grow upward from the end of the page header; the slot
+//! directory grows downward from the end of the page, 4 bytes per slot
+//! (`u16` offset, `u16` length). Slot indices are stable for the life of
+//! the page — deletion marks the slot dead (`offset == 0xFFFF`) and a
+//! later insert may reuse it — so `(page, slot)` record ids survive
+//! in-page compaction, which moves bytes but never renumbers slots.
+//!
+//! Every reader is hostile-byte safe: slot counts and offsets read from
+//! the page are validated before use, so a corrupt page yields `None`
+//! rather than a panic or an over-read.
+
+use crate::page::{HEADER_SIZE, PAGE_SIZE};
+
+/// Marker offset for a dead (deleted, reusable) slot.
+const DEAD: u16 = 0xFFFF;
+
+/// Bytes one slot directory entry costs.
+const SLOT_COST: usize = 4;
+
+/// Read the slot count from the page header.
+pub fn slot_count(page: &[u8; PAGE_SIZE]) -> usize {
+    u16::from_le_bytes([page[14], page[15]]) as usize
+}
+
+fn set_slot_count(page: &mut [u8; PAGE_SIZE], count: usize) {
+    let bytes = (count as u16).to_le_bytes();
+    page[14] = bytes[0];
+    page[15] = bytes[1];
+}
+
+/// Read the free offset (start of the contiguous free tail).
+fn free_off(page: &[u8; PAGE_SIZE]) -> usize {
+    u16::from_le_bytes([page[16], page[17]]) as usize
+}
+
+fn set_free_off(page: &mut [u8; PAGE_SIZE], off: usize) {
+    let bytes = (off as u16).to_le_bytes();
+    page[16] = bytes[0];
+    page[17] = bytes[1];
+}
+
+/// Initialize an empty heap payload (call on a fresh page after setting
+/// the page type).
+pub fn init(page: &mut [u8; PAGE_SIZE]) {
+    set_slot_count(page, 0);
+    set_free_off(page, HEADER_SIZE);
+}
+
+/// Slot entry `(offset, length)`, unvalidated.
+fn slot_entry(page: &[u8; PAGE_SIZE], slot: usize) -> Option<(u16, u16)> {
+    let base = PAGE_SIZE.checked_sub(SLOT_COST * (slot + 1))?;
+    if base < HEADER_SIZE {
+        return None;
+    }
+    let off = u16::from_le_bytes([page[base], page[base + 1]]);
+    let len = u16::from_le_bytes([page[base + 2], page[base + 3]]);
+    Some((off, len))
+}
+
+fn set_slot_entry(page: &mut [u8; PAGE_SIZE], slot: usize, off: u16, len: u16) {
+    let base = PAGE_SIZE - SLOT_COST * (slot + 1);
+    page[base..base + 2].copy_from_slice(&off.to_le_bytes());
+    page[base + 2..base + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Where the slot directory starts for `count` slots.
+fn dir_start(count: usize) -> usize {
+    PAGE_SIZE.saturating_sub(SLOT_COST * count)
+}
+
+/// Read record `slot`, validating every field against the page bounds.
+pub fn read(page: &[u8; PAGE_SIZE], slot: usize) -> Option<&[u8]> {
+    let count = slot_count(page);
+    if slot >= count || dir_start(count) < HEADER_SIZE {
+        return None;
+    }
+    let (off, len) = slot_entry(page, slot)?;
+    if off == DEAD {
+        return None;
+    }
+    let (off, len) = (off as usize, len as usize);
+    if off < HEADER_SIZE || off.checked_add(len)? > dir_start(count) {
+        return None;
+    }
+    Some(&page[off..off + len])
+}
+
+/// Bytes occupied by live records.
+fn live_bytes(page: &[u8; PAGE_SIZE]) -> usize {
+    let count = slot_count(page);
+    (0..count)
+        .filter_map(|s| slot_entry(page, s))
+        .filter(|(off, _)| *off != DEAD)
+        .map(|(_, len)| len as usize)
+        .sum()
+}
+
+/// Largest record this page can still accept (accounting for whether a
+/// dead slot is reusable or a new directory entry must be paid for).
+/// Agrees exactly with [`fits`]: `fits(page, n)` iff `n <= free_bytes`.
+pub fn free_bytes(page: &[u8; PAGE_SIZE]) -> usize {
+    let count = slot_count(page);
+    if dir_start(count) < HEADER_SIZE {
+        return 0;
+    }
+    let usable = PAGE_SIZE - HEADER_SIZE - SLOT_COST * count - live_bytes(page);
+    let has_dead = (0..count).filter_map(|s| slot_entry(page, s)).any(|(off, _)| off == DEAD);
+    if has_dead {
+        usable
+    } else {
+        usable.saturating_sub(SLOT_COST)
+    }
+}
+
+/// Whether a record of `len` bytes fits in this page (possibly after
+/// compaction).
+pub fn fits(page: &[u8; PAGE_SIZE], len: usize) -> bool {
+    let count = slot_count(page);
+    if dir_start(count) < HEADER_SIZE {
+        return false; // corrupt count: never place data here
+    }
+    let has_dead = (0..count).filter_map(|s| slot_entry(page, s)).any(|(off, _)| off == DEAD);
+    let slot_cost = if has_dead { 0 } else { SLOT_COST };
+    let usable = PAGE_SIZE - HEADER_SIZE - SLOT_COST * count - live_bytes(page);
+    usable >= len + slot_cost
+}
+
+/// Insert a record, returning its slot index. Reuses the lowest dead
+/// slot, compacting the page first when the contiguous tail is too small
+/// but enough dead bytes exist. Returns `None` when the record cannot
+/// fit.
+pub fn insert(page: &mut [u8; PAGE_SIZE], bytes: &[u8]) -> Option<usize> {
+    if !fits(page, bytes.len()) {
+        return None;
+    }
+    let count = slot_count(page);
+    let dead = (0..count).find(|s| matches!(slot_entry(page, *s), Some((off, _)) if off == DEAD));
+    let new_count = if dead.is_some() { count } else { count + 1 };
+    if free_off(page) + bytes.len() > dir_start(new_count) {
+        compact(page);
+    }
+    let off = free_off(page);
+    if off + bytes.len() > dir_start(new_count) {
+        return None; // accounting disagrees with the bytes: treat as full
+    }
+    page[off..off + bytes.len()].copy_from_slice(bytes);
+    let slot = dead.unwrap_or(count);
+    set_slot_count(page, new_count);
+    set_slot_entry(page, slot, off as u16, bytes.len() as u16);
+    set_free_off(page, off + bytes.len());
+    Some(slot)
+}
+
+/// Mark a slot dead. Returns true if it held a live record. The slot
+/// index stays valid (and reusable); the bytes are reclaimed by the next
+/// compaction.
+pub fn remove(page: &mut [u8; PAGE_SIZE], slot: usize) -> bool {
+    let count = slot_count(page);
+    if slot >= count || dir_start(count) < HEADER_SIZE {
+        return false;
+    }
+    match slot_entry(page, slot) {
+        Some((off, _)) if off != DEAD => {
+            set_slot_entry(page, slot, DEAD, 0);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Replace a record in place **only if** the new bytes are no longer
+/// than the old record (the common posting-block append path after a
+/// compaction made room). Returns false when the caller must relocate.
+pub fn replace(page: &mut [u8; PAGE_SIZE], slot: usize, bytes: &[u8]) -> bool {
+    let count = slot_count(page);
+    if slot >= count || dir_start(count) < HEADER_SIZE {
+        return false;
+    }
+    let Some((off, len)) = slot_entry(page, slot) else { return false };
+    if off == DEAD || (bytes.len() > len as usize) {
+        return false;
+    }
+    let off = off as usize;
+    if off < HEADER_SIZE || off + (len as usize) > dir_start(count) {
+        return false;
+    }
+    page[off..off + bytes.len()].copy_from_slice(bytes);
+    // Shrinking leaves a hole after the record; the entry's length
+    // changes and compaction reclaims the difference later.
+    set_slot_entry(page, slot, off as u16, bytes.len() as u16);
+    true
+}
+
+/// Compact the data region: live records move down to be contiguous (in
+/// slot-index order), dead bytes return to the free tail. Slot indices
+/// are preserved.
+pub fn compact(page: &mut [u8; PAGE_SIZE]) {
+    let count = slot_count(page);
+    if dir_start(count) < HEADER_SIZE {
+        return;
+    }
+    let mut data = Vec::with_capacity(PAGE_SIZE);
+    let mut entries = Vec::with_capacity(count);
+    for slot in 0..count {
+        match read(page, slot) {
+            Some(bytes) => {
+                let off = HEADER_SIZE + data.len();
+                entries.push((slot, off as u16, bytes.len() as u16));
+                data.extend_from_slice(bytes);
+            }
+            None => entries.push((slot, DEAD, 0)),
+        }
+    }
+    page[HEADER_SIZE..HEADER_SIZE + data.len()].copy_from_slice(&data);
+    for (slot, off, len) in entries {
+        set_slot_entry(page, slot, off, len);
+    }
+    set_free_off(page, HEADER_SIZE + data.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::zeroed;
+
+    #[test]
+    fn insert_read_roundtrip() {
+        let mut page = zeroed();
+        init(&mut page);
+        let a = insert(&mut page, b"alpha").unwrap();
+        let b = insert(&mut page, b"").unwrap();
+        let c = insert(&mut page, &[7u8; 100]).unwrap();
+        assert_eq!(read(&page, a).unwrap(), b"alpha");
+        assert_eq!(read(&page, b).unwrap(), b"");
+        assert_eq!(read(&page, c).unwrap(), &[7u8; 100][..]);
+        assert_eq!(slot_count(&page), 3);
+    }
+
+    #[test]
+    fn remove_then_reuse_lowest_dead_slot() {
+        let mut page = zeroed();
+        init(&mut page);
+        let a = insert(&mut page, b"one").unwrap();
+        let b = insert(&mut page, b"two").unwrap();
+        assert!(remove(&mut page, a));
+        assert!(!remove(&mut page, a), "double remove is a no-op");
+        assert!(read(&page, a).is_none());
+        let c = insert(&mut page, b"three").unwrap();
+        assert_eq!(c, a, "dead slot reused");
+        assert_eq!(read(&page, b).unwrap(), b"two");
+        assert_eq!(slot_count(&page), 2, "no new slot minted");
+    }
+
+    #[test]
+    fn fills_to_capacity_and_compacts() {
+        let mut page = zeroed();
+        init(&mut page);
+        // Fill with 100-byte records until full.
+        let mut slots = Vec::new();
+        while let Some(s) = insert(&mut page, &[9u8; 100]) {
+            slots.push(s);
+        }
+        assert!(slots.len() >= 38, "expected ~39 records, got {}", slots.len());
+        // Delete every other record, then a 150-byte record must fit via
+        // compaction even though no single hole is big enough.
+        for s in slots.iter().step_by(2) {
+            remove(&mut page, *s);
+        }
+        let big = insert(&mut page, &[1u8; 150]).expect("fits after compaction");
+        assert_eq!(read(&page, big).unwrap(), &[1u8; 150][..]);
+        // Survivors still read back.
+        for s in slots.iter().skip(1).step_by(2) {
+            if *s != big {
+                assert_eq!(read(&page, *s).map(<[u8]>::len), Some(100));
+            }
+        }
+    }
+
+    #[test]
+    fn replace_in_place_only_when_it_fits() {
+        let mut page = zeroed();
+        init(&mut page);
+        let a = insert(&mut page, &[1u8; 50]).unwrap();
+        assert!(replace(&mut page, a, &[2u8; 50]));
+        assert_eq!(read(&page, a).unwrap(), &[2u8; 50][..]);
+        assert!(replace(&mut page, a, &[3u8; 10]), "shrink ok");
+        assert_eq!(read(&page, a).unwrap(), &[3u8; 10][..]);
+        assert!(!replace(&mut page, a, &[4u8; 11]), "grow needs relocation");
+    }
+
+    #[test]
+    fn hostile_pages_never_panic() {
+        // Absurd slot count.
+        let mut page = zeroed();
+        init(&mut page);
+        page[14] = 0xFF;
+        page[15] = 0xFF;
+        assert!(read(&page, 0).is_none());
+        assert!(!remove(&mut page, 0));
+        assert!(!fits(&page, 1));
+        assert_eq!(insert(&mut page, b"x"), None);
+        compact(&mut page);
+        // Offset pointing into the slot directory.
+        let mut page = zeroed();
+        init(&mut page);
+        insert(&mut page, b"victim").unwrap();
+        set_slot_entry(&mut page, 0, (PAGE_SIZE - 2) as u16, 40);
+        assert!(read(&page, 0).is_none());
+        // Offset/len overflowing u16 arithmetic.
+        set_slot_entry(&mut page, 0, 0xFFFE, 0xFFFE);
+        assert!(read(&page, 0).is_none());
+    }
+}

@@ -4,21 +4,27 @@ use crate::catalog::{Catalog, ForeignKey};
 use crate::error::{Error, Result};
 use crate::index::InvertedIndex;
 use crate::schema::{TableId, TableSchema};
+use crate::storage::{StorageFactory, POSTINGS_NAMESPACE};
 use crate::table::Table;
 use crate::tuple::{Tuple, TupleId};
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// An in-memory relational database.
+/// A relational database, RAM-resident or disk-paged.
 ///
 /// Maintains a [`Catalog`], one [`Table`] per registered schema, and a
 /// database-wide [`InvertedIndex`] over every searchable text column —
-/// the index the keyword-search layer probes.
+/// the index the keyword-search layer probes. When built with
+/// [`Database::with_storage`], row payloads and posting blocks live in
+/// backends the factory opens (one namespace per table plus one for the
+/// index); otherwise everything stays in RAM.
 #[derive(Debug, Default)]
 pub struct Database {
     catalog: Catalog,
     tables: HashMap<TableId, Table>,
     inverted: InvertedIndex,
+    storage: Option<Arc<dyn StorageFactory>>,
 }
 
 impl Database {
@@ -27,10 +33,38 @@ impl Database {
         Database::default()
     }
 
+    /// Create an empty database whose row payloads and posting blocks
+    /// live in backends opened by `factory`.
+    pub fn with_storage(factory: Arc<dyn StorageFactory>) -> Self {
+        Database {
+            catalog: Catalog::default(),
+            tables: HashMap::new(),
+            inverted: InvertedIndex::with_backend(factory.open(POSTINGS_NAMESPACE)),
+            storage: Some(factory),
+        }
+    }
+
+    /// The storage factory behind this database, if it is disk-paged.
+    pub fn storage_factory(&self) -> Option<&Arc<dyn StorageFactory>> {
+        self.storage.as_ref()
+    }
+
+    /// One-line description of where the database's bytes live.
+    pub fn storage_label(&self) -> String {
+        match &self.storage {
+            Some(f) => f.describe(),
+            None => "mem".into(),
+        }
+    }
+
     /// Register a table from a schema. Fails if the name is taken.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<TableId> {
         let id = self.catalog.register(&schema.name)?;
-        self.tables.insert(id, Table::new(id, schema));
+        let table = match &self.storage {
+            Some(factory) => Table::with_backend(id, schema, factory.open(id.0)),
+            None => Table::new(id, schema),
+        };
+        self.tables.insert(id, table);
         Ok(id)
     }
 
@@ -104,8 +138,13 @@ impl Database {
 
     /// Restore one row slot during snapshot load: bypasses validation but
     /// rebuilds the inverted index for live searchable text cells.
-    pub(crate) fn restore_slot(&mut self, table: TableId, live: bool, values: Vec<Value>) {
-        let Some(t) = self.tables.get_mut(&table) else { return };
+    pub(crate) fn restore_slot(
+        &mut self,
+        table: TableId,
+        live: bool,
+        values: Vec<Value>,
+    ) -> Result<()> {
+        let Some(t) = self.tables.get_mut(&table) else { return Ok(()) };
         let searchable: Vec<(crate::schema::ColumnId, String)> = if live {
             t.schema()
                 .iter_columns()
@@ -116,10 +155,11 @@ impl Database {
         } else {
             Vec::new()
         };
-        let tid = t.restore_slot(live, values);
+        let tid = t.restore_slot(live, values)?;
         for (cid, text) in searchable {
             self.inverted.add_cell(table, cid, tid, &text);
         }
+        Ok(())
     }
 
     /// Restore a foreign key during snapshot load, validating the

@@ -37,6 +37,8 @@ pub enum Error {
     BudgetExceeded(nebula_govern::BudgetExceeded),
     /// A seeded fault plan injected a failure at a relstore site.
     FaultInjected(nebula_govern::InjectedFault),
+    /// The storage backend behind a table or the inverted index failed.
+    Storage(crate::storage::StorageError),
 }
 
 impl fmt::Display for Error {
@@ -65,6 +67,7 @@ impl fmt::Display for Error {
             Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Error::BudgetExceeded(b) => write!(f, "{b}"),
             Error::FaultInjected(fault) => write!(f, "{fault}"),
+            Error::Storage(e) => write!(f, "{e}"),
         }
     }
 }
@@ -80,6 +83,12 @@ impl From<nebula_govern::BudgetExceeded> for Error {
 impl From<nebula_govern::InjectedFault> for Error {
     fn from(fault: nebula_govern::InjectedFault) -> Error {
         Error::FaultInjected(fault)
+    }
+}
+
+impl From<crate::storage::StorageError> for Error {
+    fn from(e: crate::storage::StorageError) -> Error {
+        Error::Storage(e)
     }
 }
 

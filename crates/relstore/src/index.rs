@@ -2,9 +2,11 @@
 //! index used by keyword search.
 
 use crate::schema::{ColumnId, TableId};
+use crate::storage::{decode_posting_block, encode_posting_block, StorageBackend};
 use crate::tuple::TupleId;
 use crate::value::Value;
-use std::collections::HashMap;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, HashMap};
 
 /// Exact-match hash index mapping a value to the tuple ids holding it.
 #[derive(Debug, Default)]
@@ -51,15 +53,38 @@ pub struct Posting {
     pub tuple: TupleId,
 }
 
+/// How many postings one paged block holds before a new block starts.
+/// Blocks are delta-compressed ([`encode_posting_block`]), so 128
+/// postings stay far below a page's payload capacity.
+const BLOCK_POSTINGS: usize = 128;
+
+/// Where the posting lists live. `Mem` keeps decoded lists in a map;
+/// `Paged` keeps delta-compressed blocks in a [`StorageBackend`] with a
+/// RAM-resident term directory (token → block record ids). The directory
+/// is a `BTreeMap` so every mutation path walks terms in sorted order —
+/// page-access order, and therefore the page file bytes, stay
+/// deterministic for a fixed operation sequence.
+#[derive(Debug)]
+enum Postings {
+    Mem(HashMap<String, Vec<Posting>>),
+    Paged { backend: Box<dyn StorageBackend>, dir: BTreeMap<String, Vec<u64>> },
+}
+
 /// Tokenized inverted index over text columns of the whole database.
 ///
 /// Tokens are lower-cased words; the tokenizer splits on any
 /// non-alphanumeric character and keeps digits so identifiers such as
 /// `JW0013` survive intact.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct InvertedIndex {
-    postings: HashMap<String, Vec<Posting>>,
+    postings: Postings,
     documents: u64,
+}
+
+impl Default for InvertedIndex {
+    fn default() -> Self {
+        InvertedIndex { postings: Postings::Mem(HashMap::new()), documents: 0 }
+    }
 }
 
 /// Split text into lower-cased alphanumeric tokens.
@@ -80,31 +105,136 @@ pub fn tokenize(text: &str) -> Vec<String> {
 }
 
 impl InvertedIndex {
+    /// An index whose posting blocks live in `backend` (the term
+    /// directory stays in RAM).
+    pub fn with_backend(backend: Box<dyn StorageBackend>) -> Self {
+        InvertedIndex { postings: Postings::Paged { backend, dir: BTreeMap::new() }, documents: 0 }
+    }
+
     /// Index one cell's text.
     pub fn add_cell(&mut self, table: TableId, column: ColumnId, tuple: TupleId, text: &str) {
         self.documents += 1;
         let posting = Posting { table, column, tuple };
         for token in tokenize(text) {
-            let list = self.postings.entry(token).or_default();
-            // A token may repeat within one cell; store each posting once.
-            if list.last() != Some(&posting) {
-                list.push(posting);
+            match &mut self.postings {
+                Postings::Mem(map) => {
+                    let list = map.entry(token).or_default();
+                    // A token may repeat within one cell; store each
+                    // posting once.
+                    if list.last() != Some(&posting) {
+                        list.push(posting);
+                    }
+                }
+                Postings::Paged { backend, dir } => {
+                    let blocks = dir.entry(token).or_default();
+                    let tail = match blocks.last() {
+                        Some(&id) => match read_block(backend.as_ref(), id) {
+                            Some(postings) => Some((id, postings)),
+                            None => continue, // unreadable tail: drop the cell
+                        },
+                        None => None,
+                    };
+                    match tail {
+                        Some((_, tail_postings)) if tail_postings.last() == Some(&posting) => {}
+                        Some((id, mut tail_postings)) if tail_postings.len() < BLOCK_POSTINGS => {
+                            tail_postings.push(posting);
+                            if let Ok(new_id) =
+                                backend.update(id, &encode_posting_block(&tail_postings))
+                            {
+                                if let Some(last) = blocks.last_mut() {
+                                    *last = new_id;
+                                }
+                            } else {
+                                nebula_obs::counter_add("relstore.storage_errors", 1);
+                            }
+                        }
+                        _ => {
+                            // No tail yet, or the tail block is full:
+                            // start a fresh block.
+                            match backend.insert(&encode_posting_block(&[posting])) {
+                                Ok(id) => blocks.push(id),
+                                Err(_) => {
+                                    nebula_obs::counter_add("relstore.storage_errors", 1);
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
     }
 
     /// Remove every posting for the given tuple (used on delete).
     pub fn remove_tuple(&mut self, tuple: TupleId) {
-        self.postings.retain(|_, list| {
-            list.retain(|p| p.tuple != tuple);
-            !list.is_empty()
-        });
+        match &mut self.postings {
+            Postings::Mem(map) => {
+                map.retain(|_, list| {
+                    list.retain(|p| p.tuple != tuple);
+                    !list.is_empty()
+                });
+            }
+            Postings::Paged { backend, dir } => {
+                // Sorted term walk keeps the page-access order (and so
+                // the file bytes) deterministic.
+                let mut empty_terms = Vec::new();
+                for (token, blocks) in dir.iter_mut() {
+                    blocks.retain_mut(|id| {
+                        let Some(postings) = read_block(backend.as_ref(), *id) else {
+                            return true; // unreadable: keep for the scrubber
+                        };
+                        if !postings.iter().any(|p| p.tuple == tuple) {
+                            return true;
+                        }
+                        let kept: Vec<Posting> =
+                            postings.into_iter().filter(|p| p.tuple != tuple).collect();
+                        if kept.is_empty() {
+                            if backend.delete(*id).is_err() {
+                                nebula_obs::counter_add("relstore.storage_errors", 1);
+                            }
+                            false
+                        } else {
+                            match backend.update(*id, &encode_posting_block(&kept)) {
+                                Ok(new_id) => *id = new_id,
+                                Err(_) => {
+                                    nebula_obs::counter_add("relstore.storage_errors", 1);
+                                }
+                            }
+                            true
+                        }
+                    });
+                    if blocks.is_empty() {
+                        empty_terms.push(token.clone());
+                    }
+                }
+                for token in empty_terms {
+                    dir.remove(&token);
+                }
+            }
+        }
     }
 
-    /// All postings for a token (exact match, case-insensitive).
-    pub fn lookup(&self, token: &str) -> &[Posting] {
+    /// All postings for a token (exact match, case-insensitive). The
+    /// `Mem` backend borrows its list; the `Paged` backend decodes the
+    /// token's blocks into an owned list.
+    pub fn lookup(&self, token: &str) -> Cow<'_, [Posting]> {
         nebula_obs::counter_add("relstore.index_probes", 1);
-        self.postings.get(&token.to_lowercase()).map(Vec::as_slice).unwrap_or(&[])
+        match &self.postings {
+            Postings::Mem(map) => {
+                Cow::Borrowed(map.get(&token.to_lowercase()).map(Vec::as_slice).unwrap_or(&[]))
+            }
+            Postings::Paged { backend, dir } => {
+                let Some(blocks) = dir.get(&token.to_lowercase()) else {
+                    return Cow::Owned(Vec::new());
+                };
+                let mut out = Vec::new();
+                for &id in blocks {
+                    if let Some(postings) = read_block(backend.as_ref(), id) {
+                        out.extend(postings);
+                    }
+                }
+                Cow::Owned(out)
+            }
+        }
     }
 
     /// Document frequency of a token — the number of postings, used for
@@ -120,7 +250,28 @@ impl InvertedIndex {
 
     /// Number of distinct tokens.
     pub fn vocabulary(&self) -> usize {
-        self.postings.len()
+        match &self.postings {
+            Postings::Mem(map) => map.len(),
+            Postings::Paged { dir, .. } => dir.len(),
+        }
+    }
+}
+
+/// Fetch and decode one posting block, degrading to `None` (plus the
+/// storage-error counter) on I/O or codec failure.
+fn read_block(backend: &dyn StorageBackend, id: u64) -> Option<Vec<Posting>> {
+    match backend.get(id) {
+        Ok(Some(bytes)) => match decode_posting_block(&bytes) {
+            Ok(postings) => Some(postings),
+            Err(_) => {
+                nebula_obs::counter_add("relstore.storage_errors", 1);
+                None
+            }
+        },
+        _ => {
+            nebula_obs::counter_add("relstore.storage_errors", 1);
+            None
+        }
     }
 }
 

@@ -47,6 +47,7 @@ pub mod query;
 pub mod schema;
 pub mod select;
 pub mod snapshot;
+pub mod storage;
 pub mod table;
 pub mod tuple;
 pub mod value;
@@ -58,6 +59,7 @@ pub use index::{HashIndex, InvertedIndex, Posting};
 pub use query::{ConjunctiveQuery, JoinStep, Predicate, QueryResult};
 pub use schema::{ColumnDef, ColumnId, TableId, TableSchema, TableSchemaBuilder};
 pub use select::{Order, SelectResult, SelectRow, SelectStatement};
+pub use storage::{StorageBackend, StorageError, StorageFactory, POSTINGS_NAMESPACE};
 pub use table::Table;
 pub use tuple::{Tuple, TupleId};
 pub use value::{DataType, Value};

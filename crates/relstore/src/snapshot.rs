@@ -75,7 +75,7 @@ fn get_string(buf: &mut Bytes) -> Result<String, SnapshotError> {
     String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::BadString)
 }
 
-fn put_value(buf: &mut BytesMut, v: &Value) {
+pub(crate) fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::Null => buf.put_u8(0),
         Value::Int(i) => {
@@ -93,7 +93,7 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn get_value(buf: &mut Bytes) -> Result<Value, SnapshotError> {
+pub(crate) fn get_value(buf: &mut Bytes) -> Result<Value, SnapshotError> {
     if buf.remaining() < 1 {
         return Err(SnapshotError::Truncated("value tag"));
     }
@@ -175,11 +175,11 @@ pub fn save(db: &Database) -> Bytes {
             }
             None => buf.put_u8(0),
         }
-        let slots: Vec<(bool, &[Value])> = table.raw_slots().collect();
+        let slots: Vec<(bool, Vec<Value>)> = table.raw_slots().collect();
         buf.put_u64_le(slots.len() as u64);
         for (live, values) in slots {
             buf.put_u8(live as u8);
-            for v in values {
+            for v in &values {
                 put_value(&mut buf, v);
             }
         }
@@ -197,11 +197,26 @@ pub fn save(db: &Database) -> Bytes {
 /// Restore a database from bytes produced by [`save`]. Tuple ids are
 /// preserved exactly; all indexes (hash + inverted) are rebuilt.
 pub fn load(bytes: &[u8]) -> Result<Database, SnapshotError> {
+    load_with(bytes, None)
+}
+
+/// Restore a database from bytes produced by [`save`], routing row
+/// payloads and posting blocks through backends opened by `factory`
+/// (`None` keeps everything in RAM, exactly like [`load`]). The logical
+/// content is identical either way — [`fingerprint`] cannot tell the
+/// backends apart.
+pub fn load_with(
+    bytes: &[u8],
+    factory: Option<std::sync::Arc<dyn crate::storage::StorageFactory>>,
+) -> Result<Database, SnapshotError> {
     let mut buf = Bytes::copy_from_slice(bytes);
     if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let mut db = Database::new();
+    let mut db = match factory {
+        Some(factory) => Database::with_storage(factory),
+        None => Database::new(),
+    };
     if buf.remaining() < 4 {
         return Err(SnapshotError::Truncated("table count"));
     }
@@ -277,7 +292,8 @@ pub fn load(bytes: &[u8]) -> Result<Database, SnapshotError> {
             for _ in 0..arity {
                 values.push(get_value(&mut buf)?);
             }
-            db.restore_slot(tid, live, values);
+            db.restore_slot(tid, live, values)
+                .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
         }
     }
     if buf.remaining() < 4 {

@@ -3,10 +3,96 @@
 use crate::error::{Error, Result};
 use crate::index::HashIndex;
 use crate::schema::{ColumnId, TableId, TableSchema};
+use crate::storage::{decode_row, encode_row, StorageBackend};
 use crate::tuple::{Tuple, TupleId};
 use crate::value::Value;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Where a table's row payloads live. The slot structure (live flags,
+/// `TupleId` assignment) is identical either way; only the value bytes
+/// move: `Mem` holds decoded rows in a `Vec`, `Paged` holds one opaque
+/// record per slot in a [`StorageBackend`] and keeps the 8-byte record
+/// ids in RAM.
+#[derive(Debug)]
+enum Rows {
+    Mem(Vec<Vec<Value>>),
+    Paged { backend: Box<dyn StorageBackend>, ids: Vec<u64>, arity: usize },
+}
+
+impl Rows {
+    fn len(&self) -> usize {
+        match self {
+            Rows::Mem(rows) => rows.len(),
+            Rows::Paged { ids, .. } => ids.len(),
+        }
+    }
+
+    /// Append a row slot. Paged backends can fail on real I/O errors or
+    /// injected page faults; `Mem` never fails.
+    fn push(&mut self, values: Vec<Value>) -> Result<()> {
+        match self {
+            Rows::Mem(rows) => {
+                rows.push(values);
+                Ok(())
+            }
+            Rows::Paged { backend, ids, .. } => {
+                let id = backend.insert(&encode_row(&values)).map_err(Error::Storage)?;
+                ids.push(id);
+                Ok(())
+            }
+        }
+    }
+
+    /// Read one slot's values. Storage read failures degrade to `None`
+    /// after bumping `relstore.storage_errors` — callers treat the row as
+    /// unreadable rather than panicking; the page scrubber finds and
+    /// repairs the damage out of band.
+    fn row(&self, i: usize) -> Option<Cow<'_, [Value]>> {
+        match self {
+            Rows::Mem(rows) => rows.get(i).map(|r| Cow::Borrowed(r.as_slice())),
+            Rows::Paged { backend, ids, arity } => {
+                let id = *ids.get(i)?;
+                let bytes = match backend.get(id) {
+                    Ok(Some(bytes)) => bytes,
+                    Ok(None) => {
+                        nebula_obs::counter_add("relstore.storage_errors", 1);
+                        return None;
+                    }
+                    Err(_) => {
+                        nebula_obs::counter_add("relstore.storage_errors", 1);
+                        return None;
+                    }
+                };
+                match decode_row(&bytes, *arity) {
+                    Ok(values) => Some(Cow::Owned(values)),
+                    Err(_) => {
+                        nebula_obs::counter_add("relstore.storage_errors", 1);
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Replace one slot's values in place (used by update; the slot keeps
+    /// its position, a paged record may move to a new record id).
+    fn set(&mut self, i: usize, values: Vec<Value>) -> Result<()> {
+        match self {
+            Rows::Mem(rows) => {
+                rows[i] = values;
+                Ok(())
+            }
+            Rows::Paged { backend, ids, .. } => {
+                let new_id =
+                    backend.update(ids[i], &encode_row(&values)).map_err(Error::Storage)?;
+                ids[i] = new_id;
+                Ok(())
+            }
+        }
+    }
+}
 
 /// A single table: schema, append-only row storage, and per-column hash
 /// indexes for every column flagged `indexed`.
@@ -14,7 +100,7 @@ use std::sync::Arc;
 pub struct Table {
     id: TableId,
     schema: Arc<TableSchema>,
-    rows: Vec<Vec<Value>>,
+    rows: Rows,
     /// Live flags — rows are tombstoned rather than removed so `TupleId`s
     /// stay stable.
     live: Vec<bool>,
@@ -23,21 +109,32 @@ pub struct Table {
 }
 
 impl Table {
-    /// Create an empty table with the given id and schema.
+    /// Create an empty table with the given id and schema, rows in RAM.
     pub fn new(id: TableId, schema: TableSchema) -> Self {
+        Table::build(id, schema, None)
+    }
+
+    /// Create an empty table whose row payloads live in `backend`.
+    pub fn with_backend(
+        id: TableId,
+        schema: TableSchema,
+        backend: Box<dyn StorageBackend>,
+    ) -> Self {
+        Table::build(id, schema, Some(backend))
+    }
+
+    fn build(id: TableId, schema: TableSchema, backend: Option<Box<dyn StorageBackend>>) -> Self {
         let indexes = schema
             .iter_columns()
             .filter(|(_, def)| def.indexed)
             .map(|(cid, _)| (cid, HashIndex::default()))
             .collect();
-        Table {
-            id,
-            schema: Arc::new(schema),
-            rows: Vec::new(),
-            live: Vec::new(),
-            live_count: 0,
-            indexes,
-        }
+        let arity = schema.arity();
+        let rows = match backend {
+            None => Rows::Mem(Vec::new()),
+            Some(backend) => Rows::Paged { backend, ids: Vec::new(), arity },
+        };
+        Table { id, schema: Arc::new(schema), rows, live: Vec::new(), live_count: 0, indexes }
     }
 
     /// The table's catalog id.
@@ -104,7 +201,7 @@ impl Table {
         for (cid, index) in self.indexes.iter_mut() {
             index.insert(values[cid.index()].clone(), tid);
         }
-        self.rows.push(values);
+        self.rows.push(values)?;
         self.live.push(true);
         self.live_count += 1;
         Ok(tid)
@@ -119,7 +216,8 @@ impl Table {
         if !*self.live.get(i)? {
             return None;
         }
-        Some(Tuple { id: tid, schema: Arc::clone(&self.schema), values: self.rows[i].clone() })
+        let values = self.rows.row(i)?.into_owned();
+        Some(Tuple { id: tid, schema: Arc::clone(&self.schema), values })
     }
 
     /// Replace a live row's values in place (the tuple id is preserved).
@@ -163,15 +261,21 @@ impl Table {
             }
         }
         let row = tid.row as usize;
+        let old = self.rows.row(row).map(Cow::into_owned).unwrap_or_default();
         for (cid, index) in self.indexes.iter_mut() {
-            index.remove(&self.rows[row][cid.index()], tid);
+            if let Some(v) = old.get(cid.index()) {
+                index.remove(v, tid);
+            }
             index.insert(values[cid.index()].clone(), tid);
         }
-        self.rows[row] = values;
+        self.rows.set(row, values)?;
         Ok(())
     }
 
     /// Delete (tombstone) a row. Returns true if the row was live.
+    ///
+    /// The slot's values stay in storage (dead slots survive snapshots so
+    /// `TupleId`s stay stable), only the live flag and indexes change.
     pub fn delete(&mut self, tid: TupleId) -> bool {
         if tid.table != self.id {
             return false;
@@ -182,18 +286,23 @@ impl Table {
         }
         self.live[i] = false;
         self.live_count -= 1;
+        let old = self.rows.row(i).map(Cow::into_owned).unwrap_or_default();
         for (cid, index) in self.indexes.iter_mut() {
-            index.remove(&self.rows[i][cid.index()], tid);
+            if let Some(v) = old.get(cid.index()) {
+                index.remove(v, tid);
+            }
         }
         true
     }
 
     /// Iterate all live tuples in insertion order.
     pub fn scan(&self) -> impl Iterator<Item = Tuple> + '_ {
-        self.rows.iter().enumerate().filter(|(i, _)| self.live[*i]).map(move |(i, values)| Tuple {
-            id: TupleId::new(self.id, i as u64),
-            schema: Arc::clone(&self.schema),
-            values: values.clone(),
+        (0..self.rows.len()).filter(|i| self.live[*i]).filter_map(move |i| {
+            Some(Tuple {
+                id: TupleId::new(self.id, i as u64),
+                schema: Arc::clone(&self.schema),
+                values: self.rows.row(i)?.into_owned(),
+            })
         })
     }
 
@@ -211,11 +320,12 @@ impl Table {
         if let Some(idx) = self.indexes.get(&col) {
             return idx.get(value).iter().copied().filter(|t| self.is_live(*t)).collect();
         }
-        self.rows
-            .iter()
-            .enumerate()
-            .filter(|(i, row)| self.live[*i] && &row[col.index()] == value)
-            .map(|(i, _)| TupleId::new(self.id, i as u64))
+        (0..self.rows.len())
+            .filter(|i| {
+                self.live[*i]
+                    && self.rows.row(*i).is_some_and(|row| row.get(col.index()) == Some(value))
+            })
+            .map(|i| TupleId::new(self.id, i as u64))
             .collect()
     }
 
@@ -226,15 +336,23 @@ impl Table {
 
     /// Raw slot iterator for snapshotting: `(live, values)` in slot order,
     /// including tombstoned rows (their slots must survive a
-    /// save/load cycle so `TupleId`s stay stable).
-    pub(crate) fn raw_slots(&self) -> impl Iterator<Item = (bool, &[Value])> {
-        self.live.iter().zip(&self.rows).map(|(live, row)| (*live, row.as_slice()))
+    /// save/load cycle so `TupleId`s stay stable). A paged slot whose
+    /// record cannot be read degrades to a row of `Null`s (arity
+    /// preserved) so the snapshot structure stays decodable; the error
+    /// counter and the page scrubber report the damage.
+    pub(crate) fn raw_slots(&self) -> impl Iterator<Item = (bool, Vec<Value>)> + '_ {
+        let arity = self.schema.arity();
+        self.live.iter().enumerate().map(move |(i, live)| {
+            let values =
+                self.rows.row(i).map(Cow::into_owned).unwrap_or_else(|| vec![Value::Null; arity]);
+            (*live, values)
+        })
     }
 
     /// Restore one slot during snapshot load, bypassing re-validation (the
     /// snapshot was valid when written) but maintaining the hash indexes
     /// for live rows. Returns the restored slot's tuple id.
-    pub(crate) fn restore_slot(&mut self, live: bool, values: Vec<Value>) -> TupleId {
+    pub(crate) fn restore_slot(&mut self, live: bool, values: Vec<Value>) -> Result<TupleId> {
         let row = self.rows.len() as u64;
         let tid = TupleId::new(self.id, row);
         if live {
@@ -243,9 +361,9 @@ impl Table {
             }
             self.live_count += 1;
         }
-        self.rows.push(values);
+        self.rows.push(values)?;
         self.live.push(live);
-        tid
+        Ok(tid)
     }
 }
 

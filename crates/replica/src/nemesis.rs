@@ -73,6 +73,18 @@ pub enum NemesisEvent {
         /// The shard to crash and rebuild.
         shard: usize,
     },
+    /// Flip one at-rest bit in the paged store's page file. The `Scrub`
+    /// that follows must detect it with zero false positives and heal it
+    /// in place (single-bit rot corrects via CRC linearity).
+    PageRot,
+    /// Flush the paged store while `PageFsync`/`PageWrite` faults are
+    /// armed: the failed shadow commit must leave the old on-disk image
+    /// intact, and the retry after the plan clears must land every page.
+    PageFsyncFail,
+    /// Sweep every live record in the paged store through a buffer pool
+    /// smaller than the file, driving the clock hand through full
+    /// eviction churn while reads stay byte-correct.
+    EvictStorm,
 }
 
 /// A composed schedule plus the seed that produced it.
@@ -85,6 +97,9 @@ pub struct NemesisPlan {
     /// Shard count the schedule was composed for (0 = unsharded; no
     /// shard events are composed).
     pub shards: usize,
+    /// Whether the disk dimension (page rot, fsync failure, eviction
+    /// storms against a paged store) was composed in.
+    pub disk: bool,
     /// Total annotations across all `Ingest`/`Burst` events.
     pub total_ops: u64,
     /// The schedule, in execution order.
@@ -129,6 +144,23 @@ impl NemesisPlan {
         }
         (partitions, rots, failovers)
     }
+
+    /// How many disk-dimension disruptions the plan holds:
+    /// `(page_rots, fsync_fails, evict_storms)`.
+    pub fn disk_disruption_counts(&self) -> (usize, usize, usize) {
+        let mut rots = 0;
+        let mut fsyncs = 0;
+        let mut storms = 0;
+        for e in &self.events {
+            match e {
+                NemesisEvent::PageRot => rots += 1,
+                NemesisEvent::PageFsyncFail => fsyncs += 1,
+                NemesisEvent::EvictStorm => storms += 1,
+                _ => {}
+            }
+        }
+        (rots, fsyncs, storms)
+    }
 }
 
 /// xorshift64* — the same tiny deterministic generator the fault plans
@@ -164,11 +196,29 @@ pub fn compose_schedule(seed: u64, replicas: usize, total_ops: u64) -> NemesisPl
 /// failovers. With `shards == 0` the schedule is byte-identical to
 /// [`compose_schedule`]'s. Pure and self-closing either way: every
 /// `ShardPartition` is healed, every disruption is followed by a `Scrub`,
-/// and the schedule ends heal-everything / rejoin / scrub.
+/// and the schedule ends heal-everything / rejoin / scrub. Equivalent to
+/// [`compose_schedule_with_disk`]`(seed, replicas, shards, false,
+/// total_ops)`.
 pub fn compose_schedule_with_shards(
     seed: u64,
     replicas: usize,
     shards: usize,
+    total_ops: u64,
+) -> NemesisPlan {
+    compose_schedule_with_disk(seed, replicas, shards, false, total_ops)
+}
+
+/// Compose a deterministic chaos schedule that also disrupts the paged
+/// storage layer: with `disk = true` the event dimensions grow by
+/// at-rest page rot, fsync-failed shadow commits, and eviction storms.
+/// Every `PageRot` is followed by a `Scrub` (which must heal it), so the
+/// schedule stays self-closing; with `disk = false` the schedule is
+/// byte-identical to [`compose_schedule_with_shards`]'s.
+pub fn compose_schedule_with_disk(
+    seed: u64,
+    replicas: usize,
+    shards: usize,
+    disk: bool,
     total_ops: u64,
 ) -> NemesisPlan {
     let mut rng = Rng(seed ^ 0x9E37_79B9_7F4A_7C15);
@@ -177,7 +227,11 @@ pub fn compose_schedule_with_shards(
     let mut open_partition: Option<usize> = None;
     let mut open_shard: Option<usize> = None;
     let mut deposed_pending = false;
-    let dims = if shards > 0 { 11 } else { 8 };
+    // Dimension layout: 0..8 core, then 3 shard dims when sharded, then
+    // 3 disk dims when paged. Keeping the core and shard indices fixed
+    // is what makes disk=false byte-identical to the older composers.
+    let base_dims: u64 = if shards > 0 { 11 } else { 8 };
+    let dims = base_dims + if disk { 3 } else { 0 };
 
     // Reserve a calm tail so the final convergence runs over real traffic.
     let tail = (total_ops / 10).clamp(10, 50).min(total_ops);
@@ -264,6 +318,16 @@ pub fn compose_schedule_with_shards(
                     events.push(NemesisEvent::ShardFailover { shard });
                 }
             }
+            n if disk && n == base_dims => {
+                events.push(NemesisEvent::PageRot);
+                events.push(NemesisEvent::Scrub);
+            }
+            n if disk && n == base_dims + 1 => {
+                events.push(NemesisEvent::PageFsyncFail);
+            }
+            n if disk && n == base_dims + 2 => {
+                events.push(NemesisEvent::EvictStorm);
+            }
             _ => {} // calm stretch
         }
     }
@@ -282,7 +346,7 @@ pub fn compose_schedule_with_shards(
     }
     events.push(NemesisEvent::Scrub);
 
-    NemesisPlan { seed, replicas, shards, total_ops, events }
+    NemesisPlan { seed, replicas, shards, disk, total_ops, events }
 }
 
 #[cfg(test)]
@@ -416,6 +480,61 @@ mod tests {
             let (partitions, _, _) = plan.shard_disruption_counts();
             assert_eq!(partitions, 0, "seed {seed:#x}: partitioning 1 shard is total outage");
         }
+    }
+
+    #[test]
+    fn disk_off_schedule_is_identical_through_every_entry_point() {
+        for seed in [1u64, 0xF00D, 0xBAD5EED] {
+            let a = compose_schedule_with_shards(seed, 2, 0, 600);
+            let b = compose_schedule_with_disk(seed, 2, 0, false, 600);
+            assert_eq!(a, b, "seed {seed:#x}: disk=false must not perturb the schedule");
+            let c = compose_schedule_with_shards(seed, 2, 3, 600);
+            let d = compose_schedule_with_disk(seed, 2, 3, false, 600);
+            assert_eq!(c, d, "seed {seed:#x}: disk=false must not perturb sharded plans");
+            assert!(a.events.iter().chain(&c.events).all(|e| !matches!(
+                e,
+                NemesisEvent::PageRot | NemesisEvent::PageFsyncFail | NemesisEvent::EvictStorm
+            )));
+        }
+    }
+
+    #[test]
+    fn disk_schedules_self_close_every_page_rot_with_a_scrub() {
+        for seed in [7u64, 0xF00D, 0xBAD5EED, 12345, 999] {
+            let plan = compose_schedule_with_disk(seed, 2, 0, true, 1500);
+            assert!(plan.disk);
+            let mut pending_rot = false;
+            for e in &plan.events {
+                match e {
+                    NemesisEvent::PageRot => pending_rot = true,
+                    NemesisEvent::Scrub => pending_rot = false,
+                    _ => {}
+                }
+            }
+            assert!(!pending_rot, "seed {seed:#x}: schedule ends with unhealed page rot");
+            let total: u64 = plan
+                .events
+                .iter()
+                .map(|e| match e {
+                    NemesisEvent::Ingest(n) | NemesisEvent::Burst(n) => u64::from(*n),
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(total, 1500, "seed {seed:#x}: ingest total drifted");
+        }
+    }
+
+    #[test]
+    fn disk_soaks_exercise_the_disk_dimension() {
+        let plan = compose_schedule_with_disk(0xF00D, 2, 0, true, 2500);
+        let (rots, fsyncs, storms) = plan.disk_disruption_counts();
+        assert!(rots > 0, "no page rot composed");
+        assert!(fsyncs > 0, "no fsync failures composed");
+        assert!(storms > 0, "no eviction storms composed");
+        // The core dimensions keep firing alongside the disk ones.
+        let (partitions, corruptions, wal_rots, failovers, bursts) = plan.disruption_counts();
+        assert!(partitions > 0 && corruptions > 0 && wal_rots > 0);
+        assert!(failovers > 0 && bursts > 0);
     }
 
     #[test]

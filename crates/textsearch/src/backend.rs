@@ -93,7 +93,7 @@ impl TfIdfSearch {
                     continue;
                 }
                 let w = crate::mapping::value_weight(postings.len());
-                for p in postings {
+                for p in postings.iter() {
                     *keyword_hits.entry(p.tuple).or_insert(0.0) += w;
                 }
             }

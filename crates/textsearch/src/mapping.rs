@@ -169,7 +169,7 @@ pub fn is_fk_column(db: &Database, table: TableId, column: ColumnId) -> bool {
 /// Per-pair document frequency of one token.
 fn token_pair_df(db: &Database, token: &str) -> HashMap<(TableId, ColumnId), usize> {
     let mut pair_df = HashMap::new();
-    for p in db.inverted_index().lookup(token) {
+    for p in db.inverted_index().lookup(token).iter() {
         *pair_df.entry((p.table, p.column)).or_insert(0) += 1;
     }
     pair_df

@@ -42,7 +42,7 @@ pub fn naive_search(
             continue;
         }
         let mut pair_df: HashMap<(TableId, ColumnId), usize> = HashMap::new();
-        for p in postings {
+        for p in postings.iter() {
             *pair_df.entry((p.table, p.column)).or_insert(0) += 1;
         }
         for ((table, column), df) in pair_df {

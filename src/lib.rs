@@ -55,6 +55,8 @@
 //! let _ = outcome.accepted.len() + outcome.pending.len() + outcome.rejected.len();
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod shell;
 
 pub use annostore;
@@ -63,6 +65,7 @@ pub use nebula_durable;
 pub use nebula_govern;
 pub use nebula_ingest;
 pub use nebula_obs;
+pub use nebula_pagestore;
 pub use nebula_replica;
 pub use nebula_shard;
 pub use nebula_workload;
@@ -84,6 +87,7 @@ pub mod prelude {
     pub use nebula_ingest::{
         ingest_batch, HealthState, IngestConfig, IngestItem, IngestReport, Priority, ShedReason,
     };
+    pub use nebula_pagestore::{PageScrubReport, PagedStorage, StorageMetrics};
     pub use nebula_replica::{
         Cluster, ClusterConfig, ClusterSink, DivergenceReport, Primary, Replica, ReplicaError,
         SimTransport, Transport, TransportStats,

@@ -62,6 +62,9 @@ pub struct Shell {
     /// The sharded scatter-gather cluster while `SET SHARDS` is active
     /// (ANNOTATE routes through it; backs SHOW SHARDS).
     shards: Option<ShardCluster>,
+    /// The paged storage backend while `SET STORAGE DISK` is active
+    /// (rows and posting blocks page to disk; backs SHOW STORAGE).
+    storage: Option<nebula_pagestore::PagedStorage>,
 }
 
 impl Shell {
@@ -73,7 +76,16 @@ impl Shell {
         // One worker by default: the shell is interactive, and `SET
         // WORKERS <n>` raises the pool when a session wants concurrency.
         let ingest = IngestConfig { workers: 1, ..IngestConfig::default() };
-        Shell { db, store, nebula, ingest, last_ingest: None, repl: None, shards: None }
+        Shell {
+            db,
+            store,
+            nebula,
+            ingest,
+            last_ingest: None,
+            repl: None,
+            shards: None,
+            storage: None,
+        }
     }
 
     /// Shell over a freshly generated synthetic dataset.
@@ -445,8 +457,70 @@ impl Shell {
             Some("REPLICAS") => self.set_replicas(&args[1..]),
             Some("WORKERS") => self.set_workers(&args[1..]),
             Some("SHARDS") => self.set_shards(&args[1..]),
+            Some("STORAGE") => self.set_storage(&args[1..]),
             _ => Err(err("usage: SET BUDGET ... | SET FAULTS ... | SET DURABILITY ... | \
-                 SET REPLICAS ... | SET WORKERS <n> | SET SHARDS <n> | OFF")),
+                 SET REPLICAS ... | SET WORKERS <n> | SET SHARDS <n> | OFF | \
+                 SET STORAGE DISK '<dir>' [POOL <frames>] | MEM")),
+        }
+    }
+
+    /// `SET STORAGE DISK '<dir>' [POOL <frames>] | MEM` — rebuild the
+    /// database onto the crash-safe paged backend rooted at `<dir>`
+    /// (rows and inverted-index posting blocks move into a checksummed
+    /// page file behind a buffer pool of `<frames>` pages), or back into
+    /// RAM. The logical content is identical either way: the snapshot
+    /// fingerprint cannot tell the backends apart.
+    fn set_storage(&mut self, args: &[String]) -> Result<String, ShellError> {
+        const USAGE: &str = "usage: SET STORAGE DISK '<dir>' [POOL <frames>] | MEM";
+        match args.first().map(|s| s.to_uppercase()).as_deref() {
+            Some("MEM") => {
+                let Some(old) = self.storage.take() else {
+                    return Ok("storage: already mem".into());
+                };
+                old.flush_pages().map_err(|e| err(e.to_string()))?;
+                let bytes = relstore::snapshot::save(&self.db);
+                self.db = relstore::snapshot::load(&bytes).map_err(|e| err(e.to_string()))?;
+                Ok("storage: mem (rows and postings rebuilt in RAM; \
+                    page file keeps its last flushed state)"
+                    .into())
+            }
+            Some("DISK") => {
+                if self.shards.is_some() {
+                    return Err(err("SET STORAGE needs SET SHARDS OFF first"));
+                }
+                let dir = args.get(1).ok_or_else(|| err(USAGE))?;
+                let mut frames = nebula_pagestore::pool::DEFAULT_FRAMES;
+                if let Some(tok) = args.get(2) {
+                    if tok.to_uppercase() != "POOL" {
+                        return Err(err(USAGE));
+                    }
+                    frames = args
+                        .get(3)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|n: &usize| *n >= nebula_pagestore::pool::MIN_FRAMES)
+                        .ok_or_else(|| {
+                            err(format!(
+                                "POOL needs a frame count >= {}",
+                                nebula_pagestore::pool::MIN_FRAMES
+                            ))
+                        })?;
+                }
+                let store = nebula_pagestore::PagedStorage::open(std::path::Path::new(dir), frames)
+                    .map_err(|e| err(e.to_string()))?;
+                let bytes = relstore::snapshot::save(&self.db);
+                self.db =
+                    relstore::snapshot::load_with(&bytes, Some(std::sync::Arc::new(store.clone())))
+                        .map_err(|e| err(e.to_string()))?;
+                store.flush_pages().map_err(|e| err(e.to_string()))?;
+                let m = store.metrics();
+                self.storage = Some(store);
+                Ok(format!(
+                    "storage: disk ({dir}, pool {frames} frames); \
+                     {} pages flushed at watermark {}",
+                    m.page_count, m.watermark
+                ))
+            }
+            _ => Err(err(USAGE)),
         }
     }
 
@@ -766,20 +840,87 @@ impl Shell {
     /// on-disk WAL and checkpoints (healing found rot from the shadow
     /// state), walk the range-digest ladder against every live replica,
     /// and repair whatever the pass finds.
+    /// Page-file half of SCRUB: a read-only CRC walk over every page.
+    /// Single-bit rot (the common at-rest failure) is healed losslessly
+    /// in place via CRC linearity; only pages with wider damage force a
+    /// rebuild of a fresh, fully-checksummed file from the live state.
+    /// In that last resort, rows whose only copy sat on an unrecoverable
+    /// page degrade to NULL (counted in `relstore.storage_errors`)
+    /// rather than poisoning the rebuild.
+    fn scrub_pages(&mut self) -> Result<Vec<String>, ShellError> {
+        let store = self.storage.clone().ok_or_else(|| err("storage is mem"))?;
+        store.flush_pages().map_err(|e| err(e.to_string()))?;
+        let report = store.scrub().map_err(|e| err(e.to_string()))?;
+        if report.is_clean() {
+            return Ok(vec![format!("pages: {} scanned, all checksums clean", report.pages)]);
+        }
+        let mut out = vec![format!(
+            "pages: {} scanned, {} corrupt ({})",
+            report.pages,
+            report.corrupt.len(),
+            report.corrupt.iter().map(u32::to_string).collect::<Vec<_>>().join(", ")
+        )];
+        let healed = store.repair().map_err(|e| err(e.to_string()))?;
+        if !healed.repaired.is_empty() {
+            out.push(format!(
+                "pages: repaired {} in place (single-bit rot healed via CRC linearity: {})",
+                healed.repaired.len(),
+                healed.repaired.iter().map(u32::to_string).collect::<Vec<_>>().join(", ")
+            ));
+        }
+        if healed.unrecoverable.is_empty() {
+            return Ok(out);
+        }
+        out.push(format!(
+            "pages: {} unrecoverable ({}) — rebuilding from live state",
+            healed.unrecoverable.len(),
+            healed.unrecoverable.iter().map(u32::to_string).collect::<Vec<_>>().join(", ")
+        ));
+        let frames = store.pool_frames();
+        let dir = store.dir().to_path_buf();
+        let bytes = relstore::snapshot::save(&self.db);
+        drop(store);
+        self.storage = None;
+        std::fs::remove_file(dir.join(nebula_pagestore::file::FILE_NAME))
+            .map_err(|e| err(e.to_string()))?;
+        let fresh =
+            nebula_pagestore::PagedStorage::open(&dir, frames).map_err(|e| err(e.to_string()))?;
+        self.db = relstore::snapshot::load_with(&bytes, Some(std::sync::Arc::new(fresh.clone())))
+            .map_err(|e| err(e.to_string()))?;
+        fresh.flush_pages().map_err(|e| err(e.to_string()))?;
+        let m = fresh.metrics();
+        self.storage = Some(fresh);
+        out.push(format!(
+            "pages: repaired — rebuilt a clean file ({} pages at watermark {})",
+            m.page_count, m.watermark
+        ));
+        Ok(out)
+    }
+
     fn scrub(&mut self) -> Result<String, ShellError> {
+        let mut out = Vec::new();
+        if self.storage.is_some() {
+            out.extend(self.scrub_pages()?);
+            if self.repl.is_none() {
+                return Ok(out.join("\n"));
+            }
+        }
         let sink = self
             .repl
             .as_ref()
-            .ok_or_else(|| err("replication is off — SET REPLICAS <n> '<dir>' first"))?
+            .ok_or_else(|| {
+                err("replication is off — SET REPLICAS <n> '<dir>' first \
+                 (or SET STORAGE DISK for a page-file scrub)")
+            })?
             .handle();
         let mut cluster = sink.lock();
         let summary = cluster.scrub();
-        let mut out = vec![format!(
+        out.push(format!(
             "scrub at lsn {}: media {}{}",
             summary.at_lsn,
             summary.media,
             if summary.media_healed { " — healed from shadow state" } else { "" },
-        )];
+        ));
         let mut to_repair = summary.wedged.clone();
         to_repair.extend(summary.diverged.iter().copied());
         to_repair.sort_unstable();
@@ -1023,6 +1164,34 @@ impl Shell {
                 None => "shards: off (single-engine path)".to_string(),
                 Some(c) => format!("shards: on\n{}", c.describe().trim_end()),
             }),
+            Some("STORAGE") => Ok(match &self.storage {
+                None => {
+                    format!("storage: {} (all rows and postings in RAM)", self.db.storage_label())
+                }
+                Some(s) => {
+                    let m = s.metrics();
+                    format!(
+                        "storage: {}\n  pages: {} ({} resident, {} dirty)   \
+                         watermark lsn: {} (in-memory lsn {})\n  \
+                         pool: {} hits, {} misses, {} evictions\n  \
+                         flushes: {} ({} pages written back)   \
+                         faults injected: {} ({} read retries)",
+                        self.db.storage_label(),
+                        m.page_count,
+                        m.resident_pages,
+                        m.dirty_pages,
+                        m.watermark,
+                        m.lsn,
+                        m.pool.hits,
+                        m.pool.misses,
+                        m.pool.evictions,
+                        m.pool.flushes,
+                        m.pool.write_backs,
+                        m.faults.injected,
+                        m.faults.retries,
+                    )
+                }
+            }),
             Some("HEALTH") => Ok(match &self.last_ingest {
                 None => format!(
                     "health: healthy (no ingest yet)\n  workers: {}   queue capacity: {}",
@@ -1191,13 +1360,14 @@ const HELP: &str = "commands:
   SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF;
   SET REPLICAS <n> '<dir>' [QUORUM <q>] [NETFAULTS <seed> <rate>] | OFF;
   SET SHARDS <n> | OFF;
+  SET STORAGE DISK '<dir>' [POOL <frames>] | MEM;
   PROMOTE [<id>];
   SCRUB;   REJOIN [<node>];   RECOVER INGEST;
   SET WORKERS <n>;
   CHECKPOINT;   RECOVER '<dir>';
   SHOW BUDGET;   SHOW FAULTS;   SHOW DURABILITY;   SHOW HEALTH;
   SHOW REPLICATION;   SHOW REPLICA <id> [STALENESS <n>];   SHOW REPAIR;
-  SHOW SHARDS;
+  SHOW SHARDS;   SHOW STORAGE;
   SAVE '<path>';   LOAD '<path>';
   HELP;   EXIT;";
 
@@ -1245,7 +1415,7 @@ mod tests {
     #[test]
     fn lex_handles_quotes() {
         assert_eq!(
-            lex("ANNOTATE gene 'JW0001' 'two words'").unwrap(),
+            lex("ANNOTATE gene 'JW0001' 'two words'").expect("shell operation should succeed"),
             vec!["ANNOTATE", "gene", "JW0001", "two words"]
         );
         assert!(lex("bad 'unterminated").is_err());
@@ -1254,7 +1424,7 @@ mod tests {
     #[test]
     fn tables_lists_schema() {
         let mut sh = shell();
-        let out = sh.exec("TABLES;").unwrap();
+        let out = sh.exec("TABLES;").expect("shell operation should succeed");
         assert!(out.contains("gene"));
         assert!(out.contains("protein"));
         assert!(out.contains("publication"));
@@ -1264,12 +1434,16 @@ mod tests {
     #[test]
     fn select_with_predicates_and_limit() {
         let mut sh = shell();
-        let out = sh.exec("SELECT gene WHERE family = 'F1' LIMIT 3").unwrap();
+        let out = sh
+            .exec("SELECT gene WHERE family = 'F1' LIMIT 3")
+            .expect("shell operation should succeed");
         assert!(out.contains("F1"), "{out}");
         assert!(out.lines().count() <= 5, "header + ≤3 rows + count");
-        let all = sh.exec("SELECT gene LIMIT 100").unwrap();
+        let all = sh.exec("SELECT gene LIMIT 100").expect("shell operation should succeed");
         assert!(all.contains("(40 rows)"));
-        let contains = sh.exec("SELECT gene WHERE gid CONTAINS 'JW0001'").unwrap();
+        let contains = sh
+            .exec("SELECT gene WHERE gid CONTAINS 'JW0001'")
+            .expect("shell operation should succeed");
         assert!(contains.contains("JW0001"));
         assert!(contains.contains("(1 rows)"));
     }
@@ -1277,31 +1451,33 @@ mod tests {
     #[test]
     fn select_projection_and_order() {
         let mut sh = shell();
-        let out = sh.exec("SELECT gene COLUMNS name,length ORDER BY length DESC LIMIT 2").unwrap();
+        let out = sh
+            .exec("SELECT gene COLUMNS name,length ORDER BY length DESC LIMIT 2")
+            .expect("shell operation should succeed");
         let mut lines = out.lines();
         assert_eq!(lines.next(), Some("name | length"));
         let first: i64 = lines
             .next()
-            .unwrap()
+            .expect("shell operation should succeed")
             .split(" | ")
             .nth(1)
-            .unwrap()
+            .expect("shell operation should succeed")
             .split_whitespace()
             .next()
-            .unwrap()
+            .expect("shell operation should succeed")
             .parse()
-            .unwrap();
+            .expect("shell operation should succeed");
         let second: i64 = lines
             .next()
-            .unwrap()
+            .expect("shell operation should succeed")
             .split(" | ")
             .nth(1)
-            .unwrap()
+            .expect("shell operation should succeed")
             .split_whitespace()
             .next()
-            .unwrap()
+            .expect("shell operation should succeed")
             .parse()
-            .unwrap();
+            .expect("shell operation should succeed");
         assert!(first >= second, "descending order: {first} vs {second}");
         assert!(sh.exec("SELECT gene COLUMNS nope").is_err());
         assert!(sh.exec("SELECT gene ORDER name").is_err());
@@ -1320,12 +1496,13 @@ mod tests {
         let mut sh = shell();
         let out = sh
             .exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'")
-            .unwrap();
+            .expect("shell operation should succeed");
         assert!(out.contains("queries generated"));
         assert!(out.contains("JW0001"), "the reference is discovered: {out}");
         // The annotation shows up on both the focal and (if auto-accepted)
         // the referenced tuple.
-        let focal_notes = sh.exec("ANNOTATIONS gene 'JW0005'").unwrap();
+        let focal_notes =
+            sh.exec("ANNOTATIONS gene 'JW0005'").expect("shell operation should succeed");
         assert!(focal_notes.contains("correlates"));
     }
 
@@ -1334,41 +1511,60 @@ mod tests {
         let mut sh = shell();
         // Force everything pending.
         sh.nebula.config_mut().bounds = VerificationBounds::new(0.0, 1.0);
-        sh.exec("ANNOTATE gene 'JW0002' 'interacting with gene JW0003'").unwrap();
-        let pending = sh.exec("PENDING").unwrap();
+        sh.exec("ANNOTATE gene 'JW0002' 'interacting with gene JW0003'")
+            .expect("shell operation should succeed");
+        let pending = sh.exec("PENDING").expect("shell operation should succeed");
         assert!(pending.contains("task"));
         assert!(pending.contains("evidence"));
-        let vid: u64 = pending.split_whitespace().nth(1).unwrap().parse().unwrap();
-        let resolved = sh.exec(&format!("VERIFY ATTACHMENT {vid}")).unwrap();
+        let vid: u64 = pending
+            .split_whitespace()
+            .nth(1)
+            .expect("shell operation should succeed")
+            .parse()
+            .expect("shell operation should succeed");
+        let resolved =
+            sh.exec(&format!("VERIFY ATTACHMENT {vid}")).expect("shell operation should succeed");
         assert!(resolved.contains("resolved"));
         assert!(sh.exec(&format!("VERIFY ATTACHMENT {vid}")).is_err(), "double resolve");
-        assert_eq!(sh.exec("PENDING").unwrap(), "(no pending verification tasks)");
+        assert_eq!(
+            sh.exec("PENDING").expect("shell operation should succeed"),
+            "(no pending verification tasks)"
+        );
     }
 
     #[test]
     fn trace_annotation_renders_the_span_tree() {
         let mut sh = shell();
-        sh.exec("ANNOTATE gene 'JW0011' 'linked with gene JW0012'").unwrap();
+        sh.exec("ANNOTATE gene 'JW0011' 'linked with gene JW0012'")
+            .expect("shell operation should succeed");
         let id = sh.store.annotation_count() as u64 - 1;
-        let out = sh.exec(&format!("TRACE ANNOTATION A{id}")).unwrap();
+        let out =
+            sh.exec(&format!("TRACE ANNOTATION A{id}")).expect("shell operation should succeed");
         assert!(out.contains("ingest.item"), "{out}");
         assert!(out.contains("core.process_annotation"), "{out}");
         assert!(out.contains("stage0.register"), "{out}");
         assert!(out.contains("critical path ends at"), "{out}");
         // Both id forms are accepted; unknown ids degrade gracefully.
-        assert!(sh.exec(&format!("TRACE ANNOTATION {id}")).unwrap().contains("ingest.item"));
-        assert!(sh.exec("TRACE ANNOTATION 999999").unwrap().contains("no trace recorded"));
+        assert!(sh
+            .exec(&format!("TRACE ANNOTATION {id}"))
+            .expect("shell operation should succeed")
+            .contains("ingest.item"));
+        assert!(sh
+            .exec("TRACE ANNOTATION 999999")
+            .expect("shell operation should succeed")
+            .contains("no trace recorded"));
         assert!(sh.exec("TRACE NONSENSE 1").is_err());
     }
 
     #[test]
     fn show_critical_path_and_flight_report() {
         let mut sh = shell();
-        sh.exec("ANNOTATE gene 'JW0012' 'observed near gene JW0013'").unwrap();
-        let cp = sh.exec("SHOW CRITICAL PATH").unwrap();
+        sh.exec("ANNOTATE gene 'JW0012' 'observed near gene JW0013'")
+            .expect("shell operation should succeed");
+        let cp = sh.exec("SHOW CRITICAL PATH").expect("shell operation should succeed");
         assert!(cp.contains("critical path over"), "{cp}");
         assert!(sh.exec("SHOW CRITICAL NONSENSE").is_err());
-        let fl = sh.exec("SHOW FLIGHT").unwrap();
+        let fl = sh.exec("SHOW FLIGHT").expect("shell operation should succeed");
         assert!(fl.contains("flight recorder"), "{fl}");
         assert!(fl.contains("commit"), "commits land in the flight ring: {fl}");
     }
@@ -1376,27 +1572,29 @@ mod tests {
     #[test]
     fn acg_and_profile_report() {
         let mut sh = shell();
-        let acg = sh.exec("ACG").unwrap();
+        let acg = sh.exec("ACG").expect("shell operation should succeed");
         assert!(acg.contains("nodes"));
-        let profile = sh.exec("PROFILE").unwrap();
+        let profile = sh.exec("PROFILE").expect("shell operation should succeed");
         assert!(profile.contains("profile"));
     }
 
     #[test]
     fn save_load_roundtrip() {
         let dir = std::env::temp_dir().join(format!("nebula-shell-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).expect("shell operation should succeed");
         let path = dir.join("snap").display().to_string();
 
         let mut sh = shell();
-        sh.exec("ANNOTATE gene 'JW0004' 'note about gene JW0006'").unwrap();
-        let saved = sh.exec(&format!("SAVE '{path}'")).unwrap();
+        sh.exec("ANNOTATE gene 'JW0004' 'note about gene JW0006'")
+            .expect("shell operation should succeed");
+        let saved = sh.exec(&format!("SAVE '{path}'")).expect("shell operation should succeed");
         assert!(saved.contains("saved"));
 
         let mut fresh = shell();
-        let loaded = fresh.exec(&format!("LOAD '{path}'")).unwrap();
+        let loaded = fresh.exec(&format!("LOAD '{path}'")).expect("shell operation should succeed");
         assert!(loaded.contains("loaded"));
-        let notes = fresh.exec("ANNOTATIONS gene 'JW0004'").unwrap();
+        let notes =
+            fresh.exec("ANNOTATIONS gene 'JW0004'").expect("shell operation should succeed");
         assert!(notes.contains("JW0006"));
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -1404,11 +1602,12 @@ mod tests {
     #[test]
     fn delete_cleans_up() {
         let mut sh = shell();
-        sh.exec("ANNOTATE gene 'JW0003' 'note about gene JW0002'").unwrap();
-        let out = sh.exec("DELETE gene 'JW0002'").unwrap();
+        sh.exec("ANNOTATE gene 'JW0003' 'note about gene JW0002'")
+            .expect("shell operation should succeed");
+        let out = sh.exec("DELETE gene 'JW0002'").expect("shell operation should succeed");
         assert!(out.contains("deleted"), "{out}");
         assert!(sh.exec("ANNOTATIONS gene 'JW0002'").is_err(), "row is gone");
-        let rows = sh.exec("SELECT gene LIMIT 100").unwrap();
+        let rows = sh.exec("SELECT gene LIMIT 100").expect("shell operation should succeed");
         assert!(rows.contains("(39 rows)"));
         assert!(sh.exec("DELETE gene 'JW0002'").is_err(), "double delete fails");
     }
@@ -1416,8 +1615,9 @@ mod tests {
     #[test]
     fn show_metrics_reports_pipeline_work() {
         let mut sh = shell();
-        sh.exec("ANNOTATE gene 'JW0007' 'observed together with gene JW0008'").unwrap();
-        let out = sh.exec("SHOW METRICS").unwrap();
+        sh.exec("ANNOTATE gene 'JW0007' 'observed together with gene JW0008'")
+            .expect("shell operation should succeed");
+        let out = sh.exec("SHOW METRICS").expect("shell operation should succeed");
         assert!(out.contains("core.annotations_processed"), "{out}");
         assert!(out.contains("relstore.tuples_scanned"), "{out}");
         assert!(out.contains("textsearch.configurations"), "{out}");
@@ -1428,10 +1628,14 @@ mod tests {
     #[test]
     fn explain_annotation_replays_stages() {
         let mut sh = shell();
-        let out = sh.exec("ANNOTATE gene 'JW0009' 'co-expressed with gene JW0010'").unwrap();
+        let out = sh
+            .exec("ANNOTATE gene 'JW0009' 'co-expressed with gene JW0010'")
+            .expect("shell operation should succeed");
         // "annotation A<n> attached ..." — pull the id out of the response.
-        let aid = out.split_whitespace().nth(1).unwrap().to_string();
-        let explained = sh.exec(&format!("EXPLAIN ANNOTATION {aid}")).unwrap();
+        let aid =
+            out.split_whitespace().nth(1).expect("shell operation should succeed").to_string();
+        let explained =
+            sh.exec(&format!("EXPLAIN ANNOTATION {aid}")).expect("shell operation should succeed");
         assert!(explained.contains(&format!("annotation {aid}:")), "{explained}");
         for stage in [
             nebula_obs::names::STAGE0_REGISTER,
@@ -1443,7 +1647,7 @@ mod tests {
             assert!(explained.contains(stage), "missing {stage} in {explained}");
         }
         // Unknown ids report the miss instead of erroring.
-        let missing = sh.exec("EXPLAIN ANNOTATION 999999").unwrap();
+        let missing = sh.exec("EXPLAIN ANNOTATION 999999").expect("shell operation should succeed");
         assert!(missing.contains("no recorded pipeline events"));
         assert!(sh.exec("EXPLAIN ANNOTATION abc").is_err());
         assert!(sh.exec("EXPLAIN NONSENSE 3").is_err());
@@ -1452,12 +1656,24 @@ mod tests {
     #[test]
     fn set_budget_and_show_budget() {
         let mut sh = shell();
-        assert_eq!(sh.exec("SHOW BUDGET").unwrap(), "budget: unbounded");
-        assert_eq!(sh.exec("SET BUDGET TUPLES 500").unwrap(), "budget: tuples=500");
-        let out = sh.exec("SET BUDGET CONFIGS 8").unwrap();
+        assert_eq!(
+            sh.exec("SHOW BUDGET").expect("shell operation should succeed"),
+            "budget: unbounded"
+        );
+        assert_eq!(
+            sh.exec("SET BUDGET TUPLES 500").expect("shell operation should succeed"),
+            "budget: tuples=500"
+        );
+        let out = sh.exec("SET BUDGET CONFIGS 8").expect("shell operation should succeed");
         assert_eq!(out, "budget: tuples=500 configs=8", "limits accumulate");
-        assert!(sh.exec("SET BUDGET DEADLINE 250").unwrap().contains("deadline=250ms"));
-        assert_eq!(sh.exec("SET BUDGET OFF").unwrap(), "budget: unbounded");
+        assert!(sh
+            .exec("SET BUDGET DEADLINE 250")
+            .expect("shell operation should succeed")
+            .contains("deadline=250ms"));
+        assert_eq!(
+            sh.exec("SET BUDGET OFF").expect("shell operation should succeed"),
+            "budget: unbounded"
+        );
         assert!(sh.exec("SET BUDGET TUPLES abc").is_err());
         assert!(sh.exec("SET BUDGET NONSENSE 3").is_err());
         assert!(sh.exec("SET NONSENSE").is_err());
@@ -1466,15 +1682,18 @@ mod tests {
     #[test]
     fn set_faults_and_show_faults() {
         let mut sh = shell();
-        assert_eq!(sh.exec("SHOW FAULTS").unwrap(), "faults: off");
-        let out = sh.exec("SET FAULTS 42 RATE 0.5").unwrap();
+        assert_eq!(sh.exec("SHOW FAULTS").expect("shell operation should succeed"), "faults: off");
+        let out = sh.exec("SET FAULTS 42 RATE 0.5").expect("shell operation should succeed");
         assert!(out.contains("seed=42"), "{out}");
         assert!(out.contains("query=0.50"), "{out}");
-        let shown = sh.exec("SHOW FAULTS").unwrap();
+        let shown = sh.exec("SHOW FAULTS").expect("shell operation should succeed");
         assert!(shown.contains("injected:"), "{shown}");
-        let hostile = sh.exec("SET FAULTS HOSTILE 7").unwrap();
+        let hostile = sh.exec("SET FAULTS HOSTILE 7").expect("shell operation should succeed");
         assert!(hostile.contains("query=1.00"), "{hostile}");
-        assert_eq!(sh.exec("SET FAULTS OFF").unwrap(), "faults: off");
+        assert_eq!(
+            sh.exec("SET FAULTS OFF").expect("shell operation should succeed"),
+            "faults: off"
+        );
         assert!(sh.exec("SET FAULTS abc").is_err());
         assert!(sh.exec("SET FAULTS 42 RATE 7").is_err(), "rate out of range");
     }
@@ -1482,25 +1701,25 @@ mod tests {
     #[test]
     fn budget_degradation_reported_by_annotate() {
         let mut sh = shell();
-        sh.exec("SET BUDGET TUPLES 1").unwrap();
+        sh.exec("SET BUDGET TUPLES 1").expect("shell operation should succeed");
         let out = sh
             .exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'")
-            .unwrap();
+            .expect("shell operation should succeed");
         assert!(out.contains("degraded:"), "{out}");
-        sh.exec("SET BUDGET OFF").unwrap();
+        sh.exec("SET BUDGET OFF").expect("shell operation should succeed");
     }
 
     #[test]
     fn hostile_faults_quarantine_but_shell_survives() {
         let mut sh = shell();
-        sh.exec("SET FAULTS HOSTILE 9").unwrap();
+        sh.exec("SET FAULTS HOSTILE 9").expect("shell operation should succeed");
         // Every query errors (transiently) and retries exhaust: the command
         // fails with a structured error, but the shell keeps working.
         let res = sh.exec("ANNOTATE gene 'JW0006' 'paired with gene JW0007'");
         assert!(res.is_err());
-        let shown = sh.exec("SHOW FAULTS").unwrap();
+        let shown = sh.exec("SHOW FAULTS").expect("shell operation should succeed");
         assert!(shown.contains("retries: 2"), "bounded retries recorded: {shown}");
-        sh.exec("SET FAULTS OFF").unwrap();
+        sh.exec("SET FAULTS OFF").expect("shell operation should succeed");
         let ok = sh.exec("ANNOTATE gene 'JW0006' 'paired with gene JW0007'");
         assert!(ok.is_ok(), "clean run after clearing the plan");
     }
@@ -1511,29 +1730,45 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
 
         let mut sh = shell();
-        assert_eq!(sh.exec("SHOW DURABILITY").unwrap(), "durability: off");
+        assert_eq!(
+            sh.exec("SHOW DURABILITY").expect("shell operation should succeed"),
+            "durability: off"
+        );
         assert!(sh.exec("CHECKPOINT").unwrap_err().0.contains("durability is off"));
 
-        let on = sh.exec(&format!("SET DURABILITY '{}' EVERY 64", dir.display())).unwrap();
+        let on = sh
+            .exec(&format!("SET DURABILITY '{}' EVERY 64", dir.display()))
+            .expect("shell operation should succeed");
         assert!(on.contains("durability: on"), "{on}");
         assert!(on.contains("initial checkpoint"), "{on}");
-        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'").unwrap();
-        let shown = sh.exec("SHOW DURABILITY").unwrap();
+        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'")
+            .expect("shell operation should succeed");
+        let shown = sh.exec("SHOW DURABILITY").expect("shell operation should succeed");
         assert!(shown.contains("next_lsn"), "{shown}");
 
-        let ck = sh.exec("CHECKPOINT").unwrap();
+        let ck = sh.exec("CHECKPOINT").expect("shell operation should succeed");
         assert!(ck.contains("watermark"), "{ck}");
-        sh.exec("ANNOTATE gene 'JW0002' 'note about gene JW0003'").unwrap();
-        let notes_before = sh.exec("ANNOTATIONS gene 'JW0005'").unwrap();
-        sh.exec("SET DURABILITY OFF").unwrap();
-        assert_eq!(sh.exec("SHOW DURABILITY").unwrap(), "durability: off");
+        sh.exec("ANNOTATE gene 'JW0002' 'note about gene JW0003'")
+            .expect("shell operation should succeed");
+        let notes_before =
+            sh.exec("ANNOTATIONS gene 'JW0005'").expect("shell operation should succeed");
+        sh.exec("SET DURABILITY OFF").expect("shell operation should succeed");
+        assert_eq!(
+            sh.exec("SHOW DURABILITY").expect("shell operation should succeed"),
+            "durability: off"
+        );
 
         // A fresh shell recovers the full state: checkpoint + log replay.
         let mut fresh = shell();
-        let rec = fresh.exec(&format!("RECOVER '{}'", dir.display())).unwrap();
+        let rec = fresh
+            .exec(&format!("RECOVER '{}'", dir.display()))
+            .expect("shell operation should succeed");
         assert!(rec.contains("recovered"), "{rec}");
-        assert_eq!(fresh.exec("ANNOTATIONS gene 'JW0005'").unwrap(), notes_before);
-        let resumed = fresh.exec("SHOW DURABILITY").unwrap();
+        assert_eq!(
+            fresh.exec("ANNOTATIONS gene 'JW0005'").expect("shell operation should succeed"),
+            notes_before
+        );
+        let resumed = fresh.exec("SHOW DURABILITY").expect("shell operation should succeed");
         assert!(resumed.contains("durability: on"), "logging continues: {resumed}");
 
         let _ = std::fs::remove_dir_all(&dir);
@@ -1545,8 +1780,9 @@ mod tests {
             std::env::temp_dir().join(format!("nebula-shell-durable-inuse-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let mut sh = shell();
-        sh.exec(&format!("SET DURABILITY '{}'", dir.display())).unwrap();
-        sh.exec("SET DURABILITY OFF").unwrap();
+        sh.exec(&format!("SET DURABILITY '{}'", dir.display()))
+            .expect("shell operation should succeed");
+        sh.exec("SET DURABILITY OFF").expect("shell operation should succeed");
         let e = sh.exec(&format!("SET DURABILITY '{}'", dir.display())).unwrap_err();
         assert!(e.0.contains("RECOVER"), "points at recovery: {e}");
         assert!(sh.exec("SET DURABILITY").is_err());
@@ -1560,45 +1796,59 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
 
         let mut sh = shell();
-        assert_eq!(sh.exec("SHOW REPLICATION").unwrap(), "replication: off");
+        assert_eq!(
+            sh.exec("SHOW REPLICATION").expect("shell operation should succeed"),
+            "replication: off"
+        );
         assert!(sh.exec("PROMOTE 1").unwrap_err().0.contains("replication is off"));
         assert!(sh.exec("SHOW REPLICA 1").unwrap_err().0.contains("replication is off"));
 
-        let on = sh.exec(&format!("SET REPLICAS 2 '{}' QUORUM 1", dir.display())).unwrap();
+        let on = sh
+            .exec(&format!("SET REPLICAS 2 '{}' QUORUM 1", dir.display()))
+            .expect("shell operation should succeed");
         assert!(on.contains("replication: on"), "{on}");
         assert!(on.contains("ack-quorum(1)"), "{on}");
-        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'").unwrap();
+        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'")
+            .expect("shell operation should succeed");
 
-        let shown = sh.exec("SHOW REPLICATION").unwrap();
+        let shown = sh.exec("SHOW REPLICATION").expect("shell operation should succeed");
         assert!(shown.contains("epoch 1"), "{shown}");
         assert!(shown.contains("replica 1:"), "{shown}");
         assert!(shown.contains("replica 2:"), "{shown}");
-        let durability = sh.exec("SHOW DURABILITY").unwrap();
+        let durability = sh.exec("SHOW DURABILITY").expect("shell operation should succeed");
         assert!(durability.contains("replicated"), "{durability}");
 
-        let rep = sh.exec("SHOW REPLICA 1").unwrap();
+        let rep = sh.exec("SHOW REPLICA 1").expect("shell operation should succeed");
         assert!(rep.contains("annotations"), "{rep}");
         assert!(sh.exec("SHOW REPLICA 9").is_err(), "unknown replica");
         assert!(sh.exec("SHOW REPLICA 1 STALENESS abc").is_err());
         // A reliable transport keeps replicas current, so a zero
         // staleness bound still reads.
-        let bounded = sh.exec("SHOW REPLICA 1 STALENESS 0").unwrap();
+        let bounded =
+            sh.exec("SHOW REPLICA 1 STALENESS 0").expect("shell operation should succeed");
         assert!(bounded.contains("lag 0"), "{bounded}");
 
-        let promoted = sh.exec("PROMOTE 1").unwrap();
+        let promoted = sh.exec("PROMOTE 1").expect("shell operation should succeed");
         assert!(promoted.contains("promoted replica 1"), "{promoted}");
         assert!(promoted.contains("epoch 2"), "{promoted}");
-        let after = sh.exec("SHOW REPLICATION").unwrap();
+        let after = sh.exec("SHOW REPLICATION").expect("shell operation should succeed");
         assert!(after.contains("epoch 2"), "{after}");
         assert!(after.contains("deposed primaries: epoch 1"), "{after}");
         // The annotation survives the failover (it was acked before).
-        let notes = sh.exec("ANNOTATIONS gene 'JW0005'").unwrap();
+        let notes = sh.exec("ANNOTATIONS gene 'JW0005'").expect("shell operation should succeed");
         assert!(notes.contains("correlates"), "{notes}");
         // Writes keep flowing through the promoted primary.
-        sh.exec("ANNOTATE gene 'JW0002' 'note about gene JW0003'").unwrap();
+        sh.exec("ANNOTATE gene 'JW0002' 'note about gene JW0003'")
+            .expect("shell operation should succeed");
 
-        assert!(sh.exec("SET REPLICAS OFF").unwrap().contains("replication: off"));
-        assert_eq!(sh.exec("SHOW REPLICATION").unwrap(), "replication: off");
+        assert!(sh
+            .exec("SET REPLICAS OFF")
+            .expect("shell operation should succeed")
+            .contains("replication: off"));
+        assert_eq!(
+            sh.exec("SHOW REPLICATION").expect("shell operation should succeed"),
+            "replication: off"
+        );
         assert!(sh.exec("SET REPLICAS abc").is_err());
         assert!(sh.exec(&format!("SET REPLICAS 2 '{}' QUORUM 9", dir.display())).is_err());
         let _ = std::fs::remove_dir_all(&dir);
@@ -1613,32 +1863,43 @@ mod tests {
         // All repair surfaces degrade gracefully with replication off.
         assert!(sh.exec("SCRUB").unwrap_err().0.contains("replication is off"));
         assert!(sh.exec("REJOIN 0").unwrap_err().0.contains("replication is off"));
-        assert!(sh.exec("SHOW REPAIR").unwrap().contains("replication: off"));
+        assert!(sh
+            .exec("SHOW REPAIR")
+            .expect("shell operation should succeed")
+            .contains("replication: off"));
 
-        sh.exec(&format!("SET REPLICAS 2 '{}'", dir.display())).unwrap();
-        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'").unwrap();
+        sh.exec(&format!("SET REPLICAS 2 '{}'", dir.display()))
+            .expect("shell operation should succeed");
+        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'")
+            .expect("shell operation should succeed");
 
         // A clean cluster scrubs clean.
-        let clean = sh.exec("SCRUB").unwrap();
+        let clean = sh.exec("SCRUB").expect("shell operation should succeed");
         assert!(clean.contains("media clean"), "{clean}");
         assert!(clean.contains("all ladders agree"), "{clean}");
 
         // Poison a replica, then let SCRUB find and repair it.
-        sh.repl.as_ref().unwrap().lock().chaos_corrupt_replica(1).unwrap();
-        sh.exec("ANNOTATE gene 'JW0002' 'note about gene JW0003'").unwrap();
-        let repaired = sh.exec("SCRUB").unwrap();
+        sh.repl
+            .as_ref()
+            .expect("shell operation should succeed")
+            .lock()
+            .chaos_corrupt_replica(1)
+            .expect("shell operation should succeed");
+        sh.exec("ANNOTATE gene 'JW0002' 'note about gene JW0003'")
+            .expect("shell operation should succeed");
+        let repaired = sh.exec("SCRUB").expect("shell operation should succeed");
         assert!(repaired.contains("repaired replica 1"), "{repaired}");
         assert!(repaired.contains("converged = true"), "{repaired}");
 
         // Fail over, then re-admit the deposed primary.
         assert!(sh.exec("REJOIN").unwrap_err().0.contains("no deposed primary"));
-        sh.exec("PROMOTE 1").unwrap();
-        let rejoined = sh.exec("REJOIN 0").unwrap();
+        sh.exec("PROMOTE 1").expect("shell operation should succeed");
+        let rejoined = sh.exec("REJOIN 0").expect("shell operation should succeed");
         assert!(rejoined.contains("node 0 rejoined epoch 2"), "{rejoined}");
         assert!(rejoined.contains("converged = true"), "{rejoined}");
         assert!(sh.exec("REJOIN 0").is_err(), "nothing left to rejoin");
 
-        let status = sh.exec("SHOW REPAIR").unwrap();
+        let status = sh.exec("SHOW REPAIR").expect("shell operation should succeed");
         assert!(status.contains("scrub(s)"), "{status}");
         assert!(status.contains("1 rejoin(s)"), "{status}");
         assert!(status.contains("pending repairs: none"), "{status}");
@@ -1649,28 +1910,37 @@ mod tests {
     #[test]
     fn recover_ingest_clears_a_wedged_verdict() {
         let mut sh = shell();
-        assert!(sh.exec("RECOVER INGEST").unwrap().contains("not wedged"));
+        assert!(sh
+            .exec("RECOVER INGEST")
+            .expect("shell operation should succeed")
+            .contains("not wedged"));
         // Manufacture a wedged last-ingest verdict (the pool owns the real
         // machine per batch; the shell records its final state).
-        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'").unwrap();
-        sh.last_ingest.as_mut().unwrap().health = HealthState::Wedged;
-        let out = sh.exec("RECOVER INGEST").unwrap();
+        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'")
+            .expect("shell operation should succeed");
+        sh.last_ingest.as_mut().expect("shell operation should succeed").health =
+            HealthState::Wedged;
+        let out = sh.exec("RECOVER INGEST").expect("shell operation should succeed");
         assert!(out.contains("wedged -> degraded"), "{out}");
-        assert_eq!(sh.last_ingest.as_ref().unwrap().health, HealthState::Degraded);
-        let health = sh.exec("SHOW HEALTH").unwrap();
+        assert_eq!(
+            sh.last_ingest.as_ref().expect("shell operation should succeed").health,
+            HealthState::Degraded
+        );
+        let health = sh.exec("SHOW HEALTH").expect("shell operation should succeed");
         assert!(health.contains("health: degraded"), "{health}");
     }
 
     #[test]
     fn set_workers_and_show_health() {
         let mut sh = shell();
-        let fresh = sh.exec("SHOW HEALTH").unwrap();
+        let fresh = sh.exec("SHOW HEALTH").expect("shell operation should succeed");
         assert!(fresh.contains("no ingest yet"), "{fresh}");
-        assert_eq!(sh.exec("SET WORKERS 4").unwrap(), "workers: 4");
+        assert_eq!(sh.exec("SET WORKERS 4").expect("shell operation should succeed"), "workers: 4");
         assert!(sh.exec("SET WORKERS 0").is_err());
         assert!(sh.exec("SET WORKERS abc").is_err());
-        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'").unwrap();
-        let health = sh.exec("SHOW HEALTH").unwrap();
+        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'")
+            .expect("shell operation should succeed");
+        let health = sh.exec("SHOW HEALTH").expect("shell operation should succeed");
         assert!(health.contains("health: healthy"), "{health}");
         assert!(health.contains("workers: 4"), "{health}");
         assert!(health.contains("1 committed, 0 shed"), "{health}");
@@ -1680,46 +1950,52 @@ mod tests {
     fn worker_count_does_not_change_annotate_output() {
         let mut a = shell();
         let mut b = shell();
-        b.exec("SET WORKERS 8").unwrap();
+        b.exec("SET WORKERS 8").expect("shell operation should succeed");
         let cmd = "ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'";
-        assert_eq!(a.exec(cmd).unwrap(), b.exec(cmd).unwrap());
+        assert_eq!(
+            a.exec(cmd).expect("shell operation should succeed"),
+            b.exec(cmd).expect("shell operation should succeed")
+        );
     }
 
     #[test]
     fn hostile_faults_degrade_health() {
         let mut sh = shell();
-        sh.exec("SET FAULTS HOSTILE 11").unwrap();
+        sh.exec("SET FAULTS HOSTILE 11").expect("shell operation should succeed");
         let res = sh.exec("ANNOTATE gene 'JW0006' 'paired with gene JW0007'");
         assert!(res.is_err(), "quarantined");
-        let health = sh.exec("SHOW HEALTH").unwrap();
+        let health = sh.exec("SHOW HEALTH").expect("shell operation should succeed");
         assert!(health.contains("health: degraded"), "{health}");
-        sh.exec("SET FAULTS OFF").unwrap();
+        sh.exec("SET FAULTS OFF").expect("shell operation should succeed");
     }
 
     #[test]
     fn help_and_unknown() {
         let mut sh = shell();
-        assert!(sh.exec("HELP").unwrap().contains("ANNOTATE"));
+        assert!(sh.exec("HELP").expect("shell operation should succeed").contains("ANNOTATE"));
         assert!(sh.exec("FROBNICATE").is_err());
-        assert_eq!(sh.exec("   ").unwrap(), "");
+        assert_eq!(sh.exec("   ").expect("shell operation should succeed"), "");
     }
 
     #[test]
     fn sharded_session_routes_annotate_and_reports_health() {
         let mut sh = shell();
-        assert!(sh.exec("SHOW SHARDS").unwrap().contains("shards: off"));
+        assert!(sh
+            .exec("SHOW SHARDS")
+            .expect("shell operation should succeed")
+            .contains("shards: off"));
 
-        let on = sh.exec("SET SHARDS 2").unwrap();
+        let on = sh.exec("SET SHARDS 2").expect("shell operation should succeed");
         assert!(on.contains("shards: 2"), "{on}");
         let out = sh
             .exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'")
-            .unwrap();
+            .expect("shell operation should succeed");
         assert!(out.contains("via shard"), "{out}");
         // The merged shard state is mirrored back into the shell's store.
-        let notes = sh.exec("ANNOTATIONS gene 'JW0005'").unwrap();
+        let notes = sh.exec("ANNOTATIONS gene 'JW0005'").expect("shell operation should succeed");
         assert!(notes.contains("correlates"), "{notes}");
 
-        let status = sh.exec("SHOW SHARDS").unwrap();
+        let status = sh.exec("SHOW SHARDS").expect("shell operation should succeed");
         assert!(status.contains("2 shards"), "{status}");
         assert!(status.contains("epoch 0"), "{status}");
         assert!(status.contains("shard 0"), "{status}");
@@ -1730,11 +2006,79 @@ mod tests {
         assert!(sh.exec("SET DURABILITY '/tmp/nowhere'").is_err());
         assert!(sh.exec("SET REPLICAS 1 '/tmp/nowhere'").is_err());
 
-        let off = sh.exec("SET SHARDS OFF").unwrap();
+        let off = sh.exec("SET SHARDS OFF").expect("shell operation should succeed");
         assert!(off.contains("shards: off"), "{off}");
         // The annotation survives the collapse back to one engine.
-        let notes = sh.exec("ANNOTATIONS gene 'JW0005'").unwrap();
+        let notes = sh.exec("ANNOTATIONS gene 'JW0005'").expect("shell operation should succeed");
         assert!(notes.contains("correlates"), "{notes}");
         assert!(sh.exec("SET SHARDS 0").is_err(), "zero shards is rejected");
+    }
+
+    #[test]
+    fn storage_session_pages_to_disk_and_back() {
+        let dir = std::env::temp_dir().join(format!("nebula-shell-storage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut sh = shell();
+        let before = relstore::snapshot::fingerprint(&sh.db);
+        assert!(sh.exec("SHOW STORAGE").expect("shell operation should succeed").contains("mem"));
+
+        // Move onto disk with a deliberately tiny pool to force eviction.
+        let on = sh
+            .exec(&format!("SET STORAGE DISK '{}' POOL 4", dir.display()))
+            .expect("shell operation should succeed");
+        assert!(on.contains("storage: disk"), "{on}");
+        assert_eq!(
+            relstore::snapshot::fingerprint(&sh.db),
+            before,
+            "paged rebuild is logically identical"
+        );
+
+        // The stack keeps working on the paged backend.
+        sh.exec("ANNOTATE gene 'JW0005' 'paged gene note mentions JW0001'")
+            .expect("shell operation should succeed");
+        let select = sh
+            .exec("SELECT gene WHERE gid CONTAINS 'JW0001'")
+            .expect("shell operation should succeed");
+        assert!(select.contains("JW0001"), "{select}");
+        let show = sh.exec("SHOW STORAGE").expect("shell operation should succeed");
+        assert!(show.contains("storage: disk:"), "{show}");
+        assert!(show.contains("pages:"), "{show}");
+
+        // SCRUB walks the page file (replication off).
+        let scrubbed = sh.exec("SCRUB").expect("shell operation should succeed");
+        assert!(scrubbed.contains("all checksums clean"), "{scrubbed}");
+
+        // Seed at-rest rot, then SCRUB must find it and repair.
+        let fp_paged = relstore::snapshot::fingerprint(&sh.db);
+        {
+            let store = sh.storage.as_ref().expect("shell operation should succeed");
+            store.flush_pages().expect("shell operation should succeed");
+            store.set_fault_plan(Some(FaultPlan::new(0xBAD).with_pages(0.0, 0.0, 0.0, 1.0)));
+            store.inject_rot().expect("shell operation should succeed").expect("rate 1.0 fires");
+            store.set_fault_plan(None);
+        }
+        let repaired = sh.exec("SCRUB").expect("shell operation should succeed");
+        assert!(repaired.contains("corrupt"), "{repaired}");
+        assert!(repaired.contains("repaired"), "{repaired}");
+        let again = sh.exec("SCRUB").expect("shell operation should succeed");
+        assert!(again.contains("all checksums clean"), "{again}");
+
+        // Back to RAM: content survives the round trip.
+        let off = sh.exec("SET STORAGE MEM").expect("shell operation should succeed");
+        assert!(off.contains("storage: mem"), "{off}");
+        assert_eq!(
+            relstore::snapshot::fingerprint(&sh.db),
+            fp_paged,
+            "nothing lost moving back to RAM"
+        );
+        assert!(sh
+            .exec("SET STORAGE MEM")
+            .expect("shell operation should succeed")
+            .contains("already"));
+        assert!(sh.exec("SET STORAGE").is_err(), "bare SET STORAGE is rejected");
+        assert!(sh.exec("SET STORAGE DISK").is_err(), "DISK needs a directory");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

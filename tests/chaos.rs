@@ -23,7 +23,9 @@
 
 use nebula::nebula_durable::{checkpoint, inject_rot, Durability};
 use nebula::nebula_govern::set_fault_plan;
-use nebula::nebula_replica::{compose_schedule, compose_schedule_with_shards, NemesisEvent};
+use nebula::nebula_replica::{
+    compose_schedule, compose_schedule_with_disk, compose_schedule_with_shards, NemesisEvent,
+};
 use nebula::nebula_workload::{build_workload, WorkloadSpec};
 use nebula::prelude::*;
 use std::path::PathBuf;
@@ -227,12 +229,16 @@ fn nemesis_soak_reconverges_byte_identically_for_each_seed() {
                         }
                     }
                 }
-                // Unsharded schedules (shards = 0) compose no shard events.
+                // Unsharded, disk-off schedules compose neither shard nor
+                // disk events.
                 NemesisEvent::ShardPartition { .. }
                 | NemesisEvent::ShardHeal { .. }
                 | NemesisEvent::ShardBitRot { .. }
-                | NemesisEvent::ShardFailover { .. } => {
-                    unreachable!("seed {seed:#x}: shard event in an unsharded schedule")
+                | NemesisEvent::ShardFailover { .. }
+                | NemesisEvent::PageRot
+                | NemesisEvent::PageFsyncFail
+                | NemesisEvent::EvictStorm => {
+                    unreachable!("seed {seed:#x}: shard/disk event in a core schedule")
                 }
             }
         }
@@ -502,14 +508,18 @@ fn sharded_nemesis_soak_reconverges_byte_identically() {
                 failovers_run += 1;
                 assert_eq!(cluster.epoch(), failovers_run, "seed {seed:#x}: epoch fences forward");
             }
-            // Replica-dimension events; a shard cluster has no replica
-            // set or durability directory, so these are calm stretches.
+            // Replica- and disk-dimension events; a shard cluster has no
+            // replica set, durability directory, or page file, so these
+            // are calm stretches.
             NemesisEvent::Partition { .. }
             | NemesisEvent::Heal { .. }
             | NemesisEvent::Corrupt { .. }
             | NemesisEvent::BitRot
             | NemesisEvent::Failover
-            | NemesisEvent::Rejoin => {}
+            | NemesisEvent::Rejoin
+            | NemesisEvent::PageRot
+            | NemesisEvent::PageFsyncFail
+            | NemesisEvent::EvictStorm => {}
         }
     }
 
@@ -531,4 +541,239 @@ fn sharded_nemesis_soak_reconverges_byte_identically() {
         twin.checkpoint(),
         "seed {seed:#x}: merged shards == unsharded twin"
     );
+}
+
+/// The fixed-seed paged-storage soak: the same nemesis composer with the
+/// disk dimension armed, pointed at a `Database` whose rows and postings
+/// live in a checksummed page file behind a 4-frame buffer pool (far
+/// smaller than the file, so the clock hand churns constantly). A RAM
+/// twin replays the identical mutation stream; the acceptance bar:
+///
+/// - **every injected page rot detected** by the very next scrub, with
+///   zero false positives, and **healed in place** (single-bit rot
+///   corrects via CRC linearity — no data degrades);
+/// - **fsync-failed shadow commits lose nothing**: the old image stays
+///   intact and the retry after the plan clears lands every page;
+/// - **eviction storms stay byte-correct**: sweeping every live row
+///   through the tiny pool returns exactly the RAM twin's bytes;
+/// - at rest the paged database fingerprints identically to the RAM
+///   twin, the file scrubs clean, and a cold reopen scrubs clean too.
+#[test]
+fn paged_nemesis_soak_matches_ram_twin_byte_for_byte() {
+    use nebula::relstore::{snapshot, DataType, Database, TableSchema, TupleId, Value};
+
+    const PAGED_OPS: u64 = 600;
+    let seed = fault_seed();
+    let plan = compose_schedule_with_disk(seed, 0, 0, true, PAGED_OPS);
+    assert!(plan.disk);
+    let (page_rots, fsync_fails, evict_storms) = plan.disk_disruption_counts();
+    assert!(page_rots > 0, "seed {seed:#x}: no page rot composed");
+    assert!(fsync_fails > 0, "seed {seed:#x}: no fsync failures composed");
+    assert!(evict_storms > 0, "seed {seed:#x}: no eviction storms composed");
+
+    let dir = temp_dir(&format!("paged-soak-{seed:x}"));
+    std::fs::create_dir_all(&dir).expect("soak directory");
+    let store = PagedStorage::open(&dir, 4).expect("paged store");
+    let mut paged = Database::with_storage(std::sync::Arc::new(store.clone()));
+    let mut mem = Database::new();
+
+    let schema = || {
+        TableSchema::builder("notes")
+            .column("id", DataType::Int)
+            .column("body", DataType::Text)
+            .primary_key("id")
+            .build()
+            .expect("schema")
+    };
+    paged.create_table(schema()).expect("paged table");
+    mem.create_table(schema()).expect("mem table");
+
+    // xorshift64* — the composer's generator, reseeded for the mutation
+    // stream so both databases replay the identical op sequence.
+    let mut rng_state: u64 = seed ^ 0xA5A5_5A5A_F00D_BEEF;
+    let mut next_rng = move || {
+        let mut x = rng_state.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+
+    let mut live: Vec<TupleId> = Vec::new();
+    let mut next_id = 0i64;
+    let mut rot_pending = false;
+    let mut rot_detections = 0usize;
+    let mut rot_injections = 0usize;
+
+    for event in &plan.events {
+        match *event {
+            NemesisEvent::Ingest(n) | NemesisEvent::Burst(n) => {
+                for _ in 0..n {
+                    let roll = next_rng();
+                    match roll % 10 {
+                        0 if !live.is_empty() => {
+                            let tid = live.swap_remove((next_rng() % live.len() as u64) as usize);
+                            assert!(paged.delete(tid), "seed {seed:#x}: paged delete {tid:?}");
+                            assert!(mem.delete(tid), "seed {seed:#x}: mem delete {tid:?}");
+                        }
+                        1 | 2 if !live.is_empty() => {
+                            let tid = live[(next_rng() % live.len() as u64) as usize];
+                            let id = match paged.get(tid).and_then(|t| t.get_by_name("id").cloned())
+                            {
+                                Some(Value::Int(v)) => v,
+                                other => panic!("seed {seed:#x}: lost id column: {other:?}"),
+                            };
+                            let body = Value::text(format!("rewritten {id} pass {roll}"));
+                            paged
+                                .update(tid, vec![Value::Int(id), body.clone()])
+                                .expect("paged update");
+                            mem.update(tid, vec![Value::Int(id), body]).expect("mem update");
+                        }
+                        _ => {
+                            let id = next_id;
+                            next_id += 1;
+                            // Every 11th record overflows a page, driving
+                            // the chain-spill path under eviction.
+                            let body = if id % 11 == 0 {
+                                format!("large zebra {id} {}", "x".repeat(6000))
+                            } else {
+                                format!("note body {id} zebra")
+                            };
+                            let a = paged
+                                .insert("notes", vec![Value::Int(id), Value::text(body.clone())])
+                                .expect("paged insert");
+                            let b = mem
+                                .insert("notes", vec![Value::Int(id), Value::text(body)])
+                                .expect("mem insert");
+                            assert_eq!(a, b, "seed {seed:#x}: tuple ids identical");
+                            live.push(a);
+                        }
+                    }
+                }
+            }
+            NemesisEvent::PageRot => {
+                // Flush first so the rot lands on a durable page the next
+                // flush cannot paper over.
+                store.flush_pages().expect("flush before rot");
+                if store.metrics().page_count > 1 {
+                    store.set_fault_plan(Some(
+                        FaultPlan::new(seed.wrapping_add(rot_injections as u64))
+                            .with_pages(0.0, 0.0, 0.0, 1.0),
+                    ));
+                    let hit = store.inject_rot().expect("rot injection");
+                    store.set_fault_plan(None);
+                    if hit.is_some() {
+                        rot_injections += 1;
+                        rot_pending = true;
+                    }
+                }
+            }
+            NemesisEvent::Scrub => {
+                let report = store.scrub().expect("scrub");
+                if rot_pending {
+                    assert!(
+                        !report.is_clean(),
+                        "seed {seed:#x}: injected page rot detected by the very next scrub"
+                    );
+                    let healed = store.repair().expect("repair");
+                    assert!(
+                        healed.unrecoverable.is_empty(),
+                        "seed {seed:#x}: single-bit rot heals in place"
+                    );
+                    assert!(store.scrub().expect("re-scrub").is_clean());
+                    rot_detections += 1;
+                    rot_pending = false;
+                } else {
+                    assert!(
+                        report.is_clean(),
+                        "seed {seed:#x}: zero false positives: {:?}",
+                        report.corrupt
+                    );
+                }
+            }
+            NemesisEvent::PageFsyncFail => {
+                // Guarantee a dirty page so the commit actually reaches
+                // the failing fsync.
+                let id = next_id;
+                next_id += 1;
+                let body = Value::text(format!("fsync probe {id} zebra"));
+                let a = paged
+                    .insert("notes", vec![Value::Int(id), body.clone()])
+                    .expect("paged insert");
+                let b = mem.insert("notes", vec![Value::Int(id), body]).expect("mem insert");
+                assert_eq!(a, b);
+                live.push(a);
+                store.set_fault_plan(Some(
+                    FaultPlan::new(seed ^ next_id as u64).with_pages(0.0, 0.0, 1.0, 0.0),
+                ));
+                let denied = store.flush_pages();
+                store.set_fault_plan(None);
+                assert!(denied.is_err(), "seed {seed:#x}: armed fsync fault must surface");
+                // The failed shadow commit left the old image intact...
+                assert!(store.scrub().expect("post-failure scrub").is_clean());
+                // ...and the retry lands every page.
+                store.flush_pages().expect("retry after the plan clears");
+                assert!(store.scrub().expect("post-retry scrub").is_clean());
+            }
+            NemesisEvent::EvictStorm => {
+                for tid in &live {
+                    assert_eq!(
+                        paged.get(*tid),
+                        mem.get(*tid),
+                        "seed {seed:#x}: byte-correct under eviction churn at {tid:?}"
+                    );
+                }
+            }
+            // No replicas and no shards in this soak: the composer still
+            // emits core failover/rot beats, which have no surface here.
+            NemesisEvent::Partition { .. }
+            | NemesisEvent::Heal { .. }
+            | NemesisEvent::Corrupt { .. }
+            | NemesisEvent::BitRot
+            | NemesisEvent::Failover
+            | NemesisEvent::Rejoin
+            | NemesisEvent::ShardPartition { .. }
+            | NemesisEvent::ShardHeal { .. }
+            | NemesisEvent::ShardBitRot { .. }
+            | NemesisEvent::ShardFailover { .. } => {}
+        }
+    }
+
+    assert_eq!(
+        rot_detections, rot_injections,
+        "seed {seed:#x}: the scrubber caught every injected page rot"
+    );
+    assert!(rot_injections > 0, "seed {seed:#x}: the soak injected real page rot");
+
+    // At rest: paged == RAM twin, file clean, pool actually churned.
+    assert_eq!(
+        snapshot::fingerprint(&paged),
+        snapshot::fingerprint(&mem),
+        "seed {seed:#x}: paged database fingerprints identically to the RAM twin"
+    );
+    for token in ["zebra", "rewritten"] {
+        assert_eq!(
+            mem.inverted_index().lookup(token).to_vec(),
+            paged.inverted_index().lookup(token).to_vec(),
+            "seed {seed:#x}: postings identical for {token:?}"
+        );
+    }
+    store.flush_pages().expect("final flush");
+    assert!(store.scrub().expect("final scrub").is_clean());
+    let m = store.metrics();
+    assert!(
+        m.pool.evictions > 0,
+        "seed {seed:#x}: a 4-frame pool under {} pages must evict",
+        m.page_count
+    );
+    assert!(m.page_count as usize > 4, "seed {seed:#x}: the file outgrew the pool");
+
+    // A cold reopen of the same directory recovers and scrubs clean.
+    drop(paged);
+    drop(store);
+    let reopened = PagedStorage::open(&dir, 4).expect("cold reopen");
+    assert!(reopened.scrub().expect("reopen scrub").is_clean());
+    assert!(reopened.metrics().page_count > 1);
+    let _ = std::fs::remove_dir_all(&dir);
 }
