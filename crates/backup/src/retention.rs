@@ -1,0 +1,191 @@
+//! Archive retention: GC that can never eat a restorable point.
+//!
+//! The invariant is stated from the restore side, not the delete side:
+//! after a GC that keeps `k` bases, every LSN from the oldest *kept*
+//! base's watermark to the archive head is still restorable. That means:
+//!
+//! - only bases older than the `k` newest may go;
+//! - a segment may go only when **every** record it holds is at or below
+//!   the oldest kept base's watermark (the base supersedes it entirely);
+//! - a segment that cannot be decoded is **kept** — its coverage is
+//!   unknown, and deleting unknowns is how backup systems eat data. The
+//!   scrubber reports it; the operator decides.
+
+use crate::{counters, BackupError};
+use nebula_durable::archive::{list_bases, list_segments};
+use nebula_durable::segment::decode_segment;
+use std::path::Path;
+
+/// What a GC pass removed and what remains restorable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Base checkpoints removed.
+    pub removed_bases: usize,
+    /// Sealed segments removed (fully superseded by a kept base).
+    pub removed_segments: usize,
+    /// Bytes reclaimed.
+    pub bytes_reclaimed: u64,
+    /// The oldest LSN still restorable after the pass.
+    pub oldest_restorable_lsn: u64,
+    /// Undecodable segments conservatively kept for the scrubber.
+    pub kept_undecodable: usize,
+}
+
+/// Remove archive files made redundant by newer bases, keeping the
+/// newest `keep_bases` bases (at least one is always kept).
+pub fn gc(dir: &Path, keep_bases: usize) -> Result<GcReport, BackupError> {
+    let bases = list_bases(dir)?;
+    let mut report = GcReport::default();
+    if bases.is_empty() {
+        return Ok(report);
+    }
+    let keep = keep_bases.max(1).min(bases.len());
+    let cut = bases.len() - keep;
+    let oldest_kept = bases[cut].0;
+    report.oldest_restorable_lsn = oldest_kept;
+
+    for (_, path) in &bases[..cut] {
+        report.bytes_reclaimed += std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        std::fs::remove_file(path)?;
+        report.removed_bases += 1;
+    }
+    for (base_lsn, path) in list_segments(dir)? {
+        let bytes = std::fs::read(&path)?;
+        let last_lsn = match decode_segment(&bytes) {
+            Ok(seg) => base_lsn + seg.records.len().saturating_sub(1) as u64,
+            Err(_) => {
+                // Unknown coverage: keep it. Deleting what we cannot read
+                // is how the oldest restorable point silently moves past
+                // data someone still needs.
+                report.kept_undecodable += 1;
+                continue;
+            }
+        };
+        if last_lsn <= oldest_kept {
+            report.bytes_reclaimed += bytes.len() as u64;
+            std::fs::remove_file(&path)?;
+            report.removed_segments += 1;
+        }
+    }
+    nebula_obs::counter_add(
+        counters::GC_REMOVED,
+        (report.removed_bases + report.removed_segments) as u64,
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annostore::AnnotationId;
+    use nebula_durable::archive::{
+        archive_base, archive_segment, archive_stats, segment_file_name,
+    };
+    use nebula_durable::checkpoint;
+    use nebula_durable::wal::{encode_record, WalOp};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nebula-gc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn records(first_lsn: u64, n: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let lsn = first_lsn + i;
+            let op = WalOp::AddAnnotation {
+                expected: AnnotationId(lsn - 1),
+                text: format!("note {lsn}"),
+                author: None,
+                kind: None,
+            };
+            out.extend_from_slice(&encode_record(lsn, &op));
+        }
+        out
+    }
+
+    /// Bases at 0/3/6/9 (each encoding the state at its watermark),
+    /// segments covering 1-3, 4-6, 7-9.
+    fn fill(dir: &Path) {
+        let mut db = relstore::Database::new();
+        let mut store = annostore::AnnotationStore::new();
+        archive_base(dir, 1, 0, &checkpoint::encode(0, &db, &store)).unwrap();
+        for base in [1u64, 4, 7] {
+            let recs = records(base, 3);
+            archive_segment(dir, 1, base, &recs).unwrap();
+            let seg =
+                decode_segment(&std::fs::read(dir.join(segment_file_name(base))).unwrap()).unwrap();
+            for rec in &seg.records {
+                nebula_durable::replay_op(&mut db, &mut store, &rec.op).unwrap();
+            }
+            let w = base + 2;
+            archive_base(dir, 1, w, &checkpoint::encode(w, &db, &store)).unwrap();
+        }
+    }
+
+    #[test]
+    fn gc_keeps_everything_a_kept_base_does_not_supersede() {
+        let dir = temp_dir("invariant");
+        fill(&dir);
+        let report = gc(&dir, 2).unwrap();
+        // Kept bases: 6 and 9. Segments 1-3 and 4-6 are fully ≤ 6; 7-9 is not.
+        assert_eq!(report.removed_bases, 2);
+        assert_eq!(report.removed_segments, 2);
+        assert_eq!(report.oldest_restorable_lsn, 6);
+        assert!(report.bytes_reclaimed > 0);
+        let stats = archive_stats(&dir).unwrap();
+        assert_eq!(stats.oldest_restorable_lsn, 6);
+        assert_eq!(stats.newest_lsn, 9);
+        // Every LSN from 6 to 9 must still restore from what remains.
+        let bundle = temp_dir("invariant-bundle");
+        crate::bundle::create_bundle(&crate::bundle::BundleSpec {
+            archive_dir: dir.clone(),
+            bundle_dir: bundle.clone(),
+            pages: None,
+            created_seq: 1,
+        })
+        .unwrap();
+        for lsn in 6..=9u64 {
+            assert_eq!(crate::bundle::restore(&bundle, Some(lsn)).unwrap().applied, lsn);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&bundle);
+    }
+
+    #[test]
+    fn gc_always_keeps_at_least_one_base() {
+        let dir = temp_dir("floor");
+        fill(&dir);
+        let report = gc(&dir, 0).unwrap();
+        assert_eq!(report.removed_bases, 3);
+        assert_eq!(report.oldest_restorable_lsn, 9);
+        assert_eq!(archive_stats(&dir).unwrap().bases, 1);
+        // Idempotent: a second pass finds nothing to do.
+        assert_eq!(gc(&dir, 0).unwrap().removed_bases, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_undecodable_segment_is_never_deleted() {
+        let dir = temp_dir("undecodable");
+        fill(&dir);
+        // Tear the oldest segment — fully superseded by kept base 9, but
+        // its coverage can no longer be proven.
+        let victim = dir.join(segment_file_name(1));
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() / 3]).unwrap();
+        let report = gc(&dir, 1).unwrap();
+        assert_eq!(report.kept_undecodable, 1);
+        assert_eq!(report.removed_segments, 2, "only the provably superseded segments go");
+        assert!(victim.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_empty_archive_is_a_no_op() {
+        let dir = temp_dir("empty");
+        assert_eq!(gc(&dir, 3).unwrap(), GcReport::default());
+    }
+}

@@ -16,6 +16,7 @@
 //!   replication              WAL shipping under transport faults
 //!   sharding                 scatter-gather ingest across shard counts
 //!   repair                   reconvergence cost vs divergence depth
+//!   recovery                 backup cost + restore time vs archive depth
 //!   paging                   paged storage vs RAM across pool sizes
 //!   tracing                  trace overhead + critical-path attribution
 //!   ablation-acg ablation-querygen ablation-stability
@@ -34,7 +35,7 @@
 
 use nebula_bench::{
     ablation, degradation, durability, fig11, fig12, fig13, fig14, fig15, overload, paging,
-    pipeline, profile, repair, replication, sharding, tracing, Scale, Setup,
+    pipeline, profile, recovery, repair, replication, sharding, tracing, Scale, Setup,
 };
 
 fn main() {
@@ -82,6 +83,7 @@ fn main() {
             "replication",
             "sharding",
             "repair",
+            "recovery",
             "paging",
             "tracing",
             "ablation-acg",
@@ -93,8 +95,8 @@ fn main() {
         println!(
             "experiments: fig11a fig11b fig11c fig12a fig12b fig13 fig14a fig14b \
              fig15a fig15b naive-assess profile pipeline degradation durability \
-             overload replication sharding repair paging tracing ablation-acg ablation-learn \
-             ablation-querygen ablation-stability all"
+             overload replication sharding repair recovery paging tracing ablation-acg \
+             ablation-learn ablation-querygen ablation-stability all"
         );
         return;
     } else {
@@ -250,6 +252,9 @@ fn main() {
             }
             "repair" => {
                 repair::table(&repair::run(if fast { 48 } else { 160 })).print();
+            }
+            "recovery" => {
+                recovery::table(&recovery::run(if fast { 2_000 } else { 8_000 })).print();
             }
             "paging" => {
                 paging::table(&paging::run(if fast { 200 } else { 800 })).print();

@@ -21,6 +21,7 @@ pub mod overload;
 pub mod paging;
 pub mod pipeline;
 pub mod profile;
+pub mod recovery;
 pub mod repair;
 pub mod replication;
 pub mod setup;

@@ -1,0 +1,228 @@
+//! Recovery experiment: backup cost and restore time vs archive depth.
+//!
+//! Each cell builds the same `n`-record history through a live WAL
+//! manager with archiving armed, checkpointing every `ckpt_every`
+//! records — so the archive holds `n / ckpt_every` sealed segments plus
+//! one base per checkpoint. It then measures the disaster-recovery
+//! round trip:
+//!
+//! - **backup** — `create_bundle` wall time and the bytes the signed
+//!   bundle occupies (checkpoint first, so the bundle covers the head);
+//! - **verify** — re-deriving every manifest digest, the gate every
+//!   restore runs before touching state;
+//! - **restore** — full point-in-time rebuild to the head: load the
+//!   newest base, replay the archived tail through `replay_op`;
+//! - **pitr** — the same rebuild stopped at the history's midpoint,
+//!   which must pick an older base and replay a partial tail.
+//!
+//! The claims under test: backup cost is linear in archive bytes, not
+//! history length; restore time is governed by the replayed tail (deep
+//! archives with frequent bases restore *faster* because the newest base
+//! sits closer to the target); and every restore digest-matches the live
+//! engine at the target LSN.
+
+use crate::table::Table;
+use annostore::{AnnotationId, AnnotationStore};
+use nebula_backup::{create_bundle, restore, verify_bundle, BundleSpec};
+use nebula_durable::wal::WalOp;
+use nebula_durable::{archive_stats, replay_op, state_digest, Durability, DurabilityOptions};
+use relstore::Database;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One `(ckpt_every)` cell's outcome.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Records between checkpoints (the archive-depth knob).
+    pub ckpt_every: u64,
+    /// Records in the history.
+    pub records: u64,
+    /// Sealed segments in the archive at backup time.
+    pub segments: usize,
+    /// Base checkpoints in the archive at backup time.
+    pub bases: usize,
+    /// Bytes in the captured bundle (archive files + manifest).
+    pub bundle_bytes: u64,
+    /// `create_bundle` wall time in milliseconds.
+    pub backup_ms: f64,
+    /// `verify_bundle` wall time in milliseconds.
+    pub verify_ms: f64,
+    /// Full restore-to-head wall time in milliseconds.
+    pub restore_ms: f64,
+    /// Records the full restore replayed past its base.
+    pub replayed: usize,
+    /// Restore-to-midpoint wall time in milliseconds.
+    pub pitr_ms: f64,
+    /// Records the midpoint restore replayed past its base.
+    pub pitr_replayed: usize,
+    /// Did both restores digest-match the live state at their targets?
+    pub converged: bool,
+}
+
+fn scenario_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("nebula-bench-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn op(n: u64) -> WalOp {
+    WalOp::AddAnnotation {
+        expected: AnnotationId(n),
+        text: format!("recovery bench note {n}"),
+        author: None,
+        kind: None,
+    }
+}
+
+/// Build an `n`-record archived history checkpointed every `ckpt_every`
+/// records, then measure the backup/verify/restore round trip.
+fn scenario(n: u64, ckpt_every: u64) -> Cell {
+    let root = scenario_dir(&format!("{n}-{ckpt_every}"));
+    let wal_dir = root.join("wal");
+    let archive = root.join("archive");
+    let bundle_dir = root.join("bundle");
+
+    let mut db = Database::new();
+    let mut store = AnnotationStore::new();
+    let mut wal = Durability::begin(&wal_dir, &db, &store, DurabilityOptions::default())
+        .expect("fresh durability directory");
+    wal.set_archive(&archive, 1).expect("arm archiving");
+
+    // Track the live state at the midpoint so the PITR restore has a
+    // reference digest to converge against.
+    let mid = n / 2;
+    let mut mid_digest = state_digest(&db, &store);
+    for i in 0..n {
+        let o = op(i);
+        wal.append(&o).expect("append");
+        replay_op(&mut db, &mut store, &o).expect("replay");
+        if i + 1 == mid {
+            mid_digest = state_digest(&db, &store);
+        }
+        if (i + 1) % ckpt_every == 0 {
+            wal.checkpoint(&db, &store).expect("checkpoint");
+        }
+    }
+    // BACKUP TO semantics: checkpoint first so the bundle covers the head.
+    wal.checkpoint(&db, &store).expect("sealing checkpoint");
+    let stats = archive_stats(&archive).expect("archive stats");
+
+    let t0 = Instant::now();
+    let manifest = create_bundle(&BundleSpec {
+        archive_dir: archive.clone(),
+        bundle_dir: bundle_dir.clone(),
+        pages: None,
+        created_seq: 1,
+    })
+    .expect("bundle capture");
+    let backup_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let bundle_bytes = manifest.entries.iter().map(|e| e.len).sum::<u64>();
+
+    let t0 = Instant::now();
+    verify_bundle(&bundle_dir).expect("manifest verification");
+    let verify_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let full = restore(&bundle_dir, None).expect("restore to head");
+    let restore_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let pitr = restore(&bundle_dir, Some(mid)).expect("restore to midpoint");
+    let pitr_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let converged = state_digest(&full.db, &full.store) == state_digest(&db, &store)
+        && full.applied == n
+        && state_digest(&pitr.db, &pitr.store) == mid_digest
+        && pitr.applied == mid;
+
+    let cell = Cell {
+        ckpt_every,
+        records: n,
+        segments: stats.segments,
+        bases: stats.bases,
+        bundle_bytes,
+        backup_ms,
+        verify_ms,
+        restore_ms,
+        replayed: full.replayed,
+        pitr_ms,
+        pitr_replayed: pitr.replayed,
+        converged,
+    };
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&root);
+    cell
+}
+
+/// Run the sweep: one `n`-record history per checkpoint cadence, from
+/// coarse (one giant segment) to fine (many small ones).
+pub fn run(n: u64) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for ckpt_every in [n, n / 4, n / 16, n / 64] {
+        if ckpt_every == 0 {
+            continue;
+        }
+        cells.push(scenario(n, ckpt_every));
+    }
+    cells
+}
+
+/// Render the sweep.
+pub fn table(cells: &[Cell]) -> Table {
+    let mut t = Table::new(
+        "Recovery: backup cost and restore time vs archive depth".to_string(),
+        &[
+            "ckpt_every",
+            "records",
+            "segments",
+            "bases",
+            "bundle_kb",
+            "backup_ms",
+            "verify_ms",
+            "restore_ms",
+            "replayed",
+            "pitr_ms",
+            "pitr_replayed",
+            "converged",
+        ],
+    );
+    for c in cells {
+        t.row(vec![
+            c.ckpt_every.to_string(),
+            c.records.to_string(),
+            c.segments.to_string(),
+            c.bases.to_string(),
+            format!("{:.1}", c.bundle_bytes as f64 / 1024.0),
+            format!("{:.1}", c.backup_ms),
+            format!("{:.1}", c.verify_ms),
+            format!("{:.1}", c.restore_ms),
+            c.replayed.to_string(),
+            format!("{:.1}", c.pitr_ms),
+            c.pitr_replayed.to_string(),
+            if c.converged { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_sweep_converges_at_every_depth() {
+        let cells = run(96);
+        assert!(!cells.is_empty());
+        for c in &cells {
+            assert!(c.converged, "cell {c:?} failed to converge");
+            assert!(c.segments > 0, "cell {c:?} archived no segments");
+            assert_eq!(c.records, 96);
+        }
+        // Finer cadences put the newest base closer to the head, so the
+        // full restore replays a shorter tail.
+        let coarse = &cells[0];
+        let fine = cells.last().expect("cells");
+        assert!(fine.replayed <= coarse.replayed);
+    }
+}

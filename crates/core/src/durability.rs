@@ -194,4 +194,18 @@ pub trait MutationSink: fmt::Debug + Send {
     fn healthy(&self) -> bool {
         true
     }
+
+    /// Start archiving sealed WAL segments into `dir` so `BACKUP` can
+    /// bundle a restorable history. Sinks that own no write-ahead log
+    /// refuse — archiving needs real segments to seal.
+    fn set_archive(&mut self, dir: &std::path::Path) -> Result<(), SinkError> {
+        let _ = dir;
+        Err(SinkError("this sink has no write-ahead log to archive".into()))
+    }
+
+    /// The directory this sink archives sealed segments into, when
+    /// archiving is enabled.
+    fn archive_dir(&self) -> Option<std::path::PathBuf> {
+        None
+    }
 }

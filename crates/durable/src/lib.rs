@@ -31,6 +31,7 @@
 
 use std::fmt;
 
+pub mod archive;
 pub mod checkpoint;
 pub mod crc32c;
 pub mod harness;
@@ -40,8 +41,9 @@ pub mod scrub;
 pub mod segment;
 pub mod wal;
 
+pub use archive::{archive_stats, ArchiveStats};
 pub use harness::{crash_points, state_digest, CrashPointReport};
-pub use manager::{Durability, DurabilityOptions, SyncPolicy};
+pub use manager::{ArchiveConfig, Durability, DurabilityOptions, SyncPolicy};
 pub use recover::{recover, recover_from_bytes, replay_op, Recovered};
 pub use scrub::{inject_rot, scrub, RotReport, ScrubReport};
 pub use segment::{CheckpointFrame, Segment};
@@ -115,6 +117,12 @@ pub enum DurableError {
     /// The directory already holds durable state; `begin` refuses to
     /// clobber it (recover or pick a fresh directory).
     DirectoryInUse(String),
+    /// A write returned no-space (`ENOSPC`); the write path wedged with
+    /// this typed error instead of panicking.
+    NoSpace(String),
+    /// An archive write failed (torn segment, failed fsync); the
+    /// enclosing checkpoint aborted, so the live WAL kept the records.
+    Archive(String),
 }
 
 impl fmt::Display for DurableError {
@@ -137,6 +145,10 @@ impl fmt::Display for DurableError {
             DurableError::DirectoryInUse(dir) => {
                 write!(f, "{dir} already holds durable state; RECOVER it or use a fresh directory")
             }
+            DurableError::NoSpace(what) => {
+                write!(f, "no space left on device (enospc) while {what}")
+            }
+            DurableError::Archive(msg) => write!(f, "archive write failed: {msg}"),
         }
     }
 }

@@ -31,6 +31,7 @@
 //! checkpoint and the complete WAL still hold every mutation, so nothing
 //! is lost.
 
+use crate::archive;
 use crate::checkpoint;
 use crate::recover::{recover, Recovered};
 use crate::wal::{encode_record, WalOp, WAL_FILE};
@@ -68,6 +69,15 @@ impl Default for DurabilityOptions {
     }
 }
 
+/// Where (and as whom) a manager archives sealed WAL segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchiveConfig {
+    /// The archive directory (`segment-*.seg` + `base-*.ckpt` files).
+    pub dir: PathBuf,
+    /// Epoch stamped into every archived frame.
+    pub epoch: u64,
+}
+
 /// The live durability manager: an open WAL plus checkpoint bookkeeping.
 #[derive(Debug)]
 pub struct Durability {
@@ -80,6 +90,7 @@ pub struct Durability {
     since_checkpoint: usize,
     options: DurabilityOptions,
     wedged: Option<String>,
+    archive: Option<ArchiveConfig>,
 }
 
 impl Durability {
@@ -127,6 +138,7 @@ impl Durability {
             since_checkpoint: 0,
             options,
             wedged: None,
+            archive: None,
         };
         durability.checkpoint(db, store)?;
         Ok(durability)
@@ -164,6 +176,7 @@ impl Durability {
             since_checkpoint: recovered.replayed,
             options,
             wedged: None,
+            archive: None,
         };
         Ok((durability, recovered))
     }
@@ -183,6 +196,18 @@ impl Durability {
         }
         let record = encode_record(lsn, op);
 
+        if let Some(IoFault::NoSpace) = inject_io(FaultSite::Enospc, record.len()) {
+            // The filesystem is full: nothing reached the file, but no
+            // further append can be trusted until space is freed (a
+            // checkpoint truncates the log and unwedges).
+            self.wedged = Some(format!("no space left on device before lsn {lsn}"));
+            nebula_obs::trace::flight_event(
+                "wedge",
+                format!("no space left on device before lsn {lsn}"),
+            );
+            nebula_obs::counter_add(counters::APPEND_FAILURES, 1);
+            return Err(DurableError::NoSpace(format!("appending lsn {lsn}")));
+        }
         if let Some(IoFault::TornWrite { keep }) = inject_io(FaultSite::TornWrite, record.len()) {
             // A crash mid-write: the prefix stays on disk and the log is
             // in an unknown state until a checkpoint or recovery.
@@ -281,6 +306,39 @@ impl Durability {
             nebula_obs::counter_add(counters::CHECKPOINT_FAILURES, 1);
             return Err(e);
         }
+        // Archive before truncating: no WAL byte may be discarded until
+        // its sealed archived copy (and the covering base image) is
+        // durable. A failed archive write aborts the whole checkpoint —
+        // the live WAL and the previous checkpoint still hold everything.
+        if let Some(cfg) = self.archive.clone() {
+            let sealed = (|| -> Result<(), DurableError> {
+                if self.wal_len > 0 {
+                    let wal_bytes = std::fs::read(self.dir.join(WAL_FILE))?;
+                    let valid = &wal_bytes[..(self.wal_len as usize).min(wal_bytes.len())];
+                    // At-rest rot (or a torn write awaiting this very
+                    // checkpoint's repair) can damage record bytes inside
+                    // the prefix. The base image below carries every
+                    // record's effects, so seal only the clean decodable
+                    // prefix: restores inside the damaged span come from
+                    // the base, and no corrupt bytes enter the archive.
+                    let (_, tail) = crate::wal::read_wal(valid);
+                    archive::archive_segment(
+                        &cfg.dir,
+                        cfg.epoch,
+                        self.watermark + 1,
+                        &valid[..tail.valid_bytes],
+                    )?;
+                }
+                archive::archive_base(&cfg.dir, cfg.epoch, watermark, &image)?;
+                Ok(())
+            })();
+            if let Err(e) = sealed {
+                let _ = std::fs::remove_file(&tmp_path);
+                nebula_obs::counter_add(counters::CHECKPOINT_FAILURES, 1);
+                return Err(e);
+            }
+        }
+
         let final_path = self.dir.join(checkpoint::file_name(self.ckpt_seq));
         std::fs::rename(&tmp_path, &final_path)?;
 
@@ -300,6 +358,34 @@ impl Durability {
         self.ckpt_seq += 1;
         nebula_obs::counter_add(counters::CHECKPOINTS, 1);
         Ok(watermark)
+    }
+
+    /// Enable WAL archiving into `dir`, stamping frames with `epoch`.
+    ///
+    /// The current checkpoint is copied in as the first restore base, so
+    /// the archive's restorable range starts at the live watermark; every
+    /// later checkpoint seals the WAL into the archive before truncating
+    /// it.
+    pub fn set_archive(&mut self, dir: &Path, epoch: u64) -> Result<(), DurableError> {
+        let newest = checkpoint::list_checkpoints(&self.dir)?
+            .into_iter()
+            .next_back()
+            .ok_or_else(|| DurableError::NotFound(self.dir.display().to_string()))?;
+        let image = std::fs::read(newest.1)?;
+        let (watermark, _, _) = checkpoint::decode(&image)?;
+        archive::archive_base(dir, epoch, watermark, &image)?;
+        self.archive = Some(ArchiveConfig { dir: dir.to_path_buf(), epoch });
+        Ok(())
+    }
+
+    /// The archive directory, when archiving is enabled.
+    pub fn archive_dir(&self) -> Option<&Path> {
+        self.archive.as_ref().map(|cfg| cfg.dir.as_path())
+    }
+
+    /// Survey the archive, when archiving is enabled.
+    pub fn archive_stats(&self) -> Option<archive::ArchiveStats> {
+        self.archive.as_ref().and_then(|cfg| archive::archive_stats(&cfg.dir).ok())
     }
 
     /// The directory this manager persists into.
@@ -349,6 +435,15 @@ impl MutationSink for Durability {
         !self.is_wedged()
     }
 
+    fn set_archive(&mut self, dir: &Path) -> Result<(), SinkError> {
+        // A standalone log lives in epoch 1 (no failovers to distinguish).
+        Durability::set_archive(self, dir, 1).map_err(|e| SinkError(e.to_string()))
+    }
+
+    fn archive_dir(&self) -> Option<PathBuf> {
+        Durability::archive_dir(self).map(Path::to_path_buf)
+    }
+
     fn describe(&self) -> String {
         let policy = match self.options.sync {
             SyncPolicy::EveryRecord => "every-record",
@@ -356,9 +451,21 @@ impl MutationSink for Durability {
         };
         let every =
             self.options.checkpoint_every.map_or_else(|| "manual".to_string(), |n| n.to_string());
+        let archived = match &self.archive {
+            Some(cfg) => match archive::archive_stats(&cfg.dir) {
+                Ok(s) => format!(
+                    " archive[dir={} segments={} oldest_restorable_lsn={}]",
+                    cfg.dir.display(),
+                    s.segments,
+                    s.oldest_restorable_lsn
+                ),
+                Err(_) => format!(" archive[dir={} unreadable]", cfg.dir.display()),
+            },
+            None => String::new(),
+        };
         format!(
             "dir={} sync={policy} checkpoint_every={every} next_lsn={} watermark={} \
-             wal_bytes={}{}",
+             wal_bytes={}{}{archived}",
             self.dir.display(),
             self.next_lsn,
             self.watermark,
@@ -608,6 +715,91 @@ mod tests {
         // And a clean checkpoint succeeds afterwards.
         d.checkpoint(&db, &store).unwrap();
         assert_eq!(d.wal_bytes(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_seal_the_wal_into_the_archive_before_truncating() {
+        let dir = temp_dir("archive-seal");
+        let arch = temp_dir("archive-seal-dest");
+        let mut db = Database::new();
+        let mut store = AnnotationStore::new();
+        let mut d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        d.set_archive(&arch, 1).unwrap();
+        for n in 0..3u64 {
+            d.append(&op(n)).unwrap();
+            crate::recover::replay_op(&mut db, &mut store, &op(n)).unwrap();
+        }
+        d.checkpoint(&db, &store).unwrap();
+        for n in 3..5u64 {
+            d.append(&op(n)).unwrap();
+            crate::recover::replay_op(&mut db, &mut store, &op(n)).unwrap();
+        }
+        d.checkpoint(&db, &store).unwrap();
+        let stats = d.archive_stats().unwrap();
+        assert_eq!(stats.segments, 2, "one sealed segment per truncating checkpoint");
+        assert_eq!(stats.bases, 3, "set_archive base + one per checkpoint");
+        assert_eq!(stats.oldest_restorable_lsn, 0);
+        assert_eq!(stats.newest_lsn, 5);
+        // The sealed segments replay to exactly the live history.
+        let segs = crate::archive::list_segments(&arch).unwrap();
+        let first = crate::segment::decode_segment(&std::fs::read(&segs[0].1).unwrap()).unwrap();
+        assert_eq!(first.base_lsn, 1);
+        assert_eq!(first.records.len(), 3);
+        let second = crate::segment::decode_segment(&std::fs::read(&segs[1].1).unwrap()).unwrap();
+        assert_eq!(second.base_lsn, 4);
+        assert_eq!(second.records.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&arch);
+    }
+
+    #[test]
+    fn a_failed_archive_write_aborts_the_checkpoint_and_keeps_the_wal() {
+        let dir = temp_dir("archive-abort");
+        let arch = temp_dir("archive-abort-dest");
+        let mut db = Database::new();
+        let mut store = AnnotationStore::new();
+        let mut d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        d.set_archive(&arch, 1).unwrap();
+        for n in 0..2u64 {
+            d.append(&op(n)).unwrap();
+            crate::recover::replay_op(&mut db, &mut store, &op(n)).unwrap();
+        }
+        let wal_before = d.wal_bytes();
+        nebula_govern::set_fault_plan(Some(
+            nebula_govern::FaultPlan::new(17).with_archive_faults(1.0, 0.0, 0.0),
+        ));
+        let err = d.checkpoint(&db, &store).unwrap_err();
+        nebula_govern::set_fault_plan(None);
+        assert!(matches!(err, DurableError::Archive(_)), "{err}");
+        assert_eq!(d.wal_bytes(), wal_before, "the WAL kept what the archive failed to take");
+        assert_eq!(d.watermark(), 0);
+        // Recovery still sees everything, and a clean retry succeeds.
+        let r = recover(&dir).unwrap();
+        assert_eq!(r.store.annotation_count(), 2);
+        d.checkpoint(&db, &store).unwrap();
+        assert_eq!(d.archive_stats().unwrap().newest_lsn, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&arch);
+    }
+
+    #[test]
+    fn enospc_wedges_the_append_path_until_checkpoint() {
+        let dir = temp_dir("enospc-wedge");
+        let db = Database::new();
+        let store = AnnotationStore::new();
+        let mut d = Durability::begin(&dir, &db, &store, DurabilityOptions::default()).unwrap();
+        nebula_govern::set_fault_plan(Some(nebula_govern::FaultPlan::new(8).with_enospc(1.0)));
+        let err = d.append(&op(0)).unwrap_err();
+        nebula_govern::set_fault_plan(None);
+        assert!(matches!(err, DurableError::NoSpace(_)), "{err}");
+        assert!(d.is_wedged());
+        assert!(!MutationSink::healthy(&d), "the sink reports unhealthy so ingest sheds");
+        assert!(matches!(d.append(&op(0)), Err(DurableError::Wedged(_))));
+        assert_eq!(d.wal_bytes(), 0, "enospc persisted nothing");
+        // Space freed: a checkpoint unwedges and appends flow again.
+        d.checkpoint(&db, &store).unwrap();
+        d.append(&op(0)).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -59,6 +59,18 @@ pub enum FaultSite {
     /// One bit of an at-rest page flips on disk (silent media rot, found
     /// by the page scrubber's CRC walk rather than at read time).
     PageRot,
+    /// An archive-segment write is cut short mid-write, leaving a torn
+    /// file in the backup directory (detected by the backup scrubber and
+    /// by checkpoint refusing to truncate the WAL).
+    ArchiveWrite,
+    /// One bit of an at-rest archive file flips on disk (silent media
+    /// rot in the backup directory, found by the backup scrubber).
+    ArchiveRot,
+    /// An `fsync` of an archived segment fails after the write.
+    ArchiveFsync,
+    /// A write returns no-space (`ENOSPC`); write paths must degrade to
+    /// a typed wedge instead of panicking.
+    Enospc,
 }
 
 impl fmt::Display for FaultSite {
@@ -84,6 +96,10 @@ impl fmt::Display for FaultSite {
             FaultSite::PageWrite => "page-write",
             FaultSite::PageFsync => "page-fsync",
             FaultSite::PageRot => "page-rot",
+            FaultSite::ArchiveWrite => "archive-write",
+            FaultSite::ArchiveRot => "archive-rot",
+            FaultSite::ArchiveFsync => "archive-fsync",
+            FaultSite::Enospc => "enospc",
         };
         write!(f, "{s}")
     }
@@ -139,6 +155,14 @@ pub struct IoFaultSpec {
     pub wal_rot: f64,
     /// At-rest checkpoint bit-rot rate ([`FaultSite::CheckpointRot`]).
     pub checkpoint_rot: f64,
+    /// Torn archive-segment write rate ([`FaultSite::ArchiveWrite`]).
+    pub archive_write: f64,
+    /// At-rest archive bit-rot rate ([`FaultSite::ArchiveRot`]).
+    pub archive_rot: f64,
+    /// Archive fsync-failure rate ([`FaultSite::ArchiveFsync`]).
+    pub archive_fsync: f64,
+    /// No-space (`ENOSPC`) rate ([`FaultSite::Enospc`]).
+    pub enospc: f64,
 }
 
 /// Firing rates for the seeded replication-transport fault sites. All
@@ -174,6 +198,8 @@ pub struct PageFaultSpec {
     pub fsync: f64,
     /// At-rest page bit-rot rate ([`FaultSite::PageRot`]).
     pub rot: f64,
+    /// Disk-full rate for page-file writes ([`FaultSite::Enospc`]).
+    pub enospc: f64,
 }
 
 /// A page-store fault that fired, with its seed-derived parameters.
@@ -193,6 +219,10 @@ pub enum PageFault {
         /// Flipped bit index in `[0, page_len * 8)`.
         bit: usize,
     },
+    /// The filesystem reports no space left (`ENOSPC`) before any byte of
+    /// the commit reaches disk. The store must wedge with a typed error —
+    /// the old page image stays intact.
+    NoSpace,
 }
 
 /// A transport fault that fired, with its seed-derived parameters.
@@ -239,6 +269,9 @@ pub enum IoFault {
         /// Flipped bit index in `[0, len * 8)`.
         bit: usize,
     },
+    /// The filesystem reports no space left (`ENOSPC`); nothing reaches
+    /// the file. Callers must wedge with a typed error, not panic.
+    NoSpace,
 }
 
 /// A seeded schedule of faults across all injection sites.
@@ -362,6 +395,21 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: set the three archive fault rates (torn segment writes,
+    /// at-rest archive rot, archive fsync failures) at once.
+    pub fn with_archive_faults(mut self, write: f64, rot: f64, fsync: f64) -> FaultPlan {
+        self.io.archive_write = write;
+        self.io.archive_rot = rot;
+        self.io.archive_fsync = fsync;
+        self
+    }
+
+    /// Builder: set the no-space (`ENOSPC`) rate.
+    pub fn with_enospc(mut self, rate: f64) -> FaultPlan {
+        self.io.enospc = rate;
+        self
+    }
+
     /// Builder: set all four replication-transport fault rates at once.
     pub fn with_net(mut self, drop: f64, delay: f64, reorder: f64, duplicate: f64) -> FaultPlan {
         self.net = NetFaultSpec { drop, delay, reorder, duplicate };
@@ -404,15 +452,24 @@ impl FaultPlan {
         }
     }
 
-    /// Builder: set all four page-store fault rates at once.
+    /// Builder: set the four core page-store fault rates at once (the
+    /// disk-full rate is set separately via
+    /// [`FaultPlan::with_page_enospc`]).
     pub fn with_pages(mut self, read: f64, write: f64, fsync: f64, rot: f64) -> FaultPlan {
-        self.pages = PageFaultSpec { read, write, fsync, rot };
+        self.pages = PageFaultSpec { read, write, fsync, rot, ..self.pages };
+        self
+    }
+
+    /// Builder: set the page-store disk-full rate.
+    pub fn with_page_enospc(mut self, rate: f64) -> FaultPlan {
+        self.pages.enospc = rate;
         self
     }
 
     /// Roll the seeded stream at one page-store fault site. Valid sites
-    /// are the four `Page*` variants; anything else never fires.
-    /// `page_len` bounds the bit index a [`PageFault::Rot`] can name.
+    /// are the four `Page*` variants plus [`FaultSite::Enospc`]; anything
+    /// else never fires. `page_len` bounds the bit index a
+    /// [`PageFault::Rot`] can name.
     ///
     /// Every call consumes exactly **two** draws (the Bernoulli roll and
     /// the parameter draw) whether or not the fault fires, so toggling one
@@ -424,6 +481,7 @@ impl FaultPlan {
             FaultSite::PageWrite => self.pages.write,
             FaultSite::PageFsync => self.pages.fsync,
             FaultSite::PageRot => self.pages.rot,
+            FaultSite::Enospc => self.pages.enospc,
             _ => 0.0,
         };
         let fired = self.roll(rate);
@@ -438,6 +496,7 @@ impl FaultPlan {
             FaultSite::PageRot => {
                 Some(PageFault::Rot { bit: (param as usize) % (page_len * 8).max(1) })
             }
+            FaultSite::Enospc => Some(PageFault::NoSpace),
             _ => None,
         }
     }
@@ -448,7 +507,8 @@ impl FaultPlan {
             "seed={} query={:.2}{} index-probe={:.2} latency={:.2}@{}us panic={:.2} \
              io[torn={:.2} short={:.2} fsync={:.2} flip={:.2} rot={:.2}/{:.2}] \
              net[drop={:.2} delay={:.2} reorder={:.2} dup={:.2}] shard={:.2} \
-             page[read={:.2} write={:.2} fsync={:.2} rot={:.2}]",
+             page[read={:.2} write={:.2} fsync={:.2} rot={:.2} enospc={:.2}] \
+             archive[write={:.2} rot={:.2} fsync={:.2}] enospc={:.2}",
             self.seed,
             self.query.rate,
             if self.query.transient { " (transient)" } else { " (permanent)" },
@@ -471,6 +531,11 @@ impl FaultPlan {
             self.pages.write,
             self.pages.fsync,
             self.pages.rot,
+            self.pages.enospc,
+            self.io.archive_write,
+            self.io.archive_rot,
+            self.io.archive_fsync,
+            self.io.enospc,
         )
     }
 
@@ -528,6 +593,14 @@ pub struct FaultStats {
     pub retries: u64,
     /// Shard-layer faults injected (probe serving + boundary applies).
     pub shard_faults: u64,
+    /// Torn archive-segment writes injected.
+    pub archive_writes: u64,
+    /// At-rest archive bit-rot flips injected.
+    pub archive_rots: u64,
+    /// Archive fsync failures injected.
+    pub archive_fsyncs: u64,
+    /// No-space (`ENOSPC`) faults injected.
+    pub enospc_faults: u64,
 }
 
 impl FaultStats {
@@ -543,6 +616,10 @@ impl FaultStats {
             + self.bit_flips
             + self.wal_rots
             + self.checkpoint_rots
+            + self.archive_writes
+            + self.archive_rots
+            + self.archive_fsyncs
+            + self.enospc_faults
     }
 }
 
@@ -683,5 +760,27 @@ mod tests {
         let mut plan = FaultPlan::hostile(1).with_pages(1.0, 1.0, 1.0, 1.0);
         assert_eq!(plan.roll_page(FaultSite::Query, 4096), None);
         assert_eq!(plan.roll_page(FaultSite::NetDrop, 4096), None);
+    }
+
+    #[test]
+    fn page_enospc_rolls_without_shifting_the_other_page_sites() {
+        let mut plan = FaultPlan::new(5).with_page_enospc(1.0);
+        assert_eq!(plan.roll_page(FaultSite::Enospc, 4096), Some(PageFault::NoSpace));
+        // The rate lives in its own field: the four core sites still
+        // default to zero, and toggling enospc never shifts their stream.
+        let mut quiet = FaultPlan::new(6).with_pages(0.0, 0.5, 0.0, 0.5);
+        let mut full = FaultPlan::new(6).with_pages(0.0, 0.5, 0.0, 0.5).with_page_enospc(1.0);
+        for _ in 0..64 {
+            assert_eq!(quiet.roll_page(FaultSite::Enospc, 4096), None);
+            assert_eq!(full.roll_page(FaultSite::Enospc, 4096), Some(PageFault::NoSpace));
+            assert_eq!(
+                quiet.roll_page(FaultSite::PageWrite, 4096),
+                full.roll_page(FaultSite::PageWrite, 4096)
+            );
+            assert_eq!(
+                quiet.roll_page(FaultSite::PageRot, 4096),
+                full.roll_page(FaultSite::PageRot, 4096)
+            );
+        }
     }
 }

@@ -359,7 +359,11 @@ pub fn inject(site: FaultSite) -> Option<InjectedFault> {
             | FaultSite::PageRead
             | FaultSite::PageWrite
             | FaultSite::PageFsync
-            | FaultSite::PageRot => None,
+            | FaultSite::PageRot
+            | FaultSite::ArchiveWrite
+            | FaultSite::ArchiveRot
+            | FaultSite::ArchiveFsync
+            | FaultSite::Enospc => None,
         }?;
         match site {
             FaultSite::Query => g.fault_stats.query_errors += 1,
@@ -396,6 +400,10 @@ pub fn inject_io(site: FaultSite, len: usize) -> Option<IoFault> {
             FaultSite::BitFlip => plan.io.bit_flip,
             FaultSite::WalRot => plan.io.wal_rot,
             FaultSite::CheckpointRot => plan.io.checkpoint_rot,
+            FaultSite::ArchiveWrite => plan.io.archive_write,
+            FaultSite::ArchiveRot => plan.io.archive_rot,
+            FaultSite::ArchiveFsync => plan.io.archive_fsync,
+            FaultSite::Enospc => plan.io.enospc,
             _ => 0.0,
         };
         let hit = plan.roll(rate);
@@ -410,6 +418,10 @@ pub fn inject_io(site: FaultSite, len: usize) -> Option<IoFault> {
             FaultSite::BitFlip | FaultSite::WalRot | FaultSite::CheckpointRot => {
                 IoFault::BitFlip { bit: value % (len.max(1) * 8) }
             }
+            FaultSite::ArchiveWrite => IoFault::TornWrite { keep: value % len.max(1) },
+            FaultSite::ArchiveRot => IoFault::BitFlip { bit: value % (len.max(1) * 8) },
+            FaultSite::ArchiveFsync => IoFault::FsyncFail,
+            FaultSite::Enospc => IoFault::NoSpace,
             _ => return None,
         };
         match site {
@@ -419,6 +431,10 @@ pub fn inject_io(site: FaultSite, len: usize) -> Option<IoFault> {
             FaultSite::BitFlip => g.fault_stats.bit_flips += 1,
             FaultSite::WalRot => g.fault_stats.wal_rots += 1,
             FaultSite::CheckpointRot => g.fault_stats.checkpoint_rots += 1,
+            FaultSite::ArchiveWrite => g.fault_stats.archive_writes += 1,
+            FaultSite::ArchiveRot => g.fault_stats.archive_rots += 1,
+            FaultSite::ArchiveFsync => g.fault_stats.archive_fsyncs += 1,
+            FaultSite::Enospc => g.fault_stats.enospc_faults += 1,
             _ => {}
         }
         Some(fault)
@@ -736,6 +752,53 @@ mod tests {
         };
         let without = run(FaultPlan::new(9).with_query(0.5, true));
         let with = run(FaultPlan::new(9).with_query(0.5, true).with_torn_writes(1.0));
+        assert_eq!(without, with);
+    }
+
+    #[test]
+    fn archive_and_enospc_sites_fire_with_bounded_parameters() {
+        set_fault_plan(Some(
+            FaultPlan::new(11).with_archive_faults(1.0, 1.0, 1.0).with_enospc(1.0),
+        ));
+        for _ in 0..32 {
+            match inject_io(FaultSite::ArchiveWrite, 100) {
+                Some(IoFault::TornWrite { keep }) => assert!(keep < 100),
+                other => panic!("expected a torn archive write, got {other:?}"),
+            }
+            match inject_io(FaultSite::ArchiveRot, 100) {
+                Some(IoFault::BitFlip { bit }) => assert!(bit < 800),
+                other => panic!("expected archive rot, got {other:?}"),
+            }
+            assert_eq!(inject_io(FaultSite::ArchiveFsync, 100), Some(IoFault::FsyncFail));
+            assert_eq!(inject_io(FaultSite::Enospc, 100), Some(IoFault::NoSpace));
+        }
+        let stats = fault_stats();
+        assert_eq!(stats.archive_writes, 32);
+        assert_eq!(stats.archive_rots, 32);
+        assert_eq!(stats.archive_fsyncs, 32);
+        assert_eq!(stats.enospc_faults, 32);
+        assert_eq!(stats.total_injected(), 128);
+        set_fault_plan(None);
+        assert!(inject_io(FaultSite::ArchiveWrite, 100).is_none());
+    }
+
+    #[test]
+    fn archive_sites_consume_fixed_draws() {
+        // Toggling the archive sites must not shift the stream the other
+        // sites see: each inject_io consumes exactly two draws.
+        let run = |plan: FaultPlan| {
+            set_fault_plan(Some(plan));
+            let _ = inject_io(FaultSite::ArchiveWrite, 64);
+            let _ = inject_io(FaultSite::Enospc, 64);
+            let seq: Vec<bool> = (0..32).map(|_| inject(FaultSite::Query).is_some()).collect();
+            set_fault_plan(None);
+            seq
+        };
+        let without = run(FaultPlan::new(13).with_query(0.5, true));
+        let with = run(FaultPlan::new(13)
+            .with_query(0.5, true)
+            .with_archive_faults(1.0, 1.0, 1.0)
+            .with_enospc(1.0));
         assert_eq!(without, with);
     }
 

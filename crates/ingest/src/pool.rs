@@ -498,13 +498,19 @@ fn dispatch(
 
     // Periodic checkpointing between items, mirroring `process_batch`:
     // the sink decides when one is due; a failure defers (the WAL still
-    // covers everything).
-    let EngineState { nebula, store, .. } = state;
-    if let Some(sink) = nebula.mutation_sink_mut() {
-        if sink.checkpoint_due() && sink.checkpoint(db, store).is_err() {
-            nebula_obs::counter_add("core.checkpoint_deferred", 1);
+    // covers everything). The checkpoint rolls I/O fault sites, so it
+    // must run under the migrated fault context — otherwise its draws
+    // vanish from the stream and the sequential twin diverges.
+    nebula_govern::restore_fault_context(state.fault_ctx.take().unwrap_or_default());
+    {
+        let EngineState { nebula, store, .. } = state;
+        if let Some(sink) = nebula.mutation_sink_mut() {
+            if sink.checkpoint_due() && sink.checkpoint(db, store).is_err() {
+                nebula_obs::counter_add("core.checkpoint_deferred", 1);
+            }
         }
     }
+    state.fault_ctx = Some(nebula_govern::take_fault_context());
 
     // Route the trace: a committed annotation's tree (including any
     // periodic checkpoint spans above) enters the ring; a quarantined

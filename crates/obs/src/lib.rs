@@ -73,6 +73,19 @@ pub mod registry {
         "annostore.edges_added",
         "annostore.propagation_fanout",
         "annostore.propagations",
+        "backup.archive_failures",
+        "backup.bases_archived",
+        "backup.bundle_bytes",
+        "backup.bundles_created",
+        "backup.bytes_archived",
+        "backup.gc_removed",
+        "backup.restore_records_replayed",
+        "backup.restores",
+        "backup.rot_detected",
+        "backup.rot_injected",
+        "backup.scrubs",
+        "backup.segments_archived",
+        "backup.verify_failures",
         "core.accepted",
         "core.annotations_processed",
         "core.candidates",
@@ -193,6 +206,7 @@ pub mod registry {
 
     /// Every span / histogram name the engine emits.
     pub const KNOWN_SPANS: &[&str] = &[
+        "backup.restore",
         "core.process_annotation",
         "durable.append",
         "durable.checkpoint",
@@ -236,6 +250,9 @@ pub mod registry {
             assert!(is_known("repair.scrubs"));
             assert!(is_known("repair.last_scrub_lsn"));
             assert!(is_known("repair.scrub"));
+            assert!(is_known("backup.segments_archived"));
+            assert!(is_known("backup.restores"));
+            assert!(is_known("backup.restore"));
             assert!(is_known("stage2.execute"));
             assert!(is_known("trace.spans"));
             assert!(is_known("trace.flight_dumps"));

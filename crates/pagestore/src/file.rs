@@ -231,6 +231,12 @@ impl PageFile {
         for (id, buf) in pages {
             debug_assert!(page::verify(buf), "page {id} committed unsealed");
         }
+        // Disk-full is checked before any byte moves: an ENOSPC flush
+        // must degrade to a typed error with the old image untouched,
+        // never a half-written shadow.
+        if matches!(self.roll(FaultSite::Enospc), Some(PageFault::NoSpace)) {
+            return Err(PageStoreError::NoSpace);
+        }
         let shadow = Self::shadow_bytes(pages);
         let tmp = self.dir.join(SHADOW_TMP);
         let commit = self.dir.join(SHADOW_COMMIT);
@@ -695,6 +701,35 @@ mod tests {
         // Rate 1.0: the fault persists through every retry and surfaces.
         pf.set_fault_plan(Some(FaultPlan::new(77).with_pages(1.0, 0.0, 0.0, 0.0)));
         assert!(matches!(pf.read_page(1), Err(PageStoreError::Io(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_aborts_a_flush_typed_with_the_old_image_intact() {
+        let dir = tmpdir("enospc");
+        let mut pf = PageFile::create(&dir).unwrap();
+        let p1 = heap_page(5);
+        pf.commit_batch(&[(0, &encode_header_page(2, 1)), (1, &p1)]).unwrap();
+        // A full disk surfaces as a typed error, not a panic, and not a
+        // stringly Io error callers would blindly retry.
+        pf.set_fault_plan(Some(FaultPlan::new(11).with_page_enospc(1.0)));
+        let p1b = heap_page(6);
+        for _ in 0..4 {
+            let err = pf.commit_batch(&[(0, &encode_header_page(2, 2)), (1, &p1b)]).unwrap_err();
+            assert_eq!(err, PageStoreError::NoSpace);
+        }
+        assert!(pf.fault_tally().injected >= 4);
+        // Nothing reached disk: no shadow debris, old image byte-intact.
+        assert!(!dir.join(SHADOW_TMP).exists());
+        assert!(!dir.join(SHADOW_COMMIT).exists());
+        drop(pf);
+        let (mut pf, _, watermark) = PageFile::open(&dir).unwrap();
+        assert_eq!(watermark, 1, "aborted flush changed nothing");
+        assert_eq!(pf.read_page(1).unwrap()[..], p1[..]);
+        // Space frees (plan cleared): the same flush succeeds.
+        pf.set_fault_plan(None);
+        pf.commit_batch(&[(0, &encode_header_page(2, 2)), (1, &p1b)]).unwrap();
+        assert_eq!(pf.read_page(1).unwrap()[..], p1b[..]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

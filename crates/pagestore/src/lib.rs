@@ -60,6 +60,12 @@ pub enum PageStoreError {
     Corrupt(String),
     /// A record id does not resolve to a live record.
     UnknownRecord(u64),
+    /// The filesystem is out of space (`ENOSPC`, real or injected via
+    /// [`nebula_govern::FaultSite::Enospc`]). The flush aborted before
+    /// any byte reached disk — the old page image is intact — and the
+    /// caller should shed writes until space frees instead of retrying
+    /// blindly.
+    NoSpace,
 }
 
 impl fmt::Display for PageStoreError {
@@ -68,6 +74,9 @@ impl fmt::Display for PageStoreError {
             PageStoreError::Io(msg) => write!(f, "page io error: {msg}"),
             PageStoreError::Corrupt(msg) => write!(f, "page corruption: {msg}"),
             PageStoreError::UnknownRecord(id) => write!(f, "unknown record id {id:#x}"),
+            PageStoreError::NoSpace => {
+                write!(f, "no space left on device (flush aborted; old image intact)")
+            }
         }
     }
 }

@@ -213,6 +213,92 @@ impl Cluster {
         Ok(cluster)
     }
 
+    /// Cold-start a whole cluster from a verified backup bundle: the
+    /// primary restores the bundle and roots a fresh WAL at the restored
+    /// LSN + 1, and every replica is seeded from the same restored state
+    /// — no checkpoint transfer, and no load on whatever cluster the
+    /// bundle was taken from.
+    pub fn seed_from_bundle(
+        bundle_dir: &Path,
+        base_dir: &Path,
+        replica_count: usize,
+        transport: Box<dyn Transport>,
+        config: ClusterConfig,
+    ) -> Result<Cluster, ReplicaError> {
+        let restored = nebula_backup::restore(bundle_dir, None)
+            .map_err(|e| ReplicaError::Seed(e.to_string()))?;
+        let epoch = restored.epoch.max(1);
+        let dir = base_dir.join(format!("epoch-{epoch}"));
+        let wal = Durability::begin_at(
+            &dir,
+            &restored.db,
+            &restored.store,
+            config.options,
+            restored.applied + 1,
+        )?;
+        let primary = Primary::new(0, epoch, wal, &restored.db, &restored.store)?;
+        let image =
+            nebula_durable::checkpoint::encode(restored.applied, &restored.db, &restored.store);
+        let mut replicas = Vec::with_capacity(replica_count);
+        for id in 1..=replica_count {
+            let (w, db, store) = nebula_durable::checkpoint::decode(&image)?;
+            replicas.push(Replica::seed(id, db, store, w, epoch));
+        }
+        let mut cluster = Cluster {
+            transport,
+            primary,
+            replicas,
+            deposed: Vec::new(),
+            config,
+            base_dir: base_dir.to_path_buf(),
+            lag_exceeded: false,
+            repairs: Vec::new(),
+            rejoins: Vec::new(),
+            last_scrub: None,
+            scrubs: 0,
+            scrub_base: Instant::now(),
+            last_scrub_ns: 0,
+        };
+        for id in 1..=replica_count {
+            cluster.primary.attach(id, &mut *cluster.transport);
+        }
+        cluster.pump(2);
+        Ok(cluster)
+    }
+
+    /// Seed one **new** replica from a backup bundle and attach it to
+    /// this running cluster. The bundle, not the primary, provides the
+    /// bulk of the state; normal catch-up shipping covers only the delta
+    /// past the bundle's head. Returns the LSN the bundle seeded up to.
+    pub fn attach_seeded_replica(
+        &mut self,
+        id: usize,
+        bundle_dir: &Path,
+    ) -> Result<u64, ReplicaError> {
+        if id == self.primary.node()
+            || self.replica(id).is_some()
+            || self.deposed.iter().any(|d| d.node() == id)
+        {
+            return Err(ReplicaError::Seed(format!("node {id} already exists in the cluster")));
+        }
+        let restored = nebula_backup::restore(bundle_dir, None)
+            .map_err(|e| ReplicaError::Seed(e.to_string()))?;
+        let seeded_to = restored.applied;
+        // Seed under the current epoch so the primary's segments are
+        // accepted immediately (the bundle's epoch can only be older).
+        self.replicas.push(Replica::seed(
+            id,
+            restored.db,
+            restored.store,
+            restored.applied,
+            self.primary.epoch(),
+        ));
+        self.replicas.sort_by_key(Replica::id);
+        self.primary.attach(id, &mut *self.transport);
+        self.pump(self.config.pump_rounds.max(4));
+        Ok(seeded_to)
+    }
+
     /// Record one operation through the primary, then pump until the
     /// commit rule is satisfied or the pump budget runs out (a typed lag
     /// degradation, not an error). Returns the assigned LSN.
@@ -344,6 +430,10 @@ impl Cluster {
         let ladder =
             repair::last_agreed(self.primary.digests(), self.replicas[idx].digests(), target);
         let rewound = self.replicas[idx].prepare_resync(ladder.agreed);
+        // The wholesale reload must carry the head, not the (possibly
+        // long-truncated) durable image, or the repair spends its pump
+        // budget replaying the gap.
+        self.primary.refresh_catchup_image();
         self.primary.unwedge_peer(id);
         nebula_obs::trace::flight_event(
             "repair",
@@ -419,6 +509,10 @@ impl Cluster {
         );
         self.replicas.push(Replica::new(node));
         self.replicas.sort_by_key(Replica::id);
+        // Bootstrap from the head, not a stale durable image (see
+        // `repair_replica`): the fresh replica loads current state
+        // wholesale instead of replaying the truncated gap.
+        self.primary.refresh_catchup_image();
         self.primary.attach(node, &mut *self.transport);
         let expected = self.primary.shadow_digest();
         let target = self.primary.last_lsn();
@@ -576,7 +670,13 @@ impl Cluster {
             (r.db(), r.store(), r.applied())
         };
         let wal = Durability::begin_at(&dir, db, store, self.config.options, applied + 1)?;
-        let new_primary = Primary::new(id, new_epoch, wal, db, store)?;
+        let mut new_primary = Primary::new(id, new_epoch, wal, db, store)?;
+        // Archiving survives failover: the new primary adopts the same
+        // archive directory, and its opening base (stamped with the new
+        // epoch) seals the restorable chain at the handover watermark.
+        if let Some(adir) = self.primary.wal().archive_dir().map(Path::to_path_buf) {
+            new_primary.wal_mut().set_archive(&adir, new_epoch)?;
+        }
         let old = std::mem::replace(&mut self.primary, new_primary);
         self.deposed.push(old);
         self.replicas.remove(idx);
@@ -680,6 +780,19 @@ impl Cluster {
         self.transport.set_partitioned(node, on);
     }
 
+    /// Start archiving the primary's sealed WAL segments into `dir`,
+    /// stamped with the current epoch, so `BACKUP` can bundle a
+    /// restorable history of the replicated log.
+    pub fn set_archive(&mut self, dir: &Path) -> Result<(), ReplicaError> {
+        let epoch = self.primary.epoch();
+        self.primary.wal_mut().set_archive(dir, epoch).map_err(ReplicaError::from)
+    }
+
+    /// The primary WAL's archive directory, when archiving is enabled.
+    pub fn archive_dir(&self) -> Option<PathBuf> {
+        self.primary.wal().archive_dir().map(Path::to_path_buf)
+    }
+
     /// One-line transport status.
     pub fn describe_transport(&self) -> String {
         self.transport.describe()
@@ -755,6 +868,14 @@ impl MutationSink for ClusterSink {
 
     fn replication(&self) -> Option<ReplicationStatus> {
         Some(self.lock().status())
+    }
+
+    fn set_archive(&mut self, dir: &Path) -> Result<(), SinkError> {
+        self.lock().set_archive(dir).map_err(|e| SinkError(e.to_string()))
+    }
+
+    fn archive_dir(&self) -> Option<PathBuf> {
+        self.lock().archive_dir()
     }
 }
 
@@ -972,6 +1093,100 @@ mod tests {
         c.record(&op(1)).unwrap();
         assert_eq!(c.repair_status().scrubs, after_first);
         nebula_govern::clock::set_virtual(false);
+    }
+
+    /// A 9-record archived history + bundle under `root`; returns the
+    /// source state the bundle captures.
+    fn bundled_history(root: &Path) -> (Database, AnnotationStore) {
+        let db0 = Database::new();
+        let store0 = AnnotationStore::new();
+        let mut d =
+            Durability::begin(&root.join("data"), &db0, &store0, DurabilityOptions::default())
+                .unwrap();
+        d.set_archive(&root.join("archive"), 1).unwrap();
+        let mut db = Database::new();
+        let mut store = AnnotationStore::new();
+        for i in 0..9 {
+            let o = op(i);
+            d.append(&o).unwrap();
+            nebula_durable::replay_op(&mut db, &mut store, &o).unwrap();
+            if i % 3 == 2 {
+                d.checkpoint(&db, &store).unwrap();
+            }
+        }
+        nebula_backup::create_bundle(&nebula_backup::BundleSpec {
+            archive_dir: root.join("archive"),
+            bundle_dir: root.join("bundle"),
+            pages: None,
+            created_seq: 1,
+        })
+        .unwrap();
+        (db, store)
+    }
+
+    #[test]
+    fn a_cluster_cold_starts_from_a_bundle_and_converges_byte_for_byte() {
+        let root = temp_dir("seedbundle");
+        let (db, store) = bundled_history(&root);
+        // Cold-start: the source cluster/store is never contacted.
+        let mut c = Cluster::seed_from_bundle(
+            &root.join("bundle"),
+            &root.join("cluster"),
+            2,
+            Box::new(SimTransport::reliable(3)),
+            ClusterConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(c.primary().last_lsn(), 9);
+        let expected = nebula_durable::state_digest(&db, &store);
+        for r in c.replicas() {
+            assert_eq!(r.applied(), 9);
+            assert_eq!(r.digest(), expected, "replica {} must match the source", r.id());
+        }
+        // And the seeded cluster keeps replicating past the bundle head.
+        c.record(&op(9)).unwrap();
+        c.pump(4);
+        for r in c.replicas() {
+            assert_eq!(r.applied(), 10);
+            assert_eq!(r.digest(), c.primary().shadow_digest());
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn a_new_replica_seeds_from_a_bundle_and_catches_up_over_the_wire() {
+        let root = temp_dir("seedattach");
+        bundled_history(&root);
+        let mut c = Cluster::seed_from_bundle(
+            &root.join("bundle"),
+            &root.join("cluster"),
+            1,
+            Box::new(SimTransport::reliable(3)),
+            ClusterConfig::default(),
+        )
+        .unwrap();
+        for i in 9..14 {
+            c.record(&op(i)).unwrap();
+        }
+        // Node 2 bootstraps from the bundle; the primary ships only the
+        // delta past the bundle's head.
+        let seeded_to = c.attach_seeded_replica(2, &root.join("bundle")).unwrap();
+        assert_eq!(seeded_to, 9);
+        c.pump(8);
+        let r = c.replica(2).unwrap();
+        assert_eq!(r.applied(), 14);
+        assert_eq!(r.digest(), c.primary().shadow_digest());
+        assert!(
+            r.records_replayed() <= 5,
+            "the bundle, not the wire, must provide the first 9 records (replayed {})",
+            r.records_replayed()
+        );
+        // Ids already in the cluster are refused.
+        assert!(matches!(
+            c.attach_seeded_replica(1, &root.join("bundle")),
+            Err(ReplicaError::Seed(_))
+        ));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub use cluster::{
 };
 pub use frame::Frame;
 pub use nemesis::{
-    compose_schedule, compose_schedule_with_disk, compose_schedule_with_shards, NemesisEvent,
-    NemesisPlan,
+    compose_schedule, compose_schedule_with_backup, compose_schedule_with_disk,
+    compose_schedule_with_shards, NemesisEvent, NemesisPlan,
 };
 pub use primary::{DivergenceReport, Primary};
 pub use repair::{last_agreed, LadderOutcome};
@@ -143,6 +143,9 @@ pub enum ReplicaError {
     Codec(String),
     /// The requested failover target cannot be promoted.
     NotPromotable(String),
+    /// Seeding a node from a backup bundle failed (verification,
+    /// restore, or the bundle is incompatible with the cluster).
+    Seed(String),
 }
 
 impl fmt::Display for ReplicaError {
@@ -159,6 +162,7 @@ impl fmt::Display for ReplicaError {
             ReplicaError::UnknownReplica(id) => write!(f, "no replica with id {id}"),
             ReplicaError::Codec(msg) => write!(f, "frame codec: {msg}"),
             ReplicaError::NotPromotable(why) => write!(f, "cannot promote: {why}"),
+            ReplicaError::Seed(why) => write!(f, "bundle seed failed: {why}"),
         }
     }
 }

@@ -85,6 +85,22 @@ pub enum NemesisEvent {
     /// smaller than the file, driving the clock hand through full
     /// eviction churn while reads stay byte-correct.
     EvictStorm,
+    /// Checkpoint the primary's log (sealing the live WAL run into the
+    /// archive) and capture a verified bundle, recording the state digest
+    /// at the bundle's head LSN for a later [`NemesisEvent::RestoreCheck`].
+    Backup,
+    /// Flip at-rest bits in the archived history (the seeded
+    /// `ArchiveRot` site). The [`NemesisEvent::BackupScrub`] that follows
+    /// must find every flip before any restore trusts the files.
+    ArchiveRot,
+    /// Re-derive every digest in the archive and the newest bundle; the
+    /// driver asserts the scrub finds exactly the injected rot (100%
+    /// detection, zero false positives) and re-captures a clean bundle.
+    BackupScrub,
+    /// Restore the most recent clean bundle into a scratch engine and
+    /// assert its digest matches the one recorded at capture time —
+    /// point-in-time recovery proven mid-soak, not just at the end.
+    RestoreCheck,
 }
 
 /// A composed schedule plus the seed that produced it.
@@ -100,6 +116,9 @@ pub struct NemesisPlan {
     /// Whether the disk dimension (page rot, fsync failure, eviction
     /// storms against a paged store) was composed in.
     pub disk: bool,
+    /// Whether the backup dimension (bundle capture, archive rot,
+    /// backup scrub, restore checks) was composed in.
+    pub backup: bool,
     /// Total annotations across all `Ingest`/`Burst` events.
     pub total_ops: u64,
     /// The schedule, in execution order.
@@ -143,6 +162,25 @@ impl NemesisPlan {
             }
         }
         (partitions, rots, failovers)
+    }
+
+    /// How many backup-dimension events the plan holds:
+    /// `(backups, archive_rots, backup_scrubs, restore_checks)`.
+    pub fn backup_disruption_counts(&self) -> (usize, usize, usize, usize) {
+        let mut backups = 0;
+        let mut rots = 0;
+        let mut scrubs = 0;
+        let mut checks = 0;
+        for e in &self.events {
+            match e {
+                NemesisEvent::Backup => backups += 1,
+                NemesisEvent::ArchiveRot => rots += 1,
+                NemesisEvent::BackupScrub => scrubs += 1,
+                NemesisEvent::RestoreCheck => checks += 1,
+                _ => {}
+            }
+        }
+        (backups, rots, scrubs, checks)
     }
 
     /// How many disk-dimension disruptions the plan holds:
@@ -213,12 +251,34 @@ pub fn compose_schedule_with_shards(
 /// at-rest page rot, fsync-failed shadow commits, and eviction storms.
 /// Every `PageRot` is followed by a `Scrub` (which must heal it), so the
 /// schedule stays self-closing; with `disk = false` the schedule is
-/// byte-identical to [`compose_schedule_with_shards`]'s.
+/// byte-identical to [`compose_schedule_with_shards`]'s. Equivalent to
+/// [`compose_schedule_with_backup`]`(seed, replicas, shards, disk,
+/// false, total_ops)`.
 pub fn compose_schedule_with_disk(
     seed: u64,
     replicas: usize,
     shards: usize,
     disk: bool,
+    total_ops: u64,
+) -> NemesisPlan {
+    compose_schedule_with_backup(seed, replicas, shards, disk, false, total_ops)
+}
+
+/// Compose a deterministic chaos schedule that also exercises disaster
+/// recovery: with `backup = true` the event dimensions grow by bundle
+/// captures, at-rest archive rot, backup scrubs, and mid-soak restore
+/// checks. Self-closing rules: the rot and restore slots compose a
+/// `Backup` first if none exists yet, every `ArchiveRot` is followed by a
+/// `BackupScrub`, and a schedule that captured any bundle ends with a
+/// final `BackupScrub` + `RestoreCheck` after convergence. With
+/// `backup = false` the schedule is byte-identical to
+/// [`compose_schedule_with_disk`]'s.
+pub fn compose_schedule_with_backup(
+    seed: u64,
+    replicas: usize,
+    shards: usize,
+    disk: bool,
+    backup: bool,
     total_ops: u64,
 ) -> NemesisPlan {
     let mut rng = Rng(seed ^ 0x9E37_79B9_7F4A_7C15);
@@ -227,11 +287,14 @@ pub fn compose_schedule_with_disk(
     let mut open_partition: Option<usize> = None;
     let mut open_shard: Option<usize> = None;
     let mut deposed_pending = false;
+    let mut backup_taken = false;
     // Dimension layout: 0..8 core, then 3 shard dims when sharded, then
-    // 3 disk dims when paged. Keeping the core and shard indices fixed
-    // is what makes disk=false byte-identical to the older composers.
+    // 3 disk dims when paged, then 3 backup dims when archiving. Keeping
+    // the earlier indices fixed is what makes each flag's `false` case
+    // byte-identical to the older composers.
     let base_dims: u64 = if shards > 0 { 11 } else { 8 };
-    let dims = base_dims + if disk { 3 } else { 0 };
+    let disk_dims = base_dims + if disk { 3 } else { 0 };
+    let dims = disk_dims + if backup { 3 } else { 0 };
 
     // Reserve a calm tail so the final convergence runs over real traffic.
     let tail = (total_ops / 10).clamp(10, 50).min(total_ops);
@@ -328,6 +391,26 @@ pub fn compose_schedule_with_disk(
             n if disk && n == base_dims + 2 => {
                 events.push(NemesisEvent::EvictStorm);
             }
+            n if backup && n == disk_dims => {
+                events.push(NemesisEvent::Backup);
+                backup_taken = true;
+            }
+            n if backup && n == disk_dims + 1 => {
+                // Rot needs archived bytes to damage; capture first.
+                if !backup_taken {
+                    events.push(NemesisEvent::Backup);
+                    backup_taken = true;
+                }
+                events.push(NemesisEvent::ArchiveRot);
+                events.push(NemesisEvent::BackupScrub);
+            }
+            n if backup && n == disk_dims + 2 => {
+                if !backup_taken {
+                    events.push(NemesisEvent::Backup);
+                    backup_taken = true;
+                }
+                events.push(NemesisEvent::RestoreCheck);
+            }
             _ => {} // calm stretch
         }
     }
@@ -345,8 +428,14 @@ pub fn compose_schedule_with_disk(
         events.push(NemesisEvent::Ingest(remaining as u32));
     }
     events.push(NemesisEvent::Scrub);
+    // A soak that captured any bundle proves recovery end-to-end: scrub
+    // the archive one last time, then restore and compare digests.
+    if backup && backup_taken {
+        events.push(NemesisEvent::BackupScrub);
+        events.push(NemesisEvent::RestoreCheck);
+    }
 
-    NemesisPlan { seed, replicas, shards, disk, total_ops, events }
+    NemesisPlan { seed, replicas, shards, disk, backup, total_ops, events }
 }
 
 #[cfg(test)]
@@ -535,6 +624,81 @@ mod tests {
         let (partitions, corruptions, wal_rots, failovers, bursts) = plan.disruption_counts();
         assert!(partitions > 0 && corruptions > 0 && wal_rots > 0);
         assert!(failovers > 0 && bursts > 0);
+    }
+
+    #[test]
+    fn backup_off_schedule_is_identical_through_every_entry_point() {
+        for seed in [1u64, 0xF00D, 0xBAD5EED] {
+            let a = compose_schedule_with_disk(seed, 2, 0, true, 600);
+            let b = compose_schedule_with_backup(seed, 2, 0, true, false, 600);
+            assert_eq!(a, b, "seed {seed:#x}: backup=false must not perturb the schedule");
+            let c = compose_schedule_with_shards(seed, 2, 3, 600);
+            let d = compose_schedule_with_backup(seed, 2, 3, false, false, 600);
+            assert_eq!(c, d, "seed {seed:#x}: backup=false must not perturb sharded plans");
+            assert!(a.events.iter().chain(&c.events).all(|e| !matches!(
+                e,
+                NemesisEvent::Backup
+                    | NemesisEvent::ArchiveRot
+                    | NemesisEvent::BackupScrub
+                    | NemesisEvent::RestoreCheck
+            )));
+        }
+    }
+
+    #[test]
+    fn backup_schedules_self_close_and_prove_recovery() {
+        for seed in [7u64, 0xF00D, 0xBAD5EED, 12345, 999] {
+            let plan = compose_schedule_with_backup(seed, 2, 0, false, true, 1500);
+            assert!(plan.backup);
+            let mut backups = 0;
+            let mut pending_rot = false;
+            for e in &plan.events {
+                match e {
+                    NemesisEvent::Backup => backups += 1,
+                    NemesisEvent::ArchiveRot => {
+                        assert!(backups > 0, "seed {seed:#x}: rot before any bundle exists");
+                        pending_rot = true;
+                    }
+                    NemesisEvent::BackupScrub => pending_rot = false,
+                    NemesisEvent::RestoreCheck => {
+                        assert!(backups > 0, "seed {seed:#x}: restore before any bundle exists");
+                    }
+                    _ => {}
+                }
+            }
+            assert!(!pending_rot, "seed {seed:#x}: schedule ends with unscrubbed archive rot");
+            if backups > 0 {
+                assert!(
+                    matches!(plan.events.last(), Some(NemesisEvent::RestoreCheck)),
+                    "seed {seed:#x}: a soak that captured bundles must end by restoring one"
+                );
+            }
+            let total: u64 = plan
+                .events
+                .iter()
+                .map(|e| match e {
+                    NemesisEvent::Ingest(n) | NemesisEvent::Burst(n) => u64::from(*n),
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(total, 1500, "seed {seed:#x}: ingest total drifted");
+        }
+    }
+
+    #[test]
+    fn backup_soaks_exercise_the_backup_dimension() {
+        let plan = compose_schedule_with_backup(0xF00D, 2, 0, true, true, 2500);
+        let (backups, rots, scrubs, checks) = plan.backup_disruption_counts();
+        assert!(backups > 0, "no bundle captures composed");
+        assert!(rots > 0, "no archive rot composed");
+        assert!(scrubs >= rots, "every rot needs a scrub");
+        assert!(checks > 0, "no restore checks composed");
+        // The core and disk dimensions keep firing alongside.
+        let (partitions, corruptions, wal_rots, failovers, bursts) = plan.disruption_counts();
+        assert!(partitions > 0 && corruptions > 0 && wal_rots > 0);
+        assert!(failovers > 0 && bursts > 0);
+        let (page_rots, fsyncs, storms) = plan.disk_disruption_counts();
+        assert!(page_rots > 0 && fsyncs > 0 && storms > 0);
     }
 
     #[test]

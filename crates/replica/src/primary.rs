@@ -469,6 +469,19 @@ impl Primary {
         self.ckpt_watermark
     }
 
+    /// Refresh the in-memory catch-up image from the shadow at the
+    /// current head, without persisting anything. Once checkpoints
+    /// truncate the WAL mid-run (the backup archiving path), the durable
+    /// image can trail the head by thousands of records; a repair that
+    /// re-ships it would then have to replay that whole gap segment by
+    /// segment. The shadow *is* the state at the head, so repairs load
+    /// it wholesale instead.
+    pub fn refresh_catchup_image(&mut self) {
+        let head = self.last_lsn();
+        self.ckpt_image = checkpoint::encode(head, &self.shadow_db, &self.shadow_store);
+        self.ckpt_watermark = head;
+    }
+
     /// Forgive a wedged (diverged) peer after repair: reset its tracker to
     /// the repaired replica's agreed position and force a checkpoint
     /// re-ship so its next state load is wholesale.
@@ -524,6 +537,13 @@ impl Primary {
     /// The wrapped durability manager (read-only).
     pub fn wal(&self) -> &Durability {
         &self.wal
+    }
+
+    /// Mutable access to the primary's durability manager — the shell
+    /// uses this to enable WAL archiving (`SET DURABILITY ... ARCHIVE`)
+    /// on a replicated sink.
+    pub fn wal_mut(&mut self) -> &mut Durability {
+        &mut self.wal
     }
 }
 

@@ -72,6 +72,39 @@ impl Replica {
         }
     }
 
+    /// A replica pre-seeded from a restored backup bundle: already
+    /// initialized at `applied` under `epoch`, so it cold-starts without
+    /// a checkpoint transfer from the primary — the bundle provides the
+    /// bulk of the state, the primary only ships the delta past it.
+    pub fn seed(
+        id: usize,
+        db: Database,
+        store: AnnotationStore,
+        applied: u64,
+        epoch: u64,
+    ) -> Replica {
+        let mut r = Replica {
+            id,
+            epoch,
+            db,
+            store,
+            applied,
+            initialized: true,
+            wedged: None,
+            records_replayed: 0,
+            records_skipped: 0,
+            // The seeded prefix is accounted like a checkpoint load so
+            // `records_replayed + applied_via_checkpoint == applied`
+            // keeps holding.
+            applied_via_checkpoint: applied,
+            checkpoint_loads: 0,
+            digests: BTreeMap::new(),
+            rewound: 0,
+        };
+        r.note_digest(applied);
+        r
+    }
+
     /// Record the current state digest at `lsn`, bounded to
     /// [`DIGEST_KEEP`] entries.
     fn note_digest(&mut self, lsn: u64) {

@@ -68,6 +68,9 @@ pub enum ShardError {
     ShardDown(usize),
     /// No shard is currently eligible to serve as home.
     ClusterDown,
+    /// Seeding the cluster from a backup bundle failed (verification or
+    /// restore).
+    Seed(String),
 }
 
 impl std::fmt::Display for ShardError {
@@ -78,6 +81,7 @@ impl std::fmt::Display for ShardError {
             ShardError::Snapshot(m) => write!(f, "snapshot: {m}"),
             ShardError::ShardDown(s) => write!(f, "shard {s} is down"),
             ShardError::ClusterDown => write!(f, "no shard eligible to serve as home"),
+            ShardError::Seed(m) => write!(f, "bundle seed failed: {m}"),
         }
     }
 }
@@ -745,6 +749,22 @@ impl ShardCluster {
             homes: BTreeMap::new(),
             lagging: BTreeSet::new(),
         })
+    }
+
+    /// Boot a shard cluster from a verified backup bundle instead of a
+    /// live store: the bundle restores to its head (manifest-verified,
+    /// archived WAL replayed) and every shard starts as a byte-faithful
+    /// replica of that restored state — cold-start disaster recovery
+    /// with no source cluster in the loop.
+    pub fn seed_from_bundle(
+        bundle_dir: &std::path::Path,
+        meta: &NebulaMeta,
+        engine_config: &NebulaConfig,
+        config: ShardConfig,
+    ) -> Result<ShardCluster, ShardError> {
+        let restored = nebula_backup::restore(bundle_dir, None)
+            .map_err(|e| ShardError::Seed(e.to_string()))?;
+        ShardCluster::new(&restored.db, &restored.store, meta, engine_config, config)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Fabric> {

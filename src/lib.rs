@@ -28,7 +28,10 @@
 //! - [`nebula_replica`] — WAL-shipping replication: a single primary
 //!   streaming log segments to replicas over a deterministic simulated
 //!   transport, ack-none/ack-quorum commit rules, epoch-fenced failover,
-//!   and continuous divergence detection.
+//!   and continuous divergence detection, and
+//! - [`nebula_backup`] — disaster recovery: WAL archiving ahead of every
+//!   checkpoint truncation, verified backup bundles with a signed
+//!   manifest, point-in-time restore, archive scrub, and retention GC.
 //!
 //! ## Quickstart
 //!
@@ -60,6 +63,7 @@
 pub mod shell;
 
 pub use annostore;
+pub use nebula_backup;
 pub use nebula_core;
 pub use nebula_durable;
 pub use nebula_govern;
@@ -76,6 +80,7 @@ pub use textsearch;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use annostore::{Annotation, AnnotationId, AnnotationStore, AttachmentTarget, Edge};
+    pub use nebula_backup::{BackupError, BackupManifest, BundleSpec, Restored};
     pub use nebula_core::{
         Acg, AssessmentReport, BatchEntry, BatchReport, BatchStatus, BoundsSetting, CommitRule,
         HopProfile, Nebula, NebulaConfig, NebulaError, NebulaMeta, ProcessOutcome,

@@ -65,6 +65,22 @@ pub struct Shell {
     /// The paged storage backend while `SET STORAGE DISK` is active
     /// (rows and posting blocks page to disk; backs SHOW STORAGE).
     storage: Option<nebula_pagestore::PagedStorage>,
+    /// Bundles captured by BACKUP this session (backs SHOW BACKUPS).
+    backups: Vec<BackupRecord>,
+    /// When the most recent BACKUP completed (backs the last-backup age
+    /// in SHOW DURABILITY).
+    last_backup: Option<std::time::Instant>,
+}
+
+/// One bundle captured by `BACKUP TO`, as `SHOW BACKUPS` reports it.
+#[derive(Debug, Clone)]
+struct BackupRecord {
+    seq: u64,
+    dir: String,
+    oldest_lsn: u64,
+    head_lsn: u64,
+    files: usize,
+    bytes: u64,
 }
 
 impl Shell {
@@ -85,6 +101,8 @@ impl Shell {
             repl: None,
             shards: None,
             storage: None,
+            backups: Vec::new(),
+            last_backup: None,
         }
     }
 
@@ -142,8 +160,10 @@ impl Shell {
             "LOAD" => self.load(&tokens[1..]),
             "CHECKPOINT" => self.checkpoint(),
             "RECOVER" => self.recover(&tokens[1..]),
+            "BACKUP" => self.backup(&tokens[1..]),
+            "RESTORE" => self.restore(&tokens[1..]),
             "PROMOTE" => self.promote(&tokens[1..]),
-            "SCRUB" => self.scrub(),
+            "SCRUB" => self.scrub(&tokens[1..]),
             "REJOIN" => self.rejoin(&tokens[1..]),
             "SET" => self.set(&tokens[1..]),
             "SHOW" => self.show(&tokens[1..]),
@@ -458,9 +478,10 @@ impl Shell {
             Some("WORKERS") => self.set_workers(&args[1..]),
             Some("SHARDS") => self.set_shards(&args[1..]),
             Some("STORAGE") => self.set_storage(&args[1..]),
+            Some("ARCHIVE") => self.set_archive(&args[1..]),
             _ => Err(err("usage: SET BUDGET ... | SET FAULTS ... | SET DURABILITY ... | \
                  SET REPLICAS ... | SET WORKERS <n> | SET SHARDS <n> | OFF | \
-                 SET STORAGE DISK '<dir>' [POOL <frames>] | MEM")),
+                 SET STORAGE DISK '<dir>' [POOL <frames>] | MEM | SET ARCHIVE '<dir>'")),
         }
     }
 
@@ -581,11 +602,13 @@ impl Shell {
         Ok(format!("workers: {n}"))
     }
 
-    /// `SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF` — start
-    /// logging every pipeline mutation to a write-ahead log in `<dir>`
-    /// (checkpointing every `<n>` records), or detach the log.
+    /// `SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] [ARCHIVE '<adir>']
+    /// | OFF` — start logging every pipeline mutation to a write-ahead
+    /// log in `<dir>` (checkpointing every `<n>` records, archiving
+    /// sealed segments into `<adir>` for BACKUP), or detach the log.
     fn set_durability(&mut self, args: &[String]) -> Result<String, ShellError> {
-        const USAGE: &str = "usage: SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF";
+        const USAGE: &str =
+            "usage: SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] [ARCHIVE '<adir>'] | OFF";
         let first = args.first().ok_or_else(|| err(USAGE))?;
         if first.to_uppercase() == "OFF" {
             self.repl = None;
@@ -598,9 +621,15 @@ impl Shell {
             return Err(err("SET DURABILITY needs SET SHARDS OFF first"));
         }
         let mut options = DurabilityOptions::default();
+        let mut archive: Option<String> = None;
         let mut i = 1;
         while i < args.len() {
             match args[i].to_uppercase().as_str() {
+                "ARCHIVE" => {
+                    let dir = args.get(i + 1).ok_or_else(|| err("ARCHIVE needs a directory"))?;
+                    archive = Some(dir.clone());
+                    i += 2;
+                }
                 "EVERY" => {
                     let n: usize = args
                         .get(i + 1)
@@ -621,14 +650,134 @@ impl Shell {
                 _ => return Err(err(USAGE)),
             }
         }
-        let durability =
+        let mut durability =
             Durability::begin(std::path::Path::new(first), &self.db, &self.store, options)
                 .map_err(|e| err(e.to_string()))?;
+        if let Some(adir) = &archive {
+            durability
+                .set_archive(std::path::Path::new(adir), 1)
+                .map_err(|e| err(e.to_string()))?;
+        }
         let summary =
             format!("durability: on ({}); initial checkpoint written", durability.describe());
         self.repl = None;
         self.nebula.set_mutation_sink(Some(Box::new(durability)));
         Ok(summary)
+    }
+
+    /// `SET ARCHIVE '<dir>'` — start archiving the installed sink's
+    /// sealed WAL segments (and a base checkpoint) into `<dir>`. Works on
+    /// both the single-log sink and the replicated cluster; BACKUP needs
+    /// this on so a restorable history exists to bundle.
+    fn set_archive(&mut self, args: &[String]) -> Result<String, ShellError> {
+        let dir = args.first().ok_or_else(|| err("usage: SET ARCHIVE '<dir>'"))?;
+        let sink = self.nebula.mutation_sink_mut().ok_or_else(|| {
+            err("durability is off — SET DURABILITY '<dir>' or SET REPLICAS first")
+        })?;
+        sink.set_archive(std::path::Path::new(dir)).map_err(|e| err(e.to_string()))?;
+        Ok(format!(
+            "archive: on ('{dir}'); every checkpoint seals its WAL run there before truncating"
+        ))
+    }
+
+    /// `BACKUP TO '<dir>'` — checkpoint the sink (sealing the live WAL
+    /// run into the archive) and capture a verified bundle: base
+    /// checkpoints, archived segments, and a signed manifest of per-file
+    /// digests. The bundle restores on a machine that never saw this one.
+    fn backup(&mut self, args: &[String]) -> Result<String, ShellError> {
+        const USAGE: &str = "usage: BACKUP TO '<dir>'";
+        if args.first().map(|s| s.to_uppercase()).as_deref() != Some("TO") {
+            return Err(err(USAGE));
+        }
+        let dir = args.get(1).ok_or_else(|| err(USAGE))?.clone();
+        let sink = self.nebula.mutation_sink_mut().ok_or_else(|| {
+            err("durability is off — SET DURABILITY '<dir>' ARCHIVE '<adir>' first")
+        })?;
+        let archive_dir = sink.archive_dir().ok_or_else(|| {
+            err("archiving is off — SET ARCHIVE '<dir>' first (BACKUP bundles the archive)")
+        })?;
+        sink.checkpoint(&self.db, &self.store).map_err(|e| err(e.to_string()))?;
+        let seq = self.backups.len() as u64 + 1;
+        let spec = BundleSpec {
+            archive_dir,
+            bundle_dir: std::path::PathBuf::from(&dir),
+            pages: None,
+            created_seq: seq,
+        };
+        let manifest = nebula_backup::create_bundle(&spec).map_err(|e| err(e.to_string()))?;
+        let bytes: u64 = manifest.entries.iter().map(|e| e.len).sum();
+        let record = BackupRecord {
+            seq,
+            dir,
+            oldest_lsn: manifest.oldest_lsn,
+            head_lsn: manifest.head_lsn,
+            files: manifest.entries.len(),
+            bytes,
+        };
+        let summary = format!(
+            "backup: captured '{}' — restorable lsn range [{}, {}], {} file(s), {} bytes (seq {})",
+            record.dir, record.oldest_lsn, record.head_lsn, record.files, record.bytes, record.seq
+        );
+        self.backups.push(record);
+        self.last_backup = Some(std::time::Instant::now());
+        Ok(summary)
+    }
+
+    /// `RESTORE FROM '<dir>' [AS OF LSN <n>]` — verify the bundle against
+    /// its signed manifest, rebuild the state from the newest bundled
+    /// checkpoint at or below the target, and replay archived WAL to the
+    /// target LSN (the bundle's head when no AS OF is given). Replaces
+    /// the live db/store and rebuilds the ACG; any installed sink is
+    /// detached so the restored state is not logged over the old history.
+    fn restore(&mut self, args: &[String]) -> Result<String, ShellError> {
+        const USAGE: &str = "usage: RESTORE FROM '<dir>' [AS OF LSN <n>]";
+        if args.first().map(|s| s.to_uppercase()).as_deref() != Some("FROM") {
+            return Err(err(USAGE));
+        }
+        let dir = args.get(1).ok_or_else(|| err(USAGE))?;
+        let as_of = match args.get(2) {
+            None => None,
+            Some(tok)
+                if tok.to_uppercase() == "AS"
+                    && args.get(3).map(|s| s.to_uppercase()).as_deref() == Some("OF")
+                    && args.get(4).map(|s| s.to_uppercase()).as_deref() == Some("LSN") =>
+            {
+                let n: u64 = args
+                    .get(5)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("AS OF LSN needs a number"))?;
+                Some(n)
+            }
+            _ => return Err(err(USAGE)),
+        };
+        if self.shards.is_some() {
+            return Err(err("RESTORE needs SET SHARDS OFF first"));
+        }
+        let restored = nebula_backup::restore(std::path::Path::new(dir), as_of)
+            .map_err(|e| err(e.to_string()))?;
+        self.repl = None;
+        let detached = self.nebula.take_mutation_sink().is_some();
+        self.db = restored.db;
+        self.store = restored.store;
+        self.nebula.bootstrap_acg(&self.store);
+        let mut out = vec![format!(
+            "restored to lsn {} from '{dir}' (manifest verified; base watermark {}, \
+             {} replayed, {} skipped); {} tuples, {} annotations; ACG rebuilt",
+            restored.applied,
+            restored.base_watermark,
+            restored.replayed,
+            restored.skipped,
+            self.db.total_tuples(),
+            self.store.annotation_count(),
+        )];
+        if detached {
+            out.push(
+                "  durability sink detached — SET DURABILITY into a fresh directory to \
+                 resume logging"
+                    .into(),
+            );
+        }
+        Ok(out.join("\n"))
     }
 
     /// `SET REPLICAS <n> '<dir>' [QUORUM <q>] [NETFAULTS <seed> <rate>]
@@ -897,7 +1046,11 @@ impl Shell {
         Ok(out)
     }
 
-    fn scrub(&mut self) -> Result<String, ShellError> {
+    fn scrub(&mut self, args: &[String]) -> Result<String, ShellError> {
+        if args.first().map(|s| s.to_uppercase()).as_deref() == Some("BACKUP") {
+            let dir = args.get(1).ok_or_else(|| err("usage: SCRUB BACKUP '<dir>'"))?;
+            return self.scrub_backup(dir);
+        }
         let mut out = Vec::new();
         if self.storage.is_some() {
             out.extend(self.scrub_pages()?);
@@ -937,6 +1090,29 @@ impl Shell {
                 )),
                 Err(e) => out.push(format!("  replica {id}: repair failed ({e})")),
             }
+        }
+        Ok(out.join("\n"))
+    }
+
+    /// `SCRUB BACKUP '<dir>'` — walk an archive or bundle re-deriving
+    /// every CRC (and the manifest digests when one is present), so torn
+    /// or rotten files surface before a restore needs them.
+    fn scrub_backup(&mut self, dir: &str) -> Result<String, ShellError> {
+        let report =
+            nebula_backup::scrub(std::path::Path::new(dir)).map_err(|e| err(e.to_string()))?;
+        let mut out = vec![format!(
+            "backup scrub '{dir}': {} base(s) ok, {} segment(s) ok, {} bytes checked, \
+             manifest {}",
+            report.bases_ok,
+            report.segments_ok,
+            report.bytes_scrubbed,
+            if report.manifest_checked { "verified" } else { "absent" },
+        )];
+        if report.is_clean() {
+            out.push("  all files clean".into());
+        }
+        for c in &report.corrupt {
+            out.push(format!("  CORRUPT {}: {}", c.path.display(), c.reason));
         }
         Ok(out.join("\n"))
     }
@@ -1213,9 +1389,56 @@ impl Shell {
             }),
             Some("BUDGET") => Ok(format!("budget: {}", self.nebula.config().budget)),
             Some("DURABILITY") => Ok(match self.nebula.mutation_sink() {
-                Some(sink) => format!("durability: on ({})", sink.describe()),
+                Some(sink) => {
+                    let mut out = vec![format!("durability: on ({})", sink.describe())];
+                    if let Some(adir) = sink.archive_dir() {
+                        match nebula_durable::archive_stats(&adir) {
+                            Ok(s) => out.push(format!(
+                                "  archive: '{}' — {} segment(s), {} base(s), \
+                                 oldest restorable lsn {}, newest lsn {}, {} bytes",
+                                adir.display(),
+                                s.segments,
+                                s.bases,
+                                s.oldest_restorable_lsn,
+                                s.newest_lsn,
+                                s.bytes,
+                            )),
+                            Err(e) => out
+                                .push(format!("  archive: '{}' unreadable ({e})", adir.display())),
+                        }
+                        out.push(match (&self.last_backup, self.backups.last()) {
+                            (Some(at), Some(b)) => format!(
+                                "  last backup: seq {} to '{}' (head lsn {}), {}s ago",
+                                b.seq,
+                                b.dir,
+                                b.head_lsn,
+                                at.elapsed().as_secs(),
+                            ),
+                            _ => "  last backup: never (BACKUP TO '<dir>' captures one)".into(),
+                        });
+                    }
+                    out.join("\n")
+                }
                 None => "durability: off".to_string(),
             }),
+            Some("BACKUPS") => {
+                if self.backups.is_empty() {
+                    return Ok("backups: none this session (BACKUP TO '<dir>' captures one)".into());
+                }
+                let mut out =
+                    vec![format!("backups: {} captured this session", self.backups.len())];
+                for b in &self.backups {
+                    let verdict = match nebula_backup::verify_bundle(std::path::Path::new(&b.dir)) {
+                        Ok(v) => format!("verified ({} file(s))", v.files_verified),
+                        Err(e) => format!("FAILED VERIFICATION: {e}"),
+                    };
+                    out.push(format!(
+                        "  seq {}: '{}' lsn [{}, {}] — {} file(s), {} bytes — {verdict}",
+                        b.seq, b.dir, b.oldest_lsn, b.head_lsn, b.files, b.bytes,
+                    ));
+                }
+                Ok(out.join("\n"))
+            }
             Some("FAULTS") => match nebula_govern::describe_fault_plan() {
                 None => Ok("faults: off".into()),
                 Some(desc) => {
@@ -1240,8 +1463,9 @@ impl Shell {
                 Ok(nebula_obs::trace::attribution(&traces).render_text().trim_end().to_string())
             }
             Some("FLIGHT") => Ok(self.show_flight()),
-            _ => Err(err("usage: SHOW METRICS | BUDGET | FAULTS | DURABILITY | HEALTH | \
-                 REPLICATION | REPLICA <id> | REPAIR | SHARDS | CRITICAL PATH | FLIGHT")),
+            _ => Err(err("usage: SHOW METRICS | BUDGET | FAULTS | DURABILITY | BACKUPS | \
+                 HEALTH | REPLICATION | REPLICA <id> | REPAIR | SHARDS | CRITICAL PATH | \
+                 FLIGHT")),
         }
     }
 
@@ -1357,7 +1581,8 @@ const HELP: &str = "commands:
   TRACE ANNOTATION <id>;   SHOW CRITICAL PATH;   SHOW FLIGHT;
   SET BUDGET DEADLINE <ms> | TUPLES <n> | CONFIGS <n> | CANDIDATES <n> | OFF;
   SET FAULTS <seed> [RATE <r>] | HOSTILE <seed> | OFF;
-  SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] | OFF;
+  SET DURABILITY '<dir>' [EVERY <n>] [SYNC BATCH] [ARCHIVE '<adir>'] | OFF;
+  SET ARCHIVE '<dir>';
   SET REPLICAS <n> '<dir>' [QUORUM <q>] [NETFAULTS <seed> <rate>] | OFF;
   SET SHARDS <n> | OFF;
   SET STORAGE DISK '<dir>' [POOL <frames>] | MEM;
@@ -1365,6 +1590,8 @@ const HELP: &str = "commands:
   SCRUB;   REJOIN [<node>];   RECOVER INGEST;
   SET WORKERS <n>;
   CHECKPOINT;   RECOVER '<dir>';
+  BACKUP TO '<dir>';   RESTORE FROM '<dir>' [AS OF LSN <n>];
+  SCRUB BACKUP '<dir>';   SHOW BACKUPS;
   SHOW BUDGET;   SHOW FAULTS;   SHOW DURABILITY;   SHOW HEALTH;
   SHOW REPLICATION;   SHOW REPLICA <id> [STALENESS <n>];   SHOW REPAIR;
   SHOW SHARDS;   SHOW STORAGE;
@@ -2080,5 +2307,90 @@ mod tests {
         assert!(sh.exec("SET STORAGE DISK").is_err(), "DISK needs a directory");
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backup_restore_point_in_time_flow() {
+        let root = std::env::temp_dir().join(format!("nebula-shell-backup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let wal = root.join("wal");
+        let arch = root.join("archive");
+        let bundle = root.join("bundle");
+
+        let mut sh = shell();
+        let initial_annotations = sh.store.annotation_count();
+        // The guidance chain: BACKUP refuses without durability, then
+        // without archiving.
+        assert!(sh
+            .exec(&format!("BACKUP TO '{}'", bundle.display()))
+            .unwrap_err()
+            .0
+            .contains("durability is off"));
+        assert!(sh.exec("SET ARCHIVE '/tmp/nowhere'").unwrap_err().0.contains("durability is off"));
+        sh.exec(&format!(
+            "SET DURABILITY '{}' EVERY 64 ARCHIVE '{}'",
+            wal.display(),
+            arch.display()
+        ))
+        .expect("shell operation should succeed");
+
+        sh.exec("ANNOTATE gene 'JW0005' 'this gene correlates with JW0001 under stress'")
+            .expect("shell operation should succeed");
+        sh.exec("CHECKPOINT").expect("shell operation should succeed");
+        sh.exec("ANNOTATE gene 'JW0002' 'note about gene JW0003'")
+            .expect("shell operation should succeed");
+        let annotated = sh.store.annotation_count();
+        assert!(annotated > initial_annotations);
+
+        let captured = sh
+            .exec(&format!("BACKUP TO '{}'", bundle.display()))
+            .expect("shell operation should succeed");
+        assert!(captured.contains("restorable lsn range"), "{captured}");
+        assert!(captured.contains("seq 1"), "{captured}");
+
+        let shown = sh.exec("SHOW DURABILITY").expect("shell operation should succeed");
+        assert!(shown.contains("archive: '"), "{shown}");
+        assert!(shown.contains("oldest restorable lsn"), "{shown}");
+        assert!(shown.contains("last backup: seq 1"), "{shown}");
+
+        let backups = sh.exec("SHOW BACKUPS").expect("shell operation should succeed");
+        assert!(backups.contains("seq 1:"), "{backups}");
+        assert!(backups.contains("verified"), "{backups}");
+        assert!(!backups.contains("FAILED"), "{backups}");
+
+        let scrubbed = sh
+            .exec(&format!("SCRUB BACKUP '{}'", bundle.display()))
+            .expect("shell operation should succeed");
+        assert!(scrubbed.contains("all files clean"), "{scrubbed}");
+        assert!(scrubbed.contains("manifest verified"), "{scrubbed}");
+
+        // Full restore: byte-equivalent state, sink detached.
+        let restored =
+            sh.exec(&format!("RESTORE FROM '{}'", bundle.display())).expect("restore succeeds");
+        assert!(restored.contains("restored to lsn"), "{restored}");
+        assert!(restored.contains("sink detached"), "{restored}");
+        assert_eq!(sh.store.annotation_count(), annotated, "every record replayed");
+        assert_eq!(
+            sh.exec("SHOW DURABILITY").expect("shell operation should succeed"),
+            "durability: off"
+        );
+
+        // Point-in-time: AS OF LSN 0 lands on the pre-annotation base.
+        let pitr = sh
+            .exec(&format!("RESTORE FROM '{}' AS OF LSN 0", bundle.display()))
+            .expect("as-of restore succeeds");
+        assert!(pitr.contains("restored to lsn 0"), "{pitr}");
+        assert_eq!(sh.store.annotation_count(), initial_annotations, "history rewound");
+
+        // Out-of-range targets and malformed syntax are refused.
+        let e =
+            sh.exec(&format!("RESTORE FROM '{}' AS OF LSN 999999", bundle.display())).unwrap_err();
+        assert!(e.0.contains("not restorable"), "{e}");
+        assert!(sh.exec("RESTORE").is_err());
+        assert!(sh.exec(&format!("RESTORE FROM '{}' AS OF", bundle.display())).is_err());
+        assert!(sh.exec("BACKUP").is_err());
+        assert!(sh.exec("SHOW BACKUPS").expect("still works").contains("seq 1"));
+
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -21,14 +21,19 @@
 //! Same seed, same schedule, same verdict — a red run replays exactly.
 //! `NEBULA_WORKERS` pins the ingest pool size (CI sweeps 1 and 8).
 
+use nebula::nebula_backup::{
+    create_bundle, inject_rot as inject_archive_rot, restore as restore_bundle,
+    scrub as scrub_bundle, verify_bundle, BundleSpec,
+};
 use nebula::nebula_durable::{checkpoint, inject_rot, Durability};
 use nebula::nebula_govern::set_fault_plan;
 use nebula::nebula_replica::{
-    compose_schedule, compose_schedule_with_disk, compose_schedule_with_shards, NemesisEvent,
+    compose_schedule, compose_schedule_with_backup, compose_schedule_with_disk,
+    compose_schedule_with_shards, NemesisEvent,
 };
 use nebula::nebula_workload::{build_workload, WorkloadSpec};
 use nebula::prelude::*;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const REPLICAS: usize = 2;
 const OPS: u64 = 500;
@@ -229,16 +234,20 @@ fn nemesis_soak_reconverges_byte_identically_for_each_seed() {
                         }
                     }
                 }
-                // Unsharded, disk-off schedules compose neither shard nor
-                // disk events.
+                // Unsharded, disk-off, backup-off schedules compose no
+                // shard, disk, or backup events.
                 NemesisEvent::ShardPartition { .. }
                 | NemesisEvent::ShardHeal { .. }
                 | NemesisEvent::ShardBitRot { .. }
                 | NemesisEvent::ShardFailover { .. }
                 | NemesisEvent::PageRot
                 | NemesisEvent::PageFsyncFail
-                | NemesisEvent::EvictStorm => {
-                    unreachable!("seed {seed:#x}: shard/disk event in a core schedule")
+                | NemesisEvent::EvictStorm
+                | NemesisEvent::Backup
+                | NemesisEvent::ArchiveRot
+                | NemesisEvent::BackupScrub
+                | NemesisEvent::RestoreCheck => {
+                    unreachable!("seed {seed:#x}: shard/disk/backup event in a core schedule")
                 }
             }
         }
@@ -508,9 +517,9 @@ fn sharded_nemesis_soak_reconverges_byte_identically() {
                 failovers_run += 1;
                 assert_eq!(cluster.epoch(), failovers_run, "seed {seed:#x}: epoch fences forward");
             }
-            // Replica- and disk-dimension events; a shard cluster has no
-            // replica set, durability directory, or page file, so these
-            // are calm stretches.
+            // Replica-, disk-, and backup-dimension events; a shard
+            // cluster has no replica set, durability directory, page
+            // file, or archive here, so these are calm stretches.
             NemesisEvent::Partition { .. }
             | NemesisEvent::Heal { .. }
             | NemesisEvent::Corrupt { .. }
@@ -519,7 +528,11 @@ fn sharded_nemesis_soak_reconverges_byte_identically() {
             | NemesisEvent::Rejoin
             | NemesisEvent::PageRot
             | NemesisEvent::PageFsyncFail
-            | NemesisEvent::EvictStorm => {}
+            | NemesisEvent::EvictStorm
+            | NemesisEvent::Backup
+            | NemesisEvent::ArchiveRot
+            | NemesisEvent::BackupScrub
+            | NemesisEvent::RestoreCheck => {}
         }
     }
 
@@ -725,8 +738,9 @@ fn paged_nemesis_soak_matches_ram_twin_byte_for_byte() {
                     );
                 }
             }
-            // No replicas and no shards in this soak: the composer still
-            // emits core failover/rot beats, which have no surface here.
+            // No replicas, shards, or archive in this soak: the composer
+            // still emits core failover/rot beats, which have no surface
+            // here.
             NemesisEvent::Partition { .. }
             | NemesisEvent::Heal { .. }
             | NemesisEvent::Corrupt { .. }
@@ -736,7 +750,11 @@ fn paged_nemesis_soak_matches_ram_twin_byte_for_byte() {
             | NemesisEvent::ShardPartition { .. }
             | NemesisEvent::ShardHeal { .. }
             | NemesisEvent::ShardBitRot { .. }
-            | NemesisEvent::ShardFailover { .. } => {}
+            | NemesisEvent::ShardFailover { .. }
+            | NemesisEvent::Backup
+            | NemesisEvent::ArchiveRot
+            | NemesisEvent::BackupScrub
+            | NemesisEvent::RestoreCheck => {}
         }
     }
 
@@ -776,4 +794,335 @@ fn paged_nemesis_soak_matches_ram_twin_byte_for_byte() {
     assert!(reopened.scrub().expect("reopen scrub").is_clean());
     assert!(reopened.metrics().page_count > 1);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shallow-copy a bundle directory (bundles are flat).
+fn copy_bundle(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("scratch dir");
+    for entry in std::fs::read_dir(src).expect("read bundle") {
+        let entry = entry.expect("bundle entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy bundle file");
+    }
+}
+
+/// The disaster-recovery soak: the composer's backup dimension armed
+/// against a live replicated cluster with WAL archiving on. Every
+/// `Backup` captures a verified bundle mid-chaos and remembers the
+/// primary's shadow bytes at that LSN; every `ArchiveRot` flips real bits
+/// in a sacrificial copy of the newest bundle; the following
+/// `BackupScrub` must report exactly the files that were damaged (100%
+/// detection) while the pristine bundle scrubs clean (zero false
+/// positives); every `RestoreCheck` rebuilds a store from the pristine
+/// bundle and proves it byte-identical to the shadow snapshot — verified
+/// point-in-time recovery holding under partitions, replica corruption,
+/// WAL bit-rot, and epoch-fenced failovers.
+#[test]
+fn backup_nemesis_soak_restores_byte_identically_mid_chaos() {
+    // Per-seed schedules may skip a slot; the seed suite as a whole must
+    // exercise every backup beat.
+    let mut dims = (0usize, 0usize, 0usize, 0usize);
+
+    for seed in [0xBAD5EEDu64, 0xDEAD] {
+        let plan = compose_schedule_with_backup(seed, REPLICAS, 0, false, true, OPS);
+        let (backups, arch_rots, bscrubs, checks) = plan.backup_disruption_counts();
+        dims = (dims.0 + backups, dims.1 + arch_rots, dims.2 + bscrubs, dims.3 + checks);
+        assert!(backups > 0, "seed {seed:#x}: the schedule captures a bundle");
+        assert!(checks > 0, "seed {seed:#x}: the schedule proves a restore");
+
+        let bundle = generate_dataset(&DatasetSpec::tiny(), 0x5E_AC);
+        let workload = build_workload(&bundle, &WorkloadSpec::default(), 21);
+        let source: Vec<_> = workload
+            .iter()
+            .flat_map(|s| &s.annotations)
+            .filter(|wa| !wa.ideal.is_empty())
+            .collect();
+        assert!(!source.is_empty());
+        let items: Vec<IngestItem> = (0..OPS as usize)
+            .map(|i| {
+                let wa = source[i % source.len()];
+                IngestItem::new(wa.annotation.clone(), vec![wa.ideal[0]])
+            })
+            .collect();
+
+        let mut bundle = bundle;
+        let mut nebula = Nebula::new(NebulaConfig::default(), bundle.meta.clone());
+        nebula.bootstrap_acg(&bundle.annotations);
+
+        let dir = temp_dir(&format!("dr-{seed:x}"));
+        let archive = dir.join("archive");
+        let mut cluster = Cluster::new(
+            &dir.join("cluster"),
+            &bundle.db,
+            &bundle.annotations,
+            REPLICAS,
+            Box::new(SimTransport::reliable(3)),
+            ClusterConfig::default(),
+        )
+        .expect("fresh cluster directory");
+        cluster.set_archive(&archive).expect("arm WAL archiving");
+        let sink = ClusterSink::new(cluster);
+        let handle = sink.handle();
+        nebula.set_mutation_sink(Some(Box::new(sink)));
+
+        let ingest = IngestConfig::deterministic(workers(), OPS as usize);
+
+        let mut next = 0usize;
+        let mut rot_injections = 0usize;
+        let mut rot_detections = 0usize;
+        let mut rot_pending = false;
+        let mut partitioned: Option<usize> = None;
+        // Newest pristine bundle: (dir, head LSN, shadow bytes at capture).
+        let mut captured: Option<(PathBuf, u64, Vec<u8>)> = None;
+        let mut backups_taken = 0u64;
+        // Sacrificial rotted copy awaiting its scrub: (dir, damaged files).
+        let mut rotted_copy: Option<(PathBuf, Vec<PathBuf>)> = None;
+        let mut restores_proven = 0usize;
+
+        for event in &plan.events {
+            match *event {
+                NemesisEvent::Ingest(n) | NemesisEvent::Burst(n) => {
+                    let n = n as usize;
+                    let slice = &items[next..next + n];
+                    next += n;
+                    let report = ingest_batch(
+                        &mut nebula,
+                        &bundle.db,
+                        &mut bundle.annotations,
+                        slice,
+                        &ingest,
+                    );
+                    assert!(report.sheds.is_empty(), "seed {seed:#x}: no shed");
+                    assert_ne!(report.health, HealthState::Wedged, "seed {seed:#x}: not wedged");
+                    assert_eq!(report.batch.total(), n, "seed {seed:#x}: every item ran");
+                }
+                NemesisEvent::Partition { node } => {
+                    handle.lock().set_partitioned(node, true);
+                    partitioned = Some(node);
+                }
+                NemesisEvent::Heal { node } => {
+                    handle.lock().set_partitioned(node, false);
+                    partitioned = None;
+                }
+                NemesisEvent::Corrupt { replica } => {
+                    let _ = handle.lock().chaos_corrupt_replica(replica);
+                }
+                NemesisEvent::BitRot => {
+                    let wal_dir = handle.lock().primary().wal().dir().to_path_buf();
+                    set_fault_plan(Some(
+                        FaultPlan::new(seed.wrapping_add(rot_injections as u64))
+                            .with_bit_rot(1.0, 1.0),
+                    ));
+                    let rot = inject_rot(&wal_dir).expect("rot injection");
+                    set_fault_plan(None);
+                    if rot.any() {
+                        rot_injections += 1;
+                        rot_pending = true;
+                    }
+                }
+                NemesisEvent::Scrub => {
+                    let mut cluster = handle.lock();
+                    let summary = cluster.scrub();
+                    if rot_pending {
+                        assert!(
+                            !summary.media.is_clean(),
+                            "seed {seed:#x}: injected rot detected before the next checkpoint"
+                        );
+                        assert!(summary.media_healed, "seed {seed:#x}: rot healed from shadow");
+                        rot_detections += 1;
+                        rot_pending = false;
+                    }
+                    let mut targets = summary.wedged.clone();
+                    for id in &summary.diverged {
+                        if !targets.contains(id) {
+                            targets.push(*id);
+                        }
+                    }
+                    for id in targets {
+                        let out = cluster.repair_replica(id).expect("repair");
+                        if partitioned != Some(id) && !out.converged {
+                            let r = cluster.replicas().iter().find(|r| r.id() == id);
+                            panic!(
+                                "seed {seed:#x}: repair of replica {id}: {out:?}; replica applied={:?} wedged={:?}; primary last={} wm={} epoch={} transport={}",
+                                r.map(|r| r.applied()),
+                                r.map(|r| r.wedge_reason()),
+                                cluster.primary().last_lsn(),
+                                cluster.primary().wal().watermark(),
+                                cluster.primary().epoch(),
+                                cluster.describe_transport(),
+                            );
+                        }
+                    }
+                }
+                NemesisEvent::Failover => {
+                    let mut cluster = handle.lock();
+                    let last = cluster.primary().last_lsn();
+                    let mut rounds = 0;
+                    while cluster.primary().min_acked() < last && rounds < 20_000 {
+                        cluster.pump(1);
+                        rounds += 1;
+                    }
+                    assert!(
+                        cluster.primary().min_acked() >= last,
+                        "seed {seed:#x}: quiesce before failover"
+                    );
+                    if let Some(target) = cluster.best_failover_candidate() {
+                        cluster.promote(target).expect("promotion");
+                        assert_eq!(
+                            cluster.archive_dir().as_deref(),
+                            Some(archive.as_path()),
+                            "seed {seed:#x}: archiving survives the failover"
+                        );
+                    }
+                }
+                NemesisEvent::Rejoin => {
+                    let mut cluster = handle.lock();
+                    for node in cluster.deposed_nodes() {
+                        let epoch = cluster.primary().epoch();
+                        let out = cluster.rejoin(node).expect("rejoin");
+                        assert_eq!(out.epoch, epoch, "seed {seed:#x}: rejoined the live epoch");
+                        if partitioned != Some(node) {
+                            assert!(out.converged, "seed {seed:#x}: rejoin of node {node}");
+                        }
+                    }
+                }
+                // A checkpoint seals the WAL into the archive, then the
+                // bundle captures the archive plus a signed manifest.
+                NemesisEvent::Backup => {
+                    let mut cluster = handle.lock();
+                    cluster
+                        .checkpoint(&bundle.db, &bundle.annotations)
+                        .expect("checkpoint before capture");
+                    let bdir = dir.join(format!("bundle-{backups_taken}"));
+                    let manifest = create_bundle(&BundleSpec {
+                        archive_dir: archive.clone(),
+                        bundle_dir: bdir.clone(),
+                        pages: None,
+                        created_seq: backups_taken,
+                    })
+                    .expect("bundle capture");
+                    assert_eq!(
+                        manifest.head_lsn,
+                        cluster.primary().last_lsn(),
+                        "seed {seed:#x}: the bundle covers the live head"
+                    );
+                    let (pdb, pstore) = cluster.primary().shadow();
+                    if let Some((old, _, _)) =
+                        captured.replace((bdir, manifest.head_lsn, state_bytes(pdb, pstore)))
+                    {
+                        let _ = std::fs::remove_dir_all(old);
+                    }
+                    backups_taken += 1;
+                }
+                // Rot lands in a sacrificial copy so the pristine bundle
+                // stays a valid restore source for the next check.
+                NemesisEvent::ArchiveRot => {
+                    let (bdir, _, _) =
+                        captured.as_ref().expect("the composer orders a Backup first");
+                    let scratch = dir.join(format!("rotted-{backups_taken}"));
+                    copy_bundle(bdir, &scratch);
+                    set_fault_plan(Some(
+                        FaultPlan::new(seed ^ 0xA5C1).with_archive_faults(0.0, 1.0, 0.0),
+                    ));
+                    let damaged = inject_archive_rot(&scratch).expect("archive rot injection");
+                    set_fault_plan(None);
+                    assert!(!damaged.is_empty(), "seed {seed:#x}: rate-1.0 rot must land");
+                    rotted_copy = Some((scratch, damaged));
+                }
+                NemesisEvent::BackupScrub => {
+                    if let Some((scratch, damaged)) = rotted_copy.take() {
+                        let report = scrub_bundle(&scratch).expect("scrub the damaged copy");
+                        let found: std::collections::BTreeSet<_> =
+                            report.corrupt.iter().map(|c| c.path.clone()).collect();
+                        let want: std::collections::BTreeSet<_> = damaged.into_iter().collect();
+                        assert_eq!(
+                            found, want,
+                            "seed {seed:#x}: the scrubber finds exactly the injected rot"
+                        );
+                        assert!(
+                            verify_bundle(&scratch).is_err(),
+                            "seed {seed:#x}: a restore would refuse the damaged copy"
+                        );
+                        let _ = std::fs::remove_dir_all(&scratch);
+                    }
+                    let (bdir, _, _) =
+                        captured.as_ref().expect("the composer orders a Backup first");
+                    let clean = scrub_bundle(bdir).expect("scrub the pristine bundle");
+                    assert!(
+                        clean.corrupt.is_empty(),
+                        "seed {seed:#x}: zero false positives on the pristine bundle: {:?}",
+                        clean.corrupt
+                    );
+                }
+                NemesisEvent::RestoreCheck => {
+                    let (bdir, head, want) =
+                        captured.as_ref().expect("the composer orders a Backup first");
+                    verify_bundle(bdir).expect("manifest verification before restore");
+                    let restored = restore_bundle(bdir, None).expect("verified restore");
+                    assert_eq!(restored.applied, *head, "seed {seed:#x}: restored to the head");
+                    assert_eq!(
+                        &state_bytes(&restored.db, &restored.store),
+                        want,
+                        "seed {seed:#x}: restore is byte-identical to the shadow at lsn {head}"
+                    );
+                    restores_proven += 1;
+                }
+                NemesisEvent::ShardPartition { .. }
+                | NemesisEvent::ShardHeal { .. }
+                | NemesisEvent::ShardBitRot { .. }
+                | NemesisEvent::ShardFailover { .. }
+                | NemesisEvent::PageRot
+                | NemesisEvent::PageFsyncFail
+                | NemesisEvent::EvictStorm => {
+                    unreachable!("seed {seed:#x}: shard/disk event in a backup schedule")
+                }
+            }
+        }
+
+        assert_eq!(next as u64, OPS, "seed {seed:#x}: the schedule offered every item");
+        assert_eq!(
+            rot_detections, rot_injections,
+            "seed {seed:#x}: every injected WAL rot was caught"
+        );
+        assert!(backups_taken > 0, "seed {seed:#x}: bundles were captured");
+        assert!(restores_proven > 0, "seed {seed:#x}: restores were proven");
+
+        // At rest the cluster converges and the archive still restores.
+        drop(nebula.take_mutation_sink());
+        let mut cluster = handle.lock();
+        let last = cluster.primary().last_lsn();
+        let mut rounds = 0;
+        while cluster.primary().min_acked() < last && rounds < 20_000 {
+            cluster.pump(1);
+            rounds += 1;
+        }
+        assert!(cluster.primary().min_acked() >= last, "seed {seed:#x}: final drain");
+        let final_scrub = cluster.scrub();
+        assert!(final_scrub.media.is_clean(), "seed {seed:#x}: media clean at rest");
+
+        // One last capture at rest equals the live engine exactly.
+        cluster.checkpoint(&bundle.db, &bundle.annotations).expect("final checkpoint");
+        let final_dir = dir.join("bundle-final");
+        create_bundle(&BundleSpec {
+            archive_dir: archive.clone(),
+            bundle_dir: final_dir.clone(),
+            pages: None,
+            created_seq: backups_taken,
+        })
+        .expect("final capture");
+        let restored = restore_bundle(&final_dir, None).expect("final restore");
+        assert_eq!(
+            state_bytes(&restored.db, &restored.store),
+            state_bytes(&bundle.db, &bundle.annotations),
+            "seed {seed:#x}: the at-rest bundle restores the live engine byte-for-byte"
+        );
+        drop(cluster);
+        drop(handle);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let (backups, arch_rots, bscrubs, checks) = dims;
+    assert!(backups > 1, "no bundle captures across the seed suite");
+    assert!(arch_rots > 0, "no archive rot across the seed suite");
+    assert!(bscrubs > 0, "no backup scrubs across the seed suite");
+    assert!(checks > 1, "no restore checks across the seed suite");
 }

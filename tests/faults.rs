@@ -5,9 +5,14 @@
 //! The tests share one process, and telemetry counters are global, so
 //! every test serializes on `GUARD` and asserts on counter *deltas*.
 
+use nebula::nebula_backup::{create_bundle, restore, verify_bundle, BundleSpec};
+use nebula::nebula_durable::{recover, replay_op, state_digest, DurableError, WalOp};
 use nebula::nebula_govern as govern;
+use nebula::nebula_pagestore::heap::RecordHeap;
+use nebula::nebula_pagestore::PageStoreError;
 use nebula::nebula_workload::{build_workload, WorkloadSpec};
 use nebula::prelude::*;
+use std::path::PathBuf;
 use std::sync::Mutex;
 
 static GUARD: Mutex<()> = Mutex::new(());
@@ -223,4 +228,176 @@ fn budget_trips_degrade_to_focal_fallback() {
         .filter(|d| matches!(d, Degradation::FocalFallback { .. }))
         .count();
     assert!(fallbacks > 0, "full-search trips fell back to focal mode");
+}
+
+// ---------------------------------------------------------------------------
+// ENOSPC: a full disk degrades every persistence layer to a typed error.
+// ---------------------------------------------------------------------------
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nebula-faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn note(n: u64) -> WalOp {
+    WalOp::AddAnnotation {
+        expected: AnnotationId(n),
+        text: format!("enospc note {n}"),
+        author: None,
+        kind: None,
+    }
+}
+
+/// A full disk surfaces from the WAL as `DurableError::NoSpace`, wedges
+/// the log (no append can be trusted until space frees), and a
+/// checkpoint — which truncates the log — unwedges it with nothing lost.
+#[test]
+fn enospc_wedges_the_wal_typed_and_a_checkpoint_unwedges_it() {
+    let _g = lock();
+    let dir = tmp("wal-enospc");
+    let mut db = Database::new();
+    let mut store = AnnotationStore::new();
+    let mut mgr = Durability::begin(&dir, &db, &store, DurabilityOptions::default())
+        .expect("fresh durability directory");
+    mgr.append(&note(0)).expect("append before the disk fills");
+    replay_op(&mut db, &mut store, &note(0)).expect("replay");
+
+    govern::set_fault_plan(Some(FaultPlan::new(3).with_enospc(1.0)));
+    assert!(
+        matches!(mgr.append(&note(1)), Err(DurableError::NoSpace(_))),
+        "a full disk is a typed error, not a panic"
+    );
+    assert!(mgr.is_wedged(), "nothing after ENOSPC can be trusted");
+    govern::set_fault_plan(None);
+    // The wedge is sticky — freeing space alone is not enough.
+    assert!(matches!(mgr.append(&note(1)), Err(DurableError::Wedged(_))));
+
+    // A checkpoint truncates the log and restores service.
+    mgr.checkpoint(&db, &store).expect("checkpoint over freed space");
+    assert!(!mgr.is_wedged());
+    mgr.append(&note(1)).expect("appends flow again");
+    replay_op(&mut db, &mut store, &note(1)).expect("replay");
+    drop(mgr);
+    let recovered = recover(&dir).expect("clean recovery");
+    assert_eq!(recovered.tail.dropped_records, 0, "ENOSPC persisted no partial record");
+    assert_eq!(state_digest(&recovered.db, &recovered.store), state_digest(&db, &store));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A full disk aborts a page flush as `PageStoreError::NoSpace` before
+/// any byte moves: the old durable image stays intact, the dirty pool
+/// survives, and the same flush succeeds once space frees.
+#[test]
+fn enospc_aborts_a_page_flush_typed_with_the_old_image_intact() {
+    let _g = lock();
+    let dir = tmp("page-enospc");
+    std::fs::create_dir_all(&dir).expect("heap dir");
+    let mut heap = RecordHeap::open(&dir, 8).expect("heap");
+    let first = heap.insert(b"committed before the disk filled").expect("insert");
+    heap.flush(1).expect("flush state A");
+    let second = heap.insert(b"caught by the full disk").expect("insert");
+
+    // Page I/O rolls an owned plan (not the thread-local one).
+    heap.set_fault_plan(Some(FaultPlan::new(5).with_page_enospc(1.0)));
+    assert!(
+        matches!(heap.flush(2), Err(PageStoreError::NoSpace)),
+        "a full disk is a typed error, not a torn shadow"
+    );
+    heap.set_fault_plan(None);
+
+    // Space freed: the retried flush commits everything that was dirty.
+    heap.flush(2).expect("flush after space freed");
+    drop(heap);
+    let mut reopened = RecordHeap::open(&dir, 8).expect("reopen");
+    assert_eq!(reopened.watermark(), 2);
+    assert_eq!(
+        reopened.get(first).expect("readable").as_deref(),
+        Some(b"committed before the disk filled".as_slice())
+    );
+    assert_eq!(
+        reopened.get(second).expect("readable").as_deref(),
+        Some(b"caught by the full disk".as_slice())
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A full disk aborts a bundle capture as `BackupError::NoSpace` with no
+/// manifest written — a half-copied bundle can never pass for a complete
+/// one — and the same capture succeeds and restores once space frees.
+#[test]
+fn enospc_aborts_a_backup_capture_typed_with_no_partial_manifest() {
+    let _g = lock();
+    let root = tmp("backup-enospc");
+    let mut db = Database::new();
+    let mut store = AnnotationStore::new();
+    let mut mgr = Durability::begin(&root.join("wal"), &db, &store, DurabilityOptions::default())
+        .expect("fresh durability directory");
+    mgr.set_archive(&root.join("archive"), 1).expect("arm archiving");
+    for n in 0..6 {
+        mgr.append(&note(n)).expect("append");
+        replay_op(&mut db, &mut store, &note(n)).expect("replay");
+        if n == 2 {
+            mgr.checkpoint(&db, &store).expect("mid checkpoint");
+        }
+    }
+    mgr.checkpoint(&db, &store).expect("sealing checkpoint");
+
+    let spec = BundleSpec {
+        archive_dir: root.join("archive"),
+        bundle_dir: root.join("bundle"),
+        pages: None,
+        created_seq: 1,
+    };
+    govern::set_fault_plan(Some(FaultPlan::new(7).with_enospc(1.0)));
+    assert!(
+        matches!(create_bundle(&spec), Err(BackupError::NoSpace(_))),
+        "a full disk is a typed error, not a silent half-bundle"
+    );
+    govern::set_fault_plan(None);
+    assert!(
+        !root.join("bundle").join(nebula::nebula_backup::MANIFEST_FILE).exists(),
+        "the aborted capture must not claim completeness with a manifest"
+    );
+    assert!(verify_bundle(&root.join("bundle")).is_err(), "the half-bundle never verifies");
+
+    // Space freed: the capture completes and restores byte-identically.
+    create_bundle(&spec).expect("capture after space freed");
+    let restored = restore(&root.join("bundle"), None).expect("restore");
+    assert_eq!(restored.applied, 6);
+    assert_eq!(state_digest(&restored.db, &restored.store), state_digest(&db, &store));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// ENOSPC mid-batch through the whole engine: annotations whose commit
+/// cannot be logged are quarantined — never half-applied, never aborting
+/// the batch — and a checkpoint after space frees restores service.
+#[test]
+fn enospc_mid_batch_quarantines_and_a_checkpoint_restores_service() {
+    let _g = lock();
+    let dir = tmp("engine-enospc");
+    let (bundle, mut nebula, items) = batch_fixture(44, 24, NebulaConfig::default());
+    let mut store = fresh_store(&bundle);
+    let durability = Durability::begin(&dir, &bundle.db, &store, DurabilityOptions::default())
+        .expect("fresh durability directory");
+    nebula.set_mutation_sink(Some(Box::new(durability)));
+
+    govern::set_fault_plan(Some(FaultPlan::new(11).with_enospc(1.0)));
+    let starved = nebula.process_batch(&bundle.db, &mut store, &items[..12]);
+    govern::set_fault_plan(None);
+    assert_eq!(starved.total(), 12, "the full disk never aborts the batch");
+    assert!(starved.quarantined > 0, "unloggable commits are quarantined: {starved:?}");
+
+    // Space freed: a checkpoint unwedges the sink and ingest resumes.
+    let sink = nebula.mutation_sink_mut().expect("sink installed");
+    sink.checkpoint(&bundle.db, &store).expect("checkpoint over freed space");
+    let healed = nebula.process_batch(&bundle.db, &mut store, &items[12..]);
+    assert_eq!(healed.quarantined, 0, "service restored after the checkpoint: {healed:?}");
+    drop(nebula.take_mutation_sink());
+
+    // Recovery equals the live state: nothing was applied that was not
+    // logged, even across the wedge.
+    let recovered = recover(&dir).expect("clean recovery");
+    assert_eq!(state_digest(&recovered.db, &recovered.store), state_digest(&bundle.db, &store));
+    let _ = std::fs::remove_dir_all(&dir);
 }

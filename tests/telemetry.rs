@@ -274,6 +274,53 @@ fn every_written_metric_is_listed_in_the_registry() {
     shards.corrupt_shard(0).expect("bit-rot injection");
     shards.scrub().expect("scrub");
 
+    // Disaster recovery: archive, capture, verify, restore, seeded rot,
+    // scrub, and retention GC, so the backup.* counters are all written.
+    let bdir = std::env::temp_dir()
+        .join(format!("nebula-telemetry-registry-backup-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&bdir);
+    {
+        let mut db = nebula::relstore::Database::new();
+        let mut store = AnnotationStore::new();
+        let mut mgr =
+            Durability::begin(&bdir.join("wal"), &db, &store, DurabilityOptions::default())
+                .expect("fresh durability directory");
+        mgr.set_archive(&bdir.join("archive"), 1).expect("arm archiving");
+        for n in 0..4u64 {
+            let op = nebula::nebula_durable::WalOp::AddAnnotation {
+                expected: AnnotationId(n),
+                text: format!("backup metric {n}"),
+                author: None,
+                kind: None,
+            };
+            mgr.append(&op).expect("append");
+            nebula::nebula_durable::replay_op(&mut db, &mut store, &op).expect("replay");
+            if n == 1 {
+                mgr.checkpoint(&db, &store).expect("mid checkpoint");
+            }
+        }
+        mgr.checkpoint(&db, &store).expect("sealing checkpoint");
+        nebula::nebula_backup::create_bundle(&nebula::nebula_backup::BundleSpec {
+            archive_dir: bdir.join("archive"),
+            bundle_dir: bdir.join("bundle"),
+            pages: None,
+            created_seq: 1,
+        })
+        .expect("bundle capture");
+        nebula::nebula_backup::verify_bundle(&bdir.join("bundle")).expect("verify");
+        nebula::nebula_backup::restore(&bdir.join("bundle"), Some(3)).expect("restore");
+        nebula::nebula_govern::set_fault_plan(Some(
+            FaultPlan::new(0xB0B).with_archive_faults(0.0, 1.0, 0.0),
+        ));
+        nebula::nebula_backup::inject_rot(&bdir.join("bundle")).expect("rot injection");
+        nebula::nebula_govern::set_fault_plan(None);
+        let scrubbed = nebula::nebula_backup::scrub(&bdir.join("bundle")).expect("scrub");
+        assert!(!scrubbed.corrupt.is_empty(), "the seeded rot is visible to the scrubber");
+        assert!(nebula::nebula_backup::verify_bundle(&bdir.join("bundle")).is_err());
+        nebula::nebula_backup::gc(&bdir.join("archive"), 1).expect("gc pass");
+    }
+    let _ = std::fs::remove_dir_all(&bdir);
+
     let snap = nebula_obs::snapshot();
     nebula_obs::set_enabled(false);
 
@@ -321,4 +368,21 @@ fn every_written_metric_is_listed_in_the_registry() {
     assert!(snap.gauges.contains_key("shard.shards"), "{:?}", snap.gauges);
     assert!(snap.gauges.contains_key("shard.epoch"), "{:?}", snap.gauges);
     assert!(snap.gauges.contains_key("shard.lagging"), "{:?}", snap.gauges);
+    // And the disaster-recovery names, via the backup round trip above.
+    for name in [
+        "backup.bases_archived",
+        "backup.segments_archived",
+        "backup.bytes_archived",
+        "backup.bundles_created",
+        "backup.bundle_bytes",
+        "backup.restores",
+        "backup.restore_records_replayed",
+        "backup.scrubs",
+        "backup.rot_injected",
+        "backup.rot_detected",
+        "backup.verify_failures",
+        "backup.gc_removed",
+    ] {
+        assert!(snap.counters.contains_key(name), "missing {name}: {:?}", snap.counters);
+    }
 }
