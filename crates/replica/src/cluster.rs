@@ -283,9 +283,27 @@ impl Cluster {
         }
         let restored = nebula_backup::restore(bundle_dir, None)
             .map_err(|e| ReplicaError::Seed(e.to_string()))?;
+        // A bundle from a newer epoch, or one whose head is past the
+        // primary's log, would seed a replica *ahead* of the cluster —
+        // a state catch-up shipping can never reconcile. Refuse it.
+        if restored.epoch > self.primary.epoch() {
+            return Err(ReplicaError::Seed(format!(
+                "bundle epoch {} is newer than the cluster epoch {}",
+                restored.epoch,
+                self.primary.epoch()
+            )));
+        }
+        if restored.applied > self.primary.last_lsn() {
+            return Err(ReplicaError::Seed(format!(
+                "bundle head lsn {} is ahead of the primary's last lsn {}",
+                restored.applied,
+                self.primary.last_lsn()
+            )));
+        }
         let seeded_to = restored.applied;
         // Seed under the current epoch so the primary's segments are
-        // accepted immediately (the bundle's epoch can only be older).
+        // accepted immediately (the bundle's epoch is no newer — checked
+        // above).
         self.replicas.push(Replica::seed(
             id,
             restored.db,
@@ -1095,6 +1113,33 @@ mod tests {
         nebula_govern::clock::set_virtual(false);
     }
 
+    /// An `n`-record archived history (stamped `epoch`) + bundle under
+    /// `root`.
+    fn bundled_history_at(root: &Path, epoch: u64, n: u64) -> (Database, AnnotationStore) {
+        let db0 = Database::new();
+        let store0 = AnnotationStore::new();
+        let mut d =
+            Durability::begin(&root.join("data"), &db0, &store0, DurabilityOptions::default())
+                .unwrap();
+        d.set_archive(&root.join("archive"), epoch).unwrap();
+        let mut db = Database::new();
+        let mut store = AnnotationStore::new();
+        for i in 0..n {
+            let o = op(i);
+            d.append(&o).unwrap();
+            nebula_durable::replay_op(&mut db, &mut store, &o).unwrap();
+        }
+        d.checkpoint(&db, &store).unwrap();
+        nebula_backup::create_bundle(&nebula_backup::BundleSpec {
+            archive_dir: root.join("archive"),
+            bundle_dir: root.join("bundle"),
+            pages: None,
+            created_seq: 1,
+        })
+        .unwrap();
+        (db, store)
+    }
+
     /// A 9-record archived history + bundle under `root`; returns the
     /// source state the bundle captures.
     fn bundled_history(root: &Path) -> (Database, AnnotationStore) {
@@ -1187,6 +1232,45 @@ mod tests {
             Err(ReplicaError::Seed(_))
         ));
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn a_bundle_ahead_of_the_cluster_is_refused_for_seeding() {
+        // A bundle whose head LSN is past the primary's log: the seeded
+        // replica would start ahead of the cluster, which catch-up
+        // shipping can never reconcile.
+        let root = temp_dir("seedahead");
+        bundled_history_at(&root, 1, 9);
+        let mut c = fresh("seedahead-c", 1, Box::new(SimTransport::reliable(3)), CommitRule::Local);
+        for i in 0..3 {
+            c.record(&op(i)).unwrap();
+        }
+        let err = c.attach_seeded_replica(2, &root.join("bundle")).unwrap_err();
+        assert!(
+            matches!(err, ReplicaError::Seed(ref m) if m.contains("ahead of the primary")),
+            "{err:?}"
+        );
+
+        // A bundle stamped with a newer epoch than the cluster's.
+        let newer = temp_dir("seedahead-epoch");
+        bundled_history_at(&newer, 3, 2);
+        let err = c.attach_seeded_replica(2, &newer.join("bundle")).unwrap_err();
+        assert!(
+            matches!(err, ReplicaError::Seed(ref m) if m.contains("newer than the cluster epoch")),
+            "{err:?}"
+        );
+        assert!(c.replica(2).is_none(), "a refused seed must not attach a replica");
+
+        // A bundle at or behind the primary still seeds fine.
+        for i in 3..12 {
+            c.record(&op(i)).unwrap();
+        }
+        let seeded_to = c.attach_seeded_replica(2, &root.join("bundle")).unwrap();
+        assert_eq!(seeded_to, 9);
+        c.pump(8);
+        assert_eq!(c.replica(2).unwrap().applied(), 12);
+        let _ = std::fs::remove_dir_all(&root);
+        let _ = std::fs::remove_dir_all(&newer);
     }
 
     #[test]

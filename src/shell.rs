@@ -760,9 +760,14 @@ impl Shell {
         self.db = restored.db;
         self.store = restored.store;
         self.nebula.bootstrap_acg(&self.store);
+        let fenced = if restored.fenced > 0 {
+            format!(", {} fenced (deposed-epoch records refused)", restored.fenced)
+        } else {
+            String::new()
+        };
         let mut out = vec![format!(
             "restored to lsn {} from '{dir}' (manifest verified; base watermark {}, \
-             {} replayed, {} skipped); {} tuples, {} annotations; ACG rebuilt",
+             {} replayed, {} skipped{fenced}); {} tuples, {} annotations; ACG rebuilt",
             restored.applied,
             restored.base_watermark,
             restored.replayed,
